@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (Figure 1, a theorem claim,
+or an ablation) at a laptop-friendly scale, times it with pytest-benchmark,
+and writes the paper-shaped table to ``benchmarks/results/<name>.txt`` so
+the numbers survive the run.  EXPERIMENTS.md records a full-scale pass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(report_dir):
+    """Write an experiment table to results/<name>.txt (and echo it)."""
+
+    def _save(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _save

@@ -1,0 +1,49 @@
+"""EXP-ABL benchmark: the design ablations of Sections 4 and 6.
+
+Expected shapes:
+
+* ABL1 — the "optimized" variant terminates no faster (typically slower in
+  rounds) than the canonical protocol, despite executing fewer operations:
+  the paper's argument for keeping the "superfluous" operations.
+* ABL3 — the conservative (lag 2) variant pays about one extra round.
+* ABL2a — shrinking the noise spread slows termination dramatically (the
+  Θ(log n) constant depends on the distribution).
+* ABL2b — oblivious adversary delays within a bound M change constants,
+  not the shape.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_suite(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: ablations.run(n=64, trials=120, seed=2000),
+        rounds=1, iterations=1)
+    save_report("ablations", ablations.format_result(result))
+
+    rows = {r.protocol: r for r in result.protocols}
+    # ABL1: eliding ops helps laggards, so the optimized variant needs at
+    # least as many rounds on average (allow a small sampling margin).
+    assert rows["optimized"].mean_last_round >= \
+        rows["lean"].mean_last_round - 0.15
+    # ...while executing strictly fewer operations in total.
+    assert rows["optimized"].mean_total_ops < rows["lean"].mean_total_ops
+    # ABL3: the conservative variant pays roughly one extra round.
+    assert rows["conservative"].mean_last_round > rows["lean"].mean_last_round
+    # ABL2a: smaller sigma = slower termination, monotonically.
+    firsts = [r.mean_first_round for r in result.sigmas]
+    assert firsts == sorted(firsts, reverse=True)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_optimized_trial_cost(benchmark):
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trial
+
+    result = benchmark(
+        lambda: run_noisy_trial(64, Exponential(1.0), seed=7,
+                                protocol="optimized", engine="event"))
+    assert result.agreed

@@ -1,0 +1,42 @@
+"""EXP-T15 benchmark: Theorem 15 — the bounded-space combined protocol.
+
+Expected shape: with r_max = Θ(log² n) the backup never runs at this scale
+and the combined protocol's cost matches plain lean-consensus to within a
+small constant; with a tiny r_max the backup runs constantly and agreement
+still holds (including mixed main/backup decisions).
+"""
+
+import pytest
+
+from repro.experiments import bounded_space
+
+
+@pytest.mark.benchmark(group="bounded-space")
+def test_bounded_space_sweep(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: bounded_space.run(ns=(4, 16, 64, 256), trials=60,
+                                  stress_trials=40, seed=2000),
+        rounds=1, iterations=1)
+    save_report("bounded_t15", bounded_space.format_result(result))
+
+    for row in result.rows:
+        assert row.agreement_rate == 1.0
+        assert row.max_main_round <= row.r_max
+        # Backup essentially never runs at the suggested cutoff.
+        assert row.backup_trials == 0
+        # Combined cost within a small constant of plain lean-consensus.
+        assert row.mean_total_ops <= 2.0 * row.mean_total_ops_plain
+    for row in result.stress_rows:
+        assert row.agreement_rate == 1.0
+        assert row.backup_trials > 0  # the stress cutoff forces the backup
+
+
+@pytest.mark.benchmark(group="bounded-space")
+def test_bounded_single_trial(benchmark):
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trial
+
+    result = benchmark(
+        lambda: run_noisy_trial(64, Exponential(1.0), seed=5,
+                                protocol="bounded", engine="event"))
+    assert result.agreed

@@ -1,0 +1,99 @@
+"""EXP-ABL3 benchmark: engine equivalence and raw throughput.
+
+The fast engine must match the reference engine operation-for-operation on
+identical pre-sampled schedules; these benches document the speedup that
+makes the paper's n = 100,000 Figure-1 points affordable in pure Python.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.noise import Exponential
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sim.engine import NoisyEngine
+from repro.sim.fast import replay_lean
+from repro.sim.runner import half_and_half, make_machines, make_memory_for
+
+N = 256
+MAX_OPS = 200
+
+
+@pytest.fixture(scope="module")
+def shared_schedule():
+    sched = NoisyScheduler(Exponential(1.0), make_rng(1234))
+    times = sched.presample(N, MAX_OPS)
+    inputs = [half_and_half(N)[pid] for pid in range(N)]
+    return times, inputs
+
+
+@pytest.mark.benchmark(group="engines")
+def test_reference_engine_throughput(benchmark, shared_schedule):
+    times, inputs = shared_schedule
+
+    def run_ref():
+        machines = make_machines("lean", dict(enumerate(inputs)))
+        memory = make_memory_for(machines)
+        return NoisyEngine(machines, memory, PresampledScheduler(times)).run()
+
+    result = benchmark(run_ref)
+    assert result.agreed
+
+
+@pytest.mark.benchmark(group="engines")
+def test_fast_engine_throughput(benchmark, shared_schedule):
+    times, inputs = shared_schedule
+
+    result = benchmark(lambda: replay_lean(
+        times, inputs, stop_after_first_decision=False))
+    assert result is not None and result.agreed
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engines_identical_on_shared_schedule(benchmark, shared_schedule,
+                                              save_report):
+    """The equivalence check itself, timed; also saves a summary report."""
+    times, inputs = shared_schedule
+
+    def both():
+        machines = make_machines("lean", dict(enumerate(inputs)))
+        memory = make_memory_for(machines)
+        ref = NoisyEngine(machines, memory, PresampledScheduler(times)).run()
+        fast = replay_lean(times, inputs, stop_after_first_decision=False)
+        return ref, fast
+
+    ref, fast = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert fast is not None
+    assert {p: d.value for p, d in fast.decisions.items()} == \
+        {p: d.value for p, d in ref.decisions.items()}
+    assert {p: d.ops for p, d in fast.decisions.items()} == \
+        {p: d.ops for p, d in ref.decisions.items()}
+    assert fast.total_ops == ref.total_ops
+    save_report("engine_equivalence", "\n".join([
+        f"n = {N}, shared presampled schedule ({MAX_OPS} ops horizon)",
+        f"reference engine: total_ops={ref.total_ops} "
+        f"last_round={ref.last_decision_round}",
+        f"fast engine:      total_ops={fast.total_ops} "
+        f"last_round={fast.last_decision_round}",
+        "decision maps identical: yes",
+    ]))
+
+
+@pytest.mark.benchmark(group="engines")
+def test_presample_cost_n10000(benchmark):
+    sched = NoisyScheduler(Exponential(1.0), make_rng(77))
+    times = benchmark(lambda: sched.presample(10_000, 120))
+    assert times.shape == (10_000, 120)
+
+
+@pytest.mark.benchmark(group="engines")
+def test_fast_replay_cost_n10000(benchmark):
+    sched = NoisyScheduler(Exponential(1.0), make_rng(78))
+    times = sched.presample(10_000, 120)
+    inputs = np.array([half_and_half(10_000)[pid] for pid in range(10_000)])
+
+    result = benchmark.pedantic(
+        lambda: replay_lean(times, list(inputs),
+                            stop_after_first_decision=True),
+        rounds=1, iterations=1)
+    assert result is not None

@@ -1,0 +1,44 @@
+"""EXP-FAIL benchmark: random halting (§3.1.2) + adaptive crashes (§10).
+
+Expected shape: with random halting the protocol still terminates in
+O(log n) rounds among survivors; with an adaptive kill-the-leader adversary
+the mean termination round grows roughly linearly in the crash budget f
+(the O(f log n) upper bound), with a mild slope (the paper conjectures the
+truth is O(log n)).
+"""
+
+import pytest
+
+from repro.experiments import failures
+
+
+@pytest.mark.benchmark(group="failures")
+def test_failures_sweeps(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: failures.run(n=64, hs=(0.0, 0.001, 0.005, 0.02),
+                             budgets=(0, 1, 2, 4, 8), trials=80, seed=2000),
+        rounds=1, iterations=1)
+    save_report("failures", failures.format_result(result))
+
+    # Random halting: higher h kills more processes...
+    halted = [row.mean_halted for row in result.halting]
+    assert halted == sorted(halted)
+    # ... while surviving processes still decide in few rounds.
+    for row in result.halting:
+        if row.mean_last_round is not None:
+            assert row.mean_last_round < 12
+    # Adaptive crashes: the adversary uses its whole budget...
+    assert result.crashes[-1].mean_crashes_used == pytest.approx(
+        result.crashes[-1].budget, abs=0.5)
+    # ... and rounds grow at most modestly per crash (<< a full restart).
+    assert 0 <= result.crash_slope < 3.0
+
+
+@pytest.mark.benchmark(group="failures")
+def test_halting_trial_cost(benchmark):
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trial
+
+    result = benchmark(
+        lambda: run_noisy_trial(64, Exponential(1.0), seed=6, h=0.005))
+    assert result.agreed

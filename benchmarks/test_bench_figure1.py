@@ -1,0 +1,65 @@
+"""EXP-F1 benchmark: regenerate Figure 1.
+
+The paper's figure: mean round of first termination vs n (log-x grid up to
+100,000), six interarrival distributions, half-and-half inputs.  The bench
+grid keeps the run in minutes; pass ``--paper`` to the CLI harness
+(``python -m repro.experiments.figure1 --paper``) for the full 10,000-trial
+grid.  Expected shape (paper Section 9): slow logarithmic growth with small
+constants for five distributions and a *decreasing* curve for the truncated
+normal at large n.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+BENCH_NS = (1, 10, 100, 1_000, 10_000)
+BENCH_TRIALS = 40
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_full_sweep(benchmark, save_report):
+    """Time the whole (reduced-scale) Figure-1 sweep and save the table."""
+    result = benchmark.pedantic(
+        lambda: figure1.run(ns=BENCH_NS, trials=BENCH_TRIALS, seed=2000),
+        rounds=1, iterations=1)
+    table = figure1.format_result(result)
+    save_report("figure1", table + "\n\n" + figure1.ascii_plot(result))
+
+    # Shape checks mirroring the paper's qualitative claims.
+    expo = {p.n: p.mean_round for p in result.series["exponential(1)"]}
+    norm = {p.n: p.mean_round for p in result.series["normal(1,0.04)"]}
+    assert expo[1] == pytest.approx(2.0)          # Lemma 3 solo case
+    assert expo[10_000] < 8.0                      # small constants
+    assert expo[10_000] >= expo[10] - 0.5          # non-decreasing-ish
+    assert norm[10_000] < norm[10]                 # the inverted normal curve
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_single_point_n1000_fast_engine(benchmark):
+    """Per-point cost at n=1000 on the vectorized engine."""
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trial
+
+    def point():
+        return run_noisy_trial(1000, Exponential(1.0), seed=7,
+                               engine="fast",
+                               stop_after_first_decision=True)
+
+    result = benchmark(point)
+    assert result.first_decision_round is not None
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_single_point_n64_event_engine(benchmark):
+    """Per-point cost at n=64 on the reference engine."""
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trial
+
+    def point():
+        return run_noisy_trial(64, Exponential(1.0), seed=8,
+                               engine="event",
+                               stop_after_first_decision=True)
+
+    result = benchmark(point)
+    assert result.first_decision_round is not None

@@ -1,0 +1,36 @@
+"""EXP-T13 benchmark: Theorem 13 — the Ω(log n) lower-bound construction.
+
+Expected shape: under the two-point {1, 2} distribution the mean
+termination round grows with n (log-shaped), and the probability that each
+team has an all-fast runner tracks (1 - (1 - 1/n)^(n/2))² → ~0.155.
+"""
+
+import pytest
+
+from repro.experiments import lower_bound
+
+
+@pytest.mark.benchmark(group="lower-bound")
+def test_lower_bound_growth(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: lower_bound.run(ns=(4, 16, 64, 256, 1024), trials=80,
+                                seed=2000),
+        rounds=1, iterations=1)
+    save_report("lower_bound_t13", lower_bound.format_result(result))
+
+    # Growth: the largest grid point needs more rounds than the smallest.
+    assert result.mean_first[1024] > result.mean_first[4]
+    # The two-fast-runners event probability matches the analytic value.
+    for n in (64, 256, 1024):
+        assert result.fast_pair_prob[n] == pytest.approx(
+            result.fast_pair_analytic[n], abs=0.08)
+
+
+@pytest.mark.benchmark(group="lower-bound")
+def test_lower_bound_single_point(benchmark):
+    from repro.sim.runner import run_noisy_trial
+
+    result = benchmark(
+        lambda: run_noisy_trial(256, lower_bound.LOWER_BOUND_NOISE, seed=3,
+                                stop_after_first_decision=True))
+    assert result.first_decision_round is not None

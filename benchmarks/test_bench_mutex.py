@@ -1,0 +1,47 @@
+"""EXP-MUTEX benchmark: Fischer's timing-based mutex under noisy timing.
+
+Expected shape (the Section-10 remark, quantified): with bounded noise the
+violation rate drops to exactly zero once the pause d clears the noise
+bound; with unbounded (exponential) noise the rate decays in d but a small
+pause still violates — timing assumptions need the "no unbounded delays"
+constraint the paper anticipated.
+"""
+
+import pytest
+
+from repro.experiments import mutual_exclusion
+
+
+@pytest.mark.benchmark(group="mutex")
+def test_mutex_pause_sweep(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: mutual_exclusion.run(n=4, pauses=(0.25, 1.0, 2.5, 5.0),
+                                     entries_per_cell=400, seed=2000),
+        rounds=1, iterations=1)
+    save_report("mutex", mutual_exclusion.format_result(result))
+
+    rows = {(r.noise, r.pause): r for r in result.rows}
+    # Bounded noise: unsafe below the bound, exactly safe above it.
+    assert rows[("uniform [0,2]", 0.25)].violations > 0
+    assert rows[("uniform [0,2]", 2.5)].violations == 0
+    assert rows[("uniform [0,2]", 5.0)].violations == 0
+    # Unbounded noise: decaying but present at small pauses.
+    assert rows[("exponential(1)", 0.25)].violations > 0
+    exp_rates = [rows[("exponential(1)", p)].violation_rate
+                 for p in (0.25, 1.0, 2.5, 5.0)]
+    assert exp_rates == sorted(exp_rates, reverse=True)
+    # Safety costs throughput: waits grow with the pause.
+    assert rows[("uniform [0,2]", 5.0)].mean_wait > \
+        rows[("uniform [0,2]", 1.0)].mean_wait
+
+
+@pytest.mark.benchmark(group="mutex")
+def test_mutex_single_run_cost(benchmark):
+    from repro._rng import make_rng
+    from repro.mutex import simulate_fischer
+    from repro.noise import Uniform
+
+    result = benchmark(
+        lambda: simulate_fischer(4, Uniform(0.0, 2.0), pause=2.5,
+                                 rng=make_rng(1), target_entries=100))
+    assert result.violations == 0

@@ -1,0 +1,38 @@
+"""EXP-R10 benchmark: Theorem 10 / Corollary 11 — the renewal race.
+
+Expected shape: E[R] fits a·ln(n)+b with high R²; P[R > k] decays
+log-linearly; the unique-leader probability at the Lemma-6 critical time
+clears the paper's ~0.23 guarantee.
+"""
+
+import pytest
+
+from repro.experiments import renewal_race
+
+
+@pytest.mark.benchmark(group="renewal-race")
+def test_renewal_race_scaling(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: renewal_race.run(ns=(2, 4, 16, 64, 256), trials=200,
+                                 seed=2000),
+        rounds=1, iterations=1)
+    save_report("renewal_r10", renewal_race.format_result(result))
+
+    assert result.fit.a > 0          # grows with n
+    assert result.fit.r2 > 0.9       # and logarithmically so
+    assert result.tail_fit is not None
+    assert result.tail_fit.a < 0     # exponential tail
+    # Lemma 6's unique-leader guarantee (>= (1 - 1/e)/e ~ 0.2325).
+    assert result.unique_leader_prob >= result.unique_leader_bound - 0.05
+
+
+@pytest.mark.benchmark(group="renewal-race")
+def test_single_race_n64(benchmark):
+    from repro._rng import make_rng
+    from repro.analysis.renewal import simulate_race_rounds
+    from repro.noise import SumOf, Uniform
+
+    out = benchmark(
+        lambda: simulate_race_rounds(SumOf(Uniform(0.0, 2.0), 4), n=64, c=2,
+                                     rng=make_rng(9)))
+    assert out.winner is not None

@@ -1,0 +1,36 @@
+"""EXP-T12 benchmark: Theorem 12 — Θ(log n) termination + exponential tail.
+
+Expected shape: mean last-decision round fits a·ln(n)+b with a good R² and
+small coefficients; P[R > k] decays log-linearly.
+"""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_growth_and_fit(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: scaling.run(ns=(4, 16, 64, 256, 1024), trials=60, seed=2000),
+        rounds=1, iterations=1)
+    tail = scaling.run_tail(n=128, trials=400, seed=2000)
+    save_report("scaling_t12", scaling.format_result(result, tail))
+
+    # Θ(log n): positive slope, decent fit, small constants (paper §9).
+    assert result.fit_last.a > 0
+    assert result.fit_last.r2 > 0.7
+    assert result.mean_last[1024] < 10.0
+    # Corollary 11: exponential tail decays.
+    assert tail.fit.a < 0
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_single_n256_batch(benchmark):
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trials
+
+    results = benchmark.pedantic(
+        lambda: run_noisy_trials(10, 256, Exponential(1.0), seed=5),
+        rounds=1, iterations=1)
+    assert all(r.agreed for r in results)

@@ -1,0 +1,40 @@
+"""EXP-T1 benchmark: Theorem 1 — unfairness of noisy scheduling.
+
+Expected shape: the mean number of rival operations between two consecutive
+operations of a process grows roughly *linearly* in the heavy-tail
+truncation level K — each additional tail level contributes a constant
+(~1/2) to the expectation, which is exactly how the paper's sum
+sum_k 2^-k * Omega(2^k) diverges — while a well-behaved control
+distribution stays flat around 1.
+"""
+
+import pytest
+
+from repro.experiments import unfairness
+
+
+@pytest.mark.benchmark(group="unfairness")
+def test_unfairness_divergence(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: unfairness.run(caps=(2, 3, 4, 5, 6), trials=300, seed=2000),
+        rounds=1, iterations=1)
+    save_report("unfairness_t1", unfairness.format_result(result))
+
+    means = [result.heavy[k] for k in result.caps]
+    # Divergence: strictly increasing in K, by a non-vanishing amount per
+    # level (the theorem's sum adds ~constant mass per tail level).
+    assert all(b > a for a, b in zip(means, means[1:]))
+    assert means[-1] - means[0] > 0.4
+    # The control (exponential) is flat near 1.
+    assert result.control == pytest.approx(1.0, abs=0.3)
+
+
+@pytest.mark.benchmark(group="unfairness")
+def test_unfairness_single_measurement(benchmark):
+    from repro._rng import make_rng
+    from repro.noise import HeavyTail
+
+    value = benchmark(
+        lambda: unfairness.mean_interleaved_ops(
+            HeavyTail(k_cap=4), trials=50, rng=make_rng(1)))
+    assert value > 0

@@ -1,0 +1,61 @@
+"""Scenario: consensus with crashing participants.
+
+Two failure regimes from the paper:
+
+* random halting (Section 3.1.2): each process dies with probability h per
+  operation; survivors still decide quickly and agree;
+* an adaptive kill-the-leader adversary (Section 10): every time a process
+  pulls ahead, it is crashed — costing the race a restart per crash, the
+  O(f log n) bound.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import run_noisy_trial, run_noisy_trials, summarize
+from repro.failures import KillLeaderAdversary
+from repro.noise import Exponential
+
+N = 48
+
+
+def random_halting_demo() -> None:
+    print(f"Random halting, n={N}, exponential noise:")
+    for h in (0.0, 0.002, 0.01, 0.05):
+        stats = summarize(run_noisy_trials(
+            40, N, Exponential(1.0), seed=int(h * 10_000) + 1, h=h))
+        print(f"  h={h:<6}: mean deaths/trial {stats.mean_halted:5.2f}, "
+              f"survivors decide by round "
+              f"{stats.mean_last_round:5.2f}, "
+              f"agreement {stats.agreement_rate:.0%}")
+
+
+def adaptive_adversary_demo() -> None:
+    print(f"\nAdaptive kill-the-leader adversary, n={N}:")
+    for budget in (0, 2, 4, 8):
+        rounds = []
+        crashes = []
+        for seed in range(30):
+            adversary = KillLeaderAdversary(budget=budget, lead=1)
+            result = run_noisy_trial(N, Exponential(1.0),
+                                     seed=1000 + budget * 100 + seed,
+                                     crash_adversary=adversary,
+                                     engine="event")
+            assert result.agreed
+            rounds.append(result.last_decision_round)
+            crashes.append(len(adversary.crashed))
+        mean_round = sum(rounds) / len(rounds)
+        mean_crash = sum(crashes) / len(crashes)
+        print(f"  budget f={budget}: crashes used {mean_crash:4.1f}, "
+              f"mean last-decision round {mean_round:5.2f} "
+              "(grows ~linearly in f: the O(f log n) bound)")
+
+
+def main() -> None:
+    random_halting_demo()
+    adaptive_adversary_demo()
+    print("\nAgreement held in every run — failures cost time, never "
+          "safety.")
+
+
+if __name__ == "__main__":
+    main()

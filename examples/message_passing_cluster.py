@@ -1,0 +1,53 @@
+"""Scenario: consensus in a crash-prone message-passing cluster.
+
+Section 10 of the paper asks whether noisy scheduling helps consensus in
+asynchronous *message passing*.  This example composes three substrates:
+
+    lean-consensus  (unchanged shared-memory protocol machines)
+        over ABD    (atomic registers emulated on a server majority)
+        over a      discrete-event network with noisy delivery latency.
+
+Network latency noise plays the role of scheduling noise; quorums absorb a
+server-minority crash; the protocol code is byte-for-byte the same state
+machine that runs on the shared-memory engines.
+
+Run:  python examples/message_passing_cluster.py
+"""
+
+from repro.netsim import run_mp_trial
+from repro.noise import ShiftedExponential
+
+LATENCY = ShiftedExponential(0.5, 0.5)  # 0.5 RTT floor + exponential jitter
+
+
+def show(label: str, **kwargs) -> None:
+    trial = run_mp_trial(latency=LATENCY, **kwargs)
+    assert trial.all_decided and trial.agreed
+    last = max(d.round for d in trial.decisions.values())
+    value = next(iter({d.value for d in trial.decisions.values()}))
+    print(f"  {label:42s} decided {value} by round {last:2d}; "
+          f"{trial.delivered_messages:6d} msgs, "
+          f"{trial.transactions:4d} register txns, "
+          f"t={trial.sim_time:7.1f}")
+
+
+def main() -> None:
+    print("lean-consensus over ABD-emulated registers "
+          "(half propose 0, half propose 1):\n")
+    show("4 clients, 5 servers, no crashes", n=4, seed=1, n_servers=5)
+    show("4 clients, 5 servers, 2 servers crashed", n=4, seed=2,
+         n_servers=5, crash_servers=2)
+    show("8 clients, 7 servers, 3 servers crashed", n=8, seed=3,
+         n_servers=7, crash_servers=3)
+    show("16 clients, 5 servers, no crashes", n=16, seed=4, n_servers=5)
+
+    print("\nmessage cost anatomy: each register op = 2 phases x "
+          "(n_servers requests + quorum replies);")
+    print("crashing servers *reduces* traffic (fewer replicas answer) "
+          "without affecting safety,")
+    print("as long as a majority survives — with a crashed majority, "
+          "transactions block forever.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Scenario: binary commit coordination among service replicas.
+
+The paper's motivation: in real systems, timing is not controlled by an
+intelligent demon — network delays, clock skew, and contention act as
+*noise* on top of whatever the environment does.  This example models a
+small replicated service whose replicas must agree on a binary decision
+(e.g., apply or drop a configuration change) using lean-consensus over a
+shared coordination array, under several "deployment" noise profiles:
+
+* same-rack cluster: tight log-normal latencies;
+* cross-zone cluster: wider latencies plus a shifted floor (min RTT);
+* congested network: a mixture with a heavy slow tail.
+
+It also demonstrates *adaptivity* (the paper: performance depends only on
+the number of processes actually running): a deployment where only two
+replicas contend decides almost immediately.
+
+Run:  python examples/replica_coordination.py
+"""
+
+from repro import run_noisy_trials, summarize
+from repro.noise import LogNormal, Mixture, ShiftedExponential
+
+PROFILES = {
+    "same-rack (lognormal 0.2)": LogNormal(0.0, 0.2),
+    "cross-zone (0.5 + exp 0.5)": ShiftedExponential(0.5, 0.5),
+    "congested (90/10 slow-tail mix)": Mixture(
+        [LogNormal(0.0, 0.2), ShiftedExponential(3.0, 2.0)],
+        weights=[0.9, 0.1]),
+}
+
+
+def report(label: str, n: int, noise, seed: int) -> None:
+    trials = run_noisy_trials(60, n, noise, seed=seed)
+    stats = summarize(trials)
+    ops_per_replica = stats.mean_total_ops / n
+    print(f"  {label:34s} n={n:3d}  "
+          f"last-decision round {stats.mean_last_round:5.2f}  "
+          f"~{ops_per_replica:5.1f} ops/replica  "
+          f"agreement {stats.agreement_rate:.0%}")
+
+
+def main() -> None:
+    print("Commit coordination via lean-consensus "
+          "(half the replicas propose 'apply', half 'drop'):\n")
+    for seed, (label, noise) in enumerate(PROFILES.items(), start=1):
+        report(label, 32, noise, seed)
+
+    print("\nAdaptivity: cost tracks the number of *active* contenders "
+          "(Section 1):")
+    for n in (2, 8, 32, 128):
+        report(f"cross-zone, {n} active replicas", n,
+               PROFILES["cross-zone (0.5 + exp 0.5)"], seed=100 + n)
+
+    print("\nNote: every run agreed — safety never depends on timing; "
+          "only latency does.")
+
+
+if __name__ == "__main__":
+    main()

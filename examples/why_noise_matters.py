@@ -1,0 +1,74 @@
+"""Why the noise assumption is load-bearing (and what the backup is for).
+
+FLP says deterministic consensus is impossible under a fully adversarial
+asynchronous scheduler.  lean-consensus does not contradict that: a
+noiseless (degenerate) schedule can run the two teams in perfect lockstep
+forever.  This example:
+
+1. builds that lockstep execution explicitly (constant "noise", staggered
+   starts) and watches lean-consensus spin;
+2. adds the paper's Section-8 construction — cut off at r_max and fall
+   back to a randomized backup — and watches the *combined* protocol
+   escape the same schedule;
+3. shows that the tiniest admissible noise already rescues the plain
+   protocol.
+
+Run:  python examples/why_noise_matters.py
+"""
+
+from repro._rng import make_rng
+from repro.noise import Constant, TruncatedNormal
+from repro.sched.delta import StaggeredStart
+from repro.sim.runner import run_noisy_trial
+
+
+def lockstep_spins_forever() -> None:
+    print("1. Degenerate (constant) noise — the adversary's lockstep:")
+    result = run_noisy_trial(
+        2, Constant(1.0), seed=1, allow_degenerate=True,
+        delta=StaggeredStart(0.25), dither_epsilon=1e-12,
+        max_total_ops=2_000, check=False)
+    assert result.budget_exhausted and not result.decisions
+    print(f"   2 processes, 2000 operations, decisions: "
+          f"{len(result.decisions)} — lean-consensus never terminates "
+          "(this is FLP, not a bug)")
+
+
+def bounded_protocol_escapes() -> None:
+    print("\n2. Same schedule, Section-8 combined protocol "
+          "(cutoff + randomized backup):")
+    result = run_noisy_trial(
+        2, Constant(1.0), seed=2, allow_degenerate=True,
+        delta=StaggeredStart(0.25), dither_epsilon=1e-12,
+        protocol="bounded", round_cap=6, engine="event")
+    assert result.all_decided and result.agreed
+    print(f"   both processes decided "
+          f"{next(iter(result.decided_values))} "
+          f"(backup used by {result.used_backup} of 2); agreement holds "
+          "across the main/backup boundary")
+
+
+def modest_noise_rescues() -> None:
+    print("\n3. Admissible noise on the same adversary "
+          "(truncated normal around the same mean):")
+    for sigma in (0.2, 0.05):
+        noise = TruncatedNormal(1.0, sigma, 0.0, 2.0)
+        result = run_noisy_trial(
+            2, noise, seed=3, delta=StaggeredStart(0.25), engine="event",
+            max_total_ops=200_000)
+        assert result.all_decided and result.agreed
+        print(f"   sigma={sigma}: decided at round "
+              f"{result.last_decision_round}")
+    print("   any non-degenerate noise eventually breaks the tie "
+          "(Theorem 12); the round count\n   scales with the noise "
+          "magnitude — see the EXP-ABL2a ablation for the sweep")
+
+
+def main() -> None:
+    lockstep_spins_forever()
+    bounded_protocol_escapes()
+    modest_noise_rescues()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of Aspnes, "Fast Deterministic Consensus in a
+Noisy Environment" (PODC 2000).
+
+The package implements the paper's protocol (**lean-consensus**), both of
+its scheduling models (noisy scheduling and hybrid quantum/priority
+uniprocessor scheduling), the bounded-space combined protocol, failure
+injection, an exhaustive interleaving model checker, and experiment
+harnesses that regenerate Figure 1 and every quantitative theorem claim.
+
+Quickstart::
+
+    from repro import run_noisy_trial
+    from repro.noise import Exponential
+
+    result = run_noisy_trial(n=100, noise=Exponential(1.0), seed=42)
+    assert result.agreed
+    print("first decision at round", result.first_decision_round)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.types import Decision, Operation, OpKind, OpResult, read, write
+from repro.errors import (
+    ConfigurationError,
+    DistributionError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+)
+from repro.core.machine import LeanConsensus, SharedCoinLean
+from repro.core.bounded import BoundedLeanConsensus, suggested_round_cap
+from repro.sim.runner import (
+    half_and_half,
+    run_hybrid_trial,
+    run_noisy_trial,
+    run_noisy_trials,
+    run_step_trial,
+)
+from repro.sim.metrics import summarize
+from repro.sim.results import TrialResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundedLeanConsensus",
+    "ConfigurationError",
+    "Decision",
+    "DistributionError",
+    "InvariantViolation",
+    "LeanConsensus",
+    "OpKind",
+    "OpResult",
+    "Operation",
+    "ProtocolError",
+    "ReproError",
+    "SchedulerError",
+    "SharedCoinLean",
+    "SimulationError",
+    "TrialResult",
+    "__version__",
+    "half_and_half",
+    "read",
+    "run_hybrid_trial",
+    "run_noisy_trial",
+    "run_noisy_trials",
+    "run_step_trial",
+    "suggested_round_cap",
+    "summarize",
+    "write",
+]

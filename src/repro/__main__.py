@@ -1,0 +1,71 @@
+"""Top-level command-line interface: ``python -m repro <experiment>``.
+
+Dispatches to the experiment harnesses of :mod:`repro.experiments`; every
+experiment accepts ``--ns``, ``--trials``, ``--seed``, and ``--paper``
+(full paper scale).  ``python -m repro all`` runs every experiment at its
+default scale and prints all the paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    bounded_space,
+    extensions,
+    failures,
+    figure1,
+    hybrid,
+    lower_bound,
+    message_passing,
+    mutual_exclusion,
+    renewal_race,
+    scaling,
+    unfairness,
+)
+
+EXPERIMENTS = {
+    "figure1": figure1,
+    "scaling": scaling,
+    "lower-bound": lower_bound,
+    "hybrid": hybrid,
+    "bounded-space": bounded_space,
+    "unfairness": unfairness,
+    "renewal-race": renewal_race,
+    "failures": failures,
+    "ablations": ablations,
+    "message-passing": message_passing,
+    "extensions": extensions,
+    "mutual-exclusion": mutual_exclusion,
+}
+
+
+def _usage() -> str:
+    names = "\n  ".join(sorted(EXPERIMENTS))
+    return (f"usage: python -m repro <experiment> [options]\n\n"
+            f"experiments:\n  {names}\n  all\n\n"
+            "common options: --ns N [N ...], --trials T, --seed S, --paper")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_usage())
+        return 0
+    name, rest = argv[0], argv[1:]
+    if name == "all":
+        for key in sorted(EXPERIMENTS):
+            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
+            EXPERIMENTS[key].main(rest)
+        return 0
+    module = EXPERIMENTS.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}\n\n{_usage()}", file=sys.stderr)
+        return 2
+    module.main(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Analysis substrate: renewal-race theory (Section 6) and statistics.
+
+* :mod:`repro.analysis.renewal` — the paper's termination argument is a
+  race between delayed renewal processes; this module simulates that race
+  directly (independently of the consensus algorithm) and computes the
+  Lemma-5/Lemma-6 quantities exactly, validating Theorem 10 and
+  Corollary 11 in isolation.
+* :mod:`repro.analysis.stats` — mean/CI estimation, a·ln(n)+b fits with R²,
+  and exponential-tail fits used by the experiment harnesses.
+"""
+
+from repro.analysis.renewal import (
+    RaceResult,
+    exactly_one_probability,
+    lemma5_bound,
+    lemma6_critical_time,
+    race_until_lead,
+    simulate_race_rounds,
+)
+from repro.analysis.stats import (
+    FitResult,
+    bootstrap_mean_ci,
+    fit_exponential_tail,
+    fit_log,
+    mean_confidence_interval,
+)
+
+__all__ = [
+    "FitResult",
+    "RaceResult",
+    "bootstrap_mean_ci",
+    "exactly_one_probability",
+    "fit_exponential_tail",
+    "fit_log",
+    "lemma5_bound",
+    "lemma6_critical_time",
+    "mean_confidence_interval",
+    "race_until_lead",
+    "simulate_race_rounds",
+]

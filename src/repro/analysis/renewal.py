@@ -1,0 +1,178 @@
+"""The Section-6 renewal-race abstraction, simulated directly.
+
+The paper reduces lean-consensus termination to a clean probabilistic
+statement: ``n`` delayed renewal processes, with i.i.d. per-round increments
+``X_ij`` plus bounded adversarial delays, race until some process finishes
+round ``r + c`` before any rival finishes round ``r`` (a *lead of c*).
+Theorem 10 / Corollary 11 show the race ends in O(log n) rounds in
+expectation, with an exponential tail.
+
+This module simulates exactly that abstraction — no consensus protocol, no
+shared memory — so the probabilistic engine of the proof can be validated
+independently of the algorithm, and provides exact computations for the
+combinatorial lemmas:
+
+* :func:`lemma5_bound` / :func:`exactly_one_probability` — Lemma 5: if
+  independent events have none-occur probability x, exactly-one occurs with
+  probability at least -x·ln(x).
+* :func:`lemma6_critical_time` — Lemma 6: the critical time t0 at which
+  with probability >= ~0.23 exactly one racer has finished.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noise.distributions import NoiseDistribution
+
+
+def exactly_one_probability(qs: Sequence[float]) -> float:
+    """Exact P[exactly one of independent events A_i occurs].
+
+    ``qs[i]`` is the probability that A_i does *not* occur.  This is the
+    left-hand side of Lemma 5, computed exactly:
+    ``(prod q_i) * sum (1 - q_i) / q_i``.
+    """
+    qs = list(qs)
+    if any(not 0.0 <= q <= 1.0 for q in qs):
+        raise ConfigurationError("probabilities must lie in [0, 1]")
+    if any(q == 0.0 for q in qs):
+        # Some event certainly occurs; exactly-one requires all others off.
+        total = 0.0
+        for i, qi in enumerate(qs):
+            if qi == 0.0:
+                others = 1.0
+                for j, qj in enumerate(qs):
+                    if j != i:
+                        others *= qj
+                total += others
+            # events with qi > 0 contribute 0 here because a q=0 event is on
+        return total if qs.count(0.0) == 1 else 0.0
+    prod = math.prod(qs)
+    return prod * sum((1.0 - q) / q for q in qs)
+
+
+def lemma5_bound(x: float) -> float:
+    """Lemma 5's lower bound -x·ln(x) on the exactly-one probability."""
+    if not 0.0 < x <= 1.0:
+        raise ConfigurationError(f"x must be in (0, 1], got {x}")
+    return -x * math.log(x)
+
+
+def lemma6_critical_time(samples: np.ndarray) -> Optional[float]:
+    """Empirical Lemma-6 critical time from finish-time samples.
+
+    Args:
+        samples: array of shape (trials, n) — per-trial finish times of the
+            n racers at the target round.
+
+    Returns:
+        The smallest time t (over a grid of observed values) at which the
+        empirical probability that *no* racer has finished by t drops to
+        ``exp(-1)`` or below — the paper's t0 — or None if it never does.
+    """
+    trials, _n = samples.shape
+    # No racer finished by t iff the per-trial minimum exceeds t, so the
+    # none-finished probability is the survival function of the minima and
+    # t0 is just their (1 - e^-1) quantile, found on the observed grid.
+    mins = np.sort(samples.min(axis=1))
+    counts = np.arange(1, trials + 1)          # #trials with min <= grid[k]
+    none_prob = 1.0 - counts / trials
+    below = np.nonzero(none_prob <= math.exp(-1))[0]
+    if below.size == 0:
+        return None
+    return float(mins[below[0]])
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one renewal race."""
+
+    #: Round at which the winner achieved the lead (the paper's R).
+    winning_round: int
+    #: Index of the winning racer, or None if all racers died.
+    winner: Optional[int]
+    #: True when the race ended because every racer halted.
+    all_dead: bool
+
+
+def simulate_race_rounds(dist: NoiseDistribution, n: int, c: int,
+                         rng: np.random.Generator,
+                         deltas: Optional[np.ndarray] = None,
+                         starts: Optional[np.ndarray] = None,
+                         h: float = 0.0,
+                         max_rounds: int = 100_000,
+                         block: int = 64) -> RaceResult:
+    """Race ``n`` delayed renewal processes until one leads by ``c`` rounds.
+
+    Process i finishes round j at
+    ``S'_ij = start_i + sum_{k<=j} (delta_ik + X_ik + H_ik)`` with
+    ``H_ik = inf`` w.p. ``h`` (halting).  The race ends at the first round
+    ``R`` such that some racer finishes round ``R + c`` before every rival
+    finishes round ``R`` (Corollary 11's stopping rule), or when every racer
+    has halted.
+
+    Finish times are generated lazily in blocks of ``block`` rounds so the
+    O(log n) typical case stays cheap.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if c < 1:
+        raise ConfigurationError(f"c must be >= 1, got {c}")
+    if n == 1:
+        return RaceResult(winning_round=1, winner=0, all_dead=False)
+
+    starts_arr = np.zeros(n) if starts is None else np.asarray(starts, float)
+    finish = starts_arr[:, None] + np.zeros((n, 0))
+    rounds_have = 0
+    dead_at = np.full(n, np.inf)  # first infinite round per racer
+    if h > 0:
+        # Round at which each racer halts (geometric); inf beyond it.
+        dead_at = rng.geometric(h, size=n).astype(float)
+
+    def extend(upto: int) -> None:
+        nonlocal finish, rounds_have
+        while rounds_have < upto:
+            add = max(block, upto - rounds_have)
+            incs = dist.sample_array(rng, (n, add))
+            if deltas is not None:
+                lo = rounds_have
+                hi = min(rounds_have + add, deltas.shape[1])
+                if hi > lo:
+                    incs[:, : hi - lo] += deltas[:, lo:hi]
+            base = finish[:, -1] if rounds_have else starts_arr
+            new = base[:, None] + np.cumsum(incs, axis=1)
+            finish = np.concatenate([finish, new], axis=1)
+            rounds_have += add
+
+    for r in range(1, max_rounds + 1):
+        extend(r + c)
+        finish_r = finish[:, r - 1].copy()
+        finish_rc = finish[:, r + c - 1].copy()
+        finish_r[dead_at <= r] = np.inf
+        finish_rc[dead_at <= r + c] = np.inf
+        if np.isinf(finish_rc).all():
+            return RaceResult(winning_round=r, winner=None, all_dead=True)
+        lead = np.argmin(finish_rc)
+        rivals = np.delete(finish_r, lead)
+        if finish_rc[lead] < rivals.min():
+            return RaceResult(winning_round=r, winner=int(lead),
+                              all_dead=False)
+    raise ConfigurationError(
+        f"race did not end within {max_rounds} rounds; "
+        "is the distribution admissible?"
+    )
+
+
+def race_until_lead(dist: NoiseDistribution, n: int, c: int, trials: int,
+                    rng: np.random.Generator, h: float = 0.0) -> np.ndarray:
+    """Winning rounds of ``trials`` independent races (Corollary 11's R)."""
+    out = np.empty(trials, dtype=np.int64)
+    for t in range(trials):
+        out[t] = simulate_race_rounds(dist, n, c, rng, h=h).winning_round
+    return out

@@ -1,0 +1,109 @@
+"""Statistics helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FitResult:
+    """A least-squares fit y ~ a·f(x) + b.
+
+    Attributes:
+        a: slope coefficient.
+        b: intercept.
+        r2: coefficient of determination on the fitted points.
+        model: human-readable description of f.
+    """
+
+    a: float
+    b: float
+    r2: float
+    model: str
+
+    def predict(self, x: float) -> float:
+        if self.model == "a*ln(n)+b":
+            return self.a * math.log(x) + self.b
+        if self.model == "a*k+b (log-tail)":
+            return self.a * x + self.b
+        raise ConfigurationError(f"unknown model {self.model!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.model}: a={self.a:.4f} b={self.b:.4f} R^2={self.r2:.4f}"
+
+
+def _least_squares(xs: np.ndarray, ys: np.ndarray) -> Tuple[float, float, float]:
+    if xs.size != ys.size or xs.size < 2:
+        raise ConfigurationError("need >= 2 matching points to fit")
+    a, b = np.polyfit(xs, ys, 1)
+    pred = a * xs + b
+    ss_res = float(np.sum((ys - pred) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(a), float(b), r2
+
+
+def fit_log(ns: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit y = a·ln(n) + b — the Theorem-12 Θ(log n) shape."""
+    xs = np.log(np.asarray(ns, dtype=float))
+    a, b, r2 = _least_squares(xs, np.asarray(ys, dtype=float))
+    return FitResult(a, b, r2, "a*ln(n)+b")
+
+
+def fit_exponential_tail(ks: Sequence[float],
+                         tail_probs: Sequence[float]) -> FitResult:
+    """Fit ln P[R > k] = a·k + b — Corollary 11's exponential tail.
+
+    Zero-probability entries are dropped (they carry no log information).
+    A negative ``a`` confirms the exponential decay.
+    """
+    ks_arr = np.asarray(ks, dtype=float)
+    ps = np.asarray(tail_probs, dtype=float)
+    keep = ps > 0
+    a, b, r2 = _least_squares(ks_arr[keep], np.log(ps[keep]))
+    return FitResult(a, b, r2, "a*k+b (log-tail)")
+
+
+def mean_confidence_interval(xs: Sequence[float],
+                             z: float = 1.96) -> Tuple[float, float]:
+    """(mean, half-width) of a normal-approximation confidence interval."""
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    if arr.size == 1:
+        return float(arr[0]), math.inf
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return float(arr.mean()), half
+
+
+def bootstrap_mean_ci(xs: Sequence[float], rng: np.random.Generator,
+                      n_boot: int = 2000,
+                      level: float = 0.95) -> Tuple[float, float, float]:
+    """Percentile-bootstrap CI for the mean: (mean, lo, hi).
+
+    Preferred over the normal approximation for the heavy-tailed round
+    counts produced by adversarial configurations.
+    """
+    arr = np.asarray(xs, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(arr.mean()), float(lo), float(hi)
+
+
+def tail_probabilities(samples: Sequence[float],
+                       ks: Sequence[float]) -> np.ndarray:
+    """Empirical P[X > k] for each threshold k."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    return np.array([float(np.mean(arr > k)) for k in ks])

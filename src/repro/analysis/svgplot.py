@@ -1,0 +1,142 @@
+"""Minimal dependency-free SVG line plots for experiment results.
+
+Matplotlib is unavailable in the reproduction environment, so this module
+renders the handful of plot shapes the experiments need (log-x line
+series, Figure-1 style) directly as SVG text.  The output is deliberately
+simple: axes, tick labels, one polyline + point markers per series, and a
+legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: A muted qualitative palette (Okabe-Ito), readable on white.
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+           "#E69F00", "#56B4E9", "#000000", "#F0E442")
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def line_plot_svg(series: Dict[str, Sequence[Tuple[float, float]]],
+                  title: str = "",
+                  x_label: str = "n",
+                  y_label: str = "round",
+                  log_x: bool = True,
+                  width: int = 640,
+                  height: int = 420) -> str:
+    """Render named (x, y) series as an SVG document string.
+
+    Args:
+        series: name -> sequence of (x, y) points (x > 0 when ``log_x``).
+        log_x: use a log10 x-axis (the Figure-1 layout).
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ConfigurationError("nothing to plot")
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 36, 44
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    if log_x and min(xs) <= 0:
+        raise ConfigurationError("log-x plot requires positive x values")
+
+    def tx(x: float) -> float:
+        lo, hi = (math.log10(min(xs)), math.log10(max(xs))) if log_x \
+            else (min(xs), max(xs))
+        v = math.log10(x) if log_x else x
+        span = (hi - lo) or 1.0
+        return margin_l + (v - lo) / span * plot_w
+
+    y_lo, y_hi = min(ys), max(ys)
+    y_span = (y_hi - y_lo) or 1.0
+
+    def ty(y: float) -> float:
+        return margin_t + (y_hi - y) / y_span * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{width / 2}" y="20" text-anchor="middle" '
+                     f'font-size="14">{_escape(title)}</text>')
+
+    # Axes.
+    x0, y0 = margin_l, margin_t + plot_h
+    parts.append(f'<line x1="{x0}" y1="{margin_t}" x2="{x0}" y2="{y0}" '
+                 'stroke="black"/>')
+    parts.append(f'<line x1="{x0}" y1="{y0}" x2="{margin_l + plot_w}" '
+                 f'y2="{y0}" stroke="black"/>')
+    parts.append(f'<text x="{margin_l + plot_w / 2}" y="{height - 8}" '
+                 f'text-anchor="middle">{_escape(x_label)}</text>')
+    parts.append(f'<text x="14" y="{margin_t + plot_h / 2}" '
+                 f'text-anchor="middle" transform="rotate(-90 14 '
+                 f'{margin_t + plot_h / 2})">{_escape(y_label)}</text>')
+
+    # X ticks: decades for log, 5 even ticks otherwise.
+    if log_x:
+        lo_dec = math.floor(math.log10(min(xs)))
+        hi_dec = math.ceil(math.log10(max(xs)))
+        tick_xs = [10.0 ** d for d in range(lo_dec, hi_dec + 1)]
+    else:
+        tick_xs = [min(xs) + k * (max(xs) - min(xs)) / 4 for k in range(5)]
+    for tick in tick_xs:
+        px = tx(tick)
+        parts.append(f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" '
+                     f'y2="{y0 + 4}" stroke="black"/>')
+        label = f"{tick:g}"
+        parts.append(f'<text x="{px:.1f}" y="{y0 + 18}" '
+                     f'text-anchor="middle">{label}</text>')
+
+    # Y ticks: 5 even ticks.
+    for k in range(5):
+        val = y_lo + k * y_span / 4
+        py = ty(val)
+        parts.append(f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" '
+                     f'y2="{py:.1f}" stroke="black"/>')
+        parts.append(f'<text x="{x0 - 8}" y="{py + 4:.1f}" '
+                     f'text-anchor="end">{val:.1f}</text>')
+
+    # Series.
+    for idx, (name, pts) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        coords = " ".join(f"{tx(x):.1f},{ty(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in pts:
+            parts.append(f'<circle cx="{tx(x):.1f}" cy="{ty(y):.1f}" '
+                         f'r="3" fill="{color}"/>')
+        ly = margin_t + 14 * idx + 4
+        lx = margin_l + plot_w - 150
+        parts.append(f'<line x1="{lx}" y1="{ly}" x2="{lx + 18}" y2="{ly}" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{lx + 24}" y="{ly + 4}">'
+                     f'{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure1_svg(result) -> str:
+    """Render a :class:`repro.experiments.figure1.Figure1Result` as SVG."""
+    series = {
+        name: [(p.n, p.mean_round) for p in points]
+        for name, points in result.series.items()
+    }
+    return line_plot_svg(
+        series,
+        title="Figure 1 — mean round of first termination "
+              f"({result.trials} trials/point)",
+        x_label="number of processes (log)",
+        y_label="mean round of first termination",
+        log_x=True)

@@ -1,0 +1,66 @@
+"""Protocol state machines: lean-consensus and its relatives.
+
+The primary contribution of the paper is **lean-consensus**
+(:class:`~repro.core.machine.LeanConsensus`): Chandra's PODC'96 racing-counters
+consensus protocol with every randomized component removed.  This package
+also provides:
+
+* the protocol *family* sharing the racing-counters skeleton but differing in
+  their tie rule (:mod:`repro.core.machine`): deterministic (the paper),
+  local random coin (Ben-Or-like), and weak shared coin (Chandra-like);
+* the intentionally unsafe variants used as negative controls for the model
+  checker and as the Section 4 ablation (:mod:`repro.core.variants`);
+* the Section 8 bounded-space combined protocol (:mod:`repro.core.bounded`);
+* execution-level invariant checks mirroring Lemmas 2-4
+  (:mod:`repro.core.invariants`).
+"""
+
+from repro.core.machine import (
+    CoinSource,
+    KeepTie,
+    LeanConsensus,
+    ProcessMachine,
+    RandomCoin,
+    RandomTie,
+    ScriptedCoin,
+    SharedCoinLean,
+    TieRule,
+)
+from repro.core.variants import (
+    ConservativeLean,
+    EagerDecideLean,
+    LagLean,
+    OptimizedLean,
+)
+from repro.core.bounded import BoundedLeanConsensus, suggested_round_cap
+from repro.core.idconsensus import IdConsensus, id_bits
+from repro.core.invariants import (
+    check_agreement,
+    check_decision_gap,
+    check_round_ladder,
+    check_validity,
+)
+
+__all__ = [
+    "BoundedLeanConsensus",
+    "CoinSource",
+    "ConservativeLean",
+    "EagerDecideLean",
+    "IdConsensus",
+    "KeepTie",
+    "LagLean",
+    "LeanConsensus",
+    "OptimizedLean",
+    "ProcessMachine",
+    "RandomCoin",
+    "RandomTie",
+    "ScriptedCoin",
+    "SharedCoinLean",
+    "TieRule",
+    "check_agreement",
+    "check_decision_gap",
+    "check_round_ladder",
+    "check_validity",
+    "id_bits",
+    "suggested_round_cap",
+]

@@ -1,0 +1,160 @@
+"""The Section-8 bounded-space combined protocol.
+
+Run lean-consensus through round ``r_max``; a process that completes round
+``r_max`` without deciding switches to a backup consensus protocol, feeding
+in the preference it held at the cutoff.  Agreement across the boundary
+follows from Lemmas 2 and 4: if any process decided ``b`` at or before some
+round, the rival array is silenced, so *every* process that reaches the
+cutoff holds preference ``b`` — the backup then runs with unanimous inputs
+and its validity property forces the same decision.
+
+With ``r_max = O(log^2 n)`` (Theorem 15) the backup runs with probability at
+most ``n^-c``, so its polynomial cost contributes O(1) to the expectation,
+and the racing arrays use ``O(log^2 n)`` bits.
+
+The backup here is :class:`~repro.core.machine.SharedCoinLean` on its own
+array namespace (see DESIGN.md for the substitution note); any machine
+factory with the validity property can be passed instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.types import Decision, Operation, OpResult
+from repro.core.machine import (
+    CoinSource,
+    LeanConsensus,
+    ProcessMachine,
+    RandomCoin,
+    SharedCoinLean,
+)
+
+#: Prefix of the backup protocol's arrays in shared memory.
+BACKUP_PREFIX = "bk_"
+
+BackupFactory = Callable[[int, int], ProcessMachine]
+
+
+def suggested_round_cap(n: int, safety_factor: float = 4.0) -> int:
+    """The Theorem-15 cutoff r_max = Theta(log^2 n) for ``n`` processes.
+
+    The constant is generous: the simulations of Section 9 terminate well
+    under 2 log2(n) rounds, so ``safety_factor * (log2 n + 1)^2`` makes the
+    backup path astronomically rare while keeping the arrays small.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return max(8, math.ceil(safety_factor * (math.log2(n + 1) + 1) ** 2))
+
+
+def default_backup_factory(coin_rng: np.random.Generator,
+                           round_cap: Optional[int] = None) -> BackupFactory:
+    """Backup factory producing shared-coin machines on the ``bk_`` arrays."""
+
+    def make(pid: int, input_bit: int) -> SharedCoinLean:
+        return SharedCoinLean(pid, input_bit, coin=RandomCoin(coin_rng),
+                              round_cap=round_cap,
+                              array_prefix=BACKUP_PREFIX)
+
+    return make
+
+
+class BoundedLeanConsensus(ProcessMachine):
+    """lean-consensus truncated at ``r_max`` with a backup protocol.
+
+    Args:
+        pid: process id.
+        input_bit: consensus input.
+        round_cap: the cutoff r_max (use :func:`suggested_round_cap`).
+        backup_factory: builds the backup machine from (pid, preference);
+            the produced machine must satisfy validity.
+
+    Attributes:
+        used_backup: True once this process switched to the backup protocol.
+    """
+
+    def __init__(self, pid: int, input_bit: int, round_cap: int,
+                 backup_factory: BackupFactory) -> None:
+        super().__init__(pid, input_bit)
+        if round_cap < 2:
+            raise ProtocolError(
+                f"round_cap must be >= 2 so unanimous runs can finish "
+                f"inside the main phase, got {round_cap}"
+            )
+        self.round_cap = round_cap
+        self._backup_factory = backup_factory
+        self.main = LeanConsensus(pid, input_bit, round_cap=round_cap)
+        self.backup: Optional[ProcessMachine] = None
+        self.used_backup = False
+
+    @staticmethod
+    def required_arrays() -> List[Tuple[str, Optional[int]]]:
+        return (LeanConsensus.required_arrays()
+                + SharedCoinLean.required_arrays(BACKUP_PREFIX))
+
+    @property
+    def _active(self) -> ProcessMachine:
+        return self.backup if self.backup is not None else self.main
+
+    @property
+    def preference(self) -> int:
+        """Current preference of whichever phase is active."""
+        active = self._active
+        return getattr(active, "preference", active.input)
+
+    @property
+    def round(self) -> int:
+        """Round within the active phase (backup rounds restart at 1)."""
+        return getattr(self._active, "round", 0)
+
+    def peek(self) -> Operation:
+        if self.done:
+            raise ProtocolError(f"p{self.pid} is finished; no pending operation")
+        self._maybe_switch()
+        return self._active.peek()
+
+    def apply(self, result: OpResult) -> None:
+        self._maybe_switch()
+        active = self._active
+        active.apply(result)
+        self.ops += 1
+        if active.decision is not None:
+            dec = active.decision
+            self.decision = Decision(dec.value, dec.round, self.ops)
+        elif self.backup is None and self.main.overflowed:
+            self._maybe_switch()
+
+    def _maybe_switch(self) -> None:
+        if self.backup is None and self.main.overflowed:
+            self.backup = self._backup_factory(self.pid, self.main.preference)
+            self.used_backup = True
+            if self.backup.done:  # pathological factory; fail loudly
+                raise ProtocolError("backup machine terminated before starting")
+
+    def max_round_reached(self) -> int:
+        """Largest main-phase round this process entered."""
+        return self.main.round
+
+    def snapshot(self) -> Tuple:
+        return (self.ops, self.halted, self.used_backup,
+                None if self.decision is None else
+                (self.decision.value, self.decision.round, self.decision.ops),
+                self.main.snapshot(),
+                None if self.backup is None else self.backup.snapshot())
+
+    def restore(self, snap: Tuple) -> None:
+        (self.ops, self.halted, self.used_backup, dec,
+         main_snap, backup_snap) = snap
+        self.decision = None if dec is None else Decision(*dec)
+        self.main.restore(main_snap)
+        if backup_snap is None:
+            self.backup = None
+        else:
+            if self.backup is None:
+                self.backup = self._backup_factory(self.pid, self.main.preference)
+            self.backup.restore(backup_snap)

@@ -1,0 +1,229 @@
+"""Id consensus via a tree of binary lean-consensus instances.
+
+Footnote 2 of the paper: "Some authors consider the stronger problem of id
+consensus, in which the decision value is the id of some active process.
+In many cases, id consensus can be solved in a natural way using a
+(lg n)-depth tree of binary consensus protocols."
+
+This module implements that construction.  Ids are ``bits``-bit values;
+the protocol decides the id bit by bit, most significant first, with one
+binary lean-consensus instance per decided prefix (a binary tree of
+instances, each in its own array namespace).
+
+The protocol phases per process:
+
+1. **Announce**: write the candidate id into a single-writer registry slot
+   (``idreg[pid]``).  Every candidate that ever influences an instance is
+   announced first.
+2. **Compete**: while the process's candidate agrees with the decided
+   prefix, propose the candidate's next bit to the prefix's instance.
+3. **Follow**: once the candidate is eliminated, scan the registry for an
+   announced candidate consistent with the decided prefix and propose
+   *that* candidate's next bit.  A consistent candidate always exists:
+   inductively, every decided prefix extends some announced candidate (the
+   winner bit of each instance was proposed on behalf of an announced,
+   consistent candidate, and announcements are never retracted).
+
+**Id validity** (the decided id is some participant's candidate) follows
+from the induction in phase 3; **agreement** and **wait-freedom** are
+inherited from the binary instances — followers keep driving instances, so
+nobody ever waits on another process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.types import Decision, OpKind, Operation, OpResult
+from repro.core.machine import LeanConsensus, ProcessMachine
+
+#: Registry array name; slot pid holds candidate + 1 (0 means empty).
+REGISTRY = "idreg"
+
+
+def id_bits(n_ids: int) -> int:
+    """Number of bits needed to express ids in ``range(n_ids)``."""
+    if n_ids < 1:
+        raise ProtocolError(f"need at least one id, got {n_ids}")
+    return max(1, (n_ids - 1).bit_length())
+
+
+def _namespace(depth: int, prefix: Tuple[int, ...]) -> str:
+    return "id" + str(depth) + "_" + "".join(str(b) for b in prefix) + "_"
+
+
+_PH_ANNOUNCE = 0
+_PH_SCAN = 1
+_PH_STAGE = 2
+
+
+class IdConsensus(ProcessMachine):
+    """Decide on the id of some active process (footnote 2 construction).
+
+    Args:
+        pid: process identifier, also this process's registry slot.
+        candidate: the proposed id (usually the process's own pid).
+        bits: width of the id space (use :func:`id_bits`).
+        n_slots: number of registry slots to scan (the maximum number of
+            participants).
+
+    ``decision.value`` mirrors the low bit of the winning id (the
+    :class:`~repro.types.Decision` record is bit-typed); the full winning
+    id is exposed as :attr:`winner`.
+    """
+
+    def __init__(self, pid: int, candidate: int, bits: int,
+                 n_slots: int) -> None:
+        super().__init__(pid, input_bit=candidate & 1)
+        if bits < 1:
+            raise ProtocolError(f"bits must be >= 1, got {bits}")
+        if not 0 <= candidate < 2 ** bits:
+            raise ProtocolError(
+                f"candidate {candidate} outside {bits}-bit id space")
+        if not 0 <= pid < n_slots:
+            raise ProtocolError(f"pid {pid} outside registry of {n_slots}")
+        self.candidate = candidate
+        self.bits = bits
+        self.n_slots = n_slots
+        #: Bits decided so far, most significant first.
+        self.decided_prefix: List[int] = []
+        #: Whether this process's own candidate is still viable.
+        self.candidate_alive = True
+        #: The decided id, once done.
+        self.decided_id: Optional[int] = None
+        self._phase = _PH_ANNOUNCE
+        self._scan_pos = 0
+        self._followed: Optional[int] = None
+        self._stage: Optional[LeanConsensus] = None
+        self._ns = ""
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def required_arrays(bits: int = 1) -> List[Tuple[str, Optional[int]]]:
+        specs: List[Tuple[str, Optional[int]]] = [(REGISTRY, None)]
+        for depth in range(bits):
+            for prefix_val in range(2 ** depth):
+                prefix = tuple((prefix_val >> (depth - 1 - i)) & 1
+                               for i in range(depth))
+                ns = _namespace(depth, prefix)
+                specs.append((ns + "a0", 1))
+                specs.append((ns + "a1", 1))
+        return specs
+
+    def _bit_of(self, candidate: int, depth: int) -> int:
+        return (candidate >> (self.bits - 1 - depth)) & 1
+
+    def _consistent(self, candidate: int) -> bool:
+        for d, bit in enumerate(self.decided_prefix):
+            if self._bit_of(candidate, d) != bit:
+                return False
+        return True
+
+    def _start_stage(self, proposal: int) -> None:
+        depth = len(self.decided_prefix)
+        self._stage = LeanConsensus(self.pid, proposal)
+        self._ns = _namespace(depth, tuple(self.decided_prefix))
+        self._phase = _PH_STAGE
+
+    def _enter_next_level(self) -> None:
+        """After a bit is decided: compete, or scan for a sponsor."""
+        depth = len(self.decided_prefix)
+        if self.candidate_alive:
+            self._start_stage(self._bit_of(self.candidate, depth))
+        else:
+            self._phase = _PH_SCAN
+            self._scan_pos = 0
+            self._followed = None
+
+    # -- machine interface ---------------------------------------------------
+
+    def peek(self) -> Operation:
+        if self.done:
+            raise ProtocolError(f"p{self.pid} is finished; no pending operation")
+        if self._phase == _PH_ANNOUNCE:
+            return Operation(OpKind.WRITE, REGISTRY, self.pid,
+                             self.candidate + 1)
+        if self._phase == _PH_SCAN:
+            return Operation(OpKind.READ, REGISTRY, self._scan_pos)
+        inner = self._stage.peek()
+        return Operation(inner.kind, self._ns + inner.array, inner.index,
+                         inner.value)
+
+    def apply(self, result: OpResult) -> None:
+        expected = self.peek()
+        if result.op != expected:
+            raise ProtocolError(
+                f"p{self.pid}: applied result for {result.op}, "
+                f"expected {expected}")
+        self.ops += 1
+        if self._phase == _PH_ANNOUNCE:
+            self._phase = _PH_STAGE
+            self._start_stage(self._bit_of(self.candidate, 0))
+            return
+        if self._phase == _PH_SCAN:
+            self._apply_scan(result.value)
+            return
+        inner = self._stage.peek()
+        self._stage.apply(OpResult(inner, result.value))
+        if self._stage.decision is not None:
+            self._apply_decided_bit(self._stage.decision.value)
+
+    def _apply_scan(self, raw: int) -> None:
+        if raw != 0:
+            candidate = raw - 1
+            if self._consistent(candidate) and self._followed is None:
+                self._followed = candidate
+        self._scan_pos += 1
+        if self._scan_pos >= self.n_slots:
+            if self._followed is None:
+                # Unreachable if the induction holds; fail loudly rather
+                # than silently electing a phantom id.
+                raise ProtocolError(
+                    f"p{self.pid}: no announced candidate matches decided "
+                    f"prefix {self.decided_prefix}")
+            depth = len(self.decided_prefix)
+            self._start_stage(self._bit_of(self._followed, depth))
+
+    def _apply_decided_bit(self, bit: int) -> None:
+        depth = len(self.decided_prefix)
+        if self.candidate_alive and bit != self._bit_of(self.candidate, depth):
+            self.candidate_alive = False
+        self.decided_prefix.append(bit)
+        self._stage = None
+        if len(self.decided_prefix) == self.bits:
+            winner = 0
+            for b in self.decided_prefix:
+                winner = (winner << 1) | b
+            self.decided_id = winner
+            self.decision = Decision(winner & 1, 0, self.ops)
+        else:
+            self._enter_next_level()
+
+    @property
+    def winner(self) -> Optional[int]:
+        return self.decided_id
+
+    def snapshot(self) -> Tuple:
+        return (self.candidate, self.bits, self.n_slots,
+                tuple(self.decided_prefix), self.candidate_alive,
+                self.decided_id, self._phase, self._scan_pos,
+                self._followed, self.ops, self.halted,
+                None if self.decision is None else
+                (self.decision.value, self.decision.round, self.decision.ops),
+                None if self._stage is None else self._stage.snapshot(),
+                self._ns)
+
+    def restore(self, snap: Tuple) -> None:
+        (self.candidate, self.bits, self.n_slots, prefix,
+         self.candidate_alive, self.decided_id, self._phase, self._scan_pos,
+         self._followed, self.ops, self.halted, dec, stage_snap,
+         self._ns) = snap
+        self.decided_prefix = list(prefix)
+        self.decision = None if dec is None else Decision(*dec)
+        if stage_snap is None:
+            self._stage = None
+        else:
+            self._stage = LeanConsensus(self.pid, 0)
+            self._stage.restore(stage_snap)

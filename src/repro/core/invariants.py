@@ -1,0 +1,129 @@
+"""Executable forms of the paper's correctness properties.
+
+These functions check *executions* (decisions, final memory images, and
+recorded histories) against the consensus specification (Section 2) and the
+structural lemmas of Section 5:
+
+* agreement — all decisions carry the same bit;
+* validity — with unanimous inputs, the common input is the only decision;
+* decision gap (Lemma 4b) — all decision rounds lie within one round of the
+  earliest decision;
+* round ladder (Lemma 2) — a racing array is only ever marked at index r if
+  it is marked at r-1; equivalently the set of marked indices is a prefix.
+
+They raise :class:`~repro.errors.InvariantViolation` with a structured
+witness, so tests and the model checker can report precise counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.errors import InvariantViolation
+from repro.memory.registers import SharedMemory
+from repro.types import Decision
+
+
+def check_agreement(decisions: Mapping[int, Decision]) -> None:
+    """All non-faulty processes decide on the same bit.
+
+    Args:
+        decisions: map from pid to that process's decision (faulty or
+            undecided processes simply absent).
+
+    Raises:
+        InvariantViolation: naming two processes that decided differently.
+    """
+    seen: dict[int, int] = {}
+    for pid, dec in decisions.items():
+        seen.setdefault(dec.value, pid)
+    if len(seen) > 1:
+        (b0, p0), (b1, p1) = sorted(seen.items())[:2]
+        raise InvariantViolation(
+            f"agreement violated: p{p0} decided {b0} but p{p1} decided {b1}",
+            witness={"decisions": dict(decisions)},
+        )
+
+
+def check_validity(inputs: Mapping[int, int],
+                   decisions: Mapping[int, Decision]) -> None:
+    """If all inputs are equal, every decision must equal that input."""
+    input_values = set(inputs.values())
+    if len(input_values) != 1:
+        return
+    (common,) = input_values
+    for pid, dec in decisions.items():
+        if dec.value != common:
+            raise InvariantViolation(
+                f"validity violated: unanimous input {common} but "
+                f"p{pid} decided {dec.value}",
+                witness={"inputs": dict(inputs), "decisions": dict(decisions)},
+            )
+
+
+def check_decision_gap(decisions: Mapping[int, Decision],
+                       max_gap: int = 1) -> None:
+    """Lemma 4(b): every process decides at or before round r + 1.
+
+    If some process decides at round r, all decisions happen by round r+1,
+    so the spread of decision rounds is at most ``max_gap``.
+    """
+    rounds = [d.round for d in decisions.values() if d.round > 0]
+    if len(rounds) >= 2 and max(rounds) - min(rounds) > max_gap:
+        raise InvariantViolation(
+            f"decision rounds spread {min(rounds)}..{max(rounds)} exceeds "
+            f"allowed gap {max_gap}",
+            witness={"decisions": dict(decisions)},
+        )
+
+
+def check_round_ladder(memory: SharedMemory,
+                       arrays: Sequence[str] = ("a0", "a1")) -> None:
+    """Lemma 2: marked indices of each racing array form a prefix from 1.
+
+    Verified on the final memory image: if index r > 1 holds a 1, index r-1
+    must hold a 1 as well (index 0 is the read-only prefix).
+    """
+    for name in arrays:
+        arr = memory.array(name)
+        marked = {i for i, v in arr.items() if v == 1 and i >= 1}
+        for r in marked:
+            if r > 1 and (r - 1) not in marked:
+                raise InvariantViolation(
+                    f"round ladder violated: {name}[{r}] set but "
+                    f"{name}[{r - 1}] is not",
+                    witness={"array": name, "marked": sorted(marked)},
+                )
+
+
+def check_decided_round_silenced(memory: SharedMemory,
+                                 decisions: Mapping[int, Decision]) -> None:
+    """Lemma 4(a): a decision of b at round r implies a_{1-b}[r] is never set.
+
+    Checked on the final memory image, which is conclusive because the check
+    runs after all processes have finished.
+    """
+    for pid, dec in decisions.items():
+        if dec.round <= 0:
+            continue
+        rival = memory.array("a1" if dec.value == 0 else "a0")
+        if rival.read(dec.round) == 1:
+            raise InvariantViolation(
+                f"p{pid} decided {dec.value} at round {dec.round} but the "
+                f"rival array is marked at that round",
+                witness={"pid": pid, "decision": dec},
+            )
+
+
+def check_all(inputs: Mapping[int, int],
+              decisions: Mapping[int, Decision],
+              memory: Optional[SharedMemory] = None,
+              ladder_arrays: Sequence[str] = ("a0", "a1"),
+              max_gap: int = 1) -> None:
+    """Run every applicable invariant check in one call."""
+    check_agreement(decisions)
+    check_validity(inputs, decisions)
+    check_decision_gap(decisions, max_gap=max_gap)
+    if memory is not None:
+        check_round_ladder(memory, ladder_arrays)
+        check_decided_round_silenced(memory, decisions)

@@ -1,0 +1,468 @@
+"""The lean-consensus state machine and its tie-rule family.
+
+lean-consensus (paper, Section 4).  Each process holds a preference ``p``
+and a round number ``r`` (starting at 1) and repeats four operations per
+round, in this exact order:
+
+1. read ``a0[r]``;
+2. read ``a1[r]``; if exactly one of the two values is 1, set ``p`` to the
+   corresponding bit (a process that has "fallen behind" adopts the winning
+   team's preference);
+3. write 1 to ``a_p[r]``;
+4. read ``a_{1-p}[r-1]``; if it is 0, **decide** ``p``; otherwise move on to
+   round ``r + 1``.
+
+Both arrays are zero-initialized with an effectively read-only 1 at index 0.
+The paper stresses that the sequence is exactly two reads, a write, and a
+read in *every* round, and warns against "optimizing" away apparently
+superfluous operations (the optimized variant lives in
+:mod:`repro.core.variants` and is benchmarked by the ablation experiments).
+
+The safety argument (Lemmas 2-4) never inspects *how* a process chooses its
+preference when it observes a tie (both or neither of ``a0[r]``/``a1[r]``
+set) — it only requires the forced adoption in the one-sided case.  This
+module therefore exposes the tie behaviour as a strategy object
+(:class:`TieRule`); instantiations give:
+
+* :class:`KeepTie` — keep the current preference: **lean-consensus**, fully
+  deterministic, the paper's protocol;
+* :class:`RandomTie` — flip a local coin: a Ben-Or-flavoured randomized
+  baseline;
+* :class:`SharedCoinLean` — a subclass that on a tie runs a weak shared coin
+  built from two extra multi-writer bit arrays: a simplified stand-in for
+  Chandra's protocol, also used as the Section-8 backup.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.types import Decision, Operation, OpResult, array_for, read, write
+
+
+class CoinSource(abc.ABC):
+    """A source of coin flips, abstracted so executions are replayable.
+
+    The model checker enumerates both outcomes of every flip; simulations
+    use :class:`RandomCoin`.
+    """
+
+    @abc.abstractmethod
+    def flip(self) -> int:
+        """Return 0 or 1."""
+
+
+class RandomCoin(CoinSource):
+    """Fair coin driven by a numpy generator."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def flip(self) -> int:
+        return int(self._rng.integers(0, 2))
+
+
+class ScriptedCoin(CoinSource):
+    """Replays a fixed sequence of outcomes (cycling); for tests/modelcheck."""
+
+    def __init__(self, script: Sequence[int]) -> None:
+        if not script:
+            raise ValueError("script must be non-empty")
+        if any(b not in (0, 1) for b in script):
+            raise ValueError("script must contain bits")
+        self._script = list(script)
+        self._pos = 0
+        #: Number of flips consumed so far.
+        self.flips = 0
+
+    def flip(self) -> int:
+        bit = self._script[self._pos % len(self._script)]
+        self._pos += 1
+        self.flips += 1
+        return bit
+
+
+class TieRule(abc.ABC):
+    """Preference policy when a round-start read observes a tie.
+
+    A *tie* means ``a0[r]`` and ``a1[r]`` were both 0 or both 1 in steps 1-2.
+    Returning the current preference makes the protocol deterministic.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "tie"
+
+    @abc.abstractmethod
+    def resolve(self, current_preference: int, v0: int, v1: int) -> int:
+        """Return the preference to use for this round."""
+
+
+class KeepTie(TieRule):
+    """Keep the current preference — the lean-consensus rule."""
+
+    name = "keep"
+
+    def resolve(self, current_preference: int, v0: int, v1: int) -> int:
+        return current_preference
+
+
+class RandomTie(TieRule):
+    """Flip a local coin on a *contended* tie (both bits set).
+
+    On an empty tie (neither bit set) the process keeps its preference —
+    flipping there would violate validity, since a lone-input execution
+    always starts with an empty tie at round 1.
+    """
+
+    name = "local-coin"
+
+    def __init__(self, coin: CoinSource) -> None:
+        self.coin = coin
+
+    def resolve(self, current_preference: int, v0: int, v1: int) -> int:
+        if v0 == 1 and v1 == 1:
+            return self.coin.flip()
+        return current_preference
+
+
+class ProcessMachine(abc.ABC):
+    """A protocol participant, expressed as an explicit state machine.
+
+    Drive it with::
+
+        while not machine.done:
+            result = memory.execute(machine.peek(), pid=machine.pid)
+            machine.apply(result)
+
+    Exactly one shared-memory operation happens per iteration, which is what
+    makes the interleaving model exact.
+    """
+
+    def __init__(self, pid: int, input_bit: int) -> None:
+        if input_bit not in (0, 1):
+            raise ProtocolError(f"input must be a bit, got {input_bit!r}")
+        self.pid = pid
+        self.input = input_bit
+        #: The decision, once made.
+        self.decision: Optional[Decision] = None
+        #: Count of operations applied so far.
+        self.ops = 0
+        #: Set True by failure injection; a halted process issues no ops.
+        self.halted = False
+
+    @property
+    def done(self) -> bool:
+        """True when the process will issue no further operations."""
+        return self.decision is not None or self.halted
+
+    @property
+    def decided_value(self) -> Optional[int]:
+        return None if self.decision is None else self.decision.value
+
+    @abc.abstractmethod
+    def peek(self) -> Operation:
+        """The next operation this process will perform (pure)."""
+
+    @abc.abstractmethod
+    def apply(self, result: OpResult) -> None:
+        """Consume the result of the operation returned by :meth:`peek`."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> Tuple:
+        """Hashable image of the full control state (for model checking)."""
+
+    @abc.abstractmethod
+    def restore(self, snap: Tuple) -> None:
+        """Restore control state from a :meth:`snapshot` image."""
+
+    def _check_result(self, result: OpResult) -> None:
+        expected = self.peek()
+        if result.op != expected:
+            raise ProtocolError(
+                f"p{self.pid}: applied result for {result.op}, "
+                f"but pending operation is {expected}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "decided" if self.decision else ("halted" if self.halted else "running")
+        return f"<{type(self).__name__} p{self.pid} {state} ops={self.ops}>"
+
+
+# Step indices within a round (names follow the paper's step numbering).
+_READ_A0 = 0     # step 1 first half: read a0[r]
+_READ_A1 = 1     # step 1 second half: read a1[r], then maybe adopt
+_WRITE_PREF = 2  # step 2: write 1 to a_p[r]
+_READ_BEHIND = 3  # step 3: read a_{1-p}[r-1]; 0 => decide
+
+
+class LeanConsensus(ProcessMachine):
+    """The paper's protocol (with a pluggable tie rule; default = paper).
+
+    Args:
+        pid: process identifier (only used for attribution in traces).
+        input_bit: the process's input.
+        tie_rule: preference policy on ties; default :class:`KeepTie`,
+            which *is* lean-consensus.  Any tie rule preserves safety
+            (see the module docstring); non-default rules exist as
+            baselines.
+        round_cap: optional maximum round, for the Section 8 bounded
+            construction.  On completing round ``round_cap`` without a
+            decision the machine raises its :attr:`overflowed` flag and
+            stops issuing operations; the combined protocol then feeds
+            :attr:`preference` into the backup protocol.
+
+    Attributes:
+        preference: the current preferred bit ``p``.
+        round: the current round ``r`` (1-based).
+        preference_changes: number of times the adoption rule fired.
+    """
+
+    #: Operations per round, fixed by the protocol (2 reads, write, read).
+    OPS_PER_ROUND = 4
+
+    def __init__(self, pid: int, input_bit: int,
+                 tie_rule: Optional[TieRule] = None,
+                 round_cap: Optional[int] = None) -> None:
+        super().__init__(pid, input_bit)
+        self.tie_rule = tie_rule if tie_rule is not None else KeepTie()
+        self.round_cap = round_cap
+        self.preference = input_bit
+        self.round = 1
+        self.step = _READ_A0
+        self._v0: Optional[int] = None
+        self.preference_changes = 0
+        #: True when round_cap was exhausted without a decision.
+        self.overflowed = False
+
+    # -- memory layout -------------------------------------------------
+
+    @staticmethod
+    def required_arrays() -> List[Tuple[str, Optional[int]]]:
+        """``(name, prefix_value)`` pairs this protocol needs in memory."""
+        return [("a0", 1), ("a1", 1)]
+
+    # -- state machine --------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.decision is not None or self.halted or self.overflowed
+
+    def peek(self) -> Operation:
+        if self.done:
+            raise ProtocolError(f"p{self.pid} is finished; no pending operation")
+        r, p = self.round, self.preference
+        if self.step == _READ_A0:
+            return read("a0", r)
+        if self.step == _READ_A1:
+            return read("a1", r)
+        if self.step == _WRITE_PREF:
+            return write(array_for(p), r, 1)
+        return read(array_for(1 - p), r - 1)
+
+    def apply(self, result: OpResult) -> None:
+        self._check_result(result)
+        self.ops += 1
+        if self.step == _READ_A0:
+            self._v0 = result.value
+            self.step = _READ_A1
+        elif self.step == _READ_A1:
+            self._adopt(self._v0, result.value)  # type: ignore[arg-type]
+            self._v0 = None
+            self.step = _WRITE_PREF
+        elif self.step == _WRITE_PREF:
+            self.step = _READ_BEHIND
+        else:  # _READ_BEHIND
+            if result.value == 0:
+                self.decision = Decision(self.preference, self.round, self.ops)
+            else:
+                self._advance_round()
+
+    def _adopt(self, v0: int, v1: int) -> None:
+        """The step-1 preference rule: forced adoption, else the tie rule."""
+        if v0 == 1 and v1 == 0:
+            new_pref = 0
+        elif v1 == 1 and v0 == 0:
+            new_pref = 1
+        else:
+            new_pref = self.tie_rule.resolve(self.preference, v0, v1)
+        if new_pref != self.preference:
+            self.preference_changes += 1
+            self.preference = new_pref
+
+    def _advance_round(self) -> None:
+        if self.round_cap is not None and self.round >= self.round_cap:
+            self.overflowed = True
+            return
+        self.round += 1
+        self.step = _READ_A0
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        return (self.preference, self.round, self.step, self._v0,
+                self.ops, self.preference_changes,
+                None if self.decision is None else
+                (self.decision.value, self.decision.round, self.decision.ops),
+                self.halted, self.overflowed)
+
+    def restore(self, snap: Tuple) -> None:
+        (self.preference, self.round, self.step, self._v0,
+         self.ops, self.preference_changes, dec,
+         self.halted, self.overflowed) = snap
+        self.decision = None if dec is None else Decision(*dec)
+
+
+# Extra steps used by the shared-coin subclass.
+_POST_READ_RIVAL = 9  # read a_{1-p}[r] after the round's write
+_COIN_WRITE = 10      # write 1 to c_{flip}[r]
+_COIN_READ_C0 = 11    # read c0[r]
+_COIN_READ_C1 = 12    # read c1[r]
+
+
+class SharedCoinLean(LeanConsensus):
+    """Racing counters plus a weak shared coin on *contended* rounds.
+
+    This is a simplified stand-in for Chandra's protocol — the algorithm
+    lean-consensus was extracted from — and doubles as the backup protocol
+    of the Section 8 bounded-space construction.  Each round is lean's
+    four-step round plus contention detection and (when contended) a coin:
+
+    1-2. read ``a0[r]``, ``a1[r]``; forced adoption exactly as in lean.
+         If the rival bit was already set, the round is *contended*.
+    3.   write 1 to ``a_p[r]``.
+    4.   if contention is not yet established, read ``a_{1-p}[r]`` once
+         more; a 1 means both bits of round r are now set — contended.
+    5.   read ``a_{1-p}[r-1]``; 0 decides ``p`` exactly as in lean.
+    6.   otherwise, if the round was contended, run the weak shared coin
+         for the *next* round's preference: flip a local coin ``b``, write
+         1 to ``c_b[r]``, read ``c0[r]`` and ``c1[r]``; adopt the uniquely
+         set bit, or keep the local flip on a coin tie.
+
+    Safety: a coin adoption of bit ``b`` happens only when ``a_b[r]`` has
+    been *observed* set, so the Lemma-2 round ladder is preserved, and the
+    forced-adoption rule at the next round start can always override the
+    coin — the Lemma-4 agreement argument goes through verbatim.  Validity
+    holds because unanimous executions never mark the rival array, so no
+    round is ever contended.
+
+    Liveness: unlike a coin fired on round-*start* ties (which a
+    read-read-write-read lockstep never observes as contended), the
+    post-write detection sees contention in every schedule in which both
+    teams are active at the same round; each contended round then gives the
+    tied processes a constant probability of adopting a common preference,
+    after which they decide two rounds later.  This is what lets the
+    Section-8 construction escape schedules that stall lean-consensus
+    forever (see ``examples/why_noise_matters.py``).
+
+    The arrays may be renamed via ``array_prefix`` so several instances (or
+    the main/backup pair of the combined protocol) can coexist in one
+    memory.
+    """
+
+    def __init__(self, pid: int, input_bit: int, coin: CoinSource,
+                 round_cap: Optional[int] = None,
+                 array_prefix: str = "") -> None:
+        super().__init__(pid, input_bit, tie_rule=KeepTie(), round_cap=round_cap)
+        self.coin = coin
+        self.prefix = array_prefix
+        self._flip: Optional[int] = None
+        self._c0: Optional[int] = None
+        self._contended = False
+        #: Number of shared-coin invocations.
+        self.coin_uses = 0
+
+    def _arr(self, base: str) -> str:
+        return self.prefix + base
+
+    @staticmethod
+    def required_arrays(array_prefix: str = "") -> List[Tuple[str, Optional[int]]]:
+        return [(array_prefix + "a0", 1), (array_prefix + "a1", 1),
+                (array_prefix + "c0", None), (array_prefix + "c1", None)]
+
+    def peek(self) -> Operation:
+        if self.done:
+            raise ProtocolError(f"p{self.pid} is finished; no pending operation")
+        r, p = self.round, self.preference
+        if self.step == _READ_A0:
+            return read(self._arr("a0"), r)
+        if self.step == _READ_A1:
+            return read(self._arr("a1"), r)
+        if self.step == _WRITE_PREF:
+            return write(self._arr(array_for(p)), r, 1)
+        if self.step == _POST_READ_RIVAL:
+            return read(self._arr(array_for(1 - p)), r)
+        if self.step == _COIN_WRITE:
+            return write(self._arr(f"c{self._flip}"), r, 1)
+        if self.step == _COIN_READ_C0:
+            return read(self._arr("c0"), r)
+        if self.step == _COIN_READ_C1:
+            return read(self._arr("c1"), r)
+        return read(self._arr(array_for(1 - p)), r - 1)
+
+    def apply(self, result: OpResult) -> None:
+        self._check_result(result)
+        self.ops += 1
+        if self.step == _READ_A0:
+            self._v0 = result.value
+            self.step = _READ_A1
+        elif self.step == _READ_A1:
+            v0, v1 = self._v0, result.value
+            self._v0 = None
+            if v0 == 1 and v1 == 0:
+                self._set_pref(0)
+            elif v1 == 1 and v0 == 0:
+                self._set_pref(1)
+            # Rival bit set at round start => contended round.
+            self._contended = (v0, v1)[1 - self.preference] == 1
+            self.step = _WRITE_PREF
+        elif self.step == _WRITE_PREF:
+            self.step = _READ_BEHIND if self._contended else _POST_READ_RIVAL
+        elif self.step == _POST_READ_RIVAL:
+            self._contended = result.value == 1
+            self.step = _READ_BEHIND
+        elif self.step == _READ_BEHIND:
+            if result.value == 0:
+                self.decision = Decision(self.preference, self.round, self.ops)
+            elif self._contended:
+                self.coin_uses += 1
+                self._flip = self.coin.flip()
+                self.step = _COIN_WRITE
+            else:
+                self._next_round()
+        elif self.step == _COIN_WRITE:
+            self.step = _COIN_READ_C0
+        elif self.step == _COIN_READ_C0:
+            self._c0 = result.value
+            self.step = _COIN_READ_C1
+        else:  # _COIN_READ_C1
+            c0, c1 = self._c0, result.value
+            self._c0 = None
+            if c0 == 1 and c1 == 0:
+                self._set_pref(0)
+            elif c1 == 1 and c0 == 0:
+                self._set_pref(1)
+            else:
+                self._set_pref(self._flip)  # type: ignore[arg-type]
+            self._flip = None
+            self._next_round()
+
+    def _next_round(self) -> None:
+        self._contended = False
+        self._advance_round()
+
+    def _set_pref(self, bit: int) -> None:
+        if bit != self.preference:
+            self.preference_changes += 1
+            self.preference = bit
+
+    def snapshot(self) -> Tuple:
+        return super().snapshot() + (self._flip, self._c0, self._contended,
+                                     self.coin_uses)
+
+    def restore(self, snap: Tuple) -> None:
+        super().restore(snap[:-4])
+        self._flip, self._c0, self._contended, self.coin_uses = snap[-4:]

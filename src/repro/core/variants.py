@@ -1,0 +1,160 @@
+"""Protocol variants used for ablations and negative controls.
+
+* :class:`OptimizedLean` implements the "tempting optimization" the paper
+  warns about in Section 4 — eliding the write when the target bit is known
+  to be set, and eliding the final read when its value can be deduced from
+  the round-start reads.  It is *safe* (the elisions are justified by
+  Lemma 2) but, as the paper argues, it speeds up exactly the processes one
+  wants to fall behind, so it terminates more slowly.  The ablation
+  experiment EXP-ABL1 quantifies this.
+
+* :class:`EagerDecideLean` decides one round too early (it checks
+  ``a_{1-p}[r]`` instead of ``a_{1-p}[r-1]``).  It is **intentionally
+  unsafe**: there are interleavings in which two processes decide different
+  values.  The model checker and the property tests must find such a
+  counterexample — this is the library's negative control that the safety
+  checking machinery actually works.
+
+* :class:`ConservativeLean` decides one round later (checks
+  ``a_{1-p}[r-2]``).  Safe for any lag >= 1 by the same argument as the
+  paper's protocol; used to ablate the decision lead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.types import Decision, Operation, OpResult, array_for, read
+from repro.core.machine import LeanConsensus, TieRule
+
+_READ_A0 = 0
+_READ_A1 = 1
+_WRITE_PREF = 2
+_READ_BEHIND = 3
+
+
+class LagLean(LeanConsensus):
+    """lean-consensus with a configurable decision lag.
+
+    The final read of round ``r`` targets ``a_{1-p}[r - lag]`` (clamped at
+    index 0, whose read-only 1 simply forbids deciding in the first ``lag``
+    rounds).  ``lag=1`` is the paper's protocol; ``lag >= 1`` is safe;
+    ``lag=0`` is :class:`EagerDecideLean` and is not.
+    """
+
+    def __init__(self, pid: int, input_bit: int, lag: int = 1,
+                 tie_rule: Optional[TieRule] = None,
+                 round_cap: Optional[int] = None) -> None:
+        if lag < 0:
+            raise ProtocolError(f"lag must be >= 0, got {lag}")
+        super().__init__(pid, input_bit, tie_rule=tie_rule, round_cap=round_cap)
+        self.lag = lag
+
+    def peek(self) -> Operation:
+        if self.step == _READ_BEHIND and not self.done:
+            return read(array_for(1 - self.preference),
+                        max(self.round - self.lag, 0))
+        return super().peek()
+
+    def snapshot(self) -> Tuple:
+        return super().snapshot() + (self.lag,)
+
+    def restore(self, snap: Tuple) -> None:
+        super().restore(snap[:-1])
+        self.lag = snap[-1]
+
+
+class EagerDecideLean(LagLean):
+    """UNSAFE: decides on a one-round lead.  Negative control only."""
+
+    def __init__(self, pid: int, input_bit: int,
+                 tie_rule: Optional[TieRule] = None,
+                 round_cap: Optional[int] = None) -> None:
+        super().__init__(pid, input_bit, lag=0, tie_rule=tie_rule,
+                         round_cap=round_cap)
+
+
+class ConservativeLean(LagLean):
+    """Safe variant that requires a one-round-larger lead to decide."""
+
+    def __init__(self, pid: int, input_bit: int,
+                 tie_rule: Optional[TieRule] = None,
+                 round_cap: Optional[int] = None) -> None:
+        super().__init__(pid, input_bit, lag=2, tie_rule=tie_rule,
+                         round_cap=round_cap)
+
+
+class OptimizedLean(LeanConsensus):
+    """The Section-4 "optimization" the paper recommends against.
+
+    Elisions relative to the canonical protocol, both justified by Lemma 2:
+
+    * if the round-start reads show ``a_p[r] = 1`` (after preference
+      adoption), skip the write — the bit is already set;
+    * if the round-start reads show ``a_{1-p}[r] = 1``, skip the final read —
+      ``a_{1-p}[r]`` set implies ``a_{1-p}[r-1]`` set, so the read would
+      return 1 and no decision is possible this round.
+
+    Both elisions only ever fire for processes that are *behind*, which is
+    exactly why the paper keeps the "superfluous" operations: eliding speeds
+    up laggards and prolongs the race.  Agreement and validity still hold.
+    """
+
+    def __init__(self, pid: int, input_bit: int,
+                 tie_rule: Optional[TieRule] = None,
+                 round_cap: Optional[int] = None) -> None:
+        super().__init__(pid, input_bit, tie_rule=tie_rule, round_cap=round_cap)
+        self._skip_final_read = False
+        #: Operations saved by the two elisions (for the ablation report).
+        self.elided_writes = 0
+        self.elided_reads = 0
+
+    def apply(self, result: OpResult) -> None:
+        self._check_result(result)
+        self.ops += 1
+        if self.step == _READ_A0:
+            self._v0 = result.value
+            self.step = _READ_A1
+        elif self.step == _READ_A1:
+            self._handle_round_start(self._v0, result.value)  # type: ignore[arg-type]
+            self._v0 = None
+        elif self.step == _WRITE_PREF:
+            if self._skip_final_read:
+                self.elided_reads += 1
+                self._next_round()
+            else:
+                self.step = _READ_BEHIND
+        else:  # _READ_BEHIND
+            if result.value == 0:
+                self.decision = Decision(self.preference, self.round, self.ops)
+            else:
+                self._next_round()
+
+    def _handle_round_start(self, v0: int, v1: int) -> None:
+        self._adopt(v0, v1)
+        vals = (v0, v1)
+        own_set = vals[self.preference] == 1
+        rival_set = vals[1 - self.preference] == 1
+        self._skip_final_read = rival_set
+        if own_set and rival_set:
+            self.elided_writes += 1
+            self.elided_reads += 1
+            self._next_round()
+        elif own_set:
+            self.elided_writes += 1
+            self.step = _READ_BEHIND
+        else:
+            self.step = _WRITE_PREF
+
+    def _next_round(self) -> None:
+        self._skip_final_read = False
+        self._advance_round()
+
+    def snapshot(self) -> Tuple:
+        return super().snapshot() + (self._skip_final_read,
+                                     self.elided_writes, self.elided_reads)
+
+    def restore(self, snap: Tuple) -> None:
+        super().restore(snap[:-3])
+        self._skip_final_read, self.elided_writes, self.elided_reads = snap[-3:]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, scheduler, or model was configured inconsistently."""
+
+
+class DistributionError(ConfigurationError):
+    """A noise distribution violates the model's requirements.
+
+    Section 3.1 of the paper requires noise distributions to produce only
+    non-negative values and to not be concentrated on a single point.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine was driven incorrectly.
+
+    Raised, for example, when ``apply`` is called with a result that does not
+    match the pending operation, or when a decided process is asked for
+    another operation.
+    """
+
+
+class MemoryError_(ReproError):
+    """An illegal shared-memory access (e.g. writing a read-only location)."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was asked to do something inconsistent with its model."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class InvariantViolation(ReproError):
+    """A checked correctness invariant (agreement, validity, ...) failed.
+
+    These are raised by the invariant-checking hooks in the engine and by the
+    model checker; in a correct protocol they indicate a bug in the protocol
+    implementation (or, for the intentionally unsafe variants shipped for
+    ablation, the expected counterexample).
+    """
+
+    def __init__(self, message: str, witness: object = None) -> None:
+        super().__init__(message)
+        #: Arbitrary structured data describing the failure (e.g. a trace).
+        self.witness = witness
+
+
+class ModelCheckError(ReproError):
+    """The model checker exceeded its configured state or depth budget."""

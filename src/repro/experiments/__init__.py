@@ -1,0 +1,62 @@
+"""Experiment harnesses: one module per paper artifact.
+
+Every module follows the same shape:
+
+* a ``run(...) -> *Result`` function (pure library API, seeded, returns
+  dataclasses);
+* a ``format_table(result) -> str`` printer producing the paper-shaped
+  series;
+* a ``main(argv)`` entry point, so each experiment is runnable as
+  ``python -m repro.experiments.<name>``.
+
+Index (see DESIGN.md section 3 for the full mapping):
+
+========  ==========================================  =======================
+Exp id    Paper artifact                              Module
+========  ==========================================  =======================
+EXP-F1    Figure 1                                    ``figure1``
+EXP-T12   Theorem 12 (Θ(log n) + exponential tail)    ``scaling``
+EXP-T13   Theorem 13 (Ω(log n) lower bound)           ``lower_bound``
+EXP-T14   Theorem 14 (hybrid scheduling, <= 12 ops)   ``hybrid``
+EXP-T15   Theorem 15 (bounded space)                  ``bounded_space``
+EXP-T1    Theorem 1 (unfairness)                      ``unfairness``
+EXP-R10   Theorem 10 / Corollary 11 (renewal race)    ``renewal_race``
+EXP-FAIL  Sections 3.1.2 and 10 (failures)            ``failures``
+EXP-ABL*  Design ablations                            ``ablations``
+EXP-MP    Section 10 (message passing, via ABD)       ``message_passing``
+EXP-STAT  Section 10 (statistical adversary)          ``extensions``
+EXP-CONT  Section 10 (memory contention)              ``extensions``
+EXP-ID    Footnote 2 (id consensus)                   ``extensions``
+EXP-MUTEX Section 10 (timing-based mutual exclusion)  ``mutual_exclusion``
+========  ==========================================  =======================
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for discovery)
+    ablations,
+    bounded_space,
+    extensions,
+    failures,
+    figure1,
+    hybrid,
+    lower_bound,
+    message_passing,
+    mutual_exclusion,
+    renewal_race,
+    scaling,
+    unfairness,
+)
+
+__all__ = [
+    "ablations",
+    "bounded_space",
+    "extensions",
+    "failures",
+    "figure1",
+    "hybrid",
+    "lower_bound",
+    "message_passing",
+    "mutual_exclusion",
+    "renewal_race",
+    "scaling",
+    "unfairness",
+]

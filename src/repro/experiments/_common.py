@@ -1,0 +1,79 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: The paper's Figure-1 grid (log-spaced 1 .. 100,000) and trial count.
+PAPER_NS = (1, 10, 100, 1_000, 10_000, 100_000)
+PAPER_TRIALS = 10_000
+
+#: Default (minutes-scale, laptop-friendly) grid used by the benchmarks.
+DEFAULT_NS = (1, 10, 100, 1_000, 10_000)
+DEFAULT_TRIALS = 200
+
+#: Smoke-test scale used by the unit tests.
+SMOKE_NS = (1, 8, 32)
+SMOKE_TRIALS = 12
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table (the experiment printers' common format)."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class CliScale:
+    """Parsed command-line scale options shared by experiment mains."""
+
+    ns: Sequence[int]
+    trials: int
+    seed: int
+
+
+def scale_parser(description: str) -> argparse.ArgumentParser:
+    """Argument parser with the standard --ns/--trials/--seed/--paper flags."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--ns", type=int, nargs="+", default=None,
+                        help="process counts to sweep")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="trials per configuration")
+    parser.add_argument("--seed", type=int, default=2000,
+                        help="root seed (default: 2000, the paper's year)")
+    parser.add_argument("--paper", action="store_true",
+                        help="use the paper's full scale "
+                             "(n up to 100000, 10000 trials; slow)")
+    return parser
+
+
+def parse_scale(parser: argparse.ArgumentParser, argv=None):
+    """Parse args; returns (CliScale, full namespace) for extra options."""
+    args = parser.parse_args(argv)
+    if args.paper:
+        ns = args.ns or PAPER_NS
+        trials = args.trials or PAPER_TRIALS
+    else:
+        ns = args.ns or DEFAULT_NS
+        trials = args.trials or DEFAULT_TRIALS
+    return CliScale(ns=tuple(ns), trials=trials, seed=args.seed), args

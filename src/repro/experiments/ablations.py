@@ -1,0 +1,177 @@
+"""EXP-ABL: design ablations the paper's discussion calls out.
+
+* **ABL1 — the "superfluous operation" optimization (Section 4).**  The
+  paper warns that eliding the apparently redundant write/read speeds up
+  laggards and therefore prolongs the race.  We run the canonical and
+  optimized protocols on matched workloads and compare termination rounds
+  and operation counts.
+* **ABL2 — noise magnitude.**  The Θ(log n) result is
+  distribution-independent but the constants are not: smaller noise
+  variance (relative to the round length) means slower dispersal.  We
+  sweep the σ of the truncated normal and the adversary delay bound M.
+* **ABL3 — decision lag.**  ``lag=1`` is the paper's protocol; ``lag=2``
+  (require a three-round lead) is safe but slower — quantifying why the
+  paper's decision rule reads exactly ``a_{1-p}[r-1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.noise.distributions import (
+    Exponential,
+    NoiseDistribution,
+    TruncatedNormal,
+)
+from repro.sched.delta import RandomDelta
+from repro.sim.runner import run_noisy_trial
+from repro.experiments._common import format_table, parse_scale, scale_parser
+
+
+@dataclass
+class ProtocolRow:
+    protocol: str
+    n: int
+    mean_first_round: float
+    mean_last_round: float
+    mean_total_ops: float
+
+
+@dataclass
+class SigmaRow:
+    sigma: float
+    mean_first_round: float
+
+
+@dataclass
+class DelayRow:
+    bound: float
+    mean_first_round: float
+
+
+@dataclass
+class AblationResult:
+    protocols: List[ProtocolRow]
+    sigmas: List[SigmaRow]
+    delays: List[DelayRow]
+
+
+def compare_protocols(protocols: Sequence[str], n: int, trials: int,
+                      noise: NoiseDistribution,
+                      seed: SeedLike) -> List[ProtocolRow]:
+    """ABL1/ABL3: identical workloads, different protocol variants."""
+    root = make_rng(seed)
+    trial_rngs = spawn(root, trials)
+    rows = []
+    for name in protocols:
+        firsts, lasts, ops = [], [], []
+        for trial_rng in trial_rngs:
+            # Reuse the same trial seed stream across protocols so the
+            # comparison is paired (same noise realizations).
+            sub = np.random.Generator(np.random.PCG64(
+                trial_rng.bit_generator.seed_seq))  # type: ignore[attr-defined]
+            trial = run_noisy_trial(n, noise, seed=sub, protocol=name,
+                                    engine="event")
+            firsts.append(trial.first_decision_round)
+            lasts.append(trial.last_decision_round)
+            ops.append(trial.total_ops)
+        rows.append(ProtocolRow(
+            protocol=name, n=n,
+            mean_first_round=float(np.mean(firsts)),
+            mean_last_round=float(np.mean(lasts)),
+            mean_total_ops=float(np.mean(ops))))
+    return rows
+
+
+def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
+                seed: SeedLike) -> List[SigmaRow]:
+    """ABL2a: termination vs noise spread (truncated normal, mean 1)."""
+    root = make_rng(seed)
+    rows = []
+    for sigma in sigmas:
+        noise = TruncatedNormal(1.0, sigma, 0.0, 2.0)
+        firsts = []
+        for trial_rng in spawn(root, trials):
+            trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                    stop_after_first_decision=True,
+                                    engine="auto")
+            firsts.append(trial.first_decision_round)
+        rows.append(SigmaRow(sigma=sigma,
+                             mean_first_round=float(np.mean(firsts))))
+    return rows
+
+
+def sweep_delay_bound(bounds: Sequence[float], n: int, trials: int,
+                      seed: SeedLike) -> List[DelayRow]:
+    """ABL2b: termination vs the adversary delay bound M.
+
+    Adversarial delays here are oblivious uniform [0, M] per operation;
+    larger M gives the adversary more room but also adds dispersal, so the
+    effect on the race is the interesting part.
+    """
+    root = make_rng(seed)
+    noise = Exponential(1.0)
+    rows = []
+    for bound in bounds:
+        firsts = []
+        for trial_rng in spawn(root, trials):
+            sub = spawn(trial_rng, 2)
+            delta = RandomDelta(bound, sub[0], n=n, max_ops=400)
+            trial = run_noisy_trial(n, noise, seed=sub[1], delta=delta,
+                                    stop_after_first_decision=True,
+                                    engine="event")
+            firsts.append(trial.first_decision_round)
+        rows.append(DelayRow(bound=bound,
+                             mean_first_round=float(np.mean(firsts))))
+    return rows
+
+
+def run(n: int = 64, trials: int = 100,
+        protocols: Sequence[str] = ("lean", "optimized", "conservative",
+                                    "random-tie", "shared-coin"),
+        sigmas: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+        delay_bounds: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+        noise: Optional[NoiseDistribution] = None,
+        seed: SeedLike = 2000) -> AblationResult:
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    seeds = spawn(root, 3)
+    return AblationResult(
+        protocols=compare_protocols(protocols, n, trials, noise, seeds[0]),
+        sigmas=sweep_sigma(sigmas, n, trials, seeds[1]),
+        delays=sweep_delay_bound(delay_bounds, n, max(trials // 2, 20),
+                                 seeds[2]),
+    )
+
+
+def format_result(result: AblationResult) -> str:
+    rows = [(r.protocol, r.n, r.mean_first_round, r.mean_last_round,
+             r.mean_total_ops) for r in result.protocols]
+    out = [format_table(
+        ["protocol", "n", "mean first", "mean last", "mean total ops"],
+        rows, title="EXP-ABL1/ABL3 — protocol variants (paired workloads)")]
+    out.append("")
+    out.append(format_table(
+        ["sigma", "mean first round"],
+        [(r.sigma, r.mean_first_round) for r in result.sigmas],
+        title="EXP-ABL2a — truncated-normal spread"))
+    out.append("")
+    out.append(format_table(
+        ["delay bound M", "mean first round"],
+        [(r.bound, r.mean_first_round) for r in result.delays],
+        title="EXP-ABL2b — adversary delay bound"))
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Design ablations (Section 4 and Section 6).")
+    scale, _ = parse_scale(parser, argv)
+    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,213 @@
+"""EXP-STAT / EXP-CONT / EXP-ID: the remaining Section-10 extensions.
+
+* **EXP-STAT** — the statistical adversary: delays constrained only by
+  sum Delta_ij <= r*M (running average), not per-operation.  The paper
+  conjectures O(log n) termination survives; we measure termination under
+  budget-saving burst schedules and compare with the per-operation-bounded
+  adversary of the core model.
+* **EXP-CONT** — memory contention: each access pays a penalty per recent
+  rival access to the same location.  The paper conjectures contention
+  *helps* (it slows the crowd at congested early-round registers while
+  leaders run ahead on clear ones); we sweep the penalty and watch the
+  mean termination round.
+* **EXP-ID** — id consensus via the footnote-2 tree of binary instances:
+  cost as a function of the id-space width (lg n levels, each O(log n)
+  expected rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.core.idconsensus import IdConsensus, id_bits
+from repro.memory.contention import ContentionMeter, ContentiousScheduler
+from repro.noise.distributions import Exponential, NoiseDistribution
+from repro.sched.noisy import NoisyScheduler
+from repro.sched.statistical import StatisticalDelta
+from repro.sim.engine import NoisyEngine
+from repro.sim.runner import (
+    half_and_half,
+    make_machines,
+    make_memory_for,
+    run_noisy_trial,
+)
+from repro.experiments._common import format_table, parse_scale, scale_parser
+
+
+# ---------------------------------------------------------------------------
+# EXP-STAT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StatRow:
+    style: str
+    burst_every: int
+    mean_last_round: float
+    agreement_rate: float
+
+
+def run_statistical(n: int = 32, trials: int = 60, mean_bound: float = 0.5,
+                    burst_everies: Sequence[int] = (2, 8, 32),
+                    noise: Optional[NoiseDistribution] = None,
+                    seed: SeedLike = 2000) -> List[StatRow]:
+    """Termination under statistical-adversary burst schedules."""
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    rows = []
+    for style in ("bursts", "frontrunner"):
+        for burst_every in burst_everies:
+            lasts, agreed = [], 0
+            for trial_rng in spawn(root, trials):
+                delta = StatisticalDelta(mean_bound, style=style,
+                                         burst_every=burst_every, n=n)
+                trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                        delta=delta, engine="event")
+                lasts.append(trial.last_decision_round)
+                agreed += 1 if trial.agreed else 0
+            rows.append(StatRow(style=style, burst_every=burst_every,
+                                mean_last_round=float(np.mean(lasts)),
+                                agreement_rate=agreed / trials))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# EXP-CONT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ContentionRow:
+    penalty: float
+    mean_last_round: float
+    mean_total_penalty: float
+    agreement_rate: float
+
+
+def run_contention(n: int = 32, trials: int = 60,
+                   penalties: Sequence[float] = (0.0, 0.1, 0.3, 1.0),
+                   window: float = 2.0,
+                   noise: Optional[NoiseDistribution] = None,
+                   seed: SeedLike = 2000) -> List[ContentionRow]:
+    """Termination under the interference model, sweeping the penalty."""
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    rows = []
+    for penalty in penalties:
+        lasts, charges, agreed = [], [], 0
+        for trial_rng in spawn(root, trials):
+            sub = spawn(trial_rng, 2)
+            machines = make_machines("lean", half_and_half(n))
+            memory = make_memory_for(machines)
+            meter = ContentionMeter(penalty=penalty, window=window)
+            scheduler = ContentiousScheduler(
+                NoisyScheduler(noise, sub[0]), meter)
+            result = NoisyEngine(machines, memory, scheduler).run()
+            lasts.append(result.last_decision_round)
+            charges.append(meter.total_penalty)
+            agreed += 1 if result.agreed else 0
+        rows.append(ContentionRow(penalty=penalty,
+                                  mean_last_round=float(np.mean(lasts)),
+                                  mean_total_penalty=float(np.mean(charges)),
+                                  agreement_rate=agreed / trials))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# EXP-ID
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IdRow:
+    n: int
+    bits: int
+    mean_ops_per_proc: float
+    winner_always_valid: bool
+    agreement_rate: float
+
+
+def run_id_consensus(ns: Sequence[int] = (2, 4, 8, 16), trials: int = 40,
+                     noise: Optional[NoiseDistribution] = None,
+                     seed: SeedLike = 2000) -> List[IdRow]:
+    """Cost of the footnote-2 id-consensus tree by id-space width."""
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    rows = []
+    for n in ns:
+        bits = id_bits(n)
+        ops, agreed, valid = [], 0, True
+        for trial_rng in spawn(root, trials):
+            factory = lambda pid, bit: IdConsensus(pid, pid, bits, n)
+            trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                    protocol=factory, engine="event",
+                                    check=False)
+            winners = {m.winner for m in trial.machines}  # type: ignore[attr-defined]
+            agreed += 1 if len(winners) == 1 else 0
+            valid &= all(w is not None and 0 <= w < n for w in winners)
+            ops.append(trial.total_ops / n)
+        rows.append(IdRow(n=n, bits=bits,
+                          mean_ops_per_proc=float(np.mean(ops)),
+                          winner_always_valid=valid,
+                          agreement_rate=agreed / trials))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExtensionsResult:
+    statistical: List[StatRow]
+    contention: List[ContentionRow]
+    id_consensus: List[IdRow]
+
+
+def run(n: int = 32, trials: int = 60,
+        seed: SeedLike = 2000) -> ExtensionsResult:
+    root = make_rng(seed)
+    seeds = spawn(root, 3)
+    return ExtensionsResult(
+        statistical=run_statistical(n=n, trials=trials, seed=seeds[0]),
+        contention=run_contention(n=n, trials=trials, seed=seeds[1]),
+        id_consensus=run_id_consensus(trials=max(trials // 2, 10),
+                                      seed=seeds[2]),
+    )
+
+
+def format_result(result: ExtensionsResult) -> str:
+    out = [format_table(
+        ["style", "burst every", "mean last round", "agree"],
+        [(r.style, r.burst_every, r.mean_last_round, r.agreement_rate)
+         for r in result.statistical],
+        title="EXP-STAT — statistical adversary (sum Delta <= r*M)")]
+    out.append("")
+    out.append(format_table(
+        ["penalty", "mean last round", "mean total stall", "agree"],
+        [(r.penalty, r.mean_last_round, r.mean_total_penalty,
+          r.agreement_rate) for r in result.contention],
+        title="EXP-CONT — memory contention"))
+    out.append("")
+    out.append(format_table(
+        ["n", "id bits", "ops/process", "winner valid", "agree"],
+        [(r.n, r.bits, r.mean_ops_per_proc, r.winner_always_valid,
+          r.agreement_rate) for r in result.id_consensus],
+        title="EXP-ID — id consensus (footnote-2 tree)"))
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Section-10 extensions: statistical adversary, "
+                          "contention, id consensus.")
+    scale, _ = parse_scale(parser, argv)
+    print(format_result(run(trials=min(scale.trials, 100), seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

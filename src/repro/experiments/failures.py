@@ -1,0 +1,147 @@
+"""EXP-FAIL: failures — random halting (§3.1.2) and adaptive crashes (§10).
+
+* **Random halting**: sweep the per-operation halting probability h.
+  Theorem 12 covers this regime: the race ends (by a winner or by
+  extinction) in O(log n) rounds; we measure termination rounds and the
+  fraction of processes that die.
+* **Adaptive crashes**: the kill-the-leader adversary with a budget of f
+  crashes.  Restarting the Theorem-12 argument per crash gives the paper's
+  O(f·log n) upper bound (Section 10); the measured mean termination round
+  should grow roughly linearly in f.  The paper conjectures the truth is
+  O(log n); the measured slope speaks to that conjecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.stats import FitResult
+from repro.failures.injection import KillLeaderAdversary
+from repro.noise.distributions import Exponential, NoiseDistribution
+from repro.sim.runner import run_noisy_trial
+from repro.experiments._common import format_table, parse_scale, scale_parser
+
+DEFAULT_HS = (0.0, 0.001, 0.005, 0.02)
+DEFAULT_BUDGETS = (0, 1, 2, 4, 8)
+
+
+@dataclass
+class HaltingRow:
+    h: float
+    trials: int
+    decided_trials: int
+    mean_last_round: Optional[float]
+    mean_halted: float
+
+
+@dataclass
+class CrashRow:
+    budget: int
+    trials: int
+    mean_last_round: float
+    mean_crashes_used: float
+
+
+@dataclass
+class FailureResult:
+    n: int
+    halting: List[HaltingRow]
+    crashes: List[CrashRow]
+    #: Least-squares slope of mean round vs crash budget f.
+    crash_slope: float
+
+
+def run_halting(n: int, hs: Sequence[float], trials: int,
+                noise: NoiseDistribution, seed: SeedLike) -> List[HaltingRow]:
+    root = make_rng(seed)
+    rows = []
+    for h in hs:
+        lasts: List[float] = []
+        halted: List[int] = []
+        for trial_rng in spawn(root, trials):
+            trial = run_noisy_trial(n, noise, seed=trial_rng, h=h,
+                                    engine="event")
+            if trial.last_decision_round is not None:
+                lasts.append(trial.last_decision_round)
+            halted.append(len(trial.halted))
+        rows.append(HaltingRow(
+            h=h, trials=trials, decided_trials=len(lasts),
+            mean_last_round=float(np.mean(lasts)) if lasts else None,
+            mean_halted=float(np.mean(halted))))
+    return rows
+
+
+def run_crashes(n: int, budgets: Sequence[int], trials: int,
+                noise: NoiseDistribution, seed: SeedLike) -> List[CrashRow]:
+    root = make_rng(seed)
+    rows = []
+    for budget in budgets:
+        lasts: List[float] = []
+        used: List[int] = []
+        for trial_rng in spawn(root, trials):
+            # lead=1: crash a process as soon as it pulls one round ahead.
+            # (With lead=2 the leader has typically already decided by the
+            # time the adversary sees the lead, so the budget goes unused.)
+            adversary = KillLeaderAdversary(budget=budget, lead=1)
+            trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                    crash_adversary=adversary,
+                                    engine="event")
+            if trial.last_decision_round is not None:
+                lasts.append(trial.last_decision_round)
+            used.append(len(adversary.crashed))
+        rows.append(CrashRow(
+            budget=budget, trials=trials,
+            mean_last_round=float(np.mean(lasts)) if lasts else float("nan"),
+            mean_crashes_used=float(np.mean(used))))
+    return rows
+
+
+def run(n: int = 64,
+        hs: Sequence[float] = DEFAULT_HS,
+        budgets: Sequence[int] = DEFAULT_BUDGETS,
+        trials: int = 100,
+        noise: Optional[NoiseDistribution] = None,
+        seed: SeedLike = 2000) -> FailureResult:
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    seeds = spawn(root, 2)
+    halting = run_halting(n, hs, trials, noise, seeds[0])
+    crashes = run_crashes(n, budgets, trials, noise, seeds[1])
+    xs = np.array([row.budget for row in crashes], dtype=float)
+    ys = np.array([row.mean_last_round for row in crashes], dtype=float)
+    slope = float(np.polyfit(xs, ys, 1)[0]) if len(xs) >= 2 else 0.0
+    return FailureResult(n=n, halting=halting, crashes=crashes,
+                         crash_slope=slope)
+
+
+def format_result(result: FailureResult) -> str:
+    rows = [(r.h, r.decided_trials, r.trials,
+             "-" if r.mean_last_round is None else f"{r.mean_last_round:.2f}",
+             r.mean_halted)
+            for r in result.halting]
+    out = [format_table(
+        ["h", "decided trials", "trials", "mean last round", "mean halted"],
+        rows, title=f"EXP-FAIL — random halting, n={result.n}")]
+    rows = [(r.budget, r.mean_last_round, r.mean_crashes_used)
+            for r in result.crashes]
+    out.append("")
+    out.append(format_table(
+        ["crash budget f", "mean last round", "crashes used"],
+        rows, title="adaptive kill-the-leader adversary"))
+    out.append(f"rounds-per-crash slope: {result.crash_slope:.3f} "
+               "(O(f log n) upper bound; paper conjectures O(log n))")
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Failures: random halting + adaptive crashes.")
+    scale, _ = parse_scale(parser, argv)
+    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

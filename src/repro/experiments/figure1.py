@@ -1,0 +1,163 @@
+"""EXP-F1: reproduce Figure 1.
+
+The paper's only figure: mean round at which the first process terminates,
+versus the number of processes (log-x, 1 to 100,000), for six interarrival
+distributions, 10,000 trials per point, half the processes starting with
+input 0 and half with 1, all starting together modulo a uniform (0, 1e-8)
+dither.
+
+Expected shape (paper Section 9): logarithmic growth with small constants
+for five of the distributions (roughly 2 -> 5-13 rounds over the grid), and
+the *inverted* (decreasing) curve for the truncated normal, whose large-n
+behaviour the paper calls "intriguing".
+
+Run ``python -m repro.experiments.figure1`` (add ``--paper`` for the full
+grid) to print the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.stats import mean_confidence_interval
+from repro.noise.distributions import NoiseDistribution, figure1_distributions
+from repro.sim.runner import run_noisy_trial
+from repro.experiments._common import (
+    DEFAULT_NS,
+    DEFAULT_TRIALS,
+    format_table,
+    parse_scale,
+    scale_parser,
+)
+
+
+@dataclass
+class Figure1Point:
+    """One (distribution, n) point of the figure."""
+
+    n: int
+    trials: int
+    mean_round: float
+    ci95: float
+    mean_ops_first: float
+
+
+@dataclass
+class Figure1Result:
+    """All series of the reproduced figure."""
+
+    ns: Sequence[int]
+    trials: int
+    seed: int
+    series: Dict[str, list] = field(default_factory=dict)
+
+    def point(self, distribution: str, n: int) -> Figure1Point:
+        for p in self.series[distribution]:
+            if p.n == n:
+                return p
+        raise KeyError((distribution, n))
+
+
+def run(ns: Sequence[int] = DEFAULT_NS,
+        trials: int = DEFAULT_TRIALS,
+        distributions: Optional[Dict[str, NoiseDistribution]] = None,
+        seed: SeedLike = 2000,
+        engine: str = "auto") -> Figure1Result:
+    """Reproduce the Figure-1 sweep.
+
+    Args:
+        ns: process counts (paper: 1 to 100,000 log-spaced).
+        trials: trials per point (paper: 10,000).
+        distributions: name -> distribution; defaults to the paper's six.
+        seed: root seed.
+        engine: simulation engine selector (see
+            :func:`repro.sim.runner.run_noisy_trial`).
+    """
+    if distributions is None:
+        distributions = figure1_distributions()
+    root = make_rng(seed)
+    result = Figure1Result(ns=tuple(ns), trials=trials,
+                           seed=seed if isinstance(seed, int) else -1)
+    for name, dist in distributions.items():
+        points = []
+        for n in ns:
+            rounds = []
+            ops = []
+            for trial_rng in spawn(root, trials):
+                trial = run_noisy_trial(
+                    n, dist, seed=trial_rng,
+                    stop_after_first_decision=True,
+                    engine=engine)
+                rounds.append(trial.first_decision_round)
+                ops.append(trial.first_decision_ops)
+            mean, half = mean_confidence_interval(rounds)
+            points.append(Figure1Point(
+                n=n, trials=trials, mean_round=mean, ci95=half,
+                mean_ops_first=sum(ops) / len(ops)))
+        result.series[name] = points
+    return result
+
+
+def format_result(result: Figure1Result) -> str:
+    """Print the figure as one table: rows = n, columns = distributions."""
+    names = list(result.series)
+    headers = ["n"] + names
+    rows = []
+    for n in result.ns:
+        row = [n]
+        for name in names:
+            p = result.point(name, n)
+            row.append(f"{p.mean_round:.2f}")
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title=(f"Figure 1 — mean round of first termination "
+               f"({result.trials} trials/point)"))
+
+
+def ascii_plot(result: Figure1Result, height: int = 16) -> str:
+    """A terminal rendering of the figure (log-x, linear-y), one mark per
+    series, mirroring the paper's axes."""
+    import math
+
+    names = list(result.series)
+    marks = "exgdtnabc"[: len(names)]
+    all_pts = [p for pts in result.series.values() for p in pts]
+    ymax = max(p.mean_round for p in all_pts)
+    ymin = min(p.mean_round for p in all_pts)
+    span = max(ymax - ymin, 1e-9)
+    xs = sorted({p.n for p in all_pts})
+    width = len(xs)
+    grid = [[" "] * width for _ in range(height)]
+    for mark, name in zip(marks, names):
+        for p in result.series[name]:
+            col = xs.index(p.n)
+            rowi = int(round((ymax - p.mean_round) / span * (height - 1)))
+            grid[rowi][col] = mark
+    lines = [f"{ymax:6.2f} |" + "".join(grid[0])]
+    for r in range(1, height - 1):
+        lines.append("       |" + "".join(grid[r]))
+    lines.append(f"{ymin:6.2f} |" + "".join(grid[-1]))
+    lines.append("        " + "".join("^" for _ in xs))
+    lines.append("        n = " + ", ".join(str(x) for x in xs))
+    legend = ", ".join(f"{m}={n}" for m, n in zip(marks, names))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Reproduce Figure 1 of the paper.")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render an ASCII plot")
+    scale, args = parse_scale(parser, argv)
+    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed)
+    print(format_result(result))
+    if args.plot:
+        print()
+        print(ascii_plot(result))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

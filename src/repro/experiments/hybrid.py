@@ -1,0 +1,159 @@
+"""EXP-T14: Theorem 14 — hybrid scheduling decides in <= 12 operations.
+
+Three measurements:
+
+1. **Exhaustive adversarial search** (small n): every legal pre-emption
+   choice and every initial quantum debt, via the model checker.  With
+   quantum >= 8 and the paper's reading of the model (only the process
+   holding the CPU at protocol start may be mid-quantum), the worst case
+   over *all* schedules must be <= 12 operations per process.
+2. **Quantum sweep**: the same search for quantum 1..10 — the guarantee
+   must kick in at 8 (the paper: "the required quantum size is 8").
+3. **Randomized schedules** (larger n): random legal pre-emption choices;
+   the observed max never exceeds 12.
+
+An extension measurement reports the permissive "every process may start
+mid-quantum" reading, under which the 12-operation bound degrades (the
+worst case observed is 16) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.core.machine import LeanConsensus
+from repro.modelcheck.explorer import CheckOutcome, explore_hybrid
+from repro.sim.runner import half_and_half, run_hybrid_trial
+from repro.experiments._common import format_table, parse_scale, scale_parser
+
+#: The paper's quantum threshold.
+REQUIRED_QUANTUM = 8
+#: The paper's per-process operation bound.
+OPS_BOUND = 12
+
+
+@dataclass
+class QuantumSweepRow:
+    quantum: int
+    max_decision_ops: int
+    truncated: bool
+    safe: bool
+    states: int
+
+
+@dataclass
+class HybridResult:
+    n_exhaustive: int
+    sweep: List[QuantumSweepRow]
+    #: Max ops over randomized larger-n schedules, keyed by n.
+    randomized_max_ops: Dict[int, int]
+    #: Worst case under the permissive debt reading at quantum 8.
+    permissive_max_ops: Optional[int]
+
+
+def _lean_factory(pid: int, bit: int) -> LeanConsensus:
+    return LeanConsensus(pid, bit)
+
+
+def exhaustive_sweep(n: int = 2,
+                     quanta: Sequence[int] = tuple(range(1, 11)),
+                     budget: int = 40) -> List[QuantumSweepRow]:
+    """Exhaustively search all schedules for each quantum value."""
+    inputs = half_and_half(n)
+    rows = []
+    for quantum in quanta:
+        outcome: CheckOutcome = explore_hybrid(
+            _lean_factory, inputs, quantum=quantum,
+            initial_used_options=tuple(range(quantum + 1)),
+            max_ops_per_process=budget)
+        rows.append(QuantumSweepRow(
+            quantum=quantum,
+            max_decision_ops=outcome.max_decision_ops,
+            truncated=outcome.truncated,
+            safe=outcome.safe,
+            states=outcome.states_explored))
+    return rows
+
+
+def randomized_max_ops(ns: Sequence[int], trials: int,
+                       quantum: int, seed: SeedLike) -> Dict[int, int]:
+    """Max per-process decision ops over random legal schedules."""
+    root = make_rng(seed)
+    out: Dict[int, int] = {}
+    for n in ns:
+        worst = 0
+        for trial_rng in spawn(root, trials):
+            chooser_rng = make_rng(trial_rng)
+
+            def chooser(legal: List[int]) -> int:
+                return legal[int(chooser_rng.integers(0, len(legal)))]
+
+            debt = int(chooser_rng.integers(0, quantum + 1))
+            trial = run_hybrid_trial(
+                n, quantum, chooser=chooser,
+                initial_used={pid: debt for pid in range(n)},
+                seed=trial_rng)
+            worst = max(worst, max(d.ops for d in trial.decisions.values()))
+        out[n] = worst
+    return out
+
+
+def run(exhaustive_n: int = 2,
+        quanta: Sequence[int] = tuple(range(1, 11)),
+        randomized_ns: Sequence[int] = (4, 16, 64),
+        trials: int = 50,
+        include_permissive: bool = True,
+        seed: SeedLike = 2000) -> HybridResult:
+    """Run the full Theorem-14 experiment."""
+    sweep = exhaustive_sweep(n=exhaustive_n, quanta=quanta)
+    rand = randomized_max_ops(randomized_ns, trials,
+                              quantum=REQUIRED_QUANTUM, seed=seed)
+    permissive = None
+    if include_permissive:
+        outcome = explore_hybrid(
+            _lean_factory, half_and_half(exhaustive_n),
+            quantum=REQUIRED_QUANTUM,
+            initial_used_options=tuple(range(REQUIRED_QUANTUM + 1)),
+            debt_policy="per-process", max_ops_per_process=24)
+        permissive = outcome.max_decision_ops
+    return HybridResult(n_exhaustive=exhaustive_n, sweep=sweep,
+                        randomized_max_ops=rand,
+                        permissive_max_ops=permissive)
+
+
+def format_result(result: HybridResult) -> str:
+    rows = [(r.quantum, r.max_decision_ops,
+             "yes" if r.max_decision_ops <= OPS_BOUND and not r.truncated
+             else "no",
+             r.truncated, r.safe, r.states) for r in result.sweep]
+    out = [format_table(
+        ["quantum", "worst ops", "<=12 guaranteed", "truncated",
+         "safe", "states"],
+        rows,
+        title=(f"EXP-T14 — exhaustive adversarial search, "
+               f"n={result.n_exhaustive} (paper: quantum >= "
+               f"{REQUIRED_QUANTUM} => <= {OPS_BOUND} ops)"))]
+    rand_rows = [(n, worst) for n, worst in
+                 sorted(result.randomized_max_ops.items())]
+    out.append("")
+    out.append(format_table(["n", "worst ops (randomized)"], rand_rows))
+    if result.permissive_max_ops is not None:
+        out.append("")
+        out.append(f"permissive per-process-debt reading at quantum 8: "
+                   f"worst ops = {result.permissive_max_ops} "
+                   f"(> {OPS_BOUND}; see EXPERIMENTS.md)")
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Theorem 14: hybrid scheduling, <= 12 ops.")
+    scale, _ = parse_scale(parser, argv)
+    print(format_result(run(trials=min(scale.trials, 100), seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,133 @@
+"""EXP-T13: Theorem 13 — the Ω(log n) lower-bound construction.
+
+The paper's construction: every operation takes 1 or 2 time units with
+equal probability (``TwoPoint(1, 2)``), no adversary delays, half the
+inputs 0 and half 1.  Any single process runs its first log2(n) operations
+"fast" (all 1s) with probability 1/n, so with constant probability
+(→ (1 - e^{-1/2})² ≈ 0.155) each team has a fast runner, and the two fast
+runners stay tied for Ω(log n) rounds.
+
+We measure (a) the growth of the mean termination round under this
+distribution, which must scale like log n, and (b) the empirical
+probability that both teams contain a process whose first k = lg n
+operations all took time 1 — the event driving the bound — against the
+analytic value (1 - (1 - 1/n)^{n/2})².
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.stats import FitResult, fit_log
+from repro.noise.distributions import TwoPoint
+from repro.sim.runner import run_noisy_trial
+from repro.experiments._common import (
+    DEFAULT_TRIALS,
+    format_table,
+    parse_scale,
+    scale_parser,
+)
+
+#: The Theorem-13 noise distribution.
+LOWER_BOUND_NOISE = TwoPoint(1.0, 2.0)
+
+#: Default n grid (powers of two keep lg n integral).
+DEFAULT_LB_NS = (4, 16, 64, 256, 1024)
+
+
+@dataclass
+class LowerBoundResult:
+    ns: Sequence[int]
+    trials: int
+    mean_first: Dict[int, float]
+    mean_last: Dict[int, float]
+    fit_first: FitResult
+    #: Empirical P[each team has an all-fast runner over lg n ops].
+    fast_pair_prob: Dict[int, float]
+    #: The paper's analytic value (1 - (1 - 1/n)^{n/2})^2.
+    fast_pair_analytic: Dict[int, float]
+
+
+def analytic_fast_pair(n: int) -> float:
+    """(1 - (1 - 1/n)^(n/2))² — the Theorem-13 two-fast-runners bound."""
+    return (1.0 - (1.0 - 1.0 / n) ** (n / 2.0)) ** 2
+
+
+def empirical_fast_pair(n: int, trials: int,
+                        rng: np.random.Generator) -> float:
+    """Directly sample the two-fast-runners event (no protocol needed).
+
+    Each of n processes independently runs its first lg n operations in one
+    time unit each with probability 2^(-lg n) = 1/n; teams are the paper's
+    half-and-half split.
+    """
+    k = max(1, int(math.log2(n)))
+    p_fast = 0.5 ** k
+    half = n // 2
+    hits = 0
+    for _ in range(trials):
+        fast = rng.random(n) < p_fast
+        if fast[:half].any() and fast[half:].any():
+            hits += 1
+    return hits / trials
+
+
+def run(ns: Sequence[int] = DEFAULT_LB_NS,
+        trials: int = DEFAULT_TRIALS,
+        seed: SeedLike = 2000) -> LowerBoundResult:
+    """Measure termination growth under the lower-bound distribution."""
+    root = make_rng(seed)
+    event_rng = make_rng(spawn(root, 1)[0])
+    mean_first: Dict[int, float] = {}
+    mean_last: Dict[int, float] = {}
+    pair_emp: Dict[int, float] = {}
+    pair_ana: Dict[int, float] = {}
+    for n in ns:
+        firsts, lasts = [], []
+        for trial_rng in spawn(root, trials):
+            trial = run_noisy_trial(n, LOWER_BOUND_NOISE, seed=trial_rng,
+                                    engine="auto")
+            firsts.append(trial.first_decision_round)
+            lasts.append(trial.last_decision_round)
+        mean_first[n] = float(np.mean(firsts))
+        mean_last[n] = float(np.mean(lasts))
+        pair_emp[n] = empirical_fast_pair(n, max(trials, 400), event_rng)
+        pair_ana[n] = analytic_fast_pair(n)
+    fit_ns = [n for n in ns if n >= 2]
+    fit = fit_log(fit_ns, [mean_first[n] for n in fit_ns])
+    return LowerBoundResult(ns=tuple(ns), trials=trials,
+                            mean_first=mean_first, mean_last=mean_last,
+                            fit_first=fit,
+                            fast_pair_prob=pair_emp,
+                            fast_pair_analytic=pair_ana)
+
+
+def format_result(result: LowerBoundResult) -> str:
+    rows = [(n, result.mean_first[n], result.mean_last[n],
+             result.fast_pair_prob[n], result.fast_pair_analytic[n])
+            for n in result.ns]
+    out = [format_table(
+        ["n", "mean first", "mean last", "P[fast pair] emp", "analytic"],
+        rows,
+        title=f"EXP-T13 — Theorem 13 lower bound ({result.trials} trials)")]
+    out.append(f"fit(first): {result.fit_first}  "
+               "(positive slope = Ω(log n) growth)")
+    out.append(f"analytic limit of P[fast pair]: "
+               f"{(1 - math.exp(-0.5)) ** 2:.4f}")
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Theorem 13: Ω(log n) lower bound.")
+    scale, _ = parse_scale(parser, argv)
+    ns = scale.ns if scale.ns != (1, 10, 100, 1000, 10000) else DEFAULT_LB_NS
+    print(format_result(run(ns=ns, trials=scale.trials, seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

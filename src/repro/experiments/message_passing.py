@@ -1,0 +1,130 @@
+"""EXP-MP: lean-consensus over message passing (Section 10 extension).
+
+"It would be interesting to see whether a noisy scheduling assumption can
+be used to solve consensus quickly in an asynchronous message-passing
+model."  We compose lean-consensus with the ABD atomic-register emulation
+over a crash-prone server majority: message-latency noise plays the role
+of scheduling noise.
+
+Measured shapes:
+
+* the decision round still grows logarithmically in the number of clients
+  (the register emulation preserves the interleaving statistics up to
+  per-operation latency inflation);
+* a crashed server *minority* changes nothing qualitatively (quorums
+  absorb it);
+* message cost per decision scales as Theta(n_servers) per register
+  operation — the emulation's price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.stats import FitResult, fit_log
+from repro.netsim.runner import run_mp_trial
+from repro.noise.distributions import NoiseDistribution, ShiftedExponential
+from repro.experiments._common import format_table, parse_scale, scale_parser
+
+DEFAULT_MP_NS = (2, 4, 8, 16)
+
+
+@dataclass
+class MpRow:
+    n: int
+    trials: int
+    mean_last_round: float
+    mean_messages: float
+    mean_sim_time: float
+    agreement_rate: float
+
+
+@dataclass
+class MpResult:
+    rows: List[MpRow]
+    crash_rows: List[MpRow]
+    fit: Optional[FitResult]
+    n_servers: int
+    crash_servers: int
+
+
+def _sweep(ns: Sequence[int], trials: int, latency: NoiseDistribution,
+           n_servers: int, crash_servers: int, seed) -> List[MpRow]:
+    root = make_rng(seed)
+    rows = []
+    for n in ns:
+        rounds, msgs, times, agreed = [], [], [], 0
+        for trial_rng in spawn(root, trials):
+            trial = run_mp_trial(n, latency, seed=trial_rng,
+                                 n_servers=n_servers,
+                                 crash_servers=crash_servers)
+            last = max(d.round for d in trial.decisions.values())
+            rounds.append(last)
+            msgs.append(trial.delivered_messages)
+            times.append(trial.sim_time)
+            agreed += 1 if trial.agreed else 0
+        rows.append(MpRow(n=n, trials=trials,
+                          mean_last_round=float(np.mean(rounds)),
+                          mean_messages=float(np.mean(msgs)),
+                          mean_sim_time=float(np.mean(times)),
+                          agreement_rate=agreed / trials))
+    return rows
+
+
+def run(ns: Sequence[int] = DEFAULT_MP_NS,
+        trials: int = 30,
+        latency: Optional[NoiseDistribution] = None,
+        n_servers: int = 5,
+        crash_servers: int = 2,
+        seed: SeedLike = 2000) -> MpResult:
+    """Measure lean-consensus over ABD with and without server crashes."""
+    latency = latency if latency is not None else ShiftedExponential(0.5, 0.5)
+    root = make_rng(seed)
+    seeds = spawn(root, 2)
+    rows = _sweep(ns, trials, latency, n_servers, 0, seeds[0])
+    crash_rows = _sweep(ns, trials, latency, n_servers, crash_servers,
+                        seeds[1])
+    fit = None
+    fit_ns = [r.n for r in rows if r.n >= 2]
+    if len(fit_ns) >= 2:
+        fit = fit_log(fit_ns, [r.mean_last_round for r in rows
+                               if r.n >= 2])
+    return MpResult(rows=rows, crash_rows=crash_rows, fit=fit,
+                    n_servers=n_servers, crash_servers=crash_servers)
+
+
+def format_result(result: MpResult) -> str:
+    def table(rows, title):
+        return format_table(
+            ["n clients", "mean last round", "mean msgs", "sim time",
+             "agree"],
+            [(r.n, r.mean_last_round, r.mean_messages, r.mean_sim_time,
+              r.agreement_rate) for r in rows],
+            title=title)
+
+    out = [table(result.rows,
+                 f"EXP-MP — lean-consensus over ABD "
+                 f"({result.n_servers} servers, 0 crashed)")]
+    out.append("")
+    out.append(table(result.crash_rows,
+                     f"with {result.crash_servers} of "
+                     f"{result.n_servers} servers crashed"))
+    if result.fit is not None:
+        out.append(f"fit (no crashes): {result.fit}")
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Section 10: consensus over message passing.")
+    scale, _ = parse_scale(parser, argv)
+    ns = DEFAULT_MP_NS if scale.ns == (1, 10, 100, 1000, 10000) else scale.ns
+    print(format_result(run(ns=ns, trials=min(scale.trials, 60),
+                            seed=scale.seed)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

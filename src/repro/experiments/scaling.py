@@ -1,0 +1,142 @@
+"""EXP-T12: Theorem 12 — O(log n) termination with an exponential tail.
+
+Two measurements:
+
+1. **Growth.** Mean round of *last* termination (the theorem bounds every
+   process, not just the winner) versus n, fitted to a·ln(n) + b.  A good
+   fit (R² close to 1) with small `a` reproduces the Θ(log n) claim and the
+   paper's observation that the constants are small.
+2. **Tail.** For a fixed n, the empirical P[R > k] versus k, fitted to an
+   exponential; Corollary 11 predicts log-linear decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.stats import (
+    FitResult,
+    fit_exponential_tail,
+    fit_log,
+    tail_probabilities,
+)
+from repro.noise.distributions import Exponential, NoiseDistribution
+from repro.sim.runner import run_noisy_trial
+from repro.experiments._common import (
+    DEFAULT_NS,
+    DEFAULT_TRIALS,
+    format_table,
+    parse_scale,
+    scale_parser,
+)
+
+
+@dataclass
+class ScalingResult:
+    """Growth measurement plus its logarithmic fit."""
+
+    ns: Sequence[int]
+    trials: int
+    mean_first: Dict[int, float]
+    mean_last: Dict[int, float]
+    fit_first: FitResult
+    fit_last: FitResult
+
+
+@dataclass
+class TailResult:
+    """Empirical tail P[R > k] at one n, with its exponential fit."""
+
+    n: int
+    trials: int
+    ks: Sequence[int]
+    probs: Sequence[float]
+    fit: FitResult
+
+
+def run(ns: Sequence[int] = DEFAULT_NS,
+        trials: int = DEFAULT_TRIALS,
+        noise: Optional[NoiseDistribution] = None,
+        seed: SeedLike = 2000) -> ScalingResult:
+    """Measure termination-round growth and fit the Θ(log n) model.
+
+    Skips n = 1 for the fit (ln 1 = 0 gives the intercept no leverage and
+    the point is deterministic anyway) but still reports it.
+    """
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    mean_first: Dict[int, float] = {}
+    mean_last: Dict[int, float] = {}
+    for n in ns:
+        firsts, lasts = [], []
+        for trial_rng in spawn(root, trials):
+            trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                    stop_after_first_decision=False,
+                                    engine="auto")
+            firsts.append(trial.first_decision_round)
+            lasts.append(trial.last_decision_round)
+        mean_first[n] = float(np.mean(firsts))
+        mean_last[n] = float(np.mean(lasts))
+    fit_ns = [n for n in ns if n >= 2]
+    fit_first = fit_log(fit_ns, [mean_first[n] for n in fit_ns])
+    fit_last = fit_log(fit_ns, [mean_last[n] for n in fit_ns])
+    return ScalingResult(ns=tuple(ns), trials=trials,
+                         mean_first=mean_first, mean_last=mean_last,
+                         fit_first=fit_first, fit_last=fit_last)
+
+
+def run_tail(n: int = 256, trials: int = 2000,
+             noise: Optional[NoiseDistribution] = None,
+             ks: Optional[Sequence[int]] = None,
+             seed: SeedLike = 2000) -> TailResult:
+    """Measure P[termination round > k] and fit the exponential tail."""
+    noise = noise if noise is not None else Exponential(1.0)
+    root = make_rng(seed)
+    rounds = []
+    for trial_rng in spawn(root, trials):
+        trial = run_noisy_trial(n, noise, seed=trial_rng,
+                                stop_after_first_decision=False,
+                                engine="auto")
+        rounds.append(trial.last_decision_round)
+    if ks is None:
+        hi = int(max(rounds))
+        ks = list(range(2, hi + 1))
+    probs = tail_probabilities(rounds, ks)
+    fit = fit_exponential_tail(ks, probs)
+    return TailResult(n=n, trials=trials, ks=tuple(ks),
+                      probs=tuple(float(p) for p in probs), fit=fit)
+
+
+def format_result(result: ScalingResult, tail: Optional[TailResult] = None) -> str:
+    rows = [(n, result.mean_first[n], result.mean_last[n])
+            for n in result.ns]
+    out = [format_table(["n", "mean first round", "mean last round"], rows,
+                        title="EXP-T12 — Theorem 12 growth "
+                              f"({result.trials} trials/point)")]
+    out.append(f"fit(first): {result.fit_first}")
+    out.append(f"fit(last):  {result.fit_last}")
+    if tail is not None:
+        rows = list(zip(tail.ks, tail.probs))
+        out.append("")
+        out.append(format_table(["k", "P[R > k]"], rows,
+                                title=f"tail at n={tail.n}"))
+        out.append(f"fit(tail):  {tail.fit} (negative slope = exp. decay)")
+    return "\n".join(out)
+
+
+def main(argv=None) -> None:
+    parser = scale_parser("Theorem 12: Θ(log n) termination + tail.")
+    parser.add_argument("--tail-n", type=int, default=256)
+    scale, args = parse_scale(parser, argv)
+    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed)
+    tail = run_tail(n=args.tail_n, trials=max(scale.trials, 500),
+                    seed=scale.seed)
+    print(format_result(result, tail))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

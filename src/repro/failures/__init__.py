@@ -1,0 +1,25 @@
+"""Failure models: random halting (Section 3.1.2) and adaptive crashes (§10).
+
+The core model kills each process independently with probability ``h(n)``
+per operation (``H_ij`` is infinite with probability ``h(n)``); Section 10
+discusses adversarial crash failures, bounded in number, that may target
+the current leader.
+"""
+
+from repro.failures.injection import (
+    AdaptiveCrashAdversary,
+    FailureModel,
+    KillLeaderAdversary,
+    NoFailures,
+    RandomHalting,
+    ScriptedFailures,
+)
+
+__all__ = [
+    "AdaptiveCrashAdversary",
+    "FailureModel",
+    "KillLeaderAdversary",
+    "NoFailures",
+    "RandomHalting",
+    "ScriptedFailures",
+]

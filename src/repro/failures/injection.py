@@ -1,0 +1,162 @@
+"""Failure injection for the simulation engines.
+
+Two interfaces:
+
+* :class:`FailureModel` — per-operation random halting, evaluated just
+  before a process executes an operation (matching the H_ij of
+  Section 3.1.2: a process that halts before its j-th operation never
+  performs it).
+* :class:`AdaptiveCrashAdversary` — a strategy with a crash budget that
+  observes the execution (process rounds, decisions) and may kill processes
+  at operation boundaries.  This models the non-random failures discussed in
+  Section 10, where restarting the Theorem-12 argument after each crash
+  yields the O(f log n) bound.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FailureModel(abc.ABC):
+    """Decides, per operation, whether the process halts first."""
+
+    @abc.abstractmethod
+    def halts_before(self, pid: int, op_index: int) -> bool:
+        """True if ``pid`` halts before its ``op_index``-th operation."""
+
+
+class NoFailures(FailureModel):
+    """The failure-free model (h(n) = 0)."""
+
+    def halts_before(self, pid: int, op_index: int) -> bool:
+        return False
+
+
+class RandomHalting(FailureModel):
+    """Independent halting with probability ``h`` per operation.
+
+    The paper requires ``h = h(n) = o(1)`` for the termination bound to be
+    meaningful (with constant h all processes die after O(log n) operations
+    in expectation — which Theorem 10 also counts as the race ending).
+    """
+
+    def __init__(self, h: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= h < 1.0:
+            raise ConfigurationError(f"h must be in [0,1), got {h}")
+        self.h = h
+        self.rng = rng
+
+    def halts_before(self, pid: int, op_index: int) -> bool:
+        if self.h == 0.0:
+            return False
+        return bool(self.rng.random() < self.h)
+
+    def presample_death_ops(self, n: int) -> np.ndarray:
+        """Vectorized: for each pid, the 1-based op index before which it
+        dies (a geometric draw), or a huge sentinel when it survives
+        "forever".  Used by the fast engine."""
+        if self.h == 0.0:
+            return np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        return self.rng.geometric(self.h, size=n).astype(np.int64)
+
+
+class ScriptedFailures(FailureModel):
+    """Kills specific (pid, op_index) points; for deterministic tests."""
+
+    def __init__(self, deaths: Dict[int, int]) -> None:
+        for pid, op_index in deaths.items():
+            if op_index < 1:
+                raise ConfigurationError(
+                    f"death op for p{pid} must be >= 1, got {op_index}"
+                )
+        self.deaths = dict(deaths)
+
+    def halts_before(self, pid: int, op_index: int) -> bool:
+        return self.deaths.get(pid) == op_index
+
+
+class AdaptiveCrashAdversary(abc.ABC):
+    """An adaptive adversary with a crash budget (Section 10).
+
+    The engine calls :meth:`consider` before every operation with a view of
+    the execution; the adversary returns the set of pids to crash now.  The
+    total number of crashes is capped by ``budget``.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        self.budget = budget
+        self.crashed: Set[int] = set()
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - len(self.crashed)
+
+    def consider(self, view: "ExecutionView") -> Set[int]:
+        """Return pids to crash before the next operation executes."""
+        if self.remaining <= 0:
+            return set()
+        victims = self._choose(view) - self.crashed
+        victims = set(list(sorted(victims))[: self.remaining])
+        self.crashed |= victims
+        return victims
+
+    @abc.abstractmethod
+    def _choose(self, view: "ExecutionView") -> Set[int]:
+        """Strategy hook: pick victims (may exceed budget; it is clipped)."""
+
+
+class ExecutionView:
+    """What an adaptive adversary may observe: rounds, preferences, leader.
+
+    A thin read-only facade over the engine's machines; adaptive adversaries
+    in this model are strong (full-information), which makes the measured
+    O(f log n) recovery bound conservative.
+    """
+
+    def __init__(self, rounds: Callable[[int], int],
+                 alive: Callable[[], Sequence[int]],
+                 decided: Callable[[], Sequence[int]]) -> None:
+        self.round_of = rounds
+        self.alive_pids = alive
+        self.decided_pids = decided
+
+    def leader(self) -> Optional[int]:
+        """The alive process with the largest round (ties to smaller pid)."""
+        alive = list(self.alive_pids())
+        if not alive:
+            return None
+        return max(alive, key=lambda pid: (self.round_of(pid), -pid))
+
+
+class KillLeaderAdversary(AdaptiveCrashAdversary):
+    """Crashes the current leader whenever it pulls ``lead`` rounds ahead.
+
+    This is the natural worst case for a race-based protocol: every time a
+    winner is about to emerge, it is removed.  With a budget of f crashes
+    the protocol restarts its race at most f times, giving the O(f log n)
+    behaviour the failures experiment measures.
+    """
+
+    def __init__(self, budget: int, lead: int = 2) -> None:
+        super().__init__(budget)
+        if lead < 1:
+            raise ConfigurationError(f"lead must be >= 1, got {lead}")
+        self.lead = lead
+
+    def _choose(self, view: ExecutionView) -> Set[int]:
+        alive = list(view.alive_pids())
+        if len(alive) < 2 or view.decided_pids():
+            return set()
+        rounds = sorted((view.round_of(pid), pid) for pid in alive)
+        (second_round, _), (top_round, top_pid) = rounds[-2], rounds[-1]
+        if top_round - second_round >= self.lead:
+            return {top_pid}
+        return set()

@@ -1,0 +1,24 @@
+"""Shared-memory substrate: atomic registers, unbounded bit arrays, history.
+
+The paper's model (Section 3) is a shared-memory system of atomic read/write
+registers under interleaving semantics.  lean-consensus uses two unbounded
+arrays ``a0`` and ``a1`` of multi-writer bits, zero-initialized, with an
+effectively read-only ``1`` prefixed at index 0.
+"""
+
+from repro.memory.registers import (
+    AtomicRegister,
+    SharedMemory,
+    UnboundedBitArray,
+    make_racing_arrays,
+)
+from repro.memory.history import HistoryEvent, HistoryRecorder
+
+__all__ = [
+    "AtomicRegister",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "SharedMemory",
+    "UnboundedBitArray",
+    "make_racing_arrays",
+]

@@ -1,0 +1,99 @@
+"""Memory-contention model (Section 10, "Synchronization and contention").
+
+The paper notes it has not analyzed memory contention, and conjectures
+that, to the extent contention slows laggards fighting over congested
+early-round registers while the speedy sail through clear late-round
+registers, it *helps* the algorithm disperse.  This module provides the
+substrate to test that conjecture (experiment EXP-CONT).
+
+The model: each operation on location L pays a contention penalty
+proportional to how many *other* processes touched L within the last
+``window`` time units — a standard interference approximation that keeps
+the simulation a discrete-event system (no bus model needed).  The penalty
+delays the process's *next* operation, mirroring stall-on-retry hardware.
+
+This deliberately breaks the independence assumption of the noisy model
+(the paper's point); the termination measurements are therefore empirical
+only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import Operation
+
+
+class ContentionMeter:
+    """Tracks recent accesses per location and prices the interference.
+
+    Args:
+        penalty: extra delay per recent *other*-process access to the same
+            location.
+        window: how far back (in simulation time) accesses interfere.
+    """
+
+    def __init__(self, penalty: float = 0.1, window: float = 2.0) -> None:
+        if penalty < 0:
+            raise ConfigurationError(f"penalty must be >= 0, got {penalty}")
+        if window <= 0:
+            raise ConfigurationError(f"window must be > 0, got {window}")
+        self.penalty = penalty
+        self.window = window
+        self._recent: Dict[Tuple[str, int], Deque[Tuple[float, int]]] = {}
+        #: Total penalty charged, for reporting.
+        self.total_penalty = 0.0
+        #: Total accesses observed.
+        self.accesses = 0
+
+    def charge(self, op: Operation, pid: int, now: float) -> float:
+        """Record an access and return the contention delay it incurs."""
+        key = (op.array, op.index)
+        queue = self._recent.setdefault(key, deque())
+        while queue and queue[0][0] < now - self.window:
+            queue.popleft()
+        others = sum(1 for _, other in queue if other != pid)
+        queue.append((now, pid))
+        self.accesses += 1
+        cost = self.penalty * others
+        self.total_penalty += cost
+        return cost
+
+    def hot_locations(self, top: int = 5) -> list:
+        """The ``top`` locations with the most queued recent accesses."""
+        ranked = sorted(self._recent.items(),
+                        key=lambda kv: len(kv[1]), reverse=True)
+        return [(array, index, len(q)) for (array, index), q in ranked[:top]]
+
+
+class ContentiousScheduler:
+    """Wraps a noisy scheduler, adding contention stalls to next-op times.
+
+    Satisfies the scheduler protocol of
+    :class:`~repro.sim.engine.NoisyEngine`.  The stall charged for
+    operation j is based on the location of operation j-1 (the operation
+    just executed) — i.e., a congested access delays the process's *next*
+    step, which is when real hardware surfaces the stall.
+
+    Use :meth:`observe` from the engine loop (the runner wires this up) or
+    simply rely on ``next_time``'s internal bookkeeping of the previous
+    operation per process.
+    """
+
+    def __init__(self, base, meter: ContentionMeter) -> None:
+        self.base = base
+        self.meter = meter
+        self._pending_stall: Dict[int, float] = {}
+
+    def start_time(self, pid: int) -> float:
+        return self.base.start_time(pid)
+
+    def observe(self, op: Operation, pid: int, now: float) -> None:
+        """Record an executed operation; its contention stalls the next op."""
+        self._pending_stall[pid] = self.meter.charge(op, pid, now)
+
+    def next_time(self, pid: int, op_index: int, kind, prev_time: float) -> float:
+        stall = self._pending_stall.pop(pid, 0.0)
+        return self.base.next_time(pid, op_index, kind, prev_time) + stall

@@ -1,0 +1,127 @@
+"""Linearized operation histories and queries over them.
+
+The engines execute operations one at a time, so the recorded history *is*
+the linearization.  The recorder supports the queries the paper's proofs are
+phrased in terms of — "the first process to set a_b[r]", "P's read of
+a_{1-b}[r-1] occurs after Q's write of a_b[r]" — which the lemma-checking
+tests use to validate executions against Lemmas 2 and 4 directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.types import OpKind, Operation
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One executed operation in the global linear order.
+
+    Attributes:
+        seq: 1-based position in the linearization.
+        pid: the executing process id (``None`` when unattributed).
+        op: the operation executed.
+        value: value read, or value written.
+    """
+
+    seq: int
+    pid: Optional[int]
+    op: Operation
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = f"p{self.pid}" if self.pid is not None else "?"
+        return f"#{self.seq} {who}: {self.op} -> {self.value}"
+
+
+class HistoryRecorder:
+    """Records every operation executed through a :class:`SharedMemory`.
+
+    Recording every operation costs memory proportional to the execution
+    length; use it for tests, debugging, and invariant checks, not for the
+    large-scale Figure-1 sweeps (the fast engine records nothing).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.events: List[HistoryEvent] = []
+        #: Optional hard cap on recorded events (guards runaway tests).
+        self.capacity = capacity
+
+    def record(self, seq: int, pid: Optional[int], op: Operation,
+               value: int) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(HistoryEvent(seq, pid, op, value))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[HistoryEvent]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Queries used by the lemma-validation tests.
+    # ------------------------------------------------------------------
+
+    def writes_to(self, array: str, index: int) -> List[HistoryEvent]:
+        """All writes to ``array[index]``, in linearization order."""
+        return [e for e in self.events
+                if e.op.kind is OpKind.WRITE
+                and e.op.array == array and e.op.index == index]
+
+    def reads_of(self, array: str, index: int) -> List[HistoryEvent]:
+        """All reads of ``array[index]``, in linearization order."""
+        return [e for e in self.events
+                if e.op.kind is OpKind.READ
+                and e.op.array == array and e.op.index == index]
+
+    def first_setter(self, array: str, index: int) -> Optional[HistoryEvent]:
+        """The first write of a nonzero value to ``array[index]``, if any."""
+        for e in self.events:
+            if (e.op.kind is OpKind.WRITE and e.op.array == array
+                    and e.op.index == index and e.value != 0):
+                return e
+        return None
+
+    def ops_by(self, pid: int) -> List[HistoryEvent]:
+        """All operations executed by process ``pid``."""
+        return [e for e in self.events if e.pid == pid]
+
+    def ops_between(self, pid: int, lo_seq: int, hi_seq: int) -> int:
+        """Count operations by ``pid`` with ``lo_seq < seq < hi_seq``."""
+        return sum(1 for e in self.events
+                   if e.pid == pid and lo_seq < e.seq < hi_seq)
+
+    def max_index_written(self, arrays: Iterable[str]) -> int:
+        """Largest index written across the named arrays (0 if none)."""
+        best = 0
+        names = set(arrays)
+        for e in self.events:
+            if e.op.kind is OpKind.WRITE and e.op.array in names:
+                best = max(best, e.op.index)
+        return best
+
+    def check_read_your_writes(self) -> bool:
+        """Sanity check that reads return the last preceding write.
+
+        Returns True when the history is consistent with interleaving
+        semantics.  (It always is for histories produced by
+        :class:`~repro.memory.registers.SharedMemory`; this method exists so
+        property tests can assert the substrate really is linearizable.)
+        """
+        state: dict[tuple[str, int], int] = {}
+        defaults = {"a0": 0, "a1": 0}
+        for e in self.events:
+            key = (e.op.array, e.op.index)
+            if e.op.kind is OpKind.WRITE:
+                state[key] = e.value
+            else:
+                if e.op.index == 0 and e.op.array in ("a0", "a1"):
+                    expected = 1  # read-only prefix
+                else:
+                    expected = state.get(key, defaults.get(e.op.array, 0))
+                if e.value != expected:
+                    return False
+        return True

@@ -1,0 +1,201 @@
+"""Atomic registers and unbounded bit arrays.
+
+Atomicity here is trivial by construction: the simulation engines execute
+exactly one operation per step, so each read returns the value of the last
+preceding write (interleaving semantics, Section 3 of the paper).  The value
+of this module is in the *bookkeeping*: read-only prefixes, default values
+for untouched locations of the conceptually infinite arrays, per-location
+statistics, and cheap snapshot/restore for the model checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import MemoryError_
+from repro.types import OpKind, Operation, OpResult
+
+
+class AtomicRegister:
+    """A single multi-writer multi-reader atomic register."""
+
+    __slots__ = ("value", "writes", "reads")
+
+    def __init__(self, initial: int = 0) -> None:
+        self.value = initial
+        #: Number of writes applied to this register.
+        self.writes = 0
+        #: Number of reads served by this register.
+        self.reads = 0
+
+    def read(self) -> int:
+        self.reads += 1
+        return self.value
+
+    def write(self, value: int) -> None:
+        self.value = value
+        self.writes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AtomicRegister({self.value})"
+
+
+class UnboundedBitArray:
+    """A conceptually infinite array of atomic bits, materialized lazily.
+
+    Untouched locations read as ``default`` (0 for the paper's arrays).
+    Index 0 can be declared a read-only prefix with a fixed value, realizing
+    the paper's convention that ``a0[0]`` and ``a1[0]`` are "effectively
+    read-only locations ... set to 1".
+
+    An optional ``capacity`` turns the array into the bounded array of the
+    Section 8 construction: accesses beyond ``capacity`` raise
+    :class:`~repro.errors.MemoryError_`, so tests can prove the combined
+    protocol never touches more than r_max locations.
+    """
+
+    __slots__ = ("name", "default", "prefix_value", "capacity", "_cells")
+
+    def __init__(self, name: str, default: int = 0,
+                 prefix_value: Optional[int] = None,
+                 capacity: Optional[int] = None) -> None:
+        self.name = name
+        self.default = default
+        self.prefix_value = prefix_value
+        self.capacity = capacity
+        self._cells: Dict[int, AtomicRegister] = {}
+
+    def _check_index(self, index: int) -> None:
+        if index < 0:
+            raise MemoryError_(f"{self.name}[{index}]: negative index")
+        if self.capacity is not None and index > self.capacity:
+            raise MemoryError_(
+                f"{self.name}[{index}]: beyond bounded capacity {self.capacity}"
+            )
+
+    def read(self, index: int) -> int:
+        self._check_index(index)
+        if index == 0 and self.prefix_value is not None:
+            return self.prefix_value
+        cell = self._cells.get(index)
+        if cell is None:
+            return self.default
+        return cell.read()
+
+    def write(self, index: int, value: int) -> None:
+        self._check_index(index)
+        if index == 0 and self.prefix_value is not None:
+            raise MemoryError_(f"{self.name}[0] is a read-only prefix")
+        cell = self._cells.get(index)
+        if cell is None:
+            cell = self._cells[index] = AtomicRegister(self.default)
+        cell.write(value)
+
+    def max_touched_index(self) -> int:
+        """The largest index ever written (0 if none)."""
+        return max(self._cells, default=0)
+
+    def touched_count(self) -> int:
+        """Number of distinct locations materialized by writes."""
+        return len(self._cells)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Yield ``(index, value)`` for every materialized location."""
+        for idx in sorted(self._cells):
+            yield idx, self._cells[idx].value
+
+    def snapshot(self) -> Tuple[Tuple[int, int], ...]:
+        """An immutable, hashable image of the array contents."""
+        return tuple((i, c.value) for i, c in sorted(self._cells.items()))
+
+    def restore(self, snap: Tuple[Tuple[int, int], ...]) -> None:
+        """Restore contents from a :meth:`snapshot` image (counters reset)."""
+        self._cells = {i: AtomicRegister(v) for i, v in snap}
+        # Restored registers report the restored value but fresh counters;
+        # snapshots are a model-checking device, not a statistics device.
+        for i, v in snap:
+            self._cells[i].value = v
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{i}:{v}" for i, v in self.items())
+        return f"UnboundedBitArray({self.name}; {body})"
+
+
+class SharedMemory:
+    """A named collection of unbounded arrays plus an execution entry point.
+
+    All protocol interaction with memory goes through :meth:`execute`, which
+    performs exactly one atomic operation and returns its result.  An
+    optional recorder (see :mod:`repro.memory.history`) observes every
+    operation for invariant checking and debugging.
+    """
+
+    def __init__(self, arrays: Optional[Iterable[UnboundedBitArray]] = None,
+                 recorder: Optional["HistoryRecorderLike"] = None) -> None:
+        self.arrays: Dict[str, UnboundedBitArray] = {}
+        for arr in arrays or ():
+            self.add_array(arr)
+        self.recorder = recorder
+        #: Total operations executed through this memory.
+        self.total_ops = 0
+
+    def add_array(self, array: UnboundedBitArray) -> UnboundedBitArray:
+        if array.name in self.arrays:
+            raise MemoryError_(f"array {array.name!r} already exists")
+        self.arrays[array.name] = array
+        return array
+
+    def array(self, name: str) -> UnboundedBitArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise MemoryError_(f"unknown array {name!r}") from None
+
+    def execute(self, op: Operation, pid: Optional[int] = None) -> OpResult:
+        """Atomically execute one operation, returning its result."""
+        arr = self.array(op.array)
+        if op.kind is OpKind.READ:
+            value = arr.read(op.index)
+        else:
+            arr.write(op.index, op.value)  # type: ignore[arg-type]
+            value = op.value  # type: ignore[assignment]
+        self.total_ops += 1
+        result = OpResult(op, value)  # type: ignore[arg-type]
+        if self.recorder is not None:
+            self.recorder.record(self.total_ops, pid, op, value)  # type: ignore[arg-type]
+        return result
+
+    def snapshot(self) -> Tuple[Tuple[str, Tuple[Tuple[int, int], ...]], ...]:
+        """Immutable, hashable image of all array contents."""
+        return tuple((name, arr.snapshot())
+                     for name, arr in sorted(self.arrays.items()))
+
+    def restore(self, snap) -> None:
+        """Restore all arrays from a :meth:`snapshot` image."""
+        for name, arr_snap in snap:
+            self.array(name).restore(arr_snap)
+
+
+class HistoryRecorderLike:
+    """Protocol for operation observers (see :mod:`repro.memory.history`)."""
+
+    def record(self, seq: int, pid: Optional[int], op: Operation,
+               value: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def make_racing_arrays(recorder: Optional[HistoryRecorderLike] = None,
+                       capacity: Optional[int] = None) -> SharedMemory:
+    """Build the lean-consensus memory: arrays ``a0``/``a1`` with the 1-prefix.
+
+    Args:
+        recorder: optional operation observer.
+        capacity: optional bound on indices, for the Section 8 construction.
+    """
+    return SharedMemory(
+        arrays=[
+            UnboundedBitArray("a0", default=0, prefix_value=1, capacity=capacity),
+            UnboundedBitArray("a1", default=0, prefix_value=1, capacity=capacity),
+        ],
+        recorder=recorder,
+    )

@@ -1,0 +1,21 @@
+"""Exhaustive interleaving exploration for small configurations.
+
+Safety (agreement, validity, the Lemma-2 ladder) must hold under *every*
+schedule, not just the sampled ones.  For small process counts and bounded
+operation budgets this package enumerates all interleavings — and, for the
+hybrid uniprocessor model, all legal pre-emption choices including the
+adversary's initial quantum debts — by depth-first search with state
+de-duplication over (machines, memory, scheduler) snapshots.
+
+The intentionally unsafe :class:`~repro.core.variants.EagerDecideLean`
+variant exists precisely so the test suite can prove this checker finds
+real counterexamples.
+"""
+
+from repro.modelcheck.explorer import (
+    CheckOutcome,
+    explore_free,
+    explore_hybrid,
+)
+
+__all__ = ["CheckOutcome", "explore_free", "explore_hybrid"]

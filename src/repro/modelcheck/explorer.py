@@ -1,0 +1,249 @@
+"""Depth-first exhaustive exploration with state de-duplication.
+
+Exploration is sound for safety properties: a protocol state (machine
+control states + memory contents + scheduler bookkeeping) fully determines
+future behaviour, so each state needs to be expanded once.  Budgets bound
+the search: ``max_ops_per_process`` truncates infinite schedules (under a
+pure adversary lean-consensus may legitimately run forever — that is the
+FLP impossibility, not a bug), and ``max_states`` guards memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvariantViolation, ModelCheckError
+from repro.core.invariants import check_agreement, check_validity
+from repro.core.machine import ProcessMachine
+from repro.memory.registers import SharedMemory
+from repro.sched.hybrid import HybridScheduler
+from repro.sim.runner import make_memory_for
+from repro.types import Decision
+
+MachineFactory = Callable[[int, int], ProcessMachine]
+
+
+@dataclass
+class CheckOutcome:
+    """What an exhaustive exploration found.
+
+    Attributes:
+        states_explored: distinct states expanded.
+        violation: the first safety violation found, if any.
+        trace: the pid schedule reaching the violation (one pid per
+            executed operation), or None.
+        truncated: True when some path hit the per-process op budget while
+            processes were still undecided (expected for adversarial
+            schedules of a deterministic protocol).
+        complete: True when the search ran to exhaustion without hitting
+            the state budget.
+        max_decision_ops: the largest per-process operation count observed
+            at any decision, across all explored paths (drives the
+            Theorem-14 bound check).
+        decided_leaves: number of distinct explored states in which every
+            process had decided.
+    """
+
+    states_explored: int = 0
+    violation: Optional[InvariantViolation] = None
+    trace: Optional[List[int]] = None
+    truncated: bool = False
+    complete: bool = True
+    max_decision_ops: int = 0
+    decided_leaves: int = 0
+
+    @property
+    def safe(self) -> bool:
+        return self.violation is None
+
+
+class _Search:
+    """Shared DFS core for both exploration modes."""
+
+    def __init__(self, machines: Sequence[ProcessMachine],
+                 memory: SharedMemory,
+                 max_ops_per_process: int,
+                 max_states: int) -> None:
+        self.machines = list(machines)
+        self.memory = memory
+        self.max_ops = max_ops_per_process
+        self.max_states = max_states
+        self.visited: set = set()
+        self.outcome = CheckOutcome()
+        self.path: List[int] = []
+        self.inputs = {m.pid: m.input for m in self.machines}
+
+    # -- state plumbing --------------------------------------------------
+
+    def _key(self, extra: Tuple = ()) -> Tuple:
+        return (tuple(m.snapshot() for m in self.machines),
+                self.memory.snapshot(), extra)
+
+    def _decisions(self) -> Dict[int, Decision]:
+        return {m.pid: m.decision for m in self.machines
+                if m.decision is not None}
+
+    def _check_safety(self) -> None:
+        decisions = self._decisions()
+        check_agreement(decisions)
+        check_validity(self.inputs, decisions)
+
+    def _eligible(self) -> List[int]:
+        return [m.pid for m in self.machines
+                if not m.done and m.ops < self.max_ops]
+
+    def _step(self, machine: ProcessMachine) -> None:
+        op = machine.peek()
+        res = self.memory.execute(op, pid=machine.pid)
+        machine.apply(res)
+        if machine.decision is not None:
+            self.outcome.max_decision_ops = max(
+                self.outcome.max_decision_ops, machine.decision.ops)
+
+    # -- DFS ---------------------------------------------------------------
+
+    def run(self, choices: Callable[[], List[int]],
+            extra_key: Callable[[], Tuple],
+            on_dispatch: Optional[Callable[[int, List[int]], None]] = None,
+            sched_snapshot: Optional[Callable[[], Tuple]] = None,
+            sched_restore: Optional[Callable[[Tuple], None]] = None) -> None:
+        key = self._key(extra_key())
+        if key in self.visited:
+            return
+        if len(self.visited) >= self.max_states:
+            self.outcome.complete = False
+            return
+        self.visited.add(key)
+        self.outcome.states_explored += 1
+
+        opts = choices()
+        if not opts:
+            if all(m.decision is not None for m in self.machines):
+                self.outcome.decided_leaves += 1
+            if any(not m.done and m.ops >= self.max_ops
+                   for m in self.machines):
+                self.outcome.truncated = True
+            return
+
+        # Must match the filter used by `choices` (ops budget included),
+        # otherwise the hybrid scheduler's legality re-check can disagree
+        # with the options enumerated above.
+        alive_now = self._eligible()
+        for pid in opts:
+            machine_snaps = [m.snapshot() for m in self.machines]
+            mem_snap = self.memory.snapshot()
+            sched_snap = sched_snapshot() if sched_snapshot else None
+            machine = next(m for m in self.machines if m.pid == pid)
+            if on_dispatch is not None:
+                on_dispatch(pid, alive_now)
+            self._step(machine)
+            self.path.append(pid)
+            try:
+                self._check_safety()
+            except InvariantViolation as violation:
+                self.outcome.violation = violation
+                self.outcome.trace = list(self.path)
+                return
+            self.run(choices, extra_key, on_dispatch,
+                     sched_snapshot, sched_restore)
+            self.path.pop()
+            for m, snap in zip(self.machines, machine_snaps):
+                m.restore(snap)
+            self.memory.restore(mem_snap)
+            if sched_restore is not None and sched_snap is not None:
+                sched_restore(sched_snap)
+            if self.outcome.violation is not None:
+                return
+
+
+def explore_free(factory: MachineFactory, inputs: Dict[int, int],
+                 max_ops_per_process: int = 24,
+                 max_states: int = 2_000_000) -> CheckOutcome:
+    """Explore *every* interleaving of the machines up to the op budget.
+
+    Args:
+        factory: builds a machine from (pid, input); must be deterministic
+            (coin-flipping protocols need scripted coins).
+        inputs: pid -> input bit.
+        max_ops_per_process: per-process operation budget bounding depth.
+        max_states: distinct-state budget.
+
+    Returns:
+        The search outcome; ``outcome.safe`` is the headline verdict.
+    """
+    machines = [factory(pid, bit) for pid, bit in sorted(inputs.items())]
+    memory = make_memory_for(machines)
+    search = _Search(machines, memory, max_ops_per_process, max_states)
+    search.run(choices=search._eligible, extra_key=lambda: ())
+    return search.outcome
+
+
+def explore_hybrid(factory: MachineFactory, inputs: Dict[int, int],
+                   quantum: int,
+                   priorities: Optional[Sequence[int]] = None,
+                   initial_used_options: Sequence[int] = (0,),
+                   debt_policy: str = "holder",
+                   max_ops_per_process: int = 16,
+                   max_states: int = 2_000_000) -> CheckOutcome:
+    """Explore all legal hybrid-scheduled executions (Section 7).
+
+    Enumerates every adversarial choice: the initial quantum debt(s) drawn
+    from ``initial_used_options``, and at every step every legal dispatch
+    (continue, or pre-empt by a higher-priority process, or by an
+    equal-priority one once the quantum is exhausted).
+
+    Under the default ``debt_policy="holder"`` only the first-dispatched
+    process can carry initial debt (the Theorem-14 reading), so one debt
+    value is enumerated and applied to whichever process runs first; under
+    ``"per-process"`` the full cross-product of debts is enumerated.
+
+    The Theorem-14 claim corresponds to
+    ``outcome.max_decision_ops <= 12`` with no truncation when
+    ``quantum >= 8`` and ``max_ops_per_process > 12``.
+    """
+    pids = sorted(inputs)
+    n = len(pids)
+    if priorities is None:
+        priorities = [0] * n
+    merged = CheckOutcome()
+    if debt_policy == "holder":
+        debt_choices = [(d,) * n for d in initial_used_options]
+    else:
+        debt_choices = list(itertools.product(initial_used_options, repeat=n))
+    for debts in debt_choices:
+        debts_map = {pid: min(d, quantum) for pid, d in zip(pids, debts)}
+        machines = [factory(pid, inputs[pid]) for pid in pids]
+        memory = make_memory_for(machines)
+        scheduler = HybridScheduler(priorities, quantum,
+                                    initial_used=debts_map,
+                                    debt_policy=debt_policy)
+        search = _Search(machines, memory, max_ops_per_process, max_states)
+
+        def choices() -> List[int]:
+            alive = [m.pid for m in search.machines
+                     if not m.done and m.ops < search.max_ops]
+            if not alive:
+                return []
+            return scheduler.legal_next(alive)
+
+        search.run(
+            choices=choices,
+            extra_key=scheduler.snapshot,
+            on_dispatch=scheduler.dispatch,
+            sched_snapshot=scheduler.snapshot,
+            sched_restore=scheduler.restore,
+        )
+        outcome = search.outcome
+        merged.states_explored += outcome.states_explored
+        merged.truncated |= outcome.truncated
+        merged.complete &= outcome.complete
+        merged.max_decision_ops = max(merged.max_decision_ops,
+                                      outcome.max_decision_ops)
+        merged.decided_leaves += outcome.decided_leaves
+        if outcome.violation is not None and merged.violation is None:
+            merged.violation = outcome.violation
+            merged.trace = outcome.trace
+            break
+    return merged

@@ -1,0 +1,23 @@
+"""Timing-based mutual exclusion under noisy scheduling (Section 10).
+
+The paper's closing discussion points at Gafni and Mitzenmacher's analysis
+of timing-based mutual exclusion with random timing, and remarks that
+algorithms designed for unknown-delay models "should continue to work in
+the noisy scheduling model, perhaps with some constraint on the noise
+distribution to exclude random delays with unbounded expectations."
+
+This package makes that remark measurable.  It implements Fischer's
+classic timing-based mutex — correct when the chosen pause ``d`` exceeds
+the maximum time an operation can linger — and runs it under admissible
+noise distributions:
+
+* with *bounded* noise (e.g. uniform(0, 2)), a pause above the bound makes
+  violations impossible, and the simulation confirms zero violations;
+* with *unbounded* noise (e.g. exponential), no finite pause is safe; the
+  violation probability decays with ``d`` but never reaches zero — the
+  constraint the paper anticipated.
+"""
+
+from repro.mutex.fischer import FischerResult, simulate_fischer
+
+__all__ = ["FischerResult", "simulate_fischer"]

@@ -1,0 +1,174 @@
+"""Fischer's timing-based mutual exclusion, simulated under noisy timing.
+
+The protocol (per process, for each critical-section entry):
+
+1. read ``lock`` until it is 0 (spin);
+2. write ``lock := pid + 1``;
+3. pause for a fixed time ``d`` (the timing assumption);
+4. read ``lock``; if it still holds this process's claim, enter the
+   critical section, else go back to 1.
+5. on exit, write ``lock := 0``.
+
+Safety argument (classic): if every operation completes within time B of
+being issued, then after the pause ``d > B`` any competing claim written
+before ours has either been observed (we lose) or overwritten ours (we
+lose) — two processes can never both see their own claim.  Under the noisy
+scheduling model each operation's duration is ``>= the noise draw``, so B
+is the *essential supremum* of the noise: finite for bounded
+distributions, infinite for exponential-like ones.  The simulation
+measures exactly this dichotomy.
+
+The engine here is a small dedicated event loop (the pause step is a pure
+time increment with no memory operation, which the consensus engines have
+no reason to support).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noise.distributions import NoiseDistribution
+
+# Per-process protocol states.
+_SPIN = "spin"          # step 1: read lock, want 0
+_CLAIM = "claim"        # step 2: write pid+1
+_PAUSE = "pause"        # step 3: timed wait
+_CHECK = "check"        # step 4: read lock, want own claim
+_IN_CS = "in-cs"        # critical section (fixed op count)
+_RELEASE = "release"    # step 5: write 0
+
+
+@dataclass
+class FischerResult:
+    """Outcome of one Fischer-mutex simulation.
+
+    Attributes:
+        entries: critical-section entries completed across processes.
+        violations: number of times a process entered the critical section
+            while another was inside — the mutual-exclusion failures.
+        max_concurrent: worst-case simultaneous occupancy observed.
+        mean_wait: mean time from starting to compete to entering the
+            critical section.
+        total_ops: shared-memory operations executed.
+        sim_time: simulation clock at the end.
+        entries_by_pid: per-process entry counts (fairness profile).
+    """
+
+    entries: int = 0
+    violations: int = 0
+    max_concurrent: int = 0
+    mean_wait: float = 0.0
+    total_ops: int = 0
+    sim_time: float = 0.0
+    entries_by_pid: Dict[int, int] = field(default_factory=dict)
+
+
+def simulate_fischer(n: int, noise: NoiseDistribution, pause: float,
+                     rng: np.random.Generator,
+                     target_entries: int = 50,
+                     cs_ops: int = 2,
+                     max_ops: int = 500_000) -> FischerResult:
+    """Run Fischer's mutex until ``target_entries`` critical sections.
+
+    Args:
+        n: number of competing processes.
+        noise: per-operation duration distribution (admissibility is the
+            caller's concern; degenerate distributions are fine here —
+            this is not a consensus liveness experiment).
+        pause: the timing parameter d of step 3.
+        rng: randomness source.
+        target_entries: stop after this many completed critical sections.
+        cs_ops: operations performed inside the critical section.
+        max_ops: hard budget (guards pathological parameter choices).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if pause < 0:
+        raise ConfigurationError(f"pause must be >= 0, got {pause}")
+    if target_entries < 1:
+        raise ConfigurationError("target_entries must be >= 1")
+
+    lock = 0
+    state = {pid: _SPIN for pid in range(n)}
+    cs_remaining = {pid: 0 for pid in range(n)}
+    compete_since: Dict[int, float] = {}
+    in_cs: set = set()
+
+    result = FischerResult(entries_by_pid={pid: 0 for pid in range(n)})
+    waits: List[float] = []
+
+    heap: List = []
+    counter = itertools.count()
+    for pid in range(n):
+        first = float(noise.sample(rng)) + float(rng.uniform(0.0, 1e-12))
+        heapq.heappush(heap, (first, next(counter), pid))
+        compete_since[pid] = 0.0
+
+    now = 0.0
+    while heap and result.entries < target_entries \
+            and result.total_ops < max_ops:
+        now, _, pid = heapq.heappop(heap)
+        phase = state[pid]
+        delay: Optional[float] = None  # None means "one noisy op"
+
+        if phase == _SPIN:
+            result.total_ops += 1
+            if lock == 0:
+                state[pid] = _CLAIM
+        elif phase == _CLAIM:
+            result.total_ops += 1
+            lock = pid + 1
+            state[pid] = _PAUSE
+        elif phase == _PAUSE:
+            # The pause itself consumed time when scheduled below; now
+            # perform the check read next.
+            state[pid] = _CHECK
+            delay = 0.0
+        elif phase == _CHECK:
+            result.total_ops += 1
+            if lock == pid + 1:
+                state[pid] = _IN_CS
+                cs_remaining[pid] = cs_ops
+                in_cs.add(pid)
+                if len(in_cs) > 1:
+                    result.violations += 1
+                result.max_concurrent = max(result.max_concurrent,
+                                            len(in_cs))
+                waits.append(now - compete_since[pid])
+            else:
+                state[pid] = _SPIN
+        elif phase == _IN_CS:
+            result.total_ops += 1
+            cs_remaining[pid] -= 1
+            if cs_remaining[pid] <= 0:
+                state[pid] = _RELEASE
+        else:  # _RELEASE
+            result.total_ops += 1
+            if lock == pid + 1:
+                lock = 0
+            in_cs.discard(pid)
+            result.entries += 1
+            result.entries_by_pid[pid] += 1
+            state[pid] = _SPIN
+            compete_since[pid] = now
+
+        if result.entries >= target_entries:
+            break
+        if delay is None:
+            inc = float(noise.sample(rng))
+        else:
+            inc = delay
+        if state[pid] == _PAUSE:
+            inc += pause
+        inc += float(rng.uniform(0.0, 1e-12))
+        heapq.heappush(heap, (now + inc, next(counter), pid))
+
+    result.sim_time = now
+    result.mean_wait = float(np.mean(waits)) if waits else 0.0
+    return result

@@ -1,0 +1,33 @@
+"""Asynchronous message-passing substrate (Section 10, "Message passing").
+
+The paper asks whether noisy scheduling helps consensus in asynchronous
+message passing.  This package provides the substrate to study that
+question:
+
+* :mod:`repro.netsim.network` — a discrete-event message-passing network
+  with noisy per-message delivery latencies and crash failures;
+* :mod:`repro.netsim.abd` — the Attiya-Bar-Noy-Dolev (ABD) emulation of
+  multi-writer multi-reader atomic registers over a majority of possibly
+  crashing servers;
+* :mod:`repro.netsim.runner` — runs any shared-memory protocol machine
+  (lean-consensus included) unchanged on top of the emulated registers.
+
+The composition realizes the paper's suggestion concretely: network delay
+noise plays the role of scheduling noise, and lean-consensus inherits its
+O(log n)-flavoured termination, now tolerating a minority of server
+crashes (the EXP-MP experiment measures this).
+"""
+
+from repro.netsim.network import Message, Network
+from repro.netsim.abd import AbdClient, AbdServer, quorum_size
+from repro.netsim.runner import MessagePassingTrial, run_mp_trial
+
+__all__ = [
+    "AbdClient",
+    "AbdServer",
+    "Message",
+    "MessagePassingTrial",
+    "Network",
+    "quorum_size",
+    "run_mp_trial",
+]

@@ -1,0 +1,190 @@
+"""ABD atomic-register emulation over crash-prone servers.
+
+Attiya, Bar-Noy, and Dolev's classic construction: a multi-writer
+multi-reader atomic register is emulated over ``n_servers`` replicas, of
+which any minority may crash, using two-phase majority quorums:
+
+* **write(v)**: query a majority for the highest timestamp; then send
+  ``(ts + 1, writer_pid)``-stamped ``v`` to a majority.
+* **read()**: query a majority for the highest stamped value; then
+  *write back* that value to a majority (the famous "reads write" phase
+  that makes reads linearizable); return it.
+
+Timestamps are (counter, writer-pid) pairs, ordered lexicographically.
+
+The client side is expressed as a reactive state machine so it composes
+with :class:`~repro.netsim.network.Network`; one transaction is in flight
+per client at a time, matching the one-operation-at-a-time protocol
+machines of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netsim.network import Message, Node
+from repro.types import OpKind, Operation
+
+#: Message tags.
+QUERY = "Q"          # (QUERY, txn, array, index)
+QUERY_REPLY = "QR"   # (QUERY_REPLY, txn, array, index, ts, wpid, value)
+UPDATE = "U"         # (UPDATE, txn, array, index, ts, wpid, value)
+UPDATE_ACK = "UA"    # (UPDATE_ACK, txn, array, index)
+
+Stamp = Tuple[int, int]  # (counter, writer pid); lexicographic order
+
+
+def quorum_size(n_servers: int) -> int:
+    """Majority quorum size; tolerates f < n_servers / 2 crashes."""
+    if n_servers < 1:
+        raise ConfigurationError(f"need at least one server, got {n_servers}")
+    return n_servers // 2 + 1
+
+
+class AbdServer(Node):
+    """A register replica: stores the highest-stamped value per location."""
+
+    def __init__(self, defaults: Optional[Callable[[str, int], int]] = None) -> None:
+        self.store: Dict[Tuple[str, int], Tuple[Stamp, int]] = {}
+        self._defaults = defaults if defaults is not None else (lambda a, i: 0)
+        #: Operation counters for reporting.
+        self.queries = 0
+        self.updates = 0
+
+    def _lookup(self, array: str, index: int) -> Tuple[Stamp, int]:
+        key = (array, index)
+        if key not in self.store:
+            return ((0, -1), self._defaults(array, index))
+        return self.store[key]
+
+    def on_message(self, msg: Message, now: float) -> Iterable[Message]:
+        tag = msg.payload[0]
+        if tag == QUERY:
+            _, txn, array, index = msg.payload
+            self.queries += 1
+            (counter, wpid), value = self._lookup(array, index)
+            return [Message(self.name, msg.src,
+                            (QUERY_REPLY, txn, array, index,
+                             counter, wpid, value))]
+        if tag == UPDATE:
+            _, txn, array, index, counter, wpid, value = msg.payload
+            self.updates += 1
+            key = (array, index)
+            current, _ = self._lookup(array, index)
+            if (counter, wpid) > current:
+                self.store[key] = ((counter, wpid), value)
+            return [Message(self.name, msg.src,
+                            (UPDATE_ACK, txn, array, index))]
+        return []  # unknown tags are dropped (defensive)
+
+
+@dataclass
+class _Transaction:
+    """One in-flight ABD read or write."""
+
+    txn: int
+    op: Operation
+    phase: str = "query"            # "query" -> "update" -> done
+    replies: List[Tuple[Stamp, int]] = field(default_factory=list)
+    acks: int = 0
+    #: The value the transaction will return (reads) or echo (writes).
+    result: Optional[int] = None
+
+
+class AbdClient(Node):
+    """Client endpoint translating register ops into quorum transactions.
+
+    Args:
+        servers: names of the replica nodes.
+        on_complete: callback ``(op, value, now)`` invoked when the current
+            transaction commits; the consensus driver chains the protocol
+            machine from it.
+
+    Use :meth:`begin` to start a transaction (one at a time).
+    """
+
+    def __init__(self, servers: List[str],
+                 on_complete: Callable[[Operation, int, float],
+                                       Iterable[Message]]) -> None:
+        if not servers:
+            raise ConfigurationError("need at least one server")
+        self.servers = list(servers)
+        self.quorum = quorum_size(len(servers))
+        self.on_complete = on_complete
+        self._txn_counter = 0
+        self._current: Optional[_Transaction] = None
+        #: Committed transactions, for reporting.
+        self.committed = 0
+        #: Stamp of the last transaction's value: the written stamp for
+        #: writes, the returned value's stamp for reads.  Exposed for
+        #: linearizability checking.
+        self.last_stamp: Stamp = (0, -1)
+
+    # -- API ---------------------------------------------------------------
+
+    def begin(self, op: Operation) -> List[Message]:
+        """Start the two-phase protocol for ``op``; returns the queries."""
+        if self._current is not None:
+            raise ConfigurationError(
+                f"{self.name}: transaction {self._current.txn} in flight")
+        self._txn_counter += 1
+        self._current = _Transaction(self._txn_counter, op)
+        return [Message(self.name, server,
+                        (QUERY, self._txn_counter, op.array, op.index))
+                for server in self.servers]
+
+    # -- message handling --------------------------------------------------
+
+    def on_message(self, msg: Message, now: float) -> Iterable[Message]:
+        txn = self._current
+        if txn is None:
+            return []
+        tag = msg.payload[0]
+        if tag == QUERY_REPLY and txn.phase == "query":
+            _, txn_id, array, index, counter, wpid, value = msg.payload
+            if txn_id != txn.txn:
+                return []
+            txn.replies.append((((counter, wpid)), value))
+            if len(txn.replies) == self.quorum:
+                return self._enter_update_phase(txn)
+            return []
+        if tag == UPDATE_ACK and txn.phase == "update":
+            _, txn_id, array, index = msg.payload
+            if txn_id != txn.txn:
+                return []
+            txn.acks += 1
+            if txn.acks == self.quorum:
+                return self._commit(txn, now)
+            return []
+        return []
+
+    def _enter_update_phase(self, txn: _Transaction) -> List[Message]:
+        (counter, wpid), value = max(txn.replies)
+        op = txn.op
+        if op.kind is OpKind.WRITE:
+            stamp = (counter + 1, self._writer_pid())
+            payload_value = op.value
+            txn.result = op.value
+        else:
+            # Read write-back: propagate the freshest value unchanged.
+            stamp = (counter, wpid)
+            payload_value = value
+            txn.result = value
+        self.last_stamp = stamp
+        txn.phase = "update"
+        return [Message(self.name, server,
+                        (UPDATE, txn.txn, op.array, op.index,
+                         stamp[0], stamp[1], payload_value))
+                for server in self.servers]
+
+    def _commit(self, txn: _Transaction, now: float) -> Iterable[Message]:
+        self._current = None
+        self.committed += 1
+        return self.on_complete(txn.op, txn.result, now)  # type: ignore[arg-type]
+
+    def _writer_pid(self) -> int:
+        # Client names are "client<pid>"; extract the pid for timestamps.
+        digits = "".join(ch for ch in self.name if ch.isdigit())
+        return int(digits) if digits else 0

@@ -1,0 +1,141 @@
+"""Discrete-event asynchronous message-passing network.
+
+Messages between nodes suffer i.i.d. noisy latencies drawn from an
+admissible noise distribution (the message-passing analogue of the
+Section 3.1 operation noise).  Nodes are reactive objects: delivering a
+message to a node returns the batch of messages it sends in response.
+Crashed nodes silently drop everything — the standard crash-stop model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noise.distributions import NoiseDistribution, validate_noise
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    ``payload`` is an arbitrary (hashable not required) application value;
+    the ABD layer uses small tuples.
+    """
+
+    src: str
+    dst: str
+    payload: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src}->{self.dst}: {self.payload}"
+
+
+class Node:
+    """Base class for reactive network nodes."""
+
+    #: Unique node name, set by the network on registration.
+    name: str = "?"
+
+    def on_message(self, msg: Message, now: float) -> Iterable[Message]:
+        """Handle a delivered message; return messages to send."""
+        raise NotImplementedError
+
+    def on_start(self, now: float) -> Iterable[Message]:
+        """Called once when the simulation starts; return initial sends."""
+        return ()
+
+
+class Network:
+    """The event loop: schedules deliveries under noisy latency.
+
+    Args:
+        latency: per-message delay distribution (validated against the
+            model's admissibility conditions unless ``allow_degenerate``).
+        rng: randomness source for latencies.
+        allow_degenerate: permit constant latency (synchronous network).
+
+    Use :meth:`add_node` to register nodes, :meth:`crash` to fail them,
+    and :meth:`run` to drive the simulation until quiescence, a predicate,
+    or a message budget.
+    """
+
+    def __init__(self, latency: NoiseDistribution,
+                 rng: np.random.Generator,
+                 allow_degenerate: bool = False) -> None:
+        if not allow_degenerate:
+            validate_noise(latency)
+        self.latency = latency
+        self.rng = rng
+        self.nodes: Dict[str, Node] = {}
+        self.crashed: Set[str] = set()
+        self._queue: List[Tuple[float, int, Message]] = []
+        self._seq = itertools.count()
+        #: Total messages delivered.
+        self.delivered = 0
+        #: Total messages sent (including ones later dropped by crashes).
+        self.sent = 0
+        self.now = 0.0
+
+    def add_node(self, name: str, node: Node) -> Node:
+        if name in self.nodes:
+            raise ConfigurationError(f"node {name!r} already registered")
+        node.name = name
+        self.nodes[name] = node
+        return node
+
+    def crash(self, name: str) -> None:
+        """Crash-stop a node: it stops sending and receiving."""
+        if name not in self.nodes:
+            raise ConfigurationError(f"unknown node {name!r}")
+        self.crashed.add(name)
+
+    def send(self, msg: Message, now: float) -> None:
+        """Schedule delivery of ``msg`` after a noisy latency."""
+        self.sent += 1
+        if msg.src in self.crashed:
+            return
+        delay = float(self.latency.sample(self.rng))
+        # Tiny dither forbids simultaneous deliveries (Section 3.1's
+        # technical constraint, carried over to messages).
+        delay += float(self.rng.uniform(0.0, 1e-12))
+        heapq.heappush(self._queue, (now + delay, next(self._seq), msg))
+
+    def _dispatch(self, batch: Iterable[Message], now: float) -> None:
+        for msg in batch:
+            if msg.dst not in self.nodes:
+                raise SimulationError(f"message to unknown node: {msg}")
+            self.send(msg, now)
+
+    def start(self) -> None:
+        """Deliver every node's initial sends."""
+        for node in list(self.nodes.values()):
+            if node.name not in self.crashed:
+                self._dispatch(node.on_start(self.now), self.now)
+
+    def run(self, until: Optional[Callable[[], bool]] = None,
+            max_messages: int = 1_000_000) -> bool:
+        """Process deliveries until the predicate holds or quiescence.
+
+        Returns True if ``until`` became true, False on quiescence or when
+        the message budget ran out (the caller distinguishes via
+        :attr:`delivered`).
+        """
+        while self._queue:
+            if until is not None and until():
+                return True
+            if self.delivered >= max_messages:
+                return False
+            time, _, msg = heapq.heappop(self._queue)
+            self.now = time
+            if msg.dst in self.crashed or msg.src in self.crashed:
+                continue
+            self.delivered += 1
+            replies = self.nodes[msg.dst].on_message(msg, time)
+            self._dispatch(replies, time)
+        return bool(until()) if until is not None else False

@@ -1,0 +1,147 @@
+"""Run shared-memory protocol machines over the ABD emulation.
+
+Composition: each consensus process is an :class:`AbdClient` driving its
+protocol machine; every ``peek()``-ed register operation becomes a
+two-phase quorum transaction; the transaction's committed value feeds
+``apply()``; repeat until the machine decides.
+
+The registers' zero defaults and the lean arrays' read-only ``a[0] = 1``
+prefixes are installed as server-side defaults, so protocol machines run
+*unchanged*.
+
+Safety note: ABD registers are linearizable, so Lemmas 2-4 apply verbatim
+and agreement/validity hold in the message-passing system, crash failures
+included (any minority of servers, any number of clients).  Termination is
+where the paper's question lives: delivery-latency noise plays the role of
+scheduling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.core.invariants import check_agreement, check_validity
+from repro.core.machine import ProcessMachine
+from repro.errors import ConfigurationError
+from repro.netsim.abd import AbdClient, AbdServer
+from repro.netsim.network import Message, Network, Node
+from repro.noise.distributions import NoiseDistribution
+from repro.sim.runner import ProtocolLike, make_machines
+from repro.types import Decision, Operation
+
+
+def _lean_defaults(array: str, index: int) -> int:
+    """Server-side register defaults: the racing arrays' 1-prefix."""
+    if index == 0 and array.endswith(("a0", "a1")):
+        return 1
+    return 0
+
+
+@dataclass
+class MessagePassingTrial:
+    """Outcome of one message-passing consensus execution."""
+
+    n_clients: int
+    n_servers: int
+    crashed_servers: int
+    inputs: Dict[int, int]
+    decisions: Dict[int, Decision] = field(default_factory=dict)
+    delivered_messages: int = 0
+    sim_time: float = 0.0
+    #: Register transactions committed across all clients.
+    transactions: int = 0
+
+    @property
+    def all_decided(self) -> bool:
+        return len(self.decisions) == self.n_clients
+
+    @property
+    def agreed(self) -> bool:
+        return len({d.value for d in self.decisions.values()}) <= 1
+
+
+class _ConsensusClient(AbdClient):
+    """An ABD client that drives one protocol machine to a decision."""
+
+    def __init__(self, machine: ProcessMachine, servers: List[str]) -> None:
+        super().__init__(servers, on_complete=self._advance)
+        self.machine = machine
+
+    def on_start(self, now: float) -> Iterable[Message]:
+        if self.machine.done:
+            return []
+        return self.begin(self.machine.peek())
+
+    def _advance(self, op: Operation, value: int, now: float):
+        from repro.types import OpResult
+        self.machine.apply(OpResult(op, value))
+        if self.machine.done:
+            return []
+        return self.begin(self.machine.peek())
+
+
+def run_mp_trial(n: int,
+                 latency: NoiseDistribution,
+                 seed: SeedLike = None,
+                 n_servers: int = 5,
+                 crash_servers: int = 0,
+                 inputs=None,
+                 protocol: ProtocolLike = "lean",
+                 max_messages: int = 2_000_000,
+                 check: bool = True) -> MessagePassingTrial:
+    """Run one consensus execution over the ABD-emulated registers.
+
+    Args:
+        n: number of consensus processes (clients).
+        latency: per-message delivery-delay distribution.
+        n_servers: register replicas; tolerates any minority crashing.
+        crash_servers: how many servers to crash at time zero (must stay a
+            minority).
+        protocol: protocol name or factory (see
+            :func:`repro.sim.runner.make_machines`).
+    """
+    if crash_servers * 2 >= n_servers:
+        raise ConfigurationError(
+            f"ABD needs a correct majority: {crash_servers} crashes of "
+            f"{n_servers} servers is not a minority")
+    root = make_rng(seed)
+    rng_net, rng_proto = spawn(root, 2)
+
+    if inputs is None:
+        input_map = {pid: (0 if pid < n // 2 else 1) for pid in range(n)}
+    elif isinstance(inputs, dict):
+        input_map = dict(inputs)
+    else:
+        input_map = {pid: int(b) for pid, b in enumerate(inputs)}
+
+    machines = make_machines(protocol, input_map, rng=rng_proto)
+    network = Network(latency, rng_net)
+    server_names = [f"server{i}" for i in range(n_servers)]
+    for name in server_names:
+        network.add_node(name, AbdServer(defaults=_lean_defaults))
+    clients = []
+    for machine in machines:
+        client = _ConsensusClient(machine, server_names)
+        network.add_node(f"client{machine.pid}", client)
+        clients.append(client)
+    for i in range(crash_servers):
+        network.crash(server_names[i])
+
+    network.start()
+    network.run(until=lambda: all(c.machine.done for c in clients),
+                max_messages=max_messages)
+
+    trial = MessagePassingTrial(
+        n_clients=n, n_servers=n_servers, crashed_servers=crash_servers,
+        inputs=input_map,
+        decisions={c.machine.pid: c.machine.decision for c in clients
+                   if c.machine.decision is not None},
+        delivered_messages=network.delivered,
+        sim_time=network.now,
+        transactions=sum(c.committed for c in clients))
+    if check:
+        check_agreement(trial.decisions)
+        check_validity(trial.inputs, trial.decisions)
+    return trial

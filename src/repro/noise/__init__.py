@@ -1,0 +1,50 @@
+"""Noise distributions for the noisy-scheduling model (paper Section 3.1).
+
+The adversary perturbs its schedule with i.i.d. non-negative noise drawn from
+an arbitrary distribution that is not concentrated on a point.  This package
+provides:
+
+* the six interarrival distributions used in the paper's Figure 1;
+* the pathological heavy-tailed distribution from Theorem 1;
+* the two-point distribution used in the Theorem 13 lower bound;
+* degenerate and extra distributions for ablations and negative tests;
+* :func:`validate_noise`, which enforces the Section 3.1 requirements.
+"""
+
+from repro.noise.distributions import (
+    Constant,
+    Exponential,
+    Geometric,
+    HeavyTail,
+    LogNormal,
+    Mixture,
+    NoiseDistribution,
+    Pareto,
+    PerOpKindNoise,
+    ShiftedExponential,
+    SumOf,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+    figure1_distributions,
+    validate_noise,
+)
+
+__all__ = [
+    "Constant",
+    "Exponential",
+    "Geometric",
+    "HeavyTail",
+    "LogNormal",
+    "Mixture",
+    "NoiseDistribution",
+    "Pareto",
+    "PerOpKindNoise",
+    "ShiftedExponential",
+    "SumOf",
+    "TruncatedNormal",
+    "TwoPoint",
+    "Uniform",
+    "figure1_distributions",
+    "validate_noise",
+]

@@ -1,0 +1,505 @@
+"""Concrete noise distributions.
+
+Each distribution exposes scalar sampling (:meth:`NoiseDistribution.sample`),
+vectorized sampling (:meth:`NoiseDistribution.sample_array`, used by the fast
+engine to pre-generate whole schedules), and enough metadata
+(:attr:`~NoiseDistribution.mean`, :attr:`~NoiseDistribution.is_degenerate`,
+:attr:`~NoiseDistribution.min_value`) for the model-validity checks of
+Section 3.1 of the paper.
+
+The paper's requirements on a noise distribution F (Section 3.1):
+
+1. it produces only non-negative values, and
+2. it is *not* concentrated on a single point.
+
+:func:`validate_noise` enforces both; degenerate distributions such as
+:class:`Constant` can still be constructed for negative tests (they let the
+adversary build lockstep executions in which lean-consensus never
+terminates), but schedulers refuse them unless explicitly told otherwise.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.types import OpKind
+
+
+class NoiseDistribution(abc.ABC):
+    """A distribution of non-negative random delays.
+
+    Subclasses implement :meth:`sample_array`; scalar sampling and all
+    metadata default to sensible derived behaviour.
+    """
+
+    #: Human-readable name, used in experiment tables and plots.
+    name: str = "noise"
+
+    @abc.abstractmethod
+    def sample_array(self, rng: np.random.Generator, size: int | tuple[int, ...]) -> np.ndarray:
+        """Draw an array of i.i.d. samples of the given shape."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a single sample."""
+        return float(self.sample_array(rng, 1)[0])
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution mean; ``math.inf`` if it does not exist/diverges."""
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True if the distribution is concentrated on a single point."""
+        return False
+
+    @property
+    def min_value(self) -> float:
+        """An a-priori lower bound on the support (used for validation)."""
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def validate_noise(dist: NoiseDistribution) -> NoiseDistribution:
+    """Check the Section 3.1 admissibility conditions, returning ``dist``.
+
+    Raises:
+        DistributionError: if the distribution may produce negative values or
+            is concentrated on a point.
+    """
+    if dist.min_value < 0:
+        raise DistributionError(
+            f"noise distribution {dist} may produce negative delays "
+            f"(min_value={dist.min_value}); the model requires X_ij >= 0"
+        )
+    if dist.is_degenerate:
+        raise DistributionError(
+            f"noise distribution {dist} is concentrated on a point; "
+            "Section 3.1 requires a non-degenerate distribution "
+            "(pass allow_degenerate=True to the scheduler to simulate "
+            "lockstep executions anyway)"
+        )
+    return dist
+
+
+class TruncatedNormal(NoiseDistribution):
+    """Normal(mu, sigma^2) restricted to an interval by rejection.
+
+    Figure 1 uses ``TruncatedNormal(1, 0.2, 0, 2)``: "Normal distribution
+    with mean 1 and standard deviation 0.2 (variance 0.04), rejecting points
+    outside (0, 2)".
+    """
+
+    def __init__(self, mu: float = 1.0, sigma: float = 0.2,
+                 low: float = 0.0, high: float = 2.0) -> None:
+        if sigma <= 0:
+            raise DistributionError(f"sigma must be positive, got {sigma}")
+        if not low < high:
+            raise DistributionError(f"need low < high, got [{low}, {high}]")
+        self.mu = mu
+        self.sigma = sigma
+        self.low = low
+        self.high = high
+        self.name = f"normal({mu},{sigma**2:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        out = rng.normal(self.mu, self.sigma, size=size)
+        bad = (out <= self.low) | (out >= self.high)
+        # Rejection loop; for the Figure-1 parameters the rejection
+        # probability is < 1e-6 so this almost never iterates.
+        while bad.any():
+            out[bad] = rng.normal(self.mu, self.sigma, size=int(bad.sum()))
+            bad = (out <= self.low) | (out >= self.high)
+        return out
+
+    @property
+    def mean(self) -> float:
+        # Exact mean of the doubly-truncated normal.
+        a = (self.low - self.mu) / self.sigma
+        b = (self.high - self.mu) / self.sigma
+        phi = lambda x: math.exp(-x * x / 2) / math.sqrt(2 * math.pi)
+        cdf = lambda x: 0.5 * (1 + math.erf(x / math.sqrt(2)))
+        z = cdf(b) - cdf(a)
+        return self.mu + self.sigma * (phi(a) - phi(b)) / z
+
+    @property
+    def min_value(self) -> float:
+        return self.low
+
+
+class TwoPoint(NoiseDistribution):
+    """Takes value ``a`` with probability ``p`` and ``b`` otherwise.
+
+    Figure 1 uses ``TwoPoint(2/3, 4/3)``; the Theorem 13 lower bound uses
+    ``TwoPoint(1, 2)``.
+    """
+
+    def __init__(self, a: float, b: float, p: float = 0.5) -> None:
+        if not 0 <= p <= 1:
+            raise DistributionError(f"p must be in [0,1], got {p}")
+        self.a = float(a)
+        self.b = float(b)
+        self.p = float(p)
+        self.name = f"{a:g},{b:g}"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        picks = rng.random(size) < self.p
+        return np.where(picks, self.a, self.b)
+
+    @property
+    def mean(self) -> float:
+        return self.p * self.a + (1 - self.p) * self.b
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.a == self.b or self.p in (0.0, 1.0)
+
+    @property
+    def min_value(self) -> float:
+        return min(self.a, self.b)
+
+
+class ShiftedExponential(NoiseDistribution):
+    """``shift`` plus an exponential with the given mean.
+
+    Figure 1 uses ``ShiftedExponential(0.5, 0.5)`` ("0.5 plus an exponential
+    random variable with mean 0.5 ... a delayed Poisson process").
+    """
+
+    def __init__(self, shift: float = 0.5, exp_mean: float = 0.5) -> None:
+        if exp_mean <= 0:
+            raise DistributionError(f"exp_mean must be positive, got {exp_mean}")
+        if shift < 0:
+            raise DistributionError(f"shift must be non-negative, got {shift}")
+        self.shift = shift
+        self.exp_mean = exp_mean
+        self.name = f"{shift:g} + exponential({exp_mean:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return self.shift + rng.exponential(self.exp_mean, size=size)
+
+    @property
+    def mean(self) -> float:
+        return self.shift + self.exp_mean
+
+    @property
+    def min_value(self) -> float:
+        return self.shift
+
+
+class Exponential(ShiftedExponential):
+    """Exponential with the given mean (a Poisson process's interarrivals).
+
+    Figure 1 uses ``Exponential(1)``, which the paper notes is equivalent to
+    picking one process uniformly at random per time unit.
+    """
+
+    def __init__(self, mean: float = 1.0) -> None:
+        super().__init__(shift=0.0, exp_mean=mean)
+        self.name = f"exponential({mean:g})"
+
+
+class Geometric(NoiseDistribution):
+    """Geometric on {1, 2, 3, ...} with success probability ``p``.
+
+    Figure 1 uses ``Geometric(0.5)``.
+    """
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0 < p <= 1:
+            raise DistributionError(f"p must be in (0,1], got {p}")
+        self.p = p
+        self.name = f"geometric({p:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return rng.geometric(self.p, size=size).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.p == 1.0
+
+    @property
+    def min_value(self) -> float:
+        return 1.0
+
+
+class Uniform(NoiseDistribution):
+    """Uniform on ``(low, high)``.  Figure 1 uses ``Uniform(0, 2)``."""
+
+    def __init__(self, low: float = 0.0, high: float = 2.0) -> None:
+        if not low < high:
+            raise DistributionError(f"need low < high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.name = f"uniform [{low:g},{high:g}]"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=size)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    @property
+    def min_value(self) -> float:
+        return self.low
+
+
+class HeavyTail(NoiseDistribution):
+    """The Theorem 1 pathological distribution: X = 2^(k^2) w.p. 2^(-k).
+
+    ``k`` ranges over 1, 2, ... .  The probabilities 2^(-k) sum to 1 and the
+    expectation diverges (2^(-k) * 2^(k^2) grows without bound), which is the
+    engine of the unfairness result: the expected number of operations one
+    process completes between two operations of another is infinite.
+
+    ``k_cap`` optionally truncates the support at k <= k_cap (renormalizing
+    by assigning the leftover tail mass to k_cap); the unfairness experiment
+    sweeps the cap to exhibit divergence empirically without overflowing
+    floating point.
+    """
+
+    def __init__(self, k_cap: Optional[int] = None) -> None:
+        if k_cap is not None and k_cap < 1:
+            raise DistributionError(f"k_cap must be >= 1, got {k_cap}")
+        self.k_cap = k_cap
+        self.name = f"2^(k^2) w.p. 2^-k" + (f" (k<={k_cap})" if k_cap else "")
+
+    def _draw_k(self, rng: np.random.Generator, size) -> np.ndarray:
+        # k is geometric(1/2) on {1, 2, ...}.
+        k = rng.geometric(0.5, size=size)
+        if self.k_cap is not None:
+            k = np.minimum(k, self.k_cap)
+        else:
+            # Avoid float overflow: 2^(k^2) overflows float64 for k >= 32.
+            k = np.minimum(k, 31)
+        return k
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        k = self._draw_k(rng, size).astype(np.float64)
+        return np.exp2(k * k)
+
+    @property
+    def mean(self) -> float:
+        if self.k_cap is None:
+            return math.inf
+        return sum(2.0 ** (-k) * 2.0 ** (k * k) for k in range(1, self.k_cap)) + \
+            2.0 ** (-(self.k_cap - 1)) * 2.0 ** (self.k_cap**2)
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.k_cap == 1
+
+    @property
+    def min_value(self) -> float:
+        return 2.0
+
+
+class Constant(NoiseDistribution):
+    """Degenerate distribution concentrated on a single value.
+
+    Disallowed by the model (Section 3.1) and rejected by
+    :func:`validate_noise`; provided so tests and examples can build the
+    lockstep executions that motivate the noise requirement.
+    """
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise DistributionError(f"value must be non-negative, got {value}")
+        self.value = float(value)
+        self.name = f"constant({value:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return np.full(size, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def is_degenerate(self) -> bool:
+        return True
+
+    @property
+    def min_value(self) -> float:
+        return self.value
+
+
+class LogNormal(NoiseDistribution):
+    """Log-normal noise, a plausible model of contention-induced delays."""
+
+    def __init__(self, mu: float = 0.0, sigma: float = 0.5) -> None:
+        if sigma <= 0:
+            raise DistributionError(f"sigma must be positive, got {sigma}")
+        self.mu = mu
+        self.sigma = sigma
+        self.name = f"lognormal({mu:g},{sigma:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=size)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+
+class Pareto(NoiseDistribution):
+    """Shifted Pareto with shape ``alpha`` and scale 1 (support [1, inf)).
+
+    For ``alpha <= 1`` the mean diverges, giving a tunable family between
+    well-behaved noise and the Theorem-1 pathology.
+    """
+
+    def __init__(self, alpha: float = 2.0) -> None:
+        if alpha <= 0:
+            raise DistributionError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.name = f"pareto({alpha:g})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        return 1.0 + rng.pareto(self.alpha, size=size)
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return math.inf
+        return self.alpha / (self.alpha - 1)
+
+    @property
+    def min_value(self) -> float:
+        return 1.0
+
+
+class Mixture(NoiseDistribution):
+    """Finite mixture of component distributions with given weights."""
+
+    def __init__(self, components: Sequence[NoiseDistribution],
+                 weights: Optional[Sequence[float]] = None) -> None:
+        if not components:
+            raise DistributionError("mixture requires at least one component")
+        self.components = list(components)
+        if weights is None:
+            weights = [1.0 / len(components)] * len(components)
+        if len(weights) != len(components):
+            raise DistributionError("weights must match components")
+        total = float(sum(weights))
+        if total <= 0 or any(w < 0 for w in weights):
+            raise DistributionError("weights must be non-negative and sum > 0")
+        self.weights = [w / total for w in weights]
+        self.name = "mix(" + ", ".join(c.name for c in self.components) + ")"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        n = int(np.prod(shape))
+        choice = rng.choice(len(self.components), size=n, p=self.weights)
+        out = np.empty(n, dtype=np.float64)
+        for idx, comp in enumerate(self.components):
+            mask = choice == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = comp.sample_array(rng, count)
+        return out.reshape(shape)
+
+    @property
+    def mean(self) -> float:
+        return float(sum(w * c.mean for w, c in zip(self.weights, self.components)))
+
+    @property
+    def is_degenerate(self) -> bool:
+        if len({(c.name, getattr(c, "value", None)) for c in self.components}) == 1:
+            return all(c.is_degenerate for c in self.components)
+        return False
+
+    @property
+    def min_value(self) -> float:
+        return min(c.min_value for c in self.components)
+
+
+class SumOf(NoiseDistribution):
+    """The distribution of the sum of ``k`` i.i.d. draws from ``base``.
+
+    Section 6 of the paper abstracts from per-operation noise to per-round
+    noise by summing the delays of the four operations in a round; this class
+    realizes that abstraction for the renewal-race experiments.
+    """
+
+    def __init__(self, base: NoiseDistribution, k: int) -> None:
+        if k < 1:
+            raise DistributionError(f"k must be >= 1, got {k}")
+        self.base = base
+        self.k = k
+        self.name = f"sum_{k}({base.name})"
+
+    def sample_array(self, rng: np.random.Generator, size) -> np.ndarray:
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        draws = self.base.sample_array(rng, shape + (self.k,))
+        return draws.sum(axis=-1)
+
+    @property
+    def mean(self) -> float:
+        return self.k * self.base.mean
+
+    @property
+    def is_degenerate(self) -> bool:
+        return self.base.is_degenerate
+
+    @property
+    def min_value(self) -> float:
+        return self.k * self.base.min_value
+
+
+class PerOpKindNoise:
+    """A mapping from operation kind to noise distribution.
+
+    Section 3.1 allows "a fixed common distribution F_pi of the random delay
+    added to each type of operation pi (e.g., read or write)".  Most
+    experiments use the same distribution for both kinds; this wrapper
+    supports distinct ones.
+    """
+
+    def __init__(self, read: NoiseDistribution,
+                 write: Optional[NoiseDistribution] = None) -> None:
+        self.read = read
+        self.write = write if write is not None else read
+
+    def for_kind(self, kind: OpKind) -> NoiseDistribution:
+        return self.read if kind is OpKind.READ else self.write
+
+    def validate(self) -> "PerOpKindNoise":
+        validate_noise(self.read)
+        validate_noise(self.write)
+        return self
+
+    @property
+    def uniform_across_kinds(self) -> bool:
+        return self.read is self.write
+
+
+def figure1_distributions() -> dict[str, NoiseDistribution]:
+    """The six interarrival distributions of the paper's Figure 1.
+
+    Keys follow the figure legend (top to bottom in the original legend
+    ordering).
+    """
+    return {
+        "exponential(1)": Exponential(1.0),
+        "uniform [0,2]": Uniform(0.0, 2.0),
+        "geometric(0.5)": Geometric(0.5),
+        "0.5 + exponential(0.5)": ShiftedExponential(0.5, 0.5),
+        "2/3,4/3": TwoPoint(2.0 / 3.0, 4.0 / 3.0),
+        "normal(1,0.04)": TruncatedNormal(1.0, 0.2, 0.0, 2.0),
+    }

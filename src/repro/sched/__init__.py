@@ -1,0 +1,52 @@
+"""Schedulers: who executes the next operation, and when.
+
+Two families, matching the paper's two models:
+
+* :mod:`repro.sched.noisy` — Section 3.1's noisy scheduling: the adversary
+  fixes start times and bounded per-operation delays, random noise perturbs
+  them, and operations interleave in completion-time order.
+* :mod:`repro.sched.hybrid` — Section 3.2's hybrid quantum/priority
+  pre-emptive uniprocessor scheduling.
+
+Plus :mod:`repro.sched.pickers`: simple step-choice strategies (random,
+round-robin, scripted, adversarial heuristics) for the sequential engine and
+the property tests, where the *schedule itself* is the test input.
+"""
+
+from repro.sched.delta import (
+    ConstantDelta,
+    DeltaSchedule,
+    DitheredStart,
+    RandomDelta,
+    StaggeredStart,
+    ZeroDelta,
+)
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sched.hybrid import HybridScheduler, HybridState
+from repro.sched.pickers import (
+    AlternatingPicker,
+    LaggardPicker,
+    LeaderPicker,
+    RandomPicker,
+    RoundRobinPicker,
+    ScriptedPicker,
+)
+
+__all__ = [
+    "AlternatingPicker",
+    "ConstantDelta",
+    "DeltaSchedule",
+    "DitheredStart",
+    "HybridScheduler",
+    "HybridState",
+    "LaggardPicker",
+    "LeaderPicker",
+    "NoisyScheduler",
+    "PresampledScheduler",
+    "RandomDelta",
+    "RandomPicker",
+    "RoundRobinPicker",
+    "ScriptedPicker",
+    "StaggeredStart",
+    "ZeroDelta",
+]

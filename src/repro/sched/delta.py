@@ -1,0 +1,167 @@
+"""Adversary-controlled delay schedules (the Delta_ij of Section 3.1).
+
+The noisy-scheduling adversary chooses, up front (obliviously):
+
+* an arbitrary starting time ``Delta_i0`` for each process, and
+* a delay ``Delta_ij`` in ``[0, M]`` before each operation.
+
+These classes package those choices.  All of them are oblivious — they may
+depend on (pid, op index) but not on the execution — matching the model.
+The paper's Figure-1 simulations use all-equal start times dithered by a
+uniform (0, 1e-8) epsilon and zero delays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class DeltaSchedule(abc.ABC):
+    """The adversary's deterministic part of the schedule."""
+
+    #: Upper bound M on per-operation delays (Section 3.1 requires one).
+    bound: float = 0.0
+
+    @abc.abstractmethod
+    def start(self, pid: int) -> float:
+        """Delta_i0: the starting time of process ``pid``."""
+
+    @abc.abstractmethod
+    def delay(self, pid: int, op_index: int) -> float:
+        """Delta_ij for ``j = op_index`` (1-based); must lie in [0, bound]."""
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        """Vectorized ``[delay(pid, 1), ..., delay(pid, n_ops)]``."""
+        return np.array([self.delay(pid, j) for j in range(1, n_ops + 1)])
+
+
+class ZeroDelta(DeltaSchedule):
+    """No adversarial delays; all processes start at time 0.
+
+    This is the Figure-1 setting (modulo the start dither, which the noisy
+    scheduler adds separately via :class:`DitheredStart`).
+    """
+
+    bound = 0.0
+
+    def start(self, pid: int) -> float:
+        return 0.0
+
+    def delay(self, pid: int, op_index: int) -> float:
+        return 0.0
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        return np.zeros(n_ops)
+
+
+class ConstantDelta(DeltaSchedule):
+    """The same fixed delay before every operation of every process."""
+
+    def __init__(self, delay: float, start_time: float = 0.0) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self._delay = delay
+        self._start = start_time
+        self.bound = delay
+
+    def start(self, pid: int) -> float:
+        return self._start
+
+    def delay(self, pid: int, op_index: int) -> float:
+        return self._delay
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        return np.full(n_ops, self._delay)
+
+
+class StaggeredStart(DeltaSchedule):
+    """Processes start at ``pid * stagger``; no per-operation delays.
+
+    Models one team getting a head start — useful for tests that a leading
+    pack decides immediately and laggards adopt its value.
+    """
+
+    bound = 0.0
+
+    def __init__(self, stagger: float) -> None:
+        if stagger < 0:
+            raise ConfigurationError(f"stagger must be >= 0, got {stagger}")
+        self.stagger = stagger
+
+    def start(self, pid: int) -> float:
+        return pid * self.stagger
+
+    def delay(self, pid: int, op_index: int) -> float:
+        return 0.0
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        return np.zeros(n_ops)
+
+
+class DitheredStart(DeltaSchedule):
+    """All-equal starts dithered by a tiny random epsilon (Figure 1).
+
+    The paper: "The starting times for all processes are the same except for
+    a small random epsilon, generated uniformly in the range (0, 1e-8)."
+    The dither is drawn once per process at construction (oblivious).
+    """
+
+    bound = 0.0
+
+    def __init__(self, n: int, rng: np.random.Generator,
+                 epsilon: float = 1e-8, base: float = 0.0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+        self._starts = base + rng.uniform(0.0, epsilon, size=n)
+
+    def start(self, pid: int) -> float:
+        return float(self._starts[pid])
+
+    def delay(self, pid: int, op_index: int) -> float:
+        return 0.0
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        return np.zeros(n_ops)
+
+
+class RandomDelta(DeltaSchedule):
+    """Oblivious random delays, uniform in [0, M], pre-drawn per (pid, op).
+
+    A stand-in for an adversary that varies its delays arbitrarily within
+    the bound; drawing them obliviously at construction keeps the model
+    honest (the adversary of Section 3.1 commits to its delays up front).
+    """
+
+    def __init__(self, bound: float, rng: np.random.Generator,
+                 n: int, max_ops: int, starts: Optional[Sequence[float]] = None) -> None:
+        if bound < 0:
+            raise ConfigurationError(f"bound must be >= 0, got {bound}")
+        self.bound = bound
+        self._table = rng.uniform(0.0, bound, size=(n, max_ops))
+        if starts is None:
+            self._starts = np.zeros(n)
+        else:
+            self._starts = np.asarray(starts, dtype=float)
+        self._max_ops = max_ops
+
+    def start(self, pid: int) -> float:
+        return float(self._starts[pid])
+
+    def delay(self, pid: int, op_index: int) -> float:
+        # Beyond the pre-drawn horizon, repeat the last column (still
+        # oblivious: a fixed deterministic rule of (pid, op_index)).
+        col = min(op_index - 1, self._max_ops - 1)
+        return float(self._table[pid, col])
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        if n_ops <= self._max_ops:
+            return self._table[pid, :n_ops].copy()
+        pad = np.full(n_ops - self._max_ops, self._table[pid, -1])
+        return np.concatenate([self._table[pid], pad])

@@ -1,0 +1,155 @@
+"""Hybrid quantum/priority-based uniprocessor scheduling (Sections 3.2, 7).
+
+Processes time-share one CPU under a pre-emptive scheduler:
+
+* a running process may be pre-empted **at any time** by a process of
+  strictly higher priority;
+* it may be pre-empted by a process of **equal** priority only once it has
+  completed its *quantum* — a minimum number of operations since it last
+  woke up;
+* it is never displaced by a lower-priority process while it is alive;
+* a process need not start the protocol at a quantum boundary: the adversary
+  chooses how much of its first quantum was already consumed by other work.
+
+Theorem 14: with quantum >= 8, every process running lean-consensus decides
+after at most 12 of its own operations.  The experiments verify this by
+exhaustive adversarial search over all legal pre-emption choices (small n)
+and by randomized schedules (larger n).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SchedulerError
+
+
+@dataclass
+class HybridState:
+    """Mutable scheduler bookkeeping, snapshot-able for exhaustive search."""
+
+    #: pid currently holding the CPU (None before the first dispatch).
+    current: Optional[int] = None
+    #: Operations the current process completed since it last woke up,
+    #: including any adversary-assigned initial quantum debt.
+    used_in_quantum: int = 0
+
+    def key(self) -> Tuple:
+        return (self.current, self.used_in_quantum)
+
+
+class HybridScheduler:
+    """Legality oracle for hybrid-scheduled executions.
+
+    Args:
+        priorities: ``priorities[pid]`` is the priority of ``pid`` (larger
+            means more important).
+        quantum: the quantum length Q (operations).
+        initial_used: per-pid count of quantum operations already consumed
+            before the process first runs the protocol ("it may have used up
+            some or all of its quantum performing other work").  Defaults
+            to 0 for all.
+
+    The scheduler itself makes no choices; it reports, in each state, the
+    set of processes that may legally execute the next operation.  Drivers
+    (random, scripted, exhaustive-adversarial) pick among them.
+    """
+
+    def __init__(self, priorities: Sequence[int], quantum: int,
+                 initial_used: Optional[Dict[int, int]] = None,
+                 debt_policy: str = "holder") -> None:
+        if quantum < 1:
+            raise ConfigurationError(f"quantum must be >= 1, got {quantum}")
+        if debt_policy not in ("holder", "per-process"):
+            raise ConfigurationError(
+                f"debt_policy must be 'holder' or 'per-process', "
+                f"got {debt_policy!r}"
+            )
+        self.priorities = list(priorities)
+        self.quantum = quantum
+        self.initial_used = dict(initial_used or {})
+        self.debt_policy = debt_policy
+        for pid, used in self.initial_used.items():
+            if not 0 <= used <= quantum:
+                raise ConfigurationError(
+                    f"initial_used[{pid}]={used} outside [0, {quantum}]"
+                )
+        self.state = HybridState()
+        self._woken: set[int] = set()
+
+    @property
+    def n(self) -> int:
+        return len(self.priorities)
+
+    def legal_next(self, alive: Sequence[int]) -> List[int]:
+        """Pids that may legally execute the next operation.
+
+        ``alive`` is the set of processes still running the protocol
+        (undecided, unhalted).  Rules:
+
+        * if no process holds the CPU, or the holder has finished, any alive
+          process may be dispatched;
+        * otherwise the holder may continue; a strictly-higher-priority
+          process may pre-empt; an equal-priority process may pre-empt only
+          if the holder has exhausted its quantum.
+        """
+        alive_list = sorted(alive)
+        cur = self.state.current
+        if cur is None or cur not in alive_list:
+            return alive_list
+        cur_prio = self.priorities[cur]
+        exhausted = self.state.used_in_quantum >= self.quantum
+        legal = [cur]
+        for pid in alive_list:
+            if pid == cur:
+                continue
+            prio = self.priorities[pid]
+            if prio > cur_prio or (prio == cur_prio and exhausted):
+                legal.append(pid)
+        return sorted(legal)
+
+    def dispatch(self, pid: int, alive: Sequence[int]) -> None:
+        """Record that ``pid`` executes the next operation.
+
+        Raises:
+            SchedulerError: if ``pid`` is not legal in the current state.
+        """
+        if pid not in self.legal_next(alive):
+            raise SchedulerError(
+                f"p{pid} may not run: current={self.state.current} "
+                f"used={self.state.used_in_quantum}/{self.quantum}"
+            )
+        if pid != self.state.current:
+            # A (re)wake: fresh quantum, except for the adversary's initial
+            # debt, whose scope depends on the policy.
+            #
+            # * "holder" (default; matches the Theorem-14 proof, where a
+            #   pre-empting process is "at the start of a quantum"): only
+            #   the process holding the CPU when the protocol starts — the
+            #   very first dispatch — can be mid-quantum.
+            # * "per-process" (a more adversarial reading of Section 3.2):
+            #   every process may begin the protocol mid-quantum at its
+            #   first wake.  Under this reading the 12-operation bound of
+            #   Theorem 14 degrades to 16 operations (see EXPERIMENTS.md).
+            if pid in self._woken:
+                self.state.used_in_quantum = 0
+            else:
+                first_dispatch_ever = not self._woken
+                if self.debt_policy == "per-process" or first_dispatch_ever:
+                    self.state.used_in_quantum = self.initial_used.get(pid, 0)
+                else:
+                    self.state.used_in_quantum = 0
+                self._woken.add(pid)
+            self.state.current = pid
+        self.state.used_in_quantum += 1
+
+    # -- snapshots for exhaustive search --------------------------------
+
+    def snapshot(self) -> Tuple:
+        return (self.state.current, self.state.used_in_quantum,
+                frozenset(self._woken))
+
+    def restore(self, snap: Tuple) -> None:
+        self.state.current, self.state.used_in_quantum, woken = snap
+        self._woken = set(woken)

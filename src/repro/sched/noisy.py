@@ -1,0 +1,142 @@
+"""The noisy scheduler of Section 3.1.
+
+Process ``i``'s ``j``-th operation completes at
+
+    S_ij = Delta_i0 + sum_{k<=j} (Delta_ik + X_ik)
+
+where the ``Delta`` terms are the adversary's (bounded) choices and the
+``X_ik`` are i.i.d. noise from an admissible distribution.  The engine keeps
+a priority queue of next-completion times and executes operations in
+completion order, which realizes the interleaving.
+
+Simultaneity: the model requires that two operations never complete at
+exactly the same time.  Continuous noise makes ties probability-zero in
+theory, but floating point (and discrete distributions like the geometric or
+two-point) can produce exact ties; we therefore add a deterministic-sized,
+randomly-drawn dither of at most 1e-12 to every completion time, mirroring
+the paper's "dithering the starting times ... by some small epsilon".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noise.distributions import (
+    NoiseDistribution,
+    PerOpKindNoise,
+    validate_noise,
+)
+from repro.sched.delta import DeltaSchedule, ZeroDelta
+from repro.types import OpKind
+
+NoiseLike = Union[NoiseDistribution, PerOpKindNoise]
+
+
+class NoisyScheduler:
+    """Produces operation completion times for the noisy model.
+
+    Args:
+        noise: the noise distribution F (or one per operation kind).
+        delta: the adversary's delay schedule (default: none).
+        rng: generator driving the noise.
+        allow_degenerate: permit distributions concentrated on a point,
+            which the model forbids — used only to reproduce lockstep
+            counterexamples.
+        tie_dither: magnitude of the anti-simultaneity dither.
+    """
+
+    def __init__(self, noise: NoiseLike,
+                 rng: np.random.Generator,
+                 delta: Optional[DeltaSchedule] = None,
+                 allow_degenerate: bool = False,
+                 tie_dither: float = 1e-12) -> None:
+        if isinstance(noise, PerOpKindNoise):
+            self.noise = noise
+        else:
+            self.noise = PerOpKindNoise(noise)
+        if not allow_degenerate:
+            self.noise.validate()
+        else:
+            for dist in (self.noise.read, self.noise.write):
+                if dist.min_value < 0:
+                    raise ConfigurationError(
+                        f"{dist} may produce negative delays"
+                    )
+        self.delta = delta if delta is not None else ZeroDelta()
+        self.rng = rng
+        self.tie_dither = tie_dither
+
+    def start_time(self, pid: int) -> float:
+        """Delta_i0 for process ``pid``."""
+        return self.delta.start(pid)
+
+    def next_time(self, pid: int, op_index: int, kind: OpKind,
+                  prev_time: float) -> float:
+        """Completion time of ``pid``'s ``op_index``-th operation.
+
+        ``prev_time`` is the completion time of the previous operation (or
+        the start time for ``op_index == 1``).
+        """
+        inc = self.delta.delay(pid, op_index)
+        inc += self.noise.for_kind(kind).sample(self.rng)
+        if self.tie_dither:
+            inc += float(self.rng.uniform(0.0, self.tie_dither))
+        return prev_time + inc
+
+    def presample(self, n: int, max_ops: int,
+                  kind: OpKind = OpKind.READ) -> np.ndarray:
+        """Pre-draw an ``(n, max_ops)`` matrix of completion times.
+
+        Exploits the obliviousness of the model: times do not depend on the
+        algorithm's behaviour, so the whole schedule can be drawn up front.
+        Used by the fast engine.  A single operation kind is assumed (the
+        Figure-1 setting); per-kind noise requires the event-driven engine.
+        """
+        dist = self.noise.for_kind(kind)
+        incs = dist.sample_array(self.rng, (n, max_ops))
+        if self.tie_dither:
+            incs = incs + self.rng.uniform(0.0, self.tie_dither, size=incs.shape)
+        for pid in range(n):
+            d = self.delta.delays_array(pid, max_ops)
+            incs[pid] += d
+        times = np.cumsum(incs, axis=1)
+        starts = np.array([self.delta.start(pid) for pid in range(n)])
+        return times + starts[:, None]
+
+
+class PresampledScheduler:
+    """A scheduler that replays an explicit completion-time matrix.
+
+    Lets the event-driven reference engine and the vectorized fast engine
+    consume *identical* schedules, which is how the two are cross-validated
+    operation-for-operation.
+    """
+
+    def __init__(self, times: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 2:
+            raise ConfigurationError("times must be a 2-D (n, max_ops) array")
+        self.times = times
+
+    @property
+    def n(self) -> int:
+        return self.times.shape[0]
+
+    @property
+    def max_ops(self) -> int:
+        return self.times.shape[1]
+
+    def start_time(self, pid: int) -> float:
+        return 0.0
+
+    def next_time(self, pid: int, op_index: int, kind: OpKind,
+                  prev_time: float) -> float:
+        if op_index > self.max_ops:
+            raise ConfigurationError(
+                f"presampled schedule exhausted: p{pid} op {op_index} "
+                f"> horizon {self.max_ops}"
+            )
+        return float(self.times[pid, op_index - 1])

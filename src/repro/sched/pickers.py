@@ -1,0 +1,132 @@
+"""Step-choice strategies for the sequential (choice-based) engine.
+
+A picker chooses which enabled process executes the next operation.  These
+implement common schedules for tests and experiments; the hypothesis
+property tests additionally generate :class:`ScriptedPicker` scripts as
+data, making the schedule itself the fuzzed input.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulerError
+
+
+class Picker(abc.ABC):
+    """Chooses the next process to step among the enabled ones."""
+
+    @abc.abstractmethod
+    def pick(self, enabled: Sequence[int]) -> int:
+        """Return one pid from ``enabled`` (non-empty, sorted ascending)."""
+
+
+class RandomPicker(Picker):
+    """Uniformly random choice — the discrete-uniform scheduler.
+
+    The paper notes (Section 9) that exponential(1) noise "is also
+    equivalent to generating a schedule by choosing one process uniformly at
+    random for each time unit"; this picker is that schedule's sequential
+    form.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        return int(enabled[int(self.rng.integers(0, len(enabled)))])
+
+
+class RoundRobinPicker(Picker):
+    """Cycles through processes in pid order — a perfectly fair lockstep.
+
+    Under this scheduler lean-consensus with a split input *can* run
+    forever; tests use it (with an op budget) to demonstrate why the noise
+    assumption is load-bearing.
+    """
+
+    def __init__(self) -> None:
+        self._last: Optional[int] = None
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        if self._last is None:
+            choice = enabled[0]
+        else:
+            later = [p for p in enabled if p > self._last]
+            choice = later[0] if later else enabled[0]
+        self._last = choice
+        return int(choice)
+
+
+class AlternatingPicker(Picker):
+    """Alternates between the lowest and highest enabled pid."""
+
+    def __init__(self) -> None:
+        self._flip = False
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        self._flip = not self._flip
+        return int(enabled[0] if self._flip else enabled[-1])
+
+
+class ScriptedPicker(Picker):
+    """Follows an explicit script of pids; used by the hypothesis tests.
+
+    Script entries that are not currently enabled fall back to the entry
+    modulo the enabled count, so arbitrary integer scripts are always valid
+    schedules (a requirement for unbiased property-based generation).
+    """
+
+    def __init__(self, script: Sequence[int],
+                 exhausted: str = "cycle") -> None:
+        if not script:
+            raise SchedulerError("script must be non-empty")
+        if exhausted not in ("cycle", "first"):
+            raise SchedulerError(f"unknown exhausted policy {exhausted!r}")
+        self.script = list(script)
+        self.exhausted = exhausted
+        self._pos = 0
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        if self._pos >= len(self.script):
+            if self.exhausted == "first":
+                return int(enabled[0])
+            self._pos = 0
+        raw = self.script[self._pos]
+        self._pos += 1
+        if raw in enabled:
+            return int(raw)
+        return int(enabled[raw % len(enabled)])
+
+
+class LeaderPicker(Picker):
+    """Always steps the process that is furthest ahead (by a score).
+
+    With the default score (operations executed) this accelerates one
+    process to a decision — a best-case schedule that terminates in the
+    minimum 8-12 operations.
+    """
+
+    def __init__(self, score: Callable[[int], float]) -> None:
+        self.score = score
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        return int(max(enabled, key=lambda pid: (self.score(pid), -pid)))
+
+
+class LaggardPicker(Picker):
+    """Always steps the process that is furthest behind.
+
+    The mirror image of :class:`LeaderPicker`: a quasi-adversarial schedule
+    that keeps the pack together and prolongs the race (it is exactly the
+    lockstep round-robin when all processes advance at the same rate).
+    """
+
+    def __init__(self, score: Callable[[int], float]) -> None:
+        self.score = score
+
+    def pick(self, enabled: Sequence[int]) -> int:
+        return int(min(enabled, key=lambda pid: (self.score(pid), pid)))

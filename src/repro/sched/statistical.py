@@ -1,0 +1,108 @@
+"""The statistical adversary of Section 10.
+
+The core model bounds each adversary delay individually: 0 <= Delta_ij <= M.
+Section 10 asks what happens under the weaker *statistical* constraint
+
+    sum_{j <= r} Delta_ij <= r * M        for every r,
+
+which permits occasional delays far above M as long as the running average
+stays bounded — while still excluding the Zeno-like schedules that starve
+the noise of scale.  The paper conjectures O(log n) termination still
+holds; the EXP-STAT experiment measures it.
+
+:class:`StatisticalDelta` wraps any proposed delay sequence and *enforces*
+the constraint by clipping: a requested delay is granted up to the current
+budget ``r*M - spent``.  Two built-in proposal styles produce interesting
+schedules:
+
+* ``"bursts"`` — zero delay most of the time, a large burst every ``k``
+  operations (an adversary saving its budget to shove one process);
+* ``"frontrunner"`` — bursts targeted at low pids only, modelling an
+  adversary that repeatedly stalls the same victims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sched.delta import DeltaSchedule
+
+
+class StatisticalDelta(DeltaSchedule):
+    """Delays constrained by a running-average budget sum <= r*M.
+
+    Args:
+        mean_bound: the M of the constraint.
+        style: ``"bursts"`` or ``"frontrunner"`` (see module docstring).
+        burst_every: operations between bursts.
+        burst_scale: requested burst size, in multiples of ``mean_bound *
+            burst_every`` (1.0 requests exactly the accumulated budget).
+        n: process count (used by ``"frontrunner"`` targeting).
+
+    The per-operation values are deterministic in (pid, op index) — the
+    adversary remains oblivious, as the model requires.
+    """
+
+    def __init__(self, mean_bound: float, style: str = "bursts",
+                 burst_every: int = 8, burst_scale: float = 1.0,
+                 n: Optional[int] = None) -> None:
+        if mean_bound < 0:
+            raise ConfigurationError(f"mean_bound must be >= 0, got {mean_bound}")
+        if style not in ("bursts", "frontrunner"):
+            raise ConfigurationError(f"unknown style {style!r}")
+        if burst_every < 1:
+            raise ConfigurationError(f"burst_every must be >= 1, got {burst_every}")
+        self.mean_bound = mean_bound
+        self.style = style
+        self.burst_every = burst_every
+        self.burst_scale = burst_scale
+        self.n = n
+        self.bound = float("inf")  # individual delays are unbounded
+        self._spent: Dict[int, float] = {}
+        self._ops: Dict[int, int] = {}
+
+    def start(self, pid: int) -> float:
+        return 0.0
+
+    def _requested(self, pid: int, op_index: int) -> float:
+        if op_index % self.burst_every != 0:
+            return 0.0
+        if self.style == "frontrunner" and self.n is not None:
+            if pid >= max(1, self.n // 2):
+                return 0.0
+        return self.mean_bound * self.burst_every * self.burst_scale
+
+    def delay(self, pid: int, op_index: int) -> float:
+        """Grant the requested delay, clipped to the remaining budget.
+
+        Statefulness note: the engines request each (pid, j) exactly once
+        and in order, which keeps the running budget exact; out-of-order
+        replay should use :meth:`delays_array`.
+        """
+        spent = self._spent.get(pid, 0.0)
+        budget = op_index * self.mean_bound - spent
+        granted = min(self._requested(pid, op_index), max(budget, 0.0))
+        self._spent[pid] = spent + granted
+        self._ops[pid] = op_index
+        return granted
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        out = np.empty(n_ops)
+        spent = 0.0
+        for j in range(1, n_ops + 1):
+            budget = j * self.mean_bound - spent
+            granted = min(self._requested(pid, j), max(budget, 0.0))
+            spent += granted
+            out[j - 1] = granted
+        return out
+
+    def verify_constraint(self, pid: int, n_ops: int,
+                          tol: float = 1e-9) -> bool:
+        """Check sum_{j<=r} Delta_ij <= r*M for every prefix r."""
+        delays = self.delays_array(pid, n_ops)
+        prefix = np.cumsum(delays)
+        rs = np.arange(1, n_ops + 1)
+        return bool((prefix <= rs * self.mean_bound + tol).all())

@@ -1,0 +1,44 @@
+"""Simulation engines and trial orchestration.
+
+* :mod:`repro.sim.engine` — the reference engines: event-driven (noisy
+  model), sequential (picker-driven interleavings), and hybrid-scheduled
+  (uniprocessor).  Exact, fully instrumented, O(total ops · log n).
+* :mod:`repro.sim.fast` — the vectorized engine for large Figure-1 sweeps;
+  pre-samples the whole schedule (legal because noisy scheduling is
+  oblivious) and replays it in a tight loop.
+* :mod:`repro.sim.runner` — one-call trial runners and batch helpers.
+* :mod:`repro.sim.results` / :mod:`repro.sim.metrics` — result records and
+  their aggregation.
+"""
+
+from repro.sim.results import TrialResult
+from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
+from repro.sim.fast import FastLeanTrial, replay_lean
+from repro.sim.runner import (
+    half_and_half,
+    make_machines,
+    make_memory_for,
+    run_hybrid_trial,
+    run_noisy_trial,
+    run_noisy_trials,
+    run_step_trial,
+)
+from repro.sim.metrics import TrialStats, summarize
+
+__all__ = [
+    "FastLeanTrial",
+    "HybridEngine",
+    "NoisyEngine",
+    "StepEngine",
+    "TrialResult",
+    "TrialStats",
+    "half_and_half",
+    "make_machines",
+    "make_memory_for",
+    "replay_lean",
+    "run_hybrid_trial",
+    "run_noisy_trial",
+    "run_noisy_trials",
+    "run_step_trial",
+    "summarize",
+]

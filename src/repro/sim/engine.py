@@ -1,0 +1,256 @@
+"""Reference simulation engines.
+
+All three engines share the execution contract: exactly one atomic
+shared-memory operation per step, applied through
+:meth:`repro.memory.registers.SharedMemory.execute`, which realizes the
+interleaving semantics of Section 3.
+
+* :class:`NoisyEngine` — the Section 3.1 model.  A priority queue holds the
+  next completion time of each live process; operations execute in
+  completion order.
+* :class:`StepEngine` — picker-driven interleavings (no clock), used for
+  safety testing under arbitrary/adversarial schedules.
+* :class:`HybridEngine` — the Section 3.2 uniprocessor model, with the
+  legality rules enforced by :class:`repro.sched.hybrid.HybridScheduler`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.failures.injection import (
+    AdaptiveCrashAdversary,
+    ExecutionView,
+    FailureModel,
+    NoFailures,
+)
+from repro.memory.registers import SharedMemory
+from repro.core.machine import ProcessMachine
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.pickers import Picker
+from repro.sim.results import TrialResult
+
+#: Default cap on total operations; generous relative to the O(n log n)
+#: expectation, yet finite so lockstep schedules terminate the simulation.
+DEFAULT_BUDGET_PER_PROCESS = 4_000
+
+
+def _finalize(result: TrialResult, machines: Sequence[ProcessMachine]) -> TrialResult:
+    result.total_ops = sum(m.ops for m in machines)
+    result.max_round = max(
+        [result.max_round] + [getattr(m, "round", 0) for m in machines]
+    )
+    result.preference_changes = sum(
+        getattr(m, "preference_changes", 0) for m in machines
+    )
+    result.used_backup = sum(
+        1 for m in machines if getattr(m, "used_backup", False)
+    )
+    return result
+
+
+class _EngineBase:
+    """Shared bookkeeping for the three engines."""
+
+    def __init__(self, machines: Sequence[ProcessMachine],
+                 memory: SharedMemory,
+                 failures: Optional[FailureModel] = None,
+                 crash_adversary: Optional[AdaptiveCrashAdversary] = None,
+                 max_total_ops: Optional[int] = None,
+                 stop_after_first_decision: bool = False) -> None:
+        if not machines:
+            raise SimulationError("need at least one machine")
+        pids = [m.pid for m in machines]
+        if len(set(pids)) != len(pids):
+            raise SimulationError(f"duplicate pids: {pids}")
+        self.machines = list(machines)
+        self.by_pid: Dict[int, ProcessMachine] = {m.pid: m for m in machines}
+        self.memory = memory
+        self.failures = failures if failures is not None else NoFailures()
+        self.crash_adversary = crash_adversary
+        if max_total_ops is None:
+            max_total_ops = DEFAULT_BUDGET_PER_PROCESS * len(machines)
+        self.max_total_ops = max_total_ops
+        self.stop_after_first_decision = stop_after_first_decision
+        self.result = TrialResult(
+            n=len(machines),
+            inputs={m.pid: m.input for m in machines},
+        )
+        self._executed = 0
+        self._view = ExecutionView(
+            rounds=lambda pid: getattr(self.by_pid[pid], "round", 0),
+            alive=lambda: [m.pid for m in self.machines if not m.done],
+            decided=lambda: [m.pid for m in self.machines
+                             if m.decision is not None],
+        )
+
+    def _apply_crashes(self) -> None:
+        if self.crash_adversary is None:
+            return
+        for pid in self.crash_adversary.consider(self._view):
+            machine = self.by_pid[pid]
+            if not machine.done:
+                machine.halted = True
+                self.result.halted.add(pid)
+
+    def _maybe_halt(self, machine: ProcessMachine) -> bool:
+        """Apply random halting; True if the machine just died."""
+        if self.failures.halts_before(machine.pid, machine.ops + 1):
+            machine.halted = True
+            self.result.halted.add(machine.pid)
+            return True
+        return False
+
+    def _execute_one(self, machine: ProcessMachine,
+                     now: Optional[float] = None):
+        op = machine.peek()
+        res = self.memory.execute(op, pid=machine.pid)
+        machine.apply(res)
+        self._executed += 1
+        if machine.decision is not None and machine.pid not in self.result.decisions:
+            self.result.note_decision(machine.pid, machine.decision, time=now)
+        return op
+
+    @property
+    def _budget_left(self) -> bool:
+        return self._executed < self.max_total_ops
+
+    def _should_stop(self) -> bool:
+        if self.stop_after_first_decision and self.result.decisions:
+            return True
+        if not self._budget_left:
+            if any(not m.done for m in self.machines):
+                self.result.budget_exhausted = True
+            return True
+        return all(m.done for m in self.machines)
+
+
+class NoisyEngine(_EngineBase):
+    """Event-driven engine for the noisy-scheduling model.
+
+    Args:
+        scheduler: anything with ``start_time(pid)`` and
+            ``next_time(pid, op_index, kind, prev_time)`` — i.e.
+            :class:`repro.sched.noisy.NoisyScheduler` or
+            :class:`repro.sched.noisy.PresampledScheduler`.
+    """
+
+    def __init__(self, machines: Sequence[ProcessMachine],
+                 memory: SharedMemory, scheduler, **kwargs) -> None:
+        super().__init__(machines, memory, **kwargs)
+        self.scheduler = scheduler
+
+    def run(self) -> TrialResult:
+        heap: List = []
+        counter = itertools.count()
+        for machine in self.machines:
+            if machine.done:
+                continue
+            t0 = self.scheduler.start_time(machine.pid)
+            t1 = self.scheduler.next_time(
+                machine.pid, 1, machine.peek().kind, t0)
+            heapq.heappush(heap, (t1, next(counter), machine.pid))
+
+        now = 0.0
+        while heap:
+            now, _, pid = heapq.heappop(heap)
+            machine = self.by_pid[pid]
+            if machine.done:
+                continue
+            self._apply_crashes()
+            if machine.done:  # crashed just now
+                continue
+            if self._maybe_halt(machine):
+                continue
+            op = self._execute_one(machine, now=now)
+            observe = getattr(self.scheduler, "observe", None)
+            if observe is not None:
+                # Contention-aware schedulers price each executed access
+                # and stall the process's next operation accordingly.
+                observe(op, pid, now)
+            if self._should_stop():
+                break
+            if not machine.done:
+                t_next = self.scheduler.next_time(
+                    pid, machine.ops + 1, machine.peek().kind, now)
+                heapq.heappush(heap, (t_next, next(counter), pid))
+
+        self.result.sim_time = now
+        return _finalize(self.result, self.machines)
+
+
+class StepEngine(_EngineBase):
+    """Sequential engine: a picker chooses who steps next.
+
+    There is no clock; this engine explores *interleavings*, which is all
+    that safety properties depend on.
+    """
+
+    def __init__(self, machines: Sequence[ProcessMachine],
+                 memory: SharedMemory, picker: Picker, **kwargs) -> None:
+        super().__init__(machines, memory, **kwargs)
+        self.picker = picker
+
+    def run(self) -> TrialResult:
+        while True:
+            enabled = sorted(m.pid for m in self.machines if not m.done)
+            if not enabled:
+                break
+            self._apply_crashes()
+            enabled = sorted(m.pid for m in self.machines if not m.done)
+            if not enabled:
+                break
+            pid = self.picker.pick(enabled)
+            if pid not in enabled:
+                raise SimulationError(f"picker chose disabled pid {pid}")
+            machine = self.by_pid[pid]
+            if self._maybe_halt(machine):
+                continue
+            self._execute_one(machine)
+            if self._should_stop():
+                break
+        return _finalize(self.result, self.machines)
+
+
+class HybridEngine(_EngineBase):
+    """Uniprocessor engine under hybrid quantum/priority scheduling.
+
+    Args:
+        scheduler: the legality oracle.
+        chooser: picks among the legal next pids; defaults to "continue the
+            current process whenever legal" (no pre-emption).
+    """
+
+    def __init__(self, machines: Sequence[ProcessMachine],
+                 memory: SharedMemory, scheduler: HybridScheduler,
+                 chooser: Optional[Callable[[List[int]], int]] = None,
+                 **kwargs) -> None:
+        super().__init__(machines, memory, **kwargs)
+        self.scheduler = scheduler
+        self.chooser = chooser if chooser is not None else (lambda legal: legal[0])
+
+    def run(self) -> TrialResult:
+        while True:
+            alive = sorted(m.pid for m in self.machines if not m.done)
+            if not alive:
+                break
+            legal = self.scheduler.legal_next(alive)
+            # Keep the current process first so the default chooser models
+            # run-to-completion.
+            cur = self.scheduler.state.current
+            if cur in legal:
+                legal = [cur] + [p for p in legal if p != cur]
+            pid = self.chooser(legal)
+            if pid not in legal:
+                raise SimulationError(f"chooser picked illegal pid {pid}")
+            machine = self.by_pid[pid]
+            if self._maybe_halt(machine):
+                continue
+            self.scheduler.dispatch(pid, alive)
+            self._execute_one(machine)
+            if self._should_stop():
+                break
+        return _finalize(self.result, self.machines)

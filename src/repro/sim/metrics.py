@@ -1,0 +1,82 @@
+"""Aggregation of trial results into experiment statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sim.results import TrialResult
+
+
+@dataclass
+class TrialStats:
+    """Summary statistics over a batch of trials.
+
+    ``mean_first_round`` is the paper's Figure-1 quantity: the mean, over
+    trials, of the round at which the chronologically first process
+    terminated.
+    """
+
+    trials: int
+    decided_trials: int
+    mean_first_round: Optional[float]
+    std_first_round: Optional[float]
+    ci95_first_round: Optional[float]
+    mean_last_round: Optional[float]
+    mean_first_ops: Optional[float]
+    mean_total_ops: float
+    agreement_rate: float
+    backup_rate: float
+    mean_halted: float
+    max_round_seen: int
+
+    def row(self) -> str:
+        """A fixed-width table row for experiment printers."""
+        mfr = "-" if self.mean_first_round is None else f"{self.mean_first_round:8.3f}"
+        ci = "-" if self.ci95_first_round is None else f"{self.ci95_first_round:6.3f}"
+        return (f"{self.trials:6d}  {mfr} +/- {ci}  "
+                f"ops/total={self.mean_total_ops:10.1f}  "
+                f"agree={self.agreement_rate:5.3f}")
+
+
+def _mean(xs: Sequence[float]) -> Optional[float]:
+    return sum(xs) / len(xs) if xs else None
+
+
+def _std(xs: Sequence[float]) -> Optional[float]:
+    if len(xs) < 2:
+        return None
+    m = sum(xs) / len(xs)
+    return math.sqrt(sum((x - m) ** 2 for x in xs) / (len(xs) - 1))
+
+
+def summarize(results: Sequence[TrialResult]) -> TrialStats:
+    """Aggregate a batch of trials (empty batches are rejected)."""
+    if not results:
+        raise ValueError("cannot summarize zero trials")
+    firsts = [r.first_decision_round for r in results
+              if r.first_decision_round is not None]
+    lasts = [r.last_decision_round for r in results
+             if r.last_decision_round is not None]
+    first_ops = [r.first_decision_ops for r in results
+                 if r.first_decision_ops is not None]
+    std = _std(firsts)
+    ci = None
+    if std is not None and firsts:
+        ci = 1.96 * std / math.sqrt(len(firsts))
+    return TrialStats(
+        trials=len(results),
+        decided_trials=len(firsts),
+        mean_first_round=_mean(firsts),
+        std_first_round=std,
+        ci95_first_round=ci,
+        mean_last_round=_mean(lasts),
+        mean_first_ops=_mean(first_ops),
+        mean_total_ops=sum(r.total_ops for r in results) / len(results),
+        agreement_rate=sum(1 for r in results if r.agreed) / len(results),
+        backup_rate=sum(r.used_backup for r in results)
+        / max(1, sum(r.n for r in results)),
+        mean_halted=sum(len(r.halted) for r in results) / len(results),
+        max_round_seen=max(r.max_round for r in results),
+    )

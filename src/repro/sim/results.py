@@ -1,0 +1,77 @@
+"""Per-trial result records shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.types import Decision
+
+
+@dataclass
+class TrialResult:
+    """Everything a single consensus execution produced.
+
+    Attributes:
+        n: number of participating processes.
+        inputs: pid -> input bit.
+        decisions: pid -> decision (absent for halted/undecided processes).
+        halted: pids that halted (by failure injection) before deciding.
+        total_ops: shared-memory operations executed across all processes.
+        first_decision_round: round of the chronologically first decision
+            (the paper's Figure-1 metric), or None if nobody decided.
+        first_decision_ops: that process's operation count at its decision.
+        first_decision_time: simulation time of the first decision (event
+            engines only; None for sequential engines).
+        last_decision_round: round of the chronologically last decision.
+        sim_time: simulation clock when the run ended (event engines).
+        budget_exhausted: True when the engine stopped because it hit its
+            operation budget with undecided processes still alive (expected
+            for deliberately lockstep/adversarial schedules).
+        used_backup: how many processes fell through to the backup protocol
+            (bounded-space runs only).
+        max_round: the largest round any process entered.
+        preference_changes: total preference adoptions across processes.
+    """
+
+    n: int
+    inputs: Dict[int, int]
+    decisions: Dict[int, Decision] = field(default_factory=dict)
+    halted: Set[int] = field(default_factory=set)
+    total_ops: int = 0
+    first_decision_round: Optional[int] = None
+    first_decision_ops: Optional[int] = None
+    first_decision_time: Optional[float] = None
+    last_decision_round: Optional[int] = None
+    sim_time: Optional[float] = None
+    budget_exhausted: bool = False
+    used_backup: int = 0
+    max_round: int = 0
+    preference_changes: int = 0
+
+    @property
+    def all_decided(self) -> bool:
+        """True when every non-halted process decided."""
+        return len(self.decisions) + len(self.halted) >= self.n and bool(
+            self.decisions or self.halted
+        )
+
+    @property
+    def decided_values(self) -> Set[int]:
+        return {d.value for d in self.decisions.values()}
+
+    @property
+    def agreed(self) -> bool:
+        """True when no two processes decided differently."""
+        return len(self.decided_values) <= 1
+
+    def note_decision(self, pid: int, decision: Decision,
+                      time: Optional[float] = None) -> None:
+        """Record a decision in chronological order of calls."""
+        self.decisions[pid] = decision
+        if self.first_decision_round is None:
+            self.first_decision_round = decision.round
+            self.first_decision_ops = decision.ops
+            self.first_decision_time = time
+        self.last_decision_round = decision.round
+        self.max_round = max(self.max_round, decision.round)

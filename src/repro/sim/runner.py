@@ -1,0 +1,313 @@
+"""One-call trial runners: the library's main entry points.
+
+Typical use::
+
+    from repro.sim import run_noisy_trial
+    from repro.noise import Exponential
+
+    result = run_noisy_trial(n=64, noise=Exponential(1.0), seed=1)
+    print(result.first_decision_round, result.decided_values)
+
+Everything is reproducible from the integer seed: the runner spawns
+independent child generators for the noise, the start-time dither, the
+failure model, and (for coin protocols) the coins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.errors import ConfigurationError
+from repro.core.bounded import (
+    BoundedLeanConsensus,
+    default_backup_factory,
+    suggested_round_cap,
+)
+from repro.core.invariants import check_agreement, check_validity
+from repro.core.machine import (
+    LeanConsensus,
+    ProcessMachine,
+    RandomCoin,
+    RandomTie,
+    SharedCoinLean,
+)
+from repro.core.variants import ConservativeLean, EagerDecideLean, OptimizedLean
+from repro.failures.injection import (
+    AdaptiveCrashAdversary,
+    FailureModel,
+    NoFailures,
+    RandomHalting,
+)
+from repro.memory.history import HistoryRecorder
+from repro.memory.registers import SharedMemory, UnboundedBitArray
+from repro.noise.distributions import NoiseDistribution, PerOpKindNoise
+from repro.sched.delta import DeltaSchedule, DitheredStart
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.noisy import NoisyScheduler
+from repro.sched.pickers import Picker
+from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
+from repro.sim.fast import lean_horizon_ops, replay_lean
+from repro.sim.results import TrialResult
+
+ProtocolLike = Union[str, Callable[[int, int], ProcessMachine]]
+
+
+def half_and_half(n: int) -> Dict[int, int]:
+    """The paper's Figure-1 input assignment: half 0s, half 1s."""
+    return {pid: (0 if pid < n // 2 else 1) for pid in range(n)}
+
+
+def make_machines(protocol: ProtocolLike, inputs: Dict[int, int],
+                  rng: Optional[np.random.Generator] = None,
+                  round_cap: Optional[int] = None) -> list[ProcessMachine]:
+    """Instantiate one machine per (pid, input).
+
+    ``protocol`` may be a factory ``(pid, input) -> machine`` or one of the
+    built-in names: ``"lean"`` (the paper), ``"optimized"``, ``"eager"``
+    (unsafe negative control), ``"conservative"``, ``"random-tie"``,
+    ``"shared-coin"``, ``"bounded"``.
+    """
+    if callable(protocol):
+        return [protocol(pid, bit) for pid, bit in sorted(inputs.items())]
+
+    rng = make_rng(rng)
+    n = len(inputs)
+    if protocol == "lean":
+        factory = lambda pid, bit: LeanConsensus(pid, bit, round_cap=round_cap)
+    elif protocol == "optimized":
+        factory = lambda pid, bit: OptimizedLean(pid, bit, round_cap=round_cap)
+    elif protocol == "eager":
+        factory = lambda pid, bit: EagerDecideLean(pid, bit, round_cap=round_cap)
+    elif protocol == "conservative":
+        factory = lambda pid, bit: ConservativeLean(pid, bit, round_cap=round_cap)
+    elif protocol == "random-tie":
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: LeanConsensus(
+            pid, bit, tie_rule=RandomTie(RandomCoin(coins[pid])),
+            round_cap=round_cap)
+    elif protocol == "shared-coin":
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: SharedCoinLean(
+            pid, bit, coin=RandomCoin(coins[pid]), round_cap=round_cap)
+    elif protocol == "bounded":
+        cap = round_cap if round_cap is not None else suggested_round_cap(n)
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: BoundedLeanConsensus(
+            pid, bit, round_cap=cap,
+            backup_factory=default_backup_factory(coins[pid]))
+    else:
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    return [factory(pid, bit) for pid, bit in sorted(inputs.items())]
+
+
+def make_memory_for(machines: Sequence[ProcessMachine],
+                    record: bool = False,
+                    capacity: Optional[int] = None) -> SharedMemory:
+    """Build a shared memory with every array the machines require."""
+    from repro.core.idconsensus import IdConsensus
+
+    recorder = HistoryRecorder() if record else None
+    specs: dict[str, Optional[int]] = {}
+    for machine in machines:
+        required = getattr(type(machine), "required_arrays", None)
+        if required is None:
+            pairs = [("a0", 1), ("a1", 1)]
+        elif isinstance(machine, SharedCoinLean):
+            pairs = SharedCoinLean.required_arrays(machine.prefix)
+        elif isinstance(machine, IdConsensus):
+            pairs = IdConsensus.required_arrays(machine.bits)
+        else:
+            pairs = required()
+        for name, prefix in pairs:
+            specs.setdefault(name, prefix)
+    memory = SharedMemory(recorder=recorder)
+    for name, prefix in sorted(specs.items()):
+        memory.add_array(UnboundedBitArray(name, default=0,
+                                           prefix_value=prefix,
+                                           capacity=capacity))
+    return memory
+
+
+def _resolve_inputs(n: int, inputs) -> Dict[int, int]:
+    if inputs is None or inputs == "half":
+        return half_and_half(n)
+    if isinstance(inputs, dict):
+        return dict(inputs)
+    return {pid: int(b) for pid, b in enumerate(inputs)}
+
+
+def _check_result(result: TrialResult, check: bool) -> TrialResult:
+    if check:
+        check_agreement(result.decisions)
+        check_validity(result.inputs, result.decisions)
+    return result
+
+
+def run_noisy_trial(n: int,
+                    noise: Union[NoiseDistribution, PerOpKindNoise],
+                    seed: SeedLike = None,
+                    inputs=None,
+                    protocol: ProtocolLike = "lean",
+                    delta: Optional[DeltaSchedule] = None,
+                    h: float = 0.0,
+                    crash_adversary: Optional[AdaptiveCrashAdversary] = None,
+                    engine: str = "auto",
+                    stop_after_first_decision: bool = False,
+                    record: bool = False,
+                    max_total_ops: Optional[int] = None,
+                    allow_degenerate: bool = False,
+                    dither_epsilon: float = 1e-8,
+                    round_cap: Optional[int] = None,
+                    check: bool = True) -> TrialResult:
+    """Run one consensus execution under the noisy-scheduling model.
+
+    Args:
+        n: number of processes.
+        noise: the noise distribution F.
+        seed: reproducibility seed (int, Generator, or None).
+        inputs: ``None``/"half" for the paper's half-and-half split, or an
+            explicit dict/sequence of bits.
+        protocol: built-in name or machine factory (see
+            :func:`make_machines`).
+        delta: adversary delay schedule; defaults to the Figure-1 setting
+            (equal starts dithered by U(0, ``dither_epsilon``), zero
+            delays).
+        h: random halting probability per operation.
+        crash_adversary: optional adaptive crash adversary (event engine
+            only).
+        engine: ``"event"``, ``"fast"``, or ``"auto"`` (fast when the
+            protocol is plain lean and no feature forces the event engine).
+        stop_after_first_decision: measure the Figure-1 quantity and stop.
+        record: attach a :class:`HistoryRecorder` (event engine only).
+        max_total_ops: operation budget (guards non-terminating schedules).
+        allow_degenerate: accept a model-violating constant distribution.
+        round_cap: optional cutoff for the machines.
+        check: verify agreement and validity before returning.
+
+    Returns:
+        The trial's :class:`~repro.sim.results.TrialResult`.
+    """
+    root = make_rng(seed)
+    rng_noise, rng_dither, rng_fail, rng_proto = spawn(root, 4)
+    input_map = _resolve_inputs(n, inputs)
+
+    if engine == "auto":
+        fast_ok = (protocol == "lean" and crash_adversary is None
+                   and not record and round_cap is None
+                   and isinstance(noise, NoiseDistribution))
+        engine = "fast" if (fast_ok and n >= 256) else "event"
+
+    if delta is None:
+        delta = DitheredStart(n, rng_dither, epsilon=dither_epsilon)
+
+    if engine == "fast":
+        if protocol != "lean":
+            raise ConfigurationError("fast engine only supports plain lean")
+        return _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
+                         stop_after_first_decision, allow_degenerate, check)
+
+    scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
+                               allow_degenerate=allow_degenerate)
+    machines = make_machines(protocol, input_map, rng=rng_proto,
+                             round_cap=round_cap)
+    memory = make_memory_for(machines, record=record)
+    failures: FailureModel = (RandomHalting(h, rng_fail) if h > 0
+                              else NoFailures())
+    eng = NoisyEngine(machines, memory, scheduler,
+                      failures=failures,
+                      crash_adversary=crash_adversary,
+                      max_total_ops=max_total_ops,
+                      stop_after_first_decision=stop_after_first_decision)
+    result = eng.run()
+    result.memory = memory  # type: ignore[attr-defined]
+    result.machines = machines  # type: ignore[attr-defined]
+    return _check_result(result, check)
+
+
+def _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
+              stop_first, allow_degenerate, check) -> TrialResult:
+    inputs = [input_map[pid] for pid in range(n)]
+    horizon = lean_horizon_ops(n)
+    for _attempt in range(10):
+        scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
+                                   allow_degenerate=allow_degenerate)
+        times = scheduler.presample(n, horizon)
+        death_ops = None
+        if h > 0:
+            death_ops = RandomHalting(h, rng_fail).presample_death_ops(n)
+        result = replay_lean(times, inputs, death_ops=death_ops,
+                             stop_after_first_decision=stop_first)
+        if result is not None:
+            return _check_result(result, check)
+        horizon *= 2
+    raise ConfigurationError(
+        f"schedule horizon kept overflowing (last tried {horizon} ops); "
+        "is the noise distribution effectively degenerate?"
+    )
+
+
+def run_noisy_trials(n_trials: int, n: int,
+                     noise: Union[NoiseDistribution, PerOpKindNoise],
+                     seed: SeedLike = None, **kwargs) -> list[TrialResult]:
+    """Run ``n_trials`` independent trials; each gets its own child stream."""
+    return [
+        run_noisy_trial(n, noise, seed=trial_rng, **kwargs)
+        for trial_rng in spawn(make_rng(seed), n_trials)
+    ]
+
+
+def run_step_trial(n: int, picker: Picker,
+                   seed: SeedLike = None,
+                   inputs=None,
+                   protocol: ProtocolLike = "lean",
+                   h: float = 0.0,
+                   record: bool = False,
+                   max_total_ops: Optional[int] = None,
+                   round_cap: Optional[int] = None,
+                   check: bool = True) -> TrialResult:
+    """Run one execution under an explicit interleaving (no clock)."""
+    root = make_rng(seed)
+    rng_fail, rng_proto = spawn(root, 2)
+    input_map = _resolve_inputs(n, inputs)
+    machines = make_machines(protocol, input_map, rng=rng_proto,
+                             round_cap=round_cap)
+    memory = make_memory_for(machines, record=record)
+    failures: FailureModel = (RandomHalting(h, rng_fail) if h > 0
+                              else NoFailures())
+    eng = StepEngine(machines, memory, picker,
+                     failures=failures, max_total_ops=max_total_ops)
+    result = eng.run()
+    result.memory = memory  # type: ignore[attr-defined]
+    result.machines = machines  # type: ignore[attr-defined]
+    return _check_result(result, check)
+
+
+def run_hybrid_trial(n: int, quantum: int,
+                     priorities: Optional[Sequence[int]] = None,
+                     initial_used: Optional[Dict[int, int]] = None,
+                     debt_policy: str = "holder",
+                     chooser: Optional[Callable[[list[int]], int]] = None,
+                     seed: SeedLike = None,
+                     inputs=None,
+                     protocol: ProtocolLike = "lean",
+                     max_total_ops: Optional[int] = None,
+                     check: bool = True) -> TrialResult:
+    """Run one execution on the hybrid-scheduled uniprocessor (Section 7)."""
+    root = make_rng(seed)
+    (rng_proto,) = spawn(root, 1)
+    input_map = _resolve_inputs(n, inputs)
+    machines = make_machines(protocol, input_map, rng=rng_proto)
+    memory = make_memory_for(machines)
+    if priorities is None:
+        priorities = [0] * n
+    scheduler = HybridScheduler(priorities, quantum, initial_used=initial_used,
+                                debt_policy=debt_policy)
+    eng = HybridEngine(machines, memory, scheduler, chooser=chooser,
+                       max_total_ops=max_total_ops)
+    result = eng.run()
+    result.memory = memory  # type: ignore[attr-defined]
+    result.machines = machines  # type: ignore[attr-defined]
+    return _check_result(result, check)

@@ -1,0 +1,124 @@
+"""Shared primitive types: operations, results, and decisions.
+
+Every protocol in this library is expressed as a state machine that emits
+:class:`Operation` values one at a time and consumes :class:`OpResult`
+values.  The simulation engines execute exactly one operation atomically per
+step, which realizes the interleaving semantics of Section 3 of the paper:
+operations occur in a sequence pi_1, pi_2, ... and each read returns the value
+of the last preceding write to the same location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """The type of a shared-memory operation.
+
+    The noisy-scheduling model allows a distinct noise distribution per
+    operation type (Section 3.1, item 3); schedulers dispatch on this enum to
+    pick the right distribution.
+    """
+
+    READ = "read"
+    WRITE = "write"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single atomic register operation on a named shared array.
+
+    Attributes:
+        kind: read or write.
+        array: name of the shared array (e.g. ``"a0"`` or ``"a1"``).
+        index: location within the array.  May be any integer key; the
+            paper's arrays are unbounded in the positive direction and
+            carry a read-only ``1`` at index 0.
+        value: the value written; ``None`` for reads.
+    """
+
+    kind: OpKind
+    array: str
+    index: int
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.WRITE and self.value is None:
+            raise ValueError("write operation requires a value")
+        if self.kind is OpKind.READ and self.value is not None:
+            raise ValueError("read operation must not carry a value")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_read:
+            return f"read {self.array}[{self.index}]"
+        return f"write {self.array}[{self.index}] := {self.value}"
+
+
+def read(array: str, index: int) -> Operation:
+    """Convenience constructor for a read operation."""
+    return Operation(OpKind.READ, array, index)
+
+
+def write(array: str, index: int, value: int) -> Operation:
+    """Convenience constructor for a write operation."""
+    return Operation(OpKind.WRITE, array, index, value)
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """The outcome of executing an :class:`Operation`.
+
+    For reads, ``value`` is the value read.  For writes, ``value`` echoes the
+    value written (the acknowledgement carries no information, but echoing
+    makes traces self-describing).
+    """
+
+    op: Operation
+    value: int
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A consensus decision by one process.
+
+    Attributes:
+        value: the decided bit (0 or 1).
+        round: the protocol round at which the decision was made (1-based,
+            as in the paper).  Protocols without a round structure may
+            report 0.
+        ops: the number of shared-memory operations the process performed
+            up to and including the operation that triggered the decision.
+    """
+
+    value: int
+    round: int
+    ops: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"decision value must be a bit, got {self.value!r}")
+
+
+#: Names of the two racing arrays used by lean-consensus and its relatives.
+ARRAY_FOR_BIT = ("a0", "a1")
+
+
+def array_for(bit: int) -> str:
+    """Return the name of the racing array associated with preference ``bit``."""
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    return ARRAY_FOR_BIT[bit]

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return make_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng2() -> np.random.Generator:
+    """A second independent deterministic generator."""
+    return make_rng(0xBEEF)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (excluded by -m 'not slow')")

@@ -1,0 +1,152 @@
+"""Real-time consistency checks for the ABD register emulation.
+
+ABD's guarantee is linearizability.  Checking it in full is expensive;
+these tests verify precise *necessary* conditions via the protocol's own
+timestamps (exposed as ``AbdClient.last_stamp``), which catch the classic
+implementation bugs — stale reads, lost write-backs, timestamp regressions:
+
+1. **Read freshness**: a read whose transaction begins after a write's
+   transaction commits (in real time) returns a stamp >= that write's.
+2. **Read monotonicity**: for non-overlapping reads of the same location,
+   the later read's stamp is >= the earlier read's (the property the
+   read's write-back phase buys).
+3. **Write stamps strictly increase per location** in commit order when
+   the writes do not overlap.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro._rng import make_rng
+from repro.netsim.abd import AbdClient, AbdServer
+from repro.netsim.network import Network
+from repro.noise import Exponential
+from repro.types import OpKind, Operation, read, write
+
+
+@dataclass
+class TxnRecord:
+    client: str
+    op: Operation
+    value: int
+    stamp: Tuple[int, int]
+    begin: float
+    commit: float
+
+
+@dataclass
+class Workload:
+    ops: List[Operation]
+    records: List[TxnRecord] = field(default_factory=list)
+
+
+class RecordingClient(AbdClient):
+    """Executes a scripted workload, recording times and stamps."""
+
+    def __init__(self, servers, workload: Workload):
+        super().__init__(servers, on_complete=self._advance)
+        self.workload = workload
+        self._pos = 0
+        self._begin = 0.0
+
+    def on_start(self, now):
+        return self._issue(now)
+
+    def _issue(self, now):
+        if self._pos >= len(self.workload.ops):
+            return []
+        self._begin = now
+        return self.begin(self.workload.ops[self._pos])
+
+    def _advance(self, op, value, now):
+        self.workload.records.append(
+            TxnRecord(self.name, op, value, self.last_stamp,
+                      self._begin, now))
+        self._pos += 1
+        return self._issue(now)
+
+
+def run_workloads(n_clients=4, n_servers=5, ops_per_client=30, seed=1,
+                  locations=3, crash=()):
+    rng = make_rng(seed)
+    net = Network(Exponential(1.0), make_rng(seed + 1))
+    servers = [f"s{i}" for i in range(n_servers)]
+    for name in servers:
+        net.add_node(name, AbdServer())
+    workloads = []
+    for c in range(n_clients):
+        ops = []
+        for _ in range(ops_per_client):
+            loc = int(rng.integers(0, locations))
+            if rng.random() < 0.5:
+                ops.append(read("reg", loc))
+            else:
+                ops.append(write("reg", loc, int(rng.integers(1, 100))))
+        workload = Workload(ops)
+        workloads.append(workload)
+        net.add_node(f"client{c}", RecordingClient(servers, workload))
+    for name in crash:
+        net.crash(name)
+    net.start()
+    net.run()
+    return [r for w in workloads for r in w.records]
+
+
+def by_location(records):
+    out: Dict[Tuple[str, int], List[TxnRecord]] = {}
+    for rec in records:
+        out.setdefault((rec.op.array, rec.op.index), []).append(rec)
+    return out
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+@pytest.mark.parametrize("crash", [(), ("s0", "s1")])
+class TestAbdRealTimeConsistency:
+    def test_workloads_complete(self, seed, crash):
+        records = run_workloads(seed=seed, crash=crash)
+        assert len(records) == 4 * 30
+
+    def test_reads_return_written_or_initial_values(self, seed, crash):
+        records = run_workloads(seed=seed, crash=crash)
+        locs = by_location(records)
+        for loc, recs in locs.items():
+            written = {r.value for r in recs
+                       if r.op.kind is OpKind.WRITE} | {0}
+            for rec in recs:
+                if rec.op.kind is OpKind.READ:
+                    assert rec.value in written
+
+    def test_read_freshness(self, seed, crash):
+        """Reads beginning after a write committed carry a stamp >= it."""
+        records = run_workloads(seed=seed, crash=crash)
+        for loc, recs in by_location(records).items():
+            writes = [r for r in recs if r.op.kind is OpKind.WRITE]
+            reads = [r for r in recs if r.op.kind is OpKind.READ]
+            for rd in reads:
+                for wr in writes:
+                    if wr.commit < rd.begin:
+                        assert rd.stamp >= wr.stamp, \
+                            f"stale read at {loc}: {rd} vs {wr}"
+
+    def test_read_monotonicity(self, seed, crash):
+        """Non-overlapping reads of a location never go back in time."""
+        records = run_workloads(seed=seed, crash=crash)
+        for loc, recs in by_location(records).items():
+            reads = sorted((r for r in recs if r.op.kind is OpKind.READ),
+                           key=lambda r: r.begin)
+            for early in reads:
+                for late in reads:
+                    if early.commit < late.begin:
+                        assert late.stamp >= early.stamp
+
+    def test_write_stamps_advance(self, seed, crash):
+        """A write beginning after another committed gets a larger stamp."""
+        records = run_workloads(seed=seed, crash=crash)
+        for loc, recs in by_location(records).items():
+            writes = [r for r in recs if r.op.kind is OpKind.WRITE]
+            for a in writes:
+                for b in writes:
+                    if a.commit < b.begin:
+                        assert b.stamp > a.stamp

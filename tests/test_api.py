@@ -1,0 +1,60 @@
+"""API-surface tests: exports, error hierarchy, version."""
+
+import pytest
+
+import repro
+import repro.core
+from repro.errors import (
+    ConfigurationError,
+    DistributionError,
+    InvariantViolation,
+    MemoryError_,
+    ModelCheckError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+)
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_all_names_resolve(self):
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name) is not None, name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must work verbatim."""
+        from repro import run_noisy_trial
+        from repro.noise import Exponential
+
+        result = run_noisy_trial(n=100, noise=Exponential(1.0), seed=42)
+        assert result.agreed
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, DistributionError, InvariantViolation,
+        MemoryError_, ModelCheckError, ProtocolError, SchedulerError,
+        SimulationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_distribution_error_is_configuration_error(self):
+        assert issubclass(DistributionError, ConfigurationError)
+
+    def test_invariant_violation_carries_witness(self):
+        err = InvariantViolation("boom", witness={"k": 1})
+        assert err.witness == {"k": 1}
+
+    def test_catching_repro_error_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise SimulationError("x")

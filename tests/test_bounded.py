@@ -1,0 +1,183 @@
+"""Tests for the Section-8 bounded-space combined protocol."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro._rng import make_rng
+from repro.core.bounded import (
+    BACKUP_PREFIX,
+    BoundedLeanConsensus,
+    default_backup_factory,
+    suggested_round_cap,
+)
+from repro.memory import SharedMemory, UnboundedBitArray
+from repro.sim.runner import make_memory_for
+from repro.types import write
+
+
+def make_bounded(pid, bit, cap, coin_seed=7):
+    return BoundedLeanConsensus(
+        pid, bit, round_cap=cap,
+        backup_factory=default_backup_factory(make_rng(coin_seed)))
+
+
+def step(machine, memory):
+    res = memory.execute(machine.peek(), pid=machine.pid)
+    machine.apply(res)
+
+
+def run_solo(machine, memory, max_ops=2000):
+    while not machine.done and machine.ops < max_ops:
+        step(machine, memory)
+    return machine
+
+
+def poisoned_memory(machine, rounds=64):
+    """Memory where both racing arrays are pre-marked: the main phase can
+    never decide, forcing the cutoff."""
+    mem = make_memory_for([machine])
+    for r in range(1, rounds):
+        mem.execute(write("a0", r, 1))
+        mem.execute(write("a1", r, 1))
+    return mem
+
+
+class TestSuggestedRoundCap:
+    def test_monotone_in_n(self):
+        caps = [suggested_round_cap(n) for n in (1, 4, 64, 1024, 10**5)]
+        assert caps == sorted(caps)
+
+    def test_theta_log_squared_shape(self):
+        import math
+        n = 4096
+        cap = suggested_round_cap(n)
+        assert cap == pytest.approx(4 * (math.log2(n + 1) + 1) ** 2, rel=0.1)
+
+    def test_minimum_is_8(self):
+        assert suggested_round_cap(1) >= 8
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            suggested_round_cap(0)
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_solo_never_uses_backup(self, bit):
+        m = make_bounded(0, bit, cap=10)
+        mem = make_memory_for([m])
+        run_solo(m, mem)
+        assert m.decision is not None
+        assert m.decision.value == bit
+        assert not m.used_backup
+        assert m.decision.ops == 8
+
+    def test_required_arrays_include_backup_namespace(self):
+        names = [n for n, _ in BoundedLeanConsensus.required_arrays()]
+        assert "a0" in names and "a1" in names
+        assert BACKUP_PREFIX + "a0" in names
+        assert BACKUP_PREFIX + "c1" in names
+
+    def test_round_cap_validation(self):
+        with pytest.raises(ProtocolError):
+            make_bounded(0, 0, cap=1)
+
+
+class TestCutoffPath:
+    def test_overflow_switches_to_backup(self):
+        m = make_bounded(0, 0, cap=3)
+        mem = poisoned_memory(m)
+        run_solo(m, mem)
+        assert m.used_backup
+        assert m.decision is not None
+        assert m.decision.value == 0  # backup validity from preference 0
+
+    def test_backup_input_is_cutoff_preference(self):
+        m = make_bounded(0, 0, cap=3)
+        mem = make_memory_for([m])
+        # Mark only a1 so the machine adopts 1, then poison both arrays up
+        # to the cap so it cannot decide in the main phase.
+        for r in range(1, 8):
+            mem.execute(write("a1", r, 1))
+            mem.execute(write("a0", r, 1))
+        run_solo(m, mem)
+        assert m.used_backup
+        assert m.decision.value in (0, 1)
+
+    def test_ops_accumulate_across_phases(self):
+        m = make_bounded(0, 0, cap=3)
+        mem = poisoned_memory(m)
+        run_solo(m, mem)
+        assert m.decision.ops == m.ops
+        assert m.ops > 3 * 4  # more than the truncated main phase
+
+    def test_main_arrays_respect_capacity(self):
+        """With memory capacity = round_cap the main phase never faults:
+        the bounded protocol really is bounded-space."""
+        cap = 5
+        m = make_bounded(0, 0, cap=cap)
+        recorder_mem = SharedMemory(arrays=[
+            UnboundedBitArray("a0", prefix_value=1, capacity=cap),
+            UnboundedBitArray("a1", prefix_value=1, capacity=cap),
+            UnboundedBitArray(BACKUP_PREFIX + "a0", prefix_value=1),
+            UnboundedBitArray(BACKUP_PREFIX + "a1", prefix_value=1),
+            UnboundedBitArray(BACKUP_PREFIX + "c0"),
+            UnboundedBitArray(BACKUP_PREFIX + "c1"),
+        ])
+        for r in range(1, cap + 1):
+            recorder_mem.execute(write("a0", r, 1))
+            recorder_mem.execute(write("a1", r, 1))
+        run_solo(m, recorder_mem)
+        assert m.decision is not None
+
+
+class TestAgreementAcrossBoundary:
+    def test_mixed_main_and_backup_deciders_agree(self):
+        """One process decides in the main phase; a laggard overflows into
+        the backup.  Lemma 2/4 reasoning forces the same value."""
+        fast = make_bounded(0, 1, cap=4, coin_seed=1)
+        slow = make_bounded(1, 0, cap=4, coin_seed=2)
+        mem = make_memory_for([fast, slow])
+        run_solo(fast, mem)  # decides 1 in the main phase
+        run_solo(slow, mem)
+        assert fast.decision.value == 1
+        assert not fast.used_backup
+        assert slow.decision is not None
+        assert slow.decision.value == 1
+
+    def test_both_overflow_agree(self):
+        a = make_bounded(0, 0, cap=3, coin_seed=3)
+        b = make_bounded(1, 1, cap=3, coin_seed=4)
+        mem = make_memory_for([a, b])
+        # Poison both racing arrays so both machines hit the cutoff.
+        for r in range(1, 64):
+            mem.execute(write("a0", r, 1))
+            mem.execute(write("a1", r, 1))
+        run_solo(a, mem)
+        run_solo(b, mem)
+        assert a.used_backup and b.used_backup
+        assert a.decision.value == b.decision.value
+
+
+class TestSnapshots:
+    def test_roundtrip_main_phase(self):
+        m = make_bounded(0, 0, cap=6)
+        mem = make_memory_for([m])
+        step(m, mem)
+        snap = m.snapshot()
+        expected = m.peek()
+        step(m, mem)
+        m.restore(snap)
+        assert m.peek() == expected
+
+    def test_roundtrip_backup_phase(self):
+        m = make_bounded(0, 0, cap=3)
+        mem = poisoned_memory(m)
+        while not m.used_backup:
+            step(m, mem)
+        snap = m.snapshot()
+        expected = m.peek()
+        step(m, mem)
+        m.restore(snap)
+        assert m.peek() == expected
+        assert m.used_backup

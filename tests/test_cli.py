@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "usage" in out
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_dispatch_runs_experiment(self, capsys):
+        code = main(["unfairness", "--trials", "10", "--seed", "1"])
+        assert code == 0
+        assert "Theorem 1" in capsys.readouterr().out
+
+    def test_experiment_registry_complete(self):
+        # Every experiment module with a main() is registered.
+        import repro.experiments as exps
+        registered = set(EXPERIMENTS.values())
+        for name in exps.__all__:
+            module = getattr(exps, name)
+            if hasattr(module, "main"):
+                assert module in registered, f"{name} missing from CLI"

@@ -1,0 +1,113 @@
+"""Tests for the memory-contention model (Section 10)."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError
+from repro.memory.contention import ContentionMeter, ContentiousScheduler
+from repro.noise import Exponential
+from repro.sched.noisy import NoisyScheduler
+from repro.sim.engine import NoisyEngine
+from repro.sim.runner import half_and_half, make_machines, make_memory_for
+from repro.types import OpKind, read
+
+
+class TestMeter:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContentionMeter(penalty=-0.1)
+        with pytest.raises(ConfigurationError):
+            ContentionMeter(window=0.0)
+
+    def test_first_access_free(self):
+        meter = ContentionMeter(penalty=0.5)
+        assert meter.charge(read("a0", 1), pid=0, now=0.0) == 0.0
+
+    def test_rival_access_charged(self):
+        meter = ContentionMeter(penalty=0.5, window=10.0)
+        meter.charge(read("a0", 1), pid=0, now=0.0)
+        assert meter.charge(read("a0", 1), pid=1, now=1.0) == 0.5
+
+    def test_own_accesses_not_charged(self):
+        meter = ContentionMeter(penalty=0.5, window=10.0)
+        meter.charge(read("a0", 1), pid=0, now=0.0)
+        assert meter.charge(read("a0", 1), pid=0, now=1.0) == 0.0
+
+    def test_window_expires(self):
+        meter = ContentionMeter(penalty=0.5, window=2.0)
+        meter.charge(read("a0", 1), pid=0, now=0.0)
+        assert meter.charge(read("a0", 1), pid=1, now=5.0) == 0.0
+
+    def test_different_locations_independent(self):
+        meter = ContentionMeter(penalty=0.5, window=10.0)
+        meter.charge(read("a0", 1), pid=0, now=0.0)
+        assert meter.charge(read("a0", 2), pid=1, now=0.5) == 0.0
+        assert meter.charge(read("a1", 1), pid=1, now=0.6) == 0.0
+
+    def test_penalty_scales_with_crowd(self):
+        meter = ContentionMeter(penalty=0.5, window=10.0)
+        for pid in range(4):
+            meter.charge(read("a0", 1), pid=pid, now=float(pid))
+        assert meter.charge(read("a0", 1), pid=9, now=4.0) == 4 * 0.5
+
+    def test_totals_and_hot_locations(self):
+        meter = ContentionMeter(penalty=1.0, window=10.0)
+        meter.charge(read("a0", 1), pid=0, now=0.0)
+        meter.charge(read("a0", 1), pid=1, now=0.5)
+        assert meter.accesses == 2
+        assert meter.total_penalty == 1.0
+        assert meter.hot_locations(1) == [("a0", 1, 2)]
+
+
+class TestContentiousScheduler:
+    def make(self, penalty=0.5):
+        meter = ContentionMeter(penalty=penalty, window=10.0)
+        base = NoisyScheduler(Exponential(1.0), make_rng(1))
+        return ContentiousScheduler(base, meter), meter
+
+    def test_stall_applies_to_next_op_once(self):
+        sched, meter = self.make(penalty=5.0)
+        meter.charge(read("a0", 1), pid=1, now=0.0)  # crowd the location
+        sched.observe(read("a0", 1), pid=0, now=0.1)  # p0 pays
+        base = NoisyScheduler(Exponential(1.0), make_rng(1))
+        unstalled = base.next_time(0, 2, OpKind.READ, 0.1)
+        stalled = sched.next_time(0, 2, OpKind.READ, 0.1)
+        assert stalled == pytest.approx(unstalled + 5.0)
+        # The stall is consumed; the following op is back to baseline.
+        again = sched.next_time(0, 3, OpKind.READ, stalled)
+        base_again = base.next_time(0, 3, OpKind.READ, stalled)
+        assert again == pytest.approx(base_again)
+
+    def test_start_time_passthrough(self):
+        sched, _ = self.make()
+        assert sched.start_time(0) == 0.0
+
+
+class TestEndToEnd:
+    def run_with_penalty(self, penalty, seed=7, n=12):
+        machines = make_machines("lean", half_and_half(n))
+        memory = make_memory_for(machines)
+        meter = ContentionMeter(penalty=penalty, window=2.0)
+        sched = ContentiousScheduler(
+            NoisyScheduler(Exponential(1.0), make_rng(seed)), meter)
+        result = NoisyEngine(machines, memory, sched).run()
+        return result, meter
+
+    def test_safe_under_contention(self):
+        result, meter = self.run_with_penalty(0.5)
+        assert result.all_decided and result.agreed
+        assert meter.total_penalty > 0
+
+    def test_zero_penalty_charges_nothing(self):
+        result, meter = self.run_with_penalty(0.0)
+        assert result.all_decided
+        assert meter.total_penalty == 0.0
+
+    def test_hot_locations_are_early_rounds(self):
+        """The paper's intuition: congestion concentrates on early-round
+        registers (everyone passes them), while late rounds stay clear."""
+        _, meter = self.run_with_penalty(0.2, n=16)
+        hot = meter.hot_locations(3)
+        assert hot, "some location must be contended"
+        hottest_indices = [index for _, index, _ in hot]
+        assert min(hottest_indices) <= 2

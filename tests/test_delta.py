@@ -1,0 +1,105 @@
+"""Tests for the adversary delay schedules (Delta_ij of Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError
+from repro.sched.delta import (
+    ConstantDelta,
+    DitheredStart,
+    RandomDelta,
+    StaggeredStart,
+    ZeroDelta,
+)
+
+
+class TestZeroDelta:
+    def test_everything_zero(self):
+        d = ZeroDelta()
+        assert d.start(5) == 0.0
+        assert d.delay(5, 3) == 0.0
+        assert (d.delays_array(0, 10) == 0).all()
+        assert d.bound == 0.0
+
+
+class TestConstantDelta:
+    def test_constant_everywhere(self):
+        d = ConstantDelta(0.5, start_time=2.0)
+        assert d.start(0) == 2.0
+        assert d.delay(3, 7) == 0.5
+        assert (d.delays_array(1, 4) == 0.5).all()
+        assert d.bound == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelta(-0.1)
+
+
+class TestStaggeredStart:
+    def test_starts_scale_with_pid(self):
+        d = StaggeredStart(1.5)
+        assert d.start(0) == 0.0
+        assert d.start(4) == 6.0
+        assert d.delay(4, 1) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaggeredStart(-1.0)
+
+
+class TestDitheredStart:
+    def test_starts_within_epsilon(self):
+        d = DitheredStart(16, make_rng(1), epsilon=1e-8)
+        starts = [d.start(i) for i in range(16)]
+        assert all(0 < s < 1e-8 for s in starts)
+
+    def test_starts_distinct(self):
+        d = DitheredStart(64, make_rng(2))
+        starts = [d.start(i) for i in range(64)]
+        assert len(set(starts)) == 64
+
+    def test_reproducible(self):
+        a = DitheredStart(8, make_rng(3))
+        b = DitheredStart(8, make_rng(3))
+        assert a.start(5) == b.start(5)
+
+    def test_base_offset(self):
+        d = DitheredStart(4, make_rng(4), base=10.0)
+        assert d.start(0) >= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DitheredStart(0, make_rng(1))
+        with pytest.raises(ConfigurationError):
+            DitheredStart(4, make_rng(1), epsilon=0.0)
+
+
+class TestRandomDelta:
+    def test_within_bound(self):
+        d = RandomDelta(0.7, make_rng(5), n=4, max_ops=32)
+        arr = d.delays_array(2, 32)
+        assert (arr >= 0).all() and (arr <= 0.7).all()
+
+    def test_oblivious_and_reproducible(self):
+        a = RandomDelta(1.0, make_rng(6), n=2, max_ops=8)
+        b = RandomDelta(1.0, make_rng(6), n=2, max_ops=8)
+        assert a.delay(1, 3) == b.delay(1, 3)
+
+    def test_beyond_horizon_repeats_last(self):
+        d = RandomDelta(1.0, make_rng(7), n=1, max_ops=4)
+        assert d.delay(0, 100) == d.delay(0, 4)
+
+    def test_delays_array_extends(self):
+        d = RandomDelta(1.0, make_rng(8), n=1, max_ops=4)
+        arr = d.delays_array(0, 6)
+        assert arr.shape == (6,)
+        assert arr[4] == arr[3] and arr[5] == arr[3]
+
+    def test_custom_starts(self):
+        d = RandomDelta(1.0, make_rng(9), n=2, max_ops=4, starts=[0.0, 3.0])
+        assert d.start(1) == 3.0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomDelta(-1.0, make_rng(1), n=1, max_ops=1)

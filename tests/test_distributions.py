@@ -1,0 +1,287 @@
+"""Tests for the noise-distribution substrate (paper Section 3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.noise import (
+    Constant,
+    Exponential,
+    Geometric,
+    HeavyTail,
+    LogNormal,
+    Mixture,
+    Pareto,
+    PerOpKindNoise,
+    ShiftedExponential,
+    SumOf,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+    figure1_distributions,
+    validate_noise,
+)
+from repro.types import OpKind
+
+ADMISSIBLE = [
+    TruncatedNormal(1.0, 0.2, 0.0, 2.0),
+    TwoPoint(2 / 3, 4 / 3),
+    ShiftedExponential(0.5, 0.5),
+    Geometric(0.5),
+    Uniform(0.0, 2.0),
+    Exponential(1.0),
+    LogNormal(0.0, 0.5),
+    Pareto(2.0),
+    HeavyTail(k_cap=4),
+]
+
+
+@pytest.mark.parametrize("dist", ADMISSIBLE, ids=lambda d: d.name)
+class TestAdmissibleDistributions:
+    def test_samples_non_negative(self, dist, rng):
+        xs = dist.sample_array(rng, 2000)
+        assert (xs >= 0).all()
+        assert (xs >= dist.min_value - 1e-12).all()
+
+    def test_not_degenerate(self, dist):
+        assert not dist.is_degenerate
+
+    def test_validate_passes(self, dist):
+        assert validate_noise(dist) is dist
+
+    def test_scalar_sample_matches_support(self, dist, rng):
+        x = dist.sample(rng)
+        assert isinstance(x, float)
+        assert x >= dist.min_value - 1e-12
+
+    def test_shape_tuple(self, dist, rng):
+        xs = dist.sample_array(rng, (3, 5))
+        assert xs.shape == (3, 5)
+
+    def test_sampling_is_seeded(self, dist):
+        from repro._rng import make_rng
+        a = dist.sample_array(make_rng(5), 64)
+        b = dist.sample_array(make_rng(5), 64)
+        assert np.array_equal(a, b)
+
+
+class TestMeans:
+    """Empirical means must track the analytic ones (finite-mean cases)."""
+
+    @pytest.mark.parametrize("dist, tol", [
+        (TruncatedNormal(1.0, 0.2, 0.0, 2.0), 0.02),
+        (TwoPoint(2 / 3, 4 / 3), 0.02),
+        (ShiftedExponential(0.5, 0.5), 0.03),
+        (Geometric(0.5), 0.1),
+        (Uniform(0.0, 2.0), 0.03),
+        (Exponential(1.0), 0.05),
+        (LogNormal(0.0, 0.5), 0.06),
+        (Pareto(3.0), 0.06),
+    ], ids=lambda v: getattr(v, "name", v))
+    def test_empirical_mean(self, dist, tol, rng):
+        xs = dist.sample_array(rng, 40_000)
+        assert xs.mean() == pytest.approx(dist.mean, abs=4 * tol * dist.mean)
+
+    def test_truncated_normal_mean_is_center_when_symmetric(self):
+        assert TruncatedNormal(1.0, 0.2, 0.0, 2.0).mean == pytest.approx(1.0)
+
+    def test_pareto_infinite_mean(self):
+        assert Pareto(1.0).mean == math.inf
+
+    def test_heavytail_uncapped_mean_infinite(self):
+        assert HeavyTail().mean == math.inf
+
+    def test_heavytail_capped_mean_grows_with_cap(self):
+        means = [HeavyTail(k_cap=k).mean for k in (2, 3, 4, 5)]
+        assert all(a < b for a, b in zip(means, means[1:]))
+
+
+class TestTruncatedNormal:
+    def test_rejection_bounds(self, rng):
+        xs = TruncatedNormal(1.0, 0.8, 0.0, 2.0).sample_array(rng, 5000)
+        assert (xs > 0).all() and (xs < 2).all()
+
+    def test_bad_sigma(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(1.0, 0.0)
+
+    def test_bad_interval(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(1.0, 0.2, 2.0, 0.0)
+
+
+class TestTwoPoint:
+    def test_values_only(self, rng):
+        xs = TwoPoint(1.0, 2.0).sample_array(rng, 1000)
+        assert set(np.unique(xs)) <= {1.0, 2.0}
+
+    def test_degenerate_when_equal(self):
+        assert TwoPoint(1.0, 1.0).is_degenerate
+
+    def test_degenerate_when_p_extreme(self):
+        assert TwoPoint(1.0, 2.0, p=1.0).is_degenerate
+        assert TwoPoint(1.0, 2.0, p=0.0).is_degenerate
+
+    def test_bad_p(self):
+        with pytest.raises(DistributionError):
+            TwoPoint(1.0, 2.0, p=1.5)
+
+    def test_probability_split(self, rng):
+        xs = TwoPoint(0.0, 1.0, p=0.25).sample_array(rng, 20_000)
+        assert np.mean(xs == 0.0) == pytest.approx(0.25, abs=0.02)
+
+
+class TestGeometric:
+    def test_support_is_positive_integers(self, rng):
+        xs = Geometric(0.5).sample_array(rng, 1000)
+        assert (xs >= 1).all()
+        assert np.array_equal(xs, np.round(xs))
+
+    def test_degenerate_at_p1(self):
+        assert Geometric(1.0).is_degenerate
+
+    def test_bad_p(self):
+        with pytest.raises(DistributionError):
+            Geometric(0.0)
+
+
+class TestShiftedExponential:
+    def test_min_value_is_shift(self, rng):
+        dist = ShiftedExponential(0.5, 0.5)
+        assert dist.min_value == 0.5
+        assert (dist.sample_array(rng, 1000) >= 0.5).all()
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(DistributionError):
+            ShiftedExponential(-0.1, 1.0)
+
+    def test_bad_mean(self):
+        with pytest.raises(DistributionError):
+            ShiftedExponential(0.0, 0.0)
+
+
+class TestHeavyTail:
+    def test_support_values(self, rng):
+        xs = HeavyTail(k_cap=3).sample_array(rng, 2000)
+        assert set(np.unique(xs)) <= {2.0, 16.0, 512.0}
+
+    def test_cap_validation(self):
+        with pytest.raises(DistributionError):
+            HeavyTail(k_cap=0)
+
+    def test_cap1_is_degenerate(self):
+        assert HeavyTail(k_cap=1).is_degenerate
+
+    def test_uncapped_never_overflows(self, rng):
+        xs = HeavyTail().sample_array(rng, 10_000)
+        assert np.isfinite(xs).all()
+
+
+class TestConstant:
+    def test_is_degenerate_and_rejected(self):
+        dist = Constant(1.0)
+        assert dist.is_degenerate
+        with pytest.raises(DistributionError):
+            validate_noise(dist)
+
+    def test_sampling(self, rng):
+        assert (Constant(2.5).sample_array(rng, 10) == 2.5).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Constant(-1.0)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        mix = Mixture([Constant(1.0), Constant(3.0)], weights=[0.75, 0.25])
+        assert mix.mean == pytest.approx(1.5)
+
+    def test_sampling_covers_components(self, rng):
+        mix = Mixture([Constant(1.0), Constant(2.0)])
+        xs = mix.sample_array(rng, 500)
+        assert {1.0, 2.0} == set(np.unique(xs))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Mixture([])
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            Mixture([Constant(1.0)], weights=[0.5, 0.5])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DistributionError):
+            Mixture([Constant(1.0), Constant(2.0)], weights=[-1.0, 2.0])
+
+    def test_min_value(self):
+        mix = Mixture([Uniform(0.5, 1.0), Uniform(0.2, 0.9)])
+        assert mix.min_value == pytest.approx(0.2)
+
+    def test_shape_tuple(self, rng):
+        xs = Mixture([Constant(1.0), Constant(2.0)]).sample_array(rng, (4, 6))
+        assert xs.shape == (4, 6)
+
+
+class TestSumOf:
+    def test_mean_scales(self):
+        assert SumOf(Uniform(0.0, 2.0), 4).mean == pytest.approx(4.0)
+
+    def test_min_value_scales(self):
+        assert SumOf(ShiftedExponential(0.5, 1.0), 4).min_value == pytest.approx(2.0)
+
+    def test_sample_is_sum(self, rng):
+        xs = SumOf(Constant(1.5), 4).sample_array(rng, 10)
+        assert (xs == 6.0).all()
+
+    def test_bad_k(self):
+        with pytest.raises(DistributionError):
+            SumOf(Uniform(), 0)
+
+    def test_degenerate_follows_base(self):
+        assert SumOf(Constant(1.0), 3).is_degenerate
+        assert not SumOf(Uniform(), 3).is_degenerate
+
+
+class TestPerOpKindNoise:
+    def test_single_distribution_for_both_kinds(self):
+        dist = Exponential(1.0)
+        per = PerOpKindNoise(dist)
+        assert per.for_kind(OpKind.READ) is dist
+        assert per.for_kind(OpKind.WRITE) is dist
+        assert per.uniform_across_kinds
+
+    def test_distinct_distributions(self):
+        r, w = Exponential(1.0), Uniform(0.0, 2.0)
+        per = PerOpKindNoise(r, w)
+        assert per.for_kind(OpKind.READ) is r
+        assert per.for_kind(OpKind.WRITE) is w
+        assert not per.uniform_across_kinds
+
+    def test_validate_checks_both(self):
+        with pytest.raises(DistributionError):
+            PerOpKindNoise(Exponential(1.0), Constant(1.0)).validate()
+
+
+class TestFigure1Distributions:
+    def test_has_the_papers_six(self):
+        dists = figure1_distributions()
+        assert set(dists) == {
+            "exponential(1)", "uniform [0,2]", "geometric(0.5)",
+            "0.5 + exponential(0.5)", "2/3,4/3", "normal(1,0.04)",
+        }
+
+    def test_all_admissible(self):
+        for dist in figure1_distributions().values():
+            validate_noise(dist)
+
+    def test_means_match_paper_parameters(self):
+        dists = figure1_distributions()
+        assert dists["exponential(1)"].mean == pytest.approx(1.0)
+        assert dists["uniform [0,2]"].mean == pytest.approx(1.0)
+        assert dists["geometric(0.5)"].mean == pytest.approx(2.0)
+        assert dists["0.5 + exponential(0.5)"].mean == pytest.approx(1.0)
+        assert dists["2/3,4/3"].mean == pytest.approx(1.0)
+        assert dists["normal(1,0.04)"].mean == pytest.approx(1.0)

@@ -1,0 +1,158 @@
+"""Tests for the reference simulation engines."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.core.machine import LeanConsensus
+from repro.errors import SimulationError
+from repro.failures import KillLeaderAdversary, ScriptedFailures
+from repro.noise import Constant, Exponential
+from repro.sched.noisy import NoisyScheduler
+from repro.sched.pickers import RandomPicker, RoundRobinPicker, ScriptedPicker
+from repro.sim.engine import NoisyEngine, StepEngine
+from repro.sim.runner import make_machines, make_memory_for
+
+
+def lean_machines(inputs):
+    return make_machines("lean", dict(enumerate(inputs)))
+
+
+class TestNoisyEngine:
+    def test_single_process_decides_in_8_ops(self):
+        machines = lean_machines([1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(1))
+        result = NoisyEngine(machines, memory, sched).run()
+        assert result.decisions[0].value == 1
+        assert result.decisions[0].ops == 8
+        assert result.total_ops == 8
+        assert result.sim_time > 0
+
+    def test_all_processes_decide_and_agree(self):
+        machines = lean_machines([0, 1, 0, 1, 0, 1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(2))
+        result = NoisyEngine(machines, memory, sched).run()
+        assert result.all_decided
+        assert result.agreed
+        assert len(result.decisions) == 6
+
+    def test_stop_after_first_decision(self):
+        machines = lean_machines([0, 1, 0, 1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(3))
+        result = NoisyEngine(machines, memory, sched,
+                             stop_after_first_decision=True).run()
+        assert result.first_decision_round is not None
+        assert len(result.decisions) == 1
+
+    def test_lockstep_constant_noise_exhausts_budget(self):
+        """The degenerate distribution lets the adversary run a lockstep:
+        lean-consensus never terminates — the model's noise requirement is
+        load-bearing."""
+        machines = lean_machines([0, 1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Constant(1.0), make_rng(4),
+                               allow_degenerate=True, tie_dither=0.0)
+        # Identical constant times would be simultaneous; stagger starts
+        # slightly so the interleaving alternates deterministically.
+        from repro.sched.delta import StaggeredStart
+        sched.delta = StaggeredStart(0.25)
+        result = NoisyEngine(machines, memory, sched,
+                             max_total_ops=400).run()
+        assert result.budget_exhausted
+        assert not result.decisions
+
+    def test_scripted_failure_halts_process(self):
+        machines = lean_machines([0, 1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(5))
+        engine = NoisyEngine(machines, memory, sched,
+                             failures=ScriptedFailures({0: 1}))
+        result = engine.run()
+        assert 0 in result.halted
+        assert 0 not in result.decisions
+        assert result.decisions[1].value == 1
+
+    def test_crash_adversary_consumes_budget(self):
+        machines = lean_machines([0, 1, 0, 1])
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(6))
+        adversary = KillLeaderAdversary(budget=2, lead=1)
+        result = NoisyEngine(machines, memory, sched,
+                             crash_adversary=adversary).run()
+        assert len(result.halted) == len(adversary.crashed)
+        # Survivors still reach consensus.
+        assert result.agreed
+        assert len(result.decisions) + len(result.halted) == 4
+
+    def test_duplicate_pids_rejected(self):
+        machines = [LeanConsensus(0, 0), LeanConsensus(0, 1)]
+        memory = make_memory_for(machines)
+        sched = NoisyScheduler(Exponential(1.0), make_rng(7))
+        with pytest.raises(SimulationError):
+            NoisyEngine(machines, memory, sched)
+
+    def test_empty_machines_rejected(self):
+        with pytest.raises(SimulationError):
+            NoisyEngine([], make_memory_for(lean_machines([0])),
+                        NoisyScheduler(Exponential(1.0), make_rng(8)))
+
+    def test_deterministic_given_seed(self):
+        def once(seed):
+            machines = lean_machines([0, 1, 0, 1])
+            memory = make_memory_for(machines)
+            sched = NoisyScheduler(Exponential(1.0), make_rng(seed))
+            return NoisyEngine(machines, memory, sched).run()
+
+        a, b = once(99), once(99)
+        assert {p: d.value for p, d in a.decisions.items()} == \
+            {p: d.value for p, d in b.decisions.items()}
+        assert a.total_ops == b.total_ops
+        assert a.sim_time == b.sim_time
+
+
+class TestStepEngine:
+    def test_random_picker_terminates_and_agrees(self):
+        machines = lean_machines([0, 1, 0, 1, 1])
+        memory = make_memory_for(machines)
+        result = StepEngine(machines, memory, RandomPicker(make_rng(1))).run()
+        assert result.all_decided
+        assert result.agreed
+
+    def test_round_robin_lockstep_exhausts_budget(self):
+        machines = lean_machines([0, 1])
+        memory = make_memory_for(machines)
+        result = StepEngine(machines, memory, RoundRobinPicker(),
+                            max_total_ops=200).run()
+        assert result.budget_exhausted
+        assert not result.decisions
+
+    def test_round_robin_unanimous_decides_in_8_rounds_of_steps(self):
+        """Lockstep is harmless when inputs agree (Lemma 3)."""
+        machines = lean_machines([1, 1, 1])
+        memory = make_memory_for(machines)
+        result = StepEngine(machines, memory, RoundRobinPicker()).run()
+        assert result.all_decided
+        assert result.decided_values == {1}
+        assert all(d.ops == 8 for d in result.decisions.values())
+
+    def test_scripted_schedule_reproducible(self):
+        script = [0, 0, 1, 0, 1, 1, 0, 1] * 30
+        def once():
+            machines = lean_machines([0, 1])
+            memory = make_memory_for(machines)
+            return StepEngine(machines, memory,
+                              ScriptedPicker(script),
+                              max_total_ops=200).run()
+        a, b = once(), once()
+        assert {p: d.value for p, d in a.decisions.items()} == \
+            {p: d.value for p, d in b.decisions.items()}
+
+    def test_sequential_schedule_decides_fast_then_drags_laggard(self):
+        machines = lean_machines([1, 0])
+        memory = make_memory_for(machines)
+        picker = ScriptedPicker([0] * 8, exhausted="first")
+        result = StepEngine(machines, memory, picker).run()
+        assert result.decisions[0].ops == 8
+        assert result.decisions[1].value == 1

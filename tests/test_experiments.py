@@ -1,0 +1,160 @@
+"""Smoke tests for every experiment harness (tiny scale).
+
+Each experiment must run, return the documented dataclasses, and print a
+paper-shaped table.  The benchmarks exercise them at real scale; these
+tests pin the API.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    bounded_space,
+    failures,
+    figure1,
+    hybrid,
+    lower_bound,
+    renewal_race,
+    scaling,
+    unfairness,
+)
+
+
+class TestFigure1:
+    def test_run_and_format(self):
+        result = figure1.run(ns=(1, 8), trials=4, seed=1)
+        assert set(result.series) == set(
+            figure1.figure1_distributions().keys())
+        point = result.point("exponential(1)", 1)
+        assert point.mean_round == pytest.approx(2.0)  # Lemma 3 solo case
+        table = figure1.format_result(result)
+        assert "Figure 1" in table and "exponential(1)" in table
+
+    def test_ascii_plot_renders(self):
+        result = figure1.run(ns=(1, 8), trials=3, seed=2)
+        plot = figure1.ascii_plot(result)
+        assert "legend:" in plot
+
+    def test_custom_distribution_subset(self):
+        from repro.noise import Exponential
+        result = figure1.run(ns=(4,), trials=3, seed=3,
+                             distributions={"expo": Exponential(1.0)})
+        assert list(result.series) == ["expo"]
+
+    def test_unknown_point_raises(self):
+        result = figure1.run(ns=(4,), trials=2, seed=4)
+        with pytest.raises(KeyError):
+            result.point("exponential(1)", 999)
+
+
+class TestScaling:
+    def test_run_and_fit(self):
+        result = scaling.run(ns=(4, 16, 64), trials=8, seed=1)
+        assert result.fit_first.model == "a*ln(n)+b"
+        assert set(result.mean_first) == {4, 16, 64}
+        assert "Theorem 12" in scaling.format_result(result)
+
+    def test_tail(self):
+        tail = scaling.run_tail(n=16, trials=30, seed=2)
+        assert tail.fit.a < 0  # decaying tail
+        assert len(tail.ks) == len(tail.probs)
+
+
+class TestLowerBound:
+    def test_run(self):
+        result = lower_bound.run(ns=(4, 16), trials=8, seed=1)
+        assert set(result.mean_first) == {4, 16}
+        assert 0 <= result.fast_pair_prob[4] <= 1
+        assert "Theorem 13" in lower_bound.format_result(result)
+
+    def test_analytic_limit(self):
+        import math
+        assert lower_bound.analytic_fast_pair(10**6) == pytest.approx(
+            (1 - math.exp(-0.5)) ** 2, rel=1e-3)
+
+
+class TestHybrid:
+    def test_exhaustive_sweep_small(self):
+        rows = hybrid.exhaustive_sweep(n=2, quanta=(8,), budget=16)
+        assert rows[0].max_decision_ops <= 12
+        assert not rows[0].truncated
+        assert rows[0].safe
+
+    def test_run_and_format(self):
+        result = hybrid.run(quanta=(8,), randomized_ns=(4,), trials=4,
+                            include_permissive=False, seed=1)
+        assert result.randomized_max_ops[4] <= 12
+        assert "EXP-T14" in hybrid.format_result(result)
+
+
+class TestBoundedSpace:
+    def test_run(self):
+        result = bounded_space.run(ns=(4,), trials=6, stress_trials=4, seed=1)
+        row = result.rows[0]
+        assert row.agreement_rate == 1.0
+        assert row.max_main_round <= row.r_max
+        stress = result.stress_rows[0]
+        assert stress.agreement_rate == 1.0
+        assert "Theorem 15" in bounded_space.format_result(result)
+
+
+class TestUnfairness:
+    def test_heavy_tail_grows_with_cap(self):
+        result = unfairness.run(caps=(2, 5), trials=60, seed=1)
+        assert result.heavy[5] > result.heavy[2]
+        assert "Theorem 1" in unfairness.format_result(result)
+
+
+class TestRenewalRace:
+    def test_run(self):
+        result = renewal_race.run(ns=(2, 8), trials=20, seed=1)
+        assert result.mean_r[8] >= result.mean_r[2] * 0.5
+        assert result.unique_leader_prob >= 0
+        assert "EXP-R10" in renewal_race.format_result(result)
+
+
+class TestFailures:
+    def test_run(self):
+        result = failures.run(n=8, hs=(0.0, 0.05), budgets=(0, 1),
+                              trials=6, seed=1)
+        assert result.halting[0].mean_halted == 0.0
+        assert result.halting[1].mean_halted > 0.0
+        assert result.crashes[1].mean_crashes_used <= 1.0
+        assert "EXP-FAIL" in failures.format_result(result)
+
+
+class TestAblations:
+    def test_run(self):
+        result = ablations.run(n=8, trials=6,
+                               protocols=("lean", "optimized"),
+                               sigmas=(0.2, 0.4),
+                               delay_bounds=(0.0, 1.0), seed=1)
+        names = [r.protocol for r in result.protocols]
+        assert names == ["lean", "optimized"]
+        assert len(result.sigmas) == 2
+        assert "ABL2a" in ablations.format_result(result)
+
+    def test_smaller_sigma_is_slower(self):
+        result = ablations.run(n=16, trials=20,
+                               protocols=("lean",),
+                               sigmas=(0.1, 0.4),
+                               delay_bounds=(0.0,), seed=2)
+        by_sigma = {r.sigma: r.mean_first_round for r in result.sigmas}
+        assert by_sigma[0.1] > by_sigma[0.4]
+
+
+class TestCliMains:
+    """Each experiment main() must run end to end at tiny scale."""
+
+    def test_figure1_main(self, capsys):
+        figure1.main(["--ns", "4", "--trials", "2", "--seed", "1"])
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_scaling_main(self, capsys):
+        scaling.main(["--ns", "4", "8", "--trials", "4", "--seed", "1",
+                      "--tail-n", "8"])
+        assert "Theorem 12" in capsys.readouterr().out
+
+    def test_unfairness_main(self, capsys):
+        unfairness.main(["--trials", "20", "--seed", "1"])
+        assert "Theorem 1" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Smoke tests for the Section-10 extension experiments."""
+
+import pytest
+
+from repro.experiments import extensions, message_passing
+
+
+class TestMessagePassing:
+    def test_run_and_format(self):
+        result = message_passing.run(ns=(2, 3), trials=4, seed=1)
+        assert len(result.rows) == 2
+        assert all(r.agreement_rate == 1.0 for r in result.rows)
+        assert all(r.agreement_rate == 1.0 for r in result.crash_rows)
+        text = message_passing.format_result(result)
+        assert "EXP-MP" in text and "crashed" in text
+
+    def test_crash_rows_use_crashed_servers(self):
+        result = message_passing.run(ns=(2,), trials=3, seed=2,
+                                     n_servers=5, crash_servers=2)
+        assert result.crash_servers == 2
+        # Fewer live servers means fewer delivered messages per decision.
+        assert result.crash_rows[0].mean_messages < \
+            result.rows[0].mean_messages * 1.5
+
+
+class TestStatistical:
+    def test_rows_cover_styles(self):
+        rows = extensions.run_statistical(n=8, trials=4,
+                                          burst_everies=(4,), seed=1)
+        assert {r.style for r in rows} == {"bursts", "frontrunner"}
+        assert all(r.agreement_rate == 1.0 for r in rows)
+
+
+class TestContention:
+    def test_penalty_sweep(self):
+        rows = extensions.run_contention(n=8, trials=4,
+                                         penalties=(0.0, 0.5), seed=1)
+        assert [r.penalty for r in rows] == [0.0, 0.5]
+        assert rows[0].mean_total_penalty == 0.0
+        assert rows[1].mean_total_penalty > 0.0
+        assert all(r.agreement_rate == 1.0 for r in rows)
+
+
+class TestIdConsensusExperiment:
+    def test_rows(self):
+        rows = extensions.run_id_consensus(ns=(2, 4), trials=4, seed=1)
+        assert [r.n for r in rows] == [2, 4]
+        assert all(r.winner_always_valid for r in rows)
+        assert all(r.agreement_rate == 1.0 for r in rows)
+        assert rows[1].mean_ops_per_proc > rows[0].mean_ops_per_proc
+
+
+class TestCombined:
+    def test_run_and_format(self):
+        result = extensions.run(n=8, trials=4, seed=3)
+        text = extensions.format_result(result)
+        assert "EXP-STAT" in text
+        assert "EXP-CONT" in text
+        assert "EXP-ID" in text
+
+    def test_main(self, capsys):
+        extensions.main(["--trials", "3", "--seed", "1"])
+        assert "EXP-STAT" in capsys.readouterr().out
+
+    def test_mp_main(self, capsys):
+        message_passing.main(["--ns", "2", "--trials", "2", "--seed", "1"])
+        assert "EXP-MP" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Tests for failure injection: random halting and adaptive crashes."""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError
+from repro.failures import (
+    KillLeaderAdversary,
+    NoFailures,
+    RandomHalting,
+    ScriptedFailures,
+)
+from repro.failures.injection import ExecutionView
+
+
+class TestNoFailures:
+    def test_never_halts(self):
+        model = NoFailures()
+        assert not any(model.halts_before(p, j)
+                       for p in range(4) for j in range(1, 20))
+
+
+class TestRandomHalting:
+    def test_h_zero_never_halts(self, rng):
+        model = RandomHalting(0.0, rng)
+        assert not any(model.halts_before(0, j) for j in range(1, 200))
+
+    def test_h_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            RandomHalting(1.0, rng)
+        with pytest.raises(ConfigurationError):
+            RandomHalting(-0.1, rng)
+
+    def test_halting_rate_matches_h(self, rng):
+        model = RandomHalting(0.25, rng)
+        hits = sum(model.halts_before(0, j) for j in range(1, 8001))
+        assert hits / 8000 == pytest.approx(0.25, abs=0.02)
+
+    def test_presample_death_ops_geometric(self, rng):
+        model = RandomHalting(0.5, rng)
+        deaths = model.presample_death_ops(10_000)
+        assert (deaths >= 1).all()
+        assert deaths.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_presample_h_zero_sentinel(self, rng):
+        deaths = RandomHalting(0.0, rng).presample_death_ops(4)
+        assert (deaths == np.iinfo(np.int64).max).all()
+
+
+class TestScriptedFailures:
+    def test_kills_exact_points(self):
+        model = ScriptedFailures({0: 3, 2: 1})
+        assert model.halts_before(0, 3)
+        assert not model.halts_before(0, 2)
+        assert model.halts_before(2, 1)
+        assert not model.halts_before(1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScriptedFailures({0: 0})
+
+
+def make_view(rounds, alive, decided=()):
+    return ExecutionView(
+        rounds=lambda pid: rounds[pid],
+        alive=lambda: list(alive),
+        decided=lambda: list(decided))
+
+
+class TestExecutionView:
+    def test_leader_is_max_round(self):
+        view = make_view({0: 2, 1: 5, 2: 3}, alive=[0, 1, 2])
+        assert view.leader() == 1
+
+    def test_leader_ties_to_smaller_pid(self):
+        view = make_view({0: 4, 1: 4}, alive=[0, 1])
+        assert view.leader() == 0
+
+    def test_leader_none_when_empty(self):
+        assert make_view({}, alive=[]).leader() is None
+
+
+class TestKillLeaderAdversary:
+    def test_kills_when_lead_reached(self):
+        adv = KillLeaderAdversary(budget=1, lead=2)
+        view = make_view({0: 5, 1: 3}, alive=[0, 1])
+        assert adv.consider(view) == {0}
+        assert adv.remaining == 0
+
+    def test_no_kill_below_lead(self):
+        adv = KillLeaderAdversary(budget=1, lead=2)
+        view = make_view({0: 4, 1: 3}, alive=[0, 1])
+        assert adv.consider(view) == set()
+
+    def test_budget_exhausts(self):
+        adv = KillLeaderAdversary(budget=1, lead=1)
+        assert adv.consider(make_view({0: 3, 1: 1}, [0, 1])) == {0}
+        assert adv.consider(make_view({1: 9, 2: 1}, [1, 2])) == set()
+
+    def test_never_kills_after_decisions(self):
+        adv = KillLeaderAdversary(budget=4, lead=1)
+        view = make_view({0: 9, 1: 1}, alive=[0, 1], decided=[0])
+        assert adv.consider(view) == set()
+
+    def test_no_kill_with_single_process(self):
+        adv = KillLeaderAdversary(budget=1, lead=1)
+        assert adv.consider(make_view({0: 9}, [0])) == set()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KillLeaderAdversary(budget=-1)
+
+    def test_bad_lead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KillLeaderAdversary(budget=1, lead=0)

@@ -1,0 +1,123 @@
+"""Cross-validation of the vectorized engine against the reference engine.
+
+The two engines consume *identical* pre-sampled schedules; every observable
+(decision values, rounds, per-process op counts) must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.noise import (
+    Exponential,
+    Geometric,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+)
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sim.engine import NoisyEngine
+from repro.sim.fast import lean_horizon_ops, replay_lean
+from repro.sim.runner import half_and_half, make_machines, make_memory_for
+
+DISTS = [Exponential(1.0), Uniform(0.0, 2.0), Geometric(0.5),
+         TwoPoint(2 / 3, 4 / 3), TruncatedNormal(1.0, 0.2)]
+
+
+def presample(dist, n, max_ops, seed):
+    sched = NoisyScheduler(dist, make_rng(seed))
+    return sched.presample(n, max_ops)
+
+
+def run_reference(times, inputs, stop_first):
+    machines = make_machines("lean", dict(enumerate(inputs)))
+    memory = make_memory_for(machines)
+    engine = NoisyEngine(machines, memory, PresampledScheduler(times),
+                         stop_after_first_decision=stop_first)
+    return engine.run()
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+@pytest.mark.parametrize("n", [2, 5, 16])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestCrossValidation:
+    def test_full_runs_match(self, dist, n, seed):
+        inputs = [half_and_half(n)[pid] for pid in range(n)]
+        times = presample(dist, n, 400, seed)
+        ref = run_reference(times, inputs, stop_first=False)
+        fast = replay_lean(times, inputs, stop_after_first_decision=False)
+        assert fast is not None
+        assert {p: d.value for p, d in fast.decisions.items()} == \
+            {p: d.value for p, d in ref.decisions.items()}
+        assert {p: d.round for p, d in fast.decisions.items()} == \
+            {p: d.round for p, d in ref.decisions.items()}
+        assert {p: d.ops for p, d in fast.decisions.items()} == \
+            {p: d.ops for p, d in ref.decisions.items()}
+        assert fast.total_ops == ref.total_ops
+
+    def test_first_decision_matches(self, dist, n, seed):
+        inputs = [half_and_half(n)[pid] for pid in range(n)]
+        times = presample(dist, n, 400, seed)
+        ref = run_reference(times, inputs, stop_first=True)
+        fast = replay_lean(times, inputs, stop_after_first_decision=True)
+        assert fast is not None
+        assert fast.first_decision_round == ref.first_decision_round
+        assert fast.first_decision_ops == ref.first_decision_ops
+
+
+class TestHorizon:
+    def test_overflow_returns_none(self):
+        # Two processes in a near-lockstep two-point schedule with a tiny
+        # horizon: the replay must refuse rather than truncate silently.
+        times = np.cumsum(np.ones((2, 8)), axis=1)
+        times[1] += 0.5  # offset to avoid exact ties
+        out = replay_lean(times, [0, 1], stop_after_first_decision=True)
+        assert out is None
+
+    def test_horizon_helper_grows_with_n(self):
+        assert lean_horizon_ops(10) < lean_horizon_ops(10_000)
+        assert lean_horizon_ops(4) % 4 == 0
+
+    def test_input_length_mismatch_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            replay_lean(np.ones((2, 4)), [0])
+
+
+class TestDeaths:
+    def test_all_dead_returns_empty_decisions(self):
+        times = presample(Exponential(1.0), 3, 100, seed=5)
+        deaths = np.array([1, 1, 1])  # everyone dies before op 1
+        out = replay_lean(times, [0, 1, 1], death_ops=deaths,
+                          stop_after_first_decision=False)
+        assert out is not None
+        assert not out.decisions
+        assert out.halted == {0, 1, 2}
+
+    def test_survivor_decides(self):
+        times = presample(Exponential(1.0), 3, 200, seed=6)
+        big = np.iinfo(np.int64).max
+        deaths = np.array([1, 1, big])
+        out = replay_lean(times, [0, 0, 1], death_ops=deaths,
+                          stop_after_first_decision=False)
+        assert out is not None
+        assert out.decisions[2].value == 1  # validity among survivors
+
+    def test_deaths_match_reference_engine(self):
+        from repro.failures import ScriptedFailures
+        times = presample(Uniform(0.0, 2.0), 4, 300, seed=7)
+        big = np.iinfo(np.int64).max
+        deaths = np.array([5, big, big, big])
+        fast = replay_lean(times, [0, 1, 0, 1], death_ops=deaths,
+                           stop_after_first_decision=False)
+        machines = make_machines("lean", {0: 0, 1: 1, 2: 0, 3: 1})
+        memory = make_memory_for(machines)
+        engine = NoisyEngine(machines, memory, PresampledScheduler(times),
+                             failures=ScriptedFailures({0: 5}))
+        ref = engine.run()
+        assert fast is not None
+        assert fast.halted == ref.halted
+        assert {p: d.value for p, d in fast.decisions.items()} == \
+            {p: d.value for p, d in ref.decisions.items()}
+        assert {p: d.ops for p, d in fast.decisions.items()} == \
+            {p: d.ops for p, d in ref.decisions.items()}

@@ -1,0 +1,90 @@
+"""Tests for the operation-history recorder and its queries."""
+
+from repro.memory import HistoryRecorder, make_racing_arrays
+from repro.types import read, write
+
+
+def build_history():
+    rec = HistoryRecorder()
+    mem = make_racing_arrays(recorder=rec)
+    mem.execute(read("a0", 1), pid=0)
+    mem.execute(write("a0", 1, 1), pid=0)
+    mem.execute(read("a0", 1), pid=1)
+    mem.execute(write("a1", 1, 1), pid=1)
+    mem.execute(write("a0", 1, 1), pid=2)
+    return rec, mem
+
+
+class TestRecording:
+    def test_length_and_order(self):
+        rec, _ = build_history()
+        assert len(rec) == 5
+        seqs = [e.seq for e in rec]
+        assert seqs == sorted(seqs)
+
+    def test_capacity_truncates(self):
+        rec = HistoryRecorder(capacity=2)
+        mem = make_racing_arrays(recorder=rec)
+        for _ in range(5):
+            mem.execute(read("a0", 1))
+        assert len(rec) == 2
+
+    def test_event_str(self):
+        rec, _ = build_history()
+        assert "p0" in str(rec.events[0])
+
+
+class TestQueries:
+    def test_writes_to(self):
+        rec, _ = build_history()
+        ws = rec.writes_to("a0", 1)
+        assert [e.pid for e in ws] == [0, 2]
+
+    def test_reads_of(self):
+        rec, _ = build_history()
+        rs = rec.reads_of("a0", 1)
+        assert [e.pid for e in rs] == [0, 1]
+
+    def test_first_setter(self):
+        rec, _ = build_history()
+        assert rec.first_setter("a0", 1).pid == 0
+        assert rec.first_setter("a1", 1).pid == 1
+        assert rec.first_setter("a1", 9) is None
+
+    def test_ops_by(self):
+        rec, _ = build_history()
+        assert len(rec.ops_by(0)) == 2
+        assert len(rec.ops_by(9)) == 0
+
+    def test_ops_between(self):
+        rec, _ = build_history()
+        # Events 3 and 4 belong to pid 1; between seq 2 and 5 exclusive.
+        assert rec.ops_between(1, 2, 5) == 2
+        assert rec.ops_between(1, 3, 4) == 0
+
+    def test_max_index_written(self):
+        rec = HistoryRecorder()
+        mem = make_racing_arrays(recorder=rec)
+        mem.execute(write("a0", 3, 1))
+        mem.execute(write("a1", 7, 1))
+        assert rec.max_index_written(["a0", "a1"]) == 7
+        assert rec.max_index_written(["a0"]) == 3
+
+
+class TestLinearizability:
+    def test_consistent_history_passes(self):
+        rec, _ = build_history()
+        assert rec.check_read_your_writes()
+
+    def test_prefix_reads_validate(self):
+        rec = HistoryRecorder()
+        mem = make_racing_arrays(recorder=rec)
+        mem.execute(read("a0", 0))
+        assert rec.check_read_your_writes()
+
+    def test_tampered_history_fails(self):
+        rec, _ = build_history()
+        from repro.memory.history import HistoryEvent
+        bad = HistoryEvent(99, 0, read("a0", 1), value=0)  # stale read
+        rec.events.append(bad)
+        assert not rec.check_read_your_writes()

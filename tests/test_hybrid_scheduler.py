@@ -1,0 +1,131 @@
+"""Tests for the hybrid quantum/priority uniprocessor scheduler (§3.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulerError
+from repro.sched.hybrid import HybridScheduler
+
+
+def fresh(priorities=(0, 0), quantum=4, **kw):
+    return HybridScheduler(list(priorities), quantum, **kw)
+
+
+class TestConstruction:
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            fresh(quantum=0)
+
+    def test_debt_within_quantum(self):
+        with pytest.raises(ConfigurationError):
+            fresh(initial_used={0: 5})
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fresh(debt_policy="whatever")
+
+
+class TestLegality:
+    def test_first_dispatch_anyone(self):
+        sched = fresh()
+        assert sched.legal_next([0, 1]) == [0, 1]
+
+    def test_running_process_protected_within_quantum(self):
+        sched = fresh(quantum=4)
+        sched.dispatch(0, [0, 1])
+        assert sched.legal_next([0, 1]) == [0]  # p1 equal prio, not exhausted
+
+    def test_equal_priority_preemption_after_quantum(self):
+        sched = fresh(quantum=2)
+        sched.dispatch(0, [0, 1])
+        sched.dispatch(0, [0, 1])
+        assert sched.legal_next([0, 1]) == [0, 1]
+
+    def test_higher_priority_preempts_any_time(self):
+        sched = fresh(priorities=(0, 5), quantum=8)
+        sched.dispatch(0, [0, 1])
+        assert sched.legal_next([0, 1]) == [0, 1]
+
+    def test_lower_priority_never_preempts(self):
+        sched = fresh(priorities=(5, 0), quantum=2)
+        sched.dispatch(0, [0, 1])
+        sched.dispatch(0, [0, 1])
+        sched.dispatch(0, [0, 1])  # exhausted, but p1 is lower priority
+        assert sched.legal_next([0, 1]) == [0]
+
+    def test_current_finished_frees_cpu(self):
+        sched = fresh(quantum=8)
+        sched.dispatch(0, [0, 1])
+        # p0 decides: it is no longer in the alive set.
+        assert sched.legal_next([1]) == [1]
+
+    def test_illegal_dispatch_raises(self):
+        sched = fresh(quantum=8)
+        sched.dispatch(0, [0, 1])
+        with pytest.raises(SchedulerError):
+            sched.dispatch(1, [0, 1])
+
+
+class TestQuantumAccounting:
+    def test_rewake_gets_fresh_quantum(self):
+        sched = fresh(quantum=2)
+        sched.dispatch(0, [0, 1])
+        sched.dispatch(0, [0, 1])   # p0 exhausted
+        sched.dispatch(1, [0, 1])   # p1 wakes fresh
+        assert sched.state.used_in_quantum == 1
+        # p0 may not preempt p1 until p1 exhausts its fresh quantum.
+        assert sched.legal_next([0, 1]) == [1]
+        sched.dispatch(1, [0, 1])
+        assert sched.legal_next([0, 1]) == [0, 1]
+
+    def test_second_wake_of_same_process_fresh(self):
+        sched = fresh(quantum=2, initial_used={0: 2, 1: 2})
+        sched.dispatch(0, [0, 1])   # debt 2 + 1 -> immediately exhausted
+        sched.dispatch(1, [0, 1])
+        sched.dispatch(1, [0, 1])   # p1 (fresh wake) exhausts its 2
+        sched.dispatch(0, [0, 1])   # p0 re-wakes FRESH (no debt now)
+        assert sched.state.used_in_quantum == 1
+        assert sched.legal_next([0, 1]) == [0]
+
+
+class TestDebtPolicies:
+    def test_holder_policy_only_first_dispatch_debted(self):
+        sched = fresh(quantum=4, initial_used={0: 4, 1: 4},
+                      debt_policy="holder")
+        sched.dispatch(0, [0, 1])          # debt applies: exhausted
+        assert sched.legal_next([0, 1]) == [0, 1]
+        sched.dispatch(1, [0, 1])          # first wake but NOT first ever
+        assert sched.state.used_in_quantum == 1  # fresh, no debt
+
+    def test_per_process_policy_debts_every_first_wake(self):
+        sched = fresh(quantum=4, initial_used={0: 4, 1: 4},
+                      debt_policy="per-process")
+        sched.dispatch(0, [0, 1])
+        sched.dispatch(1, [0, 1])
+        assert sched.state.used_in_quantum == 5  # debt 4 + 1 op
+
+    def test_default_policy_is_holder(self):
+        assert fresh().debt_policy == "holder"
+
+
+class TestSnapshots:
+    def test_roundtrip(self):
+        sched = fresh(quantum=3)
+        sched.dispatch(0, [0, 1])
+        snap = sched.snapshot()
+        sched.dispatch(0, [0, 1])
+        sched.restore(snap)
+        assert sched.state.current == 0
+        assert sched.state.used_in_quantum == 1
+
+    def test_woken_set_restored(self):
+        sched = fresh(quantum=3, initial_used={1: 2})
+        snap = sched.snapshot()
+        sched.dispatch(1, [0, 1])
+        sched.restore(snap)
+        # p1 not woken anymore: its debt applies again on dispatch.
+        sched.dispatch(1, [0, 1])
+        assert sched.state.used_in_quantum == 3
+
+    def test_state_key(self):
+        sched = fresh()
+        assert sched.state.key() == (None, 0)

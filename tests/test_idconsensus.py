@@ -1,0 +1,139 @@
+"""Tests for the footnote-2 id-consensus tree construction."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.core.idconsensus import IdConsensus, id_bits
+from repro.errors import ProtocolError
+from repro.noise import Exponential, Uniform
+from repro.sched.pickers import RandomPicker, ScriptedPicker
+from repro.sim.engine import StepEngine
+from repro.sim.runner import make_memory_for, run_noisy_trial
+
+
+def id_factory(bits, n):
+    return lambda pid, bit: IdConsensus(pid, pid, bits, n)
+
+
+def run_noisy_ids(n, seed, noise=None):
+    noise = noise if noise is not None else Exponential(1.0)
+    bits = id_bits(n)
+    trial = run_noisy_trial(n, noise, seed=seed,
+                            protocol=id_factory(bits, n),
+                            engine="event", check=False)
+    return [m.winner for m in trial.machines]
+
+
+class TestIdBits:
+    @pytest.mark.parametrize("n, bits", [(1, 1), (2, 1), (3, 2), (4, 2),
+                                         (5, 3), (8, 3), (9, 4), (16, 4)])
+    def test_widths(self, n, bits):
+        assert id_bits(n) == bits
+
+    def test_invalid(self):
+        with pytest.raises(ProtocolError):
+            id_bits(0)
+
+
+class TestConstruction:
+    def test_candidate_must_fit(self):
+        with pytest.raises(ProtocolError):
+            IdConsensus(0, candidate=4, bits=2, n_slots=5)
+
+    def test_pid_must_have_slot(self):
+        with pytest.raises(ProtocolError):
+            IdConsensus(9, candidate=0, bits=2, n_slots=4)
+
+    def test_required_arrays_tree_shape(self):
+        names = [n for n, _ in IdConsensus.required_arrays(bits=2)]
+        assert "idreg" in names
+        assert "id0__a0" in names            # root instance
+        assert "id1_0_a0" in names           # left child
+        assert "id1_1_a1" in names           # right child
+        # 1 registry + 2 arrays per node, 3 nodes for bits=2.
+        assert len(names) == 1 + 2 * 3
+
+
+class TestSoloExecution:
+    def test_single_process_elects_itself(self):
+        machine = IdConsensus(0, candidate=0, bits=1, n_slots=1)
+        memory = make_memory_for([machine])
+        while not machine.done:
+            res = memory.execute(machine.peek(), pid=0)
+            machine.apply(res)
+        assert machine.winner == 0
+        assert machine.candidate_alive
+
+    def test_announce_happens_first(self):
+        machine = IdConsensus(2, candidate=2, bits=2, n_slots=3)
+        op = machine.peek()
+        assert op.array == "idreg"
+        assert op.index == 2
+        assert op.value == 3  # candidate + 1 (0 marks empty)
+
+    def test_ops_scale_with_bits(self):
+        def solo_ops(bits):
+            machine = IdConsensus(0, candidate=0, bits=bits, n_slots=1)
+            memory = make_memory_for([machine])
+            while not machine.done:
+                machine.apply(memory.execute(machine.peek(), pid=0))
+            return machine.ops
+
+        # 1 announce + 8 ops per level (solo lean decides in 8).
+        assert solo_ops(1) == 1 + 8
+        assert solo_ops(3) == 1 + 3 * 8
+
+
+class TestMultiProcess:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_agreement_and_id_validity(self, n, seed):
+        winners = run_noisy_ids(n, seed)
+        assert len(set(winners)) == 1
+        (winner,) = set(winners)
+        assert winner in range(n)  # id validity: a real participant
+
+    def test_under_random_step_schedules(self):
+        n = 4
+        bits = id_bits(n)
+        machines = [IdConsensus(pid, pid, bits, n) for pid in range(n)]
+        memory = make_memory_for(machines)
+        StepEngine(machines, memory, RandomPicker(make_rng(5))).run()
+        winners = {m.winner for m in machines}
+        assert len(winners) == 1 and winners <= set(range(n))
+
+    def test_sequential_schedule_elects_first_runner(self):
+        """A process that runs alone to completion elects itself."""
+        n = 3
+        bits = id_bits(n)
+        machines = [IdConsensus(pid, pid, bits, n) for pid in range(n)]
+        memory = make_memory_for(machines)
+        picker = ScriptedPicker([0] * 60, exhausted="first")
+        StepEngine(machines, memory, picker).run()
+        assert machines[0].winner == 0
+        assert all(m.winner == 0 for m in machines)
+
+    def test_non_contiguous_candidates(self):
+        """Candidates need not equal pids; winner is one of them."""
+        n = 3
+        candidates = {0: 5, 1: 2, 2: 7}
+        factory = lambda pid, bit: IdConsensus(pid, candidates[pid], 3, n)
+        trial = run_noisy_trial(n, Uniform(0.0, 2.0), seed=9,
+                                protocol=factory, engine="event",
+                                check=False)
+        winners = {m.winner for m in trial.machines}
+        assert len(winners) == 1
+        assert winners <= set(candidates.values())
+
+
+class TestSnapshots:
+    def test_roundtrip_mid_run(self):
+        machine = IdConsensus(0, candidate=1, bits=2, n_slots=2)
+        memory = make_memory_for([machine])
+        for _ in range(5):
+            machine.apply(memory.execute(machine.peek(), pid=0))
+        snap = machine.snapshot()
+        expected = machine.peek()
+        machine.apply(memory.execute(machine.peek(), pid=0))
+        machine.restore(snap)
+        assert machine.peek() == expected

@@ -1,0 +1,136 @@
+"""Integration tests: whole-system executions across the substrate matrix.
+
+Every admissible (protocol, noise distribution) pair is run end-to-end and
+validated against the full invariant set, including the Lemma-2 ladder and
+Lemma-4 silenced-round checks on the final memory image.
+"""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.core.invariants import check_all
+from repro.noise import (
+    Exponential,
+    Geometric,
+    ShiftedExponential,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+    figure1_distributions,
+)
+from repro.sched.delta import StaggeredStart
+from repro.sched.pickers import LaggardPicker, LeaderPicker, RandomPicker
+from repro.sim.runner import run_noisy_trial, run_step_trial
+
+SAFE_PROTOCOLS = ["lean", "optimized", "conservative", "random-tie",
+                  "shared-coin", "bounded"]
+DISTS = list(figure1_distributions().items())
+
+
+@pytest.mark.parametrize("protocol", SAFE_PROTOCOLS)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestProtocolMatrix:
+    def test_noisy_execution_safe(self, protocol, seed):
+        result = run_noisy_trial(7, Exponential(1.0), seed=seed,
+                                 protocol=protocol, engine="event")
+        assert result.all_decided
+        assert result.agreed
+
+    def test_unanimous_validity(self, protocol, seed):
+        result = run_noisy_trial(5, Uniform(0.0, 2.0), seed=seed,
+                                 protocol=protocol, inputs=[0] * 5,
+                                 engine="event")
+        assert result.decided_values == {0}
+
+
+@pytest.mark.parametrize("dist_name, dist", DISTS, ids=[n for n, _ in DISTS])
+class TestDistributionMatrix:
+    def test_lean_terminates_and_agrees(self, dist_name, dist):
+        result = run_noisy_trial(12, dist, seed=5, engine="event",
+                                 record=True)
+        assert result.all_decided and result.agreed
+        check_all(result.inputs, result.decisions, memory=result.memory)
+
+    def test_full_invariants_on_memory(self, dist_name, dist):
+        result = run_noisy_trial(6, dist, seed=9, engine="event",
+                                 record=True)
+        check_all(result.inputs, result.decisions, memory=result.memory)
+        assert result.memory.recorder.check_read_your_writes()
+
+
+class TestLemma4OnRealRuns:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_decision_gap_at_most_one_round(self, seed):
+        result = run_noisy_trial(10, Exponential(1.0), seed=seed,
+                                 engine="event", record=True)
+        rounds = [d.round for d in result.decisions.values()]
+        assert max(rounds) - min(rounds) <= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_first_setter_ladder_on_history(self, seed):
+        """Lemma 2 at history level: the first set of a_b[r] happens after
+        the first set of a_b[r-1]."""
+        result = run_noisy_trial(8, Geometric(0.5), seed=seed,
+                                 engine="event", record=True)
+        rec = result.memory.recorder
+        for array in ("a0", "a1"):
+            prev_seq = 0
+            r = 1
+            while True:
+                evt = rec.first_setter(array, r)
+                if evt is None:
+                    break
+                assert evt.seq > prev_seq
+                prev_seq = evt.seq
+                r += 1
+
+
+class TestScheduleShapes:
+    def test_staggered_start_lets_leader_decide_minimum_ops(self):
+        """With a big stagger the first process runs alone: 8 ops."""
+        result = run_noisy_trial(4, Uniform(0.0, 2.0), seed=3,
+                                 delta=StaggeredStart(1000.0),
+                                 engine="event")
+        assert result.first_decision_ops == 8
+        assert result.agreed
+
+    def test_leader_picker_is_best_case(self):
+        result = run_step_trial(
+            5, LeaderPicker(lambda pid: 0), seed=4)
+        # LeaderPicker with constant score degenerates to pid 0 running
+        # solo first: minimum 8 ops to the first decision.
+        assert result.decisions[0].ops == 8
+
+    def test_laggard_picker_still_safe(self):
+        result = run_step_trial(4, LaggardPicker(lambda pid: 0), seed=5,
+                                max_total_ops=400, check=True)
+        # Laggard with constant score is round-robin lockstep: either the
+        # budget exhausts (split inputs) or everyone agreed.
+        assert result.budget_exhausted or result.agreed
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_schedules_agree(self, seed):
+        result = run_step_trial(6, RandomPicker(make_rng(seed)), seed=seed)
+        assert result.all_decided and result.agreed
+
+
+class TestShiftedExponentialDelayedPoisson:
+    def test_delayed_poisson_process_terminates(self):
+        result = run_noisy_trial(32, ShiftedExponential(0.5, 0.5), seed=6)
+        assert result.all_decided and result.agreed
+
+
+class TestNormalInversionPhenomenon:
+    """The paper's intriguing observation: with normal(1, 0.04) noise the
+    mean first-termination round *decreases* as n grows large."""
+
+    @pytest.mark.slow
+    def test_round_decreases_from_small_to_large_n(self):
+        from repro.sim.metrics import summarize
+        from repro.sim.runner import run_noisy_trials
+        dist = TruncatedNormal(1.0, 0.2, 0.0, 2.0)
+        small = summarize(run_noisy_trials(
+            40, 8, dist, seed=7, stop_after_first_decision=True))
+        large = summarize(run_noisy_trials(
+            40, 2048, dist, seed=8, stop_after_first_decision=True))
+        assert large.mean_first_round < small.mean_first_round

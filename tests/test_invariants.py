@@ -1,0 +1,109 @@
+"""Tests for the executable invariant checks (Lemmas 2-4, consensus spec)."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.core.invariants import (
+    check_agreement,
+    check_all,
+    check_decided_round_silenced,
+    check_decision_gap,
+    check_round_ladder,
+    check_validity,
+)
+from repro.memory import make_racing_arrays
+from repro.types import Decision, write
+
+
+def D(value, round_=2, ops=8):
+    return Decision(value, round_, ops)
+
+
+class TestAgreement:
+    def test_passes_on_unanimous(self):
+        check_agreement({0: D(1), 1: D(1), 2: D(1)})
+
+    def test_passes_on_empty_and_single(self):
+        check_agreement({})
+        check_agreement({0: D(0)})
+
+    def test_fails_on_split(self):
+        with pytest.raises(InvariantViolation) as err:
+            check_agreement({0: D(0), 1: D(1)})
+        assert "agreement" in str(err.value)
+        assert err.value.witness is not None
+
+
+class TestValidity:
+    def test_passes_when_inputs_mixed(self):
+        check_validity({0: 0, 1: 1}, {0: D(1), 1: D(1)})
+
+    def test_passes_on_matching_unanimous(self):
+        check_validity({0: 1, 1: 1}, {0: D(1)})
+
+    def test_fails_on_fabricated_value(self):
+        with pytest.raises(InvariantViolation):
+            check_validity({0: 0, 1: 0}, {0: D(1)})
+
+
+class TestDecisionGap:
+    def test_passes_within_one_round(self):
+        check_decision_gap({0: D(1, 3), 1: D(1, 4)})
+
+    def test_fails_beyond_gap(self):
+        with pytest.raises(InvariantViolation):
+            check_decision_gap({0: D(1, 2), 1: D(1, 4)})
+
+    def test_custom_gap(self):
+        check_decision_gap({0: D(1, 2), 1: D(1, 4)}, max_gap=2)
+
+    def test_ignores_roundless_decisions(self):
+        check_decision_gap({0: Decision(1, 0, 1), 1: D(1, 9)})
+
+
+class TestRoundLadder:
+    def test_passes_on_contiguous_prefix(self):
+        mem = make_racing_arrays()
+        for r in (1, 2, 3):
+            mem.execute(write("a0", r, 1))
+        check_round_ladder(mem)
+
+    def test_fails_on_gap(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        mem.execute(write("a1", 3, 1))  # skipped 2
+        with pytest.raises(InvariantViolation):
+            check_round_ladder(mem)
+
+    def test_empty_arrays_pass(self):
+        check_round_ladder(make_racing_arrays())
+
+
+class TestSilencedRound:
+    def test_passes_when_rival_unmarked(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        mem.execute(write("a1", 2, 1))
+        check_decided_round_silenced(mem, {0: D(1, 2)})
+
+    def test_fails_when_rival_marked_at_decision_round(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 2, 1))
+        mem.execute(write("a0", 2, 1))
+        with pytest.raises(InvariantViolation):
+            check_decided_round_silenced(mem, {0: D(1, 2)})
+
+
+class TestCheckAll:
+    def test_full_pass(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        mem.execute(write("a1", 2, 1))
+        check_all({0: 1, 1: 1}, {0: D(1, 2)}, memory=mem)
+
+    def test_memory_optional(self):
+        check_all({0: 0, 1: 1}, {0: D(0), 1: D(0)})
+
+    def test_detects_agreement_breach(self):
+        with pytest.raises(InvariantViolation):
+            check_all({0: 0, 1: 1}, {0: D(0), 1: D(1)})

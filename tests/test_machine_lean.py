@@ -1,0 +1,237 @@
+"""Tests for the lean-consensus state machine (paper Section 4)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.machine import KeepTie, LeanConsensus
+from repro.memory import make_racing_arrays
+from repro.types import OpKind, OpResult, read, write
+
+
+def step(machine, memory):
+    """Execute the machine's next operation against the memory."""
+    res = memory.execute(machine.peek(), pid=machine.pid)
+    machine.apply(res)
+    return res
+
+
+def run_solo(machine, memory, max_ops=100):
+    while not machine.done and machine.ops < max_ops:
+        step(machine, memory)
+    return machine
+
+
+class TestOpSequence:
+    def test_round_is_two_reads_write_read(self):
+        """The paper fixes the per-round sequence exactly (Section 4)."""
+        m = LeanConsensus(0, 1)
+        mem = make_racing_arrays()
+        ops = []
+        for _ in range(4):
+            ops.append(m.peek())
+            step(m, mem)
+        assert ops[0] == read("a0", 1)
+        assert ops[1] == read("a1", 1)
+        assert ops[2] == write("a1", 1, 1)
+        assert ops[3] == read("a0", 0)
+
+    def test_ops_per_round_constant(self):
+        assert LeanConsensus.OPS_PER_ROUND == 4
+
+    def test_second_round_targets_round_2(self):
+        m = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        for _ in range(4):
+            step(m, mem)  # round 1; a1[0] prefix is 1, so no decision
+        assert m.round == 2
+        assert m.peek() == read("a0", 2)
+
+    def test_writes_preferred_array(self):
+        m0 = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        step(m0, mem)
+        step(m0, mem)
+        assert m0.peek() == write("a0", 1, 1)
+
+
+class TestSoloExecution:
+    """A process running alone (Lemma 3 with n = 1)."""
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_decides_own_input_in_8_ops(self, bit):
+        m = run_solo(LeanConsensus(0, bit), make_racing_arrays())
+        assert m.decision is not None
+        assert m.decision.value == bit
+        assert m.decision.ops == 8
+        assert m.decision.round == 2
+
+    def test_no_decision_in_round_1(self):
+        """a_{1-p}[0] is the read-only 1, so round 1 never decides."""
+        m = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        for _ in range(4):
+            step(m, mem)
+        assert m.decision is None
+
+
+class TestAdoptionRule:
+    def test_adopts_when_rival_marked_and_own_not(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        m = LeanConsensus(0, 0)
+        step(m, mem)  # read a0[1] = 0
+        step(m, mem)  # read a1[1] = 1 -> adopt 1
+        assert m.preference == 1
+        assert m.preference_changes == 1
+
+    def test_keeps_preference_on_empty_tie(self):
+        m = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        step(m, mem)
+        step(m, mem)
+        assert m.preference == 0
+        assert m.preference_changes == 0
+
+    def test_keeps_preference_on_full_tie(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        mem.execute(write("a1", 1, 1))
+        m = LeanConsensus(0, 1)
+        step(m, mem)
+        step(m, mem)
+        assert m.preference == 1  # lean-consensus keeps on ties
+
+    def test_no_adoption_when_own_marked(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        m = LeanConsensus(0, 0)
+        step(m, mem)
+        step(m, mem)
+        assert m.preference == 0
+
+
+class TestDecisionRule:
+    def test_decides_when_behind_rival_round_unmarked(self):
+        """Process at round 2 decides if a_{1-p}[1] is still 0."""
+        m = run_solo(LeanConsensus(0, 1), make_racing_arrays())
+        assert m.decision.round == 2
+
+    def test_does_not_decide_when_rival_marked(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        mem.execute(write("a1", 2, 1))
+        mem.execute(write("a1", 3, 1))
+        m = LeanConsensus(0, 0)
+        # Round 1: reads (0, 1) -> adopts 1; writes a1[1]; reads a0[0]=1.
+        for _ in range(4):
+            step(m, mem)
+        assert m.decision is None
+        assert m.round == 2
+
+
+class TestLifecycle:
+    def test_peek_after_decision_raises(self):
+        m = run_solo(LeanConsensus(0, 0), make_racing_arrays())
+        with pytest.raises(ProtocolError):
+            m.peek()
+
+    def test_halted_machine_is_done(self):
+        m = LeanConsensus(0, 0)
+        m.halted = True
+        assert m.done
+        with pytest.raises(ProtocolError):
+            m.peek()
+
+    def test_apply_wrong_result_raises(self):
+        m = LeanConsensus(0, 0)
+        with pytest.raises(ProtocolError):
+            m.apply(OpResult(read("a1", 1), 0))
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ProtocolError):
+            LeanConsensus(0, 2)
+
+    def test_ops_counter(self):
+        m = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        step(m, mem)
+        step(m, mem)
+        assert m.ops == 2
+
+    def test_decided_value_property(self):
+        m = LeanConsensus(0, 1)
+        assert m.decided_value is None
+        run_solo(m, make_racing_arrays())
+        assert m.decided_value == 1
+
+
+class TestRoundCap:
+    def test_overflow_at_cap(self):
+        mem = make_racing_arrays()
+        # Pre-mark a1 so the 0-preferring machine can never decide.
+        for r in range(1, 10):
+            mem.execute(write("a0", r, 1))
+            mem.execute(write("a1", r, 1))
+        m = LeanConsensus(0, 0, round_cap=3)
+        while not m.done:
+            step(m, mem)
+        assert m.overflowed
+        assert m.decision is None
+        assert m.round == 3
+        with pytest.raises(ProtocolError):
+            m.peek()
+
+    def test_no_overflow_when_decides_first(self):
+        m = run_solo(LeanConsensus(0, 0, round_cap=5), make_racing_arrays())
+        assert not m.overflowed
+        assert m.decision is not None
+
+
+class TestSnapshots:
+    def test_roundtrip_mid_round(self):
+        m = LeanConsensus(0, 0)
+        mem = make_racing_arrays()
+        step(m, mem)
+        snap = m.snapshot()
+        peek_before = m.peek()
+        step(m, mem)
+        step(m, mem)
+        m.restore(snap)
+        assert m.peek() == peek_before
+        assert m.ops == 1
+
+    def test_roundtrip_preserves_decision(self):
+        m = run_solo(LeanConsensus(0, 1), make_racing_arrays())
+        snap = m.snapshot()
+        m2 = LeanConsensus(0, 1)
+        m2.restore(snap)
+        assert m2.decision == m.decision
+        assert m2.done
+
+    def test_snapshot_hashable(self):
+        m = LeanConsensus(0, 0)
+        assert hash(m.snapshot()) == hash(m.snapshot())
+
+
+class TestTwoProcessInterleavings:
+    def test_sequential_execution_adopts_leader_value(self):
+        """A late process joins the early decider's value (Lemma 4)."""
+        mem = make_racing_arrays()
+        fast = run_solo(LeanConsensus(0, 1), mem)
+        slow = run_solo(LeanConsensus(1, 0), mem)
+        assert fast.decision.value == 1
+        assert slow.decision.value == 1
+        assert slow.decision.round <= fast.decision.round + 1
+
+    def test_lockstep_round_robin_does_not_decide(self):
+        """Perfect lockstep keeps lean-consensus undecided (why noise is
+        needed)."""
+        mem = make_racing_arrays()
+        machines = [LeanConsensus(0, 0), LeanConsensus(1, 1)]
+        for _ in range(40):  # 10 rounds of lockstep
+            for m in machines:
+                step(m, mem)
+        assert all(m.decision is None for m in machines)
+
+    def test_required_arrays(self):
+        assert LeanConsensus.required_arrays() == [("a0", 1), ("a1", 1)]

@@ -1,0 +1,222 @@
+"""Tests for the shared-coin machine (Chandra-style baseline / backup)."""
+
+import pytest
+
+from repro.core.machine import RandomCoin, RandomTie, ScriptedCoin, SharedCoinLean, LeanConsensus
+from repro._rng import make_rng
+from repro.memory import SharedMemory, UnboundedBitArray
+from repro.types import read, write
+
+
+def memory_for_sharedcoin(prefix=""):
+    return SharedMemory(arrays=[
+        UnboundedBitArray(prefix + "a0", prefix_value=1),
+        UnboundedBitArray(prefix + "a1", prefix_value=1),
+        UnboundedBitArray(prefix + "c0"),
+        UnboundedBitArray(prefix + "c1"),
+    ])
+
+
+def step(machine, memory):
+    res = memory.execute(machine.peek(), pid=machine.pid)
+    machine.apply(res)
+    return res
+
+
+def run_solo(machine, memory, max_ops=200):
+    while not machine.done and machine.ops < max_ops:
+        step(machine, memory)
+    return machine
+
+
+class TestScriptedCoin:
+    def test_replays_and_cycles(self):
+        coin = ScriptedCoin([1, 0])
+        assert [coin.flip() for _ in range(4)] == [1, 0, 1, 0]
+        assert coin.flips == 4
+
+    def test_rejects_empty_or_non_bits(self):
+        with pytest.raises(ValueError):
+            ScriptedCoin([])
+        with pytest.raises(ValueError):
+            ScriptedCoin([2])
+
+
+class TestRandomCoin:
+    def test_produces_bits_deterministically(self):
+        coin_a = RandomCoin(make_rng(3))
+        coin_b = RandomCoin(make_rng(3))
+        a = [coin_a.flip() for _ in range(16)]
+        b = [coin_b.flip() for _ in range(16)]
+        assert a == b
+        assert set(a) <= {0, 1}
+        assert len(set(a)) == 2  # both outcomes appear in 16 fair flips
+
+
+class TestRandomTie:
+    def test_flips_only_on_contended_tie(self):
+        coin = ScriptedCoin([1])
+        rule = RandomTie(coin)
+        assert rule.resolve(0, 0, 0) == 0   # empty tie: keep (validity!)
+        assert coin.flips == 0
+        assert rule.resolve(0, 1, 1) == 1   # contended tie: flip
+        assert coin.flips == 1
+
+    def test_forced_adoption_not_handled_here(self):
+        """One-sided observations never reach the tie rule in the machine;
+        resolve() just keeps preference for them."""
+        rule = RandomTie(ScriptedCoin([1]))
+        assert rule.resolve(0, 1, 0) == 0
+
+
+class TestSharedCoinSolo:
+    def test_no_contention_means_no_coin(self):
+        m = run_solo(SharedCoinLean(0, 1, coin=ScriptedCoin([0])),
+                     memory_for_sharedcoin())
+        assert m.decision is not None
+        assert m.decision.value == 1
+        assert m.coin_uses == 0
+        # lean's 4 ops per round plus one contention-detection read.
+        assert m.decision.ops == 10
+
+    def test_solo_round_structure(self):
+        m = SharedCoinLean(0, 1, coin=ScriptedCoin([0]))
+        mem = memory_for_sharedcoin()
+        ops = []
+        for _ in range(5):
+            ops.append(str(m.peek()))
+            step(m, mem)
+        assert ops == ["read a0[1]", "read a1[1]", "write a1[1] := 1",
+                       "read a0[1]", "read a0[0]"]
+        assert m.round == 2
+
+    def test_validity_unanimous_inputs(self):
+        mem = memory_for_sharedcoin()
+        first = run_solo(SharedCoinLean(0, 0, coin=ScriptedCoin([1])), mem)
+        second = run_solo(SharedCoinLean(1, 0, coin=ScriptedCoin([1])), mem)
+        assert first.decision.value == 0
+        assert second.decision.value == 0
+        assert first.coin_uses == 0 and second.coin_uses == 0
+
+
+class TestSharedCoinContendedPath:
+    def make_contended_memory(self):
+        """Both round-1 bits and the behind-read target marked, so a
+        0-preferring process neither decides nor escapes contention."""
+        mem = memory_for_sharedcoin()
+        mem.execute(write("a0", 1, 1))
+        mem.execute(write("a1", 1, 1))
+        return mem
+
+    def test_coin_fires_at_round_end_when_contended(self):
+        mem = self.make_contended_memory()
+        m = SharedCoinLean(0, 0, coin=ScriptedCoin([1]))
+        step(m, mem)  # read a0[1] = 1
+        step(m, mem)  # read a1[1] = 1 -> contended (no coin yet)
+        assert m.coin_uses == 0
+        assert m.peek() == write("a0", 1, 1)
+        step(m, mem)  # write; contention known, post-read skipped
+        assert m.peek() == read("a1", 0)
+        step(m, mem)  # behind-read = 1 (prefix): no decision -> coin
+        assert m.coin_uses == 1
+        assert m.peek() == write("c1", 1, 1)
+        step(m, mem)
+        assert m.peek() == read("c0", 1)
+        step(m, mem)
+        assert m.peek() == read("c1", 1)
+        step(m, mem)
+        assert m.preference == 1  # only c1 set -> adopt the flip
+        assert m.round == 2
+        assert m.ops == 7  # 2 reads + write + behind-read + 3 coin ops
+
+    def test_post_write_detection_catches_lockstep_contention(self):
+        """The rival bit set *after* the round-start reads is still
+        detected — the property the round-start-tie design lacked."""
+        mem = memory_for_sharedcoin()
+        m = SharedCoinLean(0, 0, coin=ScriptedCoin([1]))
+        step(m, mem)  # read a0[1] = 0
+        step(m, mem)  # read a1[1] = 0 (not contended yet)
+        step(m, mem)  # write a0[1]
+        mem.execute(write("a1", 1, 1))  # rival writes now
+        assert m.peek() == read("a1", 1)
+        step(m, mem)  # post-read sees 1 -> contended
+        step(m, mem)  # behind-read a1[0] = 1 -> no decision -> coin
+        assert m.coin_uses == 1
+
+    def test_adopts_majority_coin_vote_over_local_flip(self):
+        mem = self.make_contended_memory()
+        mem.execute(write("c0", 1, 1))  # earlier process voted 0
+        m = SharedCoinLean(0, 1, coin=ScriptedCoin([0]))
+        # Contended round -> coin: writes c0 (flip), reads c0=1, c1=0.
+        for _ in range(7):
+            step(m, mem)
+        assert m.preference == 0
+
+    def test_keeps_local_flip_when_votes_split(self):
+        mem = self.make_contended_memory()
+        mem.execute(write("c0", 1, 1))
+        mem.execute(write("c1", 1, 1))
+        m = SharedCoinLean(0, 0, coin=ScriptedCoin([1]))
+        for _ in range(7):
+            step(m, mem)
+        assert m.preference == 1  # both coin bits set: keep the local flip
+
+    def test_decision_preempts_coin(self):
+        """A decidable round never reaches the coin even if contended."""
+        mem = memory_for_sharedcoin()
+        mem.execute(write("a0", 2, 1))
+        mem.execute(write("a1", 2, 1))
+        mem.execute(write("a0", 1, 1))  # a1[1] stays 0: round-2 decision
+        m = SharedCoinLean(0, 0, coin=ScriptedCoin([1]))
+        m.round = 2  # jump straight to the contended round
+        run_solo(m, mem, max_ops=6)
+        assert m.decision is not None
+        assert m.decision.value == 0
+        assert m.coin_uses == 0
+
+    def test_two_process_lockstep_converges(self):
+        """The signature liveness property: a strict per-op alternation
+        (which stalls lean-consensus forever) lets the shared-coin
+        protocol converge once two local flips agree."""
+        from repro._rng import make_rng
+        from repro.core.machine import RandomCoin
+        mem = memory_for_sharedcoin()
+        machines = [SharedCoinLean(0, 0, coin=RandomCoin(make_rng(1))),
+                    SharedCoinLean(1, 1, coin=RandomCoin(make_rng(2)))]
+        for _ in range(400):
+            for m in machines:
+                if not m.done:
+                    step(m, mem)
+            if all(m.done for m in machines):
+                break
+        values = {m.decision.value for m in machines if m.decision}
+        assert len(values) == 1
+        assert all(m.decision is not None for m in machines)
+
+
+class TestArrayPrefix:
+    def test_prefixed_arrays(self):
+        mem = memory_for_sharedcoin(prefix="bk_")
+        m = SharedCoinLean(0, 1, coin=ScriptedCoin([0]), array_prefix="bk_")
+        assert m.peek() == read("bk_a0", 1)
+        run_solo(m, mem)
+        assert m.decision is not None
+
+    def test_required_arrays_with_prefix(self):
+        names = [n for n, _ in SharedCoinLean.required_arrays("bk_")]
+        assert names == ["bk_a0", "bk_a1", "bk_c0", "bk_c1"]
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_through_coin_state(self):
+        mem = TestSharedCoinContendedPath().make_contended_memory()
+        m = SharedCoinLean(0, 0, coin=ScriptedCoin([1]))
+        for _ in range(5):
+            step(m, mem)  # inside the coin sub-state now
+        assert m.coin_uses == 1
+        snap = m.snapshot()
+        expected = m.peek()
+        step(m, mem)
+        m.restore(snap)
+        assert m.peek() == expected
+        assert m.coin_uses == 1

@@ -1,0 +1,166 @@
+"""Tests for the protocol variants (ablations and negative controls)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.core.machine import LeanConsensus
+from repro.core.variants import (
+    ConservativeLean,
+    EagerDecideLean,
+    LagLean,
+    OptimizedLean,
+)
+from repro.memory import make_racing_arrays
+from repro.types import read, write
+
+
+def step(machine, memory):
+    res = memory.execute(machine.peek(), pid=machine.pid)
+    machine.apply(res)
+    return res
+
+
+def run_solo(machine, memory, max_ops=200):
+    while not machine.done and machine.ops < max_ops:
+        step(machine, memory)
+    return machine
+
+
+class TestLagLean:
+    def test_lag1_behaves_like_paper_protocol(self):
+        a = run_solo(LeanConsensus(0, 1), make_racing_arrays())
+        b = run_solo(LagLean(0, 1, lag=1), make_racing_arrays())
+        assert (a.decision.value, a.decision.round, a.decision.ops) == \
+            (b.decision.value, b.decision.round, b.decision.ops)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ProtocolError):
+            LagLean(0, 0, lag=-1)
+
+    def test_final_read_targets_lagged_round(self):
+        m = LagLean(0, 0, lag=2)
+        mem = make_racing_arrays()
+        for _ in range(3):
+            step(m, mem)
+        assert m.peek() == read("a1", 0)  # round 1, lag 2, clamped to 0
+
+    def test_snapshot_roundtrip_preserves_lag(self):
+        m = LagLean(0, 0, lag=2)
+        snap = m.snapshot()
+        m2 = LagLean(0, 0, lag=1)
+        m2.restore(snap)
+        assert m2.lag == 2
+
+
+class TestConservative:
+    def test_solo_decides_in_round_3(self):
+        """lag=2 forbids deciding before round 3 (a[0] prefix blocks)."""
+        m = run_solo(ConservativeLean(0, 1), make_racing_arrays())
+        assert m.decision.round == 3
+        assert m.decision.ops == 12
+
+    def test_sequential_two_processes_agree(self):
+        mem = make_racing_arrays()
+        fast = run_solo(ConservativeLean(0, 0), mem)
+        slow = run_solo(ConservativeLean(1, 1), mem)
+        assert fast.decision.value == slow.decision.value == 0
+
+
+class TestEagerUnsafe:
+    def test_solo_decides_fast(self):
+        """Eager decides at round 1 alone — that speed is exactly the bug."""
+        m = run_solo(EagerDecideLean(0, 1), make_racing_arrays())
+        assert m.decision.round == 1
+        assert m.decision.ops == 4
+
+    def test_known_disagreement_interleaving(self):
+        """A concrete schedule where eager deciders disagree.
+
+        p0 and p1 read both arrays (seeing zeros), then p0 writes and
+        decides on its own value; p1 writes and, seeing p0's mark, runs on
+        to decide... differently a couple of rounds later.
+        """
+        mem = make_racing_arrays()
+        p0 = EagerDecideLean(0, 0)
+        p1 = EagerDecideLean(1, 1)
+        # Interleave the round-1 reads of both processes first.
+        step(p0, mem)  # p0: read a0[1] = 0
+        step(p0, mem)  # p0: read a1[1] = 0
+        step(p1, mem)  # p1: read a0[1] = 0
+        step(p1, mem)  # p1: read a1[1] = 0
+        step(p0, mem)  # p0: write a0[1]
+        step(p0, mem)  # p0: read a1[1] = 0 -> DECIDES 0
+        assert p0.decision is not None and p0.decision.value == 0
+        run_solo(p1, mem)
+        assert p1.decision is not None
+        assert p1.decision.value != p0.decision.value, \
+            "eager variant must disagree on this schedule (negative control)"
+
+
+class TestOptimized:
+    def test_solo_matches_canonical_decision(self):
+        a = run_solo(LeanConsensus(0, 1), make_racing_arrays())
+        b = run_solo(OptimizedLean(0, 1), make_racing_arrays())
+        assert a.decision.value == b.decision.value
+        assert a.decision.round == b.decision.round
+
+    def test_elides_write_when_bit_already_set(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        m = OptimizedLean(0, 0)
+        step(m, mem)  # read a0[1] = 1
+        step(m, mem)  # read a1[1] = 0 -> own bit set, skip write
+        assert m.elided_writes == 1
+        assert m.peek() == read("a1", 0)  # straight to the final read
+
+    def test_elides_final_read_when_rival_set(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a1", 1, 1))
+        mem.execute(write("a1", 2, 1))
+        m = OptimizedLean(0, 0)
+        # Round 1: reads (0, 1) -> adopts 1, own bit (a1) is set, rival
+        # (a0) is not; skip the write, final read of a0[0] = 1 -> round 2.
+        step(m, mem)
+        step(m, mem)
+        assert m.preference == 1
+        assert m.elided_writes == 1
+
+    def test_elides_both_on_double_mark(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        mem.execute(write("a1", 1, 1))
+        m = OptimizedLean(0, 0)
+        step(m, mem)
+        step(m, mem)  # both set: skip write AND final read, go to round 2
+        assert m.round == 2
+        assert m.elided_writes == 1
+        assert m.elided_reads == 1
+        assert m.ops == 2
+
+    def test_sequential_two_processes_agree(self):
+        mem = make_racing_arrays()
+        fast = run_solo(OptimizedLean(0, 1), mem)
+        slow = run_solo(OptimizedLean(1, 0), mem)
+        assert fast.decision.value == slow.decision.value == 1
+
+    def test_laggard_uses_fewer_ops_than_canonical(self):
+        """The elisions fire for processes that are behind — the paper's
+        point: the optimization helps exactly the wrong processes."""
+        mem = make_racing_arrays()
+        run_solo(OptimizedLean(0, 1), mem)           # build a lead
+        laggard = run_solo(OptimizedLean(1, 0), mem)  # chases it
+        mem2 = make_racing_arrays()
+        run_solo(LeanConsensus(0, 1), mem2)
+        laggard_canonical = run_solo(LeanConsensus(1, 0), mem2)
+        assert laggard.ops < laggard_canonical.ops
+
+    def test_snapshot_roundtrip(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        m = OptimizedLean(0, 0)
+        step(m, mem)
+        snap = m.snapshot()
+        step(m, mem)
+        m.restore(snap)
+        assert m.ops == 1
+        assert m.elided_writes == 0

@@ -1,0 +1,86 @@
+"""Tests for trial-result records and aggregation."""
+
+import pytest
+
+from repro.sim.metrics import summarize
+from repro.sim.results import TrialResult
+from repro.types import Decision
+
+
+def trial(n=2, decisions=(), halted=(), total_ops=10, used_backup=0):
+    result = TrialResult(n=n, inputs={pid: pid % 2 for pid in range(n)})
+    for pid, value, rnd, ops in decisions:
+        result.note_decision(pid, Decision(value, rnd, ops))
+    result.halted = set(halted)
+    result.total_ops = total_ops
+    result.used_backup = used_backup
+    return result
+
+
+class TestTrialResult:
+    def test_note_decision_tracks_first_and_last(self):
+        r = trial(decisions=[(0, 1, 3, 12), (1, 1, 4, 16)])
+        assert r.first_decision_round == 3
+        assert r.first_decision_ops == 12
+        assert r.last_decision_round == 4
+        assert r.max_round == 4
+
+    def test_agreed_and_decided_values(self):
+        r = trial(decisions=[(0, 1, 2, 8), (1, 1, 2, 8)])
+        assert r.agreed and r.decided_values == {1}
+        r2 = trial(decisions=[(0, 0, 2, 8), (1, 1, 2, 8)])
+        assert not r2.agreed
+
+    def test_all_decided_counts_halted(self):
+        r = trial(decisions=[(0, 1, 2, 8)], halted=[1])
+        assert r.all_decided
+
+    def test_not_all_decided(self):
+        r = trial(decisions=[(0, 1, 2, 8)])
+        assert not r.all_decided
+
+    def test_empty_trial_not_all_decided(self):
+        assert not trial().all_decided
+
+
+class TestSummarize:
+    def test_basic_aggregation(self):
+        trials = [
+            trial(decisions=[(0, 1, 2, 8), (1, 1, 3, 12)], total_ops=20),
+            trial(decisions=[(0, 1, 4, 16), (1, 1, 4, 16)], total_ops=32),
+        ]
+        stats = summarize(trials)
+        assert stats.trials == 2
+        assert stats.decided_trials == 2
+        assert stats.mean_first_round == pytest.approx(3.0)
+        assert stats.mean_last_round == pytest.approx(3.5)
+        assert stats.mean_total_ops == pytest.approx(26.0)
+        assert stats.agreement_rate == 1.0
+
+    def test_agreement_rate_counts_disagreements(self):
+        trials = [trial(decisions=[(0, 0, 2, 8), (1, 1, 2, 8)]),
+                  trial(decisions=[(0, 1, 2, 8), (1, 1, 2, 8)])]
+        assert summarize(trials).agreement_rate == pytest.approx(0.5)
+
+    def test_undecided_trials_do_not_poison_means(self):
+        trials = [trial(), trial(decisions=[(0, 1, 5, 20)])]
+        stats = summarize(trials)
+        assert stats.decided_trials == 1
+        assert stats.mean_first_round == pytest.approx(5.0)
+
+    def test_all_undecided(self):
+        stats = summarize([trial(), trial()])
+        assert stats.mean_first_round is None
+        assert stats.ci95_first_round is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_backup_rate(self):
+        trials = [trial(n=4, used_backup=2), trial(n=4, used_backup=0)]
+        assert summarize(trials).backup_rate == pytest.approx(0.25)
+
+    def test_row_renders(self):
+        stats = summarize([trial(decisions=[(0, 1, 2, 8), (1, 1, 2, 8)])])
+        assert "agree=" in stats.row()

@@ -1,0 +1,124 @@
+"""Tests for the exhaustive interleaving model checker.
+
+These are the library's strongest correctness statements: for small
+configurations, safety holds under *every* schedule — and the intentionally
+unsafe variant is caught, proving the checker has teeth.
+"""
+
+import pytest
+
+from repro.core.machine import KeepTie, LeanConsensus, ScriptedCoin, SharedCoinLean
+from repro.core.variants import ConservativeLean, EagerDecideLean, OptimizedLean
+from repro.modelcheck import explore_free, explore_hybrid
+
+
+def lean(pid, bit):
+    return LeanConsensus(pid, bit)
+
+
+class TestFreeExploration:
+    def test_lean_two_processes_safe(self):
+        out = explore_free(lean, {0: 0, 1: 1}, max_ops_per_process=20)
+        assert out.safe
+        assert out.complete
+        assert out.states_explored > 100
+        # Lockstep schedules exist, so some paths hit the op budget.
+        assert out.truncated
+
+    def test_lean_unanimous_validity(self):
+        """With unanimous inputs every path decides the input by 8 ops."""
+        out = explore_free(lean, {0: 1, 1: 1}, max_ops_per_process=12)
+        assert out.safe
+        assert not out.truncated          # Lemma 3: all paths terminate
+        assert out.max_decision_ops == 8
+        assert out.decided_leaves > 0
+
+    def test_eager_variant_caught(self):
+        out = explore_free(lambda p, b: EagerDecideLean(p, b),
+                           {0: 0, 1: 1}, max_ops_per_process=16)
+        assert not out.safe
+        assert out.trace is not None
+        assert "agreement" in str(out.violation)
+
+    def test_eager_variant_safe_when_unanimous(self):
+        """The eager bug needs input conflict; unanimous runs are fine."""
+        out = explore_free(lambda p, b: EagerDecideLean(p, b),
+                           {0: 1, 1: 1}, max_ops_per_process=12)
+        assert out.safe
+
+    def test_optimized_variant_safe(self):
+        out = explore_free(lambda p, b: OptimizedLean(p, b),
+                           {0: 0, 1: 1}, max_ops_per_process=16)
+        assert out.safe
+
+    def test_conservative_variant_safe(self):
+        out = explore_free(lambda p, b: ConservativeLean(p, b),
+                           {0: 0, 1: 1}, max_ops_per_process=16)
+        assert out.safe
+
+    def test_shared_coin_scripted_safe(self):
+        """Coin protocols are explored with scripted (deterministic) coins;
+        each script is a distinct adversary choice."""
+        for script in ([0], [1], [0, 1], [1, 0]):
+            out = explore_free(
+                lambda p, b, s=tuple(script): SharedCoinLean(
+                    p, b, coin=ScriptedCoin(list(s))),
+                {0: 0, 1: 1}, max_ops_per_process=18)
+            assert out.safe, f"script {script}"
+
+    def test_state_budget_marks_incomplete(self):
+        out = explore_free(lean, {0: 0, 1: 1}, max_ops_per_process=20,
+                           max_states=50)
+        assert not out.complete
+
+    @pytest.mark.slow
+    def test_lean_three_processes_safe(self):
+        out = explore_free(lean, {0: 0, 1: 1, 2: 0},
+                           max_ops_per_process=12)
+        assert out.safe
+
+
+class TestHybridExploration:
+    def test_quantum_8_guarantees_12_ops(self):
+        """Theorem 14, verified exhaustively for n=2 over all debts and all
+        legal pre-emption choices."""
+        out = explore_hybrid(lean, {0: 0, 1: 1}, quantum=8,
+                             initial_used_options=tuple(range(9)),
+                             max_ops_per_process=16)
+        assert out.safe
+        assert not out.truncated
+        assert out.max_decision_ops <= 12
+        assert out.decided_leaves > 0
+
+    def test_quantum_6_not_guaranteed(self):
+        """Small quanta admit lockstep: some path exceeds any bound."""
+        out = explore_hybrid(lean, {0: 0, 1: 1}, quantum=6,
+                             initial_used_options=tuple(range(7)),
+                             max_ops_per_process=24)
+        assert out.truncated or out.max_decision_ops > 12
+
+    def test_permissive_debt_reading_breaks_the_bound(self):
+        """If every process may start the protocol mid-quantum, 12 ops is
+        no longer the worst case (measured: 16+) — see EXPERIMENTS.md."""
+        out = explore_hybrid(lean, {0: 0, 1: 1}, quantum=8,
+                             initial_used_options=tuple(range(9)),
+                             debt_policy="per-process",
+                             max_ops_per_process=16)
+        assert out.max_decision_ops > 12 or out.truncated
+
+    def test_priorities_respected(self):
+        out = explore_hybrid(lean, {0: 0, 1: 1}, quantum=8,
+                             priorities=[1, 0],
+                             initial_used_options=(0, 8),
+                             max_ops_per_process=16)
+        assert out.safe
+        assert out.max_decision_ops <= 12
+
+    @pytest.mark.slow
+    def test_three_processes_quantum_8(self):
+        out = explore_hybrid(lean, {0: 0, 1: 1, 2: 1}, quantum=8,
+                             initial_used_options=(0, 4, 8),
+                             max_ops_per_process=16)
+        assert out.safe
+        assert not out.truncated
+        assert out.max_decision_ops <= 12

@@ -1,0 +1,111 @@
+"""Tests for the Fischer timing-based mutex under noisy timing."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError
+from repro.mutex import simulate_fischer
+from repro.noise import Constant, Exponential, Uniform
+
+
+class TestValidation:
+    def test_bad_params(self):
+        rng = make_rng(1)
+        with pytest.raises(ConfigurationError):
+            simulate_fischer(0, Uniform(0, 2), 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_fischer(2, Uniform(0, 2), -1.0, rng)
+        with pytest.raises(ConfigurationError):
+            simulate_fischer(2, Uniform(0, 2), 1.0, rng, target_entries=0)
+
+
+class TestSingleProcess:
+    def test_never_violates_and_enters_freely(self):
+        result = simulate_fischer(1, Exponential(1.0), pause=0.0,
+                                  rng=make_rng(2), target_entries=50)
+        assert result.entries == 50
+        assert result.violations == 0
+        assert result.entries_by_pid[0] == 50
+
+
+class TestBoundedNoise:
+    def test_safe_when_pause_clears_bound(self):
+        """Uniform(0,2) has essential sup 2: pause 3 makes Fischer safe."""
+        result = simulate_fischer(4, Uniform(0.0, 2.0), pause=3.0,
+                                  rng=make_rng(3), target_entries=300)
+        assert result.entries == 300
+        assert result.violations == 0
+        assert result.max_concurrent == 1
+
+    def test_unsafe_when_pause_below_bound(self):
+        result = simulate_fischer(4, Uniform(0.0, 2.0), pause=0.05,
+                                  rng=make_rng(4), target_entries=300)
+        assert result.violations > 0
+        assert result.max_concurrent >= 2
+
+    def test_degenerate_noise_with_any_pause_is_safe(self):
+        """Constant op time 1 and pause 1.5 > 1: deterministic safety."""
+        result = simulate_fischer(3, Constant(1.0), pause=1.5,
+                                  rng=make_rng(5), target_entries=100)
+        assert result.violations == 0
+
+
+class TestUnboundedNoise:
+    def test_violation_rate_decays_with_pause(self):
+        rates = []
+        for pause in (0.25, 2.0, 6.0):
+            result = simulate_fischer(4, Exponential(1.0), pause=pause,
+                                      rng=make_rng(6), target_entries=500)
+            rates.append(result.violations / result.entries)
+        assert rates[0] > rates[1] >= rates[2]
+
+    def test_no_finite_pause_guaranteed_safe(self):
+        """With a modest pause, exponential noise still violates
+        occasionally — the paper's anticipated constraint."""
+        result = simulate_fischer(6, Exponential(1.0), pause=0.5,
+                                  rng=make_rng(7), target_entries=500)
+        assert result.violations > 0
+
+
+class TestProgressAndFairness:
+    def test_all_processes_make_entries(self):
+        result = simulate_fischer(4, Uniform(0.0, 2.0), pause=3.0,
+                                  rng=make_rng(8), target_entries=200)
+        assert all(count > 0 for count in result.entries_by_pid.values())
+
+    def test_larger_pause_means_longer_waits(self):
+        short = simulate_fischer(4, Uniform(0.0, 2.0), pause=2.5,
+                                 rng=make_rng(9), target_entries=200)
+        long = simulate_fischer(4, Uniform(0.0, 2.0), pause=10.0,
+                                rng=make_rng(9), target_entries=200)
+        assert long.mean_wait > short.mean_wait
+
+    def test_op_budget_respected(self):
+        result = simulate_fischer(2, Uniform(0.0, 2.0), pause=1.0,
+                                  rng=make_rng(10), target_entries=10**9,
+                                  max_ops=5_000)
+        assert result.total_ops <= 5_000
+
+    def test_reproducible(self):
+        a = simulate_fischer(4, Exponential(1.0), pause=1.0,
+                             rng=make_rng(11), target_entries=100)
+        b = simulate_fischer(4, Exponential(1.0), pause=1.0,
+                             rng=make_rng(11), target_entries=100)
+        assert (a.entries, a.violations, a.total_ops) == \
+            (b.entries, b.violations, b.total_ops)
+
+
+class TestExperimentHarness:
+    def test_run_and_format(self):
+        from repro.experiments import mutual_exclusion
+        result = mutual_exclusion.run(n=3, pauses=(0.25, 3.0),
+                                      entries_per_cell=80, seed=1)
+        rows = {(r.noise, r.pause): r for r in result.rows}
+        assert rows[("uniform [0,2]", 3.0)].violations == 0
+        assert rows[("uniform [0,2]", 0.25)].violations > 0
+        assert "EXP-MUTEX" in mutual_exclusion.format_result(result)
+
+    def test_main(self, capsys):
+        from repro.experiments import mutual_exclusion
+        mutual_exclusion.main(["--trials", "20", "--seed", "1"])
+        assert "Fischer" in capsys.readouterr().out

@@ -1,0 +1,250 @@
+"""Tests for the message-passing substrate and the ABD emulation."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError
+from repro.netsim import Message, Network, quorum_size, run_mp_trial
+from repro.netsim.abd import (
+    QUERY,
+    QUERY_REPLY,
+    UPDATE,
+    UPDATE_ACK,
+    AbdClient,
+    AbdServer,
+)
+from repro.netsim.network import Node
+from repro.noise import Constant, Exponential, ShiftedExponential
+from repro.types import read, write
+
+
+class Echo(Node):
+    """Replies to every 'ping' with one 'pong' to the sender."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, msg, now):
+        self.received.append((msg.payload, now))
+        if msg.payload[0] == "ping":
+            return [Message(self.name, msg.src, ("pong",))]
+        return []
+
+
+class Starter(Node):
+    def __init__(self, target):
+        self.target = target
+        self.pongs = 0
+
+    def on_start(self, now):
+        return [Message(self.name, self.target, ("ping",))]
+
+    def on_message(self, msg, now):
+        if msg.payload[0] == "pong":
+            self.pongs += 1
+        return []
+
+
+class TestNetwork:
+    def test_ping_pong(self):
+        net = Network(Exponential(1.0), make_rng(1))
+        net.add_node("a", Starter("b"))
+        net.add_node("b", Echo())
+        net.start()
+        net.run()
+        assert net.nodes["a"].pongs == 1
+        assert net.delivered == 2
+
+    def test_latencies_advance_time(self):
+        net = Network(ShiftedExponential(1.0, 0.5), make_rng(2))
+        net.add_node("a", Starter("b"))
+        net.add_node("b", Echo())
+        net.start()
+        net.run()
+        assert net.now >= 2.0  # two hops, >= 1.0 latency floor each
+
+    def test_crashed_destination_drops(self):
+        net = Network(Exponential(1.0), make_rng(3))
+        net.add_node("a", Starter("b"))
+        net.add_node("b", Echo())
+        net.crash("b")
+        net.start()
+        net.run()
+        assert net.nodes["a"].pongs == 0
+        assert net.delivered == 0
+
+    def test_crashed_source_does_not_send(self):
+        net = Network(Exponential(1.0), make_rng(4))
+        net.add_node("a", Starter("b"))
+        net.add_node("b", Echo())
+        net.crash("a")
+        net.start()
+        net.run()
+        assert net.nodes["b"].received == []
+
+    def test_degenerate_latency_rejected_by_default(self):
+        from repro.errors import DistributionError
+        with pytest.raises(DistributionError):
+            Network(Constant(1.0), make_rng(5))
+
+    def test_duplicate_node_rejected(self):
+        net = Network(Exponential(1.0), make_rng(6))
+        net.add_node("a", Echo())
+        with pytest.raises(ConfigurationError):
+            net.add_node("a", Echo())
+
+    def test_until_predicate_stops_early(self):
+        net = Network(Exponential(1.0), make_rng(7))
+        net.add_node("a", Starter("b"))
+        net.add_node("b", Echo())
+        net.start()
+        stopped = net.run(until=lambda: net.delivered >= 1)
+        assert stopped
+        assert net.delivered <= 2
+
+
+class TestQuorum:
+    @pytest.mark.parametrize("n, q", [(1, 1), (2, 2), (3, 2), (5, 3), (7, 4)])
+    def test_majority(self, n, q):
+        assert quorum_size(n) == q
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            quorum_size(0)
+
+
+class TestAbdServer:
+    def test_query_of_default(self):
+        server = AbdServer()
+        server.name = "s"
+        out = list(server.on_message(
+            Message("c", "s", (QUERY, 1, "a0", 3)), 0.0))
+        assert out[0].payload == (QUERY_REPLY, 1, "a0", 3, 0, -1, 0)
+
+    def test_update_then_query(self):
+        server = AbdServer()
+        server.name = "s"
+        server.on_message(Message("c", "s", (UPDATE, 1, "a0", 3, 1, 2, 1)), 0.0)
+        out = list(server.on_message(
+            Message("c", "s", (QUERY, 2, "a0", 3)), 0.0))
+        assert out[0].payload == (QUERY_REPLY, 2, "a0", 3, 1, 2, 1)
+
+    def test_stale_update_ignored(self):
+        server = AbdServer()
+        server.name = "s"
+        server.on_message(Message("c", "s", (UPDATE, 1, "a0", 3, 5, 0, 1)), 0.0)
+        server.on_message(Message("c", "s", (UPDATE, 2, "a0", 3, 4, 9, 0)), 0.0)
+        assert server.store[("a0", 3)] == ((5, 0), 1)
+
+    def test_timestamp_ties_break_by_pid(self):
+        server = AbdServer()
+        server.name = "s"
+        server.on_message(Message("c", "s", (UPDATE, 1, "a0", 3, 5, 1, 7)), 0.0)
+        server.on_message(Message("c", "s", (UPDATE, 2, "a0", 3, 5, 2, 8)), 0.0)
+        assert server.store[("a0", 3)] == ((5, 2), 8)
+
+    def test_defaults_callable(self):
+        server = AbdServer(defaults=lambda a, i: 1 if i == 0 else 0)
+        server.name = "s"
+        out = list(server.on_message(
+            Message("c", "s", (QUERY, 1, "a0", 0)), 0.0))
+        assert out[0].payload[-1] == 1
+
+
+class TestAbdClient:
+    def run_transaction(self, op, servers=3, prime=None, crash=()):
+        """Drive one transaction through a real network; return its value."""
+        completed = []
+        net = Network(Exponential(1.0), make_rng(11))
+        names = [f"s{i}" for i in range(servers)]
+        for name in names:
+            net.add_node(name, AbdServer())
+        if prime is not None:
+            for name in names:
+                net.nodes[name].store[(op.array, op.index)] = prime
+
+        class Driver(AbdClient):
+            def on_start(self, now):
+                return self.begin(op)
+
+        client = Driver(names, on_complete=lambda o, v, now:
+                        completed.append((o, v)) or [])
+        net.add_node("client7", client)
+        for name in crash:
+            net.crash(name)
+        net.start()
+        net.run()
+        return completed
+
+    def test_read_returns_default(self):
+        done = self.run_transaction(read("a0", 4))
+        assert done == [(read("a0", 4), 0)]
+
+    def test_read_returns_primed_value(self):
+        done = self.run_transaction(read("a0", 4), prime=((3, 1), 1))
+        assert done[0][1] == 1
+
+    def test_write_commits(self):
+        done = self.run_transaction(write("a1", 2, 1))
+        assert done == [(write("a1", 2, 1), 1)]
+
+    def test_tolerates_minority_crash(self):
+        done = self.run_transaction(read("a0", 1), servers=3, crash=("s0",))
+        assert len(done) == 1
+
+    def test_blocks_on_majority_crash(self):
+        done = self.run_transaction(read("a0", 1), servers=3,
+                                    crash=("s0", "s1"))
+        assert done == []  # cannot assemble a quorum; waits forever
+
+    def test_one_transaction_at_a_time(self):
+        client = AbdClient(["s0"], on_complete=lambda o, v, t: [])
+        client.name = "client0"
+        client.begin(read("a0", 1))
+        with pytest.raises(ConfigurationError):
+            client.begin(read("a0", 2))
+
+    def test_writer_pid_from_name(self):
+        client = AbdClient(["s0"], on_complete=lambda o, v, t: [])
+        client.name = "client42"
+        assert client._writer_pid() == 42
+
+
+class TestMpConsensus:
+    def test_basic_run_agrees(self):
+        trial = run_mp_trial(4, Exponential(1.0), seed=1)
+        assert trial.all_decided and trial.agreed
+        assert trial.transactions >= 4 * 8  # at least 8 register ops each
+
+    def test_validity(self):
+        trial = run_mp_trial(3, Exponential(1.0), seed=2, inputs=[1, 1, 1])
+        assert {d.value for d in trial.decisions.values()} == {1}
+
+    def test_minority_server_crashes_tolerated(self):
+        trial = run_mp_trial(4, Exponential(1.0), seed=3,
+                             n_servers=5, crash_servers=2)
+        assert trial.all_decided and trial.agreed
+
+    def test_majority_crash_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_mp_trial(2, Exponential(1.0), seed=4,
+                         n_servers=4, crash_servers=2)
+
+    def test_reproducible(self):
+        a = run_mp_trial(4, Exponential(1.0), seed=77)
+        b = run_mp_trial(4, Exponential(1.0), seed=77)
+        assert a.delivered_messages == b.delivered_messages
+        assert {p: d.value for p, d in a.decisions.items()} == \
+            {p: d.value for p, d in b.decisions.items()}
+
+    def test_message_cost_scales_with_servers(self):
+        small = run_mp_trial(2, Exponential(1.0), seed=5, n_servers=3)
+        large = run_mp_trial(2, Exponential(1.0), seed=5, n_servers=9)
+        msgs_per_txn_small = small.delivered_messages / small.transactions
+        msgs_per_txn_large = large.delivered_messages / large.transactions
+        assert msgs_per_txn_large > msgs_per_txn_small
+
+    def test_other_protocols_compose(self):
+        trial = run_mp_trial(3, Exponential(1.0), seed=6,
+                             protocol="conservative")
+        assert trial.all_decided and trial.agreed

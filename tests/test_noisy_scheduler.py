@@ -1,0 +1,102 @@
+"""Tests for the noisy scheduler (Section 3.1 timing model)."""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError, DistributionError
+from repro.noise import Constant, Exponential, PerOpKindNoise, Uniform
+from repro.sched.delta import ConstantDelta, DitheredStart
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.types import OpKind
+
+
+class TestValidation:
+    def test_degenerate_rejected_by_default(self):
+        with pytest.raises(DistributionError):
+            NoisyScheduler(Constant(1.0), make_rng(1))
+
+    def test_degenerate_allowed_explicitly(self):
+        sched = NoisyScheduler(Constant(1.0), make_rng(1),
+                               allow_degenerate=True)
+        t = sched.next_time(0, 1, OpKind.READ, 0.0)
+        assert t >= 1.0
+
+    def test_per_kind_noise_accepted(self):
+        per = PerOpKindNoise(Exponential(1.0), Uniform(0.0, 2.0))
+        sched = NoisyScheduler(per, make_rng(2))
+        assert sched.noise.for_kind(OpKind.WRITE) is per.write
+
+
+class TestTiming:
+    def test_times_strictly_increase(self):
+        sched = NoisyScheduler(Exponential(1.0), make_rng(3))
+        t = sched.start_time(0)
+        for j in range(1, 50):
+            t2 = sched.next_time(0, j, OpKind.READ, t)
+            assert t2 > t
+            t = t2
+
+    def test_delay_schedule_added(self):
+        sched = NoisyScheduler(Exponential(1.0), make_rng(4),
+                               delta=ConstantDelta(5.0))
+        t = sched.next_time(0, 1, OpKind.READ, 0.0)
+        assert t >= 5.0
+
+    def test_start_time_comes_from_delta(self):
+        sched = NoisyScheduler(Exponential(1.0), make_rng(5),
+                               delta=ConstantDelta(0.0, start_time=9.0))
+        assert sched.start_time(3) == 9.0
+
+    def test_reproducible(self):
+        a = NoisyScheduler(Exponential(1.0), make_rng(6))
+        b = NoisyScheduler(Exponential(1.0), make_rng(6))
+        assert a.next_time(0, 1, OpKind.READ, 0.0) == \
+            b.next_time(0, 1, OpKind.READ, 0.0)
+
+
+class TestPresample:
+    def test_shape_and_monotone_rows(self):
+        sched = NoisyScheduler(Uniform(0.0, 2.0), make_rng(7))
+        times = sched.presample(n=5, max_ops=40)
+        assert times.shape == (5, 40)
+        assert (np.diff(times, axis=1) > 0).all()
+
+    def test_includes_starts(self):
+        sched = NoisyScheduler(Exponential(1.0), make_rng(8),
+                               delta=DitheredStart(3, make_rng(9), base=100.0))
+        times = sched.presample(n=3, max_ops=4)
+        assert (times >= 100.0).all()
+
+    def test_includes_delays(self):
+        sched = NoisyScheduler(Exponential(0.001), make_rng(10),
+                               delta=ConstantDelta(10.0))
+        times = sched.presample(n=2, max_ops=3)
+        # Each op gains at least the 10-unit delay.
+        assert times[0, 0] >= 10.0
+        assert times[0, 2] >= 30.0
+
+    def test_no_exact_ties_across_processes(self):
+        sched = NoisyScheduler(Uniform(0.0, 2.0), make_rng(11))
+        times = sched.presample(n=50, max_ops=20)
+        flat = times.ravel()
+        assert len(np.unique(flat)) == flat.size
+
+
+class TestPresampledScheduler:
+    def test_replays_exact_times(self):
+        times = np.array([[1.0, 2.0, 3.0], [1.5, 2.5, 3.5]])
+        sched = PresampledScheduler(times)
+        assert sched.n == 2
+        assert sched.max_ops == 3
+        assert sched.next_time(1, 2, OpKind.READ, 0.0) == 2.5
+        assert sched.start_time(0) == 0.0
+
+    def test_horizon_exhaustion_raises(self):
+        sched = PresampledScheduler(np.array([[1.0]]))
+        with pytest.raises(ConfigurationError):
+            sched.next_time(0, 2, OpKind.READ, 1.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            PresampledScheduler(np.array([1.0, 2.0]))

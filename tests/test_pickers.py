@@ -1,0 +1,99 @@
+"""Tests for the step-choice strategies."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import SchedulerError
+from repro.sched.pickers import (
+    AlternatingPicker,
+    LaggardPicker,
+    LeaderPicker,
+    RandomPicker,
+    RoundRobinPicker,
+    ScriptedPicker,
+)
+
+
+class TestRandomPicker:
+    def test_always_picks_enabled(self, rng):
+        picker = RandomPicker(rng)
+        enabled = [2, 5, 9]
+        for _ in range(50):
+            assert picker.pick(enabled) in enabled
+
+    def test_covers_all_choices(self, rng):
+        picker = RandomPicker(rng)
+        seen = {picker.pick([0, 1, 2]) for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_deterministic_with_seed(self):
+        a = [RandomPicker(make_rng(1)).pick([0, 1, 2]) for _ in range(10)]
+        b = [RandomPicker(make_rng(1)).pick([0, 1, 2]) for _ in range(10)]
+        assert a == b
+
+
+class TestRoundRobin:
+    def test_cycles_in_pid_order(self):
+        picker = RoundRobinPicker()
+        picks = [picker.pick([0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_disabled(self):
+        picker = RoundRobinPicker()
+        assert picker.pick([0, 1, 2]) == 0
+        assert picker.pick([0, 2]) == 2  # 1 is gone
+        assert picker.pick([0, 2]) == 0
+
+
+class TestAlternating:
+    def test_alternates_extremes(self):
+        picker = AlternatingPicker()
+        picks = [picker.pick([1, 5, 9]) for _ in range(4)]
+        assert picks == [1, 9, 1, 9]
+
+
+class TestScripted:
+    def test_follows_script(self):
+        picker = ScriptedPicker([1, 0, 1])
+        assert [picker.pick([0, 1]) for _ in range(3)] == [1, 0, 1]
+
+    def test_cycles_by_default(self):
+        picker = ScriptedPicker([1, 0])
+        assert [picker.pick([0, 1]) for _ in range(4)] == [1, 0, 1, 0]
+
+    def test_exhausted_first_policy(self):
+        picker = ScriptedPicker([1], exhausted="first")
+        picker.pick([0, 1])
+        assert picker.pick([0, 1]) == 0
+
+    def test_disabled_entry_falls_back_modulo(self):
+        picker = ScriptedPicker([7])
+        assert picker.pick([0, 1, 2]) == 7 % 3
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(SchedulerError):
+            ScriptedPicker([])
+
+    def test_bad_exhausted_policy(self):
+        with pytest.raises(SchedulerError):
+            ScriptedPicker([0], exhausted="loop-de-loop")
+
+
+class TestLeaderLaggard:
+    def test_leader_picks_max_score(self):
+        scores = {0: 3.0, 1: 9.0, 2: 5.0}
+        picker = LeaderPicker(lambda pid: scores[pid])
+        assert picker.pick([0, 1, 2]) == 1
+
+    def test_leader_ties_to_smaller_pid(self):
+        picker = LeaderPicker(lambda pid: 1.0)
+        assert picker.pick([0, 1, 2]) == 0
+
+    def test_laggard_picks_min_score(self):
+        scores = {0: 3.0, 1: 9.0, 2: 1.0}
+        picker = LaggardPicker(lambda pid: scores[pid])
+        assert picker.pick([0, 1, 2]) == 2
+
+    def test_laggard_ties_to_smaller_pid(self):
+        picker = LaggardPicker(lambda pid: 1.0)
+        assert picker.pick([1, 2]) == 1

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis): the schedule itself is the input.
+
+Safety must hold for *every* interleaving; these tests let hypothesis hunt
+for a counterexample schedule, which complements the exhaustive model
+checker (bounded but complete) with randomized depth.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._rng import make_rng
+from repro.analysis.renewal import exactly_one_probability, lemma5_bound
+from repro.core.invariants import (
+    check_agreement,
+    check_decision_gap,
+    check_round_ladder,
+    check_validity,
+)
+from repro.core.machine import LeanConsensus, ScriptedCoin, SharedCoinLean
+from repro.core.variants import ConservativeLean, OptimizedLean
+from repro.memory import HistoryRecorder
+from repro.sched.pickers import ScriptedPicker
+from repro.sim.engine import StepEngine
+from repro.sim.runner import make_machines, make_memory_for
+from repro.noise import Exponential, Geometric, TwoPoint, Uniform
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+inputs_strategy = st.lists(st.integers(0, 1), min_size=2, max_size=5)
+schedule_strategy = st.lists(st.integers(0, 9), min_size=1, max_size=300)
+
+
+def run_scripted(protocol_factory, input_bits, schedule, record=False):
+    machines = [protocol_factory(pid, bit)
+                for pid, bit in enumerate(input_bits)]
+    memory = make_memory_for(machines, record=record)
+    engine = StepEngine(machines, memory, ScriptedPicker(schedule),
+                        max_total_ops=2000)
+    result = engine.run()
+    return result, memory
+
+
+# ---------------------------------------------------------------------------
+# Safety under arbitrary schedules
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy)
+def test_lean_safety_under_arbitrary_schedules(input_bits, schedule):
+    result, memory = run_scripted(LeanConsensus, input_bits, schedule)
+    check_agreement(result.decisions)
+    check_validity(result.inputs, result.decisions)
+    check_decision_gap(result.decisions)
+    check_round_ladder(memory)
+
+
+@settings(max_examples=60, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy)
+def test_optimized_safety_under_arbitrary_schedules(input_bits, schedule):
+    result, memory = run_scripted(OptimizedLean, input_bits, schedule)
+    check_agreement(result.decisions)
+    check_validity(result.inputs, result.decisions)
+    check_round_ladder(memory)
+
+
+@settings(max_examples=60, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy)
+def test_conservative_safety_under_arbitrary_schedules(input_bits, schedule):
+    result, memory = run_scripted(ConservativeLean, input_bits, schedule)
+    check_agreement(result.decisions)
+    check_validity(result.inputs, result.decisions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy,
+       coin_script=st.lists(st.integers(0, 1), min_size=1, max_size=8))
+def test_shared_coin_safety_under_arbitrary_schedules(input_bits, schedule,
+                                                      coin_script):
+    """Safety of the coin protocol must hold for every coin outcome too —
+    the adversary picks both the schedule and the coins here."""
+    def factory(pid, bit):
+        return SharedCoinLean(pid, bit, coin=ScriptedCoin(coin_script))
+
+    result, _ = run_scripted(factory, input_bits, schedule)
+    check_agreement(result.decisions)
+    check_validity(result.inputs, result.decisions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy)
+def test_history_is_linearizable(input_bits, schedule):
+    result, memory = run_scripted(LeanConsensus, input_bits, schedule,
+                                  record=True)
+    assert isinstance(memory.recorder, HistoryRecorder)
+    assert memory.recorder.check_read_your_writes()
+
+
+# ---------------------------------------------------------------------------
+# Machine-level properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(input_bits=inputs_strategy, schedule=schedule_strategy,
+       cut=st.integers(0, 200))
+def test_snapshot_restore_is_transparent(input_bits, schedule, cut):
+    """Running, snapshotting at an arbitrary point, restoring, and resuming
+    must be observationally identical to running straight through."""
+    machines = [LeanConsensus(pid, bit)
+                for pid, bit in enumerate(input_bits)]
+    memory = make_memory_for(machines)
+    picker = ScriptedPicker(schedule)
+    engine = StepEngine(machines, memory, picker, max_total_ops=400)
+
+    # Run `cut` steps manually, snapshot+restore mid-flight, then finish.
+    steps = 0
+    while steps < cut:
+        enabled = sorted(m.pid for m in machines if not m.done)
+        if not enabled:
+            break
+        pid = picker.pick(enabled)
+        machine = next(m for m in machines if m.pid == pid)
+        snap = machine.snapshot()
+        machine.restore(snap)  # must be a no-op
+        res = memory.execute(machine.peek(), pid=pid)
+        machine.apply(res)
+        steps += 1
+    decisions = {m.pid: m.decision for m in machines
+                 if m.decision is not None}
+    check_agreement(decisions)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 1), st.integers(1, 30))
+def test_lean_op_kind_pattern(bit, steps):
+    """Operation j of a solo round follows read,read,write,read cyclically
+    until a decision."""
+    machine = LeanConsensus(0, bit)
+    memory = make_memory_for([machine])
+    pattern = ["read", "read", "write", "read"]
+    for j in range(steps):
+        if machine.done:
+            break
+        op = machine.peek()
+        assert op.kind.value == pattern[j % 4]
+        machine.apply(memory.execute(op))
+
+
+# ---------------------------------------------------------------------------
+# Distribution properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1),
+       dist_idx=st.integers(0, 3),
+       size=st.integers(1, 64))
+def test_distributions_nonnegative_and_seeded(seed, dist_idx, size):
+    dists = [Exponential(1.0), Uniform(0.0, 2.0), Geometric(0.5),
+             TwoPoint(2 / 3, 4 / 3)]
+    dist = dists[dist_idx]
+    a = dist.sample_array(make_rng(seed), size)
+    b = dist.sample_array(make_rng(seed), size)
+    assert (a >= 0).all()
+    assert (a == b).all()
+
+
+# ---------------------------------------------------------------------------
+# Lemma 5 as a universal inequality
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(qs=st.lists(st.floats(0.01, 0.999), min_size=1, max_size=8))
+def test_lemma5_inequality_universal(qs):
+    x = math.prod(qs)
+    assert exactly_one_probability(qs) >= lemma5_bound(x) - 1e-9

@@ -1,0 +1,79 @@
+"""Property-based tests for the extension subsystems.
+
+As with the core protocol, the *schedule is the fuzzed input*: hypothesis
+generates arbitrary interleavings (and candidate assignments) and the
+invariants must hold on every one of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.idconsensus import IdConsensus, id_bits
+from repro.sched.pickers import ScriptedPicker
+from repro.sched.statistical import StatisticalDelta
+from repro.sim.engine import StepEngine
+from repro.sim.runner import make_memory_for
+
+
+@settings(max_examples=60, deadline=None)
+@given(candidates=st.lists(st.integers(0, 7), min_size=2, max_size=4),
+       schedule=st.lists(st.integers(0, 9), min_size=1, max_size=400))
+def test_id_consensus_agreement_and_validity_any_schedule(candidates,
+                                                          schedule):
+    """Every interleaving elects exactly one announced candidate."""
+    n = len(candidates)
+    bits = 3
+    machines = [IdConsensus(pid, candidates[pid], bits, n)
+                for pid in range(n)]
+    memory = make_memory_for(machines)
+    engine = StepEngine(machines, memory, ScriptedPicker(schedule),
+                        max_total_ops=4000)
+    engine.run()
+    winners = {m.winner for m in machines if m.winner is not None}
+    assert len(winners) <= 1
+    if winners:
+        (winner,) = winners
+        assert winner in set(candidates)  # id validity
+
+
+@settings(max_examples=80, deadline=None)
+@given(mean_bound=st.floats(0.01, 5.0),
+       burst_every=st.integers(1, 64),
+       burst_scale=st.floats(0.1, 20.0),
+       horizon=st.integers(1, 300))
+def test_statistical_budget_never_exceeded(mean_bound, burst_every,
+                                           burst_scale, horizon):
+    """The sum Delta <= r*M constraint holds for every prefix, whatever
+    burst pattern the adversary requests."""
+    delta = StatisticalDelta(mean_bound, burst_every=burst_every,
+                             burst_scale=burst_scale)
+    assert delta.verify_constraint(0, horizon)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1),
+       penalty=st.floats(0.001, 2.0),
+       window=st.floats(0.5, 10.0))
+def test_contention_meter_matches_reference_model(seed, penalty, window):
+    """The meter's charge equals penalty x (accesses by *other* pids to
+    the same location within the window), computed by an independent
+    reference model."""
+    import math
+
+    from repro._rng import make_rng
+    from repro.memory.contention import ContentionMeter
+    from repro.types import read
+
+    rng = make_rng(seed)
+    meter = ContentionMeter(penalty=penalty, window=window)
+    history = []  # (time, pid) reference log
+    now = 0.0
+    for raw in rng.integers(0, 4, size=60):
+        pid = int(raw)
+        now += float(rng.random())
+        expected_rivals = sum(1 for t, p in history
+                              if t >= now - window and p != pid)
+        charge = meter.charge(read("a0", 1), pid=pid, now=now)
+        assert math.isclose(charge, penalty * expected_rivals,
+                            rel_tol=1e-12, abs_tol=1e-12)
+        history.append((now, pid))

@@ -1,0 +1,160 @@
+"""Tests for the shared-memory substrate."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import (
+    AtomicRegister,
+    SharedMemory,
+    UnboundedBitArray,
+    make_racing_arrays,
+)
+from repro.types import read, write
+
+
+class TestAtomicRegister:
+    def test_initial_value(self):
+        assert AtomicRegister().read() == 0
+        assert AtomicRegister(5).value == 5
+
+    def test_write_then_read(self):
+        reg = AtomicRegister()
+        reg.write(1)
+        assert reg.read() == 1
+
+    def test_counters(self):
+        reg = AtomicRegister()
+        reg.read()
+        reg.write(1)
+        reg.write(0)
+        reg.read()
+        assert reg.reads == 2
+        assert reg.writes == 2
+
+
+class TestUnboundedBitArray:
+    def test_untouched_reads_default(self):
+        arr = UnboundedBitArray("a", default=0)
+        assert arr.read(12345) == 0
+
+    def test_write_then_read(self):
+        arr = UnboundedBitArray("a")
+        arr.write(7, 1)
+        assert arr.read(7) == 1
+        assert arr.read(6) == 0
+
+    def test_prefix_is_one_and_read_only(self):
+        arr = UnboundedBitArray("a0", prefix_value=1)
+        assert arr.read(0) == 1
+        with pytest.raises(MemoryError_):
+            arr.write(0, 0)
+
+    def test_no_prefix_index0_writable(self):
+        arr = UnboundedBitArray("c0")
+        arr.write(0, 1)
+        assert arr.read(0) == 1
+
+    def test_negative_index_rejected(self):
+        arr = UnboundedBitArray("a")
+        with pytest.raises(MemoryError_):
+            arr.read(-1)
+        with pytest.raises(MemoryError_):
+            arr.write(-2, 1)
+
+    def test_capacity_enforced(self):
+        arr = UnboundedBitArray("a", capacity=4)
+        arr.write(4, 1)
+        with pytest.raises(MemoryError_):
+            arr.write(5, 1)
+        with pytest.raises(MemoryError_):
+            arr.read(5)
+
+    def test_max_touched_and_count(self):
+        arr = UnboundedBitArray("a")
+        assert arr.max_touched_index() == 0
+        arr.write(3, 1)
+        arr.write(9, 1)
+        assert arr.max_touched_index() == 9
+        assert arr.touched_count() == 2
+
+    def test_items_sorted(self):
+        arr = UnboundedBitArray("a")
+        arr.write(5, 1)
+        arr.write(2, 1)
+        assert list(arr.items()) == [(2, 1), (5, 1)]
+
+    def test_snapshot_restore_roundtrip(self):
+        arr = UnboundedBitArray("a")
+        arr.write(1, 1)
+        arr.write(2, 1)
+        snap = arr.snapshot()
+        arr.write(3, 1)
+        arr.restore(snap)
+        assert arr.read(3) == 0
+        assert arr.read(2) == 1
+
+    def test_snapshot_is_hashable(self):
+        arr = UnboundedBitArray("a")
+        arr.write(1, 1)
+        assert hash(arr.snapshot()) == hash(arr.snapshot())
+
+
+class TestSharedMemory:
+    def test_execute_read_write(self):
+        mem = make_racing_arrays()
+        res = mem.execute(write("a0", 1, 1), pid=0)
+        assert res.value == 1
+        res = mem.execute(read("a0", 1), pid=1)
+        assert res.value == 1
+
+    def test_read_your_writes_semantics(self):
+        mem = make_racing_arrays()
+        assert mem.execute(read("a1", 5)).value == 0
+        mem.execute(write("a1", 5, 1))
+        assert mem.execute(read("a1", 5)).value == 1
+
+    def test_prefix_visible_through_execute(self):
+        mem = make_racing_arrays()
+        assert mem.execute(read("a0", 0)).value == 1
+        assert mem.execute(read("a1", 0)).value == 1
+
+    def test_total_ops_counts(self):
+        mem = make_racing_arrays()
+        mem.execute(read("a0", 1))
+        mem.execute(write("a0", 1, 1))
+        assert mem.total_ops == 2
+
+    def test_unknown_array_rejected(self):
+        mem = make_racing_arrays()
+        with pytest.raises(MemoryError_):
+            mem.execute(read("zz", 0))
+
+    def test_duplicate_array_rejected(self):
+        mem = make_racing_arrays()
+        with pytest.raises(MemoryError_):
+            mem.add_array(UnboundedBitArray("a0"))
+
+    def test_snapshot_restore_roundtrip(self):
+        mem = make_racing_arrays()
+        mem.execute(write("a0", 1, 1))
+        snap = mem.snapshot()
+        mem.execute(write("a1", 1, 1))
+        mem.restore(snap)
+        assert mem.execute(read("a1", 1)).value == 0
+        assert mem.execute(read("a0", 1)).value == 1
+
+    def test_recorder_hook_called(self):
+        events = []
+
+        class Rec:
+            def record(self, seq, pid, op, value):
+                events.append((seq, pid, str(op), value))
+
+        mem = make_racing_arrays(recorder=Rec())
+        mem.execute(write("a0", 1, 1), pid=3)
+        assert events == [(1, 3, "write a0[1] := 1", 1)]
+
+    def test_capacity_passthrough(self):
+        mem = make_racing_arrays(capacity=3)
+        with pytest.raises(MemoryError_):
+            mem.execute(write("a0", 4, 1))

@@ -1,0 +1,155 @@
+"""Tests for the renewal-race analysis substrate (Section 6 lemmas)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.analysis.renewal import (
+    exactly_one_probability,
+    lemma5_bound,
+    lemma6_critical_time,
+    race_until_lead,
+    simulate_race_rounds,
+)
+from repro.errors import ConfigurationError
+from repro.noise import Exponential, SumOf, TwoPoint, Uniform
+
+
+def brute_force_exactly_one(qs):
+    """Sum over all outcome vectors with exactly one event on."""
+    total = 0.0
+    for i in range(len(qs)):
+        term = 1.0 - qs[i]
+        for j, q in enumerate(qs):
+            if j != i:
+                term *= q
+        total += term
+    return total
+
+
+class TestExactlyOne:
+    @pytest.mark.parametrize("qs", [
+        (0.5, 0.5), (0.9, 0.1), (0.3, 0.3, 0.3), (0.99, 0.98, 0.5, 0.01),
+    ])
+    def test_matches_brute_force(self, qs):
+        assert exactly_one_probability(qs) == \
+            pytest.approx(brute_force_exactly_one(qs))
+
+    def test_certain_event_cases(self):
+        # One event certain, others' q = 1: exactly-one holds certainly.
+        assert exactly_one_probability([0.0, 1.0]) == pytest.approx(1.0)
+        # Two certain events: exactly-one impossible.
+        assert exactly_one_probability([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            exactly_one_probability([1.5])
+
+
+class TestLemma5:
+    def test_bound_holds_on_grid(self):
+        """Lemma 5: P[exactly one] >= -x ln x, over a grid of q-vectors."""
+        grid = [0.2, 0.5, 0.9]
+        for qs in itertools.product(grid, repeat=3):
+            x = math.prod(qs)
+            assert exactly_one_probability(qs) >= lemma5_bound(x) - 1e-12
+
+    def test_bound_tight_for_identical_qs_limit(self):
+        """For q_i = x^(1/n) with n large, the bound approaches equality."""
+        x = 0.3
+        n = 4000
+        qs = [x ** (1 / n)] * n
+        assert exactly_one_probability(qs) == \
+            pytest.approx(lemma5_bound(x), rel=1e-3)
+
+    def test_bound_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            lemma5_bound(0.0)
+        with pytest.raises(ConfigurationError):
+            lemma5_bound(1.5)
+
+    def test_paper_constant_2e_minus_2(self):
+        """The proof of Lemma 6 uses -x ln x >= 2 e^-2 at x = e^-2."""
+        assert lemma5_bound(math.exp(-2)) == pytest.approx(2 * math.exp(-2))
+
+
+class TestLemma6:
+    def test_critical_time_found_for_continuous_noise(self, rng):
+        dist = SumOf(Uniform(0.0, 2.0), 4)
+        samples = np.cumsum(dist.sample_array(rng, (4000, 16, 3)), axis=2)[:, :, -1]
+        t0 = lemma6_critical_time(samples)
+        assert t0 is not None
+        none_prob = float(np.mean((samples > t0).all(axis=1)))
+        assert none_prob <= math.exp(-1) + 0.02
+
+    def test_unique_leader_probability_meets_bound(self, rng):
+        """At t0, exactly-one-finished holds with probability >= ~0.20
+        (the lemma guarantees 1/5 in the worst case)."""
+        dist = SumOf(Uniform(0.0, 2.0), 4)
+        samples = np.cumsum(dist.sample_array(rng, (4000, 16, 3)), axis=2)[:, :, -1]
+        t0 = lemma6_critical_time(samples)
+        exactly_one = float(np.mean((samples <= t0).sum(axis=1) == 1))
+        assert exactly_one >= 0.2
+
+    def test_none_when_all_far(self):
+        samples = np.full((10, 3), 5.0)
+        # All finish at the same time: none-prob jumps 1 -> 0 at 5.0,
+        # so a critical time still exists (t0 = 5.0).
+        assert lemma6_critical_time(samples) == 5.0
+
+
+class TestRaceSimulation:
+    def test_single_racer_wins_immediately(self, rng):
+        out = simulate_race_rounds(Exponential(1.0), n=1, c=2, rng=rng)
+        assert out.winner == 0
+        assert out.winning_round == 1
+
+    def test_race_ends_and_reports_winner(self, rng):
+        out = simulate_race_rounds(SumOf(Exponential(1.0), 4), n=8, c=2,
+                                   rng=rng)
+        assert out.winner is not None
+        assert 1 <= out.winning_round < 10_000
+        assert not out.all_dead
+
+    def test_all_dead_with_certain_halting(self, rng):
+        out = simulate_race_rounds(Exponential(1.0), n=4, c=2, rng=rng,
+                                   h=0.999)
+        assert out.all_dead
+        assert out.winner is None
+
+    def test_race_respects_adversary_deltas(self, rng):
+        """A huge head start makes racer 0 the guaranteed winner."""
+        starts = np.array([0.0, 1000.0, 1000.0])
+        out = simulate_race_rounds(Uniform(0.5, 1.5), n=3, c=2, rng=rng,
+                                   starts=starts)
+        assert out.winner == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_race_rounds(Exponential(1.0), n=0, c=2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            simulate_race_rounds(Exponential(1.0), n=2, c=0, rng=rng)
+
+    def test_degenerate_race_never_ends(self, rng):
+        from repro.noise import Constant
+        with pytest.raises(ConfigurationError):
+            simulate_race_rounds(Constant(1.0), n=2, c=2, rng=rng,
+                                 max_rounds=50)
+
+
+class TestRaceScaling:
+    def test_expected_rounds_grow_slowly_with_n(self):
+        """E[R] for n=64 stays within a few multiples of n=4 — the O(log n)
+        behaviour (a linear-in-n race would grow 16x)."""
+        dist = SumOf(Uniform(0.0, 2.0), 4)
+        small = race_until_lead(dist, 4, 2, 40, make_rng(1)).mean()
+        large = race_until_lead(dist, 64, 2, 40, make_rng(2)).mean()
+        assert large < small * 6
+
+    def test_batch_shape(self):
+        rounds = race_until_lead(Exponential(1.0), 4, 1, 10, make_rng(3))
+        assert rounds.shape == (10,)
+        assert (rounds >= 1).all()

@@ -1,0 +1,193 @@
+"""Tests for the high-level trial runners."""
+
+import pytest
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.core.bounded import BoundedLeanConsensus
+from repro.core.machine import LeanConsensus, SharedCoinLean
+from repro.core.variants import ConservativeLean, EagerDecideLean, OptimizedLean
+from repro.noise import Exponential, Uniform
+from repro.sched.pickers import RandomPicker, RoundRobinPicker
+from repro.sim.runner import (
+    half_and_half,
+    make_machines,
+    make_memory_for,
+    run_hybrid_trial,
+    run_noisy_trial,
+    run_noisy_trials,
+    run_step_trial,
+)
+
+
+class TestHalfAndHalf:
+    def test_even_split(self):
+        inputs = half_and_half(6)
+        assert sum(inputs.values()) == 3
+        assert inputs[0] == 0 and inputs[5] == 1
+
+    def test_odd_split(self):
+        inputs = half_and_half(5)
+        assert sum(1 for b in inputs.values() if b == 0) == 2
+
+    def test_single(self):
+        assert half_and_half(1) == {0: 1}
+
+
+class TestMakeMachines:
+    @pytest.mark.parametrize("name, cls", [
+        ("lean", LeanConsensus),
+        ("optimized", OptimizedLean),
+        ("eager", EagerDecideLean),
+        ("conservative", ConservativeLean),
+        ("shared-coin", SharedCoinLean),
+        ("bounded", BoundedLeanConsensus),
+    ])
+    def test_builtin_names(self, name, cls, rng):
+        machines = make_machines(name, {0: 0, 1: 1}, rng=rng)
+        assert all(isinstance(m, cls) for m in machines)
+        assert [m.pid for m in machines] == [0, 1]
+
+    def test_random_tie_uses_tie_rule(self, rng):
+        from repro.core.machine import RandomTie
+        machines = make_machines("random-tie", {0: 0}, rng=rng)
+        assert isinstance(machines[0].tie_rule, RandomTie)
+
+    def test_unknown_name_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_machines("paxos", {0: 0}, rng=rng)
+
+    def test_custom_factory(self):
+        machines = make_machines(lambda p, b: LeanConsensus(p, b, round_cap=3),
+                                 {0: 1})
+        assert machines[0].round_cap == 3
+
+    def test_round_cap_passthrough(self, rng):
+        machines = make_machines("lean", {0: 0}, rng=rng, round_cap=7)
+        assert machines[0].round_cap == 7
+
+
+class TestMakeMemory:
+    def test_lean_arrays(self):
+        mem = make_memory_for(make_machines("lean", {0: 0}))
+        assert set(mem.arrays) == {"a0", "a1"}
+        assert mem.arrays["a0"].prefix_value == 1
+
+    def test_shared_coin_arrays(self, rng):
+        mem = make_memory_for(make_machines("shared-coin", {0: 0}, rng=rng))
+        assert set(mem.arrays) == {"a0", "a1", "c0", "c1"}
+        assert mem.arrays["c0"].prefix_value is None
+
+    def test_bounded_arrays_include_backup(self, rng):
+        mem = make_memory_for(make_machines("bounded", {0: 0}, rng=rng))
+        assert {"a0", "a1", "bk_a0", "bk_a1", "bk_c0", "bk_c1"} <= set(mem.arrays)
+
+    def test_recorder_attached(self):
+        mem = make_memory_for(make_machines("lean", {0: 0}), record=True)
+        assert mem.recorder is not None
+
+
+class TestRunNoisyTrial:
+    def test_basic_agreement(self):
+        result = run_noisy_trial(8, Exponential(1.0), seed=1)
+        assert result.all_decided and result.agreed
+
+    def test_reproducible(self):
+        a = run_noisy_trial(8, Exponential(1.0), seed=42)
+        b = run_noisy_trial(8, Exponential(1.0), seed=42)
+        assert a.total_ops == b.total_ops
+        assert a.first_decision_round == b.first_decision_round
+
+    def test_validity_with_unanimous_inputs(self):
+        result = run_noisy_trial(5, Exponential(1.0), seed=2,
+                                 inputs=[1, 1, 1, 1, 1])
+        assert result.decided_values == {1}
+        assert all(d.ops == 8 for d in result.decisions.values())
+
+    def test_explicit_inputs_dict(self):
+        result = run_noisy_trial(2, Exponential(1.0), seed=3,
+                                 inputs={0: 0, 1: 0})
+        assert result.decided_values == {0}
+
+    def test_engine_auto_small_n_uses_event(self):
+        result = run_noisy_trial(4, Exponential(1.0), seed=4, record=True)
+        assert result.memory.recorder is not None  # event engine artifacts
+
+    def test_engine_fast_explicit(self):
+        result = run_noisy_trial(32, Uniform(0.0, 2.0), seed=5,
+                                 engine="fast")
+        assert result.all_decided and result.agreed
+
+    def test_fast_engine_rejects_other_protocols(self):
+        with pytest.raises(ConfigurationError):
+            run_noisy_trial(8, Exponential(1.0), seed=6, engine="fast",
+                            protocol="optimized")
+
+    def test_fast_and_event_same_distribution_family(self):
+        """Not bit-identical (different sampling order) but same shape."""
+        fast = run_noisy_trial(64, Exponential(1.0), seed=7, engine="fast")
+        event = run_noisy_trial(64, Exponential(1.0), seed=7, engine="event")
+        assert fast.agreed and event.agreed
+
+    def test_check_flag_catches_eager_disagreement(self):
+        saw_violation = False
+        for seed in range(40):
+            try:
+                run_noisy_trial(6, Exponential(1.0), seed=seed,
+                                protocol="eager", engine="event")
+            except InvariantViolation:
+                saw_violation = True
+                break
+        assert saw_violation, \
+            "eager variant should disagree on some noisy schedule"
+
+    def test_h_failures(self):
+        result = run_noisy_trial(16, Exponential(1.0), seed=8, h=0.02)
+        assert result.agreed
+        assert len(result.decisions) + len(result.halted) == 16
+
+    def test_round_cap_produces_overflow_without_decision(self):
+        # A tiny cap with many processes in contention can overflow; the
+        # run must still return (machines stop at the cap).
+        result = run_noisy_trial(2, Exponential(1.0), seed=9,
+                                 protocol="lean", round_cap=1,
+                                 check=False)
+        # Round cap 1: nobody can decide before round 2, so all overflow.
+        assert not result.decisions
+
+
+class TestRunNoisyTrials:
+    def test_batch_independent_and_reproducible(self):
+        a = run_noisy_trials(5, 8, Exponential(1.0), seed=11)
+        b = run_noisy_trials(5, 8, Exponential(1.0), seed=11)
+        assert len(a) == 5
+        assert [r.total_ops for r in a] == [r.total_ops for r in b]
+        assert len({r.total_ops for r in a}) > 1  # trials differ
+
+
+class TestRunStepTrial:
+    def test_random_schedule(self):
+        result = run_step_trial(6, RandomPicker(make_rng(1)), seed=1)
+        assert result.all_decided and result.agreed
+
+    def test_lockstep_budget(self):
+        result = run_step_trial(2, RoundRobinPicker(), seed=2,
+                                max_total_ops=100, check=False)
+        assert result.budget_exhausted
+
+
+class TestRunHybridTrial:
+    def test_default_run_to_completion(self):
+        result = run_hybrid_trial(4, quantum=8, seed=1)
+        assert result.all_decided and result.agreed
+        assert all(d.ops <= 12 for d in result.decisions.values())
+
+    def test_priorities_and_debt(self):
+        result = run_hybrid_trial(3, quantum=8, priorities=[2, 1, 0],
+                                  initial_used={0: 8}, seed=2)
+        assert result.agreed
+
+    def test_chooser_must_be_legal(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            run_hybrid_trial(2, quantum=8, chooser=lambda legal: -5, seed=3)

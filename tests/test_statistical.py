@@ -1,0 +1,86 @@
+"""Tests for the Section-10 statistical adversary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise import Exponential
+from repro.sched.statistical import StatisticalDelta
+from repro.sim.runner import run_noisy_trial
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StatisticalDelta(-1.0)
+        with pytest.raises(ConfigurationError):
+            StatisticalDelta(1.0, style="zeno")
+        with pytest.raises(ConfigurationError):
+            StatisticalDelta(1.0, burst_every=0)
+
+
+class TestBudget:
+    def test_constraint_holds_for_bursts(self):
+        for burst_every in (1, 2, 8, 32):
+            delta = StatisticalDelta(0.5, burst_every=burst_every)
+            assert delta.verify_constraint(0, 200)
+
+    def test_constraint_holds_even_with_greedy_requests(self):
+        delta = StatisticalDelta(0.5, burst_every=4, burst_scale=10.0)
+        assert delta.verify_constraint(0, 200)
+
+    def test_bursts_are_large_but_average_bounded(self):
+        delta = StatisticalDelta(1.0, burst_every=8)
+        delays = delta.delays_array(0, 64)
+        assert delays.max() > 1.0          # individual delays exceed M
+        assert delays.mean() <= 1.0 + 1e-9  # ... but the average does not
+
+    def test_non_burst_ops_have_zero_delay(self):
+        delta = StatisticalDelta(1.0, burst_every=8)
+        delays = delta.delays_array(0, 16)
+        assert delays[0] == 0.0
+        assert delays[7] > 0.0  # op index 8 is the burst
+
+    def test_stateful_delay_matches_array(self):
+        delta_a = StatisticalDelta(0.7, burst_every=4)
+        delta_b = StatisticalDelta(0.7, burst_every=4)
+        stepped = [delta_a.delay(0, j) for j in range(1, 33)]
+        assert np.allclose(stepped, delta_b.delays_array(0, 32))
+
+    def test_frontrunner_targets_low_pids_only(self):
+        delta = StatisticalDelta(1.0, style="frontrunner", burst_every=4,
+                                 n=8)
+        assert delta.delays_array(0, 16).sum() > 0
+        assert delta.delays_array(7, 16).sum() == 0.0
+
+    def test_starts_at_zero(self):
+        assert StatisticalDelta(1.0).start(3) == 0.0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("style", ["bursts", "frontrunner"])
+    def test_consensus_terminates_and_agrees(self, style):
+        delta = StatisticalDelta(0.5, style=style, burst_every=8, n=16)
+        result = run_noisy_trial(16, Exponential(1.0), seed=3, delta=delta,
+                                 engine="event")
+        assert result.all_decided and result.agreed
+
+    def test_comparable_to_bounded_adversary(self):
+        """The conjecture's empirical face: burst schedules within the
+        statistical budget do not blow up termination."""
+        from repro.sched.delta import ZeroDelta
+        import numpy as np
+
+        def mean_round(delta_factory, seed0):
+            rounds = []
+            for seed in range(seed0, seed0 + 15):
+                result = run_noisy_trial(16, Exponential(1.0), seed=seed,
+                                         delta=delta_factory(),
+                                         engine="event")
+                rounds.append(result.last_decision_round)
+            return float(np.mean(rounds))
+
+        baseline = mean_round(lambda: ZeroDelta(), 100)
+        stat = mean_round(
+            lambda: StatisticalDelta(0.5, burst_every=8, n=16), 100)
+        assert stat < baseline + 4.0  # same ballpark, not exploding

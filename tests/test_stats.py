@@ -1,0 +1,110 @@
+"""Tests for the statistics toolkit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    fit_exponential_tail,
+    fit_log,
+    mean_confidence_interval,
+    tail_probabilities,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFitLog:
+    def test_recovers_exact_coefficients(self):
+        ns = [10, 100, 1000, 10000]
+        ys = [2.5 * math.log(n) + 1.75 for n in ns]
+        fit = fit_log(ns, ys)
+        assert fit.a == pytest.approx(2.5)
+        assert fit.b == pytest.approx(1.75)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_log([10, 100, 1000], [1.0, 2.0, 3.0])
+        assert fit.predict(100) == pytest.approx(2.0, abs=1e-6)
+
+    def test_noisy_fit_reasonable_r2(self, rng):
+        ns = np.array([2 ** k for k in range(2, 12)])
+        ys = 3.0 * np.log(ns) + rng.normal(0, 0.1, size=ns.size)
+        fit = fit_log(ns, ys)
+        assert fit.a == pytest.approx(3.0, abs=0.2)
+        assert fit.r2 > 0.98
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_log([10], [1.0])
+
+
+class TestFitExponentialTail:
+    def test_recovers_decay_rate(self):
+        ks = list(range(1, 12))
+        probs = [math.exp(-0.7 * k + 0.2) for k in ks]
+        fit = fit_exponential_tail(ks, probs)
+        assert fit.a == pytest.approx(-0.7)
+        assert fit.b == pytest.approx(0.2)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_zero_probabilities_dropped(self):
+        ks = [1, 2, 3, 4]
+        probs = [0.5, 0.25, 0.0, 0.125]
+        fit = fit_exponential_tail(ks, probs)
+        assert fit.a < 0
+
+    def test_predict_model(self):
+        fit = fit_exponential_tail([1, 2, 3], [0.5, 0.25, 0.125])
+        assert fit.predict(2) == pytest.approx(math.log(0.25), abs=1e-9)
+
+
+class TestMeanCi:
+    def test_known_values(self):
+        mean, half = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert mean == pytest.approx(2.5)
+        assert half > 0
+
+    def test_single_sample_infinite_halfwidth(self):
+        mean, half = mean_confidence_interval([7.0])
+        assert mean == 7.0
+        assert half == math.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+
+    def test_ci_shrinks_with_samples(self, rng):
+        small = mean_confidence_interval(rng.normal(0, 1, 50))[1]
+        large = mean_confidence_interval(rng.normal(0, 1, 5000))[1]
+        assert large < small
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean(self, rng):
+        xs = rng.exponential(2.0, size=400)
+        mean, lo, hi = bootstrap_mean_ci(xs, make_rng(1))
+        assert lo <= mean <= hi
+        assert hi - lo < 1.0
+
+    def test_reproducible(self, rng):
+        xs = rng.normal(0, 1, 100)
+        a = bootstrap_mean_ci(xs, make_rng(2))
+        b = bootstrap_mean_ci(xs, make_rng(2))
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci([], make_rng(1))
+
+
+class TestTailProbabilities:
+    def test_basic(self):
+        probs = tail_probabilities([1, 2, 3, 4], ks=[0, 2, 4])
+        assert list(probs) == [1.0, 0.5, 0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tail_probabilities([], ks=[1])

@@ -1,0 +1,68 @@
+"""Tests for the dependency-free SVG plot renderer."""
+
+import pytest
+
+from repro.analysis.svgplot import figure1_svg, line_plot_svg
+from repro.errors import ConfigurationError
+
+
+SERIES = {
+    "alpha": [(1, 2.0), (10, 3.0), (100, 4.0)],
+    "beta": [(1, 2.0), (10, 5.0), (100, 3.5)],
+}
+
+
+class TestLinePlot:
+    def test_produces_valid_svg_skeleton(self):
+        svg = line_plot_svg(SERIES, title="T", x_label="n", y_label="r")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_contains_series_and_legend(self):
+        svg = line_plot_svg(SERIES)
+        assert svg.count("<polyline") == 2
+        assert "alpha" in svg and "beta" in svg
+        assert svg.count("<circle") == 6
+
+    def test_title_and_labels_escaped(self):
+        svg = line_plot_svg({"a<b": [(1, 1.0), (2, 2.0)]},
+                            title="x & y", log_x=False)
+        assert "a&lt;b" in svg
+        assert "x &amp; y" in svg
+
+    def test_log_ticks_are_decades(self):
+        svg = line_plot_svg(SERIES)
+        assert ">1<" in svg and ">10<" in svg and ">100<" in svg
+
+    def test_linear_mode(self):
+        svg = line_plot_svg({"s": [(0.0, 1.0), (4.0, 2.0)]}, log_x=False)
+        assert "<polyline" in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_plot_svg({})
+
+    def test_rejects_nonpositive_x_on_log_axis(self):
+        with pytest.raises(ConfigurationError):
+            line_plot_svg({"s": [(0.0, 1.0), (1.0, 2.0)]}, log_x=True)
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        svg = line_plot_svg({"s": [(1, 2.0), (10, 2.0)]})
+        assert "<polyline" in svg
+
+
+class TestFigure1Svg:
+    def test_renders_experiment_result(self):
+        from repro.experiments import figure1
+        result = figure1.run(ns=(1, 8), trials=3, seed=1)
+        svg = figure1_svg(result)
+        assert svg.count("<polyline") == len(result.series)
+        assert "Figure 1" in svg
+
+    def test_roundtrips_to_disk(self, tmp_path):
+        from repro.experiments import figure1
+        result = figure1.run(ns=(1, 8), trials=2, seed=2)
+        path = tmp_path / "figure1.svg"
+        path.write_text(figure1_svg(result))
+        assert path.read_text().startswith("<svg")

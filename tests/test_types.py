@@ -1,0 +1,94 @@
+"""Unit tests for the shared primitive types."""
+
+import pytest
+
+from repro.types import (
+    ARRAY_FOR_BIT,
+    Decision,
+    OpKind,
+    Operation,
+    OpResult,
+    array_for,
+    read,
+    write,
+)
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read("a0", 3)
+        assert op.kind is OpKind.READ
+        assert op.array == "a0"
+        assert op.index == 3
+        assert op.value is None
+
+    def test_write_constructor(self):
+        op = write("a1", 2, 1)
+        assert op.kind is OpKind.WRITE
+        assert op.value == 1
+
+    def test_is_read_is_write(self):
+        assert read("a0", 0).is_read
+        assert not read("a0", 0).is_write
+        assert write("a0", 0, 1).is_write
+        assert not write("a0", 0, 1).is_read
+
+    def test_write_requires_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, "a0", 1)
+
+    def test_read_rejects_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, "a0", 1, value=1)
+
+    def test_operations_are_hashable_and_comparable(self):
+        assert read("a0", 1) == read("a0", 1)
+        assert read("a0", 1) != read("a0", 2)
+        assert len({read("a0", 1), read("a0", 1), write("a0", 1, 1)}) == 2
+
+    def test_str_forms(self):
+        assert "read a0[1]" in str(read("a0", 1))
+        assert "write a1[2] := 1" in str(write("a1", 2, 1))
+
+
+class TestOpResult:
+    def test_carries_op_and_value(self):
+        op = read("a0", 1)
+        res = OpResult(op, 0)
+        assert res.op is op
+        assert res.value == 0
+
+    def test_equality(self):
+        assert OpResult(read("a0", 1), 0) == OpResult(read("a0", 1), 0)
+
+
+class TestDecision:
+    def test_fields(self):
+        d = Decision(1, 3, 12)
+        assert (d.value, d.round, d.ops) == (1, 3, 12)
+
+    @pytest.mark.parametrize("bad", [-1, 2, 7])
+    def test_rejects_non_bit(self, bad):
+        with pytest.raises(ValueError):
+            Decision(bad, 1, 4)
+
+    def test_zero_round_allowed_for_roundless_protocols(self):
+        assert Decision(0, 0, 1).round == 0
+
+
+class TestArrayFor:
+    def test_mapping(self):
+        assert array_for(0) == "a0"
+        assert array_for(1) == "a1"
+        assert ARRAY_FOR_BIT == ("a0", "a1")
+
+    @pytest.mark.parametrize("bad", [-1, 2, "0"])
+    def test_rejects_non_bit(self, bad):
+        with pytest.raises(ValueError):
+            array_for(bad)
+
+
+class TestOpKind:
+    def test_str(self):
+        assert str(OpKind.READ) == "read"
+        assert str(OpKind.WRITE) == "write"
