@@ -1,0 +1,70 @@
+"""Batch-runner benchmark: the parallel Figure-1-style sweep.
+
+The acceptance target for the batch runner: on a 200-trial n=1000 sweep,
+``workers=4`` beats the serial loop by > 1.5x wall-clock while returning
+bit-identical results.  The speedup assertion is gated on the machine
+actually having >= 4 CPU cores (a 1-core container cannot exhibit a
+parallel speedup; determinism is asserted unconditionally).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import NoiseSpec, NoisyModelSpec, TrialSpec, run_batch
+
+SWEEP_N = 1000
+SWEEP_TRIALS = 200
+
+SPEC = TrialSpec(
+    n=SWEEP_N,
+    model=NoisyModelSpec(noise=NoiseSpec.of("exponential", mean=1.0)),
+    stop_after_first_decision=True,
+)
+
+
+def _timed(workers):
+    start = time.perf_counter()
+    results = run_batch(SPEC, SWEEP_TRIALS, seed=2000, workers=workers)
+    return time.perf_counter() - start, results
+
+
+@pytest.mark.benchmark(group="batch")
+def test_batch_parallel_speedup_n1000(benchmark, save_report):
+    """Serial vs workers=4 on the 200-trial n=1000 sweep."""
+    serial_time, serial = benchmark.pedantic(
+        lambda: _timed(None), rounds=1, iterations=1)
+    parallel_time, parallel = _timed(4)
+
+    assert parallel == serial, "parallel results must be bit-identical"
+
+    cores = os.cpu_count() or 1
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    save_report(
+        "batch_speedup",
+        (f"batch runner, n={SWEEP_N}, trials={SWEEP_TRIALS}\n"
+         f"cores available : {cores}\n"
+         f"serial          : {serial_time:.2f} s\n"
+         f"workers=4       : {parallel_time:.2f} s\n"
+         f"speedup         : {speedup:.2f}x (target > 1.5x on >= 4 cores)"))
+
+    if cores >= 4:
+        assert speedup > 1.5, (
+            f"workers=4 speedup {speedup:.2f}x <= 1.5x on a {cores}-core "
+            "machine")
+
+
+@pytest.mark.benchmark(group="batch")
+def test_batch_serial_overhead_vs_legacy_loop(benchmark):
+    """The spec layer must not slow the serial path down measurably."""
+    from repro.noise import Exponential
+    from repro.sim.runner import run_noisy_trials
+
+    def legacy():
+        return run_noisy_trials(20, 256, Exponential(1.0), seed=3,
+                                stop_after_first_decision=True)
+
+    results = benchmark(legacy)
+    assert len(results) == 20
+    assert all(r.engine == "fast" for r in results)

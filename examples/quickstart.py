@@ -1,20 +1,46 @@
-"""Quickstart: run lean-consensus under noisy scheduling.
+"""Quickstart: declare a trial spec, run it, and batch it in parallel.
 
 The paper's headline setting: n processes, half preferring 0 and half
 preferring 1, shared-memory racing counters, an adversarial schedule
 perturbed by random noise.  The deterministic protocol terminates in
 O(log n) rounds because noise disperses the pack (Theorem 12).
 
+A trial is described by a declarative, serializable
+:class:`repro.TrialSpec`; batches of trials run through
+:func:`repro.run_batch`, which fans deterministic per-trial seeds across
+worker processes with results bit-identical to serial execution.
+
 Run:  python examples/quickstart.py
+
+Migrating from the legacy kwarg API?  ``run_noisy_trial(n=100,
+noise=Exponential(1.0), seed=42)`` still works and is exactly equivalent
+to the spec below; see the migration table in ``help(repro)``.
 """
 
-from repro import run_noisy_trial, run_noisy_trials, summarize
-from repro.noise import Exponential
+import json
+
+from repro import (
+    NoiseSpec,
+    NoisyModelSpec,
+    TrialSpec,
+    run_batch,
+    run_trial,
+    summarize,
+)
 
 
 def main() -> None:
+    # A complete description of one trial: 100 processes, exponential(1)
+    # interarrival noise, the paper's half-and-half inputs.
+    spec = TrialSpec(n=100, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)))
+
+    # Specs serialize; sweeps and distributed runs ship them as JSON.
+    wire = json.dumps(spec.to_dict())
+    assert TrialSpec.from_dict(json.loads(wire)) == spec
+
     # One execution, fully reproducible from the seed.
-    result = run_noisy_trial(n=100, noise=Exponential(1.0), seed=42)
+    result = run_trial(spec, seed=42)
 
     assert result.agreed, "agreement is guaranteed under any schedule"
     print(f"{result.n} processes, inputs half 0 / half 1")
@@ -23,11 +49,17 @@ def main() -> None:
           f"({result.first_decision_ops} operations)")
     print(f"last process decided at round {result.last_decision_round} "
           "(Lemma 4: at most one round later)")
-    print(f"total shared-memory operations: {result.total_ops}")
+    print(f"total shared-memory operations: {result.total_ops} "
+          f"(engine: {result.engine})")
 
-    # A batch of independent trials, aggregated.
-    stats = summarize(run_noisy_trials(
-        50, 100, Exponential(1.0), seed=7, stop_after_first_decision=True))
+    # A batch of independent trials.  workers=2 runs them across a
+    # process pool; the results are bit-identical to the serial run.
+    batch_spec = spec.replace(stop_after_first_decision=True)
+    serial = run_batch(batch_spec, 50, seed=7)
+    parallel = run_batch(batch_spec, 50, seed=7, workers=2)
+    assert serial == parallel
+
+    stats = summarize(serial)
     print(f"\nover {stats.trials} trials: mean first-termination round = "
           f"{stats.mean_first_round:.2f} +/- {stats.ci95_first_round:.2f}")
     print("(the paper's Figure 1 reports ~4 for exponential noise at "

@@ -7,14 +7,54 @@ uniprocessor scheduling), the bounded-space combined protocol, failure
 injection, an exhaustive interleaving model checker, and experiment
 harnesses that regenerate Figure 1 and every quantitative theorem claim.
 
-Quickstart::
+Quickstart — declare a trial as a :class:`TrialSpec` and run it::
+
+    from repro import NoiseSpec, NoisyModelSpec, TrialSpec, run_batch
+
+    spec = TrialSpec(n=100, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)))
+
+    results = run_batch(spec, n_trials=50, seed=42)   # serial
+    assert all(r.agreed for r in results)
+
+    # The same batch across 4 worker processes — bit-identical results.
+    assert run_batch(spec, 50, seed=42, workers=4) == results
+
+Specs are frozen, validated, and serializable (``spec.to_dict()`` /
+``TrialSpec.from_dict``), so sweeps are declared as spec grids and fanned
+out by the :class:`BatchRunner`; ``result.engine`` records which engine
+actually ran.  One-off runs can use :func:`run_trial`, or the legacy
+one-call wrappers, which remain fully supported::
 
     from repro import run_noisy_trial
     from repro.noise import Exponential
 
     result = run_noisy_trial(n=100, noise=Exponential(1.0), seed=42)
     assert result.agreed
-    print("first decision at round", result.first_decision_round)
+
+Migration note — legacy kwargs map onto spec fields as follows:
+
+=============================  =============================================
+``run_noisy_trial(...)`` kwarg  ``TrialSpec`` field
+=============================  =============================================
+``n``                          ``n``
+``noise``                      ``model.noise`` (``NoiseSpec`` /
+                               ``noise_to_spec``); ``model.write_noise``
+                               for per-op-kind noise
+``inputs``                     ``inputs``
+``protocol`` / ``round_cap``   ``protocol`` (``ProtocolSpec``)
+``delta`` / ``dither_epsilon`` ``model.delta`` (``DeltaSpec``, e.g.
+                               ``DeltaSpec.of("dithered", epsilon=...)``)
+``h`` / ``crash_adversary``    ``failures`` (``FailureSpec`` /
+                               ``AdversarySpec``)
+``engine``                     ``engine``
+``allow_degenerate``           ``model.allow_degenerate``
+``stop_after_first_decision``  ``stop_after_first_decision``
+``record`` / ``max_total_ops`` ``record`` / ``max_total_ops``
+``check``                      ``check``
+``seed``                       stays a call-site argument
+                               (``run_trial(spec, seed)``)
+=============================  =============================================
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -32,6 +72,25 @@ from repro.errors import (
 )
 from repro.core.machine import LeanConsensus, SharedCoinLean
 from repro.core.bounded import BoundedLeanConsensus, suggested_round_cap
+from repro.api import (
+    AdversarySpec,
+    BatchRunner,
+    CompiledTrial,
+    DeltaSpec,
+    FailureSpec,
+    HybridModelSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    PickerSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+    compile_spec,
+    noise_to_spec,
+    resolve_engine,
+    run_batch,
+    run_trial,
+)
 from repro.sim.runner import (
     half_and_half,
     run_hybrid_trial,
@@ -42,31 +101,48 @@ from repro.sim.runner import (
 from repro.sim.metrics import summarize
 from repro.sim.results import TrialResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AdversarySpec",
+    "BatchRunner",
     "BoundedLeanConsensus",
+    "CompiledTrial",
     "ConfigurationError",
     "Decision",
+    "DeltaSpec",
     "DistributionError",
+    "FailureSpec",
+    "HybridModelSpec",
     "InvariantViolation",
     "LeanConsensus",
+    "NoiseSpec",
+    "NoisyModelSpec",
     "OpKind",
     "OpResult",
     "Operation",
+    "PickerSpec",
     "ProtocolError",
+    "ProtocolSpec",
     "ReproError",
     "SchedulerError",
     "SharedCoinLean",
     "SimulationError",
+    "StepModelSpec",
     "TrialResult",
+    "TrialSpec",
     "__version__",
+    "compile_spec",
     "half_and_half",
+    "noise_to_spec",
     "read",
+    "resolve_engine",
+    "run_batch",
     "run_hybrid_trial",
     "run_noisy_trial",
     "run_noisy_trials",
     "run_step_trial",
+    "run_trial",
     "suggested_round_cap",
     "summarize",
     "write",

@@ -1,51 +1,61 @@
 """Top-level command-line interface: ``python -m repro <experiment>``.
 
-Dispatches to the experiment harnesses of :mod:`repro.experiments`; every
-experiment accepts ``--ns``, ``--trials``, ``--seed``, and ``--paper``
-(full paper scale).  ``python -m repro all`` runs every experiment at its
-default scale and prints all the paper-shaped tables.
+Dispatches through the experiment registry
+(:mod:`repro.experiments.registry`); every experiment accepts ``--ns``,
+``--trials``, ``--seed``, ``--workers``, and ``--paper`` (full paper
+scale).
+
+* ``python -m repro --list`` prints the registry as JSON (one record per
+  experiment: name, module, paper artifact, summary, and whether its
+  sweeps run through the parallel batch runner).
+* ``python -m repro all`` runs every experiment and prints all the
+  paper-shaped tables.  Shared options are forwarded to every experiment;
+  per-experiment extras use ``<experiment>:<arg>`` tokens, e.g.::
+
+      python -m repro all --trials 50 figure1:--plot scaling:--tail-n \\
+          scaling:128
 """
 
 from __future__ import annotations
 
+import json
 import sys
+from typing import Dict, List, Tuple
 
-from repro.experiments import (
-    ablations,
-    bounded_space,
-    extensions,
-    failures,
-    figure1,
-    hybrid,
-    lower_bound,
-    message_passing,
-    mutual_exclusion,
-    renewal_race,
-    scaling,
-    unfairness,
-)
+from repro.experiments import registry
 
-EXPERIMENTS = {
-    "figure1": figure1,
-    "scaling": scaling,
-    "lower-bound": lower_bound,
-    "hybrid": hybrid,
-    "bounded-space": bounded_space,
-    "unfairness": unfairness,
-    "renewal-race": renewal_race,
-    "failures": failures,
-    "ablations": ablations,
-    "message-passing": message_passing,
-    "extensions": extensions,
-    "mutual-exclusion": mutual_exclusion,
-}
+
+def __getattr__(name: str):
+    # Back-compat mapping (name -> imported module), derived from the
+    # registry.  Built lazily (PEP 562) so cheap paths like --list and
+    # --help don't import all 12 experiment modules.
+    if name == "EXPERIMENTS":
+        return {info.name: info.load() for info in registry.infos()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _usage() -> str:
-    names = "\n  ".join(sorted(EXPERIMENTS))
-    return (f"usage: python -m repro <experiment> [options]\n\n"
+    names = "\n  ".join(registry.names())
+    return (f"usage: python -m repro <experiment> [options]\n"
+            f"       python -m repro --list\n"
+            f"       python -m repro all [options] [<experiment>:<arg> ...]\n\n"
             f"experiments:\n  {names}\n  all\n\n"
-            "common options: --ns N [N ...], --trials T, --seed S, --paper")
+            "common options: --ns N [N ...], --trials T, --seed S, "
+            "--workers W, --paper")
+
+
+def _split_all_args(rest: List[str]) -> Tuple[List[str], Dict[str, List[str]]]:
+    """Separate shared options from ``<experiment>:<arg>`` extras."""
+    shared: List[str] = []
+    extras: Dict[str, List[str]] = {}
+    known = set(registry.names())
+    for token in rest:
+        name, sep, arg = token.partition(":")
+        if sep and name in known:
+            extras.setdefault(name, []).append(arg)
+        else:
+            shared.append(token)
+    return shared, extras
 
 
 def main(argv=None) -> int:
@@ -53,17 +63,21 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(_usage())
         return 0
+    if argv[0] == "--list":
+        print(json.dumps(registry.describe_all(), indent=2))
+        return 0
     name, rest = argv[0], argv[1:]
     if name == "all":
-        for key in sorted(EXPERIMENTS):
-            print(f"\n{'=' * 72}\n== {key}\n{'=' * 72}")
-            EXPERIMENTS[key].main(rest)
+        shared, extras = _split_all_args(rest)
+        for info in registry.infos():
+            print(f"\n{'=' * 72}\n== {info.name}\n{'=' * 72}")
+            info.main(shared + extras.get(info.name, []))
         return 0
-    module = EXPERIMENTS.get(name)
-    if module is None:
+    info = registry.get(name)
+    if info is None:
         print(f"unknown experiment {name!r}\n\n{_usage()}", file=sys.stderr)
         return 2
-    module.main(rest)
+    info.main(rest)
     return 0
 
 

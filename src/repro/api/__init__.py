@@ -1,0 +1,56 @@
+"""repro.api — the declarative trial-configuration layer.
+
+Three pieces:
+
+* :mod:`repro.api.spec` — the frozen, validated, serializable
+  :class:`TrialSpec` dataclass tree (protocol / model / noise / failures /
+  engine / instrumentation) with ``to_dict`` / ``from_dict`` round-trips;
+* :mod:`repro.api.compile` — :func:`compile_spec` / :func:`run_trial`,
+  which assemble machines + shared memory + scheduler + engine from a spec
+  and a seed;
+* :mod:`repro.api.batch` — :class:`BatchRunner` / :func:`run_batch`, which
+  fan a spec out over deterministic per-trial child seeds, optionally
+  across a ``multiprocessing`` pool, with results bit-identical to serial
+  execution.
+
+The legacy one-call runners (``run_noisy_trial`` and friends) are thin
+wrappers over this layer, and the experiment harnesses declare their
+sweeps as spec grids dispatched through the batch runner.
+"""
+
+from repro.api.spec import (
+    AdversarySpec,
+    DeltaSpec,
+    FailureSpec,
+    HybridModelSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    PickerSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+    noise_to_spec,
+)
+from repro.api.compile import CompiledTrial, compile_spec, resolve_engine, run_trial
+from repro.api.batch import BatchRunner, run_batch, trial_seed_sequences
+
+__all__ = [
+    "AdversarySpec",
+    "BatchRunner",
+    "CompiledTrial",
+    "DeltaSpec",
+    "FailureSpec",
+    "HybridModelSpec",
+    "NoiseSpec",
+    "NoisyModelSpec",
+    "PickerSpec",
+    "ProtocolSpec",
+    "StepModelSpec",
+    "TrialSpec",
+    "compile_spec",
+    "noise_to_spec",
+    "resolve_engine",
+    "run_batch",
+    "run_trial",
+    "trial_seed_sequences",
+]

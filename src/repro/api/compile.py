@@ -1,0 +1,242 @@
+"""Spec compilation: assemble machines, memory, scheduler, and engine.
+
+:func:`compile_spec` turns a :class:`~repro.api.spec.TrialSpec` plus a seed
+into a ready-to-run :class:`CompiledTrial`; :func:`run_trial` is the
+one-call form.  The compiler reproduces the exact random-stream spawn
+discipline of the historical ``run_noisy_trial`` / ``run_step_trial`` /
+``run_hybrid_trial`` entry points, so a legacy call and its spec-based
+equivalent produce bit-identical :class:`~repro.sim.results.TrialResult`
+values from the same seed — the property the wrapper-equivalence tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro._rng import SeedLike, make_rng, spawn
+from repro.errors import ConfigurationError
+from repro.failures.injection import FailureModel, NoFailures, RandomHalting
+from repro.noise.distributions import PerOpKindNoise
+from repro.sched.hybrid import HybridScheduler
+from repro.sched.noisy import NoisyScheduler
+from repro.sim.build import (
+    check_result,
+    make_machines,
+    make_memory_for,
+)
+from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
+from repro.sim.fast import lean_horizon_ops, replay_lean
+from repro.sim.results import TrialResult
+from repro.api.spec import (
+    HybridModelSpec,
+    NoisyModelSpec,
+    StepModelSpec,
+    TrialSpec,
+)
+
+
+@dataclass
+class CompiledTrial:
+    """A spec bound to a seed, assembled and ready to execute once.
+
+    Attributes:
+        spec: the trial spec this was compiled from.
+        engine: the engine that will actually run (``"auto"`` resolved):
+            ``"fast"``, ``"event"``, ``"step"``, or ``"hybrid"``.
+        machines: the instantiated process machines (``None`` for the fast
+            engine, which replays a closed-form schedule instead).
+        memory: the assembled shared memory (``None`` for the fast engine).
+    """
+
+    spec: TrialSpec
+    engine: str
+    machines: Optional[list] = None
+    memory: Optional[object] = None
+    _execute: Callable[[], TrialResult] = field(default=None, repr=False)
+
+    def run(self) -> TrialResult:
+        """Execute the trial and return its result (call once)."""
+        result = self._execute()
+        result.engine = self.engine
+        return result
+
+
+def resolve_engine(spec: TrialSpec) -> str:
+    """The engine a spec will run on, with ``"auto"`` resolved.
+
+    Mirrors the historical selection rule: the vectorized fast engine is
+    used for plain lean-consensus under the noisy model with no adaptive
+    adversary, no recorder, no round cap, a single (non-per-kind) noise
+    distribution, and n >= 256; everything else runs the event engine.
+    """
+    if isinstance(spec.model, StepModelSpec):
+        return "step"
+    if isinstance(spec.model, HybridModelSpec):
+        return "hybrid"
+    if spec.engine != "auto":
+        return spec.engine
+    fast_ok = (spec.protocol.name == "lean"
+               and spec.protocol.factory is None
+               and spec.failures.adversary is None
+               and not spec.record
+               and spec.protocol.round_cap is None
+               and spec.model.write_noise is None)
+    return "fast" if (fast_ok and spec.n >= 256) else "event"
+
+
+def compile_spec(spec: TrialSpec, seed: SeedLike = None) -> CompiledTrial:
+    """Assemble machines + shared memory + scheduler + engine from a spec."""
+    if isinstance(spec.model, NoisyModelSpec):
+        return _compile_noisy(spec, seed)
+    if isinstance(spec.model, StepModelSpec):
+        return _compile_step(spec, seed)
+    return _compile_hybrid(spec, seed)
+
+
+def run_trial(spec: TrialSpec, seed: SeedLike = None) -> TrialResult:
+    """Compile and execute one trial; everything derives from ``seed``."""
+    return compile_spec(spec, seed).run()
+
+
+# ---------------------------------------------------------------------------
+# Noisy model
+# ---------------------------------------------------------------------------
+
+
+def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
+    model = spec.model
+    root = make_rng(seed)
+    rng_noise, rng_dither, rng_fail, rng_proto = spawn(root, 4)
+    input_map = spec.input_map()
+
+    noise = model.noise.build()
+    if model.write_noise is not None:
+        noise = PerOpKindNoise(noise, model.write_noise.build())
+
+    engine = resolve_engine(spec)
+    delta = model.delta.build(spec.n, rng_dither)
+
+    if engine == "fast":
+        if spec.protocol.name != "lean" or spec.protocol.factory is not None:
+            raise ConfigurationError("fast engine only supports plain lean")
+
+        def execute() -> TrialResult:
+            return _run_fast(spec.n, noise, delta, rng_noise, rng_fail,
+                             input_map, spec.failures.h,
+                             spec.stop_after_first_decision,
+                             model.allow_degenerate, spec.check)
+
+        return CompiledTrial(spec=spec, engine="fast", _execute=execute)
+
+    scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
+                               allow_degenerate=model.allow_degenerate)
+    machines = make_machines(spec.protocol.factory or spec.protocol.name,
+                             input_map, rng=rng_proto,
+                             round_cap=spec.protocol.round_cap)
+    memory = make_memory_for(machines, record=spec.record)
+    failures: FailureModel = (RandomHalting(spec.failures.h, rng_fail)
+                              if spec.failures.h > 0 else NoFailures())
+    adversary = (spec.failures.adversary.build()
+                 if spec.failures.adversary is not None else None)
+    eng = NoisyEngine(machines, memory, scheduler,
+                      failures=failures,
+                      crash_adversary=adversary,
+                      max_total_ops=spec.max_total_ops,
+                      stop_after_first_decision=spec.stop_after_first_decision)
+
+    def execute() -> TrialResult:
+        result = eng.run()
+        result.memory = memory  # type: ignore[attr-defined]
+        result.machines = machines  # type: ignore[attr-defined]
+        return check_result(result, spec.check)
+
+    return CompiledTrial(spec=spec, engine="event", machines=machines,
+                         memory=memory, _execute=execute)
+
+
+def _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
+              stop_first, allow_degenerate, check) -> TrialResult:
+    inputs = [input_map[pid] for pid in range(n)]
+    horizon = lean_horizon_ops(n)
+    for _attempt in range(10):
+        scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
+                                   allow_degenerate=allow_degenerate)
+        times = scheduler.presample(n, horizon)
+        death_ops = None
+        if h > 0:
+            death_ops = RandomHalting(h, rng_fail).presample_death_ops(n)
+        result = replay_lean(times, inputs, death_ops=death_ops,
+                             stop_after_first_decision=stop_first)
+        if result is not None:
+            return check_result(result, check)
+        horizon *= 2
+    raise ConfigurationError(
+        f"schedule horizon kept overflowing (last tried {horizon} ops); "
+        "is the noise distribution effectively degenerate?"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Step model
+# ---------------------------------------------------------------------------
+
+
+def _compile_step(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
+    root = make_rng(seed)
+    # Children 0 and 1 are identical to the historical spawn(root, 2);
+    # child 2 additionally feeds declarative "random" pickers.
+    rng_fail, rng_proto, rng_picker = spawn(root, 3)
+    input_map = spec.input_map()
+    machines = make_machines(spec.protocol.factory or spec.protocol.name,
+                             input_map, rng=rng_proto,
+                             round_cap=spec.protocol.round_cap)
+    memory = make_memory_for(machines, record=spec.record)
+    failures: FailureModel = (RandomHalting(spec.failures.h, rng_fail)
+                              if spec.failures.h > 0 else NoFailures())
+    picker = spec.model.picker.build(rng_picker)
+    eng = StepEngine(machines, memory, picker,
+                     failures=failures, max_total_ops=spec.max_total_ops)
+
+    def execute() -> TrialResult:
+        result = eng.run()
+        result.memory = memory  # type: ignore[attr-defined]
+        result.machines = machines  # type: ignore[attr-defined]
+        return check_result(result, spec.check)
+
+    return CompiledTrial(spec=spec, engine="step", machines=machines,
+                         memory=memory, _execute=execute)
+
+
+# ---------------------------------------------------------------------------
+# Hybrid model
+# ---------------------------------------------------------------------------
+
+
+def _compile_hybrid(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
+    model = spec.model
+    root = make_rng(seed)
+    (rng_proto,) = spawn(root, 1)
+    input_map = spec.input_map()
+    machines = make_machines(spec.protocol.factory or spec.protocol.name,
+                             input_map, rng=rng_proto,
+                             round_cap=spec.protocol.round_cap)
+    memory = make_memory_for(machines)
+    priorities = (list(model.priorities) if model.priorities is not None
+                  else [0] * spec.n)
+    initial_used = dict(model.initial_used) or None
+    scheduler = HybridScheduler(priorities, model.quantum,
+                                initial_used=initial_used,
+                                debt_policy=model.debt_policy)
+    eng = HybridEngine(machines, memory, scheduler, chooser=model.chooser,
+                       max_total_ops=spec.max_total_ops)
+
+    def execute() -> TrialResult:
+        result = eng.run()
+        result.memory = memory  # type: ignore[attr-defined]
+        result.machines = machines  # type: ignore[attr-defined]
+        return check_result(result, spec.check)
+
+    return CompiledTrial(spec=spec, engine="hybrid", machines=machines,
+                         memory=memory, _execute=execute)

@@ -1,0 +1,816 @@
+"""Declarative trial configuration: the frozen ``TrialSpec`` tree.
+
+A :class:`TrialSpec` is a complete, validated, *serializable* description
+of one consensus trial: which protocol runs, under which scheduling model
+(noisy / step / hybrid), with what noise, adversary delays and failures,
+on which engine, and with which instrumentation flags.  Specs are frozen
+dataclasses, so they can be hashed, compared, used as sweep-grid keys, and
+shipped across process boundaries by the batch runner.
+
+Serialization round-trips::
+
+    spec = TrialSpec(n=64, model=NoisyModelSpec(noise=NoiseSpec.of(
+        "exponential", mean=1.0)))
+    assert TrialSpec.from_dict(spec.to_dict()) == spec
+
+Escape hatches: most component specs can also wrap an opaque *instance*
+(an arbitrary :class:`~repro.noise.distributions.NoiseDistribution`, a
+custom :class:`~repro.sched.delta.DeltaSchedule`, a machine factory, a
+stateful picker, ...).  Opaque specs compile and run exactly like
+declarative ones, but they cannot be serialized: :meth:`TrialSpec.to_dict`
+raises :class:`~repro.errors.ConfigurationError` naming the opaque field,
+and the batch runner refuses to fan them out across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.failures.injection import AdaptiveCrashAdversary, KillLeaderAdversary
+from repro.noise.distributions import (
+    Constant,
+    Exponential,
+    Geometric,
+    HeavyTail,
+    LogNormal,
+    Mixture,
+    NoiseDistribution,
+    Pareto,
+    ShiftedExponential,
+    SumOf,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+)
+from repro.sched.delta import (
+    ConstantDelta,
+    DeltaSchedule,
+    DitheredStart,
+    RandomDelta,
+    StaggeredStart,
+    ZeroDelta,
+)
+from repro.sched.pickers import (
+    AlternatingPicker,
+    Picker,
+    RandomPicker,
+    RoundRobinPicker,
+    ScriptedPicker,
+)
+from repro.sched.statistical import StatisticalDelta
+
+SPEC_VERSION = 1
+
+#: Built-in protocol names accepted by ``ProtocolSpec`` (and by
+#: :func:`repro.sim.build.make_machines`).
+PROTOCOL_NAMES = ("lean", "optimized", "eager", "conservative",
+                  "random-tie", "shared-coin", "bounded")
+
+#: Marker kind for specs wrapping an arbitrary live object.
+OPAQUE = "opaque"
+
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_params(params: Mapping[str, Any]) -> Params:
+    """Normalize a params mapping to a sorted, hashable tuple of pairs."""
+    out = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        out.append((str(key), value))
+    return tuple(out)
+
+
+def _params_dict(params: Params) -> Dict[str, Any]:
+    return {k: (list(v) if isinstance(v, tuple) else v) for k, v in params}
+
+
+# ---------------------------------------------------------------------------
+# Noise
+# ---------------------------------------------------------------------------
+
+#: kind -> (class, constructor keyword names)
+NOISE_KINDS: Dict[str, tuple] = {
+    "exponential": (Exponential, ("mean",)),
+    "shifted-exponential": (ShiftedExponential, ("shift", "exp_mean")),
+    "uniform": (Uniform, ("low", "high")),
+    "geometric": (Geometric, ("p",)),
+    "two-point": (TwoPoint, ("a", "b", "p")),
+    "truncated-normal": (TruncatedNormal, ("mu", "sigma", "low", "high")),
+    "heavy-tail": (HeavyTail, ("k_cap",)),
+    "constant": (Constant, ("value",)),
+    "lognormal": (LogNormal, ("mu", "sigma")),
+    "pareto": (Pareto, ("alpha",)),
+}
+
+#: exact class -> (kind, attr-name -> param-name)
+_NOISE_CLASS_TO_KIND = {
+    Exponential: ("exponential", {"exp_mean": "mean"}),
+    ShiftedExponential: ("shifted-exponential", {}),
+    Uniform: ("uniform", {}),
+    Geometric: ("geometric", {}),
+    TwoPoint: ("two-point", {}),
+    TruncatedNormal: ("truncated-normal", {}),
+    HeavyTail: ("heavy-tail", {}),
+    Constant: ("constant", {}),
+    LogNormal: ("lognormal", {}),
+    Pareto: ("pareto", {}),
+}
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Declarative description of a noise distribution F.
+
+    ``kind`` is one of :data:`NOISE_KINDS`, ``"sum-of"``, ``"mixture"``, or
+    ``"opaque"``.  Compound kinds carry component specs; ``"opaque"`` wraps
+    a live :class:`NoiseDistribution` (non-serializable).
+    """
+
+    kind: str
+    params: Params = ()
+    components: Tuple["NoiseSpec", ...] = ()
+    weights: Tuple[float, ...] = ()
+    instance: Optional[NoiseDistribution] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == OPAQUE:
+            if not isinstance(self.instance, NoiseDistribution):
+                raise ConfigurationError(
+                    "opaque NoiseSpec requires a NoiseDistribution instance")
+            return
+        if self.kind == "sum-of":
+            if len(self.components) != 1:
+                raise ConfigurationError(
+                    "sum-of noise requires exactly one component")
+        elif self.kind == "mixture":
+            if not self.components:
+                raise ConfigurationError(
+                    "mixture noise requires at least one component")
+            if self.weights and len(self.weights) != len(self.components):
+                raise ConfigurationError(
+                    "mixture weights must match components")
+        elif self.kind not in NOISE_KINDS:
+            raise ConfigurationError(
+                f"unknown noise kind {self.kind!r}; expected one of "
+                f"{sorted(NOISE_KINDS) + ['sum-of', 'mixture', OPAQUE]}")
+        else:
+            _, allowed = NOISE_KINDS[self.kind]
+            bad = [k for k, _ in self.params if k not in allowed]
+            if bad:
+                raise ConfigurationError(
+                    f"noise kind {self.kind!r} does not take params {bad}; "
+                    f"allowed: {list(allowed)}")
+        # Constructing once validates the parameter values eagerly.
+        self.build()
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "NoiseSpec":
+        return cls(kind=kind, params=_freeze_params(params))
+
+    @property
+    def serializable(self) -> bool:
+        return (self.kind != OPAQUE
+                and all(c.serializable for c in self.components))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def build(self) -> NoiseDistribution:
+        """Construct the live :class:`NoiseDistribution`."""
+        if self.kind == OPAQUE:
+            return self.instance
+        kwargs = dict(self.params)
+        if self.kind == "sum-of":
+            return SumOf(self.components[0].build(), **kwargs)
+        if self.kind == "mixture":
+            comps = [c.build() for c in self.components]
+            weights = list(self.weights) if self.weights else None
+            return Mixture(comps, weights=weights)
+        cls, _ = NOISE_KINDS[self.kind]
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == OPAQUE:
+            raise ConfigurationError(
+                f"noise spec wraps an opaque instance ({self.instance!r}) "
+                "and cannot be serialized")
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = _params_dict(self.params)
+        if self.components:
+            out["components"] = [c.to_dict() for c in self.components]
+        if self.weights:
+            out["weights"] = list(self.weights)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NoiseSpec":
+        return cls(
+            kind=data["kind"],
+            params=_freeze_params(data.get("params", {})),
+            components=tuple(cls.from_dict(c)
+                             for c in data.get("components", ())),
+            weights=tuple(float(w) for w in data.get("weights", ())),
+        )
+
+
+def noise_to_spec(dist: NoiseDistribution) -> NoiseSpec:
+    """Derive the declarative spec of a live distribution.
+
+    Exact (round-trippable) for every built-in distribution class,
+    including :class:`SumOf` and :class:`Mixture`; unknown subclasses are
+    wrapped as opaque specs, which run fine but cannot be serialized.
+    """
+    if isinstance(dist, NoiseSpec):
+        return dist
+    cls = type(dist)
+    if cls is SumOf:
+        return NoiseSpec(kind="sum-of", params=_freeze_params({"k": dist.k}),
+                         components=(noise_to_spec(dist.base),))
+    if cls is Mixture:
+        return NoiseSpec(kind="mixture",
+                         components=tuple(noise_to_spec(c)
+                                          for c in dist.components),
+                         weights=tuple(dist.weights))
+    entry = _NOISE_CLASS_TO_KIND.get(cls)
+    if entry is None:
+        return NoiseSpec(kind=OPAQUE, instance=dist)
+    kind, renames = entry
+    _, allowed = NOISE_KINDS[kind]
+    params = {}
+    for attr_or_param in allowed:
+        attr = attr_or_param
+        for attr_name, param_name in renames.items():
+            if param_name == attr_or_param:
+                attr = attr_name
+        params[attr_or_param] = getattr(dist, attr)
+    return NoiseSpec.of(kind, **params)
+
+
+# ---------------------------------------------------------------------------
+# Adversary delays (Delta)
+# ---------------------------------------------------------------------------
+
+DELTA_KINDS = ("zero", "constant", "staggered", "dithered", "random",
+               "statistical")
+
+_DELTA_PARAMS = {
+    "zero": (),
+    "constant": ("delay", "start_time"),
+    "staggered": ("stagger",),
+    "dithered": ("epsilon", "base"),
+    "random": ("bound", "max_ops"),
+    "statistical": ("mean_bound", "style", "burst_every", "burst_scale"),
+}
+
+
+@dataclass(frozen=True)
+class DeltaSpec:
+    """The adversary's delay schedule.
+
+    ``"dithered"`` is the paper's Figure-1 setting (equal starts dithered
+    by U(0, epsilon), zero delays) and the default.  ``"dithered"`` and
+    ``"random"`` consume the trial's dither random stream at compile time;
+    the rest are deterministic.  An opaque spec wraps a live
+    :class:`DeltaSchedule` instance.
+    """
+
+    kind: str = "dithered"
+    params: Params = ()
+    instance: Optional[DeltaSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == OPAQUE:
+            if not isinstance(self.instance, DeltaSchedule):
+                raise ConfigurationError(
+                    "opaque DeltaSpec requires a DeltaSchedule instance")
+            return
+        if self.kind not in DELTA_KINDS:
+            raise ConfigurationError(
+                f"unknown delta kind {self.kind!r}; expected one of "
+                f"{list(DELTA_KINDS) + [OPAQUE]}")
+        allowed = _DELTA_PARAMS[self.kind]
+        bad = [k for k, _ in self.params if k not in allowed]
+        if bad:
+            raise ConfigurationError(
+                f"delta kind {self.kind!r} does not take params {bad}; "
+                f"allowed: {list(allowed)}")
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "DeltaSpec":
+        return cls(kind=kind, params=_freeze_params(params))
+
+    @property
+    def serializable(self) -> bool:
+        return self.kind != OPAQUE
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def build(self, n: int, rng) -> DeltaSchedule:
+        """Construct the schedule (``rng`` feeds the randomized kinds)."""
+        if self.kind == OPAQUE:
+            return self.instance
+        kwargs = dict(self.params)
+        if self.kind == "zero":
+            return ZeroDelta()
+        if self.kind == "constant":
+            return ConstantDelta(**kwargs)
+        if self.kind == "staggered":
+            return StaggeredStart(**kwargs)
+        if self.kind == "dithered":
+            return DitheredStart(n, rng, **kwargs)
+        if self.kind == "random":
+            kwargs.setdefault("max_ops", 400)
+            return RandomDelta(rng=rng, n=n, **kwargs)
+        return StatisticalDelta(n=n, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == OPAQUE:
+            raise ConfigurationError(
+                f"delta spec wraps an opaque instance ({self.instance!r}) "
+                "and cannot be serialized")
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = _params_dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeltaSpec":
+        return cls(kind=data["kind"],
+                   params=_freeze_params(data.get("params", {})))
+
+
+# ---------------------------------------------------------------------------
+# Step pickers
+# ---------------------------------------------------------------------------
+
+PICKER_KINDS = ("random", "round-robin", "alternating", "scripted")
+
+_PICKER_PARAMS = {
+    "random": (),
+    "round-robin": (),
+    "alternating": (),
+    "scripted": ("script", "exhausted"),
+}
+
+
+@dataclass(frozen=True)
+class PickerSpec:
+    """Step-choice strategy for the sequential (choice-based) engine."""
+
+    kind: str = "random"
+    params: Params = ()
+    instance: Optional[Picker] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == OPAQUE:
+            if not isinstance(self.instance, Picker):
+                raise ConfigurationError(
+                    "opaque PickerSpec requires a Picker instance")
+            return
+        if self.kind not in PICKER_KINDS:
+            raise ConfigurationError(
+                f"unknown picker kind {self.kind!r}; expected one of "
+                f"{list(PICKER_KINDS) + [OPAQUE]}")
+        allowed = _PICKER_PARAMS[self.kind]
+        bad = [k for k, _ in self.params if k not in allowed]
+        if bad:
+            raise ConfigurationError(
+                f"picker kind {self.kind!r} does not take params {bad}; "
+                f"allowed: {list(allowed)}")
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "PickerSpec":
+        return cls(kind=kind, params=_freeze_params(params))
+
+    @property
+    def serializable(self) -> bool:
+        return self.kind != OPAQUE
+
+    def build(self, rng) -> Picker:
+        if self.kind == OPAQUE:
+            return self.instance
+        if self.kind == "random":
+            return RandomPicker(rng)
+        if self.kind == "round-robin":
+            return RoundRobinPicker()
+        if self.kind == "alternating":
+            return AlternatingPicker()
+        kwargs = dict(self.params)
+        kwargs["script"] = list(kwargs.get("script", ()))
+        return ScriptedPicker(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == OPAQUE:
+            raise ConfigurationError(
+                f"picker spec wraps an opaque instance ({self.instance!r}) "
+                "and cannot be serialized")
+        out: Dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            out["params"] = _params_dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PickerSpec":
+        return cls(kind=data["kind"],
+                   params=_freeze_params(data.get("params", {})))
+
+
+# ---------------------------------------------------------------------------
+# Protocol and failures
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Which consensus protocol the processes run."""
+
+    name: str = "lean"
+    round_cap: Optional[int] = None
+    factory: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.factory is None and self.name not in PROTOCOL_NAMES:
+            raise ConfigurationError(
+                f"unknown protocol {self.name!r}; expected one of "
+                f"{list(PROTOCOL_NAMES)} (or pass factory=...)")
+        if self.round_cap is not None and self.round_cap < 1:
+            raise ConfigurationError(
+                f"round_cap must be >= 1, got {self.round_cap}")
+
+    @property
+    def serializable(self) -> bool:
+        return self.factory is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.factory is not None:
+            raise ConfigurationError(
+                "protocol spec wraps an opaque machine factory and cannot "
+                "be serialized")
+        return {"name": self.name, "round_cap": self.round_cap}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+        return cls(name=data.get("name", "lean"),
+                   round_cap=data.get("round_cap"))
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """An adaptive crash adversary with a crash budget (Section 10)."""
+
+    kind: str = "kill-leader"
+    budget: int = 0
+    lead: int = 2
+    instance: Optional[AdaptiveCrashAdversary] = None
+
+    def __post_init__(self) -> None:
+        if self.instance is not None:
+            return
+        if self.kind != "kill-leader":
+            raise ConfigurationError(
+                f"unknown adversary kind {self.kind!r}; expected "
+                "'kill-leader' (or pass instance=...)")
+        if self.budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {self.budget}")
+        if self.lead < 1:
+            raise ConfigurationError(f"lead must be >= 1, got {self.lead}")
+
+    @property
+    def serializable(self) -> bool:
+        return self.instance is None
+
+    def build(self) -> AdaptiveCrashAdversary:
+        if self.instance is not None:
+            return self.instance
+        return KillLeaderAdversary(budget=self.budget, lead=self.lead)
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.instance is not None:
+            raise ConfigurationError(
+                "adversary spec wraps an opaque instance and cannot be "
+                "serialized")
+        return {"kind": self.kind, "budget": self.budget, "lead": self.lead}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversarySpec":
+        return cls(kind=data.get("kind", "kill-leader"),
+                   budget=int(data.get("budget", 0)),
+                   lead=int(data.get("lead", 2)))
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Failure injection: random halting and/or an adaptive adversary."""
+
+    h: float = 0.0
+    adversary: Optional[AdversarySpec] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.h < 1.0:
+            raise ConfigurationError(f"h must be in [0,1), got {self.h}")
+
+    @property
+    def serializable(self) -> bool:
+        return self.adversary is None or self.adversary.serializable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"h": self.h,
+                "adversary": (self.adversary.to_dict()
+                              if self.adversary is not None else None)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureSpec":
+        adv = data.get("adversary")
+        return cls(h=float(data.get("h", 0.0)),
+                   adversary=(AdversarySpec.from_dict(adv)
+                              if adv is not None else None))
+
+
+# ---------------------------------------------------------------------------
+# Scheduling models
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NoisyModelSpec:
+    """The noisy-scheduling model of Section 3.1 (the paper's core)."""
+
+    noise: NoiseSpec
+    write_noise: Optional[NoiseSpec] = None
+    delta: DeltaSpec = DeltaSpec()
+    allow_degenerate: bool = False
+
+    model_kind = "noisy"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.noise, NoiseDistribution):
+            object.__setattr__(self, "noise", noise_to_spec(self.noise))
+        if isinstance(self.write_noise, NoiseDistribution):
+            object.__setattr__(self, "write_noise",
+                               noise_to_spec(self.write_noise))
+
+    @property
+    def serializable(self) -> bool:
+        return (self.noise.serializable and self.delta.serializable
+                and (self.write_noise is None
+                     or self.write_noise.serializable))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.model_kind,
+            "noise": self.noise.to_dict(),
+            "write_noise": (self.write_noise.to_dict()
+                            if self.write_noise is not None else None),
+            "delta": self.delta.to_dict(),
+            "allow_degenerate": self.allow_degenerate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NoisyModelSpec":
+        wn = data.get("write_noise")
+        return cls(
+            noise=NoiseSpec.from_dict(data["noise"]),
+            write_noise=NoiseSpec.from_dict(wn) if wn is not None else None,
+            delta=DeltaSpec.from_dict(data.get("delta", {"kind": "dithered"})),
+            allow_degenerate=bool(data.get("allow_degenerate", False)),
+        )
+
+
+@dataclass(frozen=True)
+class StepModelSpec:
+    """The sequential choice-based model (explicit interleaving, no clock)."""
+
+    picker: PickerSpec = PickerSpec()
+
+    model_kind = "step"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.picker, Picker):
+            object.__setattr__(self, "picker",
+                               PickerSpec(kind=OPAQUE, instance=self.picker))
+
+    @property
+    def serializable(self) -> bool:
+        return self.picker.serializable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.model_kind, "picker": self.picker.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StepModelSpec":
+        return cls(picker=PickerSpec.from_dict(
+            data.get("picker", {"kind": "random"})))
+
+
+@dataclass(frozen=True)
+class HybridModelSpec:
+    """The hybrid quantum/priority uniprocessor model (Section 7)."""
+
+    quantum: int = 8
+    priorities: Optional[Tuple[int, ...]] = None
+    initial_used: Tuple[Tuple[int, int], ...] = ()
+    debt_policy: str = "holder"
+    chooser: Optional[Callable] = None
+
+    model_kind = "hybrid"
+
+    def __post_init__(self) -> None:
+        if self.quantum < 1:
+            raise ConfigurationError(
+                f"quantum must be >= 1, got {self.quantum}")
+        if self.priorities is not None:
+            object.__setattr__(self, "priorities", tuple(self.priorities))
+        object.__setattr__(self, "initial_used",
+                           tuple((int(p), int(u))
+                                 for p, u in dict(self.initial_used).items()))
+
+    @property
+    def serializable(self) -> bool:
+        return self.chooser is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.chooser is not None:
+            raise ConfigurationError(
+                "hybrid model spec wraps an opaque chooser callable and "
+                "cannot be serialized")
+        return {
+            "kind": self.model_kind,
+            "quantum": self.quantum,
+            "priorities": (list(self.priorities)
+                           if self.priorities is not None else None),
+            "initial_used": [list(pair) for pair in self.initial_used],
+            "debt_policy": self.debt_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HybridModelSpec":
+        prio = data.get("priorities")
+        return cls(
+            quantum=int(data.get("quantum", 8)),
+            priorities=tuple(prio) if prio is not None else None,
+            initial_used=tuple((int(p), int(u))
+                               for p, u in data.get("initial_used", ())),
+            debt_policy=data.get("debt_policy", "holder"),
+        )
+
+
+ModelSpec = Union[NoisyModelSpec, StepModelSpec, HybridModelSpec]
+
+_MODEL_CLASSES = {cls.model_kind: cls
+                  for cls in (NoisyModelSpec, StepModelSpec, HybridModelSpec)}
+
+ENGINES = ("auto", "event", "fast")
+
+
+# ---------------------------------------------------------------------------
+# The top-level spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """A complete declarative description of one consensus trial.
+
+    Attributes:
+        n: number of processes.
+        model: the scheduling model (noisy / step / hybrid).
+        protocol: which protocol the processes run.
+        failures: failure injection configuration.
+        engine: ``"auto"``, ``"event"``, or ``"fast"`` (noisy model only).
+        inputs: ``"half"`` for the paper's half-and-half split, or an
+            explicit tuple of ``(pid, bit)`` pairs (sequences/dicts of bits
+            are normalized at construction).
+        stop_after_first_decision: measure the Figure-1 quantity and stop.
+        record: attach a history recorder (event engine only).
+        max_total_ops: operation budget (guards non-terminating schedules).
+        check: verify agreement and validity before returning.
+    """
+
+    n: int
+    model: ModelSpec
+    protocol: ProtocolSpec = ProtocolSpec()
+    failures: FailureSpec = FailureSpec()
+    engine: str = "auto"
+    inputs: Union[str, Tuple[Tuple[int, int], ...]] = "half"
+    stop_after_first_decision: bool = False
+    record: bool = False
+    max_total_ops: Optional[int] = None
+    check: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if not isinstance(self.model,
+                          (NoisyModelSpec, StepModelSpec, HybridModelSpec)):
+            raise ConfigurationError(
+                f"model must be a model spec, got {type(self.model).__name__}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}")
+        if (self.engine != "auto"
+                and not isinstance(self.model, NoisyModelSpec)):
+            raise ConfigurationError(
+                f"engine={self.engine!r} only applies to the noisy "
+                "scheduling model (step/hybrid models pick their own "
+                "engine); leave engine=\"auto\"")
+        object.__setattr__(self, "inputs", _normalize_inputs(self.inputs))
+        if self.inputs != "half":
+            pids = [p for p, _ in self.inputs]
+            if len(set(pids)) != len(pids):
+                raise ConfigurationError("duplicate pid in inputs")
+            for _, bit in self.inputs:
+                if bit not in (0, 1):
+                    raise ConfigurationError(
+                        f"input bits must be 0 or 1, got {bit!r}")
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def serializable(self) -> bool:
+        """True when :meth:`to_dict` will succeed (no opaque components)."""
+        return (self.model.serializable and self.protocol.serializable
+                and self.failures.serializable)
+
+    def replace(self, **changes: Any) -> "TrialSpec":
+        """A modified copy (the frozen-dataclass idiom, re-exported)."""
+        import dataclasses
+        return dataclasses.replace(self, **changes)
+
+    def input_map(self) -> Dict[int, int]:
+        """The pid -> bit assignment this spec describes."""
+        from repro.sim.build import half_and_half
+        if self.inputs == "half":
+            return half_and_half(self.n)
+        return {pid: bit for pid, bit in self.inputs}
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; ``from_dict`` round-trips it exactly."""
+        return {
+            "version": SPEC_VERSION,
+            "n": self.n,
+            "model": self.model.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "failures": self.failures.to_dict(),
+            "engine": self.engine,
+            "inputs": (self.inputs if self.inputs == "half"
+                       else [list(pair) for pair in self.inputs]),
+            "stop_after_first_decision": self.stop_after_first_decision,
+            "record": self.record,
+            "max_total_ops": self.max_total_ops,
+            "check": self.check,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ConfigurationError(
+                f"unsupported spec version {version!r} "
+                f"(this library reads version {SPEC_VERSION})")
+        model_data = data["model"]
+        model_cls = _MODEL_CLASSES.get(model_data.get("kind"))
+        if model_cls is None:
+            raise ConfigurationError(
+                f"unknown model kind {model_data.get('kind')!r}")
+        inputs = data.get("inputs", "half")
+        return cls(
+            n=int(data["n"]),
+            model=model_cls.from_dict(model_data),
+            protocol=ProtocolSpec.from_dict(data.get("protocol", {})),
+            failures=FailureSpec.from_dict(data.get("failures", {})),
+            engine=data.get("engine", "auto"),
+            inputs=(inputs if inputs == "half"
+                    else tuple((int(p), int(b)) for p, b in inputs)),
+            stop_after_first_decision=bool(
+                data.get("stop_after_first_decision", False)),
+            record=bool(data.get("record", False)),
+            max_total_ops=data.get("max_total_ops"),
+            check=bool(data.get("check", True)),
+        )
+
+
+def _normalize_inputs(inputs) -> Union[str, Tuple[Tuple[int, int], ...]]:
+    """Accept "half" / None, a dict, a sequence of bits, or (pid, bit) pairs."""
+    if inputs is None or inputs == "half":
+        return "half"
+    if isinstance(inputs, Mapping):
+        return tuple(sorted((int(p), int(b)) for p, b in inputs.items()))
+    items = list(inputs)
+    if items and isinstance(items[0], (tuple, list)) and len(items[0]) == 2:
+        return tuple(sorted((int(p), int(b)) for p, b in items))
+    return tuple((pid, int(b)) for pid, b in enumerate(items))

@@ -9,7 +9,8 @@ Every module follows the same shape:
 * a ``main(argv)`` entry point, so each experiment is runnable as
   ``python -m repro.experiments.<name>``.
 
-Index (see DESIGN.md section 3 for the full mapping):
+The CLI-facing index lives in :mod:`repro.experiments.registry`; the
+table below maps paper artifacts to modules (see DESIGN.md section 3):
 
 ========  ==========================================  =======================
 Exp id    Paper artifact                              Module
@@ -29,22 +30,18 @@ EXP-CONT  Section 10 (memory contention)              ``extensions``
 EXP-ID    Footnote 2 (id consensus)                   ``extensions``
 EXP-MUTEX Section 10 (timing-based mutual exclusion)  ``mutual_exclusion``
 ========  ==========================================  =======================
+
+Experiment modules are imported lazily (PEP 562): ``from
+repro.experiments import figure1`` still works, but cheap registry
+consumers (``python -m repro --list``) don't pay for importing all 12
+harnesses.
 """
 
-from repro.experiments import (  # noqa: F401  (re-exported for discovery)
-    ablations,
-    bounded_space,
-    extensions,
-    failures,
-    figure1,
-    hybrid,
-    lower_bound,
-    message_passing,
-    mutual_exclusion,
-    renewal_race,
-    scaling,
-    unfairness,
-)
+from __future__ import annotations
+
+import importlib
+
+from repro.experiments import registry  # noqa: F401  (the CLI's source of truth)
 
 __all__ = [
     "ablations",
@@ -60,3 +57,15 @@ __all__ = [
     "scaling",
     "unfairness",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        globals()[name] = module  # cache for subsequent attribute access
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__) | {"registry"})

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 #: The paper's Figure-1 grid (log-spaced 1 .. 100,000) and trial count.
 PAPER_NS = (1, 10, 100, 1_000, 10_000, 100_000)
@@ -50,6 +50,7 @@ class CliScale:
     ns: Sequence[int]
     trials: int
     seed: int
+    workers: Optional[int] = None
 
 
 def scale_parser(description: str) -> argparse.ArgumentParser:
@@ -61,6 +62,9 @@ def scale_parser(description: str) -> argparse.ArgumentParser:
                         help="trials per configuration")
     parser.add_argument("--seed", type=int, default=2000,
                         help="root seed (default: 2000, the paper's year)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for batched sweeps "
+                             "(default: serial; results are identical)")
     parser.add_argument("--paper", action="store_true",
                         help="use the paper's full scale "
                              "(n up to 100000, 10000 trials; slow)")
@@ -76,4 +80,5 @@ def parse_scale(parser: argparse.ArgumentParser, argv=None):
     else:
         ns = args.ns or DEFAULT_NS
         trials = args.trials or DEFAULT_TRIALS
-    return CliScale(ns=tuple(ns), trials=trials, seed=args.seed), args
+    return CliScale(ns=tuple(ns), trials=trials, seed=args.seed,
+                    workers=getattr(args, "workers", None)), args

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
+from repro.api import BatchRunner, NoiseSpec, NoisyModelSpec, TrialSpec
 from repro.noise.distributions import (
     Exponential,
     NoiseDistribution,
@@ -88,18 +89,24 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
 
 
 def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
-                seed: SeedLike) -> List[SigmaRow]:
-    """ABL2a: termination vs noise spread (truncated normal, mean 1)."""
+                seed: SeedLike,
+                workers: Optional[int] = None) -> List[SigmaRow]:
+    """ABL2a: termination vs noise spread (truncated normal, mean 1).
+
+    Declared as a spec grid over sigma and dispatched through the
+    :class:`~repro.api.BatchRunner`.
+    """
     root = make_rng(seed)
+    runner = BatchRunner(workers=workers)
     rows = []
     for sigma in sigmas:
-        noise = TruncatedNormal(1.0, sigma, 0.0, 2.0)
-        firsts = []
-        for trial_rng in spawn(root, trials):
-            trial = run_noisy_trial(n, noise, seed=trial_rng,
-                                    stop_after_first_decision=True,
-                                    engine="auto")
-            firsts.append(trial.first_decision_round)
+        spec = TrialSpec(
+            n=n,
+            model=NoisyModelSpec(noise=NoiseSpec.of(
+                "truncated-normal", mu=1.0, sigma=sigma, low=0.0, high=2.0)),
+            stop_after_first_decision=True)
+        batch = runner.run(spec, trials, seed=root)
+        firsts = [t.first_decision_round for t in batch]
         rows.append(SigmaRow(sigma=sigma,
                              mean_first_round=float(np.mean(firsts))))
     return rows
@@ -136,13 +143,14 @@ def run(n: int = 64, trials: int = 100,
         sigmas: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
         delay_bounds: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
         noise: Optional[NoiseDistribution] = None,
-        seed: SeedLike = 2000) -> AblationResult:
+        seed: SeedLike = 2000,
+        workers: Optional[int] = None) -> AblationResult:
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
     seeds = spawn(root, 3)
     return AblationResult(
         protocols=compare_protocols(protocols, n, trials, noise, seeds[0]),
-        sigmas=sweep_sigma(sigmas, n, trials, seeds[1]),
+        sigmas=sweep_sigma(sigmas, n, trials, seeds[1], workers=workers),
         delays=sweep_delay_bound(delay_bounds, n, max(trials // 2, 20),
                                  seeds[2]),
     )
@@ -170,7 +178,8 @@ def format_result(result: AblationResult) -> str:
 def main(argv=None) -> None:
     parser = scale_parser("Design ablations (Section 4 and Section 6).")
     scale, _ = parse_scale(parser, argv)
-    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed)))
+    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
+                            workers=scale.workers)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,13 @@ import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
 from repro.analysis.stats import FitResult
+from repro.api import (
+    BatchRunner,
+    FailureSpec,
+    NoisyModelSpec,
+    TrialSpec,
+    noise_to_spec,
+)
 from repro.failures.injection import KillLeaderAdversary
 from repro.noise.distributions import Exponential, NoiseDistribution
 from repro.sim.runner import run_noisy_trial
@@ -56,18 +63,20 @@ class FailureResult:
 
 
 def run_halting(n: int, hs: Sequence[float], trials: int,
-                noise: NoiseDistribution, seed: SeedLike) -> List[HaltingRow]:
+                noise: NoiseDistribution, seed: SeedLike,
+                workers: Optional[int] = None) -> List[HaltingRow]:
+    """The halting sweep, declared as a spec grid over h values."""
     root = make_rng(seed)
+    runner = BatchRunner(workers=workers)
+    noise_spec = noise_to_spec(noise)
     rows = []
     for h in hs:
-        lasts: List[float] = []
-        halted: List[int] = []
-        for trial_rng in spawn(root, trials):
-            trial = run_noisy_trial(n, noise, seed=trial_rng, h=h,
-                                    engine="event")
-            if trial.last_decision_round is not None:
-                lasts.append(trial.last_decision_round)
-            halted.append(len(trial.halted))
+        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec),
+                         failures=FailureSpec(h=h), engine="event")
+        batch = runner.run(spec, trials, seed=root)
+        lasts = [t.last_decision_round for t in batch
+                 if t.last_decision_round is not None]
+        halted = [len(t.halted) for t in batch]
         rows.append(HaltingRow(
             h=h, trials=trials, decided_trials=len(lasts),
             mean_last_round=float(np.mean(lasts)) if lasts else None,
@@ -105,11 +114,12 @@ def run(n: int = 64,
         budgets: Sequence[int] = DEFAULT_BUDGETS,
         trials: int = 100,
         noise: Optional[NoiseDistribution] = None,
-        seed: SeedLike = 2000) -> FailureResult:
+        seed: SeedLike = 2000,
+        workers: Optional[int] = None) -> FailureResult:
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
     seeds = spawn(root, 2)
-    halting = run_halting(n, hs, trials, noise, seeds[0])
+    halting = run_halting(n, hs, trials, noise, seeds[0], workers=workers)
     crashes = run_crashes(n, budgets, trials, noise, seeds[1])
     xs = np.array([row.budget for row in crashes], dtype=float)
     ys = np.array([row.mean_last_round for row in crashes], dtype=float)
@@ -140,7 +150,8 @@ def format_result(result: FailureResult) -> str:
 def main(argv=None) -> None:
     parser = scale_parser("Failures: random halting + adaptive crashes.")
     scale, _ = parse_scale(parser, argv)
-    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed)))
+    print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
+                            workers=scale.workers)))
 
 
 if __name__ == "__main__":  # pragma: no cover

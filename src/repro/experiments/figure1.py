@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro._rng import SeedLike, make_rng, spawn
+from repro._rng import SeedLike, make_rng
 from repro.analysis.stats import mean_confidence_interval
+from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
 from repro.noise.distributions import NoiseDistribution, figure1_distributions
-from repro.sim.runner import run_noisy_trial
 from repro.experiments._common import (
     DEFAULT_NS,
     DEFAULT_TRIALS,
@@ -64,8 +64,15 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         trials: int = DEFAULT_TRIALS,
         distributions: Optional[Dict[str, NoiseDistribution]] = None,
         seed: SeedLike = 2000,
-        engine: str = "auto") -> Figure1Result:
+        engine: str = "auto",
+        workers: Optional[int] = None) -> Figure1Result:
     """Reproduce the Figure-1 sweep.
+
+    The sweep is declared as a grid of :class:`~repro.api.TrialSpec`
+    values (one per (distribution, n) cell) dispatched through the
+    :class:`~repro.api.BatchRunner`; per-trial child seeds are spawned
+    from the root generator in grid order, so the output is identical
+    for any ``workers`` value (and to the historical serial loop).
 
     Args:
         ns: process counts (paper: 1 to 100,000 log-spaced).
@@ -73,25 +80,23 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         distributions: name -> distribution; defaults to the paper's six.
         seed: root seed.
         engine: simulation engine selector (see
-            :func:`repro.sim.runner.run_noisy_trial`).
+            :func:`repro.api.resolve_engine`).
+        workers: worker processes for the batch runner (None = serial).
     """
     if distributions is None:
         distributions = figure1_distributions()
     root = make_rng(seed)
+    runner = BatchRunner(workers=workers)
     result = Figure1Result(ns=tuple(ns), trials=trials,
                            seed=seed if isinstance(seed, int) else -1)
     for name, dist in distributions.items():
         points = []
         for n in ns:
-            rounds = []
-            ops = []
-            for trial_rng in spawn(root, trials):
-                trial = run_noisy_trial(
-                    n, dist, seed=trial_rng,
-                    stop_after_first_decision=True,
-                    engine=engine)
-                rounds.append(trial.first_decision_round)
-                ops.append(trial.first_decision_ops)
+            spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(dist)),
+                             engine=engine, stop_after_first_decision=True)
+            batch = runner.run(spec, trials, seed=root)
+            rounds = [t.first_decision_round for t in batch]
+            ops = [t.first_decision_ops for t in batch]
             mean, half = mean_confidence_interval(rounds)
             points.append(Figure1Point(
                 n=n, trials=trials, mean_round=mean, ci95=half,
@@ -152,7 +157,8 @@ def main(argv=None) -> None:
     parser.add_argument("--plot", action="store_true",
                         help="also render an ASCII plot")
     scale, args = parse_scale(parser, argv)
-    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed)
+    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
+                 workers=scale.workers)
     print(format_result(result))
     if args.plot:
         print()

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
 from repro.analysis.stats import FitResult, fit_log
+from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
 from repro.noise.distributions import TwoPoint
-from repro.sim.runner import run_noisy_trial
 from repro.experiments._common import (
     DEFAULT_TRIALS,
     format_table,
@@ -79,21 +79,26 @@ def empirical_fast_pair(n: int, trials: int,
 
 def run(ns: Sequence[int] = DEFAULT_LB_NS,
         trials: int = DEFAULT_TRIALS,
-        seed: SeedLike = 2000) -> LowerBoundResult:
-    """Measure termination growth under the lower-bound distribution."""
+        seed: SeedLike = 2000,
+        workers: Optional[int] = None) -> LowerBoundResult:
+    """Measure termination growth under the lower-bound distribution.
+
+    The sweep is a :class:`~repro.api.TrialSpec` grid dispatched through
+    the :class:`~repro.api.BatchRunner`.
+    """
     root = make_rng(seed)
     event_rng = make_rng(spawn(root, 1)[0])
+    runner = BatchRunner(workers=workers)
+    noise_spec = noise_to_spec(LOWER_BOUND_NOISE)
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
     pair_emp: Dict[int, float] = {}
     pair_ana: Dict[int, float] = {}
     for n in ns:
-        firsts, lasts = [], []
-        for trial_rng in spawn(root, trials):
-            trial = run_noisy_trial(n, LOWER_BOUND_NOISE, seed=trial_rng,
-                                    engine="auto")
-            firsts.append(trial.first_decision_round)
-            lasts.append(trial.last_decision_round)
+        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec))
+        batch = runner.run(spec, trials, seed=root)
+        firsts = [t.first_decision_round for t in batch]
+        lasts = [t.last_decision_round for t in batch]
         mean_first[n] = float(np.mean(firsts))
         mean_last[n] = float(np.mean(lasts))
         pair_emp[n] = empirical_fast_pair(n, max(trials, 400), event_rng)
@@ -126,7 +131,8 @@ def main(argv=None) -> None:
     parser = scale_parser("Theorem 13: Ω(log n) lower bound.")
     scale, _ = parse_scale(parser, argv)
     ns = scale.ns if scale.ns != (1, 10, 100, 1000, 10000) else DEFAULT_LB_NS
-    print(format_result(run(ns=ns, trials=scale.trials, seed=scale.seed)))
+    print(format_result(run(ns=ns, trials=scale.trials, seed=scale.seed,
+                            workers=scale.workers)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,131 @@
+"""The experiment registry: one declarative record per paper artifact.
+
+``python -m repro`` consumes this registry instead of a hand-maintained
+module dict, and ``python -m repro --list`` prints it in machine-readable
+form.  Each entry names the experiment, the paper artifact it reproduces,
+and the module that implements it; modules are imported lazily so listing
+experiments stays cheap.
+
+Registering a new experiment is one :func:`register` call (or one entry in
+the table below); the CLI, ``all`` dispatch, and ``--list`` output pick it
+up automatically.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """One registered experiment harness.
+
+    Attributes:
+        name: the CLI name (``python -m repro <name>``).
+        module_name: dotted path of the implementing module; it must expose
+            ``main(argv)`` and (by convention) ``run(...)`` returning the
+            documented result dataclasses.
+        artifact: the paper artifact the experiment reproduces.
+        summary: one-line human description.
+        batched: True when the harness dispatches its sweeps through the
+            :class:`repro.api.BatchRunner` (and therefore honors
+            ``--workers``).
+    """
+
+    name: str
+    module_name: str
+    artifact: str
+    summary: str
+    batched: bool = False
+
+    def load(self) -> ModuleType:
+        return importlib.import_module(self.module_name)
+
+    def main(self, argv: Optional[List[str]] = None) -> None:
+        self.load().main(argv)
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-compatible record for ``python -m repro --list``."""
+        return {
+            "name": self.name,
+            "module": self.module_name,
+            "artifact": self.artifact,
+            "summary": self.summary,
+            "batched": self.batched,
+        }
+
+
+_REGISTRY: Dict[str, ExperimentInfo] = {}
+
+
+def register(name: str, module_name: str, artifact: str, summary: str,
+             batched: bool = False) -> ExperimentInfo:
+    """Add an experiment to the registry (idempotent per name)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"experiment {name!r} already registered")
+    info = ExperimentInfo(name=name, module_name=module_name,
+                          artifact=artifact, summary=summary,
+                          batched=batched)
+    _REGISTRY[name] = info
+    return info
+
+
+def get(name: str) -> Optional[ExperimentInfo]:
+    return _REGISTRY.get(name)
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def infos() -> List[ExperimentInfo]:
+    return [_REGISTRY[name] for name in names()]
+
+
+def describe_all() -> List[Dict[str, object]]:
+    """The full registry as JSON-compatible records (for ``--list``)."""
+    return [info.describe() for info in infos()]
+
+
+# ---------------------------------------------------------------------------
+# The built-in experiments (one per paper artifact; see experiments/__init__)
+# ---------------------------------------------------------------------------
+
+register("figure1", "repro.experiments.figure1", "Figure 1",
+         "Mean round of first termination vs n for the six "
+         "interarrival distributions", batched=True)
+register("scaling", "repro.experiments.scaling", "Theorem 12",
+         "Θ(log n) termination growth and the exponential tail",
+         batched=True)
+register("lower-bound", "repro.experiments.lower_bound", "Theorem 13",
+         "Ω(log n) lower-bound construction under two-point noise",
+         batched=True)
+register("hybrid", "repro.experiments.hybrid", "Theorem 14",
+         "Hybrid quantum/priority uniprocessor scheduling, <= 12 ops")
+register("bounded-space", "repro.experiments.bounded_space", "Theorem 15",
+         "Bounded-space combined protocol with backup fallback")
+register("unfairness", "repro.experiments.unfairness", "Theorem 1",
+         "Unbounded unfairness under the heavy-tail distribution")
+register("renewal-race", "repro.experiments.renewal_race",
+         "Theorem 10 / Corollary 11",
+         "Renewal-race abstraction of the round structure")
+register("failures", "repro.experiments.failures",
+         "Sections 3.1.2 and 10",
+         "Random halting sweep and the adaptive kill-the-leader adversary",
+         batched=True)
+register("ablations", "repro.experiments.ablations", "Sections 4 and 6",
+         "Protocol-variant, noise-spread, and delay-bound ablations",
+         batched=True)
+register("message-passing", "repro.experiments.message_passing",
+         "Section 10",
+         "Message-passing emulation through ABD registers")
+register("extensions", "repro.experiments.extensions", "Section 10",
+         "Statistical adversary, memory contention, and id consensus")
+register("mutual-exclusion", "repro.experiments.mutual_exclusion",
+         "Section 10",
+         "Timing-based mutual exclusion (Fischer) under noise")

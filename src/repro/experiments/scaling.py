@@ -17,15 +17,15 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro._rng import SeedLike, make_rng, spawn
+from repro._rng import SeedLike, make_rng
 from repro.analysis.stats import (
     FitResult,
     fit_exponential_tail,
     fit_log,
     tail_probabilities,
 )
+from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
 from repro.noise.distributions import Exponential, NoiseDistribution
-from repro.sim.runner import run_noisy_trial
 from repro.experiments._common import (
     DEFAULT_NS,
     DEFAULT_TRIALS,
@@ -61,24 +61,27 @@ class TailResult:
 def run(ns: Sequence[int] = DEFAULT_NS,
         trials: int = DEFAULT_TRIALS,
         noise: Optional[NoiseDistribution] = None,
-        seed: SeedLike = 2000) -> ScalingResult:
+        seed: SeedLike = 2000,
+        workers: Optional[int] = None) -> ScalingResult:
     """Measure termination-round growth and fit the Θ(log n) model.
 
-    Skips n = 1 for the fit (ln 1 = 0 gives the intercept no leverage and
-    the point is deterministic anyway) but still reports it.
+    The sweep is a grid of :class:`~repro.api.TrialSpec` values dispatched
+    through the :class:`~repro.api.BatchRunner` (``workers`` parallelizes
+    it with identical output).  Skips n = 1 for the fit (ln 1 = 0 gives
+    the intercept no leverage and the point is deterministic anyway) but
+    still reports it.
     """
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
+    runner = BatchRunner(workers=workers)
+    noise_spec = noise_to_spec(noise)
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
     for n in ns:
-        firsts, lasts = [], []
-        for trial_rng in spawn(root, trials):
-            trial = run_noisy_trial(n, noise, seed=trial_rng,
-                                    stop_after_first_decision=False,
-                                    engine="auto")
-            firsts.append(trial.first_decision_round)
-            lasts.append(trial.last_decision_round)
+        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec))
+        batch = runner.run(spec, trials, seed=root)
+        firsts = [t.first_decision_round for t in batch]
+        lasts = [t.last_decision_round for t in batch]
         mean_first[n] = float(np.mean(firsts))
         mean_last[n] = float(np.mean(lasts))
     fit_ns = [n for n in ns if n >= 2]
@@ -92,16 +95,14 @@ def run(ns: Sequence[int] = DEFAULT_NS,
 def run_tail(n: int = 256, trials: int = 2000,
              noise: Optional[NoiseDistribution] = None,
              ks: Optional[Sequence[int]] = None,
-             seed: SeedLike = 2000) -> TailResult:
+             seed: SeedLike = 2000,
+             workers: Optional[int] = None) -> TailResult:
     """Measure P[termination round > k] and fit the exponential tail."""
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
-    rounds = []
-    for trial_rng in spawn(root, trials):
-        trial = run_noisy_trial(n, noise, seed=trial_rng,
-                                stop_after_first_decision=False,
-                                engine="auto")
-        rounds.append(trial.last_decision_round)
+    spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)))
+    batch = BatchRunner(workers=workers).run(spec, trials, seed=root)
+    rounds = [t.last_decision_round for t in batch]
     if ks is None:
         hi = int(max(rounds))
         ks = list(range(2, hi + 1))
@@ -132,9 +133,10 @@ def main(argv=None) -> None:
     parser = scale_parser("Theorem 12: Θ(log n) termination + tail.")
     parser.add_argument("--tail-n", type=int, default=256)
     scale, args = parse_scale(parser, argv)
-    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed)
+    result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
+                 workers=scale.workers)
     tail = run_tail(n=args.tail_n, trials=max(scale.trials, 500),
-                    seed=scale.seed)
+                    seed=scale.seed, workers=scale.workers)
     print(format_result(result, tail))
 
 

@@ -1,0 +1,156 @@
+"""Machine and shared-memory builders used by the trial compilers.
+
+These helpers used to live in :mod:`repro.sim.runner`; they were moved here
+so that both the legacy one-call runners and the declarative
+:mod:`repro.api` compiler can share them without an import cycle.  The
+runner re-exports them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro._rng import make_rng, spawn
+from repro.errors import ConfigurationError
+from repro.core.bounded import (
+    BoundedLeanConsensus,
+    default_backup_factory,
+    suggested_round_cap,
+)
+from repro.core.invariants import check_agreement, check_validity
+from repro.core.machine import (
+    LeanConsensus,
+    ProcessMachine,
+    RandomCoin,
+    RandomTie,
+    SharedCoinLean,
+)
+from repro.core.variants import ConservativeLean, EagerDecideLean, OptimizedLean
+from repro.memory.history import HistoryRecorder
+from repro.memory.registers import SharedMemory, UnboundedBitArray
+from repro.sim.results import TrialResult
+
+ProtocolLike = Union[str, Callable[[int, int], ProcessMachine]]
+
+
+def half_and_half(n: int) -> Dict[int, int]:
+    """The paper's Figure-1 input assignment: half 0s, half 1s."""
+    return {pid: (0 if pid < n // 2 else 1) for pid in range(n)}
+
+
+def _factory_keywords(factory: Callable) -> set:
+    """Keyword parameters a machine factory can accept beyond (pid, input).
+
+    Only explicitly named parameters opt in: a bare ``**kwargs`` does not
+    imply the factory wants ``rng``/``round_cap`` forwarded (legacy
+    factories with ``**kwargs`` never received them).
+    """
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return set()
+    return {param.name for param in sig.parameters.values()
+            if param.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                              inspect.Parameter.KEYWORD_ONLY)}
+
+
+def make_machines(protocol: ProtocolLike, inputs: Dict[int, int],
+                  rng: Optional[np.random.Generator] = None,
+                  round_cap: Optional[int] = None) -> list[ProcessMachine]:
+    """Instantiate one machine per (pid, input).
+
+    ``protocol`` may be a factory ``(pid, input) -> machine`` or one of the
+    built-in names: ``"lean"`` (the paper), ``"optimized"``, ``"eager"``
+    (unsafe negative control), ``"conservative"``, ``"random-tie"``,
+    ``"shared-coin"``, ``"bounded"``.
+
+    When ``protocol`` is a callable factory, ``rng`` and ``round_cap`` are
+    forwarded as keyword arguments if the factory's signature accepts them.
+    An explicit ``round_cap`` that the factory cannot accept raises
+    :class:`ConfigurationError` instead of being silently dropped (``rng``
+    is supplied by the runners on every call, so an unaccepted ``rng`` is
+    simply unused).
+    """
+    if callable(protocol):
+        accepted = _factory_keywords(protocol)
+        kwargs = {}
+        if round_cap is not None:
+            if "round_cap" not in accepted:
+                raise ConfigurationError(
+                    "round_cap was given but the protocol factory does not "
+                    "accept a 'round_cap' keyword; it would be silently "
+                    "ignored. Add the parameter to the factory or bake the "
+                    "cap into it.")
+            kwargs["round_cap"] = round_cap
+        if rng is not None and "rng" in accepted:
+            kwargs["rng"] = rng
+        return [protocol(pid, bit, **kwargs)
+                for pid, bit in sorted(inputs.items())]
+
+    rng = make_rng(rng)
+    n = len(inputs)
+    if protocol == "lean":
+        factory = lambda pid, bit: LeanConsensus(pid, bit, round_cap=round_cap)
+    elif protocol == "optimized":
+        factory = lambda pid, bit: OptimizedLean(pid, bit, round_cap=round_cap)
+    elif protocol == "eager":
+        factory = lambda pid, bit: EagerDecideLean(pid, bit, round_cap=round_cap)
+    elif protocol == "conservative":
+        factory = lambda pid, bit: ConservativeLean(pid, bit, round_cap=round_cap)
+    elif protocol == "random-tie":
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: LeanConsensus(
+            pid, bit, tie_rule=RandomTie(RandomCoin(coins[pid])),
+            round_cap=round_cap)
+    elif protocol == "shared-coin":
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: SharedCoinLean(
+            pid, bit, coin=RandomCoin(coins[pid]), round_cap=round_cap)
+    elif protocol == "bounded":
+        cap = round_cap if round_cap is not None else suggested_round_cap(n)
+        coins = spawn(rng, n)
+        factory = lambda pid, bit: BoundedLeanConsensus(
+            pid, bit, round_cap=cap,
+            backup_factory=default_backup_factory(coins[pid]))
+    else:
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    return [factory(pid, bit) for pid, bit in sorted(inputs.items())]
+
+
+def make_memory_for(machines: Sequence[ProcessMachine],
+                    record: bool = False,
+                    capacity: Optional[int] = None) -> SharedMemory:
+    """Build a shared memory with every array the machines require."""
+    from repro.core.idconsensus import IdConsensus
+
+    recorder = HistoryRecorder() if record else None
+    specs: dict[str, Optional[int]] = {}
+    for machine in machines:
+        required = getattr(type(machine), "required_arrays", None)
+        if required is None:
+            pairs = [("a0", 1), ("a1", 1)]
+        elif isinstance(machine, SharedCoinLean):
+            pairs = SharedCoinLean.required_arrays(machine.prefix)
+        elif isinstance(machine, IdConsensus):
+            pairs = IdConsensus.required_arrays(machine.bits)
+        else:
+            pairs = required()
+        for name, prefix in pairs:
+            specs.setdefault(name, prefix)
+    memory = SharedMemory(recorder=recorder)
+    for name, prefix in sorted(specs.items()):
+        memory.add_array(UnboundedBitArray(name, default=0,
+                                           prefix_value=prefix,
+                                           capacity=capacity))
+    return memory
+
+
+def check_result(result: TrialResult, check: bool) -> TrialResult:
+    """Optionally verify agreement and validity before returning."""
+    if check:
+        check_agreement(result.decisions)
+        check_validity(result.inputs, result.decisions)
+    return result

@@ -32,6 +32,10 @@ class TrialResult:
             (bounded-space runs only).
         max_round: the largest round any process entered.
         preference_changes: total preference adoptions across processes.
+        engine: which engine actually executed the trial (``"fast"``,
+            ``"event"``, ``"step"``, or ``"hybrid"``) — in particular the
+            resolution of ``engine="auto"``, so benchmarks and tests can
+            assert on it.  ``None`` for results built outside the runners.
     """
 
     n: int
@@ -48,6 +52,7 @@ class TrialResult:
     used_backup: int = 0
     max_round: int = 0
     preference_changes: int = 0
+    engine: Optional[str] = None
 
     @property
     def all_decided(self) -> bool:

@@ -1,4 +1,4 @@
-"""One-call trial runners: the library's main entry points.
+"""One-call trial runners: thin wrappers over the declarative spec layer.
 
 Typical use::
 
@@ -8,7 +8,14 @@ Typical use::
     result = run_noisy_trial(n=64, noise=Exponential(1.0), seed=1)
     print(result.first_decision_round, result.decided_values)
 
-Everything is reproducible from the integer seed: the runner spawns
+Each runner builds a :class:`repro.api.TrialSpec` from its keyword
+arguments and executes it through :func:`repro.api.run_trial`, so a legacy
+call and the equivalent spec produce bit-identical results from the same
+seed.  New code should construct specs directly (they serialize, sweep,
+and parallelize; see :func:`repro.api.run_batch`); these wrappers keep the
+historical 15-kwarg surface working unchanged.
+
+Everything is reproducible from the integer seed: the compiler spawns
 independent child generators for the noise, the start-time dither, the
 failure model, and (for coin protocols) the coins.
 """
@@ -17,133 +24,88 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence, Union
 
-import numpy as np
-
-from repro._rng import SeedLike, make_rng, spawn
-from repro.errors import ConfigurationError
-from repro.core.bounded import (
-    BoundedLeanConsensus,
-    default_backup_factory,
-    suggested_round_cap,
+from repro._rng import SeedLike
+from repro.api.spec import (
+    OPAQUE,
+    AdversarySpec,
+    DeltaSpec,
+    FailureSpec,
+    HybridModelSpec,
+    NoisyModelSpec,
+    PickerSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+    noise_to_spec,
 )
-from repro.core.invariants import check_agreement, check_validity
-from repro.core.machine import (
-    LeanConsensus,
-    ProcessMachine,
-    RandomCoin,
-    RandomTie,
-    SharedCoinLean,
-)
-from repro.core.variants import ConservativeLean, EagerDecideLean, OptimizedLean
-from repro.failures.injection import (
-    AdaptiveCrashAdversary,
-    FailureModel,
-    NoFailures,
-    RandomHalting,
-)
-from repro.memory.history import HistoryRecorder
-from repro.memory.registers import SharedMemory, UnboundedBitArray
+from repro.failures.injection import AdaptiveCrashAdversary
 from repro.noise.distributions import NoiseDistribution, PerOpKindNoise
-from repro.sched.delta import DeltaSchedule, DitheredStart
-from repro.sched.hybrid import HybridScheduler
-from repro.sched.noisy import NoisyScheduler
+from repro.sched.delta import DeltaSchedule
 from repro.sched.pickers import Picker
-from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
-from repro.sim.fast import lean_horizon_ops, replay_lean
+from repro.sim.build import (  # noqa: F401  (re-exported; historical home)
+    ProtocolLike,
+    half_and_half,
+    make_machines,
+    make_memory_for,
+)
 from repro.sim.results import TrialResult
 
-ProtocolLike = Union[str, Callable[[int, int], ProcessMachine]]
+
+def _run_trial(spec: TrialSpec, seed: SeedLike) -> TrialResult:
+    # Lazy import: repro.api.compile imports repro.sim.build, which would
+    # cycle with the repro.sim package initialization importing this module.
+    from repro.api.compile import run_trial
+    return run_trial(spec, seed)
 
 
-def half_and_half(n: int) -> Dict[int, int]:
-    """The paper's Figure-1 input assignment: half 0s, half 1s."""
-    return {pid: (0 if pid < n // 2 else 1) for pid in range(n)}
-
-
-def make_machines(protocol: ProtocolLike, inputs: Dict[int, int],
-                  rng: Optional[np.random.Generator] = None,
-                  round_cap: Optional[int] = None) -> list[ProcessMachine]:
-    """Instantiate one machine per (pid, input).
-
-    ``protocol`` may be a factory ``(pid, input) -> machine`` or one of the
-    built-in names: ``"lean"`` (the paper), ``"optimized"``, ``"eager"``
-    (unsafe negative control), ``"conservative"``, ``"random-tie"``,
-    ``"shared-coin"``, ``"bounded"``.
-    """
+def _protocol_spec(protocol: ProtocolLike,
+                   round_cap: Optional[int]) -> ProtocolSpec:
     if callable(protocol):
-        return [protocol(pid, bit) for pid, bit in sorted(inputs.items())]
+        return ProtocolSpec(factory=protocol, round_cap=round_cap)
+    return ProtocolSpec(name=protocol, round_cap=round_cap)
 
-    rng = make_rng(rng)
-    n = len(inputs)
-    if protocol == "lean":
-        factory = lambda pid, bit: LeanConsensus(pid, bit, round_cap=round_cap)
-    elif protocol == "optimized":
-        factory = lambda pid, bit: OptimizedLean(pid, bit, round_cap=round_cap)
-    elif protocol == "eager":
-        factory = lambda pid, bit: EagerDecideLean(pid, bit, round_cap=round_cap)
-    elif protocol == "conservative":
-        factory = lambda pid, bit: ConservativeLean(pid, bit, round_cap=round_cap)
-    elif protocol == "random-tie":
-        coins = spawn(rng, n)
-        factory = lambda pid, bit: LeanConsensus(
-            pid, bit, tie_rule=RandomTie(RandomCoin(coins[pid])),
-            round_cap=round_cap)
-    elif protocol == "shared-coin":
-        coins = spawn(rng, n)
-        factory = lambda pid, bit: SharedCoinLean(
-            pid, bit, coin=RandomCoin(coins[pid]), round_cap=round_cap)
-    elif protocol == "bounded":
-        cap = round_cap if round_cap is not None else suggested_round_cap(n)
-        coins = spawn(rng, n)
-        factory = lambda pid, bit: BoundedLeanConsensus(
-            pid, bit, round_cap=cap,
-            backup_factory=default_backup_factory(coins[pid]))
+
+def _noisy_spec(n: int,
+                noise: Union[NoiseDistribution, PerOpKindNoise],
+                inputs=None,
+                protocol: ProtocolLike = "lean",
+                delta: Optional[DeltaSchedule] = None,
+                h: float = 0.0,
+                crash_adversary: Optional[AdaptiveCrashAdversary] = None,
+                engine: str = "auto",
+                stop_after_first_decision: bool = False,
+                record: bool = False,
+                max_total_ops: Optional[int] = None,
+                allow_degenerate: bool = False,
+                dither_epsilon: float = 1e-8,
+                round_cap: Optional[int] = None,
+                check: bool = True) -> TrialSpec:
+    """Translate the historical kwarg surface into a :class:`TrialSpec`."""
+    if isinstance(noise, PerOpKindNoise):
+        noise_spec = noise_to_spec(noise.read)
+        write_spec = noise_to_spec(noise.write)
     else:
-        raise ConfigurationError(f"unknown protocol {protocol!r}")
-    return [factory(pid, bit) for pid, bit in sorted(inputs.items())]
-
-
-def make_memory_for(machines: Sequence[ProcessMachine],
-                    record: bool = False,
-                    capacity: Optional[int] = None) -> SharedMemory:
-    """Build a shared memory with every array the machines require."""
-    from repro.core.idconsensus import IdConsensus
-
-    recorder = HistoryRecorder() if record else None
-    specs: dict[str, Optional[int]] = {}
-    for machine in machines:
-        required = getattr(type(machine), "required_arrays", None)
-        if required is None:
-            pairs = [("a0", 1), ("a1", 1)]
-        elif isinstance(machine, SharedCoinLean):
-            pairs = SharedCoinLean.required_arrays(machine.prefix)
-        elif isinstance(machine, IdConsensus):
-            pairs = IdConsensus.required_arrays(machine.bits)
-        else:
-            pairs = required()
-        for name, prefix in pairs:
-            specs.setdefault(name, prefix)
-    memory = SharedMemory(recorder=recorder)
-    for name, prefix in sorted(specs.items()):
-        memory.add_array(UnboundedBitArray(name, default=0,
-                                           prefix_value=prefix,
-                                           capacity=capacity))
-    return memory
-
-
-def _resolve_inputs(n: int, inputs) -> Dict[int, int]:
-    if inputs is None or inputs == "half":
-        return half_and_half(n)
-    if isinstance(inputs, dict):
-        return dict(inputs)
-    return {pid: int(b) for pid, b in enumerate(inputs)}
-
-
-def _check_result(result: TrialResult, check: bool) -> TrialResult:
-    if check:
-        check_agreement(result.decisions)
-        check_validity(result.inputs, result.decisions)
-    return result
+        noise_spec, write_spec = noise_to_spec(noise), None
+    if delta is None:
+        delta_spec = DeltaSpec.of("dithered", epsilon=dither_epsilon)
+    else:
+        delta_spec = DeltaSpec(kind=OPAQUE, instance=delta)
+    adversary = (AdversarySpec(instance=crash_adversary)
+                 if crash_adversary is not None else None)
+    return TrialSpec(
+        n=n,
+        model=NoisyModelSpec(noise=noise_spec, write_noise=write_spec,
+                             delta=delta_spec,
+                             allow_degenerate=allow_degenerate),
+        protocol=_protocol_spec(protocol, round_cap),
+        failures=FailureSpec(h=h, adversary=adversary),
+        engine=engine,
+        inputs=inputs,
+        stop_after_first_decision=stop_after_first_decision,
+        record=record,
+        max_total_ops=max_total_ops,
+        check=check,
+    )
 
 
 def run_noisy_trial(n: int,
@@ -171,7 +133,7 @@ def run_noisy_trial(n: int,
         inputs: ``None``/"half" for the paper's half-and-half split, or an
             explicit dict/sequence of bits.
         protocol: built-in name or machine factory (see
-            :func:`make_machines`).
+            :func:`repro.sim.build.make_machines`).
         delta: adversary delay schedule; defaults to the Figure-1 setting
             (equal starts dithered by U(0, ``dither_epsilon``), zero
             delays).
@@ -188,75 +150,31 @@ def run_noisy_trial(n: int,
         check: verify agreement and validity before returning.
 
     Returns:
-        The trial's :class:`~repro.sim.results.TrialResult`.
+        The trial's :class:`~repro.sim.results.TrialResult`, with
+        ``result.engine`` recording which engine actually ran.
     """
-    root = make_rng(seed)
-    rng_noise, rng_dither, rng_fail, rng_proto = spawn(root, 4)
-    input_map = _resolve_inputs(n, inputs)
-
-    if engine == "auto":
-        fast_ok = (protocol == "lean" and crash_adversary is None
-                   and not record and round_cap is None
-                   and isinstance(noise, NoiseDistribution))
-        engine = "fast" if (fast_ok and n >= 256) else "event"
-
-    if delta is None:
-        delta = DitheredStart(n, rng_dither, epsilon=dither_epsilon)
-
-    if engine == "fast":
-        if protocol != "lean":
-            raise ConfigurationError("fast engine only supports plain lean")
-        return _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
-                         stop_after_first_decision, allow_degenerate, check)
-
-    scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
-                               allow_degenerate=allow_degenerate)
-    machines = make_machines(protocol, input_map, rng=rng_proto,
-                             round_cap=round_cap)
-    memory = make_memory_for(machines, record=record)
-    failures: FailureModel = (RandomHalting(h, rng_fail) if h > 0
-                              else NoFailures())
-    eng = NoisyEngine(machines, memory, scheduler,
-                      failures=failures,
-                      crash_adversary=crash_adversary,
-                      max_total_ops=max_total_ops,
-                      stop_after_first_decision=stop_after_first_decision)
-    result = eng.run()
-    result.memory = memory  # type: ignore[attr-defined]
-    result.machines = machines  # type: ignore[attr-defined]
-    return _check_result(result, check)
-
-
-def _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
-              stop_first, allow_degenerate, check) -> TrialResult:
-    inputs = [input_map[pid] for pid in range(n)]
-    horizon = lean_horizon_ops(n)
-    for _attempt in range(10):
-        scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
-                                   allow_degenerate=allow_degenerate)
-        times = scheduler.presample(n, horizon)
-        death_ops = None
-        if h > 0:
-            death_ops = RandomHalting(h, rng_fail).presample_death_ops(n)
-        result = replay_lean(times, inputs, death_ops=death_ops,
-                             stop_after_first_decision=stop_first)
-        if result is not None:
-            return _check_result(result, check)
-        horizon *= 2
-    raise ConfigurationError(
-        f"schedule horizon kept overflowing (last tried {horizon} ops); "
-        "is the noise distribution effectively degenerate?"
-    )
+    spec = _noisy_spec(
+        n, noise, inputs=inputs, protocol=protocol, delta=delta, h=h,
+        crash_adversary=crash_adversary, engine=engine,
+        stop_after_first_decision=stop_after_first_decision, record=record,
+        max_total_ops=max_total_ops, allow_degenerate=allow_degenerate,
+        dither_epsilon=dither_epsilon, round_cap=round_cap, check=check)
+    return _run_trial(spec, seed)
 
 
 def run_noisy_trials(n_trials: int, n: int,
                      noise: Union[NoiseDistribution, PerOpKindNoise],
-                     seed: SeedLike = None, **kwargs) -> list[TrialResult]:
-    """Run ``n_trials`` independent trials; each gets its own child stream."""
-    return [
-        run_noisy_trial(n, noise, seed=trial_rng, **kwargs)
-        for trial_rng in spawn(make_rng(seed), n_trials)
-    ]
+                     seed: SeedLike = None,
+                     workers: Optional[int] = None,
+                     **kwargs) -> list[TrialResult]:
+    """Run ``n_trials`` independent trials; each gets its own child stream.
+
+    ``workers`` > 1 fans the batch out across a process pool with results
+    bit-identical to the serial loop (see :func:`repro.api.run_batch`).
+    """
+    from repro.api.batch import run_batch
+    return run_batch(_noisy_spec(n, noise, **kwargs), n_trials,
+                     seed=seed, workers=workers)
 
 
 def run_step_trial(n: int, picker: Picker,
@@ -269,20 +187,19 @@ def run_step_trial(n: int, picker: Picker,
                    round_cap: Optional[int] = None,
                    check: bool = True) -> TrialResult:
     """Run one execution under an explicit interleaving (no clock)."""
-    root = make_rng(seed)
-    rng_fail, rng_proto = spawn(root, 2)
-    input_map = _resolve_inputs(n, inputs)
-    machines = make_machines(protocol, input_map, rng=rng_proto,
-                             round_cap=round_cap)
-    memory = make_memory_for(machines, record=record)
-    failures: FailureModel = (RandomHalting(h, rng_fail) if h > 0
-                              else NoFailures())
-    eng = StepEngine(machines, memory, picker,
-                     failures=failures, max_total_ops=max_total_ops)
-    result = eng.run()
-    result.memory = memory  # type: ignore[attr-defined]
-    result.machines = machines  # type: ignore[attr-defined]
-    return _check_result(result, check)
+    picker_spec = (picker if isinstance(picker, PickerSpec)
+                   else PickerSpec(kind=OPAQUE, instance=picker))
+    spec = TrialSpec(
+        n=n,
+        model=StepModelSpec(picker=picker_spec),
+        protocol=_protocol_spec(protocol, round_cap),
+        failures=FailureSpec(h=h),
+        inputs=inputs,
+        record=record,
+        max_total_ops=max_total_ops,
+        check=check,
+    )
+    return _run_trial(spec, seed)
 
 
 def run_hybrid_trial(n: int, quantum: int,
@@ -296,18 +213,18 @@ def run_hybrid_trial(n: int, quantum: int,
                      max_total_ops: Optional[int] = None,
                      check: bool = True) -> TrialResult:
     """Run one execution on the hybrid-scheduled uniprocessor (Section 7)."""
-    root = make_rng(seed)
-    (rng_proto,) = spawn(root, 1)
-    input_map = _resolve_inputs(n, inputs)
-    machines = make_machines(protocol, input_map, rng=rng_proto)
-    memory = make_memory_for(machines)
-    if priorities is None:
-        priorities = [0] * n
-    scheduler = HybridScheduler(priorities, quantum, initial_used=initial_used,
-                                debt_policy=debt_policy)
-    eng = HybridEngine(machines, memory, scheduler, chooser=chooser,
-                       max_total_ops=max_total_ops)
-    result = eng.run()
-    result.memory = memory  # type: ignore[attr-defined]
-    result.machines = machines  # type: ignore[attr-defined]
-    return _check_result(result, check)
+    spec = TrialSpec(
+        n=n,
+        model=HybridModelSpec(
+            quantum=quantum,
+            priorities=tuple(priorities) if priorities is not None else None,
+            initial_used=tuple((initial_used or {}).items()),
+            debt_policy=debt_policy,
+            chooser=chooser,
+        ),
+        protocol=_protocol_spec(protocol, None),
+        inputs=inputs,
+        max_total_ops=max_total_ops,
+        check=check,
+    )
+    return _run_trial(spec, seed)

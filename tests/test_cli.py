@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import EXPERIMENTS, _split_all_args, main
+from repro.experiments import registry
 
 
 class TestCli:
@@ -31,3 +34,36 @@ class TestCli:
             module = getattr(exps, name)
             if hasattr(module, "main"):
                 assert module in registered, f"{name} missing from CLI"
+
+    def test_list_is_machine_readable(self, capsys):
+        assert main(["--list"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in records} == set(registry.names())
+        for record in records:
+            assert set(record) == {"name", "module", "artifact", "summary",
+                                   "batched"}
+        batched = {r["name"] for r in records if r["batched"]}
+        assert {"figure1", "scaling", "lower-bound", "failures",
+                "ablations"} <= batched
+
+    def test_workers_flag_accepted(self, capsys):
+        code = main(["figure1", "--ns", "4", "--trials", "2", "--seed", "1",
+                     "--workers", "2"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestAllForwarding:
+    def test_split_all_args(self):
+        shared, extras = _split_all_args(
+            ["--trials", "5", "figure1:--plot", "scaling:--tail-n",
+             "scaling:8", "not:an-experiment"])
+        assert shared == ["--trials", "5", "not:an-experiment"]
+        assert extras == {"figure1": ["--plot"],
+                          "scaling": ["--tail-n", "8"]}
+
+    def test_registry_infos_sorted_and_loadable(self):
+        infos = registry.infos()
+        assert [i.name for i in infos] == registry.names()
+        for info in infos:
+            assert hasattr(info.load(), "main")

@@ -66,6 +66,35 @@ class TestMakeMachines:
         machines = make_machines("lean", {0: 0}, rng=rng, round_cap=7)
         assert machines[0].round_cap == 7
 
+    def test_factory_ignoring_round_cap_is_rejected(self, rng):
+        # round_cap used to be silently dropped for callable factories.
+        with pytest.raises(ConfigurationError):
+            make_machines(lambda p, b: LeanConsensus(p, b), {0: 0},
+                          rng=rng, round_cap=7)
+
+    def test_factory_accepting_round_cap_receives_it(self, rng):
+        machines = make_machines(
+            lambda p, b, round_cap: LeanConsensus(p, b, round_cap=round_cap),
+            {0: 0}, rng=rng, round_cap=7)
+        assert machines[0].round_cap == 7
+
+    def test_factory_accepting_rng_receives_it(self, rng):
+        seen = []
+
+        def factory(pid, bit, rng):
+            seen.append(rng)
+            return LeanConsensus(pid, bit)
+
+        make_machines(factory, {0: 0, 1: 1}, rng=rng)
+        assert seen == [rng, rng]
+
+    def test_var_kwargs_factory_receives_nothing(self, rng):
+        # A bare **kwargs must not have rng injected (legacy factories
+        # with **kwargs never received it).
+        machines = make_machines(
+            lambda p, b, **kw: LeanConsensus(p, b, **kw), {0: 0}, rng=rng)
+        assert machines[0].pid == 0
+
 
 class TestMakeMemory:
     def test_lean_arrays(self):
@@ -112,6 +141,20 @@ class TestRunNoisyTrial:
     def test_engine_auto_small_n_uses_event(self):
         result = run_noisy_trial(4, Exponential(1.0), seed=4, record=True)
         assert result.memory.recorder is not None  # event engine artifacts
+
+    def test_legacy_positional_call_still_works(self):
+        # The historical signature allowed positional inputs/protocol.
+        result = run_noisy_trial(5, Exponential(1.0), 2, [1, 1, 1, 1, 1],
+                                 "lean")
+        assert result.decided_values == {1}
+        assert result == run_noisy_trial(5, Exponential(1.0), seed=2,
+                                         inputs=[1, 1, 1, 1, 1])
+
+    def test_engine_auto_resolution_is_recorded(self):
+        assert run_noisy_trial(4, Exponential(1.0), seed=4).engine == "event"
+        assert run_noisy_trial(300, Exponential(1.0), seed=4).engine == "fast"
+        assert run_noisy_trial(300, Exponential(1.0), seed=4,
+                               engine="event").engine == "event"
 
     def test_engine_fast_explicit(self):
         result = run_noisy_trial(32, Uniform(0.0, 2.0), seed=5,

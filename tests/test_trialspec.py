@@ -1,0 +1,235 @@
+"""Tests for the declarative TrialSpec tree: validation and round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AdversarySpec,
+    DeltaSpec,
+    FailureSpec,
+    HybridModelSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    PickerSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+    noise_to_spec,
+    resolve_engine,
+)
+from repro.errors import ConfigurationError
+from repro.noise.distributions import (
+    Constant,
+    Exponential,
+    Geometric,
+    HeavyTail,
+    LogNormal,
+    Mixture,
+    NoiseDistribution,
+    Pareto,
+    ShiftedExponential,
+    SumOf,
+    TruncatedNormal,
+    TwoPoint,
+    Uniform,
+)
+from repro.sched.delta import StaggeredStart
+from repro.sched.pickers import RoundRobinPicker
+
+
+def simple_spec(**kwargs):
+    defaults = dict(n=8, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)))
+    defaults.update(kwargs)
+    return TrialSpec(**defaults)
+
+
+class TestNoiseSpec:
+    @pytest.mark.parametrize("dist", [
+        Exponential(1.0),
+        ShiftedExponential(0.5, 0.5),
+        Uniform(0.0, 2.0),
+        Geometric(0.5),
+        TwoPoint(2.0 / 3.0, 4.0 / 3.0),
+        TruncatedNormal(1.0, 0.2, 0.0, 2.0),
+        HeavyTail(k_cap=5),
+        HeavyTail(),
+        Constant(1.0),
+        LogNormal(0.0, 0.5),
+        Pareto(2.0),
+        SumOf(Exponential(1.0), 4),
+        Mixture([Exponential(1.0), Uniform(0.0, 2.0)], weights=[0.3, 0.7]),
+    ])
+    def test_to_spec_round_trip(self, dist):
+        spec = noise_to_spec(dist)
+        assert spec.serializable
+        assert NoiseSpec.from_dict(spec.to_dict()) == spec
+        rebuilt = spec.build()
+        assert type(rebuilt) is type(dist)
+        assert rebuilt.name == dist.name
+        assert rebuilt.mean == dist.mean
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseSpec.of("gaussian", mu=0.0)
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseSpec.of("exponential", rate=2.0)
+
+    def test_invalid_value_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            NoiseSpec.of("geometric", p=3.0)
+
+    def test_opaque_wraps_unknown_subclass(self):
+        class Custom(NoiseDistribution):
+            name = "custom"
+
+            def sample_array(self, rng, size):
+                return rng.random(size)
+
+            @property
+            def mean(self):
+                return 0.5
+
+        spec = noise_to_spec(Custom())
+        assert not spec.serializable
+        with pytest.raises(ConfigurationError):
+            spec.to_dict()
+
+
+class TestComponentSpecs:
+    def test_delta_round_trip(self):
+        for spec in (DeltaSpec.of("zero"),
+                     DeltaSpec.of("constant", delay=0.5, start_time=1.0),
+                     DeltaSpec.of("staggered", stagger=0.25),
+                     DeltaSpec.of("dithered", epsilon=1e-6),
+                     DeltaSpec.of("random", bound=1.0, max_ops=100),
+                     DeltaSpec.of("statistical", mean_bound=0.5,
+                                  style="bursts", burst_every=8)):
+            assert DeltaSpec.from_dict(spec.to_dict()) == spec
+
+    def test_opaque_delta_not_serializable(self):
+        spec = DeltaSpec(kind="opaque", instance=StaggeredStart(0.5))
+        assert not spec.serializable
+        with pytest.raises(ConfigurationError):
+            spec.to_dict()
+
+    def test_picker_round_trip(self):
+        for spec in (PickerSpec.of("random"),
+                     PickerSpec.of("round-robin"),
+                     PickerSpec.of("scripted", script=(0, 1, 2),
+                                   exhausted="first")):
+            assert PickerSpec.from_dict(spec.to_dict()) == spec
+
+    def test_protocol_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolSpec(name="paxos")
+        with pytest.raises(ConfigurationError):
+            ProtocolSpec(round_cap=0)
+
+    def test_adversary_round_trip(self):
+        spec = AdversarySpec(budget=3, lead=1)
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+
+    def test_failure_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureSpec(h=1.5)
+
+
+class TestTrialSpecRoundTrip:
+    @pytest.mark.parametrize("spec", [
+        TrialSpec(n=8, model=NoisyModelSpec(
+            noise=NoiseSpec.of("exponential", mean=1.0))),
+        TrialSpec(n=16,
+                  model=NoisyModelSpec(
+                      noise=NoiseSpec.of("uniform", low=0.0, high=2.0),
+                      write_noise=NoiseSpec.of("geometric", p=0.5),
+                      delta=DeltaSpec.of("staggered", stagger=0.5),
+                      allow_degenerate=False),
+                  protocol=ProtocolSpec(name="bounded", round_cap=9),
+                  failures=FailureSpec(h=0.01,
+                                       adversary=AdversarySpec(budget=2)),
+                  engine="event",
+                  stop_after_first_decision=True,
+                  record=True,
+                  max_total_ops=500,
+                  check=False),
+        TrialSpec(n=4, model=StepModelSpec(
+            picker=PickerSpec.of("scripted", script=(0, 1, 2, 3)))),
+        TrialSpec(n=4, model=HybridModelSpec(
+            quantum=8, priorities=(2, 1, 0, 0), initial_used=((0, 8),),
+            debt_policy="giver")),
+        TrialSpec(n=6, model=NoisyModelSpec(
+            noise=NoiseSpec.of("exponential", mean=1.0)),
+            inputs=[0, 1, 0, 1, 0, 1]),
+    ])
+    def test_round_trip(self, spec):
+        data = spec.to_dict()
+        assert TrialSpec.from_dict(data) == spec
+        # And through an actual JSON wire format.
+        assert TrialSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+    def test_unsupported_version_rejected(self):
+        data = simple_spec().to_dict()
+        data["version"] = 99
+        with pytest.raises(ConfigurationError):
+            TrialSpec.from_dict(data)
+
+    def test_inputs_normalization(self):
+        by_list = simple_spec(n=4, inputs=[0, 1, 1, 0])
+        by_dict = simple_spec(n=4, inputs={0: 0, 1: 1, 2: 1, 3: 0})
+        by_pairs = simple_spec(n=4, inputs=((0, 0), (1, 1), (2, 1), (3, 0)))
+        assert by_list == by_dict == by_pairs
+        assert by_list.input_map() == {0: 0, 1: 1, 2: 1, 3: 0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simple_spec(n=0)
+        with pytest.raises(ConfigurationError):
+            simple_spec(engine="warp")
+        with pytest.raises(ConfigurationError):
+            TrialSpec(n=4, model=StepModelSpec(), engine="fast")
+        with pytest.raises(ConfigurationError):
+            # An explicit engine on a non-noisy model is a config error,
+            # not a silently ignored field.
+            TrialSpec(n=4, model=StepModelSpec(), engine="event")
+        with pytest.raises(ConfigurationError):
+            simple_spec(inputs=[0, 2, 1])
+
+    def test_replace(self):
+        spec = simple_spec()
+        bigger = spec.replace(n=128)
+        assert bigger.n == 128 and spec.n == 8
+        assert bigger.model == spec.model
+
+    def test_specs_are_hashable_grid_keys(self):
+        grid = {simple_spec(n=n): n for n in (2, 4, 8)}
+        assert grid[simple_spec(n=4)] == 4
+
+
+class TestResolveEngine:
+    def test_auto_small_n_event(self):
+        assert resolve_engine(simple_spec(n=8)) == "event"
+
+    def test_auto_large_n_fast(self):
+        assert resolve_engine(simple_spec(n=512)) == "fast"
+
+    def test_features_force_event(self):
+        assert resolve_engine(simple_spec(n=512, record=True)) == "event"
+        assert resolve_engine(simple_spec(
+            n=512, protocol=ProtocolSpec(name="optimized"))) == "event"
+        assert resolve_engine(simple_spec(
+            n=512,
+            failures=FailureSpec(adversary=AdversarySpec(budget=1)))) == "event"
+
+    def test_step_and_hybrid(self):
+        assert resolve_engine(TrialSpec(n=4, model=StepModelSpec())) == "step"
+        assert resolve_engine(
+            TrialSpec(n=4, model=HybridModelSpec(quantum=8))) == "hybrid"
+
+    def test_step_model_accepts_picker_instance(self):
+        spec = TrialSpec(n=4, model=StepModelSpec(picker=RoundRobinPicker()))
+        assert spec.model.picker.kind == "opaque"
+        assert not spec.serializable
