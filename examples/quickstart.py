@@ -10,6 +10,27 @@ A trial is described by a declarative, serializable
 :func:`repro.run_batch`, which fans deterministic per-trial seeds across
 worker processes with results bit-identical to serial execution.
 
+Engine selection matrix (``spec.engine``, resolved engine on
+``result.engine``, fallback reasons on ``result.engine_reason``):
+
+    spec                                  auto        "fast"    "event"
+    ------------------------------------  ----------  --------  -------
+    lean / optimized / eager /
+      conservative / random-tie,
+      any noise, random halting h  n>=256 fast        fast      event
+                                   n<256  event+why   fast      event
+    adaptive adversary, record=True,
+      round_cap, per-kind write noise,
+      shared-coin / bounded / factory     event+why   error     event
+    step or hybrid model                  step/hybrid (engine must be auto)
+
+``engine="fast"`` composes with ``workers``: the batch runner ships
+whole chunks to each worker, and a fast-engine chunk presamples its
+(trials, n, max_ops) schedule tensor and argsorts it in one numpy call —
+results stay bit-identical to serial per-trial runs either way.  The
+experiment CLIs expose the same choice as ``--engine fast`` next to
+``--workers`` (e.g. ``python -m repro figure1 --paper --engine fast``).
+
 Run:  python examples/quickstart.py
 
 Migrating from the legacy kwarg API?  ``run_noisy_trial(n=100,
@@ -51,6 +72,14 @@ def main() -> None:
           "(Lemma 4: at most one round later)")
     print(f"total shared-memory operations: {result.total_ops} "
           f"(engine: {result.engine})")
+
+    # The same spec on the vectorized engine: engine="auto" keeps n=100
+    # on the event engine (and says why); engine="fast" overrides.
+    print(f"auto kept the event engine because: {result.engine_reason}")
+    fast = run_trial(spec.replace(engine="fast"), seed=42)
+    assert fast.agreed and fast.engine == "fast"
+    print(f"fast engine decided at round {fast.first_decision_round} "
+          "(same O(log n) race, vectorized replay)")
 
     # A batch of independent trials.  workers=2 runs them across a
     # process pool; the results are bit-identical to the serial run.

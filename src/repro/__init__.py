@@ -32,6 +32,32 @@ one-call wrappers, which remain fully supported::
     result = run_noisy_trial(n=100, noise=Exponential(1.0), seed=42)
     assert result.agreed
 
+Engine selection — which configurations run where:
+
+===========================  ===========================================
+configuration                engine
+===========================  ===========================================
+step / hybrid model          ``"step"`` / ``"hybrid"`` (always)
+noisy, protocol in the fast  ``engine="fast"``: the vectorized replay at
+family (lean, optimized,     any n.  ``engine="auto"``: fast when
+eager, conservative,         n >= 256, else event —
+random-tie), any noise       ``result.engine_reason`` explains fallbacks
+distribution, random         (e.g. a narrow n miss).  Random halting
+halting (``h``)              compiles to per-process death schedules.
+noisy + adaptive adversary,  event engine only.  ``engine="auto"`` falls
+recorder, round cap,         back silently-but-explained
+per-op-kind write noise,     (``engine_reason``); ``engine="fast"``
+shared-coin / bounded /      raises :class:`ConfigurationError` naming
+factory protocols            the blocker.
+===========================  ===========================================
+
+``engine="fast"`` composes with the batch runner's ``workers``: each
+worker chunk presamples its ``(trials, n, max_ops)`` schedule tensor and
+argsorts it in a single numpy call, and results stay bit-identical to
+serial per-trial runs for every ``workers`` value.  The differential
+oracle (:mod:`repro.sim.differential`) cross-validates the two engines on
+shared schedules.
+
 Migration note — legacy kwargs map onto spec fields as follows:
 
 =============================  =============================================
@@ -85,11 +111,15 @@ from repro.api import (
     ProtocolSpec,
     StepModelSpec,
     TrialSpec,
+    compile_death_ops,
     compile_spec,
+    fast_ineligibility,
     noise_to_spec,
     resolve_engine,
+    resolve_engine_info,
     run_batch,
     run_trial,
+    run_trials,
 )
 from repro.sim.runner import (
     half_and_half,
@@ -132,17 +162,21 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "__version__",
+    "compile_death_ops",
     "compile_spec",
+    "fast_ineligibility",
     "half_and_half",
     "noise_to_spec",
     "read",
     "resolve_engine",
+    "resolve_engine_info",
     "run_batch",
     "run_hybrid_trial",
     "run_noisy_trial",
     "run_noisy_trials",
     "run_step_trial",
     "run_trial",
+    "run_trials",
     "suggested_round_cap",
     "summarize",
     "write",

@@ -31,7 +31,17 @@ from repro.api.spec import (
     TrialSpec,
     noise_to_spec,
 )
-from repro.api.compile import CompiledTrial, compile_spec, resolve_engine, run_trial
+from repro.api.compile import (
+    CompiledTrial,
+    EngineResolution,
+    compile_death_ops,
+    compile_spec,
+    fast_ineligibility,
+    resolve_engine,
+    resolve_engine_info,
+    run_trial,
+    run_trials,
+)
 from repro.api.batch import BatchRunner, run_batch, trial_seed_sequences
 
 __all__ = [
@@ -39,6 +49,7 @@ __all__ = [
     "BatchRunner",
     "CompiledTrial",
     "DeltaSpec",
+    "EngineResolution",
     "FailureSpec",
     "HybridModelSpec",
     "NoiseSpec",
@@ -47,10 +58,14 @@ __all__ = [
     "ProtocolSpec",
     "StepModelSpec",
     "TrialSpec",
+    "compile_death_ops",
     "compile_spec",
+    "fast_ineligibility",
     "noise_to_spec",
     "resolve_engine",
+    "resolve_engine_info",
     "run_batch",
     "run_trial",
+    "run_trials",
     "trial_seed_sequences",
 ]

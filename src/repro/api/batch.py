@@ -32,7 +32,7 @@ import numpy as np
 from repro._rng import SeedLike, make_rng
 from repro.errors import ConfigurationError
 from repro.sim.results import TrialResult
-from repro.api.compile import run_trial
+from repro.api.compile import run_trials
 from repro.api.spec import TrialSpec
 
 #: (trial index, entropy, spawn_key) — a picklable child-seed identity.
@@ -77,11 +77,17 @@ def _strip_artifacts(result: TrialResult) -> TrialResult:
 
 
 def _run_chunk(payload) -> List[Tuple[int, TrialResult]]:
-    """Pool worker: run a chunk of trials of one (serialized) spec."""
+    """Pool worker: run a chunk of trials of one (serialized) spec.
+
+    Dispatches through :func:`repro.api.compile.run_trials`, so
+    fast-engine specs amortize their schedule sampling and the global
+    argsort across the whole chunk.
+    """
     spec_dict, entries = payload
     spec = TrialSpec.from_dict(spec_dict)
-    return [(entry[0], _strip_artifacts(run_trial(spec, _rebuild(entry))))
-            for entry in entries]
+    results = run_trials(spec, [_rebuild(entry) for entry in entries])
+    return [(entry[0], _strip_artifacts(result))
+            for entry, result in zip(entries, results)]
 
 
 def _pool_context():
@@ -121,7 +127,7 @@ class BatchRunner:
         """Run ``n_trials`` independent trials of ``spec``, in order."""
         seqs = trial_seed_sequences(seed, n_trials)
         if not self.parallel:
-            return [run_trial(spec, seq) for seq in seqs]
+            return run_trials(spec, seqs)
         if not spec.serializable:
             raise ConfigurationError(
                 "spec contains opaque components (a live instance, factory, "

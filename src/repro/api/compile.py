@@ -8,12 +8,26 @@ discipline of the historical ``run_noisy_trial`` / ``run_step_trial`` /
 equivalent produce bit-identical :class:`~repro.sim.results.TrialResult`
 values from the same seed — the property the wrapper-equivalence tests
 pin down.
+
+Engine selection lives in :func:`resolve_engine_info`: the vectorized
+replay family of :data:`repro.sim.fast.FAST_VARIANTS` serves every noisy
+spec without an adaptive adversary, recorder, round cap, or per-kind
+noise; ``engine="auto"`` additionally keeps small n on the event engine
+and records *why* in ``TrialResult.engine_reason``.
+
+:func:`run_trials` is the chunk-level entry point used by the batch
+runner: fast-engine specs presample their ``(trials, n, max_ops)``
+schedule tensor per chunk and argsort it in a single numpy call, which
+amortizes the sort dispatch across a sweep while staying bit-identical to
+per-trial execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
 from repro.errors import ConfigurationError
@@ -27,14 +41,24 @@ from repro.sim.build import (
     make_memory_for,
 )
 from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
-from repro.sim.fast import lean_horizon_ops, replay_lean
+from repro.sim.fast import FAST_VARIANTS, lean_horizon_ops, replay
 from repro.sim.results import TrialResult
 from repro.api.spec import (
+    FailureSpec,
     HybridModelSpec,
     NoisyModelSpec,
     StepModelSpec,
     TrialSpec,
 )
+
+#: ``engine="auto"`` keeps n below this on the event engine: the fast
+#: engine's fixed costs (full-horizon presample + argsort) only pay off
+#: once the event engine's per-op heap traffic dominates.
+FAST_AUTO_MIN_N = 256
+
+#: Cap on schedule-tensor elements materialized per fast batch sub-chunk
+#: (~128 MB of float64), bounding the batched argsort's working set.
+_FAST_CHUNK_ELEMENTS = 16_000_000
 
 
 @dataclass
@@ -48,42 +72,115 @@ class CompiledTrial:
         machines: the instantiated process machines (``None`` for the fast
             engine, which replays a closed-form schedule instead).
         memory: the assembled shared memory (``None`` for the fast engine).
+        engine_reason: why ``"auto"`` fell back to the event engine, when
+            it did (mirrored onto ``TrialResult.engine_reason``).
     """
 
     spec: TrialSpec
     engine: str
     machines: Optional[list] = None
     memory: Optional[object] = None
+    engine_reason: Optional[str] = None
     _execute: Callable[[], TrialResult] = field(default=None, repr=False)
 
     def run(self) -> TrialResult:
         """Execute the trial and return its result (call once)."""
         result = self._execute()
         result.engine = self.engine
+        result.engine_reason = self.engine_reason
         return result
 
 
-def resolve_engine(spec: TrialSpec) -> str:
-    """The engine a spec will run on, with ``"auto"`` resolved.
+@dataclass(frozen=True)
+class EngineResolution:
+    """The outcome of engine selection for one spec.
 
-    Mirrors the historical selection rule: the vectorized fast engine is
-    used for plain lean-consensus under the noisy model with no adaptive
-    adversary, no recorder, no round cap, a single (non-per-kind) noise
-    distribution, and n >= 256; everything else runs the event engine.
+    Attributes:
+        engine: the engine that will run.
+        reason: for ``"auto"`` resolutions that fell back to the event
+            engine, the structured explanation (``None`` otherwise).
+    """
+
+    engine: str
+    reason: Optional[str] = None
+
+
+def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
+    """Why a noisy spec cannot run on the vectorized engine (or ``None``).
+
+    The fast engine covers every protocol in
+    :data:`repro.sim.fast.FAST_VARIANTS` with random halting compiled to
+    per-process death schedules; the remaining exclusions are features
+    whose semantics are inherently event-driven.
+    """
+    if spec.protocol.factory is not None:
+        return "the protocol uses an opaque machine factory"
+    if spec.protocol.name not in FAST_VARIANTS:
+        return (f"protocol {spec.protocol.name!r} has no vectorized replay "
+                f"(supported: {sorted(FAST_VARIANTS)})")
+    if spec.protocol.round_cap is not None:
+        return "round_cap bookkeeping requires the event engine"
+    if spec.failures.adversary is not None:
+        return ("adaptive crash adversaries observe the execution and "
+                "cannot be presampled obliviously")
+    if spec.record:
+        return "record=True history capture requires the event engine"
+    if spec.model.write_noise is not None:
+        return "per-op-kind write noise requires the event engine"
+    return None
+
+
+def resolve_engine_info(spec: TrialSpec) -> EngineResolution:
+    """Resolve the engine a spec will run on, with the fallback reason.
+
+    ``engine="fast"`` on an ineligible spec raises
+    :class:`~repro.errors.ConfigurationError` naming the blocker;
+    ``engine="auto"`` falls back to the event engine instead and reports
+    why in :attr:`EngineResolution.reason` (surfaced as
+    ``TrialResult.engine_reason``).
     """
     if isinstance(spec.model, StepModelSpec):
-        return "step"
+        return EngineResolution("step")
     if isinstance(spec.model, HybridModelSpec):
-        return "hybrid"
-    if spec.engine != "auto":
-        return spec.engine
-    fast_ok = (spec.protocol.name == "lean"
-               and spec.protocol.factory is None
-               and spec.failures.adversary is None
-               and not spec.record
-               and spec.protocol.round_cap is None
-               and spec.model.write_noise is None)
-    return "fast" if (fast_ok and spec.n >= 256) else "event"
+        return EngineResolution("hybrid")
+    if spec.engine == "event":
+        return EngineResolution("event")
+    why_not = fast_ineligibility(spec)
+    if spec.engine == "fast":
+        if why_not is not None:
+            raise ConfigurationError(
+                f'engine="fast" was requested but {why_not}')
+        return EngineResolution("fast")
+    # engine == "auto"
+    if why_not is not None:
+        return EngineResolution("event", reason=why_not)
+    if spec.n < FAST_AUTO_MIN_N:
+        return EngineResolution(
+            "event",
+            reason=(f"auto keeps n={spec.n} < {FAST_AUTO_MIN_N} on the "
+                    'event engine (fast-engine fixed costs dominate at '
+                    'small n); pass engine="fast" to override'))
+    return EngineResolution("fast")
+
+
+def resolve_engine(spec: TrialSpec) -> str:
+    """The engine a spec will run on, with ``"auto"`` resolved."""
+    return resolve_engine_info(spec).engine
+
+
+def compile_death_ops(failures: FailureSpec, n: int,
+                      rng: np.random.Generator) -> Optional[np.ndarray]:
+    """Compile a :class:`FailureSpec` into a per-process death schedule.
+
+    Returns the 1-based operation index before which each process halts
+    (the ``H_ij`` of Section 3.1.2), drawn with the same RNG discipline as
+    the event engine's failure stream, or ``None`` when the spec injects
+    no random halting.  Adaptive adversaries cannot be presampled and are
+    rejected by :func:`fast_ineligibility` before this point.
+    """
+    if failures.h <= 0.0:
+        return None
+    return RandomHalting(failures.h, rng).presample_death_ops(n)
 
 
 def compile_spec(spec: TrialSpec, seed: SeedLike = None) -> CompiledTrial:
@@ -100,33 +197,55 @@ def run_trial(spec: TrialSpec, seed: SeedLike = None) -> TrialResult:
     return compile_spec(spec, seed).run()
 
 
+def run_trials(spec: TrialSpec,
+               seeds: Sequence[SeedLike]) -> List[TrialResult]:
+    """Run one spec over several per-trial seeds (a batch chunk).
+
+    Fast-engine specs batch their schedule sampling: the chunk's
+    ``(trials, n, max_ops)`` completion-time tensor is argsorted in one
+    numpy call and each replay consumes its precomputed row.  Results are
+    bit-identical to ``[run_trial(spec, s) for s in seeds]`` — each trial
+    still draws from its own seed streams in the compiler's order.
+    """
+    if isinstance(spec.model, NoisyModelSpec) \
+            and resolve_engine_info(spec).engine == "fast":
+        return _run_fast_chunk(spec, seeds)
+    return [run_trial(spec, s) for s in seeds]
+
+
 # ---------------------------------------------------------------------------
 # Noisy model
 # ---------------------------------------------------------------------------
 
 
+def _noisy_streams(seed: SeedLike):
+    """The per-trial stream spawn discipline of the noisy compiler.
+
+    Returns ``(rng_noise, rng_dither, rng_fail, rng_proto)``.  Shared by
+    the single-trial and chunked fast paths so their bit-identity cannot
+    be broken by one site reordering the spawn (the differential oracle
+    mirrors the same order from clonable seed sequences).
+    """
+    return spawn(make_rng(seed), 4)
+
+
 def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
     model = spec.model
-    root = make_rng(seed)
-    rng_noise, rng_dither, rng_fail, rng_proto = spawn(root, 4)
+    rng_noise, rng_dither, rng_fail, rng_proto = _noisy_streams(seed)
     input_map = spec.input_map()
 
     noise = model.noise.build()
     if model.write_noise is not None:
         noise = PerOpKindNoise(noise, model.write_noise.build())
 
-    engine = resolve_engine(spec)
+    resolution = resolve_engine_info(spec)
     delta = model.delta.build(spec.n, rng_dither)
 
-    if engine == "fast":
-        if spec.protocol.name != "lean" or spec.protocol.factory is not None:
-            raise ConfigurationError("fast engine only supports plain lean")
+    if resolution.engine == "fast":
 
         def execute() -> TrialResult:
-            return _run_fast(spec.n, noise, delta, rng_noise, rng_fail,
-                             input_map, spec.failures.h,
-                             spec.stop_after_first_decision,
-                             model.allow_degenerate, spec.check)
+            return _run_fast(spec, noise, delta, rng_noise, rng_fail,
+                             rng_proto, input_map)
 
         return CompiledTrial(spec=spec, engine="fast", _execute=execute)
 
@@ -153,29 +272,180 @@ def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
         return check_result(result, spec.check)
 
     return CompiledTrial(spec=spec, engine="event", machines=machines,
-                         memory=memory, _execute=execute)
+                         memory=memory, engine_reason=resolution.reason,
+                         _execute=execute)
 
 
-def _run_fast(n, noise, delta, rng_noise, rng_fail, input_map, h,
-              stop_first, allow_degenerate, check) -> TrialResult:
-    inputs = [input_map[pid] for pid in range(n)]
-    horizon = lean_horizon_ops(n)
-    for _attempt in range(10):
+def _fast_tie_seqs(spec: TrialSpec, rng_proto) -> Optional[list]:
+    """Per-process coin seed sequences for the random-tie replay.
+
+    Spawned from the protocol stream exactly like
+    :func:`repro.sim.build.make_machines` does for ``"random-tie"``, so
+    fast and event runs given the same protocol stream flip identically.
+    Sequences (not generators) are kept because every replay attempt must
+    restart the coin streams from the top — building a generator from a
+    ``SeedSequence`` is pure, so the same sequence can seed any number of
+    identical streams.
+    """
+    if not FAST_VARIANTS[spec.protocol.name].random_tie:
+        return None
+    seed_seq = rng_proto.bit_generator.seed_seq  # type: ignore[attr-defined]
+    return seed_seq.spawn(spec.n)
+
+
+def _tie_rngs(tie_seqs) -> Optional[list]:
+    if tie_seqs is None:
+        return None
+    return [make_rng(seq) for seq in tie_seqs]
+
+
+def _fast_prefix_ops(n: int) -> int:
+    """Initial argsort prefix (in ops per process) for one replay.
+
+    The full :func:`lean_horizon_ops` horizon is sized so a redraw is
+    almost never needed, but the race empirically ends well before
+    2·log2(n) rounds — argsorting the whole horizon wastes most of the
+    sort (the dominant fast-engine cost at large n).  Replaying a column
+    prefix is exact whenever the replay *completes* with no still-running
+    process having consumed its entire prefix: every unseen event then
+    provably lies after the stopping point, so the executed sequence
+    matches the full argsort's.  The replay refuses the remaining case
+    (``truncated=True`` returns ``None`` for a first-decision stop with a
+    starved process — its dropped events could precede the stop), and
+    callers double the prefix on ``None``, falling back to redrawing
+    noise only once the full horizon itself overflows.
+    """
+    return 4 * (int(np.log2(n + 2)) + 10)
+
+
+def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
+                    prefix: Optional[int] = None) -> Optional[TrialResult]:
+    """Replay one presampled schedule, growing the argsort prefix.
+
+    This is the production fast path over a fixed schedule matrix: replay
+    a column prefix, and on ``None`` (horizon overflow *or* a starved
+    process at a first-decision stop — see :func:`repro.sim.fast.replay`)
+    double the prefix up to the full matrix.  The differential oracle
+    drives this exact function, so prefix handling is covered by the
+    cross-engine sweep.  Returns ``None`` only when the full matrix
+    itself overflows (the caller then redraws noise at a doubled
+    horizon).
+    """
+    max_ops = times.shape[1]
+    k = min(prefix if prefix is not None else _fast_prefix_ops(spec.n),
+            max_ops)
+    while True:
+        result = replay(times[:, :k] if k < max_ops else times, inputs,
+                        variant=spec.protocol.name, death_ops=death_ops,
+                        stop_after_first_decision=
+                        spec.stop_after_first_decision,
+                        tie_rngs=_tie_rngs(tie_seqs),
+                        truncated=k < max_ops)
+        if result is not None or k >= max_ops:
+            return result
+        k = min(k * 2, max_ops)
+
+
+def _fast_attempts(spec: TrialSpec, noise, delta, rng_noise, rng_fail,
+                   tie_seqs, inputs, horizon: int,
+                   attempts: int = 10) -> TrialResult:
+    """The presample-replay-retry loop shared by single and batched runs.
+
+    Each attempt redraws the schedule (and death schedule) from the
+    *continuing* per-trial streams at a doubled horizon, so a batched
+    first attempt followed by this loop is bit-identical to running the
+    loop from the start.
+    """
+    model = spec.model
+    for _attempt in range(attempts):
         scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
-                                   allow_degenerate=allow_degenerate)
-        times = scheduler.presample(n, horizon)
-        death_ops = None
-        if h > 0:
-            death_ops = RandomHalting(h, rng_fail).presample_death_ops(n)
-        result = replay_lean(times, inputs, death_ops=death_ops,
-                             stop_after_first_decision=stop_first)
+                                   allow_degenerate=model.allow_degenerate)
+        times = scheduler.presample(spec.n, horizon)
+        death_ops = compile_death_ops(spec.failures, spec.n, rng_fail)
+        result = replay_schedule(spec, times, inputs, death_ops, tie_seqs)
         if result is not None:
-            return check_result(result, check)
+            return check_result(result, spec.check)
         horizon *= 2
     raise ConfigurationError(
         f"schedule horizon kept overflowing (last tried {horizon} ops); "
         "is the noise distribution effectively degenerate?"
     )
+
+
+def _run_fast(spec: TrialSpec, noise, delta, rng_noise, rng_fail, rng_proto,
+              input_map) -> TrialResult:
+    inputs = [input_map[pid] for pid in range(spec.n)]
+    tie_seqs = _fast_tie_seqs(spec, rng_proto)
+    return _fast_attempts(spec, noise, delta, rng_noise, rng_fail, tie_seqs,
+                          inputs, horizon=lean_horizon_ops(spec.n))
+
+
+def _run_fast_chunk(spec: TrialSpec,
+                    seeds: Sequence[SeedLike]) -> List[TrialResult]:
+    """Trial-batched fast execution: one argsort per schedule sub-chunk.
+
+    Per-trial RNG streams are spawned exactly as :func:`_compile_noisy`
+    does, and each trial's schedule is drawn from its own noise stream (the
+    per-trial seed discipline the batch runner guarantees); the batching
+    win is stacking those schedules and argsorting the whole sub-chunk in
+    a single numpy call.
+    """
+    model = spec.model
+    n = spec.n
+    input_map = spec.input_map()
+    inputs = [input_map[pid] for pid in range(n)]
+    noise = model.noise.build()
+    horizon = lean_horizon_ops(n)
+    prefix = min(_fast_prefix_ops(n), horizon)
+    sub = max(1, _FAST_CHUNK_ELEMENTS // max(n * horizon, 1))
+    results: List[TrialResult] = []
+    for base in range(0, len(seeds), sub):
+        block = seeds[base:base + sub]
+        contexts = []
+        times_list = []
+        for seed in block:
+            rng_noise, rng_dither, rng_fail, rng_proto = _noisy_streams(seed)
+            delta = model.delta.build(n, rng_dither)
+            scheduler = NoisyScheduler(
+                noise, rng_noise, delta=delta,
+                allow_degenerate=model.allow_degenerate)
+            times_list.append(scheduler.presample(n, horizon))
+            death_ops = compile_death_ops(spec.failures, n, rng_fail)
+            tie_seqs = _fast_tie_seqs(spec, rng_proto)
+            contexts.append((rng_noise, rng_fail, delta, death_ops, tie_seqs))
+        # The chunk-batched argsort: every trial's schedule prefix in a
+        # single numpy call (the dominant vector cost of the fast engine).
+        orders = np.argsort(
+            np.stack([t[:, :prefix] for t in times_list]).reshape(
+                len(block), -1),
+            axis=1, kind="stable")
+        for k, (rng_noise, rng_fail, delta, death_ops, tie_seqs) \
+                in enumerate(contexts):
+            result = replay(times_list[k][:, :prefix], inputs,
+                            variant=spec.protocol.name,
+                            death_ops=death_ops,
+                            stop_after_first_decision=
+                            spec.stop_after_first_decision,
+                            tie_rngs=_tie_rngs(tie_seqs), order=orders[k],
+                            truncated=prefix < horizon)
+            if result is None and prefix < horizon:
+                # Prefix overflow (or a starved process at the stop):
+                # grow the argsort window on the same schedule.
+                result = replay_schedule(spec, times_list[k], inputs,
+                                         death_ops, tie_seqs,
+                                         prefix=prefix * 2)
+            if result is not None:
+                result = check_result(result, spec.check)
+            else:
+                # Rare full-horizon overflow: continue this trial's
+                # streams through the serial retry loop (attempt 2 on).
+                result = _fast_attempts(spec, noise, delta, rng_noise,
+                                        rng_fail, tie_seqs, inputs,
+                                        horizon=horizon * 2, attempts=9)
+            result.engine = "fast"
+            result.engine_reason = None
+            results.append(result)
+    return results
 
 
 # ---------------------------------------------------------------------------

@@ -51,6 +51,7 @@ class CliScale:
     trials: int
     seed: int
     workers: Optional[int] = None
+    engine: Optional[str] = None
 
 
 def scale_parser(description: str) -> argparse.ArgumentParser:
@@ -65,6 +66,13 @@ def scale_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for batched sweeps "
                              "(default: serial; results are identical)")
+    parser.add_argument("--engine", choices=("auto", "event", "fast"),
+                        default=None,
+                        help="simulation engine for the sweeps "
+                             "(default: the experiment's own choice; "
+                             "'fast' forces the vectorized replay at any "
+                             "n, composes with --workers, and is what "
+                             "makes the --paper scale affordable)")
     parser.add_argument("--paper", action="store_true",
                         help="use the paper's full scale "
                              "(n up to 100000, 10000 trials; slow)")
@@ -81,4 +89,5 @@ def parse_scale(parser: argparse.ArgumentParser, argv=None):
         ns = args.ns or DEFAULT_NS
         trials = args.trials or DEFAULT_TRIALS
     return CliScale(ns=tuple(ns), trials=trials, seed=args.seed,
-                    workers=getattr(args, "workers", None)), args
+                    workers=getattr(args, "workers", None),
+                    engine=getattr(args, "engine", None)), args

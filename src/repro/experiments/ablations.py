@@ -29,6 +29,7 @@ from repro.noise.distributions import (
     TruncatedNormal,
 )
 from repro.sched.delta import RandomDelta
+from repro.sim.fast import has_fast_replay
 from repro.sim.runner import run_noisy_trial
 from repro.experiments._common import format_table, parse_scale, scale_parser
 
@@ -63,12 +64,20 @@ class AblationResult:
 
 def compare_protocols(protocols: Sequence[str], n: int, trials: int,
                       noise: NoiseDistribution,
-                      seed: SeedLike) -> List[ProtocolRow]:
-    """ABL1/ABL3: identical workloads, different protocol variants."""
+                      seed: SeedLike,
+                      engine: str = "event") -> List[ProtocolRow]:
+    """ABL1/ABL3: identical workloads, different protocol variants.
+
+    ``engine="fast"`` replays the variants that have a vectorized replay
+    (see :data:`repro.sim.fast.FAST_VARIANTS`); protocols without one
+    (e.g. shared-coin) keep the event engine.  The pairing is preserved
+    either way — every protocol consumes the same per-trial seed stream.
+    """
     root = make_rng(seed)
     trial_rngs = spawn(root, trials)
     rows = []
     for name in protocols:
+        proto_engine = engine if has_fast_replay(name) else "event"
         firsts, lasts, ops = [], [], []
         for trial_rng in trial_rngs:
             # Reuse the same trial seed stream across protocols so the
@@ -76,7 +85,7 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
             sub = np.random.Generator(np.random.PCG64(
                 trial_rng.bit_generator.seed_seq))  # type: ignore[attr-defined]
             trial = run_noisy_trial(n, noise, seed=sub, protocol=name,
-                                    engine="event")
+                                    engine=proto_engine)
             firsts.append(trial.first_decision_round)
             lasts.append(trial.last_decision_round)
             ops.append(trial.total_ops)
@@ -90,6 +99,7 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
 
 def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
                 seed: SeedLike,
+                engine: str = "auto",
                 workers: Optional[int] = None) -> List[SigmaRow]:
     """ABL2a: termination vs noise spread (truncated normal, mean 1).
 
@@ -104,6 +114,7 @@ def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
             n=n,
             model=NoisyModelSpec(noise=NoiseSpec.of(
                 "truncated-normal", mu=1.0, sigma=sigma, low=0.0, high=2.0)),
+            engine=engine,
             stop_after_first_decision=True)
         batch = runner.run(spec, trials, seed=root)
         firsts = [t.first_decision_round for t in batch]
@@ -118,7 +129,10 @@ def sweep_delay_bound(bounds: Sequence[float], n: int, trials: int,
 
     Adversarial delays here are oblivious uniform [0, M] per operation;
     larger M gives the adversary more room but also adds dispersal, so the
-    effect on the race is the interesting part.
+    effect on the race is the interesting part.  This sweep always runs on
+    the event engine (``--engine`` does not apply): the live
+    :class:`RandomDelta` schedule presamples a fixed 400-op delay window,
+    which the fast engine's horizon-doubling retries could outrun.
     """
     root = make_rng(seed)
     noise = Exponential(1.0)
@@ -144,13 +158,23 @@ def run(n: int = 64, trials: int = 100,
         delay_bounds: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
+        engine: str = "event",
         workers: Optional[int] = None) -> AblationResult:
+    """Run all three ablations.
+
+    ``engine`` selects the engine for the protocol comparison and the
+    sigma sweep; the delay-bound sweep is event-engine-only (see
+    :func:`sweep_delay_bound`).
+    """
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
     seeds = spawn(root, 3)
     return AblationResult(
-        protocols=compare_protocols(protocols, n, trials, noise, seeds[0]),
-        sigmas=sweep_sigma(sigmas, n, trials, seeds[1], workers=workers),
+        protocols=compare_protocols(protocols, n, trials, noise, seeds[0],
+                                    engine=engine),
+        sigmas=sweep_sigma(sigmas, n, trials, seeds[1],
+                           engine=engine if engine != "event" else "auto",
+                           workers=workers),
         delays=sweep_delay_bound(delay_bounds, n, max(trials // 2, 20),
                                  seeds[2]),
     )
@@ -179,6 +203,7 @@ def main(argv=None) -> None:
     parser = scale_parser("Design ablations (Section 4 and Section 6).")
     scale, _ = parse_scale(parser, argv)
     print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
+                            engine=scale.engine or "event",
                             workers=scale.workers)))
 
 

@@ -158,7 +158,7 @@ def main(argv=None) -> None:
                         help="also render an ASCII plot")
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 workers=scale.workers)
+                 engine=scale.engine or "auto", workers=scale.workers)
     print(format_result(result))
     if args.plot:
         print()

@@ -62,12 +62,14 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         trials: int = DEFAULT_TRIALS,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
+        engine: str = "auto",
         workers: Optional[int] = None) -> ScalingResult:
     """Measure termination-round growth and fit the Θ(log n) model.
 
     The sweep is a grid of :class:`~repro.api.TrialSpec` values dispatched
     through the :class:`~repro.api.BatchRunner` (``workers`` parallelizes
-    it with identical output).  Skips n = 1 for the fit (ln 1 = 0 gives
+    it with identical output; ``engine="fast"`` forces the vectorized
+    replay at every n).  Skips n = 1 for the fit (ln 1 = 0 gives
     the intercept no leverage and the point is deterministic anyway) but
     still reports it.
     """
@@ -78,7 +80,8 @@ def run(ns: Sequence[int] = DEFAULT_NS,
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
     for n in ns:
-        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec))
+        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec),
+                         engine=engine)
         batch = runner.run(spec, trials, seed=root)
         firsts = [t.first_decision_round for t in batch]
         lasts = [t.last_decision_round for t in batch]
@@ -96,11 +99,13 @@ def run_tail(n: int = 256, trials: int = 2000,
              noise: Optional[NoiseDistribution] = None,
              ks: Optional[Sequence[int]] = None,
              seed: SeedLike = 2000,
+             engine: str = "auto",
              workers: Optional[int] = None) -> TailResult:
     """Measure P[termination round > k] and fit the exponential tail."""
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
-    spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)))
+    spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)),
+                     engine=engine)
     batch = BatchRunner(workers=workers).run(spec, trials, seed=root)
     rounds = [t.last_decision_round for t in batch]
     if ks is None:
@@ -134,9 +139,10 @@ def main(argv=None) -> None:
     parser.add_argument("--tail-n", type=int, default=256)
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 workers=scale.workers)
+                 engine=scale.engine or "auto", workers=scale.workers)
     tail = run_tail(n=args.tail_n, trials=max(scale.trials, 500),
-                    seed=scale.seed, workers=scale.workers)
+                    seed=scale.seed, engine=scale.engine or "auto",
+                    workers=scale.workers)
     print(format_result(result, tail))
 
 

@@ -11,6 +11,7 @@ from repro.failures.injection import (
     FailureModel,
     KillLeaderAdversary,
     NoFailures,
+    PresampledDeaths,
     RandomHalting,
     ScriptedFailures,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "FailureModel",
     "KillLeaderAdversary",
     "NoFailures",
+    "PresampledDeaths",
     "RandomHalting",
     "ScriptedFailures",
 ]

@@ -66,6 +66,28 @@ class RandomHalting(FailureModel):
         return self.rng.geometric(self.h, size=n).astype(np.int64)
 
 
+class PresampledDeaths(FailureModel):
+    """Replays a per-process death-op schedule on the event engines.
+
+    ``death_ops[pid]`` is the 1-based operation index before which the
+    process halts (a huge sentinel marks survivors) — the same contract as
+    the fast engine's ``death_ops`` argument, so a schedule compiled by
+    :func:`repro.api.compile.compile_death_ops` injects *identical*
+    failures into both engines.  This is what the differential oracle uses
+    to cross-validate crash handling.
+    """
+
+    def __init__(self, death_ops) -> None:
+        self.death_ops = np.asarray(death_ops, dtype=np.int64)
+        if self.death_ops.ndim != 1:
+            raise ConfigurationError("death_ops must be a 1-D array")
+        if (self.death_ops < 1).any():
+            raise ConfigurationError("death ops are 1-based; got index < 1")
+
+    def halts_before(self, pid: int, op_index: int) -> bool:
+        return op_index >= int(self.death_ops[pid])
+
+
 class ScriptedFailures(FailureModel):
     """Kills specific (pid, op_index) points; for deterministic tests."""
 

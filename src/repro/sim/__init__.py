@@ -3,9 +3,15 @@
 * :mod:`repro.sim.engine` — the reference engines: event-driven (noisy
   model), sequential (picker-driven interleavings), and hybrid-scheduled
   (uniprocessor).  Exact, fully instrumented, O(total ops · log n).
-* :mod:`repro.sim.fast` — the vectorized engine for large Figure-1 sweeps;
-  pre-samples the whole schedule (legal because noisy scheduling is
-  oblivious) and replays it in a tight loop.
+* :mod:`repro.sim.fast` — the vectorized engines for large sweeps;
+  pre-sample the whole schedule (legal because noisy scheduling is
+  oblivious) and replay it in a tight loop.  :data:`FAST_VARIANTS` lists
+  the protocols with a vectorized replay (lean, the decision-lag and
+  tie-rule variants, and the Section-4 optimized variant), with crash
+  failures compiled to per-process death schedules.
+* :mod:`repro.sim.differential` — the cross-engine differential oracle:
+  replays identical pre-sampled schedules through a vectorized replay and
+  the reference event engine and asserts identical observables.
 * :mod:`repro.sim.runner` — one-call trial runners and batch helpers.
 * :mod:`repro.sim.results` / :mod:`repro.sim.metrics` — result records and
   their aggregation.
@@ -13,7 +19,21 @@
 
 from repro.sim.results import TrialResult
 from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
-from repro.sim.fast import FastLeanTrial, replay_lean
+from repro.sim.fast import (
+    FAST_VARIANTS,
+    FastLeanTrial,
+    FastVariant,
+    has_fast_replay,
+    replay,
+    replay_lean,
+)
+from repro.sim.differential import (
+    DifferentialMismatch,
+    DifferentialReport,
+    assert_equivalent,
+    compare_results,
+    run_differential,
+)
 from repro.sim.runner import (
     half_and_half,
     make_machines,
@@ -26,16 +46,25 @@ from repro.sim.runner import (
 from repro.sim.metrics import TrialStats, summarize
 
 __all__ = [
+    "DifferentialMismatch",
+    "DifferentialReport",
+    "FAST_VARIANTS",
     "FastLeanTrial",
+    "FastVariant",
     "HybridEngine",
     "NoisyEngine",
     "StepEngine",
     "TrialResult",
     "TrialStats",
+    "assert_equivalent",
+    "compare_results",
     "half_and_half",
+    "has_fast_replay",
     "make_machines",
     "make_memory_for",
+    "replay",
     "replay_lean",
+    "run_differential",
     "run_hybrid_trial",
     "run_noisy_trial",
     "run_noisy_trials",

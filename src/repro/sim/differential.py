@@ -1,0 +1,260 @@
+"""Cross-engine differential oracle.
+
+The vectorized replays of :mod:`repro.sim.fast` and the event-driven
+reference engine realize the *same* abstract execution whenever they
+consume the same schedule: the noisy model is oblivious, so a pre-sampled
+``(n, max_ops)`` completion-time matrix (plus a per-process death
+schedule and, for coin protocols, per-process coin streams) pins the
+interleaving completely.  This module pre-samples exactly one such
+schedule per (spec, seed), feeds it to both engines, and compares every
+engine-independent observable:
+
+* per-process decision values, rounds, and operation counts;
+* the halted-process set;
+* total operations, maximum round, preference adoptions;
+* the first/last-decision summary fields.
+
+``first_decision_time`` and ``sim_time`` are engine artifacts (the fast
+replay has no clock) and are deliberately excluded.
+
+The oracle is the library's schedule-exploration safety net: the
+property-style test sweep drives it over a seeded grid of (n, noise
+distribution, protocol variant, failure fraction) configurations, so any
+divergence between a vectorized replay and the reference semantics is a
+one-line repro (spec + seed).
+
+Typical use::
+
+    from repro.api import NoiseSpec, NoisyModelSpec, TrialSpec
+    from repro.sim.differential import assert_equivalent
+
+    spec = TrialSpec(n=40, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)), engine="fast")
+    assert_equivalent(spec, seed=7)   # raises DifferentialMismatch on bug
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._rng import make_rng
+from repro.errors import ConfigurationError, SimulationError
+from repro.failures.injection import NoFailures, PresampledDeaths
+from repro.core.machine import LeanConsensus, RandomCoin, RandomTie
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sim.build import check_result, make_machines, make_memory_for
+from repro.sim.engine import NoisyEngine
+from repro.sim.fast import FAST_VARIANTS, lean_horizon_ops, replay
+from repro.sim.results import TrialResult
+from repro.api.spec import NoisyModelSpec, TrialSpec
+
+
+class DifferentialMismatch(SimulationError):
+    """The two engines disagreed on a shared schedule (a real bug)."""
+
+
+@dataclass
+class DifferentialReport:
+    """Everything one oracle run produced.
+
+    Attributes:
+        spec: the spec under test.
+        fast: the vectorized replay's result.
+        event: the reference event engine's result.
+        horizon: the schedule horizon (in ops) that finally sufficed.
+        mismatches: human-readable descriptions of every disagreement
+            (empty when the engines agree).
+    """
+
+    spec: TrialSpec
+    fast: TrialResult
+    event: TrialResult
+    horizon: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _clone_seq(seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """A fresh SeedSequence with the same identity (and spawn counter 0)."""
+    return np.random.SeedSequence(entropy=seq.entropy,
+                                  spawn_key=tuple(seq.spawn_key))
+
+
+def _gen(seq: np.random.SeedSequence) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(_clone_seq(seq)))
+
+
+class _PaddedSchedule(PresampledScheduler):
+    """A presampled schedule that parks post-horizon ops at +inf.
+
+    The event engine eagerly prices each process's *next* operation; when
+    the replay finished strictly inside the horizon, any such lookahead
+    beyond it is unreachable, so pricing it at infinity (instead of
+    raising) keeps the two engines consuming identical event prefixes.
+    """
+
+    def next_time(self, pid: int, op_index: int, kind, prev_time: float):
+        if op_index > self.max_ops:
+            return float("inf")
+        return float(self.times[pid, op_index - 1])
+
+
+def run_differential(spec: TrialSpec, seed=None,
+                     horizon: Optional[int] = None,
+                     max_attempts: int = 10) -> DifferentialReport:
+    """Replay one shared pre-sampled schedule through both engines.
+
+    The spec must use the noisy model and a protocol with a vectorized
+    replay (anything :func:`repro.api.compile.fast_ineligibility` accepts);
+    the spec's ``engine`` field is ignored — this function *always* runs
+    both engines.  All randomness (noise, dither, deaths, coins) derives
+    from ``seed`` with the compiler's stream-spawn discipline.
+    """
+    # Lazy import: repro.api.compile imports repro.sim.build, which would
+    # cycle with the repro.sim package initialization importing this module.
+    from repro.api.compile import (
+        compile_death_ops,
+        fast_ineligibility,
+        replay_schedule,
+    )
+
+    if not isinstance(spec.model, NoisyModelSpec):
+        raise ConfigurationError(
+            "the differential oracle covers the noisy model only")
+    why_not = fast_ineligibility(spec)
+    if why_not is not None:
+        raise ConfigurationError(
+            f"spec has no fast-engine replay to differentiate: {why_not}")
+
+    model = spec.model
+    n = spec.n
+    root = make_rng(seed)
+    noise_seq, dither_seq, fail_seq, proto_seq = \
+        root.bit_generator.seed_seq.spawn(4)  # type: ignore[attr-defined]
+    rng_noise = _gen(noise_seq)
+    rng_fail = _gen(fail_seq)
+    noise = model.noise.build()
+    delta = model.delta.build(n, _gen(dither_seq))
+    input_map = spec.input_map()
+    inputs = [input_map[pid] for pid in range(n)]
+    variant = FAST_VARIANTS[spec.protocol.name]
+    # Twin per-process coin streams: both engines get generators built from
+    # the same child SeedSequences, so every tie flips the same way.
+    coin_seqs = (_clone_seq(proto_seq).spawn(n)
+                 if variant.random_tie else None)
+
+    horizon = horizon if horizon is not None else lean_horizon_ops(n)
+    fast_result = None
+    for _attempt in range(max_attempts):
+        scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
+                                   allow_degenerate=model.allow_degenerate)
+        times = scheduler.presample(n, horizon)
+        death_ops = compile_death_ops(spec.failures, n, rng_fail)
+        tie_rngs = ([_gen(s) for s in coin_seqs]
+                    if coin_seqs is not None else None)
+        fast_result = replay(
+            times, inputs, variant=spec.protocol.name, death_ops=death_ops,
+            stop_after_first_decision=spec.stop_after_first_decision,
+            tie_rngs=tie_rngs)
+        if fast_result is not None:
+            break
+        horizon *= 2
+    else:
+        raise ConfigurationError(
+            f"schedule horizon kept overflowing (last tried {horizon} ops); "
+            "is the noise distribution effectively degenerate?")
+    fast_result = check_result(fast_result, spec.check)
+    fast_result.engine = "fast"
+
+    event_result = _run_event(spec, times, death_ops, inputs, coin_seqs)
+    mismatches = compare_results(fast_result, event_result)
+
+    # Also drive the *production* prefix-doubling path over the same
+    # schedule: a truncated replay that completes must match the full
+    # replay exactly (the starvation guard retries the inexact cases).
+    prefix_result = replay_schedule(spec, times, inputs, death_ops,
+                                    coin_seqs)
+    if prefix_result is None:
+        mismatches.append("prefix replay overflowed where the full "
+                          "replay completed")
+    else:
+        mismatches.extend(
+            "prefix " + m for m in compare_results(prefix_result,
+                                                   fast_result))
+
+    report = DifferentialReport(
+        spec=spec, fast=fast_result, event=event_result, horizon=horizon,
+        mismatches=mismatches)
+    return report
+
+
+def assert_equivalent(spec: TrialSpec, seed=None,
+                      horizon: Optional[int] = None) -> DifferentialReport:
+    """Run the oracle and raise :class:`DifferentialMismatch` on any diff."""
+    report = run_differential(spec, seed, horizon=horizon)
+    if not report.ok:
+        detail = "\n  ".join(report.mismatches)
+        raise DifferentialMismatch(
+            f"fast and event engines diverged on a shared schedule "
+            f"(n={spec.n}, protocol={spec.protocol.name!r}, "
+            f"h={spec.failures.h}):\n  {detail}")
+    return report
+
+
+def _run_event(spec: TrialSpec, times: np.ndarray,
+               death_ops: Optional[np.ndarray], inputs: Sequence[int],
+               coin_seqs) -> TrialResult:
+    """The reference run over the exact schedule the replay consumed."""
+    if coin_seqs is not None:
+        coins = [RandomCoin(_gen(s)) for s in coin_seqs]
+        machines = [LeanConsensus(pid, bit,
+                                  tie_rule=RandomTie(coins[pid]))
+                    for pid, bit in enumerate(inputs)]
+    else:
+        machines = make_machines(spec.protocol.name, dict(enumerate(inputs)))
+    memory = make_memory_for(machines)
+    failures = (PresampledDeaths(death_ops) if death_ops is not None
+                else NoFailures())
+    engine = NoisyEngine(
+        machines, memory, _PaddedSchedule(times), failures=failures,
+        max_total_ops=times.size + 1,
+        stop_after_first_decision=spec.stop_after_first_decision)
+    result = engine.run()
+    result = check_result(result, spec.check)
+    result.engine = "event"
+    return result
+
+
+#: Observables compared by the oracle (engine clocks excluded).
+_COMPARED_FIELDS = ("total_ops", "max_round", "preference_changes",
+                    "first_decision_round", "first_decision_ops",
+                    "last_decision_round")
+
+
+def compare_results(fast: TrialResult, event: TrialResult) -> List[str]:
+    """Every engine-independent observable that differs, described."""
+    mismatches: List[str] = []
+    if set(fast.decisions) != set(event.decisions):
+        mismatches.append(
+            f"decided pids differ: fast={sorted(fast.decisions)} "
+            f"event={sorted(event.decisions)}")
+    for pid in sorted(set(fast.decisions) & set(event.decisions)):
+        df, de = fast.decisions[pid], event.decisions[pid]
+        if (df.value, df.round, df.ops) != (de.value, de.round, de.ops):
+            mismatches.append(
+                f"p{pid} decision differs: fast={df} event={de}")
+    if fast.halted != event.halted:
+        mismatches.append(
+            f"halted sets differ: fast={sorted(fast.halted)} "
+            f"event={sorted(event.halted)}")
+    for name in _COMPARED_FIELDS:
+        vf, ve = getattr(fast, name), getattr(event, name)
+        if vf != ve:
+            mismatches.append(f"{name} differs: fast={vf} event={ve}")
+    return mismatches

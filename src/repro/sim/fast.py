@@ -1,4 +1,4 @@
-"""Vectorized engine for large-scale lean-consensus sweeps.
+"""Vectorized engines for large-scale consensus sweeps.
 
 The noisy-scheduling model is *oblivious*: operation completion times
 S_ij = Delta_i0 + sum(Delta_ik + X_ik) do not depend on the algorithm's
@@ -8,10 +8,29 @@ replayed in a tight Python loop with flat array state — no heap, no object
 dispatch.  This is what makes the paper's n = 100,000 Figure-1 points
 affordable in pure Python.
 
-The replay implements exactly the four-step round of
-:class:`repro.core.machine.LeanConsensus` with the deterministic (paper)
-tie rule; the test suite replays identical pre-sampled schedules through
-this engine and the reference event engine and asserts identical decisions,
+The same argument covers every protocol whose operation sequence is a
+function of the values it reads (not of the clock), so the replay is not
+limited to plain lean-consensus.  :data:`FAST_VARIANTS` is the dispatch
+table of protocols with a vectorized replay:
+
+* ``"lean"`` — the paper's four-step round with the deterministic tie
+  rule (:class:`repro.core.machine.LeanConsensus`);
+* ``"conservative"`` / ``"eager"`` — the decision-lag variants of
+  :mod:`repro.core.variants` (``lag=2`` / ``lag=0``; eager is the unsafe
+  negative control and needs ``check=False``);
+* ``"random-tie"`` — lean with a local coin on contended ties; per-process
+  coin streams are spawned with the same discipline as
+  :func:`repro.sim.build.make_machines`, so a replay and the event engine
+  given twin coin streams flip identically;
+* ``"optimized"`` — the Section-4 elision variant
+  (:class:`repro.core.variants.OptimizedLean`), whose rounds shrink to as
+  few as two operations.
+
+Random halting compiles into a per-process ``death_ops`` array (the H_ij
+of Section 3.1.2) and is honoured event-for-event.  The differential
+oracle in :mod:`repro.sim.differential` replays identical pre-sampled
+schedules (including death schedules and coin streams) through these
+replays and the reference event engine and asserts identical decisions,
 rounds, and operation counts.
 """
 
@@ -22,7 +41,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.types import Decision
 from repro.sim.results import TrialResult
 
@@ -35,10 +54,96 @@ class FastLeanTrial:
     record_last: bool = True
 
 
+@dataclass(frozen=True)
+class FastVariant:
+    """One protocol with a vectorized replay.
+
+    Attributes:
+        name: the :class:`~repro.api.spec.ProtocolSpec` name this serves.
+        lag: the decision read of round ``r`` targets ``a_{1-p}[r - lag]``
+            (clamped at index 0); 1 is the paper's protocol.
+        random_tie: flip a per-process local coin on contended ties.
+        optimized: use the Section-4 elision state machine instead of the
+            fixed four-step round (whose rounds take as few as two ops;
+            the replay sizes its round-indexed arrays accordingly).
+    """
+
+    name: str
+    lag: int = 1
+    random_tie: bool = False
+    optimized: bool = False
+
+
+#: Protocol name -> vectorized replay configuration.  ``resolve_engine``
+#: consults this table instead of a "plain lean only" guard.
+FAST_VARIANTS = {
+    "lean": FastVariant("lean"),
+    "conservative": FastVariant("conservative", lag=2),
+    "eager": FastVariant("eager", lag=0),
+    "random-tie": FastVariant("random-tie", random_tie=True),
+    "optimized": FastVariant("optimized", optimized=True),
+}
+
+
+def has_fast_replay(protocol_name: str) -> bool:
+    """True when ``protocol_name`` appears in :data:`FAST_VARIANTS`."""
+    return protocol_name in FAST_VARIANTS
+
+
+def replay(times: np.ndarray, inputs: Sequence[int],
+           variant: str = "lean",
+           death_ops: Optional[np.ndarray] = None,
+           stop_after_first_decision: bool = True,
+           tie_rngs: Optional[Sequence[np.random.Generator]] = None,
+           order: Optional[np.ndarray] = None,
+           truncated: bool = False) -> Optional[TrialResult]:
+    """Replay a protocol variant over a pre-sampled schedule.
+
+    Dispatches through :data:`FAST_VARIANTS`; see :func:`replay_lean` for
+    the argument contract.  ``tie_rngs`` (one generator per process) is
+    required for ``"random-tie"`` and ignored otherwise.
+    """
+    cfg = FAST_VARIANTS.get(variant)
+    if cfg is None:
+        raise ConfigurationError(
+            f"protocol {variant!r} has no vectorized replay; supported: "
+            f"{sorted(FAST_VARIANTS)}")
+    if cfg.random_tie and tie_rngs is None:
+        raise ConfigurationError(
+            "random-tie replay requires per-process tie_rngs")
+    if cfg.optimized:
+        return _replay_optimized(times, inputs, death_ops=death_ops,
+                                 stop_after_first_decision=
+                                 stop_after_first_decision, order=order,
+                                 truncated=truncated)
+    return replay_lean(times, inputs, death_ops=death_ops,
+                       stop_after_first_decision=stop_after_first_decision,
+                       lag=cfg.lag,
+                       tie_rngs=tie_rngs if cfg.random_tie else None,
+                       order=order, truncated=truncated)
+
+
+def _global_order(times: np.ndarray, order: Optional[np.ndarray]) -> list:
+    """Per-event pid list from the (possibly precomputed) argsort."""
+    if order is None:
+        # Global interleaving: event k is operation (order[k] % max_ops) of
+        # process (order[k] // max_ops).  Per-process op sequence is
+        # preserved because each row of `times` is increasing.
+        order = np.argsort(times, axis=None, kind="stable")
+    max_ops = times.shape[1]
+    # A plain list iterates several times faster than an ndarray here, and
+    # this loop dominates the large-n Figure-1 runtime.
+    return (order // max_ops).tolist()
+
+
 def replay_lean(times: np.ndarray, inputs: Sequence[int],
                 death_ops: Optional[np.ndarray] = None,
-                stop_after_first_decision: bool = True) -> Optional[TrialResult]:
-    """Replay lean-consensus over a pre-sampled schedule.
+                stop_after_first_decision: bool = True,
+                lag: int = 1,
+                tie_rngs: Optional[Sequence[np.random.Generator]] = None,
+                order: Optional[np.ndarray] = None,
+                truncated: bool = False) -> Optional[TrialResult]:
+    """Replay the four-step-round family over a pre-sampled schedule.
 
     Args:
         times: ``(n, max_ops)`` matrix; ``times[i, j]`` is the completion
@@ -50,6 +155,20 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             sentinel for survivors.
         stop_after_first_decision: stop at the paper's Figure-1 measurement
             point (the first decision) instead of running to quiescence.
+        lag: the decision read of round ``r`` targets ``a_{1-p}[r - lag]``
+            (clamped at 0).  1 is lean-consensus; 2 the conservative
+            variant; 0 the unsafe eager variant.
+        tie_rngs: per-process generators for the local-coin tie rule
+            (``None`` keeps the paper's deterministic rule).
+        order: optional precomputed ``argsort(times, axis=None,
+            kind="stable")`` — trial-batched callers argsort a whole chunk
+            of schedules in one numpy call and pass each row here.
+        truncated: the caller passed a column *prefix* of a longer
+            schedule.  A first-decision stop is then only exact when no
+            still-running process consumed its whole prefix first (a
+            starved process's dropped events could precede the stop and
+            change it); such completions return ``None`` so the caller
+            grows the prefix.
 
     Returns:
         The trial result, or ``None`` if the schedule horizon was exhausted
@@ -60,15 +179,13 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
     n, max_ops = times.shape
     if len(inputs) != n:
         raise SimulationError(f"{len(inputs)} inputs for {n} processes")
+    if lag < 0:
+        raise ConfigurationError(f"lag must be >= 0, got {lag}")
+    # Round-indexed arrays: a process advances a round only after a full
+    # four-op round, so rounds stay below max_ops // 4 + 2 by counting.
     horizon_rounds = max_ops // 4 + 2
 
-    # Global interleaving: event k is operation (order[k] % max_ops) of
-    # process (order[k] // max_ops).  Per-process op sequence is preserved
-    # because each row of `times` is increasing.
-    order = np.argsort(times, axis=None, kind="stable")
-    # A plain list iterates several times faster than an ndarray here, and
-    # this loop dominates the large-n Figure-1 runtime.
-    event_pids = (order // max_ops).tolist()
+    event_pids = _global_order(times, order)
 
     # Flat per-process state.
     pref = list(inputs)
@@ -107,17 +224,24 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             if w0 == 1 and v1 == 0:
                 if pref[pid] != 0:
                     result.preference_changes += 1
-                pref[pid] = 0
+                    pref[pid] = 0
             elif v1 == 1 and w0 == 0:
                 if pref[pid] != 1:
                     result.preference_changes += 1
-                pref[pid] = 1
+                    pref[pid] = 1
+            elif tie_rngs is not None and w0 == 1 and v1 == 1:
+                # Contended tie: the local-coin rule of RandomTie.
+                flip = int(tie_rngs[pid].integers(0, 2))
+                if flip != pref[pid]:
+                    result.preference_changes += 1
+                    pref[pid] = flip
             step[pid] = 2
         elif s == 2:
             a[pref[pid]][r] = 1
             step[pid] = 3
         else:
-            if a[1 - pref[pid]][r - 1] == 0:
+            behind = r - lag if r > lag else 0
+            if a[1 - pref[pid]][behind] == 0:
                 done[pid] = True
                 remaining -= 1
                 dec = Decision(pref[pid], r, ops[pid])
@@ -127,12 +251,120 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             else:
                 rounds[pid] = r + 1
                 step[pid] = 0
-                if r + 1 >= horizon_rounds:
-                    return None  # would outrun the materialized arrays
     else:
         # Events exhausted without reaching the stop condition.
         if remaining > 0:
             return None
+
+    if truncated and remaining and any(
+            ops[p] >= max_ops and not done[p] for p in range(n)):
+        return None  # a starved process's dropped events may precede the stop
+
+    result.total_ops = sum(ops)
+    result.max_round = max(rounds)
+    return result
+
+
+def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
+                      death_ops: Optional[np.ndarray] = None,
+                      stop_after_first_decision: bool = True,
+                      order: Optional[np.ndarray] = None,
+                      truncated: bool = False) -> Optional[TrialResult]:
+    """Replay :class:`~repro.core.variants.OptimizedLean` (Section 4).
+
+    Rounds elide the write when the own bit is known set and the final
+    read when the rival bit is known set, so a round takes 2-4 operations;
+    the round-indexed arrays are sized for the 2-op worst case.
+    """
+    times = np.asarray(times)
+    n, max_ops = times.shape
+    if len(inputs) != n:
+        raise SimulationError(f"{len(inputs)} inputs for {n} processes")
+    # Sized for the 2-op elided round, the fewest ops a round can take.
+    horizon_rounds = max_ops // 2 + 2
+
+    event_pids = _global_order(times, order)
+
+    pref = list(inputs)
+    rounds = [1] * n
+    step = [0] * n          # 0=read a0, 1=read a1, 2=write, 3=final read
+    v0 = [0] * n
+    ops = [0] * n
+    done = [False] * n
+    skip_final = [False] * n
+    a = (bytearray(horizon_rounds + 2), bytearray(horizon_rounds + 2))
+    a[0][0] = 1
+    a[1][0] = 1
+
+    deaths = death_ops if death_ops is not None else None
+    result = TrialResult(n=n, inputs={i: int(b) for i, b in enumerate(inputs)})
+    remaining = n
+
+    for pid in event_pids:
+        if done[pid]:
+            continue
+        if deaths is not None and ops[pid] + 1 >= deaths[pid]:
+            done[pid] = True
+            result.halted.add(int(pid))
+            remaining -= 1
+            if remaining == 0:
+                break
+            continue
+        ops[pid] += 1
+        s = step[pid]
+        r = rounds[pid]
+        advance = False
+        if s == 0:
+            v0[pid] = a[0][r]
+            step[pid] = 1
+        elif s == 1:
+            v1 = a[1][r]
+            w0 = v0[pid]
+            if w0 == 1 and v1 == 0:
+                if pref[pid] != 0:
+                    result.preference_changes += 1
+                    pref[pid] = 0
+            elif v1 == 1 and w0 == 0:
+                if pref[pid] != 1:
+                    result.preference_changes += 1
+                    pref[pid] = 1
+            p = pref[pid]
+            own_set = (w0, v1)[p] == 1
+            rival_set = (w0, v1)[1 - p] == 1
+            skip_final[pid] = rival_set
+            if own_set and rival_set:
+                advance = True
+            elif own_set:
+                step[pid] = 3
+            else:
+                step[pid] = 2
+        elif s == 2:
+            a[pref[pid]][r] = 1
+            if skip_final[pid]:
+                advance = True
+            else:
+                step[pid] = 3
+        else:
+            if a[1 - pref[pid]][r - 1] == 0:
+                done[pid] = True
+                remaining -= 1
+                dec = Decision(pref[pid], r, ops[pid])
+                result.note_decision(int(pid), dec)
+                if stop_after_first_decision or remaining == 0:
+                    break
+                continue
+            advance = True
+        if advance:
+            skip_final[pid] = False
+            rounds[pid] = r + 1
+            step[pid] = 0
+    else:
+        if remaining > 0:
+            return None
+
+    if truncated and remaining and any(
+            ops[p] >= max_ops and not done[p] for p in range(n)):
+        return None  # a starved process's dropped events may precede the stop
 
     result.total_ops = sum(ops)
     result.max_round = max(rounds)

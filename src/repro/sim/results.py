@@ -36,6 +36,10 @@ class TrialResult:
             ``"event"``, ``"step"``, or ``"hybrid"``) — in particular the
             resolution of ``engine="auto"``, so benchmarks and tests can
             assert on it.  ``None`` for results built outside the runners.
+        engine_reason: why ``engine="auto"`` resolved to the event engine
+            (e.g. a protocol without a vectorized replay, an adaptive
+            adversary, or n below the fast threshold); ``None`` when the
+            engine was requested explicitly or the fast engine ran.
     """
 
     n: int
@@ -53,6 +57,7 @@ class TrialResult:
     max_round: int = 0
     preference_changes: int = 0
     engine: Optional[str] = None
+    engine_reason: Optional[str] = None
 
     @property
     def all_decided(self) -> bool:

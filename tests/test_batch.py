@@ -69,11 +69,16 @@ class TestRunTrial:
         assert compiled.engine == "fast"
         assert compiled.machines is None
 
-    def test_fast_engine_requires_lean(self):
+    def test_fast_engine_requires_vectorized_replay(self):
+        # Variants with a vectorized replay (optimized, conservative, ...)
+        # now compile on the fast engine; shared-coin does not.
         spec = noisy_spec(engine="fast",
-                          protocol=ProtocolSpec(name="optimized"))
+                          protocol=ProtocolSpec(name="shared-coin"))
         with pytest.raises(ConfigurationError):
             compile_spec(spec, seed=1)
+        variant = noisy_spec(engine="fast",
+                             protocol=ProtocolSpec(name="optimized"))
+        assert compile_spec(variant, seed=1).run().engine == "fast"
 
 
 class TestWrapperEquivalence:

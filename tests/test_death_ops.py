@@ -1,0 +1,126 @@
+"""FailureSpec -> death_ops compilation and its engine agreement.
+
+The fast engine consumes random halting as a presampled per-process
+death-op schedule (the H_ij of Section 3.1.2).  These tests pin:
+
+* determinism — the same seed stream always compiles the same schedule;
+* the ``FailureSpec`` serialization round-trip that ships the failure
+  configuration across the batch runner's process pool;
+* exact agreement with the event engines when the same schedule is
+  injected through :class:`PresampledDeaths`;
+* consistency of the *adaptive* path (which the fast engine refuses):
+  the event engine's halted set matches ``AdaptiveCrashAdversary``'s own
+  crash accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.api import FailureSpec, AdversarySpec, compile_death_ops
+from repro.errors import ConfigurationError
+from repro.failures import PresampledDeaths, RandomHalting
+from repro.failures.injection import KillLeaderAdversary
+from repro.noise import Exponential
+from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sim.engine import NoisyEngine
+from repro.sim.fast import replay_lean
+from repro.sim.runner import (
+    half_and_half,
+    make_machines,
+    make_memory_for,
+    run_noisy_trial,
+)
+
+
+class TestCompilation:
+    def test_deterministic_per_seed(self):
+        spec = FailureSpec(h=0.1)
+        a = compile_death_ops(spec, 50, make_rng(7))
+        b = compile_death_ops(spec, 50, make_rng(7))
+        c = compile_death_ops(spec, 50, make_rng(8))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_no_halting_compiles_to_none(self):
+        assert compile_death_ops(FailureSpec(), 10, make_rng(1)) is None
+        assert compile_death_ops(FailureSpec(h=0.0), 10, make_rng(1)) is None
+
+    def test_matches_random_halting_presample(self):
+        # compile_death_ops is exactly the RandomHalting presample — the
+        # same stream the event engine's failure model would consume.
+        ours = compile_death_ops(FailureSpec(h=0.2), 32, make_rng(3))
+        theirs = RandomHalting(0.2, make_rng(3)).presample_death_ops(32)
+        assert np.array_equal(ours, theirs)
+
+    def test_schedule_is_geometric_and_one_based(self):
+        deaths = compile_death_ops(FailureSpec(h=0.5), 2000, make_rng(5))
+        assert deaths.dtype == np.int64
+        assert int(deaths.min()) >= 1
+        # Geometric(0.5) mean is 2; a loose band catches unit slips
+        # (0-based indexing would shift the mean by a full unit).
+        assert 1.8 < float(deaths.mean()) < 2.2
+
+    def test_round_trip_through_spec_serialization(self):
+        spec = FailureSpec(h=0.25)
+        clone = FailureSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        a = compile_death_ops(spec, 20, make_rng(11))
+        b = compile_death_ops(clone, 20, make_rng(11))
+        assert np.array_equal(a, b)
+
+    def test_round_trip_preserves_adversary(self):
+        spec = FailureSpec(h=0.1, adversary=AdversarySpec(budget=3, lead=1))
+        clone = FailureSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.adversary.budget == 3
+
+
+class TestPresampledDeathsModel:
+    def test_halts_at_exact_boundary(self):
+        model = PresampledDeaths(np.array([3, np.iinfo(np.int64).max]))
+        assert not model.halts_before(0, 2)
+        assert model.halts_before(0, 3)  # dies before its 3rd op
+        assert model.halts_before(0, 4)
+        assert not model.halts_before(1, 10_000)
+
+    def test_rejects_bad_schedules(self):
+        with pytest.raises(ConfigurationError):
+            PresampledDeaths(np.array([[1, 2], [3, 4]]))
+        with pytest.raises(ConfigurationError):
+            PresampledDeaths(np.array([0, 5]))
+
+    def test_engines_agree_on_compiled_schedule(self):
+        """The same death_ops through fast replay and event engine."""
+        n = 12
+        sched = NoisyScheduler(Exponential(1.0), make_rng(21))
+        times = sched.presample(n, 400)
+        inputs = [half_and_half(n)[pid] for pid in range(n)]
+        deaths = compile_death_ops(FailureSpec(h=0.03), n, make_rng(22))
+        fast = replay_lean(times, inputs, death_ops=deaths,
+                           stop_after_first_decision=False)
+        machines = make_machines("lean", dict(enumerate(inputs)))
+        memory = make_memory_for(machines)
+        ref = NoisyEngine(machines, memory, PresampledScheduler(times),
+                          failures=PresampledDeaths(deaths)).run()
+        assert fast is not None
+        assert fast.halted == ref.halted
+        assert fast.decisions == ref.decisions
+        assert fast.total_ops == ref.total_ops
+
+
+class TestAdaptiveAdversaryAccounting:
+    def test_event_halted_set_matches_adversary_crashes(self):
+        for seed in range(5):
+            adversary = KillLeaderAdversary(budget=3, lead=1)
+            result = run_noisy_trial(16, Exponential(1.0), seed=seed,
+                                     crash_adversary=adversary,
+                                     engine="event")
+            assert result.halted == adversary.crashed
+            assert len(adversary.crashed) <= adversary.budget
+
+    def test_fast_engine_refuses_adaptive_adversaries(self):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            run_noisy_trial(16, Exponential(1.0), seed=1,
+                            crash_adversary=KillLeaderAdversary(budget=1),
+                            engine="fast")

@@ -1,0 +1,186 @@
+"""The cross-engine differential oracle and its property-style sweep.
+
+Every vectorized replay in ``FAST_VARIANTS`` must match the reference
+event engine *bit-for-bit* on identical pre-sampled schedules — decisions
+(value, round, op count), halted sets, total operations, max round, and
+preference adoptions.  The seeded grid sweeps (n, noise distribution,
+protocol variant, failure fraction); any divergence is a one-line repro
+(spec + seed) raised as :class:`DifferentialMismatch`.
+"""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    FailureSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+)
+from repro.errors import ConfigurationError
+from repro.sim.differential import (
+    DifferentialMismatch,
+    assert_equivalent,
+    compare_results,
+    run_differential,
+)
+from repro.sim.fast import FAST_VARIANTS
+
+DISTS = {
+    "exponential": NoiseSpec.of("exponential", mean=1.0),
+    "uniform": NoiseSpec.of("uniform", low=0.0, high=2.0),
+    "geometric": NoiseSpec.of("geometric", p=0.5),
+}
+
+VARIANTS = sorted(FAST_VARIANTS)
+
+GRID = [
+    pytest.param(n, dist_name, variant, h,
+                 id=f"n{n}-{dist_name}-{variant}-h{h}")
+    for n, (dist_name, variant, h) in zip(
+        itertools.cycle((2, 7, 33)),
+        itertools.product(sorted(DISTS), VARIANTS, (0.0, 0.05)))
+]
+
+
+def grid_spec(n, dist_name, variant, h, **overrides):
+    kwargs = dict(
+        n=n,
+        model=NoisyModelSpec(noise=DISTS[dist_name]),
+        protocol=ProtocolSpec(name=variant),
+        failures=FailureSpec(h=h),
+        engine="fast",
+        # The eager variant is the unsafe negative control; the oracle
+        # checks engine *equivalence*, not protocol safety.
+        check=(variant != "eager"),
+    )
+    kwargs.update(overrides)
+    return TrialSpec(**kwargs)
+
+
+class TestPropertyGrid:
+    @pytest.mark.parametrize("n,dist_name,variant,h", GRID)
+    def test_full_runs_bit_identical(self, n, dist_name, variant, h):
+        spec = grid_spec(n, dist_name, variant, h)
+        report = assert_equivalent(spec, seed=97 * n + len(dist_name) + int(h * 100))
+        assert report.ok
+        assert report.fast.engine == "fast"
+        assert report.event.engine == "event"
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_first_decision_stop_bit_identical(self, variant):
+        spec = grid_spec(16, "exponential", variant, 0.0,
+                         stop_after_first_decision=True)
+        report = assert_equivalent(spec, seed=7)
+        assert report.fast.first_decision_round is not None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seed_sweep_with_failures(self, seed):
+        spec = grid_spec(21, "uniform", "lean", 0.04)
+        report = assert_equivalent(spec, seed=seed)
+        # With h=0.04 over ~hundreds of ops some trials lose processes;
+        # the halted sets must still coincide exactly.
+        assert report.fast.halted == report.event.halted
+
+
+class TestOracleContract:
+    def test_rejects_non_noisy_models(self):
+        spec = TrialSpec(n=4, model=StepModelSpec())
+        with pytest.raises(ConfigurationError):
+            run_differential(spec, seed=1)
+
+    def test_rejects_protocols_without_fast_replay(self):
+        spec = TrialSpec(n=4, model=NoisyModelSpec(noise=DISTS["exponential"]),
+                         protocol=ProtocolSpec(name="shared-coin"))
+        with pytest.raises(ConfigurationError):
+            run_differential(spec, seed=1)
+
+    def test_report_carries_both_results(self):
+        spec = grid_spec(12, "exponential", "lean", 0.0)
+        report = run_differential(spec, seed=3)
+        assert report.ok and not report.mismatches
+        assert report.fast.total_ops == report.event.total_ops
+        assert report.horizon > 0
+
+    def test_compare_results_detects_divergence(self):
+        # The oracle's comparator itself must catch every observable.
+        spec = grid_spec(12, "exponential", "lean", 0.0)
+        report = run_differential(spec, seed=3)
+        doctored = dataclasses.replace(report.event,
+                                       total_ops=report.event.total_ops + 1,
+                                       max_round=report.event.max_round + 1)
+        mismatches = compare_results(report.fast, doctored)
+        assert any("total_ops" in m for m in mismatches)
+        assert any("max_round" in m for m in mismatches)
+
+    def test_assert_equivalent_raises_on_divergence(self, monkeypatch):
+        import repro.sim.differential as differential
+        spec = grid_spec(12, "exponential", "lean", 0.0)
+
+        def broken_compare(fast, event):
+            return ["injected divergence"]
+
+        monkeypatch.setattr(differential, "compare_results", broken_compare)
+        with pytest.raises(DifferentialMismatch):
+            differential.assert_equivalent(spec, seed=3)
+
+    def test_oracle_ignores_spec_engine_field(self):
+        # engine="auto" at small n resolves to "event" for run_trial, but
+        # the oracle always runs both engines on the shared schedule.
+        spec = grid_spec(10, "uniform", "lean", 0.0, engine="auto")
+        assert run_differential(spec, seed=2).ok
+
+
+class TestPrefixTruncation:
+    """The production argsort-prefix path must be invisible.
+
+    A truncated replay may return ``None`` (the caller grows the prefix)
+    but never a result that differs from the full-schedule replay.  The
+    dangerous case is a first-decision stop with a *starved* process —
+    one that consumed its whole prefix before the stop, whose dropped
+    events could precede (and change) it.  Heterogeneous per-process
+    speeds make starvation common; the optimized variant's 2-op rounds
+    make it consequential (this was a real bug caught in review).
+    """
+
+    @pytest.mark.parametrize("variant", ["lean", "optimized", "eager"])
+    def test_truncated_completion_matches_full_replay(self, variant):
+        from repro._rng import make_rng
+        from repro.sim.fast import replay
+
+        rng = make_rng(0xFA57)
+        checked = 0
+        for _ in range(150):
+            n = int(rng.integers(2, 6))
+            max_ops = 64
+            # Wildly heterogeneous speeds: some processes burn through
+            # their prefix long before others decide.
+            rates = rng.uniform(0.05, 2.0, size=n)
+            incs = rng.exponential(1.0, size=(n, max_ops)) * rates[:, None]
+            times = np.cumsum(incs, axis=1)
+            inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+            k = int(rng.integers(8, 33))
+            full = replay(times, inputs, variant=variant,
+                          stop_after_first_decision=True)
+            trunc = replay(times[:, :k], inputs, variant=variant,
+                           stop_after_first_decision=True, truncated=True)
+            if trunc is None:
+                continue  # guard refused — the caller would grow k
+            checked += 1
+            assert trunc.decisions == (full.decisions if full else None), \
+                f"{variant}: truncated k={k} diverged from full replay"
+            assert trunc.total_ops == full.total_ops
+        assert checked > 20  # the sweep actually exercised completions
+
+    def test_oracle_covers_the_prefix_path(self):
+        # run_differential drives replay_schedule over the shared
+        # schedule, so prefix bugs surface as "prefix ..." mismatches.
+        spec = grid_spec(40, "exponential", "optimized", 0.0,
+                         stop_after_first_decision=True)
+        report = run_differential(spec, seed=13)
+        assert report.ok

@@ -1,0 +1,150 @@
+"""Engine selection: the widened fast family, the auto rule, and reasons.
+
+``resolve_engine_info`` must (a) admit every protocol in
+``FAST_VARIANTS`` (with crash failures) to the vectorized engine, (b)
+keep inherently event-driven features off it with a *structured* reason
+rather than a silent fallback, and (c) pin the n-threshold boundary of
+the ``"auto"`` rule so a narrow miss (n = 255) is explained on the
+result.
+"""
+
+import pytest
+
+from repro.api import (
+    AdversarySpec,
+    FailureSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    TrialSpec,
+    compile_spec,
+    fast_ineligibility,
+    resolve_engine,
+    resolve_engine_info,
+    run_trial,
+)
+from repro.api.compile import FAST_AUTO_MIN_N
+from repro.errors import ConfigurationError
+from repro.sim.fast import FAST_VARIANTS
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+
+
+def noisy_spec(n=8, **kwargs):
+    return TrialSpec(n=n, model=NoisyModelSpec(noise=EXPO), **kwargs)
+
+
+class TestAutoBoundary:
+    def test_boundary_is_pinned(self):
+        assert FAST_AUTO_MIN_N == 256
+        below = resolve_engine_info(noisy_spec(n=FAST_AUTO_MIN_N - 1))
+        at = resolve_engine_info(noisy_spec(n=FAST_AUTO_MIN_N))
+        assert below.engine == "event"
+        assert at.engine == "fast" and at.reason is None
+
+    def test_narrow_miss_reason_names_the_threshold(self):
+        info = resolve_engine_info(noisy_spec(n=255))
+        assert "n=255" in info.reason
+        assert str(FAST_AUTO_MIN_N) in info.reason
+        assert "fast" in info.reason  # tells the caller how to override
+
+    def test_reason_lands_on_the_result(self):
+        result = run_trial(noisy_spec(n=255), seed=1)
+        assert result.engine == "event"
+        assert "n=255" in result.engine_reason
+        fast = run_trial(noisy_spec(n=256), seed=1)
+        assert fast.engine == "fast" and fast.engine_reason is None
+
+    def test_explicit_fast_overrides_threshold(self):
+        result = run_trial(noisy_spec(n=8, engine="fast"), seed=1)
+        assert result.engine == "fast"
+        assert result.engine_reason is None
+        assert result.agreed
+
+    def test_explicit_event_has_no_reason(self):
+        info = resolve_engine_info(noisy_spec(n=4, engine="event"))
+        assert info.engine == "event" and info.reason is None
+        result = run_trial(noisy_spec(n=4, engine="event"), seed=1)
+        assert result.engine_reason is None
+
+
+class TestFastFamily:
+    @pytest.mark.parametrize("protocol", sorted(FAST_VARIANTS))
+    def test_all_variants_compile_on_fast(self, protocol):
+        spec = noisy_spec(n=12, engine="fast",
+                          protocol=ProtocolSpec(name=protocol),
+                          check=(protocol != "eager"))
+        compiled = compile_spec(spec, seed=1)
+        assert compiled.engine == "fast"
+        assert compiled.machines is None  # no event assembly
+        result = compiled.run()
+        assert result.engine == "fast"
+        assert result.total_ops > 0
+
+    def test_crash_failures_run_on_fast(self):
+        spec = noisy_spec(n=40, engine="fast", failures=FailureSpec(h=0.05))
+        result = run_trial(spec, seed=6)
+        assert result.engine == "fast"
+        assert result.halted or result.all_decided
+
+    @pytest.mark.parametrize("protocol", ["shared-coin", "bounded"])
+    def test_protocols_without_replay_raise_on_explicit_fast(self, protocol):
+        spec = noisy_spec(engine="fast", protocol=ProtocolSpec(name=protocol))
+        with pytest.raises(ConfigurationError, match="vectorized replay"):
+            compile_spec(spec, seed=1)
+
+    def test_auto_falls_back_with_reason_per_blocker(self):
+        cases = {
+            "shared-coin": noisy_spec(
+                n=400, protocol=ProtocolSpec(name="shared-coin")),
+            "round_cap": noisy_spec(
+                n=400, protocol=ProtocolSpec(name="lean", round_cap=64)),
+            "adversary": noisy_spec(
+                n=400, failures=FailureSpec(
+                    adversary=AdversarySpec(budget=1))),
+            "record": noisy_spec(n=400, record=True),
+            "write noise": TrialSpec(n=400, model=NoisyModelSpec(
+                noise=EXPO, write_noise=NoiseSpec.of("uniform",
+                                                     low=0.0, high=1.0))),
+        }
+        for label, spec in cases.items():
+            info = resolve_engine_info(spec)
+            assert info.engine == "event", label
+            assert info.reason, label
+            assert fast_ineligibility(spec) == info.reason
+
+    def test_explicit_fast_raises_per_blocker(self):
+        spec = noisy_spec(n=400, engine="fast", record=True)
+        with pytest.raises(ConfigurationError, match="record"):
+            resolve_engine(spec)
+
+    def test_eligible_spec_has_no_ineligibility(self):
+        for protocol in sorted(FAST_VARIANTS):
+            spec = noisy_spec(protocol=ProtocolSpec(name=protocol),
+                              failures=FailureSpec(h=0.01))
+            assert fast_ineligibility(spec) is None
+
+
+class TestVariantSanity:
+    """Coarse behavioural checks on the vectorized variants themselves."""
+
+    def test_conservative_decides_later_than_lean(self):
+        lean = run_trial(noisy_spec(n=64, engine="fast"), seed=9)
+        cons = run_trial(noisy_spec(n=64, engine="fast",
+                                    protocol=ProtocolSpec(
+                                        name="conservative")), seed=9)
+        # Identical schedules (same seed => same presample stream), so the
+        # lag-2 rule can only delay the first decision.
+        assert cons.first_decision_round >= lean.first_decision_round
+
+    def test_optimized_elides_operations(self):
+        lean = run_trial(noisy_spec(n=64, engine="fast"), seed=10)
+        opt = run_trial(noisy_spec(n=64, engine="fast",
+                                   protocol=ProtocolSpec(
+                                       name="optimized")), seed=10)
+        assert opt.total_ops < lean.total_ops
+
+    def test_random_tie_is_seed_deterministic(self):
+        spec = noisy_spec(n=32, engine="fast",
+                          protocol=ProtocolSpec(name="random-tie"))
+        assert run_trial(spec, seed=11) == run_trial(spec, seed=11)

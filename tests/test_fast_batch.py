@@ -1,0 +1,101 @@
+"""Trial-batched fast replay: bit-identity across every execution path.
+
+``run_batch`` on a fast-engine spec presamples the chunk's schedule
+tensor and argsorts it in one numpy call; the results must be
+bit-identical to per-trial ``run_trial`` calls, to the parallel pool, and
+— via the differential oracle on overlapping seeds — to the reference
+event engine on the same schedules.
+"""
+
+import pytest
+
+from repro.api import (
+    BatchRunner,
+    FailureSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    TrialSpec,
+    run_batch,
+    run_trial,
+    run_trials,
+    trial_seed_sequences,
+)
+from repro.sim.differential import assert_equivalent
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+
+
+def fast_spec(n=300, **kwargs):
+    kwargs.setdefault("stop_after_first_decision", True)
+    return TrialSpec(n=n, model=NoisyModelSpec(noise=EXPO), **kwargs)
+
+
+class TestChunkedBitIdentity:
+    def test_chunked_equals_serial_per_trial(self):
+        spec = fast_spec()
+        seqs = trial_seed_sequences(11, 8)
+        serial = [run_trial(spec, seq) for seq in seqs]
+        chunked = run_batch(spec, 8, seed=11)
+        assert chunked == serial
+        assert all(r.engine == "fast" for r in chunked)
+
+    def test_chunked_equals_parallel_pool(self):
+        spec = fast_spec()
+        assert run_batch(spec, 8, seed=11) == \
+            run_batch(spec, 8, seed=11, workers=2)
+
+    def test_tiny_pool_chunks_are_identical(self):
+        spec = fast_spec()
+        one_per_chunk = BatchRunner(workers=2, chunk_size=1).run(
+            spec, 6, seed=4)
+        assert one_per_chunk == run_batch(spec, 6, seed=4)
+
+    def test_run_trials_matches_run_trial_loop(self):
+        spec = fast_spec(n=280, failures=FailureSpec(h=0.01),
+                         stop_after_first_decision=False)
+        # Fresh SeedSequences per run: spawning children advances a
+        # sequence's spawn counter, so the objects are single-use.
+        chunked = run_trials(spec, trial_seed_sequences(21, 5))
+        serial = [run_trial(spec, s) for s in trial_seed_sequences(21, 5)]
+        assert chunked == serial
+
+    @pytest.mark.parametrize("protocol", ["conservative", "random-tie",
+                                          "optimized"])
+    def test_variants_batch_identically(self, protocol):
+        spec = fast_spec(n=270, protocol=ProtocolSpec(name=protocol),
+                         stop_after_first_decision=False)
+        seqs = trial_seed_sequences(33, 4)
+        serial = [run_trial(spec, s) for s in seqs]
+        assert run_batch(spec, 4, seed=33) == serial
+
+    def test_event_engine_agrees_on_overlapping_seeds(self):
+        # The same child seeds the batch consumed, replayed through the
+        # differential oracle: fast and event agree schedule-for-schedule.
+        spec = fast_spec(n=64, engine="fast",
+                         stop_after_first_decision=False)
+        for seq in trial_seed_sequences(11, 3):
+            assert assert_equivalent(spec, seed=seq).ok
+
+    def test_batch_with_failures_matches_per_trial(self):
+        spec = fast_spec(n=300, failures=FailureSpec(h=0.02))
+        seqs = trial_seed_sequences(5, 6)
+        serial = [run_trial(spec, s) for s in seqs]
+        batch = run_batch(spec, 6, seed=5)
+        assert batch == serial
+        assert batch == run_batch(spec, 6, seed=5, workers=2)
+
+
+class TestEventChunksUnaffected:
+    def test_event_specs_still_run_per_trial(self):
+        spec = fast_spec(n=16, engine="event")
+        chunked = run_trials(spec, trial_seed_sequences(2, 3))
+        serial = [run_trial(spec, s) for s in trial_seed_sequences(2, 3)]
+        assert chunked == serial
+
+    def test_serial_event_batch_keeps_artifacts(self):
+        # The serial path must still expose result.memory / machines.
+        spec = fast_spec(n=8, engine="event",
+                         stop_after_first_decision=False)
+        results = run_batch(spec, 2, seed=1)
+        assert all(hasattr(r, "memory") for r in results)

@@ -161,10 +161,16 @@ class TestRunNoisyTrial:
                                  engine="fast")
         assert result.all_decided and result.agreed
 
-    def test_fast_engine_rejects_other_protocols(self):
+    def test_fast_engine_rejects_protocols_without_replay(self):
         with pytest.raises(ConfigurationError):
             run_noisy_trial(8, Exponential(1.0), seed=6, engine="fast",
-                            protocol="optimized")
+                            protocol="shared-coin")
+
+    def test_fast_engine_runs_vectorized_variants(self):
+        for protocol in ("optimized", "conservative", "random-tie"):
+            result = run_noisy_trial(8, Exponential(1.0), seed=6,
+                                     engine="fast", protocol=protocol)
+            assert result.engine == "fast" and result.agreed
 
     def test_fast_and_event_same_distribution_family(self):
         """Not bit-identical (different sampling order) but same shape."""

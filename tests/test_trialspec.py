@@ -219,10 +219,18 @@ class TestResolveEngine:
     def test_features_force_event(self):
         assert resolve_engine(simple_spec(n=512, record=True)) == "event"
         assert resolve_engine(simple_spec(
-            n=512, protocol=ProtocolSpec(name="optimized"))) == "event"
+            n=512, protocol=ProtocolSpec(name="shared-coin"))) == "event"
         assert resolve_engine(simple_spec(
             n=512,
             failures=FailureSpec(adversary=AdversarySpec(budget=1)))) == "event"
+
+    def test_vectorized_variants_resolve_fast(self):
+        # The fast family is wider than plain lean: every protocol with a
+        # vectorized replay (and random halting) stays on the fast engine.
+        assert resolve_engine(simple_spec(
+            n=512, protocol=ProtocolSpec(name="optimized"))) == "fast"
+        assert resolve_engine(simple_spec(
+            n=512, failures=FailureSpec(h=0.01))) == "fast"
 
     def test_step_and_hybrid(self):
         assert resolve_engine(TrialSpec(n=4, model=StepModelSpec())) == "step"
