@@ -1,0 +1,131 @@
+"""Columnar frame pipeline vs legacy list path, Figure-1 shaped.
+
+The workload is the left edge of the paper's Figure-1 grid — exponential
+interarrival noise, dithered equal starts, half-and-half inputs, stop at
+the first decision — at the paper's per-point trial count (10,000),
+swept over small n on the vectorized engine.  Small n is exactly where
+the legacy list path drowns in per-trial machinery (4 RNG stream
+objects, scheduler/delta objects, a per-process presample loop, and a
+``TrialResult`` + dicts per trial), and where the frame pipeline's
+batched seeding + inline presample + columnar sink pay off.
+
+Two properties, asserted at different strengths (mirroring
+``test_bench_fast.py``):
+
+* **Identity** — unconditional: the sweep's frames reconstruct the exact
+  result list of the legacy loop, cell by cell.
+* **Throughput** — gated on wall-clock sanity: the frame path must be at
+  least 2x the legacy list path's trials/sec, asserted only when the
+  list path ran long enough to time stably.
+
+Metrics are also emitted to ``benchmarks/results/BENCH_results.json``
+(uploaded as a CI artifact) so the performance trajectory is recorded
+run over run.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro._rng import make_rng
+from repro.api import (
+    BatchRunner,
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+
+#: The left edge of the Figure-1 grid, at the paper's trial count.
+NS = (1, 10)
+TRIALS = 10_000
+
+SWEEP = SweepSpec(
+    base=TrialSpec(n=1, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)),
+        engine="fast", stop_after_first_decision=True),
+    axes=(SweepAxis("n", NS),),
+    trials=TRIALS)
+
+#: Only assert the ratio when the list path took at least this long.
+MIN_SANE_LIST_SECONDS = 1.0
+
+MIN_SPEEDUP = 2.0
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_results.json"
+
+
+def _legacy_list_sweep(seed):
+    """The pre-frame experiment pattern: per-cell BatchRunner.run loops."""
+    root = make_rng(seed)
+    runner = BatchRunner()
+    out = []
+    for cell in SWEEP.cells():
+        out.append(runner.run(cell.spec, SWEEP.trials, seed=root))
+    return out
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_frame_sweep_throughput_vs_list_path(save_report):
+    # Warm both paths (imports, allocator, numpy dispatch).
+    warm = SweepSpec(base=SWEEP.base, axes=SWEEP.axes, trials=50)
+    run_sweep(warm, seed=1)
+
+    lists, list_s = _timed(lambda: _legacy_list_sweep(2000))
+    frames, frame_s = _timed(lambda: run_sweep(SWEEP, seed=2000))
+
+    # Identity: the columnar sweep reconstructs the legacy lists exactly.
+    for batch, (cell, frame) in zip(lists, frames):
+        assert frame.to_trial_results() == batch, cell.coords
+
+    total = len(NS) * TRIALS
+    list_rate = total / max(list_s, 1e-9)
+    frame_rate = total / max(frame_s, 1e-9)
+    speedup = list_s / max(frame_s, 1e-9)
+    sane = list_s >= MIN_SANE_LIST_SECONDS
+    verdict = (f"asserted >= {MIN_SPEEDUP:.1f}x" if sane
+               else "not asserted: list path finished too fast for a "
+                    "stable measurement")
+
+    payload = {
+        "frame_vs_list": {
+            "workload": ("figure1-shaped sweep: exponential(1), dithered "
+                         "starts, stop at first decision, engine=fast"),
+            "ns": list(NS),
+            "trials_per_point": TRIALS,
+            "list_seconds": round(list_s, 3),
+            "frame_seconds": round(frame_s, 3),
+            "list_trials_per_sec": round(list_rate, 1),
+            "frame_trials_per_sec": round(frame_rate, 1),
+            "speedup": round(speedup, 2),
+            "asserted": bool(sane),
+            "min_speedup": MIN_SPEEDUP,
+        }
+    }
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    save_report("frame_speedup", "\n".join([
+        f"figure1-shaped sweep, ns={list(NS)}, {TRIALS} trials/point, "
+        "engine=fast",
+        f"legacy list path: {list_s:.3f}s ({list_rate:,.0f} trials/s)",
+        f"columnar frame path: {frame_s:.3f}s ({frame_rate:,.0f} trials/s)",
+        f"speedup: {speedup:.2f}x ({verdict})",
+    ]))
+
+    if not sane:
+        pytest.skip(f"list path finished in {list_s:.3f}s "
+                    f"< {MIN_SANE_LIST_SECONDS}s; timing too noisy to "
+                    "assert a ratio")
+    assert speedup >= MIN_SPEEDUP, (
+        f"frame path only {speedup:.2f}x the list path "
+        f"(list {list_s:.3f}s, frame {frame_s:.3f}s)")

@@ -20,7 +20,8 @@ Engine selection matrix (``spec.engine``, resolved engine on
       any noise, random halting h  n>=256 fast        fast      event
                                    n<256  event+why   fast      event
     adaptive adversary, record=True,
-      round_cap, per-kind write noise,
+      round_cap, max_total_ops budget,
+      per-kind write noise,
       shared-coin / bounded / factory     event+why   error     event
     step or hybrid model                  step/hybrid (engine must be auto)
 
@@ -31,11 +32,22 @@ results stay bit-identical to serial per-trial runs either way.  The
 experiment CLIs expose the same choice as ``--engine fast`` next to
 ``--workers`` (e.g. ``python -m repro figure1 --paper --engine fast``).
 
+Sweeps and frames: grids of trials are declared as a
+:class:`repro.SweepSpec` (base spec + named axes) and executed through
+:func:`repro.run_sweep`, which returns one columnar
+:class:`repro.ResultFrame` per grid cell — the batch representation that
+skips per-trial dataclasses on the fast engine and feeds the columnar
+aggregators in :mod:`repro.analysis.aggregate`.  ``run_batch(...,
+as_frame=True)`` gives the same frame for a single cell, and
+``cache_dir=`` (CLI: ``--cache-dir``) persists finished cells so
+``--paper``-scale sweeps resume after an interruption.
+
 Run:  python examples/quickstart.py
 
 Migrating from the legacy kwarg API?  ``run_noisy_trial(n=100,
 noise=Exponential(1.0), seed=42)`` still works and is exactly equivalent
-to the spec below; see the migration table in ``help(repro)``.
+to the spec below; see the kwarg->spec and loop->sweep migration tables
+in ``help(repro)``.
 """
 
 import json
@@ -43,11 +55,15 @@ import json
 from repro import (
     NoiseSpec,
     NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
     TrialSpec,
     run_batch,
+    run_sweep,
     run_trial,
     summarize,
 )
+from repro.analysis.aggregate import MeanCI
 
 
 def main() -> None:
@@ -93,6 +109,26 @@ def main() -> None:
           f"{stats.mean_first_round:.2f} +/- {stats.ci95_first_round:.2f}")
     print("(the paper's Figure 1 reports ~4 for exponential noise at "
           "n = 100)")
+
+    # The same batch as a columnar frame: identical trials, numpy
+    # columns instead of dataclasses (the fast engine writes them
+    # directly — no per-trial object churn at Figure-1 scale).
+    frame = run_batch(batch_spec, 50, seed=7, as_frame=True)
+    assert frame.to_trial_results() == serial
+    print(f"frame columns: {len(frame)} trials, mean ops at first "
+          f"decision = {frame.column('first_decision_ops').mean():.1f}")
+
+    # A mini Figure-1 sweep as a declaration: one axis over n, executed
+    # grid-order-deterministically, aggregated columnar.  Add
+    # cache_dir="~/.cache/repro-sweeps" to make paper-scale runs
+    # resumable, and workers=8 to fan cells across processes.
+    sweep = SweepSpec(base=batch_spec, axes=(SweepAxis("n", (10, 100)),),
+                      trials=50)
+    mean_ci = MeanCI("first_decision_round")
+    print("\nmini sweep (mean first-termination round):")
+    for cell, cell_frame in run_sweep(sweep, seed=7):
+        mean, half = mean_ci(cell_frame)
+        print(f"  n={cell.coord('n'):4d}: {mean:.2f} +/- {half:.2f}")
 
 
 if __name__ == "__main__":

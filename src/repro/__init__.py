@@ -46,9 +46,10 @@ distribution, random         (e.g. a narrow n miss).  Random halting
 halting (``h``)              compiles to per-process death schedules.
 noisy + adaptive adversary,  event engine only.  ``engine="auto"`` falls
 recorder, round cap,         back silently-but-explained
-per-op-kind write noise,     (``engine_reason``); ``engine="fast"``
-shared-coin / bounded /      raises :class:`ConfigurationError` naming
-factory protocols            the blocker.
+max_total_ops budget,        (``engine_reason``); ``engine="fast"``
+per-op-kind write noise,     raises :class:`ConfigurationError` naming
+shared-coin / bounded /      the blocker.
+factory protocols
 ===========================  ===========================================
 
 ``engine="fast"`` composes with the batch runner's ``workers``: each
@@ -57,6 +58,70 @@ argsorts it in a single numpy call, and results stay bit-identical to
 serial per-trial runs for every ``workers`` value.  The differential
 oracle (:mod:`repro.sim.differential`) cross-validates the two engines on
 shared schedules.
+
+Sweeps — declare a grid instead of writing a loop.  A
+:class:`SweepSpec` is a base :class:`TrialSpec` plus named axes that
+mutate spec fields by dotted path (including component-spec parameters
+like ``"model.noise.params.sigma"``); :func:`run_sweep` executes the
+grid through the batch runner with deterministic grid-order seeding and
+returns one columnar :class:`ResultFrame` per cell::
+
+    from repro import (NoiseSpec, NoisyModelSpec, SweepAxis, SweepSpec,
+                       TrialSpec, run_sweep)
+    from repro.analysis.aggregate import MeanCI
+
+    sweep = SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(
+            noise=NoiseSpec.of("exponential", mean=1.0)),
+            engine="fast", stop_after_first_decision=True),
+        axes=(SweepAxis("n", (1, 10, 100, 1000)),),
+        trials=10_000)
+    mean_ci = MeanCI("first_decision_round")
+    for cell, frame in run_sweep(sweep, seed=2000, workers=8,
+                                 cache_dir="~/.cache/repro-sweeps"):
+        print(cell.coord("n"), *mean_ci(frame))
+
+Frames are the columnar twin of the result list:
+``run_batch(spec, k, seed, as_frame=True).to_trial_results()`` is
+bit-identical to ``run_batch(spec, k, seed)``, but the fast engine
+writes numpy columns directly (zero per-trial ``TrialResult``/dict
+churn — 2-4x more trials/sec on Figure-1-shaped sweeps), pool workers
+ship arrays instead of pickled dataclass lists, and aggregations
+(:mod:`repro.analysis.aggregate`: ``Mean``, ``MeanCI``,
+``BootstrapCI``, ``TailProbabilities``, rates, log fits) run columnar.
+Aggregating an optional column of a cell in which *no* trial decided
+raises :class:`AggregationError` naming the offending spec.  The
+``cache_dir`` cache (CLI: ``--cache-dir``) persists finished grid cells
+keyed by (spec, seed state, code version), so interrupted
+``--paper``-scale runs resume instead of recomputing.
+
+Migration — per-experiment ``run()`` grid loops map onto sweep
+declarations as follows (the experiment harnesses themselves are now
+implemented this way):
+
+==============================================  ==========================================
+legacy hand-rolled loop                         sweep declaration
+==============================================  ==========================================
+``for dist in dists: for n in ns:`` (figure1)   axes ``("model.noise", dists)``,
+                                                ``("n", ns)``
+``for n in ns:`` (scaling / lower_bound)        axis ``("n", ns)``
+``for h in hs:`` (failures)                     axis ``("failures.h", hs)``
+``for sigma in sigmas:`` (ablations ABL2a)      axis ``("model.noise.params.sigma",
+                                                sigmas)``
+``for style: for burst:`` (extensions EXP-STAT) axes ``("model.delta.params.style", ...)``,
+                                                ``("model.delta.params.burst_every", ...)``
+``runner.run(spec, trials, seed=root)``         ``run_sweep(sweep, seed=root)`` (same
+per cell                                        root-generator child-block discipline —
+                                                bit-identical output, pinned by the
+                                                golden stdout tests)
+``[t.first_decision_round for t in batch]``     ``frame.column("first_decision_round")``
++ ``mean_confidence_interval``                  + ``MeanCI("first_decision_round")``
+==============================================  ==========================================
+
+Loops that a sweep deliberately does **not** express: paired-seed
+protocol comparisons (ablations ABL1 re-consumes one seed block across
+protocols) and live-object experiments (adaptive adversaries, contention
+meters, machine factories) keep their bespoke loops.
 
 Migration note — legacy kwargs map onto spec fields as follows:
 
@@ -88,6 +153,7 @@ paper-versus-measured record.
 
 from repro.types import Decision, Operation, OpKind, OpResult, read, write
 from repro.errors import (
+    AggregationError,
     ConfigurationError,
     DistributionError,
     InvariantViolation,
@@ -109,7 +175,11 @@ from repro.api import (
     NoisyModelSpec,
     PickerSpec,
     ProtocolSpec,
+    ResultFrame,
     StepModelSpec,
+    SweepAxis,
+    SweepResult,
+    SweepSpec,
     TrialSpec,
     compile_death_ops,
     compile_spec,
@@ -118,8 +188,10 @@ from repro.api import (
     resolve_engine,
     resolve_engine_info,
     run_batch,
+    run_sweep,
     run_trial,
     run_trials,
+    run_trials_frame,
 )
 from repro.sim.runner import (
     half_and_half,
@@ -135,6 +207,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AdversarySpec",
+    "AggregationError",
     "BatchRunner",
     "BoundedLeanConsensus",
     "CompiledTrial",
@@ -155,10 +228,14 @@ __all__ = [
     "ProtocolError",
     "ProtocolSpec",
     "ReproError",
+    "ResultFrame",
     "SchedulerError",
     "SharedCoinLean",
     "SimulationError",
     "StepModelSpec",
+    "SweepAxis",
+    "SweepResult",
+    "SweepSpec",
     "TrialResult",
     "TrialSpec",
     "__version__",
@@ -175,8 +252,10 @@ __all__ = [
     "run_noisy_trial",
     "run_noisy_trials",
     "run_step_trial",
+    "run_sweep",
     "run_trial",
     "run_trials",
+    "run_trials_frame",
     "suggested_round_cap",
     "summarize",
     "write",

@@ -1,0 +1,156 @@
+"""Columnar aggregators over :class:`~repro.sim.frame.ResultFrame`.
+
+The aggregator vocabulary the experiment harnesses share instead of
+hand-rolled ``[t.field for t in batch]`` loops: each aggregator is a
+small frozen dataclass that computes directly on a frame's numpy columns
+(mean / normal CI, bootstrap CI, tail probabilities), plus cross-cell
+fit helpers for the Θ(log n) growth and exponential-tail claims.
+
+Optional columns use ``NaN`` for "no value" (an undecided trial has no
+``first_decision_round``).  Aggregators over those columns filter the
+undecided trials and raise :class:`~repro.errors.AggregationError` —
+naming the offending :class:`~repro.api.spec.TrialSpec` — when nothing
+remains, instead of the silent ``TypeError``/``nan`` the legacy list
+comprehensions produced on budget-exhausted configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AggregationError
+from repro.analysis.stats import (
+    FitResult,
+    bootstrap_mean_ci,
+    fit_log,
+    mean_confidence_interval,
+    tail_probabilities,
+)
+from repro.sim.frame import ResultFrame
+
+
+def _values(frame: ResultFrame, column: str, where: str) -> np.ndarray:
+    """A column as float64 values, with the ``where`` policy applied.
+
+    ``where="finite"`` (the default for optional columns) drops NaN
+    rows; ``where="all"`` requires every row to carry a value and raises
+    otherwise.  Both raise :class:`AggregationError` when no values
+    remain, naming the frame's spec.
+    """
+    col = np.asarray(frame.column(column), dtype=float)
+    mask = np.isfinite(col)
+    if where == "all" and not mask.all():
+        raise AggregationError(_describe(
+            frame, column,
+            f"{int((~mask).sum())} of {col.size} trials have no "
+            f"{column!r} value"))
+    kept = col[mask]
+    if kept.size == 0:
+        raise AggregationError(_describe(
+            frame, column,
+            f"no trial produced a {column!r} value "
+            f"({col.size} trials, all undecided)"))
+    return kept
+
+
+def _describe(frame: ResultFrame, column: str, problem: str) -> str:
+    spec = getattr(frame, "spec", None)
+    where = f" for spec {spec!r}" if spec is not None else ""
+    return f"cannot aggregate {column!r}{where}: {problem}"
+
+
+@dataclass(frozen=True)
+class Mean:
+    """Mean of a column over trials that carry a value."""
+
+    column: str
+    where: str = "finite"
+
+    def __call__(self, frame: ResultFrame) -> float:
+        return float(_values(frame, self.column, self.where).mean())
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """(mean, CI half-width) via the normal approximation.
+
+    Columnar twin of
+    :func:`repro.analysis.stats.mean_confidence_interval` (identical
+    output on the same values, including the ``inf`` half-width for a
+    single sample).
+    """
+
+    column: str
+    z: float = 1.96
+    where: str = "finite"
+
+    def __call__(self, frame: ResultFrame) -> Tuple[float, float]:
+        return mean_confidence_interval(
+            _values(frame, self.column, self.where), z=self.z)
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile-bootstrap CI for the mean: (mean, lo, hi).
+
+    Preferred over :class:`MeanCI` for the heavy-tailed round counts of
+    adversarial configurations; the resampling generator is passed at
+    call time so sweeps stay reproducible.
+    """
+
+    column: str
+    n_boot: int = 2000
+    level: float = 0.95
+    where: str = "finite"
+
+    def __call__(self, frame: ResultFrame,
+                 rng: np.random.Generator) -> Tuple[float, float, float]:
+        return bootstrap_mean_ci(_values(frame, self.column, self.where),
+                                 rng, n_boot=self.n_boot, level=self.level)
+
+
+@dataclass(frozen=True)
+class TailProbabilities:
+    """Empirical P[X > k] for each threshold k, columnar."""
+
+    column: str
+    ks: Tuple[float, ...]
+    where: str = "finite"
+
+    def __call__(self, frame: ResultFrame) -> np.ndarray:
+        return tail_probabilities(_values(frame, self.column, self.where),
+                                  self.ks)
+
+
+def decided_count(frame: ResultFrame) -> int:
+    """Number of trials in which at least one process decided."""
+    return int(frame.decided.sum())
+
+
+def agreement_rate(frame: ResultFrame) -> float:
+    """Fraction of trials with no two differing decisions."""
+    if len(frame) == 0:
+        raise AggregationError("cannot compute agreement over zero trials")
+    return float(frame.agreed.mean())
+
+
+def mean_halted(frame: ResultFrame) -> float:
+    """Mean number of halted processes per trial."""
+    if len(frame) == 0:
+        raise AggregationError("cannot compute mean_halted over zero trials")
+    return float(frame.column("n_halted").mean())
+
+
+def fit_log_over_cells(xs: Sequence[float], means: Sequence[float],
+                       min_x: float = 2) -> FitResult:
+    """Fit ``mean = a*ln(x) + b`` across sweep cells, dropping ``x < min_x``.
+
+    The Theorem-12 cross-cell fit: ``ln 1 = 0`` gives the intercept no
+    leverage (and the n=1 point is deterministic anyway), so tiny x
+    values are excluded exactly as the experiment harnesses always did.
+    """
+    kept = [(x, y) for x, y in zip(xs, means) if x >= min_x]
+    return fit_log([x for x, _ in kept], [y for _, y in kept])

@@ -43,6 +43,16 @@ from repro.api.compile import (
     run_trials,
 )
 from repro.api.batch import BatchRunner, run_batch, trial_seed_sequences
+from repro.api.compile import run_trials_frame
+from repro.api.sweep import (
+    SweepAxis,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    apply_axis_value,
+    run_sweep,
+)
+from repro.sim.frame import FrameBuilder, ResultFrame
 
 __all__ = [
     "AdversarySpec",
@@ -51,13 +61,20 @@ __all__ = [
     "DeltaSpec",
     "EngineResolution",
     "FailureSpec",
+    "FrameBuilder",
     "HybridModelSpec",
     "NoiseSpec",
     "NoisyModelSpec",
     "PickerSpec",
     "ProtocolSpec",
+    "ResultFrame",
     "StepModelSpec",
+    "SweepAxis",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
     "TrialSpec",
+    "apply_axis_value",
     "compile_death_ops",
     "compile_spec",
     "fast_ineligibility",
@@ -65,7 +82,9 @@ __all__ = [
     "resolve_engine",
     "resolve_engine_info",
     "run_batch",
+    "run_sweep",
     "run_trial",
     "run_trials",
+    "run_trials_frame",
     "trial_seed_sequences",
 ]

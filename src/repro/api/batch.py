@@ -31,8 +31,9 @@ import numpy as np
 
 from repro._rng import SeedLike, make_rng
 from repro.errors import ConfigurationError
+from repro.sim.frame import ResultFrame
 from repro.sim.results import TrialResult
-from repro.api.compile import run_trials
+from repro.api.compile import run_trials, run_trials_frame
 from repro.api.spec import TrialSpec
 
 #: (trial index, entropy, spawn_key) — a picklable child-seed identity.
@@ -90,6 +91,19 @@ def _run_chunk(payload) -> List[Tuple[int, TrialResult]]:
             for entry, result in zip(entries, results)]
 
 
+def _run_chunk_frame(payload) -> Tuple[int, dict]:
+    """Pool worker for the columnar path: one chunk -> one frame payload.
+
+    Ships a dict of numpy columns back over the pipe (tagged with the
+    chunk's first trial index for reassembly) instead of a pickled list
+    of per-trial dataclasses.
+    """
+    spec_dict, entries = payload
+    spec = TrialSpec.from_dict(spec_dict)
+    frame = run_trials_frame(spec, [_rebuild(entry) for entry in entries])
+    return entries[0][0], frame.to_payload()
+
+
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -122,27 +136,35 @@ class BatchRunner:
     def parallel(self) -> bool:
         return bool(self.workers and self.workers > 1)
 
+    def _pool_payloads(self, spec: TrialSpec, seqs, n_trials: int):
+        """The (spec_dict, seed-entry chunk) work units for the pool.
+
+        Shared by the list and frame paths so chunk boundaries and the
+        opaque-spec refusal stay identical between them.
+        """
+        if not spec.serializable:
+            raise ConfigurationError(
+                "spec contains opaque components (a live instance, factory, "
+                "or callable) and cannot be distributed across processes; "
+                "run with workers=1 or make the spec declarative")
+        spec_dict = spec.to_dict()
+        entries = _seed_entries(seqs)
+        chunk = self.chunk_size or max(1, -(-n_trials // (self.workers * 4)))
+        return [(spec_dict, entries[i:i + chunk])
+                for i in range(0, len(entries), chunk)]
+
     def run(self, spec: TrialSpec, n_trials: int,
             seed: SeedLike = None) -> List[TrialResult]:
         """Run ``n_trials`` independent trials of ``spec``, in order."""
         seqs = trial_seed_sequences(seed, n_trials)
         if not self.parallel:
             return run_trials(spec, seqs)
-        if not spec.serializable:
-            raise ConfigurationError(
-                "spec contains opaque components (a live instance, factory, "
-                "or callable) and cannot be distributed across processes; "
-                "run with workers=1 or make the spec declarative")
         if spec.record:
             raise ConfigurationError(
                 "record=True histories cannot cross the process pool "
                 "(result.memory would be silently dropped); run with "
                 "workers=1 to keep the recorder")
-        spec_dict = spec.to_dict()
-        entries = _seed_entries(seqs)
-        chunk = self.chunk_size or max(1, -(-n_trials // (self.workers * 4)))
-        payloads = [(spec_dict, entries[i:i + chunk])
-                    for i in range(0, len(entries), chunk)]
+        payloads = self._pool_payloads(spec, seqs, n_trials)
         results: List[Optional[TrialResult]] = [None] * n_trials
         ctx = _pool_context()
         with ctx.Pool(processes=self.workers) as pool:
@@ -150,6 +172,38 @@ class BatchRunner:
                 for idx, result in out:
                     results[idx] = result
         return results  # type: ignore[return-value]
+
+    def run_frame(self, spec: TrialSpec, n_trials: int,
+                  seed: SeedLike = None) -> ResultFrame:
+        """Run ``n_trials`` trials of ``spec`` into a columnar frame.
+
+        Bit-identical to :meth:`run` for every ``workers`` value:
+        ``runner.run_frame(...).to_trial_results() == runner.run(...)``
+        (same seed discipline, same engines, same chunking).  The frame
+        path never materializes per-trial result objects on the fast
+        engine, and pool workers stream back column arrays chunk by
+        chunk instead of pickled dataclass lists, so worker memory stays
+        O(chunk).  ``record=True`` specs are refused (a frame cannot
+        carry a history recorder).
+        """
+        if spec.record:
+            raise ConfigurationError(
+                "record=True histories cannot be stored in a columnar "
+                "frame (result.memory would be silently dropped); use "
+                "run() / as_frame=False with workers=1")
+        seqs = trial_seed_sequences(seed, n_trials)
+        if not self.parallel:
+            return run_trials_frame(spec, seqs)
+        payloads = self._pool_payloads(spec, seqs, n_trials)
+        parts: dict = {}
+        ctx = _pool_context()
+        with ctx.Pool(processes=self.workers) as pool:
+            for start, payload in pool.imap_unordered(_run_chunk_frame,
+                                                      payloads):
+                parts[start] = payload
+        frames = [ResultFrame.from_payload(parts[start])
+                  for start in sorted(parts)]
+        return ResultFrame.concat(frames, spec=spec)
 
     def run_grid(self, specs: Sequence[TrialSpec], n_trials: int,
                  seed: SeedLike = None) -> List[List[TrialResult]]:
@@ -164,10 +218,18 @@ class BatchRunner:
 
 
 def run_batch(spec: TrialSpec, n_trials: int, seed: SeedLike = None,
-              workers: Optional[int] = None) -> List[TrialResult]:
+              workers: Optional[int] = None, as_frame: bool = False):
     """Run ``n_trials`` trials of ``spec`` (the one-call batch form).
 
     Results are returned in trial order and are bit-identical for any
     ``workers`` value (see the module docstring for the seed discipline).
+    ``as_frame=True`` returns a columnar
+    :class:`~repro.sim.frame.ResultFrame` instead of a list — same
+    trials, same values (``frame.to_trial_results()`` equals the list),
+    but the fast engine writes columns directly and skips the per-trial
+    dataclass churn entirely.
     """
-    return BatchRunner(workers=workers).run(spec, n_trials, seed=seed)
+    runner = BatchRunner(workers=workers)
+    if as_frame:
+        return runner.run_frame(spec, n_trials, seed=seed)
+    return runner.run(spec, n_trials, seed=seed)

@@ -24,15 +24,19 @@ per-trial execution.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
+from repro._seedhash import ReusablePCG64, block_spawn_keys, pcg64_states
+from repro.core.invariants import check_agreement, check_validity
 from repro.errors import ConfigurationError
 from repro.failures.injection import FailureModel, NoFailures, RandomHalting
 from repro.noise.distributions import PerOpKindNoise
+from repro.sched.delta import DeltaSchedule
 from repro.sched.hybrid import HybridScheduler
 from repro.sched.noisy import NoisyScheduler
 from repro.sim.build import (
@@ -41,8 +45,16 @@ from repro.sim.build import (
     make_memory_for,
 )
 from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
-from repro.sim.fast import FAST_VARIANTS, lean_horizon_ops, replay
+from repro.sim.fast import (
+    FAST_VARIANTS,
+    _replay_optimized,
+    lean_horizon_ops,
+    replay,
+    replay_lean,
+)
+from repro.sim.frame import FrameBuilder, ResultFrame
 from repro.sim.results import TrialResult
+from repro.types import Decision
 from repro.api.spec import (
     FailureSpec,
     HybridModelSpec,
@@ -120,6 +132,9 @@ def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
                 f"(supported: {sorted(FAST_VARIANTS)})")
     if spec.protocol.round_cap is not None:
         return "round_cap bookkeeping requires the event engine"
+    if spec.max_total_ops is not None:
+        return ("max_total_ops budgets are enforced by the event engine "
+                "(the vectorized replay has no operation-budget stop)")
     if spec.failures.adversary is not None:
         return ("adaptive crash adversaries observe the execution and "
                 "cannot be presampled obliviously")
@@ -211,6 +226,38 @@ def run_trials(spec: TrialSpec,
             and resolve_engine_info(spec).engine == "fast":
         return _run_fast_chunk(spec, seeds)
     return [run_trial(spec, s) for s in seeds]
+
+
+def run_trials_frame(spec: TrialSpec,
+                     seeds: Sequence[SeedLike]) -> ResultFrame:
+    """Run one spec over several per-trial seeds, returning a frame.
+
+    The columnar twin of :func:`run_trials`:
+    ``run_trials_frame(spec, seeds).to_trial_results()`` is bit-identical
+    to ``run_trials(spec, seeds)`` for every spec.  Fast-engine specs
+    take a fully columnar pipeline (:func:`_run_fast_chunk_frame`) that
+    materializes zero per-trial ``TrialResult`` objects; every other
+    engine runs trial-by-trial and converts with
+    :meth:`~repro.sim.frame.ResultFrame.from_results`.
+
+    One side-effect difference from :func:`run_trials`: the fast lane
+    treats *fresh* ``SeedSequence`` seeds as pure values — their spawn
+    counters are not advanced (the child streams are derived directly).
+    Each call is still bit-identical to the list path, but reusing the
+    same seed-sequence objects across calls repeats trials where the
+    list path would spawn fresh children; thread a root seed through the
+    batch runner (which spawns a new block per call) instead of reusing
+    trial sequences.
+    """
+    if spec.record:
+        raise ConfigurationError(
+            "record=True histories cannot be stored in a columnar frame "
+            "(result.memory would be silently dropped); use the list path")
+    info = resolve_engine_info(spec)
+    if isinstance(spec.model, NoisyModelSpec) and info.engine == "fast":
+        return _run_fast_chunk_frame(spec, seeds)
+    return ResultFrame.from_results([run_trial(spec, s) for s in seeds],
+                                    spec=spec)
 
 
 # ---------------------------------------------------------------------------
@@ -319,7 +366,7 @@ def _fast_prefix_ops(n: int) -> int:
 
 
 def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
-                    prefix: Optional[int] = None) -> Optional[TrialResult]:
+                    prefix: Optional[int] = None, sink=None):
     """Replay one presampled schedule, growing the argsort prefix.
 
     This is the production fast path over a fixed schedule matrix: replay
@@ -329,7 +376,8 @@ def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
     drives this exact function, so prefix handling is covered by the
     cross-engine sweep.  Returns ``None`` only when the full matrix
     itself overflows (the caller then redraws noise at a doubled
-    horizon).
+    horizon).  With a ``sink`` the outcome is appended columnar and
+    ``True`` returned instead of a result.
     """
     max_ops = times.shape[1]
     k = min(prefix if prefix is not None else _fast_prefix_ops(spec.n),
@@ -340,7 +388,7 @@ def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
                         stop_after_first_decision=
                         spec.stop_after_first_decision,
                         tie_rngs=_tie_rngs(tie_seqs),
-                        truncated=k < max_ops)
+                        truncated=k < max_ops, sink=sink)
         if result is not None or k >= max_ops:
             return result
         k = min(k * 2, max_ops)
@@ -446,6 +494,267 @@ def _run_fast_chunk(spec: TrialSpec,
             result.engine_reason = None
             results.append(result)
     return results
+
+
+_SeedSequence = np.random.SeedSequence
+
+
+def _trial_children(seed: SeedLike, k: int) -> list:
+    """The first ``k`` child seed sequences of one trial's stream.
+
+    Matches the children :func:`_noisy_streams` derives (a child's value
+    depends only on its index, never on how many siblings are spawned),
+    without constructing a root generator or the generators of streams
+    the trial will never draw from — the noisy compiler's stream order is
+    (noise, dither, fail, proto), and e.g. a no-failure lean trial only
+    ever consumes the first two.  Fresh sequences take the direct-child
+    construction path (``spawn_key + (i,)``, exactly what
+    ``SeedSequence.spawn`` produces) to skip ``spawn()``'s per-call
+    overhead; already-spawned-from sequences and live generators keep the
+    mutating ``spawn`` — always of all four children, so their spawn
+    counters advance exactly as the legacy ``_noisy_streams`` call would.
+    """
+    if isinstance(seed, _SeedSequence):
+        if seed.n_children_spawned:
+            return seed.spawn(4)
+        entropy, key, pool = seed.entropy, seed.spawn_key, seed.pool_size
+        return [_SeedSequence(entropy, spawn_key=key + (i,), pool_size=pool)
+                for i in range(k)]
+    if isinstance(seed, np.random.Generator):
+        return seed.bit_generator.seed_seq.spawn(4)  # type: ignore[attr-defined]
+    return [_SeedSequence(seed, spawn_key=(i,)) for i in range(k)]
+
+
+class _FixedStarts(DeltaSchedule):
+    """A delay schedule with precomputed start times and zero delays.
+
+    Stands in for a ``DitheredStart``/``ZeroDelta`` whose random draws
+    already happened (the columnar pipeline draws the starts inline), so
+    the rare horizon-overflow fallback can rebuild the exact legacy
+    scheduler without re-consuming the dither stream.
+    """
+
+    bound = 0.0
+
+    def __init__(self, starts: np.ndarray) -> None:
+        self._starts = starts
+
+    def start(self, pid: int) -> float:
+        return float(self._starts[pid])
+
+    def delay(self, pid: int, op_index: int) -> float:
+        return 0.0
+
+    def delays_array(self, pid: int, n_ops: int) -> np.ndarray:
+        return np.zeros(n_ops)
+
+
+def _check_frame(frame: ResultFrame, spec: TrialSpec) -> None:
+    """Columnar agreement + validity check (the frame twin of
+    :func:`repro.sim.build.check_result`).
+
+    Vectorized over the whole frame; only a *failing* trial rebuilds its
+    decisions dict so the error raised is byte-identical to the per-trial
+    invariant checkers'.
+    """
+    if not spec.check or len(frame) == 0:
+        return
+
+    def rebuild(i: int):
+        return {pid: Decision(value, rnd, ops)
+                for pid, value, rnd, ops in frame.column("decisions")[i]}
+
+    disagreed = np.nonzero(frame.column("n_distinct_decisions") > 1)[0]
+    if disagreed.size:
+        check_agreement(rebuild(int(disagreed[0])))
+    input_values = set(spec.input_map().values())
+    if len(input_values) == 1:
+        (common,) = input_values
+        values = frame.column("decided_value")
+        bad = np.nonzero(np.isfinite(values) & (values != common))[0]
+        if bad.size:
+            i = int(bad[0])
+            check_validity(dict(frame.column("inputs")[i]), rebuild(i))
+
+
+def _run_fast_chunk_frame(spec: TrialSpec,
+                          seeds: Sequence[SeedLike]) -> ResultFrame:
+    """Trial-batched fast execution writing columns directly.
+
+    The columnar twin of :func:`_run_fast_chunk`: the same per-trial seed
+    and stream discipline (so results are bit-identical to the list
+    path), but the per-trial object pipeline is gone —
+
+    * only the *consumed* RNG streams are instantiated (a no-failure lean
+      trial builds 2 generators instead of 4);
+    * for the zero/dithered delay schedules of the paper's sweeps the
+      completion-time tensor is built inline with four numpy calls
+      instead of a ``NoisyScheduler``/``DeltaSchedule`` object pair and
+      their per-process Python loop;
+    * the replay appends straight into a :class:`FrameBuilder` sink, so
+      no ``TrialResult``, inputs dict, decisions dict, or halted set is
+      ever materialized;
+    * agreement/validity run vectorized over the finished frame.
+    """
+    model = spec.model
+    n = spec.n
+    input_map = spec.input_map()
+    inputs = [input_map[pid] for pid in range(n)]
+    input_pairs = tuple((pid, int(bit)) for pid, bit in enumerate(inputs))
+    noise = model.noise.build()
+    # Constructing the scheduler once revalidates the distribution with
+    # the exact legacy semantics (admissibility or the negative-delay
+    # check under allow_degenerate).
+    NoisyScheduler(noise, None, allow_degenerate=model.allow_degenerate)
+    cfg = FAST_VARIANTS[spec.protocol.name]
+    delta_kind = model.delta.kind
+    vector_delta = delta_kind in ("zero", "dithered")
+    epsilon = model.delta.param("epsilon", 1e-8)
+    base_start = model.delta.param("base", 0.0)
+    if delta_kind == "dithered" and epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+    h = spec.failures.h
+    need = 4 if cfg.random_tie else (3 if h > 0.0 else 2)
+    horizon = lean_horizon_ops(n)
+    prefix = min(_fast_prefix_ops(n), horizon)
+    sub = max(1, _FAST_CHUNK_ELEMENTS // max(n * horizon, 1))
+    builder = FrameBuilder(spec=spec, n=n, inputs=input_pairs,
+                           engine="fast", engine_reason=None)
+    # Local bindings for the per-trial loop (it runs 10,000+ times per
+    # Figure-1 grid cell; attribute lookups are measurable there).
+    generator, pcg64 = np.random.Generator, np.random.PCG64
+    sample_array = noise.sample_array
+    dithered = delta_kind == "dithered"
+    stop_first = spec.stop_after_first_decision
+    truncated = prefix < horizon
+    shape = (n, horizon)
+    # Direct variant dispatch (the per-trial replay() lookup is pure
+    # overhead when the whole chunk runs one protocol).
+    if cfg.optimized:
+        replay_fn = _replay_optimized
+    else:
+        replay_fn = functools.partial(replay_lean, lag=cfg.lag)
+    reusable = ReusablePCG64()
+    for start in range(0, len(seeds), sub):
+        block = seeds[start:start + sub]
+        # Batch the whole block's stream seeding into one vectorized
+        # SeedSequence-hash pass when the block matches the batch
+        # runner's seed pattern; the per-trial streams then come from a
+        # single reused generator via state injection (bit-identical —
+        # pinned by tests/test_seedhash.py).
+        states = None
+        if vector_delta:
+            recognized = block_spawn_keys(block)
+            if recognized is not None:
+                entropy, key_matrix = recognized
+                states = {
+                    child: pcg64_states(entropy, key_matrix, child)
+                    for child in ((0, 1) if dithered else (0,))
+                    + ((2,) if h > 0.0 else ())
+                }
+        contexts = []
+        times_list = []
+        for k, seed in enumerate(block):
+            if states is None:
+                children = _trial_children(seed, need)
+                rng_noise = generator(pcg64(children[0]))
+                rng_dither = (generator(pcg64(children[1]))
+                              if (dithered or not vector_delta) else None)
+                rng_fail = (generator(pcg64(children[2]))
+                            if h > 0.0 else None)
+                tie_key = children[3] if cfg.random_tie else None
+            else:
+                rng_noise = rng_dither = rng_fail = None
+                tie_key = (_SeedSequence(seed.entropy,
+                                         spawn_key=seed.spawn_key + (3,))
+                           if cfg.random_tie else None)
+            if vector_delta:
+                if dithered:
+                    if rng_dither is None:
+                        rng_dither = reusable.reset(states[1][k])
+                    starts = base_start + rng_dither.uniform(
+                        0.0, epsilon, size=n)
+                else:
+                    starts = np.zeros(n)
+                delta = None  # _FixedStarts(starts) built only on fallback
+                if rng_noise is None:
+                    rng_noise = reusable.reset(states[0][k])
+                # Inline presample: bit-identical to
+                # NoisyScheduler.presample with a zero-delay schedule.
+                incs = sample_array(rng_noise, shape)
+                incs += rng_noise.uniform(0.0, 1e-12, size=shape)
+                times = incs.cumsum(axis=1)
+                times += starts[:, None]
+            else:
+                starts = None
+                delta = model.delta.build(n, rng_dither)
+                scheduler = NoisyScheduler(
+                    noise, rng_noise, delta=delta,
+                    allow_degenerate=model.allow_degenerate)
+                times = scheduler.presample(n, horizon)
+            if h > 0.0:
+                if rng_fail is None:
+                    rng_fail = reusable.reset(states[2][k])
+                death_ops = compile_death_ops(spec.failures, n, rng_fail)
+            else:
+                death_ops = None
+            tie_seqs = tie_key.spawn(n) if tie_key is not None else None
+            times_list.append(times)
+            # The overflow-fallback context: in the batched-seeding lane
+            # the seeds are fresh SeedSequences and the legacy
+            # single-trial lane rederives identical streams from `seed`;
+            # in the object lane the live generators themselves are kept
+            # so the retry continues their streams exactly like
+            # _run_fast_chunk does (a re-derivation would diverge for
+            # generator or already-spawned-from seeds).
+            if states is None:
+                fallback = (rng_noise, rng_fail,
+                            delta if delta is not None
+                            else _FixedStarts(starts))
+            else:
+                fallback = seed
+            contexts.append((death_ops, tie_seqs, fallback))
+        orders = np.argsort(
+            np.stack([t[:, :prefix] for t in times_list]).reshape(
+                len(block), -1),
+            axis=1, kind="stable")
+        # One vectorized event->pid map for the whole block; replay takes
+        # the ready per-trial list instead of re-deriving it.
+        pid_rows = orders // prefix
+        for k, (death_ops, tie_seqs, fallback) in enumerate(contexts):
+            appended = replay_fn(times_list[k][:, :prefix], inputs,
+                                 death_ops=death_ops,
+                                 stop_after_first_decision=stop_first,
+                                 tie_rngs=_tie_rngs(tie_seqs),
+                                 order=pid_rows[k].tolist(),
+                                 truncated=truncated, sink=builder)
+            if appended is None and truncated:
+                appended = replay_schedule(spec, times_list[k], inputs,
+                                           death_ops, tie_seqs,
+                                           prefix=prefix * 2, sink=builder)
+            if appended is None:
+                # Rare full-horizon overflow; the one materialized
+                # result is the exception path.
+                if isinstance(fallback, tuple):
+                    # Continue the live per-trial streams through the
+                    # serial retry loop, exactly like _run_fast_chunk.
+                    rng_noise, rng_fail, delta = fallback
+                    result = _fast_attempts(spec, noise, delta, rng_noise,
+                                            rng_fail, tie_seqs, inputs,
+                                            horizon=horizon * 2, attempts=9)
+                    result.engine = "fast"
+                    result.engine_reason = None
+                else:
+                    # Batched-seeding lane: rerun down the legacy
+                    # single-trial lane — its attempt 1 rederives the
+                    # same streams and redraws the same overflowing
+                    # schedule, then the retry loop continues exactly as
+                    # the list path would.
+                    result = run_trial(spec, fallback)
+                builder.append_result(result)
+    frame = builder.build()
+    _check_frame(frame, spec)
+    return frame
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,326 @@
+"""Declarative sweeps: a frozen grid of trial specs + columnar execution.
+
+Every experiment harness used to hand-roll the same plumbing: nested
+loops over parameter values, a mutated :class:`~repro.api.spec.TrialSpec`
+per cell, a ``BatchRunner`` call, and list comprehensions over the
+results.  A :class:`SweepSpec` replaces that with a declaration — a base
+spec plus named :class:`SweepAxis` values that mutate spec fields — and
+:func:`run_sweep` executes the compiled grid through the batch runner
+with the exact historical seed discipline (one root generator, child
+seed blocks consumed in grid order), returning one columnar
+:class:`~repro.sim.frame.ResultFrame` per cell.
+
+Axes address spec fields by dotted path (``"n"``, ``"failures.h"``,
+``"model.noise"``, ``"protocol.name"``) including the parameter tuples
+of kind-based component specs (``"model.noise.params.sigma"``,
+``"model.delta.params.style"``)::
+
+    sweep = SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(
+            noise=NoiseSpec.of("exponential", mean=1.0)),
+            stop_after_first_decision=True),
+        axes=(SweepAxis("model.noise", noise_specs, name="distribution",
+                        labels=names),
+              SweepAxis("n", (1, 10, 100, 1000, 10_000, 100_000))),
+        trials=10_000)
+    result = run_sweep(sweep, seed=2000, workers=8,
+                       cache_dir="~/.cache/repro-sweeps")
+    frame = result.frame(distribution="exponential(1)", n=100)
+
+The opt-in on-disk cache keys each cell by a content hash of (cell spec,
+trial count, root seed state, cell seed offset, code version), so a
+``--paper``-scale re-run resumes from the completed cells instead of
+recomputing, and a changed spec, seed, or code version misses cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import SeedLike, make_rng
+from repro.errors import ConfigurationError
+from repro.sim.frame import ResultFrame
+from repro.api.batch import BatchRunner, trial_seed_sequences
+from repro.api.spec import SPEC_VERSION, TrialSpec, _freeze_params
+
+#: Bump when an engine/compiler change may alter trial results; stale
+#: cache entries then miss instead of resurrecting old numbers.
+CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-frame1"
+
+
+def _replace_field(obj, parts: Sequence[str], value):
+    """Recursively rebuild a frozen spec with one dotted field replaced.
+
+    A ``params`` segment addresses the frozen parameter tuple of a
+    kind-based component spec (``NoiseSpec``/``DeltaSpec``/...): the
+    named parameter is replaced and the spec revalidated.
+    """
+    name = parts[0]
+    if name == "params" and len(parts) == 2 and hasattr(obj, "params"):
+        updated = dict(obj.params)
+        updated[parts[1]] = value
+        return dataclasses.replace(obj, params=_freeze_params(updated))
+    if not hasattr(obj, name):
+        raise ConfigurationError(
+            f"sweep axis path names unknown field {name!r} on "
+            f"{type(obj).__name__}")
+    if len(parts) == 1:
+        return dataclasses.replace(obj, **{name: value})
+    child = getattr(obj, name)
+    return dataclasses.replace(obj, **{name: _replace_field(child,
+                                                            parts[1:], value)})
+
+
+def apply_axis_value(spec: TrialSpec, path: str, value) -> TrialSpec:
+    """``spec`` with the dotted ``path`` field replaced by ``value``."""
+    return _replace_field(spec, path.split("."), value)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named sweep dimension: a spec field path and its values.
+
+    Attributes:
+        path: dotted :class:`TrialSpec` field path the axis mutates.
+        values: the values the axis takes, in sweep order.
+        name: axis name for coordinates (defaults to the last path
+            segment, e.g. ``"h"`` for ``"failures.h"``).
+        labels: optional display labels, one per value (e.g. the
+            Figure-1 distribution names).
+    """
+
+    path: str
+    values: Tuple[Any, ...]
+    name: Optional[str] = None
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.path:
+            raise ConfigurationError("sweep axis needs a field path")
+        if not self.values:
+            raise ConfigurationError(
+                f"sweep axis {self.path!r} needs at least one value")
+        if self.name is None:
+            object.__setattr__(self, "name", self.path.rsplit(".", 1)[-1])
+        if self.labels is not None:
+            object.__setattr__(self, "labels", tuple(self.labels))
+            if len(self.labels) != len(self.values):
+                raise ConfigurationError(
+                    f"axis {self.name!r} has {len(self.values)} values but "
+                    f"{len(self.labels)} labels")
+
+    def label(self, index: int) -> str:
+        if self.labels is not None:
+            return self.labels[index]
+        return str(self.values[index])
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One compiled grid cell: coordinates, labels, and the cell's spec."""
+
+    index: int
+    coords: Tuple[Tuple[str, Any], ...]
+    labels: Tuple[Tuple[str, str], ...]
+    spec: TrialSpec
+
+    def coord(self, name: str):
+        for key, value in self.coords:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def label(self, name: str) -> str:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: base spec, named axes, trials per cell.
+
+    The grid is the cartesian product of the axes in declaration order
+    (first axis outermost), matching the nesting of the historical
+    experiment loops — which is what keeps sweep execution bit-identical
+    to them under the shared seed discipline.
+    """
+
+    base: TrialSpec
+    axes: Tuple[SweepAxis, ...]
+    trials: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        if self.trials < 0:
+            raise ConfigurationError(
+                f"trials must be >= 0, got {self.trials}")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate sweep axis names in {names}")
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(len(axis.values) for axis in self.axes)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for extent in self.shape:
+            out *= extent
+        return out
+
+    def cells(self) -> List[SweepCell]:
+        """The compiled grid, in execution (row-major) order."""
+        out = []
+        ranges = [range(len(axis.values)) for axis in self.axes]
+        for index, combo in enumerate(itertools.product(*ranges)):
+            spec = self.base
+            coords = []
+            labels = []
+            for axis, value_index in zip(self.axes, combo):
+                value = axis.values[value_index]
+                spec = apply_axis_value(spec, axis.path, value)
+                coords.append((axis.name, value))
+                labels.append((axis.name, axis.label(value_index)))
+            out.append(SweepCell(index=index, coords=tuple(coords),
+                                 labels=tuple(labels), spec=spec))
+        return out
+
+    def run(self, seed: SeedLike = None, workers: Optional[int] = None,
+            cache_dir: Optional[str] = None) -> "SweepResult":
+        """Execute the sweep (see :func:`run_sweep`)."""
+        return run_sweep(self, seed=seed, workers=workers,
+                         cache_dir=cache_dir)
+
+
+@dataclass
+class SweepResult:
+    """Executed sweep: one columnar frame per grid cell, in grid order."""
+
+    sweep: SweepSpec
+    cells: List[SweepCell]
+    frames: List[ResultFrame]
+    seed_entropy: Optional[int] = None
+    cache_hits: int = 0
+
+    def __iter__(self) -> Iterator[Tuple[SweepCell, ResultFrame]]:
+        return iter(zip(self.cells, self.frames))
+
+    def frame(self, **coords) -> ResultFrame:
+        """The unique cell frame matching the given coordinates."""
+        matches = [
+            frame for cell, frame in self
+            if all(cell.coord(name) == value
+                   for name, value in coords.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{coords} matches {len(matches)} cells (need exactly 1)")
+        return matches[0]
+
+
+def _seed_fingerprint(root: np.random.Generator) -> Tuple[Optional[int],
+                                                          tuple, int]:
+    seq = root.bit_generator.seed_seq  # type: ignore[attr-defined]
+    entropy = getattr(seq, "entropy", None)
+    spawn_key = tuple(getattr(seq, "spawn_key", ()))
+    spawned = int(getattr(seq, "n_children_spawned", 0))
+    return entropy, spawn_key, spawned
+
+
+def _cell_cache_key(cell: SweepCell, trials: int, entropy, spawn_key,
+                    child_offset: int) -> str:
+    record = {
+        "code": CACHE_CODE_VERSION,
+        "spec": cell.spec.to_dict(),
+        "trials": trials,
+        "entropy": str(entropy),
+        "spawn_key": list(spawn_key),
+        "child_offset": child_offset,
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _cache_load(cache_dir: str, key: str,
+                spec: TrialSpec) -> Optional[ResultFrame]:
+    path = os.path.join(cache_dir, f"{key}.npz")
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            payload = {name: data[name] for name in data.files}
+        return ResultFrame.from_payload(payload, spec=spec)
+    except Exception:
+        # A truncated/incompatible entry is a miss, not a crash: the
+        # cell recomputes and the entry is rewritten.
+        return None
+
+
+def _cache_store(cache_dir: str, key: str, frame: ResultFrame) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **frame.to_payload())
+        os.replace(tmp_path, os.path.join(cache_dir, f"{key}.npz"))
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def run_sweep(sweep: SweepSpec, seed: SeedLike = None,
+              workers: Optional[int] = None,
+              runner: Optional[BatchRunner] = None,
+              cache_dir: Optional[str] = None) -> SweepResult:
+    """Execute a sweep through the batch runner, one frame per cell.
+
+    Seed discipline: ``seed`` is normalized to a single root generator
+    and every cell consumes its own block of child seeds in grid order —
+    exactly the historical experiment-loop pattern, so a sweep is
+    bit-identical to the loop it replaced, for any ``workers`` value.
+
+    With ``cache_dir``, each finished cell is persisted and a re-run
+    loads matching cells instead of recomputing them; cache hits still
+    burn the cell's child-seed block so the remaining cells draw
+    identical seeds.  Cells with non-serializable specs always compute.
+    """
+    runner = runner if runner is not None else BatchRunner(workers=workers)
+    root = make_rng(seed)
+    entropy, spawn_key, spawned = _seed_fingerprint(root)
+    cells = sweep.cells()
+    frames: List[ResultFrame] = []
+    hits = 0
+    expanded = cache_dir and os.path.expanduser(cache_dir)
+    for cell in cells:
+        key = None
+        if expanded and cell.spec.serializable:
+            key = _cell_cache_key(cell, sweep.trials, entropy, spawn_key,
+                                  spawned + cell.index * sweep.trials)
+            cached = _cache_load(expanded, key, cell.spec)
+            if cached is not None and len(cached) == sweep.trials:
+                trial_seed_sequences(root, sweep.trials)  # burn the block
+                frames.append(cached)
+                hits += 1
+                continue
+        frame = runner.run_frame(cell.spec, sweep.trials, seed=root)
+        if key is not None:
+            _cache_store(expanded, key, frame)
+        frames.append(frame)
+    return SweepResult(sweep=sweep, cells=cells, frames=frames,
+                       seed_entropy=entropy if isinstance(entropy, int)
+                       else None,
+                       cache_hits=hits)

@@ -61,3 +61,13 @@ class InvariantViolation(ReproError):
 
 class ModelCheckError(ReproError):
     """The model checker exceeded its configured state or depth budget."""
+
+
+class AggregationError(ReproError):
+    """A columnar aggregation over a result frame is undefined.
+
+    Raised, for example, when a mean over ``first_decision_round`` is
+    requested for a frame in which no trial decided (a budget-exhausted
+    configuration); the message names the offending trial spec so sweep
+    users can locate the bad grid cell.
+    """

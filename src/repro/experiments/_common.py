@@ -6,6 +6,8 @@ import argparse
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 #: The paper's Figure-1 grid (log-spaced 1 .. 100,000) and trial count.
 PAPER_NS = (1, 10, 100, 1_000, 10_000, 100_000)
 PAPER_TRIALS = 10_000
@@ -43,6 +45,19 @@ def _cell(value) -> str:
     return str(value)
 
 
+def seed_entropy(root: np.random.Generator):
+    """The root generator's ``SeedSequence.entropy`` — the reproducible
+    identity an experiment result should record.
+
+    For an integer seed this is the seed itself
+    (``SeedSequence(2000).entropy == 2000``); for a generator or
+    OS-entropy root it is the actual entropy drawn, so results stay
+    attributable instead of the old ``-1`` placeholder.
+    """
+    seq = getattr(root.bit_generator, "seed_seq", None)
+    return getattr(seq, "entropy", None)
+
+
 @dataclass
 class CliScale:
     """Parsed command-line scale options shared by experiment mains."""
@@ -52,6 +67,7 @@ class CliScale:
     seed: int
     workers: Optional[int] = None
     engine: Optional[str] = None
+    cache_dir: Optional[str] = None
 
 
 def scale_parser(description: str) -> argparse.ArgumentParser:
@@ -73,6 +89,11 @@ def scale_parser(description: str) -> argparse.ArgumentParser:
                              "'fast' forces the vectorized replay at any "
                              "n, composes with --workers, and is what "
                              "makes the --paper scale affordable)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="opt-in on-disk sweep cache: finished grid "
+                             "cells are persisted (keyed by spec + seed + "
+                             "code version) so interrupted --paper runs "
+                             "resume instead of recomputing")
     parser.add_argument("--paper", action="store_true",
                         help="use the paper's full scale "
                              "(n up to 100000, 10000 trials; slow)")
@@ -90,4 +111,5 @@ def parse_scale(parser: argparse.ArgumentParser, argv=None):
         trials = args.trials or DEFAULT_TRIALS
     return CliScale(ns=tuple(ns), trials=trials, seed=args.seed,
                     workers=getattr(args, "workers", None),
-                    engine=getattr(args, "engine", None)), args
+                    engine=getattr(args, "engine", None),
+                    cache_dir=getattr(args, "cache_dir", None)), args

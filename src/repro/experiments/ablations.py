@@ -22,7 +22,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
-from repro.api import BatchRunner, NoiseSpec, NoisyModelSpec, TrialSpec
+from repro.analysis.aggregate import Mean
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
 from repro.noise.distributions import (
     Exponential,
     NoiseDistribution,
@@ -31,7 +39,12 @@ from repro.noise.distributions import (
 from repro.sched.delta import RandomDelta
 from repro.sim.fast import has_fast_replay
 from repro.sim.runner import run_noisy_trial
-from repro.experiments._common import format_table, parse_scale, scale_parser
+from repro.experiments._common import (
+    format_table,
+    parse_scale,
+    scale_parser,
+    seed_entropy,
+)
 
 
 @dataclass
@@ -60,6 +73,8 @@ class AblationResult:
     protocols: List[ProtocolRow]
     sigmas: List[SigmaRow]
     delays: List[DelayRow]
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 def compare_protocols(protocols: Sequence[str], n: int, trials: int,
@@ -100,27 +115,28 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
 def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
                 seed: SeedLike,
                 engine: str = "auto",
-                workers: Optional[int] = None) -> List[SigmaRow]:
+                workers: Optional[int] = None,
+                cache_dir: Optional[str] = None) -> List[SigmaRow]:
     """ABL2a: termination vs noise spread (truncated normal, mean 1).
 
-    Declared as a spec grid over sigma and dispatched through the
-    :class:`~repro.api.BatchRunner`.
+    Declared as a :class:`~repro.api.SweepSpec` over the
+    ``model.noise.params.sigma`` axis and aggregated columnar.
     """
-    root = make_rng(seed)
-    runner = BatchRunner(workers=workers)
-    rows = []
-    for sigma in sigmas:
-        spec = TrialSpec(
+    sweep = SweepSpec(
+        base=TrialSpec(
             n=n,
             model=NoisyModelSpec(noise=NoiseSpec.of(
-                "truncated-normal", mu=1.0, sigma=sigma, low=0.0, high=2.0)),
+                "truncated-normal", mu=1.0, sigma=sigmas[0], low=0.0,
+                high=2.0)),
             engine=engine,
-            stop_after_first_decision=True)
-        batch = runner.run(spec, trials, seed=root)
-        firsts = [t.first_decision_round for t in batch]
-        rows.append(SigmaRow(sigma=sigma,
-                             mean_first_round=float(np.mean(firsts))))
-    return rows
+            stop_after_first_decision=True),
+        axes=(SweepAxis("model.noise.params.sigma", tuple(sigmas)),),
+        trials=trials)
+    mean_first = Mean("first_decision_round")
+    return [SigmaRow(sigma=cell.coord("sigma"),
+                     mean_first_round=mean_first(frame))
+            for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
+                                         cache_dir=cache_dir)]
 
 
 def sweep_delay_bound(bounds: Sequence[float], n: int, trials: int,
@@ -159,24 +175,30 @@ def run(n: int = 64, trials: int = 100,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "event",
-        workers: Optional[int] = None) -> AblationResult:
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> AblationResult:
     """Run all three ablations.
 
     ``engine`` selects the engine for the protocol comparison and the
     sigma sweep; the delay-bound sweep is event-engine-only (see
-    :func:`sweep_delay_bound`).
+    :func:`sweep_delay_bound`).  The protocol comparison keeps its
+    bespoke loop on purpose: its trials are *paired* (every protocol
+    re-consumes the same per-trial seed streams), which a sweep's
+    independent per-cell seed blocks deliberately do not express.
     """
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
+    entropy = seed_entropy(root)
     seeds = spawn(root, 3)
     return AblationResult(
         protocols=compare_protocols(protocols, n, trials, noise, seeds[0],
                                     engine=engine),
         sigmas=sweep_sigma(sigmas, n, trials, seeds[1],
                            engine=engine if engine != "event" else "auto",
-                           workers=workers),
+                           workers=workers, cache_dir=cache_dir),
         delays=sweep_delay_bound(delay_bounds, n, max(trials // 2, 20),
                                  seeds[2]),
+        seed=entropy,
     )
 
 
@@ -204,7 +226,8 @@ def main(argv=None) -> None:
     scale, _ = parse_scale(parser, argv)
     print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
                             engine=scale.engine or "event",
-                            workers=scale.workers)))
+                            workers=scale.workers,
+                            cache_dir=scale.cache_dir)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.aggregate import Mean, agreement_rate
+from repro.api import (
+    DeltaSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    noise_to_spec,
+    run_sweep,
+)
 from repro.core.idconsensus import IdConsensus, id_bits
 from repro.memory.contention import ContentionMeter, ContentiousScheduler
 from repro.noise.distributions import Exponential, NoiseDistribution
@@ -35,7 +45,12 @@ from repro.sim.runner import (
     make_memory_for,
     run_noisy_trial,
 )
-from repro.experiments._common import format_table, parse_scale, scale_parser
+from repro.experiments._common import (
+    format_table,
+    parse_scale,
+    scale_parser,
+    seed_entropy,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -54,25 +69,36 @@ class StatRow:
 def run_statistical(n: int = 32, trials: int = 60, mean_bound: float = 0.5,
                     burst_everies: Sequence[int] = (2, 8, 32),
                     noise: Optional[NoiseDistribution] = None,
-                    seed: SeedLike = 2000) -> List[StatRow]:
-    """Termination under statistical-adversary burst schedules."""
+                    seed: SeedLike = 2000,
+                    workers: Optional[int] = None,
+                    cache_dir: Optional[str] = None) -> List[StatRow]:
+    """Termination under statistical-adversary burst schedules.
+
+    Declared as a :class:`~repro.api.SweepSpec` over the statistical
+    delta's ``style`` and ``burst_every`` parameters (the delta schedule
+    is fully declarative, so the whole sweep runs through the batch
+    runner and aggregates columnar).
+    """
     noise = noise if noise is not None else Exponential(1.0)
-    root = make_rng(seed)
-    rows = []
-    for style in ("bursts", "frontrunner"):
-        for burst_every in burst_everies:
-            lasts, agreed = [], 0
-            for trial_rng in spawn(root, trials):
-                delta = StatisticalDelta(mean_bound, style=style,
-                                         burst_every=burst_every, n=n)
-                trial = run_noisy_trial(n, noise, seed=trial_rng,
-                                        delta=delta, engine="event")
-                lasts.append(trial.last_decision_round)
-                agreed += 1 if trial.agreed else 0
-            rows.append(StatRow(style=style, burst_every=burst_every,
-                                mean_last_round=float(np.mean(lasts)),
-                                agreement_rate=agreed / trials))
-    return rows
+    sweep = SweepSpec(
+        base=TrialSpec(n=n, model=NoisyModelSpec(
+            noise=noise_to_spec(noise),
+            delta=DeltaSpec.of("statistical", mean_bound=mean_bound,
+                               style="bursts",
+                               burst_every=burst_everies[0])),
+            engine="event"),
+        axes=(SweepAxis("model.delta.params.style",
+                        ("bursts", "frontrunner")),
+              SweepAxis("model.delta.params.burst_every",
+                        tuple(burst_everies))),
+        trials=trials)
+    mean_last = Mean("last_decision_round")
+    return [StatRow(style=cell.coord("style"),
+                    burst_every=cell.coord("burst_every"),
+                    mean_last_round=mean_last(frame),
+                    agreement_rate=agreement_rate(frame))
+            for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
+                                         cache_dir=cache_dir)]
 
 
 # ---------------------------------------------------------------------------
@@ -167,17 +193,31 @@ class ExtensionsResult:
     statistical: List[StatRow]
     contention: List[ContentionRow]
     id_consensus: List[IdRow]
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 def run(n: int = 32, trials: int = 60,
-        seed: SeedLike = 2000) -> ExtensionsResult:
+        seed: SeedLike = 2000,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> ExtensionsResult:
+    """All three Section-10 extensions.
+
+    The statistical-adversary sweep is declarative and runs through the
+    sweep framework; contention and id consensus keep their bespoke
+    loops (a live :class:`ContentionMeter` / machine factory is
+    inherently opaque to the spec layer).
+    """
     root = make_rng(seed)
+    entropy = seed_entropy(root)
     seeds = spawn(root, 3)
     return ExtensionsResult(
-        statistical=run_statistical(n=n, trials=trials, seed=seeds[0]),
+        statistical=run_statistical(n=n, trials=trials, seed=seeds[0],
+                                    workers=workers, cache_dir=cache_dir),
         contention=run_contention(n=n, trials=trials, seed=seeds[1]),
         id_consensus=run_id_consensus(trials=max(trials // 2, 10),
                                       seed=seeds[2]),
+        seed=entropy,
     )
 
 
@@ -206,7 +246,9 @@ def main(argv=None) -> None:
     parser = scale_parser("Section-10 extensions: statistical adversary, "
                           "contention, id consensus.")
     scale, _ = parse_scale(parser, argv)
-    print(format_result(run(trials=min(scale.trials, 100), seed=scale.seed)))
+    print(format_result(run(trials=min(scale.trials, 100), seed=scale.seed,
+                            workers=scale.workers,
+                            cache_dir=scale.cache_dir)))
 
 
 if __name__ == "__main__":  # pragma: no cover

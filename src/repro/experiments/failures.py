@@ -19,18 +19,26 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
+from repro.analysis.aggregate import Mean, decided_count, mean_halted
 from repro.analysis.stats import FitResult
 from repro.api import (
-    BatchRunner,
     FailureSpec,
     NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
     TrialSpec,
     noise_to_spec,
+    run_sweep,
 )
 from repro.failures.injection import KillLeaderAdversary
 from repro.noise.distributions import Exponential, NoiseDistribution
 from repro.sim.runner import run_noisy_trial
-from repro.experiments._common import format_table, parse_scale, scale_parser
+from repro.experiments._common import (
+    format_table,
+    parse_scale,
+    scale_parser,
+    seed_entropy,
+)
 
 DEFAULT_HS = (0.0, 0.001, 0.005, 0.02)
 DEFAULT_BUDGETS = (0, 1, 2, 4, 8)
@@ -60,34 +68,37 @@ class FailureResult:
     crashes: List[CrashRow]
     #: Least-squares slope of mean round vs crash budget f.
     crash_slope: float
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 def run_halting(n: int, hs: Sequence[float], trials: int,
                 noise: NoiseDistribution, seed: SeedLike,
                 engine: str = "event",
-                workers: Optional[int] = None) -> List[HaltingRow]:
-    """The halting sweep, declared as a spec grid over h values.
+                workers: Optional[int] = None,
+                cache_dir: Optional[str] = None) -> List[HaltingRow]:
+    """The halting sweep, declared as a :class:`~repro.api.SweepSpec`
+    over the ``failures.h`` axis.
 
     Random halting compiles into per-process death schedules on the
     vectorized engine, so ``engine="fast"`` runs this sweep at large n;
     the adaptive-crash sweep stays on the event engine regardless (an
     adaptive adversary cannot be presampled obliviously).
     """
-    root = make_rng(seed)
-    runner = BatchRunner(workers=workers)
-    noise_spec = noise_to_spec(noise)
+    sweep = SweepSpec(
+        base=TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)),
+                       engine=engine),
+        axes=(SweepAxis("failures.h", tuple(hs)),),
+        trials=trials)
+    mean_last = Mean("last_decision_round")
     rows = []
-    for h in hs:
-        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec),
-                         failures=FailureSpec(h=h), engine=engine)
-        batch = runner.run(spec, trials, seed=root)
-        lasts = [t.last_decision_round for t in batch
-                 if t.last_decision_round is not None]
-        halted = [len(t.halted) for t in batch]
+    for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
+                                 cache_dir=cache_dir):
+        decided = decided_count(frame)
         rows.append(HaltingRow(
-            h=h, trials=trials, decided_trials=len(lasts),
-            mean_last_round=float(np.mean(lasts)) if lasts else None,
-            mean_halted=float(np.mean(halted))))
+            h=cell.coord("h"), trials=trials, decided_trials=decided,
+            mean_last_round=mean_last(frame) if decided else None,
+            mean_halted=mean_halted(frame)))
     return rows
 
 
@@ -123,18 +134,20 @@ def run(n: int = 64,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "event",
-        workers: Optional[int] = None) -> FailureResult:
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> FailureResult:
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
+    entropy = seed_entropy(root)
     seeds = spawn(root, 2)
     halting = run_halting(n, hs, trials, noise, seeds[0], engine=engine,
-                          workers=workers)
+                          workers=workers, cache_dir=cache_dir)
     crashes = run_crashes(n, budgets, trials, noise, seeds[1])
     xs = np.array([row.budget for row in crashes], dtype=float)
     ys = np.array([row.mean_last_round for row in crashes], dtype=float)
     slope = float(np.polyfit(xs, ys, 1)[0]) if len(xs) >= 2 else 0.0
     return FailureResult(n=n, halting=halting, crashes=crashes,
-                         crash_slope=slope)
+                         crash_slope=slope, seed=entropy)
 
 
 def format_result(result: FailureResult) -> str:
@@ -161,7 +174,8 @@ def main(argv=None) -> None:
     scale, _ = parse_scale(parser, argv)
     print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
                             engine=scale.engine or "event",
-                            workers=scale.workers)))
+                            workers=scale.workers,
+                            cache_dir=scale.cache_dir)))
 
 
 if __name__ == "__main__":  # pragma: no cover

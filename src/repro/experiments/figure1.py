@@ -21,8 +21,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro._rng import SeedLike, make_rng
-from repro.analysis.stats import mean_confidence_interval
-from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
+from repro.analysis.aggregate import Mean, MeanCI
+from repro.api import (
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    noise_to_spec,
+    run_sweep,
+)
 from repro.noise.distributions import NoiseDistribution, figure1_distributions
 from repro.experiments._common import (
     DEFAULT_NS,
@@ -30,6 +37,7 @@ from repro.experiments._common import (
     format_table,
     parse_scale,
     scale_parser,
+    seed_entropy,
 )
 
 
@@ -46,7 +54,12 @@ class Figure1Point:
 
 @dataclass
 class Figure1Result:
-    """All series of the reproduced figure."""
+    """All series of the reproduced figure.
+
+    ``seed`` records the root ``SeedSequence.entropy`` (the seed itself
+    for integer seeds), so the result is attributable/reproducible even
+    when ``run`` was given a generator or OS-entropy root.
+    """
 
     ns: Sequence[int]
     trials: int
@@ -60,19 +73,41 @@ class Figure1Result:
         raise KeyError((distribution, n))
 
 
+def sweep_spec(ns: Sequence[int],
+               trials: int,
+               distributions: Dict[str, NoiseDistribution],
+               engine: str = "auto",
+               max_total_ops: Optional[int] = None) -> SweepSpec:
+    """The Figure-1 grid as a declarative sweep: distribution x n."""
+    specs = tuple(noise_to_spec(dist) for dist in distributions.values())
+    base = TrialSpec(n=1, model=NoisyModelSpec(noise=specs[0]),
+                     engine=engine, stop_after_first_decision=True,
+                     max_total_ops=max_total_ops)
+    return SweepSpec(base=base, trials=trials, axes=(
+        SweepAxis("model.noise", specs, name="distribution",
+                  labels=tuple(distributions)),
+        SweepAxis("n", tuple(ns)),
+    ))
+
+
 def run(ns: Sequence[int] = DEFAULT_NS,
         trials: int = DEFAULT_TRIALS,
         distributions: Optional[Dict[str, NoiseDistribution]] = None,
         seed: SeedLike = 2000,
         engine: str = "auto",
-        workers: Optional[int] = None) -> Figure1Result:
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        max_total_ops: Optional[int] = None) -> Figure1Result:
     """Reproduce the Figure-1 sweep.
 
-    The sweep is declared as a grid of :class:`~repro.api.TrialSpec`
-    values (one per (distribution, n) cell) dispatched through the
-    :class:`~repro.api.BatchRunner`; per-trial child seeds are spawned
-    from the root generator in grid order, so the output is identical
-    for any ``workers`` value (and to the historical serial loop).
+    The sweep is one :func:`sweep_spec` declaration executed through
+    :func:`~repro.api.run_sweep`: per-trial child seeds are spawned from
+    the root generator in grid order, so the output is identical for any
+    ``workers`` value (and to the historical per-cell loop), and each
+    cell aggregates columnar on its result frame.  Trials that never
+    decided (possible only under a ``max_total_ops`` budget) are
+    filtered out of the means; a cell with *no* decided trials raises
+    :class:`~repro.errors.AggregationError` naming the offending spec.
 
     Args:
         ns: process counts (paper: 1 to 100,000 log-spaced).
@@ -82,26 +117,25 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         engine: simulation engine selector (see
             :func:`repro.api.resolve_engine`).
         workers: worker processes for the batch runner (None = serial).
+        cache_dir: opt-in on-disk sweep cache (resume ``--paper`` runs).
+        max_total_ops: optional per-trial operation budget.
     """
     if distributions is None:
         distributions = figure1_distributions()
     root = make_rng(seed)
-    runner = BatchRunner(workers=workers)
     result = Figure1Result(ns=tuple(ns), trials=trials,
-                           seed=seed if isinstance(seed, int) else -1)
-    for name, dist in distributions.items():
-        points = []
-        for n in ns:
-            spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(dist)),
-                             engine=engine, stop_after_first_decision=True)
-            batch = runner.run(spec, trials, seed=root)
-            rounds = [t.first_decision_round for t in batch]
-            ops = [t.first_decision_ops for t in batch]
-            mean, half = mean_confidence_interval(rounds)
-            points.append(Figure1Point(
-                n=n, trials=trials, mean_round=mean, ci95=half,
-                mean_ops_first=sum(ops) / len(ops)))
-        result.series[name] = points
+                           seed=seed_entropy(root))
+    sweep = sweep_spec(ns, trials, distributions, engine=engine,
+                       max_total_ops=max_total_ops)
+    mean_ci = MeanCI("first_decision_round")
+    mean_ops = Mean("first_decision_ops")
+    for cell, frame in run_sweep(sweep, seed=root, workers=workers,
+                                 cache_dir=cache_dir):
+        mean, half = mean_ci(frame)
+        point = Figure1Point(n=cell.coord("n"), trials=trials,
+                             mean_round=mean, ci95=half,
+                             mean_ops_first=mean_ops(frame))
+        result.series.setdefault(cell.label("distribution"), []).append(point)
     return result
 
 
@@ -158,7 +192,8 @@ def main(argv=None) -> None:
                         help="also render an ASCII plot")
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 engine=scale.engine or "auto", workers=scale.workers)
+                 engine=scale.engine or "auto", workers=scale.workers,
+                 cache_dir=scale.cache_dir)
     print(format_result(result))
     if args.plot:
         print()

@@ -23,14 +23,23 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
-from repro.analysis.stats import FitResult, fit_log
-from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
+from repro.analysis.aggregate import Mean, fit_log_over_cells
+from repro.analysis.stats import FitResult
+from repro.api import (
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    noise_to_spec,
+    run_sweep,
+)
 from repro.noise.distributions import TwoPoint
 from repro.experiments._common import (
     DEFAULT_TRIALS,
     format_table,
     parse_scale,
     scale_parser,
+    seed_entropy,
 )
 
 #: The Theorem-13 noise distribution.
@@ -51,6 +60,8 @@ class LowerBoundResult:
     fast_pair_prob: Dict[int, float]
     #: The paper's analytic value (1 - (1 - 1/n)^{n/2})^2.
     fast_pair_analytic: Dict[int, float]
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 def analytic_fast_pair(n: int) -> float:
@@ -80,36 +91,42 @@ def empirical_fast_pair(n: int, trials: int,
 def run(ns: Sequence[int] = DEFAULT_LB_NS,
         trials: int = DEFAULT_TRIALS,
         seed: SeedLike = 2000,
-        workers: Optional[int] = None) -> LowerBoundResult:
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> LowerBoundResult:
     """Measure termination growth under the lower-bound distribution.
 
-    The sweep is a :class:`~repro.api.TrialSpec` grid dispatched through
-    the :class:`~repro.api.BatchRunner`.
+    The sweep is a :class:`~repro.api.SweepSpec` over n executed through
+    :func:`~repro.api.run_sweep`; the direct fast-pair sampling rides
+    alongside on its own pre-spawned stream, exactly as the historical
+    interleaved loop consumed it.
     """
     root = make_rng(seed)
+    entropy = seed_entropy(root)
     event_rng = make_rng(spawn(root, 1)[0])
-    runner = BatchRunner(workers=workers)
-    noise_spec = noise_to_spec(LOWER_BOUND_NOISE)
+    sweep = SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(
+            noise=noise_to_spec(LOWER_BOUND_NOISE))),
+        axes=(SweepAxis("n", tuple(ns)),),
+        trials=trials)
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
     pair_emp: Dict[int, float] = {}
     pair_ana: Dict[int, float] = {}
-    for n in ns:
-        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec))
-        batch = runner.run(spec, trials, seed=root)
-        firsts = [t.first_decision_round for t in batch]
-        lasts = [t.last_decision_round for t in batch]
-        mean_first[n] = float(np.mean(firsts))
-        mean_last[n] = float(np.mean(lasts))
+    first_of, last_of = Mean("first_decision_round"), Mean("last_decision_round")
+    for cell, frame in run_sweep(sweep, seed=root, workers=workers,
+                                 cache_dir=cache_dir):
+        n = cell.coord("n")
+        mean_first[n] = first_of(frame)
+        mean_last[n] = last_of(frame)
         pair_emp[n] = empirical_fast_pair(n, max(trials, 400), event_rng)
         pair_ana[n] = analytic_fast_pair(n)
-    fit_ns = [n for n in ns if n >= 2]
-    fit = fit_log(fit_ns, [mean_first[n] for n in fit_ns])
+    fit = fit_log_over_cells(ns, [mean_first[n] for n in ns])
     return LowerBoundResult(ns=tuple(ns), trials=trials,
                             mean_first=mean_first, mean_last=mean_last,
                             fit_first=fit,
                             fast_pair_prob=pair_emp,
-                            fast_pair_analytic=pair_ana)
+                            fast_pair_analytic=pair_ana,
+                            seed=entropy)
 
 
 def format_result(result: LowerBoundResult) -> str:
@@ -132,7 +149,8 @@ def main(argv=None) -> None:
     scale, _ = parse_scale(parser, argv)
     ns = scale.ns if scale.ns != (1, 10, 100, 1000, 10000) else DEFAULT_LB_NS
     print(format_result(run(ns=ns, trials=scale.trials, seed=scale.seed,
-                            workers=scale.workers)))
+                            workers=scale.workers,
+                            cache_dir=scale.cache_dir)))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -125,7 +125,8 @@ register("message-passing", "repro.experiments.message_passing",
          "Section 10",
          "Message-passing emulation through ABD registers")
 register("extensions", "repro.experiments.extensions", "Section 10",
-         "Statistical adversary, memory contention, and id consensus")
+         "Statistical adversary, memory contention, and id consensus",
+         batched=True)
 register("mutual-exclusion", "repro.experiments.mutual_exclusion",
          "Section 10",
          "Timing-based mutual exclusion (Fischer) under noise")

@@ -18,13 +18,17 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng
-from repro.analysis.stats import (
-    FitResult,
-    fit_exponential_tail,
-    fit_log,
-    tail_probabilities,
+from repro.analysis.aggregate import Mean, TailProbabilities, fit_log_over_cells
+from repro.analysis.stats import FitResult, fit_exponential_tail
+from repro.api import (
+    BatchRunner,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    noise_to_spec,
+    run_sweep,
 )
-from repro.api import BatchRunner, NoisyModelSpec, TrialSpec, noise_to_spec
 from repro.noise.distributions import Exponential, NoiseDistribution
 from repro.experiments._common import (
     DEFAULT_NS,
@@ -32,6 +36,7 @@ from repro.experiments._common import (
     format_table,
     parse_scale,
     scale_parser,
+    seed_entropy,
 )
 
 
@@ -45,6 +50,8 @@ class ScalingResult:
     mean_last: Dict[int, float]
     fit_first: FitResult
     fit_last: FitResult
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -56,6 +63,8 @@ class TailResult:
     ks: Sequence[int]
     probs: Sequence[float]
     fit: FitResult
+    #: Root ``SeedSequence.entropy`` (the seed itself for int seeds).
+    seed: Optional[int] = None
 
 
 def run(ns: Sequence[int] = DEFAULT_NS,
@@ -63,36 +72,37 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "auto",
-        workers: Optional[int] = None) -> ScalingResult:
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> ScalingResult:
     """Measure termination-round growth and fit the Θ(log n) model.
 
-    The sweep is a grid of :class:`~repro.api.TrialSpec` values dispatched
-    through the :class:`~repro.api.BatchRunner` (``workers`` parallelizes
-    it with identical output; ``engine="fast"`` forces the vectorized
-    replay at every n).  Skips n = 1 for the fit (ln 1 = 0 gives
-    the intercept no leverage and the point is deterministic anyway) but
-    still reports it.
+    The sweep is one :class:`~repro.api.SweepSpec` over n executed
+    through :func:`~repro.api.run_sweep` (``workers`` parallelizes it
+    with identical output; ``engine="fast"`` forces the vectorized
+    replay at every n; ``cache_dir`` resumes interrupted runs).  Skips
+    n = 1 for the fit (ln 1 = 0 gives the intercept no leverage and the
+    point is deterministic anyway) but still reports it.
     """
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
-    runner = BatchRunner(workers=workers)
-    noise_spec = noise_to_spec(noise)
+    sweep = SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(noise=noise_to_spec(noise)),
+                       engine=engine),
+        axes=(SweepAxis("n", tuple(ns)),),
+        trials=trials)
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
-    for n in ns:
-        spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_spec),
-                         engine=engine)
-        batch = runner.run(spec, trials, seed=root)
-        firsts = [t.first_decision_round for t in batch]
-        lasts = [t.last_decision_round for t in batch]
-        mean_first[n] = float(np.mean(firsts))
-        mean_last[n] = float(np.mean(lasts))
-    fit_ns = [n for n in ns if n >= 2]
-    fit_first = fit_log(fit_ns, [mean_first[n] for n in fit_ns])
-    fit_last = fit_log(fit_ns, [mean_last[n] for n in fit_ns])
+    first_of, last_of = Mean("first_decision_round"), Mean("last_decision_round")
+    for cell, frame in run_sweep(sweep, seed=root, workers=workers,
+                                 cache_dir=cache_dir):
+        mean_first[cell.coord("n")] = first_of(frame)
+        mean_last[cell.coord("n")] = last_of(frame)
+    fit_first = fit_log_over_cells(ns, [mean_first[n] for n in ns])
+    fit_last = fit_log_over_cells(ns, [mean_last[n] for n in ns])
     return ScalingResult(ns=tuple(ns), trials=trials,
                          mean_first=mean_first, mean_last=mean_last,
-                         fit_first=fit_first, fit_last=fit_last)
+                         fit_first=fit_first, fit_last=fit_last,
+                         seed=seed_entropy(root))
 
 
 def run_tail(n: int = 256, trials: int = 2000,
@@ -106,15 +116,15 @@ def run_tail(n: int = 256, trials: int = 2000,
     root = make_rng(seed)
     spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)),
                      engine=engine)
-    batch = BatchRunner(workers=workers).run(spec, trials, seed=root)
-    rounds = [t.last_decision_round for t in batch]
+    frame = BatchRunner(workers=workers).run_frame(spec, trials, seed=root)
     if ks is None:
-        hi = int(max(rounds))
+        hi = int(np.nanmax(frame.column("last_decision_round")))
         ks = list(range(2, hi + 1))
-    probs = tail_probabilities(rounds, ks)
+    probs = TailProbabilities("last_decision_round", tuple(ks))(frame)
     fit = fit_exponential_tail(ks, probs)
     return TailResult(n=n, trials=trials, ks=tuple(ks),
-                      probs=tuple(float(p) for p in probs), fit=fit)
+                      probs=tuple(float(p) for p in probs), fit=fit,
+                      seed=seed_entropy(root))
 
 
 def format_result(result: ScalingResult, tail: Optional[TailResult] = None) -> str:
@@ -139,7 +149,8 @@ def main(argv=None) -> None:
     parser.add_argument("--tail-n", type=int, default=256)
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 engine=scale.engine or "auto", workers=scale.workers)
+                 engine=scale.engine or "auto", workers=scale.workers,
+                 cache_dir=scale.cache_dir)
     tail = run_tail(n=args.tail_n, trials=max(scale.trials, 500),
                     seed=scale.seed, engine=scale.engine or "auto",
                     workers=scale.workers)

@@ -13,10 +13,13 @@
   replays identical pre-sampled schedules through a vectorized replay and
   the reference event engine and asserts identical observables.
 * :mod:`repro.sim.runner` — one-call trial runners and batch helpers.
-* :mod:`repro.sim.results` / :mod:`repro.sim.metrics` — result records and
-  their aggregation.
+* :mod:`repro.sim.results` / :mod:`repro.sim.frame` /
+  :mod:`repro.sim.metrics` — per-trial result records, the columnar
+  batch representation (one numpy column per result field; the fast
+  engine's sink target), and their aggregation.
 """
 
+from repro.sim.frame import FrameBuilder, ResultFrame
 from repro.sim.results import TrialResult
 from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
 from repro.sim.fast import (
@@ -51,8 +54,10 @@ __all__ = [
     "FAST_VARIANTS",
     "FastLeanTrial",
     "FastVariant",
+    "FrameBuilder",
     "HybridEngine",
     "NoisyEngine",
+    "ResultFrame",
     "StepEngine",
     "TrialResult",
     "TrialStats",

@@ -96,12 +96,17 @@ def replay(times: np.ndarray, inputs: Sequence[int],
            stop_after_first_decision: bool = True,
            tie_rngs: Optional[Sequence[np.random.Generator]] = None,
            order: Optional[np.ndarray] = None,
-           truncated: bool = False) -> Optional[TrialResult]:
+           truncated: bool = False,
+           sink=None):
     """Replay a protocol variant over a pre-sampled schedule.
 
     Dispatches through :data:`FAST_VARIANTS`; see :func:`replay_lean` for
     the argument contract.  ``tie_rngs`` (one generator per process) is
-    required for ``"random-tie"`` and ignored otherwise.
+    required for ``"random-tie"`` and ignored otherwise.  With a ``sink``
+    (a :class:`repro.sim.frame.FrameBuilder`) the outcome is appended as
+    one columnar row — no ``TrialResult`` is materialized — and the
+    return value is ``True`` instead of the result (``None`` still means
+    horizon overflow, with nothing appended).
     """
     cfg = FAST_VARIANTS.get(variant)
     if cfg is None:
@@ -115,16 +120,23 @@ def replay(times: np.ndarray, inputs: Sequence[int],
         return _replay_optimized(times, inputs, death_ops=death_ops,
                                  stop_after_first_decision=
                                  stop_after_first_decision, order=order,
-                                 truncated=truncated)
+                                 truncated=truncated, sink=sink)
     return replay_lean(times, inputs, death_ops=death_ops,
                        stop_after_first_decision=stop_after_first_decision,
                        lag=cfg.lag,
                        tie_rngs=tie_rngs if cfg.random_tie else None,
-                       order=order, truncated=truncated)
+                       order=order, truncated=truncated, sink=sink)
 
 
-def _global_order(times: np.ndarray, order: Optional[np.ndarray]) -> list:
-    """Per-event pid list from the (possibly precomputed) argsort."""
+def _global_order(times: np.ndarray, order) -> list:
+    """Per-event pid list from the (possibly precomputed) argsort.
+
+    ``order`` may be the flat argsort array, an already-divided pid
+    *list* (trial-batched callers map a whole block of argsorts to pids
+    in one vectorized call), or ``None`` to argsort here.
+    """
+    if type(order) is list:
+        return order
     if order is None:
         # Global interleaving: event k is operation (order[k] % max_ops) of
         # process (order[k] // max_ops).  Per-process op sequence is
@@ -136,13 +148,41 @@ def _global_order(times: np.ndarray, order: Optional[np.ndarray]) -> list:
     return (order // max_ops).tolist()
 
 
+def _finish(sink, n: int, inputs: Sequence[int], decisions: list,
+            halted: list, total_ops: int, max_round: int,
+            preference_changes: int):
+    """Emit a completed replay: columnar row (sink) or ``TrialResult``.
+
+    ``decisions`` is the chronological (pid, value, round, ops) list the
+    replay loops accumulate instead of a live result object; rebuilding
+    the dataclass from it here reproduces the historical
+    ``note_decision`` call order exactly, so the no-sink path stays
+    bit-identical while the sink path materializes nothing per trial.
+    """
+    if sink is not None:
+        sink.append_fast(decisions=tuple(decisions), halted=tuple(halted),
+                         total_ops=total_ops, max_round=max_round,
+                         preference_changes=preference_changes)
+        return True
+    result = TrialResult(n=n, inputs={i: int(b) for i, b in enumerate(inputs)})
+    for pid in halted:
+        result.halted.add(pid)
+    for pid, value, rnd, op_count in decisions:
+        result.note_decision(pid, Decision(value, rnd, op_count))
+    result.preference_changes = preference_changes
+    result.total_ops = total_ops
+    result.max_round = max_round
+    return result
+
+
 def replay_lean(times: np.ndarray, inputs: Sequence[int],
                 death_ops: Optional[np.ndarray] = None,
                 stop_after_first_decision: bool = True,
                 lag: int = 1,
                 tie_rngs: Optional[Sequence[np.random.Generator]] = None,
                 order: Optional[np.ndarray] = None,
-                truncated: bool = False) -> Optional[TrialResult]:
+                truncated: bool = False,
+                sink=None):
     """Replay the four-step-round family over a pre-sampled schedule.
 
     Args:
@@ -169,11 +209,14 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             starved process's dropped events could precede the stop and
             change it); such completions return ``None`` so the caller
             grows the prefix.
+        sink: optional :class:`repro.sim.frame.FrameBuilder`; when given,
+            the outcome is appended as one columnar row (no per-trial
+            ``TrialResult``) and ``True`` is returned on success.
 
     Returns:
-        The trial result, or ``None`` if the schedule horizon was exhausted
-        before the stopping condition was met (caller should retry with a
-        larger horizon).
+        The trial result (or ``True`` with a sink), or ``None`` if the
+        schedule horizon was exhausted before the stopping condition was
+        met (caller should retry with a larger horizon).
     """
     times = np.asarray(times)
     n, max_ops = times.shape
@@ -199,7 +242,9 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
     a[1][0] = 1
 
     deaths = death_ops if death_ops is not None else None
-    result = TrialResult(n=n, inputs={i: int(b) for i, b in enumerate(inputs)})
+    decisions: list = []       # chronological (pid, value, round, ops)
+    halted: list = []
+    preference_changes = 0
     remaining = n
 
     for pid in event_pids:
@@ -207,7 +252,7 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             continue
         if deaths is not None and ops[pid] + 1 >= deaths[pid]:
             done[pid] = True
-            result.halted.add(int(pid))
+            halted.append(int(pid))
             remaining -= 1
             if remaining == 0:
                 break
@@ -223,17 +268,17 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             w0 = v0[pid]
             if w0 == 1 and v1 == 0:
                 if pref[pid] != 0:
-                    result.preference_changes += 1
+                    preference_changes += 1
                     pref[pid] = 0
             elif v1 == 1 and w0 == 0:
                 if pref[pid] != 1:
-                    result.preference_changes += 1
+                    preference_changes += 1
                     pref[pid] = 1
             elif tie_rngs is not None and w0 == 1 and v1 == 1:
                 # Contended tie: the local-coin rule of RandomTie.
                 flip = int(tie_rngs[pid].integers(0, 2))
                 if flip != pref[pid]:
-                    result.preference_changes += 1
+                    preference_changes += 1
                     pref[pid] = flip
             step[pid] = 2
         elif s == 2:
@@ -244,8 +289,7 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             if a[1 - pref[pid]][behind] == 0:
                 done[pid] = True
                 remaining -= 1
-                dec = Decision(pref[pid], r, ops[pid])
-                result.note_decision(int(pid), dec)
+                decisions.append((int(pid), pref[pid], r, ops[pid]))
                 if stop_after_first_decision or remaining == 0:
                     break
             else:
@@ -260,21 +304,26 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             ops[p] >= max_ops and not done[p] for p in range(n)):
         return None  # a starved process's dropped events may precede the stop
 
-    result.total_ops = sum(ops)
-    result.max_round = max(rounds)
-    return result
+    return _finish(sink, n, inputs, decisions, halted,
+                   total_ops=sum(ops), max_round=max(rounds),
+                   preference_changes=preference_changes)
 
 
 def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
                       death_ops: Optional[np.ndarray] = None,
                       stop_after_first_decision: bool = True,
+                      tie_rngs: Optional[Sequence] = None,
                       order: Optional[np.ndarray] = None,
-                      truncated: bool = False) -> Optional[TrialResult]:
+                      truncated: bool = False,
+                      sink=None):
     """Replay :class:`~repro.core.variants.OptimizedLean` (Section 4).
 
     Rounds elide the write when the own bit is known set and the final
     read when the rival bit is known set, so a round takes 2-4 operations;
     the round-indexed arrays are sized for the 2-op worst case.
+    ``tie_rngs`` is accepted for call-signature uniformity with
+    :func:`replay_lean` and ignored (the optimized variant keeps the
+    deterministic tie rule).
     """
     times = np.asarray(times)
     n, max_ops = times.shape
@@ -297,7 +346,9 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
     a[1][0] = 1
 
     deaths = death_ops if death_ops is not None else None
-    result = TrialResult(n=n, inputs={i: int(b) for i, b in enumerate(inputs)})
+    decisions: list = []       # chronological (pid, value, round, ops)
+    halted: list = []
+    preference_changes = 0
     remaining = n
 
     for pid in event_pids:
@@ -305,7 +356,7 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
             continue
         if deaths is not None and ops[pid] + 1 >= deaths[pid]:
             done[pid] = True
-            result.halted.add(int(pid))
+            halted.append(int(pid))
             remaining -= 1
             if remaining == 0:
                 break
@@ -322,11 +373,11 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
             w0 = v0[pid]
             if w0 == 1 and v1 == 0:
                 if pref[pid] != 0:
-                    result.preference_changes += 1
+                    preference_changes += 1
                     pref[pid] = 0
             elif v1 == 1 and w0 == 0:
                 if pref[pid] != 1:
-                    result.preference_changes += 1
+                    preference_changes += 1
                     pref[pid] = 1
             p = pref[pid]
             own_set = (w0, v1)[p] == 1
@@ -348,8 +399,7 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
             if a[1 - pref[pid]][r - 1] == 0:
                 done[pid] = True
                 remaining -= 1
-                dec = Decision(pref[pid], r, ops[pid])
-                result.note_decision(int(pid), dec)
+                decisions.append((int(pid), pref[pid], r, ops[pid]))
                 if stop_after_first_decision or remaining == 0:
                     break
                 continue
@@ -366,9 +416,9 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
             ops[p] >= max_ops and not done[p] for p in range(n)):
         return None  # a starved process's dropped events may precede the stop
 
-    result.total_ops = sum(ops)
-    result.max_round = max(rounds)
-    return result
+    return _finish(sink, n, inputs, decisions, halted,
+                   total_ops=sum(ops), max_round=max(rounds),
+                   preference_changes=preference_changes)
 
 
 def lean_horizon_ops(n: int, slack_rounds: int = 16) -> int:

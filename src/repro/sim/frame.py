@@ -1,0 +1,320 @@
+"""Columnar trial results: one numpy column per ``TrialResult`` field.
+
+A :class:`ResultFrame` stores a batch of trial outcomes as flat numpy
+arrays instead of a list of per-trial
+:class:`~repro.sim.results.TrialResult` dataclasses.  At the paper's
+sweep scale (Figure 1 alone is 36 grid cells x 10,000 trials) the list
+representation dominates the pipeline: every trial allocates a 16-field
+dataclass, an n-entry ``inputs`` dict, a decisions dict of
+:class:`~repro.types.Decision` objects, and a halted set, all of which
+exist only to be immediately reduced to a handful of means.  The frame
+keeps the same information in O(columns) arrays:
+
+* scalar fields become ``int64`` / ``bool`` columns;
+* optional fields (``first_decision_round`` and friends) become
+  ``float64`` columns with ``NaN`` as the "None" sentinel;
+* the variable-size payloads (``inputs``, ``decisions``, ``halted``) and
+  the engine labels become object columns of compact tuples.
+
+Frames are constructed three ways: the vectorized fast engine writes
+rows through a :class:`FrameBuilder` sink without materializing any
+``TrialResult`` (see :func:`repro.sim.fast.replay`); event-engine
+batches are converted with :meth:`ResultFrame.from_results`; and pool
+workers / the sweep cache round-trip frames through
+:meth:`ResultFrame.to_payload` / :meth:`ResultFrame.from_payload` (plain
+dict-of-arrays, no pickled dataclass lists).
+
+:meth:`ResultFrame.to_trial_results` reconstructs the exact
+``TrialResult`` list — bit-identical to the legacy list path, which is
+what the frame/list differential tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import Decision
+from repro.sim.results import TrialResult
+
+#: Integer-valued columns (never None in a TrialResult).
+INT_COLUMNS = (
+    "n",
+    "total_ops",
+    "used_backup",
+    "max_round",
+    "preference_changes",
+    "n_decided",
+    "n_distinct_decisions",
+    "n_halted",
+)
+
+#: Optional columns stored as float64 with NaN standing in for None.
+#: ``decided_value`` is derived (the agreed bit, NaN when undecided) and
+#: exists so validity/agreement checks and aggregators stay columnar.
+FLOAT_COLUMNS = (
+    "first_decision_round",
+    "first_decision_ops",
+    "first_decision_time",
+    "last_decision_round",
+    "sim_time",
+    "decided_value",
+)
+
+BOOL_COLUMNS = ("budget_exhausted",)
+
+#: Object columns: compact tuples (``inputs`` as (pid, bit) pairs,
+#: ``decisions`` as chronological (pid, value, round, ops) tuples,
+#: ``halted`` as a pid tuple) plus the engine labels.
+OBJECT_COLUMNS = ("inputs", "decisions", "halted", "engine", "engine_reason")
+
+ALL_COLUMNS = INT_COLUMNS + FLOAT_COLUMNS + BOOL_COLUMNS + OBJECT_COLUMNS
+
+#: Columns whose per-trial values are int-or-None on the dataclass.
+_INT_OPTIONALS = ("first_decision_round", "first_decision_ops",
+                  "last_decision_round")
+
+
+class ResultFrame:
+    """A batch of trial results in columnar (struct-of-arrays) form.
+
+    Attributes:
+        spec: the :class:`~repro.api.spec.TrialSpec` the batch ran (when
+            known) — carried so aggregation errors can name the offending
+            configuration; not part of the payload or of equality.
+    """
+
+    def __init__(self, columns: Dict[str, np.ndarray], spec=None) -> None:
+        missing = [name for name in ALL_COLUMNS if name not in columns]
+        if missing:
+            raise ValueError(f"frame is missing columns {missing}")
+        lengths = {len(columns[name]) for name in ALL_COLUMNS}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged frame columns (lengths {lengths})")
+        self._columns = {name: columns[name] for name in ALL_COLUMNS}
+        self.spec = spec
+
+    # -- basic access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns["n"])
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw column array (float columns use NaN for None)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown column {name!r}; available: {list(ALL_COLUMNS)}"
+            ) from None
+
+    @property
+    def decided(self) -> np.ndarray:
+        """Boolean mask of trials in which at least one process decided."""
+        return self._columns["n_decided"] > 0
+
+    @property
+    def agreed(self) -> np.ndarray:
+        """Boolean mask of trials with no two differing decisions."""
+        return self._columns["n_distinct_decisions"] <= 1
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ResultFrame):
+            return NotImplemented
+        for name in INT_COLUMNS + BOOL_COLUMNS:
+            if not np.array_equal(self._columns[name], other._columns[name]):
+                return False
+        for name in FLOAT_COLUMNS:
+            if not np.array_equal(self._columns[name], other._columns[name],
+                                  equal_nan=True):
+                return False
+        for name in OBJECT_COLUMNS:
+            if self._columns[name].tolist() != other._columns[name].tolist():
+                return False
+        return True
+
+    __hash__ = None  # mutable container semantics
+
+    # -- conversions -------------------------------------------------------
+
+    @classmethod
+    def from_results(cls, results: Sequence[TrialResult],
+                     spec=None) -> "ResultFrame":
+        """Build a frame from a list of trial results (any engine)."""
+        builder = FrameBuilder(spec=spec)
+        for result in results:
+            builder.append_result(result)
+        return builder.build()
+
+    def to_trial_results(self) -> List[TrialResult]:
+        """Reconstruct the per-trial dataclass list.
+
+        Bit-identical to the legacy list path for frames built by the
+        batch runner: every field round-trips exactly (``NaN`` columns
+        back to ``None``, decision tuples back to insertion-ordered
+        :class:`~repro.types.Decision` dicts).
+        """
+        cols = self._columns
+
+        def opt_int(name: str, i: int) -> Optional[int]:
+            v = cols[name][i]
+            return None if np.isnan(v) else int(v)
+
+        def opt_float(name: str, i: int) -> Optional[float]:
+            v = cols[name][i]
+            return None if np.isnan(v) else float(v)
+
+        out: List[TrialResult] = []
+        for i in range(len(self)):
+            result = TrialResult(n=int(cols["n"][i]),
+                                 inputs=dict(cols["inputs"][i]))
+            result.decisions = {
+                pid: Decision(value, rnd, ops)
+                for pid, value, rnd, ops in cols["decisions"][i]
+            }
+            result.halted = set(cols["halted"][i])
+            result.total_ops = int(cols["total_ops"][i])
+            result.first_decision_round = opt_int("first_decision_round", i)
+            result.first_decision_ops = opt_int("first_decision_ops", i)
+            result.first_decision_time = opt_float("first_decision_time", i)
+            result.last_decision_round = opt_int("last_decision_round", i)
+            result.sim_time = opt_float("sim_time", i)
+            result.budget_exhausted = bool(cols["budget_exhausted"][i])
+            result.used_backup = int(cols["used_backup"][i])
+            result.max_round = int(cols["max_round"][i])
+            result.preference_changes = int(cols["preference_changes"][i])
+            result.engine = cols["engine"][i]
+            result.engine_reason = cols["engine_reason"][i]
+            out.append(result)
+        return out
+
+    # -- wire format -------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, np.ndarray]:
+        """The frame as a plain dict of arrays (pool / cache wire form)."""
+        return dict(self._columns)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, np.ndarray],
+                     spec=None) -> "ResultFrame":
+        return cls({name: np.asarray(payload[name]) for name in ALL_COLUMNS},
+                   spec=spec)
+
+    @classmethod
+    def concat(cls, frames: Sequence["ResultFrame"],
+               spec=None) -> "ResultFrame":
+        """Concatenate frames (in order) into one frame."""
+        if not frames:
+            return FrameBuilder(spec=spec).build()
+        columns = {
+            name: np.concatenate([f._columns[name] for f in frames])
+            for name in ALL_COLUMNS
+        }
+        if spec is None:
+            spec = next((f.spec for f in frames if f.spec is not None), None)
+        return cls(columns, spec=spec)
+
+
+_NAN = float("nan")
+
+
+class FrameBuilder:
+    """Row-at-a-time accumulator producing a :class:`ResultFrame`.
+
+    Two append paths: :meth:`append_fast` is the vectorized engine's sink
+    (constant per-batch fields — ``n``, ``inputs``, engine labels — are
+    supplied once at construction and never re-materialized per trial),
+    and :meth:`append_result` ingests a ready ``TrialResult`` from the
+    event-driven engines.
+    """
+
+    def __init__(self, spec=None, n: Optional[int] = None,
+                 inputs: Optional[Tuple[Tuple[int, int], ...]] = None,
+                 engine: Optional[str] = None,
+                 engine_reason: Optional[str] = None) -> None:
+        self.spec = spec
+        self._n = n
+        self._inputs = inputs
+        self._engine = engine
+        self._engine_reason = engine_reason
+        # One tuple per trial in ALL_COLUMNS order, transposed at build()
+        # — a single append per trial on the fast-engine hot path.
+        self._rows: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append_fast(self, decisions: Tuple[Tuple[int, int, int, int], ...],
+                    halted: Tuple[int, ...], total_ops: int, max_round: int,
+                    preference_changes: int) -> None:
+        """Append one fast-engine trial from its raw replay outcome.
+
+        ``decisions`` is the chronological (pid, value, round, ops) tuple;
+        the derived first/last/distinct columns are computed here, and no
+        ``TrialResult`` (or per-trial dict/set) ever exists.
+        """
+        if decisions:
+            first = decisions[0]
+            value = first[1]
+            distinct = 1
+            for dec in decisions:
+                if dec[1] != value:
+                    distinct = 2
+                    break
+            first_round, first_ops = first[2], first[3]
+            last_round = decisions[-1][2]
+            # NaN on disagreement, mirroring append_result's semantics
+            # (reachable only on check=False runs of unsafe variants).
+            decided_value = value if distinct == 1 else _NAN
+        else:
+            first_round = first_ops = last_round = decided_value = _NAN
+            distinct = 0
+        self._rows.append((
+            self._n, total_ops, 0, max_round, preference_changes,
+            len(decisions), distinct, len(halted),
+            first_round, first_ops, _NAN, last_round, _NAN, decided_value,
+            False,
+            self._inputs, decisions, halted, self._engine,
+            self._engine_reason))
+
+    def append_result(self, result: TrialResult) -> None:
+        """Append one trial from a materialized ``TrialResult``."""
+        values = {dec.value for dec in result.decisions.values()}
+
+        def opt(value):
+            return _NAN if value is None else value
+
+        self._rows.append((
+            result.n, result.total_ops, result.used_backup,
+            result.max_round, result.preference_changes,
+            len(result.decisions), len(values), len(result.halted),
+            opt(result.first_decision_round), opt(result.first_decision_ops),
+            opt(result.first_decision_time), opt(result.last_decision_round),
+            opt(result.sim_time),
+            next(iter(values)) if len(values) == 1 else _NAN,
+            result.budget_exhausted,
+            tuple(result.inputs.items()),
+            tuple((pid, dec.value, dec.round, dec.ops)
+                  for pid, dec in result.decisions.items()),
+            tuple(result.halted), result.engine, result.engine_reason))
+
+    def build(self) -> ResultFrame:
+        if self._rows:
+            transposed = list(zip(*self._rows))
+        else:
+            transposed = [()] * len(ALL_COLUMNS)
+        columns: Dict[str, np.ndarray] = {}
+        for i, name in enumerate(ALL_COLUMNS):
+            values = transposed[i]
+            if name in INT_COLUMNS:
+                columns[name] = np.asarray(values, dtype=np.int64)
+            elif name in FLOAT_COLUMNS:
+                columns[name] = np.asarray(values, dtype=np.float64)
+            elif name in BOOL_COLUMNS:
+                columns[name] = np.asarray(values, dtype=bool)
+            else:
+                arr = np.empty(len(values), dtype=object)
+                arr[:] = values
+                columns[name] = arr
+        return ResultFrame(columns, spec=self.spec)

@@ -1,0 +1,260 @@
+"""Columnar ResultFrame: list-path bit-identity and round-trips.
+
+The acceptance property of the frame pipeline:
+``run_batch(spec, k, seed, as_frame=True).to_trial_results()`` equals
+``run_batch(spec, k, seed)`` — for every engine, failure model, variant,
+and ``workers`` value.  The fast-engine frame path goes through an
+entirely different implementation (vectorized seeding, inline presample,
+columnar sink), so these tests are the frame half of the differential
+oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.api import (
+    BatchRunner,
+    FailureSpec,
+    HybridModelSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    ResultFrame,
+    StepModelSpec,
+    TrialSpec,
+    run_batch,
+    run_trial,
+    run_trials_frame,
+    trial_seed_sequences,
+)
+from repro.errors import ConfigurationError
+from repro.sim.frame import ALL_COLUMNS, FrameBuilder
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+
+
+def noisy(n=8, **kwargs):
+    return TrialSpec(n=n, model=NoisyModelSpec(noise=EXPO), **kwargs)
+
+
+FRAME_SPECS = [
+    pytest.param(noisy(n=300, stop_after_first_decision=True),
+                 id="fast-stop-first"),
+    pytest.param(noisy(n=300), id="fast-run-to-quiescence"),
+    pytest.param(noisy(n=12, engine="fast"), id="fast-small-n"),
+    pytest.param(noisy(n=12), id="event-auto"),
+    pytest.param(noisy(n=40, engine="fast", failures=FailureSpec(h=0.02)),
+                 id="fast-halting"),
+    pytest.param(noisy(n=24, engine="fast",
+                       protocol=ProtocolSpec(name="random-tie")),
+                 id="fast-random-tie"),
+    pytest.param(noisy(n=24, engine="fast",
+                       protocol=ProtocolSpec(name="optimized")),
+                 id="fast-optimized"),
+    pytest.param(noisy(n=24, engine="fast",
+                       protocol=ProtocolSpec(name="conservative")),
+                 id="fast-conservative"),
+    pytest.param(TrialSpec(n=6, model=StepModelSpec()), id="step"),
+    pytest.param(TrialSpec(n=4, model=HybridModelSpec(quantum=8)),
+                 id="hybrid"),
+]
+
+
+class TestFrameListIdentity:
+    @pytest.mark.parametrize("spec", FRAME_SPECS)
+    def test_frame_equals_list_path(self, spec):
+        results = run_batch(spec, 16, seed=2000)
+        frame = run_batch(spec, 16, seed=2000, as_frame=True)
+        assert len(frame) == 16
+        assert frame.to_trial_results() == results
+
+    def test_parallel_frame_identical_to_serial(self):
+        spec = noisy(n=300, stop_after_first_decision=True)
+        serial = run_batch(spec, 12, seed=7, as_frame=True)
+        parallel = run_batch(spec, 12, seed=7, workers=2, as_frame=True)
+        chunky = BatchRunner(workers=3, chunk_size=1).run_frame(
+            spec, 12, seed=7)
+        assert serial == parallel == chunky
+
+    def test_generator_seed_continues_stream_like_list_path(self):
+        spec = noisy(n=300, stop_after_first_decision=True)
+        root_frame, root_list = make_rng(5), make_rng(5)
+        frames = [run_batch(spec, 4, seed=root_frame, as_frame=True)
+                  for _ in range(2)]
+        lists = [run_batch(spec, 4, seed=root_list) for _ in range(2)]
+        assert frames[0].to_trial_results() == lists[0]
+        assert frames[1].to_trial_results() == lists[1]
+        assert frames[0] != frames[1]
+
+    def test_int_seed_direct_run_trials_frame(self):
+        # The non-SeedSequence seed path (no batched seeding pattern).
+        spec = noisy(n=12, engine="fast")
+        frame = run_trials_frame(spec, [3, 4])
+        assert frame.to_trial_results() == [run_trial(spec, 3),
+                                            run_trial(spec, 4)]
+
+
+class TestFrameColumns:
+    def test_optional_columns_use_nan(self):
+        spec = noisy(n=300, stop_after_first_decision=True)
+        frame = run_batch(spec, 5, seed=1, as_frame=True)
+        rounds = frame.column("first_decision_round")
+        assert rounds.dtype == np.float64
+        assert np.isfinite(rounds).all()
+        assert np.isnan(frame.column("sim_time")).all()  # fast engine
+        assert frame.column("n").dtype == np.int64
+        assert frame.decided.all() and frame.agreed.all()
+
+    def test_budget_exhausted_trials_are_nan(self):
+        spec = noisy(n=8, engine="event", max_total_ops=3)
+        frame = run_batch(spec, 3, seed=1, as_frame=True)
+        assert frame.column("budget_exhausted").all()
+        assert np.isnan(frame.column("first_decision_round")).all()
+        assert not frame.decided.any()
+
+    def test_unknown_column_raises(self):
+        frame = run_batch(noisy(), 2, seed=1, as_frame=True)
+        with pytest.raises(KeyError):
+            frame.column("nope")
+
+    def test_fast_path_materializes_no_trial_results(self, monkeypatch):
+        # The acceptance criterion: zero TrialResult objects on the
+        # fast-engine frame path (the sink writes columns directly).
+        import repro.sim.results as results_mod
+        constructed = []
+        original = results_mod.TrialResult
+
+        class Counting(original):
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(results_mod, "TrialResult", Counting)
+        monkeypatch.setattr("repro.sim.fast.TrialResult", Counting)
+        monkeypatch.setattr("repro.api.compile.TrialResult", Counting)
+        spec = noisy(n=300, stop_after_first_decision=True)
+        frame = run_batch(spec, 8, seed=2000, as_frame=True)
+        assert len(frame) == 8
+        assert constructed == []
+
+
+class TestFrameRoundTrips:
+    def test_payload_round_trip(self):
+        frame = run_batch(noisy(n=300), 6, seed=3, as_frame=True)
+        clone = ResultFrame.from_payload(frame.to_payload())
+        assert clone == frame
+
+    def test_from_results_round_trip(self):
+        spec = noisy(n=10, engine="event", failures=FailureSpec(h=0.05))
+        results = run_batch(spec, 8, seed=9)
+        frame = ResultFrame.from_results(results, spec=spec)
+        assert frame.to_trial_results() == results
+        assert frame.spec == spec
+
+    def test_concat(self):
+        spec = noisy(n=300, stop_after_first_decision=True)
+        seqs = trial_seed_sequences(11, 6)
+        whole = run_trials_frame(spec, seqs)
+        parts = [run_trials_frame(spec, seqs[:2]),
+                 run_trials_frame(spec, seqs[2:])]
+        assert ResultFrame.concat(parts) == whole
+
+    def test_empty_frame(self):
+        frame = run_batch(noisy(), 0, seed=1, as_frame=True)
+        assert len(frame) == 0
+        assert frame.to_trial_results() == []
+        assert ResultFrame.concat([]) == frame
+
+    def test_builder_rejects_ragged_columns(self):
+        frame = run_batch(noisy(), 2, seed=1, as_frame=True)
+        payload = frame.to_payload()
+        payload["total_ops"] = payload["total_ops"][:1]
+        with pytest.raises(ValueError):
+            ResultFrame.from_payload(payload)
+        with pytest.raises(ValueError):
+            ResultFrame({name: payload[name]
+                         for name in ALL_COLUMNS if name != "n"})
+
+    def test_builder_mixed_append_paths(self):
+        spec = noisy(n=12, engine="fast")
+        result = run_trial(spec, 5)
+        builder = FrameBuilder(spec=spec)
+        builder.append_result(result)
+        assert builder.build().to_trial_results() == [result]
+
+
+class TestBudgetedSpecsStayOnEventEngine:
+    """Regression (review finding): the vectorized replay has no
+    operation-budget stop, so ``max_total_ops`` specs must resolve to the
+    event engine instead of silently running unbounded."""
+
+    def test_auto_resolves_to_event_with_reason(self):
+        from repro.api import resolve_engine_info
+        spec = noisy(n=300, max_total_ops=50)
+        info = resolve_engine_info(spec)
+        assert info.engine == "event"
+        assert "max_total_ops" in info.reason
+
+    def test_explicit_fast_is_refused(self):
+        with pytest.raises(ConfigurationError, match="max_total_ops"):
+            run_trial(noisy(n=300, engine="fast", max_total_ops=50), seed=1)
+
+    def test_budget_is_honoured_at_large_n(self):
+        result = run_trial(noisy(n=300, max_total_ops=50), seed=1)
+        assert result.engine == "event"
+        assert result.budget_exhausted and result.total_ops == 50
+
+
+class TestDisagreementColumns:
+    def test_decided_value_is_nan_on_disagreement(self):
+        # check=False runs of the unsafe eager variant can disagree; the
+        # fast sink and from_results must then agree on NaN.
+        spec = noisy(n=16, engine="fast", check=False,
+                     protocol=ProtocolSpec(name="eager"))
+        frame = run_batch(spec, 60, seed=0, as_frame=True)
+        rebuilt = ResultFrame.from_results(frame.to_trial_results())
+        assert np.array_equal(frame.column("decided_value"),
+                              rebuilt.column("decided_value"),
+                              equal_nan=True)
+        disagreed = ~frame.agreed
+        assert disagreed.any(), "expected at least one disagreement"
+        assert np.isnan(frame.column("decided_value")[disagreed]).all()
+
+
+class TestFrameRefusals:
+    def test_record_spec_refused(self):
+        spec = noisy(record=True, engine="event")
+        with pytest.raises(ConfigurationError):
+            run_batch(spec, 2, seed=1, as_frame=True)
+
+    def test_opaque_spec_refused_across_processes_only(self):
+        from repro.sched.delta import ZeroDelta
+        from repro.api import DeltaSpec
+        spec = TrialSpec(n=4, model=NoisyModelSpec(
+            noise=EXPO,
+            delta=DeltaSpec(kind="opaque", instance=ZeroDelta())))
+        serial = run_batch(spec, 2, seed=1, as_frame=True)
+        assert len(serial) == 2
+        with pytest.raises(ConfigurationError):
+            run_batch(spec, 2, seed=1, workers=2, as_frame=True)
+
+    def test_check_violation_surfaces_columnar(self):
+        from repro.errors import InvariantViolation
+        # The eager variant is the unsafe negative control: with enough
+        # trials a disagreement appears and the columnar check must
+        # raise exactly like the per-trial path.
+        spec = noisy(n=16, engine="fast",
+                     protocol=ProtocolSpec(name="eager"))
+        list_error = frame_error = None
+        try:
+            run_batch(spec, 40, seed=0)
+        except InvariantViolation as err:
+            list_error = str(err)
+        try:
+            run_batch(spec, 40, seed=0, as_frame=True)
+        except InvariantViolation as err:
+            frame_error = str(err)
+        assert (list_error is None) == (frame_error is None)
+        if list_error is not None:
+            assert list_error == frame_error

@@ -1,0 +1,164 @@
+"""Golden stdout pins: the sweep rebase is provably output-identical.
+
+The SHA-256 hashes below were captured from the **pre-refactor seed
+checkout** (the PR-2 tree, whose experiment harnesses still hand-rolled
+their grid loops over ``BatchRunner``) by running each experiment's
+``main`` at smoke scale and hashing the printed tables.  The rebased
+harnesses — now one ``SweepSpec`` declaration each, executed columnar
+through ``run_sweep`` — must print byte-identical output.
+
+If one of these fails after an intentional output change, regenerate the
+hash with::
+
+    PYTHONPATH=src python - <<'PY'
+    import hashlib, io, contextlib
+    from repro.experiments import figure1
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        figure1.main([...])
+    print(hashlib.sha256(buf.getvalue().encode()).hexdigest())
+    PY
+
+and say so in the commit message — silently re-pinning defeats the test.
+"""
+
+import contextlib
+import hashlib
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import AggregationError
+from repro.experiments import (
+    ablations,
+    extensions,
+    failures,
+    figure1,
+    lower_bound,
+    scaling,
+)
+
+#: experiment -> (main argv, sha256 of stdout on the pre-refactor seed
+#: checkout).  Smoke scale: every case runs in a few seconds.
+GOLDEN = {
+    "figure1": (
+        figure1,
+        ["--ns", "4", "8", "--trials", "6", "--seed", "1"],
+        "77fb1d37f442b58e163e510bacdecd8f8c053463e75007b8bfe6db78c574037c"),
+    "scaling": (
+        scaling,
+        ["--ns", "4", "8", "--trials", "6", "--seed", "1", "--tail-n", "8"],
+        "6ccde0e1779f1733863ba7d182e1f8d95b939f9ec018aa5c68c9a39e378f2341"),
+    "failures": (
+        failures,
+        ["--trials", "6", "--seed", "1"],
+        "78a216500af524de6f7772bb245bc4a983f5946e82fe24551fd4278486626868"),
+    "ablations": (
+        ablations,
+        ["--trials", "6", "--seed", "1"],
+        "2ff2cb742ff4e931d958169fc52259261bf951c3e690fe63917c2db9fd0745f3"),
+    "lower_bound": (
+        lower_bound,
+        ["--trials", "6", "--seed", "1"],
+        "357265547a8bf1dad867b2524f5fdc46c9808c85f7ef47178072148da6bd374d"),
+    "extensions": (
+        extensions,
+        ["--trials", "6", "--seed", "1"],
+        "877e140ac5b862c01f2d51c84b6b531e3cc8324cc10b1c759ec42f2d6697f7be"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_stdout_matches_pre_refactor_seed(name):
+    module, argv, expected = GOLDEN[name]
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        module.main(argv)
+    text = buf.getvalue()
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    assert digest == expected, (
+        f"{name} stdout diverged from the pre-refactor seed checkout "
+        f"(got sha256 {digest}); output was:\n{text}")
+
+
+def test_golden_output_survives_worker_fanout():
+    """--workers must not perturb a golden table (spot check)."""
+    outs = []
+    for extra in ([], ["--workers", "2"]):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            figure1.main(["--ns", "4", "8", "--trials", "6", "--seed", "1"]
+                         + extra)
+        outs.append(buf.getvalue())
+    assert outs[0] == outs[1]
+
+
+def test_golden_output_survives_cache(tmp_path):
+    """A cache-warm re-run must print the identical table."""
+    argv = ["--ns", "4", "8", "--trials", "6", "--seed", "1",
+            "--cache-dir", str(tmp_path)]
+    outs = []
+    for _ in range(2):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            figure1.main(argv)
+        outs.append(buf.getvalue())
+    assert outs[0] == outs[1]
+    expected = GOLDEN["figure1"][2]
+    digest = hashlib.sha256(outs[1].encode()).hexdigest()
+    assert digest == expected
+
+
+class TestFigure1AggregationGuard:
+    """Regression: mean_ops_first used to crash with a bare TypeError on
+    undecided (budget-exhausted) trials; it now raises an explicit
+    AggregationError naming the offending spec."""
+
+    def test_budget_exhausted_cell_raises_named_error(self):
+        from repro.noise import Exponential
+        with pytest.raises(AggregationError) as excinfo:
+            figure1.run(ns=(8,), trials=4, seed=1, engine="event",
+                        distributions={"expo": Exponential(1.0)},
+                        max_total_ops=3)
+        message = str(excinfo.value)
+        assert "max_total_ops" in message  # names the offending spec
+        assert "first_decision_round" in message
+
+    def test_partially_decided_cells_filter(self):
+        # A generous budget decides every smoke trial; the guard only
+        # filters, never changes values, when everything decided.
+        from repro.noise import Exponential
+        result = figure1.run(ns=(4,), trials=5, seed=1, engine="event",
+                             distributions={"expo": Exponential(1.0)},
+                             max_total_ops=100_000)
+        baseline = figure1.run(ns=(4,), trials=5, seed=1, engine="event",
+                               distributions={"expo": Exponential(1.0)})
+        assert result.point("expo", 4) == baseline.point("expo", 4)
+
+
+class TestSeedAttribution:
+    """Regression: non-int seeds used to record ``seed=-1``; experiment
+    results now carry the root SeedSequence entropy."""
+
+    def test_int_seed_round_trips(self):
+        from repro.noise import Exponential
+        result = figure1.run(ns=(4,), trials=2, seed=2000,
+                             distributions={"expo": Exponential(1.0)})
+        assert result.seed == 2000
+
+    def test_generator_seed_records_entropy(self):
+        from repro.noise import Exponential
+        root = np.random.Generator(np.random.PCG64(np.random.SeedSequence(77)))
+        result = figure1.run(ns=(4,), trials=2, seed=root,
+                             distributions={"expo": Exponential(1.0)})
+        assert result.seed == 77
+
+    def test_other_experiment_results_record_entropy(self):
+        assert scaling.run(ns=(4, 8), trials=3, seed=9).seed == 9
+        assert lower_bound.run(ns=(4, 16), trials=3, seed=9).seed == 9
+        assert failures.run(n=8, hs=(0.0,), budgets=(0,), trials=2,
+                            seed=9).seed == 9
+        assert ablations.run(n=8, trials=2, protocols=("lean",),
+                             sigmas=(0.2,), delay_bounds=(0.0,),
+                             seed=9).seed == 9

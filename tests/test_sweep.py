@@ -1,0 +1,240 @@
+"""SweepSpec: grid compilation, seed discipline, cache, and aggregators."""
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.analysis.aggregate import (
+    BootstrapCI,
+    Mean,
+    MeanCI,
+    TailProbabilities,
+    agreement_rate,
+    decided_count,
+    fit_log_over_cells,
+    mean_halted,
+)
+from repro.analysis.stats import mean_confidence_interval
+from repro.api import (
+    BatchRunner,
+    FailureSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    apply_axis_value,
+    run_batch,
+    run_sweep,
+)
+from repro.errors import AggregationError, ConfigurationError
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def base_spec(**kwargs):
+    return TrialSpec(n=1, model=NoisyModelSpec(noise=EXPO),
+                     stop_after_first_decision=True, **kwargs)
+
+
+def two_axis_sweep(trials=5):
+    return SweepSpec(
+        base=base_spec(),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),
+              SweepAxis("n", (2, 8))),
+        trials=trials)
+
+
+class TestSweepCompilation:
+    def test_grid_order_is_row_major(self):
+        cells = two_axis_sweep().cells()
+        assert [cell.coords for cell in cells] == [
+            (("distribution", EXPO), ("n", 2)),
+            (("distribution", EXPO), ("n", 8)),
+            (("distribution", UNIF), ("n", 2)),
+            (("distribution", UNIF), ("n", 8)),
+        ]
+        assert cells[2].label("distribution") == "unif"
+        assert cells[3].spec.n == 8
+        assert cells[3].spec.model.noise == UNIF
+        assert two_axis_sweep().shape == (2, 2)
+        assert two_axis_sweep().size == 4
+
+    def test_params_path_axis(self):
+        spec = TrialSpec(n=4, model=NoisyModelSpec(noise=NoiseSpec.of(
+            "truncated-normal", mu=1.0, sigma=0.2, low=0.0, high=2.0)))
+        out = apply_axis_value(spec, "model.noise.params.sigma", 0.4)
+        assert out.model.noise.param("sigma") == 0.4
+        assert out.model.noise.param("mu") == 1.0
+
+    def test_failure_and_protocol_paths(self):
+        spec = base_spec()
+        assert apply_axis_value(spec, "failures.h", 0.1).failures.h == 0.1
+        assert apply_axis_value(spec, "protocol.name",
+                                "optimized").protocol.name == "optimized"
+
+    def test_axis_defaults_and_validation(self):
+        axis = SweepAxis("failures.h", (0.0, 0.1))
+        assert axis.name == "h"
+        assert axis.label(1) == "0.1"
+        with pytest.raises(ConfigurationError):
+            SweepAxis("n", ())
+        with pytest.raises(ConfigurationError):
+            SweepAxis("n", (1, 2), labels=("just-one",))
+        with pytest.raises(ConfigurationError):
+            SweepSpec(base=base_spec(), trials=2,
+                      axes=(SweepAxis("n", (1,)), SweepAxis("n", (2,))))
+
+    def test_bad_path_raises_with_field_name(self):
+        sweep = SweepSpec(base=base_spec(),
+                          axes=(SweepAxis("model.nope", (1,)),), trials=1)
+        with pytest.raises(ConfigurationError, match="nope"):
+            sweep.cells()
+
+    def test_invalid_axis_value_fails_spec_validation(self):
+        sweep = SweepSpec(base=base_spec(),
+                          axes=(SweepAxis("failures.h", (2.0,)),), trials=1)
+        with pytest.raises(ConfigurationError):
+            sweep.cells()
+
+
+class TestSweepExecution:
+    def test_bit_identical_to_manual_grid_loop(self):
+        trials = 5
+        root = make_rng(2000)
+        runner = BatchRunner()
+        manual = []
+        for noise in (EXPO, UNIF):
+            for n in (2, 8):
+                spec = base_spec().replace(n=n).replace(
+                    model=NoisyModelSpec(noise=noise))
+                manual.append(runner.run(spec, trials, seed=root))
+        result = run_sweep(two_axis_sweep(trials), seed=2000)
+        assert result.seed_entropy == 2000
+        for lst, (cell, frame) in zip(manual, result):
+            assert frame.to_trial_results() == lst, cell.coords
+
+    def test_workers_do_not_change_results(self):
+        serial = run_sweep(two_axis_sweep(), seed=3)
+        parallel = run_sweep(two_axis_sweep(), seed=3, workers=2)
+        assert serial.frames == parallel.frames
+
+    def test_frame_lookup_by_coords(self):
+        result = run_sweep(two_axis_sweep(), seed=1)
+        assert result.frame(distribution=UNIF, n=8) is result.frames[3]
+        with pytest.raises(KeyError):
+            result.frame(n=8)  # two matches
+        with pytest.raises(KeyError):
+            result.frame(n=99)
+
+    def test_sweep_run_method(self):
+        assert two_axis_sweep().run(seed=4).frames == run_sweep(
+            two_axis_sweep(), seed=4).frames
+
+
+class TestSweepCache:
+    def test_cache_round_trip_and_seed_block_burning(self, tmp_path):
+        sweep = two_axis_sweep()
+        first = run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        again = run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        assert first.cache_hits == 0
+        assert again.cache_hits == 4
+        assert first.frames == again.frames
+        # cached cells must burn their seed blocks: a partially cached
+        # run still gives later cells identical seeds
+        for path in sorted(tmp_path.iterdir())[:2]:
+            path.unlink()
+        partial = run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        assert partial.cache_hits == 2
+        assert partial.frames == first.frames
+
+    def test_corrupted_cache_entry_is_a_miss(self, tmp_path):
+        sweep = two_axis_sweep()
+        first = run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"not an npz")
+        recomputed = run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        assert recomputed.cache_hits == 0
+        assert recomputed.frames == first.frames
+        # and the rewritten entries hit again
+        assert run_sweep(sweep, seed=2000,
+                         cache_dir=str(tmp_path)).cache_hits == 4
+
+    def test_cache_misses_on_seed_spec_or_trials_change(self, tmp_path):
+        sweep = two_axis_sweep()
+        run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        assert run_sweep(sweep, seed=2001,
+                         cache_dir=str(tmp_path)).cache_hits == 0
+        bigger = SweepSpec(base=sweep.base, axes=sweep.axes,
+                           trials=sweep.trials + 1)
+        assert run_sweep(bigger, seed=2000,
+                         cache_dir=str(tmp_path)).cache_hits == 0
+        h = SweepSpec(base=sweep.base.replace(failures=FailureSpec(h=0.01)),
+                      axes=sweep.axes, trials=sweep.trials)
+        assert run_sweep(h, seed=2000,
+                         cache_dir=str(tmp_path)).cache_hits == 0
+
+    def test_cache_reuses_shared_prefix_cells(self, tmp_path):
+        # Same cells in the same positions → an extended sweep resumes.
+        sweep = SweepSpec(base=base_spec(),
+                          axes=(SweepAxis("n", (2, 8)),), trials=4)
+        run_sweep(sweep, seed=2000, cache_dir=str(tmp_path))
+        extended = SweepSpec(base=base_spec(),
+                             axes=(SweepAxis("n", (2, 8, 16)),), trials=4)
+        resumed = run_sweep(extended, seed=2000, cache_dir=str(tmp_path))
+        assert resumed.cache_hits == 2
+        fresh = run_sweep(extended, seed=2000)
+        assert resumed.frames == fresh.frames
+
+
+class TestAggregators:
+    def frame(self, n=16, trials=20, **kwargs):
+        return run_batch(base_spec(**kwargs).replace(n=n), trials,
+                         seed=5, as_frame=True)
+
+    def test_mean_ci_matches_legacy_helper(self):
+        frame = self.frame()
+        rounds = [t.first_decision_round for t in frame.to_trial_results()]
+        assert MeanCI("first_decision_round")(frame) == \
+            mean_confidence_interval(rounds)
+        assert Mean("first_decision_round")(frame) == float(np.mean(rounds))
+
+    def test_single_sample_ci_is_inf(self):
+        frame = run_batch(base_spec(), 1, seed=5, as_frame=True)
+        mean, half = MeanCI("first_decision_round")(frame)
+        assert half == float("inf") and mean == 2.0
+
+    def test_undecided_frames_raise_naming_spec(self):
+        spec = TrialSpec(n=8, model=NoisyModelSpec(noise=EXPO),
+                         engine="event", max_total_ops=3)
+        frame = run_batch(spec, 4, seed=1, as_frame=True)
+        with pytest.raises(AggregationError, match="max_total_ops"):
+            Mean("first_decision_round")(frame)
+        with pytest.raises(AggregationError, match="undecided"):
+            MeanCI("first_decision_ops")(frame)
+        assert decided_count(frame) == 0
+
+    def test_where_all_requires_full_column(self):
+        spec = TrialSpec(n=8, model=NoisyModelSpec(noise=EXPO),
+                         engine="event", max_total_ops=3)
+        frame = run_batch(spec, 4, seed=1, as_frame=True)
+        with pytest.raises(AggregationError, match="4 of 4"):
+            Mean("first_decision_round", where="all")(frame)
+
+    def test_bootstrap_and_tail(self):
+        frame = self.frame()
+        mean, lo, hi = BootstrapCI("first_decision_round", n_boot=200)(
+            frame, make_rng(0))
+        assert lo <= mean <= hi
+        probs = TailProbabilities("last_decision_round", (0, 1000))(frame)
+        assert probs[0] == 1.0 and probs[1] == 0.0
+
+    def test_rates_and_fit(self):
+        frame = self.frame()
+        assert agreement_rate(frame) == 1.0
+        assert mean_halted(frame) == 0.0
+        fit = fit_log_over_cells([1, 4, 16, 64], [1.0, 2.0, 3.0, 4.0])
+        assert fit.model == "a*ln(n)+b"
+        assert fit.a > 0
