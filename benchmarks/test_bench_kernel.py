@@ -1,0 +1,78 @@
+"""Lockstep kernel vs. the trial-batched frame path, Figure-1 shaped.
+
+The workload is the left edge of the paper's Figure-1 grid — exponential
+interarrival noise, dithered equal starts, half-and-half inputs, stop at
+the first decision — at the paper's per-point trial count (10,000),
+the same shape the PR-3 frame benchmark used (then 16.5k trials/sec).
+The kernel replaces the per-trial replay loop with one lockstep pass
+over the whole chunk, and the n=1 cells collapse to a broadcast (a solo
+run is schedule-independent), which is where the bulk of the headroom
+comes from.
+
+Two properties, asserted at different strengths (mirroring the earlier
+engine benchmarks):
+
+* **Identity** — unconditional: every column of the kernel frames equals
+  the frame path's, cell by cell (the acceptance criterion of the
+  kernel).
+* **Throughput** — gated on wall-clock sanity: the kernel must deliver
+  at least 5x the frame path's trials/sec, asserted only when the frame
+  path ran long enough to time stably.
+
+A scaling-shaped point (one mid-scale n) is measured alongside for the
+trajectory ledger; its speedup is recorded, not asserted (the kernel's
+advantage narrows as n grows — see ``KERNEL_AUTO_MAX_N``).
+
+Both workloads come from :mod:`repro.benchtool` (the same functions
+``python -m repro bench`` runs) and the metrics are appended to the
+repo-root ``BENCH_results.json`` ledger, which CI uploads as an
+artifact and checks — warn-only — against the previous entry.
+"""
+
+import pytest
+
+from repro import benchtool
+
+#: Only assert the ratio when the frame path took at least this long.
+MIN_SANE_FRAME_SECONDS = 1.0
+
+MIN_SPEEDUP = 5.0
+
+
+def test_kernel_throughput_vs_frame_path(save_report):
+    results = benchtool.run_suite()
+    fig = results["figure1_shaped"]
+    scal = results["scaling_shaped"]
+
+    # Identity: the kernel frames equal the frame path's, column for
+    # column (total_ops, decision fields, decisions/halted payloads).
+    assert fig["identical"], "kernel diverged from the frame path"
+    assert scal["identical"], "kernel diverged at the scaling point"
+
+    benchtool.append_entry(benchtool.default_ledger_path(), "bench-ci",
+                           results)
+
+    sane = fig["frame_seconds"] >= MIN_SANE_FRAME_SECONDS
+    verdict = (f"asserted >= {MIN_SPEEDUP:.1f}x" if sane
+               else "not asserted: frame path finished too fast for a "
+                    "stable measurement")
+    save_report("kernel_speedup", "\n".join([
+        f"figure1-shaped sweep, ns={fig['ns']}, "
+        f"{fig['trials_per_point']} trials/point",
+        f"frame path: {fig['frame_seconds']:.3f}s "
+        f"({fig['frame_trials_per_sec']:,.0f} trials/s)",
+        f"lockstep kernel: {fig['kernel_seconds']:.3f}s "
+        f"({fig['kernel_trials_per_sec']:,.0f} trials/s)",
+        f"speedup: {fig['kernel_speedup']:.2f}x ({verdict})",
+        f"scaling-shaped n={scal['n']}: {scal['kernel_speedup']:.2f}x "
+        "(recorded, not asserted)",
+    ]))
+
+    if not sane:
+        pytest.skip(f"frame path finished in {fig['frame_seconds']:.3f}s "
+                    f"< {MIN_SANE_FRAME_SECONDS}s; timing too noisy to "
+                    "assert a ratio")
+    assert fig["kernel_speedup"] >= MIN_SPEEDUP, (
+        f"kernel only {fig['kernel_speedup']:.2f}x the frame path "
+        f"(frame {fig['frame_seconds']:.3f}s, "
+        f"kernel {fig['kernel_seconds']:.3f}s)")

@@ -13,24 +13,37 @@ worker processes with results bit-identical to serial execution.
 Engine selection matrix (``spec.engine``, resolved engine on
 ``result.engine``, fallback reasons on ``result.engine_reason``):
 
-    spec                                  auto        "fast"    "event"
-    ------------------------------------  ----------  --------  -------
+    spec                            auto          "kernel"  "fast"  "event"
+    ------------------------------  ------------  --------  ------  -------
     lean / optimized / eager /
-      conservative / random-tie,
-      any noise, random halting h  n>=256 fast        fast      event
-                                   n<256  event+why   fast      event
+      conservative / random-tie,    trials>=512
+      any noise, random halting h     & n<=128    kernel    kernel  fast   event
+                                    n>=256 else   fast      kernel  fast   event
+                                    n<256  else   event+why kernel  fast   event
     adaptive adversary, record=True,
       round_cap, max_total_ops budget,
       per-kind write noise,
-      shared-coin / bounded / factory     event+why   error     event
-    step or hybrid model                  step/hybrid (engine must be auto)
+      shared-coin / bounded / factory   event+why error     error   event
+    step or hybrid model                step/hybrid (engine must be auto)
 
-``engine="fast"`` composes with ``workers``: the batch runner ships
-whole chunks to each worker, and a fast-engine chunk presamples its
-(trials, n, max_ops) schedule tensor and argsorts it in one numpy call —
-results stay bit-identical to serial per-trial runs either way.  The
-experiment CLIs expose the same choice as ``--engine fast`` next to
-``--workers`` (e.g. ``python -m repro figure1 --paper --engine fast``).
+The ``"kernel"`` row is the trial-parallel lockstep replay: the whole
+batch advances one event per trial per numpy step, bit-identical to
+``"fast"`` for every variant, crash model, and worker count (a
+10,000-trial Figure-1 cell runs 5x+ the frame path; n=1 cells collapse
+to a broadcast).  ``auto`` only picks it when the batch is deep enough
+(>= 512 trials) and narrow enough (n <= 128) to pay off — the per-event
+pick scans all n processes, so wide specs stay on the scalar fast
+replay.  What it refuses, it refuses exactly where ``"fast"`` does (the
+two share eligibility, and a refusal message now lists *every*
+blocker); distributions without a closed-form inverse CDF keep their
+legacy per-trial sampling and only the replay runs lockstep.
+
+``engine="fast"``/``"kernel"`` compose with ``workers``: the engine is
+resolved once per batch (never per worker chunk) and results stay
+bit-identical to serial per-trial runs either way.  The experiment CLIs
+expose the same choice as ``--engine fast`` / ``--engine kernel`` next
+to ``--workers`` (e.g. ``python -m repro figure1 --paper --engine
+kernel``).
 
 Sweeps and frames: grids of trials are declared as a
 :class:`repro.SweepSpec` (base spec + named axes) and executed through

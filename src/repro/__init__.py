@@ -38,25 +38,40 @@ Engine selection — which configurations run where:
 configuration                engine
 ===========================  ===========================================
 step / hybrid model          ``"step"`` / ``"hybrid"`` (always)
-noisy, protocol in the fast  ``engine="fast"``: the vectorized replay at
-family (lean, optimized,     any n.  ``engine="auto"``: fast when
-eager, conservative,         n >= 256, else event —
-random-tie), any noise       ``result.engine_reason`` explains fallbacks
-distribution, random         (e.g. a narrow n miss).  Random halting
-halting (``h``)              compiles to per-process death schedules.
+noisy, protocol in the fast  ``engine="fast"``: the scalar vectorized
+family (lean, optimized,     replay at any n.  ``engine="kernel"``: the
+eager, conservative,         trial-parallel lockstep replay — the whole
+random-tie), any noise       batch steps simultaneously, bit-identical
+distribution, random         to ``"fast"`` and fastest at high trial
+halting (``h``)              counts with narrow n (a 10,000-trial
+                             Figure-1 cell runs 5x+ the frame path).
+                             ``engine="auto"``: kernel when the batch
+                             carries >= 512 trials at n <= 128; else
+                             fast when n >= 256, else event —
+                             ``result.engine_reason`` explains fallbacks
+                             (e.g. a narrow n miss).  Random halting
+                             compiles to per-process death schedules.
 noisy + adaptive adversary,  event engine only.  ``engine="auto"`` falls
 recorder, round cap,         back silently-but-explained
-max_total_ops budget,        (``engine_reason``); ``engine="fast"``
-per-op-kind write noise,     raises :class:`ConfigurationError` naming
-shared-coin / bounded /      the blocker.
-factory protocols
+max_total_ops budget,        (``engine_reason``, now listing *every*
+per-op-kind write noise,     applicable blocker); ``engine="fast"`` /
+shared-coin / bounded /      ``engine="kernel"`` raise
+factory protocols            :class:`ConfigurationError` naming them.
 ===========================  ===========================================
 
-``engine="fast"`` composes with the batch runner's ``workers``: each
-worker chunk presamples its ``(trials, n, max_ops)`` schedule tensor and
-argsorts it in a single numpy call, and results stay bit-identical to
-serial per-trial runs for every ``workers`` value.  The differential
-oracle (:mod:`repro.sim.differential`) cross-validates the two engines on
+What the kernel refuses, it refuses exactly where the fast engine does
+(the two share eligibility); what it cannot *accelerate* it still runs:
+distributions without a closed-form inverse CDF (geometric, two-point,
+truncated normal, ...) keep the legacy per-trial sampling lane and only
+the replay itself is lockstep.  Trials whose sampled horizon overflows
+fall back one-by-one to the scalar replay on an exactly-extended
+schedule, so ragged horizons never cost bit-identity.
+
+``engine="fast"``/``"kernel"`` compose with the batch runner's
+``workers``: the engine choice is resolved once per batch (never per
+worker chunk), and results stay bit-identical to serial per-trial runs
+for every ``workers`` value.  The differential oracle
+(:mod:`repro.sim.differential`) cross-validates all three engines on
 shared schedules.
 
 Sweeps — declare a grid instead of writing a loop.  A

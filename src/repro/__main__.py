@@ -38,10 +38,11 @@ def _usage() -> str:
     names = "\n  ".join(registry.names())
     return (f"usage: python -m repro <experiment> [options]\n"
             f"       python -m repro --list\n"
+            f"       python -m repro bench [--label L] [--trials T]\n"
             f"       python -m repro all [options] [<experiment>:<arg> ...]\n\n"
             f"experiments:\n  {names}\n  all\n\n"
             "common options: --ns N [N ...], --trials T, --seed S, "
-            "--workers W, --paper")
+            "--workers W, --engine {auto,event,fast,kernel}, --paper")
 
 
 def _split_all_args(rest: List[str]) -> Tuple[List[str], Dict[str, List[str]]]:
@@ -67,6 +68,9 @@ def main(argv=None) -> int:
         print(json.dumps(registry.describe_all(), indent=2))
         return 0
     name, rest = argv[0], argv[1:]
+    if name == "bench":
+        from repro import benchtool
+        return benchtool.main(rest)
     if name == "all":
         shared, extras = _split_all_args(rest)
         for info in registry.infos():

@@ -30,17 +30,22 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._rng import SeedLike, make_rng
+from repro._seedhash import SeedBlock
 from repro.errors import ConfigurationError
 from repro.sim.frame import ResultFrame
 from repro.sim.results import TrialResult
-from repro.api.compile import run_trials, run_trials_frame
+from repro.api.compile import (
+    resolve_engine_info,
+    run_trials,
+    run_trials_frame,
+)
 from repro.api.spec import TrialSpec
 
 #: (trial index, entropy, spawn_key) — a picklable child-seed identity.
 SeedEntry = Tuple[int, object, Tuple[int, ...]]
 
 
-def trial_seed_sequences(seed: SeedLike, n_trials: int) -> List[np.random.SeedSequence]:
+def trial_seed_sequences(seed: SeedLike, n_trials: int):
     """One independent child ``SeedSequence`` per trial.
 
     Matches the child streams of ``spawn(make_rng(seed), n_trials)``: when
@@ -48,19 +53,35 @@ def trial_seed_sequences(seed: SeedLike, n_trials: int) -> List[np.random.SeedSe
     (advancing its spawn counter, exactly like the legacy helper), so
     experiment harnesses can thread one root generator through a series of
     batch calls and reproduce their historical sweep outputs.
+
+    For int/``None`` seeds (and ready-made :class:`SeedBlock` values) the
+    children are returned as an *analytic* :class:`SeedBlock` — the same
+    ``(entropy, spawn_key)`` identities, materialized only on demand, so
+    the vectorized seeding lanes never pay per-child ``SeedSequence``
+    construction.  Indexing/iterating a block yields real sequences, so
+    list-shaped consumers are unaffected.
     """
     if n_trials < 0:
         raise ConfigurationError(f"n_trials must be >= 0, got {n_trials}")
+    if isinstance(seed, SeedBlock):
+        if len(seed) != n_trials:
+            raise ConfigurationError(
+                f"seed block carries {len(seed)} trials, expected {n_trials}")
+        return seed
     if isinstance(seed, np.random.Generator):
         seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
     elif isinstance(seed, np.random.SeedSequence):
         seq = seed
     else:
-        seq = np.random.SeedSequence(seed)
+        root = np.random.SeedSequence(seed)
+        return SeedBlock(root.entropy, root.spawn_key, 0, n_trials)
     return seq.spawn(n_trials)
 
 
-def _seed_entries(seqs: Sequence[np.random.SeedSequence]) -> List[SeedEntry]:
+def _seed_entries(seqs) -> List[SeedEntry]:
+    if isinstance(seqs, SeedBlock):
+        return [(idx, seqs.entropy, seqs.spawn_key + (seqs.start + idx,))
+                for idx in range(len(seqs))]
     return [(idx, seq.entropy, tuple(seq.spawn_key))
             for idx, seq in enumerate(seqs)]
 
@@ -80,13 +101,15 @@ def _strip_artifacts(result: TrialResult) -> TrialResult:
 def _run_chunk(payload) -> List[Tuple[int, TrialResult]]:
     """Pool worker: run a chunk of trials of one (serialized) spec.
 
-    Dispatches through :func:`repro.api.compile.run_trials`, so
-    fast-engine specs amortize their schedule sampling and the global
-    argsort across the whole chunk.
+    Dispatches through :func:`repro.api.compile.run_trials` with the
+    engine the batch runner resolved for the *whole* batch, so
+    fast-family specs amortize their schedule sampling across the chunk
+    and the recorded engine never depends on worker chunking.
     """
-    spec_dict, entries = payload
+    spec_dict, entries, engine = payload
     spec = TrialSpec.from_dict(spec_dict)
-    results = run_trials(spec, [_rebuild(entry) for entry in entries])
+    results = run_trials(spec, [_rebuild(entry) for entry in entries],
+                         engine=engine)
     return [(entry[0], _strip_artifacts(result))
             for entry, result in zip(entries, results)]
 
@@ -98,9 +121,10 @@ def _run_chunk_frame(payload) -> Tuple[int, dict]:
     chunk's first trial index for reassembly) instead of a pickled list
     of per-trial dataclasses.
     """
-    spec_dict, entries = payload
+    spec_dict, entries, engine = payload
     spec = TrialSpec.from_dict(spec_dict)
-    frame = run_trials_frame(spec, [_rebuild(entry) for entry in entries])
+    frame = run_trials_frame(spec, [_rebuild(entry) for entry in entries],
+                             engine=engine)
     return entries[0][0], frame.to_payload()
 
 
@@ -136,11 +160,13 @@ class BatchRunner:
     def parallel(self) -> bool:
         return bool(self.workers and self.workers > 1)
 
-    def _pool_payloads(self, spec: TrialSpec, seqs, n_trials: int):
-        """The (spec_dict, seed-entry chunk) work units for the pool.
+    def _pool_payloads(self, spec: TrialSpec, seqs, n_trials: int,
+                       engine: Optional[str]):
+        """The (spec_dict, seed-entry chunk, engine) pool work units.
 
-        Shared by the list and frame paths so chunk boundaries and the
-        opaque-spec refusal stay identical between them.
+        Shared by the list and frame paths so chunk boundaries, the
+        opaque-spec refusal, and the batch-resolved engine stay
+        identical between them.
         """
         if not spec.serializable:
             raise ConfigurationError(
@@ -150,21 +176,32 @@ class BatchRunner:
         spec_dict = spec.to_dict()
         entries = _seed_entries(seqs)
         chunk = self.chunk_size or max(1, -(-n_trials // (self.workers * 4)))
-        return [(spec_dict, entries[i:i + chunk])
+        return [(spec_dict, entries[i:i + chunk], engine)
                 for i in range(0, len(entries), chunk)]
+
+    @staticmethod
+    def _batch_engine(spec: TrialSpec, n_trials: int) -> Optional[str]:
+        """Resolve the engine once for the whole batch.
+
+        Makes the kernel-vs-fast choice a function of the *batch* trial
+        count, so serial runs, pools of any size, and any chunk_size
+        record the same ``TrialResult.engine``.
+        """
+        return resolve_engine_info(spec, trials=n_trials).engine
 
     def run(self, spec: TrialSpec, n_trials: int,
             seed: SeedLike = None) -> List[TrialResult]:
         """Run ``n_trials`` independent trials of ``spec``, in order."""
         seqs = trial_seed_sequences(seed, n_trials)
+        engine = self._batch_engine(spec, n_trials)
         if not self.parallel:
-            return run_trials(spec, seqs)
+            return run_trials(spec, seqs, engine=engine)
         if spec.record:
             raise ConfigurationError(
                 "record=True histories cannot cross the process pool "
                 "(result.memory would be silently dropped); run with "
                 "workers=1 to keep the recorder")
-        payloads = self._pool_payloads(spec, seqs, n_trials)
+        payloads = self._pool_payloads(spec, seqs, n_trials, engine)
         results: List[Optional[TrialResult]] = [None] * n_trials
         ctx = _pool_context()
         with ctx.Pool(processes=self.workers) as pool:
@@ -192,9 +229,10 @@ class BatchRunner:
                 "frame (result.memory would be silently dropped); use "
                 "run() / as_frame=False with workers=1")
         seqs = trial_seed_sequences(seed, n_trials)
+        engine = self._batch_engine(spec, n_trials)
         if not self.parallel:
-            return run_trials_frame(spec, seqs)
-        payloads = self._pool_payloads(spec, seqs, n_trials)
+            return run_trials_frame(spec, seqs, engine=engine)
+        payloads = self._pool_payloads(spec, seqs, n_trials, engine)
         parts: dict = {}
         ctx = _pool_context()
         with ctx.Pool(processes=self.workers) as pool:

@@ -12,14 +12,27 @@ pin down.
 Engine selection lives in :func:`resolve_engine_info`: the vectorized
 replay family of :data:`repro.sim.fast.FAST_VARIANTS` serves every noisy
 spec without an adaptive adversary, recorder, round cap, or per-kind
-noise; ``engine="auto"`` additionally keeps small n on the event engine
-and records *why* in ``TrialResult.engine_reason``.
+noise; ``engine="auto"`` additionally keeps small n on the event engine,
+promotes large trial batches to the trial-parallel lockstep kernel
+(:mod:`repro.sim.kernel`), and records *why* it fell back in
+``TrialResult.engine_reason``.
 
-:func:`run_trials` is the chunk-level entry point used by the batch
-runner: fast-engine specs presample their ``(trials, n, max_ops)``
-schedule tensor per chunk and argsort it in a single numpy call, which
-amortizes the sort dispatch across a sweep while staying bit-identical to
-per-trial execution.
+Fast-family sampling runs in one of two lanes:
+
+* the **inverse lane** (:mod:`repro.sim.sampler`) for zero/dithered start
+  schedules over distributions with a closed-form inverse CDF — one
+  uniform stream per trial, column-major draws, exact horizon extension;
+* the **legacy lane** — the PR-3 row-major
+  :meth:`~repro.sched.noisy.NoisyScheduler.presample` discipline — for
+  everything else.
+
+The lane is a property of the spec, shared by the scalar, trial-batched,
+and kernel paths, which keeps all three bit-identical to each other.
+
+:func:`run_trials` / :func:`run_trials_frame` are the chunk-level entry
+points used by the batch runner; the fast/kernel list path is the frame
+path with :meth:`~repro.sim.frame.ResultFrame.to_trial_results` applied
+at the edge (one replay implementation, no duplicated chunk logic).
 """
 
 from __future__ import annotations
@@ -31,7 +44,12 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro._rng import SeedLike, make_rng, spawn
-from repro._seedhash import ReusablePCG64, block_spawn_keys, pcg64_states
+from repro._seedhash import (
+    ReusablePCG64,
+    SeedBlock,
+    block_spawn_keys,
+    pcg64_states,
+)
 from repro.core.invariants import check_agreement, check_validity
 from repro.errors import ConfigurationError
 from repro.failures.injection import FailureModel, NoFailures, RandomHalting
@@ -52,8 +70,19 @@ from repro.sim.fast import (
     replay,
     replay_lean,
 )
-from repro.sim.frame import FrameBuilder, ResultFrame
+from repro.sim.frame import (
+    FrameBuilder,
+    ResultFrame,
+    derive_decision_fields,
+)
+from repro.sim.kernel import lean_flip_bound, replay_chunk
 from repro.sim.results import TrialResult
+from repro.sim.sampler import (
+    draw_starts,
+    draw_times,
+    extend_times,
+    inverse_sampler_for,
+)
 from repro.types import Decision
 from repro.api.spec import (
     FailureSpec,
@@ -68,9 +97,27 @@ from repro.api.spec import (
 #: once the event engine's per-op heap traffic dominates.
 FAST_AUTO_MIN_N = 256
 
+#: ``engine="auto"`` promotes a batch to the lockstep kernel once a
+#: chunk carries at least this many trials (below it, the kernel's
+#: per-step vector dispatch costs more than the scalar replay saves).
+KERNEL_AUTO_MIN_TRIALS = 512
+
+#: ... and only while the process axis stays narrow: the kernel's
+#: per-event pick scans all n processes (O(n) per event against the
+#: scalar replay's O(1)), and measured cross-over on the Figure-1
+#: workload sits between n=128 (kernel 1.9x ahead) and n=300 (behind).
+KERNEL_AUTO_MAX_N = 128
+
 #: Cap on schedule-tensor elements materialized per fast batch sub-chunk
 #: (~128 MB of float64), bounding the batched argsort's working set.
 _FAST_CHUNK_ELEMENTS = 16_000_000
+
+#: Cap on the kernel's (processes x trials) lockstep state width.
+_KERNEL_LANE_ELEMENTS = 1 << 19
+
+#: Inverse-lane horizon growth: doublings of the initial horizon before
+#: the schedule is declared degenerate (matches the legacy retry reach).
+_INVERSE_GROWTH_CAP = 9
 
 
 @dataclass
@@ -80,7 +127,10 @@ class CompiledTrial:
     Attributes:
         spec: the trial spec this was compiled from.
         engine: the engine that will actually run (``"auto"`` resolved):
-            ``"fast"``, ``"event"``, ``"step"``, or ``"hybrid"``.
+            ``"fast"``, ``"kernel"``, ``"event"``, ``"step"``, or
+            ``"hybrid"``.  A single compiled trial has no batch to step
+            in lockstep, so ``"kernel"`` executes the scalar fast replay
+            (bit-identical by construction).
         machines: the instantiated process machines (``None`` for the fast
             engine, which replays a closed-form schedule instead).
         memory: the assembled shared memory (``None`` for the fast engine).
@@ -118,41 +168,59 @@ class EngineResolution:
 
 
 def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
-    """Why a noisy spec cannot run on the vectorized engine (or ``None``).
+    """Why a noisy spec cannot run on the vectorized engines (or ``None``).
 
-    The fast engine covers every protocol in
+    The fast and kernel engines cover every protocol in
     :data:`repro.sim.fast.FAST_VARIANTS` with random halting compiled to
     per-process death schedules; the remaining exclusions are features
-    whose semantics are inherently event-driven.
+    whose semantics are inherently event-driven.  *Every* applicable
+    blocker is reported (semicolon-joined), so ``engine_reason`` tells
+    the user the complete set of spec changes that would unlock the
+    vectorized path.
     """
+    reasons = []
     if spec.protocol.factory is not None:
-        return "the protocol uses an opaque machine factory"
-    if spec.protocol.name not in FAST_VARIANTS:
-        return (f"protocol {spec.protocol.name!r} has no vectorized replay "
-                f"(supported: {sorted(FAST_VARIANTS)})")
+        reasons.append("the protocol uses an opaque machine factory")
+    elif spec.protocol.name not in FAST_VARIANTS:
+        reasons.append(
+            f"protocol {spec.protocol.name!r} has no vectorized replay "
+            f"(supported: {sorted(FAST_VARIANTS)})")
     if spec.protocol.round_cap is not None:
-        return "round_cap bookkeeping requires the event engine"
+        reasons.append("round_cap bookkeeping requires the event engine")
     if spec.max_total_ops is not None:
-        return ("max_total_ops budgets are enforced by the event engine "
-                "(the vectorized replay has no operation-budget stop)")
+        reasons.append(
+            "max_total_ops budgets are enforced by the event engine "
+            "(the vectorized replay has no operation-budget stop)")
     if spec.failures.adversary is not None:
-        return ("adaptive crash adversaries observe the execution and "
-                "cannot be presampled obliviously")
+        reasons.append(
+            "adaptive crash adversaries observe the execution and "
+            "cannot be presampled obliviously")
     if spec.record:
-        return "record=True history capture requires the event engine"
+        reasons.append("record=True history capture requires the event "
+                       "engine")
     if spec.model.write_noise is not None:
-        return "per-op-kind write noise requires the event engine"
-    return None
+        reasons.append("per-op-kind write noise requires the event engine")
+    if not reasons:
+        return None
+    return "; ".join(reasons)
 
 
-def resolve_engine_info(spec: TrialSpec) -> EngineResolution:
+def resolve_engine_info(spec: TrialSpec,
+                        trials: Optional[int] = None) -> EngineResolution:
     """Resolve the engine a spec will run on, with the fallback reason.
 
-    ``engine="fast"`` on an ineligible spec raises
-    :class:`~repro.errors.ConfigurationError` naming the blocker;
+    ``engine="fast"`` / ``engine="kernel"`` on an ineligible spec raises
+    :class:`~repro.errors.ConfigurationError` naming *every* blocker;
     ``engine="auto"`` falls back to the event engine instead and reports
     why in :attr:`EngineResolution.reason` (surfaced as
     ``TrialResult.engine_reason``).
+
+    ``trials`` is the batch context: with ``engine="auto"``, a
+    fast-eligible chunk of at least :data:`KERNEL_AUTO_MIN_TRIALS`
+    trials (at n up to :data:`KERNEL_AUTO_MAX_N`) resolves to the
+    trial-parallel lockstep kernel.  The batch runner resolves once per
+    batch and threads the outcome through its serial and pool paths, so
+    the recorded engine never depends on worker chunking.
     """
     if isinstance(spec.model, StepModelSpec):
         return EngineResolution("step")
@@ -161,14 +229,20 @@ def resolve_engine_info(spec: TrialSpec) -> EngineResolution:
     if spec.engine == "event":
         return EngineResolution("event")
     why_not = fast_ineligibility(spec)
-    if spec.engine == "fast":
+    if spec.engine in ("fast", "kernel"):
         if why_not is not None:
             raise ConfigurationError(
-                f'engine="fast" was requested but {why_not}')
-        return EngineResolution("fast")
+                f'engine="{spec.engine}" was requested but {why_not}')
+        return EngineResolution(spec.engine)
     # engine == "auto"
     if why_not is not None:
         return EngineResolution("event", reason=why_not)
+    if (trials is not None and trials >= KERNEL_AUTO_MIN_TRIALS
+            and spec.n <= KERNEL_AUTO_MAX_N):
+        # Large trial batches at narrow n: the lockstep kernel beats
+        # both the event engine (whose per-op heap traffic the small-n
+        # rule below is protecting against) and the scalar fast replay.
+        return EngineResolution("kernel")
     if spec.n < FAST_AUTO_MIN_N:
         return EngineResolution(
             "event",
@@ -212,50 +286,64 @@ def run_trial(spec: TrialSpec, seed: SeedLike = None) -> TrialResult:
     return compile_spec(spec, seed).run()
 
 
-def run_trials(spec: TrialSpec,
-               seeds: Sequence[SeedLike]) -> List[TrialResult]:
+def run_trials(spec: TrialSpec, seeds: Sequence[SeedLike],
+               engine: Optional[str] = None) -> List[TrialResult]:
     """Run one spec over several per-trial seeds (a batch chunk).
 
-    Fast-engine specs batch their schedule sampling: the chunk's
-    ``(trials, n, max_ops)`` completion-time tensor is argsorted in one
-    numpy call and each replay consumes its precomputed row.  Results are
-    bit-identical to ``[run_trial(spec, s) for s in seeds]`` — each trial
-    still draws from its own seed streams in the compiler's order.
+    ``engine`` is the pre-resolved engine name threaded down by the
+    batch runner (``None`` resolves here with ``trials=len(seeds)``).
+    Fast-family chunks run through the columnar frame pipeline — the
+    single replay implementation — and reconstruct the result list at
+    the edge, bit-identical to ``[run_trial(spec, s) for s in seeds]``
+    *on the same engine*.  Note the one way the engines can differ for
+    ``engine="auto"`` specs: a chunk of at least
+    :data:`KERNEL_AUTO_MIN_TRIALS` trials at small n resolves to the
+    kernel where single trials resolve to the event engine — auto picks
+    the best engine for the batch, and different engines draw different
+    streams (force ``engine=`` on the spec to pin one).
     """
-    if isinstance(spec.model, NoisyModelSpec) \
-            and resolve_engine_info(spec).engine == "fast":
-        return _run_fast_chunk(spec, seeds)
+    if isinstance(spec.model, NoisyModelSpec) and not spec.record:
+        resolved = engine if engine is not None else \
+            resolve_engine_info(spec, trials=len(seeds)).engine
+        if resolved in ("fast", "kernel"):
+            return run_trials_frame(spec, seeds,
+                                    engine=resolved).to_trial_results()
     return [run_trial(spec, s) for s in seeds]
 
 
-def run_trials_frame(spec: TrialSpec,
-                     seeds: Sequence[SeedLike]) -> ResultFrame:
+def run_trials_frame(spec: TrialSpec, seeds: Sequence[SeedLike],
+                     engine: Optional[str] = None) -> ResultFrame:
     """Run one spec over several per-trial seeds, returning a frame.
 
     The columnar twin of :func:`run_trials`:
     ``run_trials_frame(spec, seeds).to_trial_results()`` is bit-identical
-    to ``run_trials(spec, seeds)`` for every spec.  Fast-engine specs
-    take a fully columnar pipeline (:func:`_run_fast_chunk_frame`) that
-    materializes zero per-trial ``TrialResult`` objects; every other
-    engine runs trial-by-trial and converts with
-    :meth:`~repro.sim.frame.ResultFrame.from_results`.
+    to ``run_trials(spec, seeds)`` for every spec.  Fast chunks take the
+    trial-batched columnar pipeline (:func:`_run_fast_chunk_frame`),
+    kernel chunks the trial-parallel lockstep pipeline
+    (:func:`_run_kernel_chunk_frame`); both materialize zero per-trial
+    ``TrialResult`` objects.  Every other engine runs trial-by-trial and
+    converts with :meth:`~repro.sim.frame.ResultFrame.from_results`.
 
-    One side-effect difference from :func:`run_trials`: the fast lane
-    treats *fresh* ``SeedSequence`` seeds as pure values — their spawn
+    One side-effect difference from the per-trial loop: the fast lanes
+    treat *fresh* ``SeedSequence`` seeds as pure values — their spawn
     counters are not advanced (the child streams are derived directly).
     Each call is still bit-identical to the list path, but reusing the
     same seed-sequence objects across calls repeats trials where the
     list path would spawn fresh children; thread a root seed through the
-    batch runner (which spawns a new block per call) instead of reusing
+    batch runner (which derives a new block per call) instead of reusing
     trial sequences.
     """
     if spec.record:
         raise ConfigurationError(
             "record=True histories cannot be stored in a columnar frame "
             "(result.memory would be silently dropped); use the list path")
-    info = resolve_engine_info(spec)
-    if isinstance(spec.model, NoisyModelSpec) and info.engine == "fast":
-        return _run_fast_chunk_frame(spec, seeds)
+    if isinstance(spec.model, NoisyModelSpec):
+        resolved = engine if engine is not None else \
+            resolve_engine_info(spec, trials=len(seeds)).engine
+        if resolved == "kernel":
+            return _run_kernel_chunk_frame(spec, seeds)
+        if resolved == "fast":
+            return _run_fast_chunk_frame(spec, seeds)
     return ResultFrame.from_results([run_trial(spec, s) for s in seeds],
                                     spec=spec)
 
@@ -276,6 +364,31 @@ def _noisy_streams(seed: SeedLike):
     return spawn(make_rng(seed), 4)
 
 
+@dataclass(frozen=True)
+class _InverseLane:
+    """The resolved inverse-lane parameters of one spec."""
+
+    sampler: object
+    delta_kind: str
+    base: float
+    epsilon: float
+
+
+def _inverse_lane(spec: TrialSpec) -> Optional[_InverseLane]:
+    """The spec's inverse-lane parameters, or ``None`` (legacy lane)."""
+    model = spec.model
+    if model.delta.kind not in ("zero", "dithered"):
+        return None
+    sampler = inverse_sampler_for(model.noise.build())
+    if sampler is None:
+        return None
+    epsilon = model.delta.param("epsilon", 1e-8)
+    if model.delta.kind == "dithered" and epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
+    return _InverseLane(sampler, model.delta.kind,
+                        model.delta.param("base", 0.0), epsilon)
+
+
 def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
     model = spec.model
     rng_noise, rng_dither, rng_fail, rng_proto = _noisy_streams(seed)
@@ -286,16 +399,34 @@ def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
         noise = PerOpKindNoise(noise, model.write_noise.build())
 
     resolution = resolve_engine_info(spec)
+
+    if resolution.engine in ("fast", "kernel"):
+        lane = _inverse_lane(spec)
+        inputs = [input_map[pid] for pid in range(spec.n)]
+        if lane is not None:
+            # Revalidate with the exact legacy semantics (admissibility
+            # or the negative-delay check under allow_degenerate).
+            NoisyScheduler(noise, None,
+                           allow_degenerate=model.allow_degenerate)
+
+            def execute() -> TrialResult:
+                return _run_fast_inverse(
+                    spec, lane, rng_noise, rng_fail,
+                    _fast_tie_seqs(spec, rng_proto), inputs)
+        else:
+            delta = model.delta.build(spec.n, rng_dither)
+
+            def execute() -> TrialResult:
+                return _fast_attempts(spec, noise, delta, rng_noise,
+                                      rng_fail,
+                                      _fast_tie_seqs(spec, rng_proto),
+                                      inputs,
+                                      horizon=lean_horizon_ops(spec.n))
+
+        return CompiledTrial(spec=spec, engine=resolution.engine,
+                             _execute=execute)
+
     delta = model.delta.build(spec.n, rng_dither)
-
-    if resolution.engine == "fast":
-
-        def execute() -> TrialResult:
-            return _run_fast(spec, noise, delta, rng_noise, rng_fail,
-                             rng_proto, input_map)
-
-        return CompiledTrial(spec=spec, engine="fast", _execute=execute)
-
     scheduler = NoisyScheduler(noise, rng_noise, delta=delta,
                                allow_degenerate=model.allow_degenerate)
     machines = make_machines(spec.protocol.factory or spec.protocol.name,
@@ -365,19 +496,30 @@ def _fast_prefix_ops(n: int) -> int:
     return 4 * (int(np.log2(n + 2)) + 10)
 
 
+def _kernel_horizon_ops(n: int) -> int:
+    """The lockstep kernel's initial sampled horizon (ops per process).
+
+    Deliberately tighter than :func:`lean_horizon_ops`: the kernel's
+    per-trial fallback regrows an *exact* schedule extension, so an
+    occasional overflow costs one scalar replay instead of correctness,
+    and the smaller tensor is what the per-trial draw cost scales with.
+    """
+    return 4 * (int(np.log2(n + 2)) + 7)
+
+
 def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
                     prefix: Optional[int] = None, sink=None):
     """Replay one presampled schedule, growing the argsort prefix.
 
-    This is the production fast path over a fixed schedule matrix: replay
-    a column prefix, and on ``None`` (horizon overflow *or* a starved
-    process at a first-decision stop — see :func:`repro.sim.fast.replay`)
-    double the prefix up to the full matrix.  The differential oracle
-    drives this exact function, so prefix handling is covered by the
-    cross-engine sweep.  Returns ``None`` only when the full matrix
-    itself overflows (the caller then redraws noise at a doubled
-    horizon).  With a ``sink`` the outcome is appended columnar and
-    ``True`` returned instead of a result.
+    This is the production fast path over a fixed legacy-lane schedule
+    matrix: replay a column prefix, and on ``None`` (horizon overflow
+    *or* a starved process at a first-decision stop — see
+    :func:`repro.sim.fast.replay`) double the prefix up to the full
+    matrix.  The differential oracle drives this exact function, so
+    prefix handling is covered by the cross-engine sweep.  Returns
+    ``None`` only when the full matrix itself overflows (the caller then
+    redraws noise at a doubled horizon).  With a ``sink`` the outcome is
+    appended columnar and ``True`` returned instead of a result.
     """
     max_ops = times.shape[1]
     k = min(prefix if prefix is not None else _fast_prefix_ops(spec.n),
@@ -394,10 +536,75 @@ def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
         k = min(k * 2, max_ops)
 
 
+def replay_schedule_open(spec: TrialSpec, times, inputs, death_ops,
+                         tie_seqs, prefix: Optional[int] = None, sink=None):
+    """Replay an *extensible* (inverse-lane) schedule matrix.
+
+    Unlike :func:`replay_schedule`, the matrix here is itself a prefix
+    of the trial's infinite schedule, so even the full-width replay runs
+    with ``truncated=True``: a completion with a starved process is
+    refused and ``None`` means "extend the matrix" (the caller draws
+    more columns from the same stream), never "accept a possibly inexact
+    result".  This is what keeps the scalar, frame, and kernel inverse
+    lanes exactly equal to the infinite-horizon replay.
+    """
+    max_ops = times.shape[1]
+    k = min(prefix if prefix is not None else _fast_prefix_ops(spec.n),
+            max_ops)
+    while True:
+        result = replay(times[:, :k] if k < max_ops else times, inputs,
+                        variant=spec.protocol.name, death_ops=death_ops,
+                        stop_after_first_decision=
+                        spec.stop_after_first_decision,
+                        tie_rngs=_tie_rngs(tie_seqs),
+                        truncated=True, sink=sink)
+        if result is not None or k >= max_ops:
+            return result
+        k = min(k * 2, max_ops)
+
+
+def _overflow_error(last_ops: int) -> ConfigurationError:
+    return ConfigurationError(
+        f"schedule horizon kept overflowing (last tried {last_ops} ops); "
+        "is the noise distribution effectively degenerate?")
+
+
+def _run_fast_inverse(spec: TrialSpec, lane: _InverseLane, rng_noise,
+                      rng_fail, tie_seqs, inputs, horizon: Optional[int] =
+                      None, sink=None):
+    """The scalar inverse-lane run: draw, replay, extend until exact.
+
+    The single replay implementation behind ``run_trial`` on the
+    fast/kernel engines for inverse-lane specs, and the per-trial
+    fallback of both chunked pipelines (which rebuild the same streams
+    and therefore redraw the same leading columns).
+    """
+    n = spec.n
+    starts = draw_starts(rng_noise, n, lane.delta_kind, lane.base,
+                         lane.epsilon)
+    k = horizon if horizon is not None else lean_horizon_ops(n)
+    times = draw_times(rng_noise, lane.sampler, starts, k)
+    death_ops = compile_death_ops(spec.failures, n, rng_fail)
+    cap = k << _INVERSE_GROWTH_CAP
+    prefix = None
+    while True:
+        result = replay_schedule_open(spec, times, inputs, death_ops,
+                                      tie_seqs, prefix=prefix, sink=sink)
+        if result is not None:
+            if sink is not None:
+                return result
+            return check_result(result, spec.check)
+        if times.shape[1] >= cap:
+            raise _overflow_error(times.shape[1])
+        times = extend_times(rng_noise, lane.sampler, times,
+                             times.shape[1])
+        prefix = times.shape[1]
+
+
 def _fast_attempts(spec: TrialSpec, noise, delta, rng_noise, rng_fail,
                    tie_seqs, inputs, horizon: int,
                    attempts: int = 10) -> TrialResult:
-    """The presample-replay-retry loop shared by single and batched runs.
+    """The legacy-lane presample-replay-retry loop (scalar + fallbacks).
 
     Each attempt redraws the schedule (and death schedule) from the
     *continuing* per-trial streams at a doubled horizon, so a batched
@@ -414,86 +621,7 @@ def _fast_attempts(spec: TrialSpec, noise, delta, rng_noise, rng_fail,
         if result is not None:
             return check_result(result, spec.check)
         horizon *= 2
-    raise ConfigurationError(
-        f"schedule horizon kept overflowing (last tried {horizon} ops); "
-        "is the noise distribution effectively degenerate?"
-    )
-
-
-def _run_fast(spec: TrialSpec, noise, delta, rng_noise, rng_fail, rng_proto,
-              input_map) -> TrialResult:
-    inputs = [input_map[pid] for pid in range(spec.n)]
-    tie_seqs = _fast_tie_seqs(spec, rng_proto)
-    return _fast_attempts(spec, noise, delta, rng_noise, rng_fail, tie_seqs,
-                          inputs, horizon=lean_horizon_ops(spec.n))
-
-
-def _run_fast_chunk(spec: TrialSpec,
-                    seeds: Sequence[SeedLike]) -> List[TrialResult]:
-    """Trial-batched fast execution: one argsort per schedule sub-chunk.
-
-    Per-trial RNG streams are spawned exactly as :func:`_compile_noisy`
-    does, and each trial's schedule is drawn from its own noise stream (the
-    per-trial seed discipline the batch runner guarantees); the batching
-    win is stacking those schedules and argsorting the whole sub-chunk in
-    a single numpy call.
-    """
-    model = spec.model
-    n = spec.n
-    input_map = spec.input_map()
-    inputs = [input_map[pid] for pid in range(n)]
-    noise = model.noise.build()
-    horizon = lean_horizon_ops(n)
-    prefix = min(_fast_prefix_ops(n), horizon)
-    sub = max(1, _FAST_CHUNK_ELEMENTS // max(n * horizon, 1))
-    results: List[TrialResult] = []
-    for base in range(0, len(seeds), sub):
-        block = seeds[base:base + sub]
-        contexts = []
-        times_list = []
-        for seed in block:
-            rng_noise, rng_dither, rng_fail, rng_proto = _noisy_streams(seed)
-            delta = model.delta.build(n, rng_dither)
-            scheduler = NoisyScheduler(
-                noise, rng_noise, delta=delta,
-                allow_degenerate=model.allow_degenerate)
-            times_list.append(scheduler.presample(n, horizon))
-            death_ops = compile_death_ops(spec.failures, n, rng_fail)
-            tie_seqs = _fast_tie_seqs(spec, rng_proto)
-            contexts.append((rng_noise, rng_fail, delta, death_ops, tie_seqs))
-        # The chunk-batched argsort: every trial's schedule prefix in a
-        # single numpy call (the dominant vector cost of the fast engine).
-        orders = np.argsort(
-            np.stack([t[:, :prefix] for t in times_list]).reshape(
-                len(block), -1),
-            axis=1, kind="stable")
-        for k, (rng_noise, rng_fail, delta, death_ops, tie_seqs) \
-                in enumerate(contexts):
-            result = replay(times_list[k][:, :prefix], inputs,
-                            variant=spec.protocol.name,
-                            death_ops=death_ops,
-                            stop_after_first_decision=
-                            spec.stop_after_first_decision,
-                            tie_rngs=_tie_rngs(tie_seqs), order=orders[k],
-                            truncated=prefix < horizon)
-            if result is None and prefix < horizon:
-                # Prefix overflow (or a starved process at the stop):
-                # grow the argsort window on the same schedule.
-                result = replay_schedule(spec, times_list[k], inputs,
-                                         death_ops, tie_seqs,
-                                         prefix=prefix * 2)
-            if result is not None:
-                result = check_result(result, spec.check)
-            else:
-                # Rare full-horizon overflow: continue this trial's
-                # streams through the serial retry loop (attempt 2 on).
-                result = _fast_attempts(spec, noise, delta, rng_noise,
-                                        rng_fail, tie_seqs, inputs,
-                                        horizon=horizon * 2, attempts=9)
-            result.engine = "fast"
-            result.engine_reason = None
-            results.append(result)
-    return results
+    raise _overflow_error(horizon)
 
 
 _SeedSequence = np.random.SeedSequence
@@ -581,16 +709,17 @@ def _run_fast_chunk_frame(spec: TrialSpec,
                           seeds: Sequence[SeedLike]) -> ResultFrame:
     """Trial-batched fast execution writing columns directly.
 
-    The columnar twin of :func:`_run_fast_chunk`: the same per-trial seed
-    and stream discipline (so results are bit-identical to the list
-    path), but the per-trial object pipeline is gone —
+    The per-trial seed and stream discipline of the scalar path (so
+    results are bit-identical to it), with the per-trial object pipeline
+    stripped:
 
-    * only the *consumed* RNG streams are instantiated (a no-failure lean
-      trial builds 2 generators instead of 4);
-    * for the zero/dithered delay schedules of the paper's sweeps the
-      completion-time tensor is built inline with four numpy calls
-      instead of a ``NoisyScheduler``/``DeltaSchedule`` object pair and
-      their per-process Python loop;
+    * only the *consumed* RNG streams are instantiated, batch-seeded per
+      block when the seeds match the batch runner's pattern
+      (``_seedhash``, bit-exact);
+    * inverse-lane specs draw their column-major uniform block and
+      transform it inline; other zero/dithered specs keep the inline
+      vectorized legacy presample; everything else builds the legacy
+      scheduler objects per trial;
     * the replay appends straight into a :class:`FrameBuilder` sink, so
       no ``TrialResult``, inputs dict, decisions dict, or halted set is
       ever materialized;
@@ -607,6 +736,7 @@ def _run_fast_chunk_frame(spec: TrialSpec,
     # check under allow_degenerate).
     NoisyScheduler(noise, None, allow_degenerate=model.allow_degenerate)
     cfg = FAST_VARIANTS[spec.protocol.name]
+    lane = _inverse_lane(spec)
     delta_kind = model.delta.kind
     vector_delta = delta_kind in ("zero", "dithered")
     epsilon = model.delta.param("epsilon", 1e-8)
@@ -614,7 +744,10 @@ def _run_fast_chunk_frame(spec: TrialSpec,
     if delta_kind == "dithered" and epsilon <= 0:
         raise ConfigurationError(f"epsilon must be > 0, got {epsilon}")
     h = spec.failures.h
-    need = 4 if cfg.random_tie else (3 if h > 0.0 else 2)
+    if lane is not None:
+        need = 4 if cfg.random_tie else (3 if h > 0.0 else 1)
+    else:
+        need = 4 if cfg.random_tie else (3 if h > 0.0 else 2)
     horizon = lean_horizon_ops(n)
     prefix = min(_fast_prefix_ops(n), horizon)
     sub = max(1, _FAST_CHUNK_ELEMENTS // max(n * horizon, 1))
@@ -647,28 +780,43 @@ def _run_fast_chunk_frame(spec: TrialSpec,
             recognized = block_spawn_keys(block)
             if recognized is not None:
                 entropy, key_matrix = recognized
+                children = (0,)
+                if lane is None and dithered:
+                    children += (1,)
+                if h > 0.0:
+                    children += (2,)
                 states = {
                     child: pcg64_states(entropy, key_matrix, child)
-                    for child in ((0, 1) if dithered else (0,))
-                    + ((2,) if h > 0.0 else ())
+                    for child in children
                 }
         contexts = []
         times_list = []
         for k, seed in enumerate(block):
             if states is None:
-                children = _trial_children(seed, need)
-                rng_noise = generator(pcg64(children[0]))
-                rng_dither = (generator(pcg64(children[1]))
-                              if (dithered or not vector_delta) else None)
-                rng_fail = (generator(pcg64(children[2]))
+                kids = _trial_children(seed, need)
+                rng_noise = generator(pcg64(kids[0]))
+                rng_dither = (generator(pcg64(kids[1]))
+                              if (lane is None
+                                  and (dithered or not vector_delta))
+                              else None)
+                rng_fail = (generator(pcg64(kids[2]))
                             if h > 0.0 else None)
-                tie_key = children[3] if cfg.random_tie else None
+                tie_key = kids[3] if cfg.random_tie else None
             else:
                 rng_noise = rng_dither = rng_fail = None
                 tie_key = (_SeedSequence(seed.entropy,
                                          spawn_key=seed.spawn_key + (3,))
                            if cfg.random_tie else None)
-            if vector_delta:
+            if lane is not None:
+                # Inverse lane: one stream, column-major draws.
+                if rng_noise is None:
+                    rng_noise = reusable.reset(states[0][k])
+                starts = draw_starts(rng_noise, n, lane.delta_kind,
+                                     lane.base, lane.epsilon)
+                times = draw_times(rng_noise, lane.sampler, starts,
+                                   horizon)
+                delta = None
+            elif vector_delta:
                 if dithered:
                     if rng_dither is None:
                         rng_dither = reusable.reset(states[1][k])
@@ -704,13 +852,18 @@ def _run_fast_chunk_frame(spec: TrialSpec,
             # the seeds are fresh SeedSequences and the legacy
             # single-trial lane rederives identical streams from `seed`;
             # in the object lane the live generators themselves are kept
-            # so the retry continues their streams exactly like
-            # _run_fast_chunk does (a re-derivation would diverge for
-            # generator or already-spawned-from seeds).
+            # so the retry continues their streams exactly like the
+            # legacy chunk did (a re-derivation would diverge for
+            # generator or already-spawned-from seeds) — except in the
+            # inverse lane, whose fallback *restarts* the streams, so
+            # the pure child sequences are kept instead.
             if states is None:
-                fallback = (rng_noise, rng_fail,
-                            delta if delta is not None
-                            else _FixedStarts(starts))
+                if lane is not None:
+                    fallback = (kids[0], kids[2] if h > 0.0 else None)
+                else:
+                    fallback = (rng_noise, rng_fail,
+                                delta if delta is not None
+                                else _FixedStarts(starts))
             else:
                 fallback = seed
             contexts.append((death_ops, tie_seqs, fallback))
@@ -727,34 +880,321 @@ def _run_fast_chunk_frame(spec: TrialSpec,
                                  stop_after_first_decision=stop_first,
                                  tie_rngs=_tie_rngs(tie_seqs),
                                  order=pid_rows[k].tolist(),
-                                 truncated=truncated, sink=builder)
-            if appended is None and truncated:
-                appended = replay_schedule(spec, times_list[k], inputs,
+                                 truncated=truncated or lane is not None,
+                                 sink=builder)
+            if appended is None:
+                schedule_replay = (replay_schedule_open if lane is not None
+                                   else replay_schedule)
+                appended = schedule_replay(spec, times_list[k], inputs,
                                            death_ops, tie_seqs,
                                            prefix=prefix * 2, sink=builder)
             if appended is None:
                 # Rare full-horizon overflow; the one materialized
                 # result is the exception path.
-                if isinstance(fallback, tuple):
-                    # Continue the live per-trial streams through the
-                    # serial retry loop, exactly like _run_fast_chunk.
-                    rng_noise, rng_fail, delta = fallback
-                    result = _fast_attempts(spec, noise, delta, rng_noise,
-                                            rng_fail, tie_seqs, inputs,
-                                            horizon=horizon * 2, attempts=9)
-                    result.engine = "fast"
-                    result.engine_reason = None
-                else:
-                    # Batched-seeding lane: rerun down the legacy
-                    # single-trial lane — its attempt 1 rederives the
-                    # same streams and redraws the same overflowing
-                    # schedule, then the retry loop continues exactly as
-                    # the list path would.
-                    result = run_trial(spec, fallback)
+                result = _fast_overflow_fallback(
+                    spec, lane, noise, fallback, tie_seqs, inputs, horizon)
                 builder.append_result(result)
     frame = builder.build()
     _check_frame(frame, spec)
     return frame
+
+
+def _fast_overflow_fallback(spec, lane, noise, fallback, tie_seqs, inputs,
+                            horizon) -> TrialResult:
+    """Finish one trial whose drawn horizon overflowed (all lanes)."""
+    if not isinstance(fallback, tuple):
+        # Batched-seeding lane: rerun down the legacy single-trial lane —
+        # it rederives the same streams, redraws the same leading
+        # schedule, and continues exactly as the scalar path would.
+        result = run_trial(spec, fallback)
+        return result
+    if lane is not None:
+        noise_seq, fail_seq = fallback
+        result = _run_fast_inverse(
+            spec, lane, make_rng(noise_seq),
+            make_rng(fail_seq) if fail_seq is not None else None,
+            tie_seqs, inputs, horizon=horizon * 2)
+    else:
+        rng_noise, rng_fail, delta = fallback
+        result = _fast_attempts(spec, noise, delta, rng_noise, rng_fail,
+                                tie_seqs, inputs, horizon=horizon * 2,
+                                attempts=9)
+    result.engine = "fast"
+    result.engine_reason = None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The trial-parallel lockstep kernel chunk
+# ---------------------------------------------------------------------------
+
+
+class _RowSink:
+    """A one-row sink capturing a scalar replay's ``append_fast`` payload.
+
+    The kernel's per-trial fallback replays through the scalar path but
+    must write the *sink-shaped* outcome (chronological halted/decision
+    tuples) into its block columns, not a ``TrialResult``.
+    """
+
+    __slots__ = ("row",)
+
+    def __init__(self) -> None:
+        self.row = None
+
+    def append_fast(self, decisions, halted, total_ops, max_round,
+                    preference_changes) -> None:
+        self.row = (decisions, halted, total_ops, max_round,
+                    preference_changes)
+
+
+def _kernel_tie_flips(tie_seqs_list, n: int, trials: int,
+                      flips: int) -> np.ndarray:
+    """Pre-sampled coin flips, ``(n, trials, flips)``.
+
+    Each (process, trial) stream is the exact generator
+    :func:`_fast_tie_seqs` would build, drawn ``flips`` bits ahead —
+    bit-identical to on-demand scalar draws because numpy's bounded
+    ``integers`` fills arrays from the same bit stream as repeated
+    scalar calls.  ``tie_seqs_list`` holds each trial's already-spawned
+    per-process sequences (spawning mutates the parent's counter, so the
+    overflow fallback must reuse these exact children).
+    """
+    out = np.empty((n, trials, flips), np.int8)
+    for t, seqs in enumerate(tie_seqs_list):
+        for pid, seq in enumerate(seqs):
+            out[pid, t] = make_rng(seq).integers(0, 2, size=flips)
+    return out
+
+
+def _run_kernel_chunk_frame(spec: TrialSpec,
+                            seeds: Sequence[SeedLike]) -> ResultFrame:
+    """Trial-parallel lockstep execution writing columns in blocks.
+
+    Same per-trial seed/stream/lane discipline as the fast paths (so the
+    outcome is bit-identical to them for every spec and worker count),
+    but the replay itself steps every trial of a block simultaneously
+    through :func:`repro.sim.kernel.replay_chunk`.  Trials whose sampled
+    horizon overflows fall back one-by-one to the scalar replay on an
+    exactly-extended schedule.
+    """
+    model = spec.model
+    n = spec.n
+    input_map = spec.input_map()
+    inputs = [input_map[pid] for pid in range(n)]
+    input_pairs = tuple((pid, int(bit)) for pid, bit in enumerate(inputs))
+    noise = model.noise.build()
+    NoisyScheduler(noise, None, allow_degenerate=model.allow_degenerate)
+    cfg = FAST_VARIANTS[spec.protocol.name]
+    lane = _inverse_lane(spec)
+    h = spec.failures.h
+    stop_first = spec.stop_after_first_decision
+    horizon = lean_horizon_ops(n)
+    k = min(_kernel_horizon_ops(n), horizon) if lane is not None else horizon
+    solo = n == 1 and h <= 0.0
+    sub = max(1, min(_FAST_CHUNK_ELEMENTS // max(n * k, 1),
+                     _KERNEL_LANE_ELEMENTS // max(n, 1)))
+    builder = FrameBuilder(spec=spec, n=n, inputs=input_pairs,
+                           engine="kernel", engine_reason=None)
+    generator, pcg64 = np.random.Generator, np.random.PCG64
+    need = (4 if cfg.random_tie
+            else (3 if h > 0.0 else (1 if lane is not None else 2)))
+    reusable = ReusablePCG64()
+    reusable_fail = ReusablePCG64()
+    for start in range(0, len(seeds), sub):
+        block = seeds[start:start + sub]
+        m = len(block)
+        states = None
+        if lane is not None:
+            recognized = block_spawn_keys(block)
+            if recognized is not None:
+                entropy, key_matrix = recognized
+                children = (0,) + ((2,) if h > 0.0 else ())
+                states = {child: pcg64_states(entropy, key_matrix, child)
+                          for child in children}
+        contexts: list = []
+        tie_seqs_list: list = []
+        deaths = None
+        if solo and states is not None and not cfg.random_tie:
+            # n == 1 without crashes: the outcome is schedule-independent
+            # (see the kernel's broadcast path), so the noise draws can
+            # be skipped wholesale — the streams are pure values that no
+            # other consumer continues.
+            times = np.broadcast_to(
+                np.arange(1.0, k + 1.0), (1, m, k))
+            contexts = block
+            trials_major = False
+        elif (states is not None and lane is not None
+              and not cfg.random_tie and h <= 0.0):
+            # The batch-seeded inverse hot lane: per trial, one state
+            # reset and one uniform draw — the dithered starts ride as
+            # row 0 of the same (k+1, n) block, consuming the stream
+            # exactly like draw_starts followed by draw_times.
+            contexts = block
+            dithered = lane.delta_kind == "dithered"
+            rows = k + 1 if dithered else k
+            buf = np.empty((m, rows, n))
+            state0 = states[0]
+            reset = reusable.reset
+            for t in range(m):
+                reset(state0[t]).random((rows, n), out=buf[t])
+            if dithered:
+                starts_all = lane.base + lane.epsilon * buf[:, 0, :]
+                incs = buf[:, 1:, :]
+            else:
+                starts_all = None
+                incs = buf
+            lane.sampler.transform_inplace(incs)
+            if starts_all is not None:
+                # Seed the sequential chain exactly like draw_times.
+                incs[:, 0, :] += starts_all
+            # Out-of-place cumsum doubles as the copy into the kernel's
+            # contiguous trials-major tensor — no transpose pass.
+            times = np.cumsum(incs, axis=1)
+            trials_major = True
+        else:
+            if lane is not None:
+                buf = np.empty((m, k, n))
+                starts_all = (np.empty((m, n))
+                              if lane.delta_kind == "dithered" else None)
+            else:
+                buf = np.empty((m, n, horizon))
+            if h > 0.0:
+                deaths = np.empty((m, n), np.int64)
+            for t, seed in enumerate(block):
+                if states is None:
+                    kids = _trial_children(seed, need)
+                    rng_noise = generator(pcg64(kids[0]))
+                    rng_fail = (generator(pcg64(kids[2]))
+                                if h > 0.0 else None)
+                    tie_key = kids[3] if cfg.random_tie else None
+                    rng_dither = (generator(pcg64(kids[1]))
+                                  if lane is None else None)
+                    if lane is not None:
+                        contexts.append((kids[0],
+                                         kids[2] if h > 0.0 else None))
+                else:
+                    rng_noise = reusable.reset(states[0][t])
+                    rng_fail = (reusable_fail.reset(states[2][t])
+                                if h > 0.0 else None)
+                    rng_dither = None
+                    tie_key = (_SeedSequence(
+                        seed.entropy, spawn_key=seed.spawn_key + (3,))
+                        if cfg.random_tie else None)
+                    contexts.append(seed)
+                if lane is not None:
+                    if starts_all is not None:
+                        starts_all[t] = draw_starts(
+                            rng_noise, n, lane.delta_kind, lane.base,
+                            lane.epsilon)
+                    rng_noise.random((k, n), out=buf[t])
+                else:
+                    delta = model.delta.build(n, rng_dither)
+                    scheduler = NoisyScheduler(
+                        noise, rng_noise, delta=delta,
+                        allow_degenerate=model.allow_degenerate)
+                    buf[t] = scheduler.presample(n, horizon)
+                    contexts.append((rng_noise, rng_fail, delta))
+                if h > 0.0:
+                    deaths[t] = compile_death_ops(spec.failures, n,
+                                                  rng_fail)
+                if cfg.random_tie:
+                    tie_seqs_list.append(tie_key.spawn(n))
+            if lane is not None:
+                lane.sampler.transform_inplace(buf)
+                if starts_all is not None:
+                    buf[:, 0, :] += starts_all
+                times = np.cumsum(buf, axis=1)
+                trials_major = True
+            else:
+                times = np.ascontiguousarray(np.moveaxis(buf, 1, 0))
+                trials_major = False
+        death_t = (np.ascontiguousarray(deaths.T)
+                   if deaths is not None else None)
+        horizon_k = times.shape[1] if trials_major else times.shape[2]
+        flips = None
+        if cfg.random_tie:
+            flips = _kernel_tie_flips(tie_seqs_list, n, m,
+                                      lean_flip_bound(horizon_k))
+        out = replay_chunk(times, inputs, variant=spec.protocol.name,
+                           death_ops=death_t, tie_flips=flips,
+                           stop_after_first_decision=stop_first,
+                           horizon_is_final=lane is None,
+                           trials_major=trials_major)
+        decisions, halted = out.decisions, out.halted
+        if out.overflow.any():
+            for t in np.nonzero(out.overflow)[0].tolist():
+                _kernel_overflow_fallback(
+                    spec, lane, noise, contexts[t],
+                    tie_seqs_list[t] if cfg.random_tie else None,
+                    inputs, horizon, out, decisions, halted, t)
+        builder.append_block(
+            count=m, total_ops=out.total_ops, max_round=out.max_round,
+            preference_changes=out.preference_changes,
+            n_decided=out.n_decided, n_distinct=out.n_distinct,
+            n_halted=out.n_halted, first_round=out.first_round,
+            first_ops=out.first_ops, last_round=out.last_round,
+            decided_value=out.decided_value, decisions=decisions,
+            halted=halted)
+    frame = builder.build()
+    _check_frame(frame, spec)
+    return frame
+
+
+def _kernel_overflow_fallback(spec, lane, noise, context, tie_seqs, inputs,
+                              horizon, out, decisions, halted, t) -> None:
+    """Finish one overflowed kernel trial on the scalar path, in place.
+
+    Writes the scalar sink row into the kernel's column arrays at
+    position ``t`` so the block append stays fully columnar.  Inverse
+    lane: restart the trial's streams and replay an exactly-extended
+    schedule (sink-shaped, chronological payloads).  Legacy lane: the
+    schedule matrix *was* the whole horizon, so the fallback redraws at
+    a doubled horizon from the live streams — exactly the fast chunk's
+    overflow semantics (and the same trials overflow on both engines,
+    so the paths stay bit-identical).
+    """
+    sink = _RowSink()
+    if lane is not None:
+        if isinstance(context, tuple):
+            noise_src, fail_src = context
+        else:
+            kids = _trial_children(context, 3)
+            noise_src = kids[0]
+            fail_src = kids[2] if spec.failures.h > 0.0 else None
+        rng_noise = make_rng(noise_src)
+        rng_fail = make_rng(fail_src) if fail_src is not None else None
+        _run_fast_inverse(spec, lane, rng_noise, rng_fail, tie_seqs,
+                          inputs, horizon=horizon, sink=sink)
+        dec, hlt, total, maxr, chg = sink.row
+        out.total_ops[t] = total
+        out.max_round[t] = maxr
+        out.preference_changes[t] = chg
+        out.n_halted[t] = len(hlt)
+        decisions[t] = dec
+        halted[t] = hlt
+        _derive_decision_columns(out, t, dec)
+        return
+    # Legacy lane: continue the live streams through the retry loop.
+    rng_noise, rng_fail, delta = context
+    result = _fast_attempts(spec, noise, delta, rng_noise, rng_fail,
+                            tie_seqs, inputs, horizon=horizon * 2,
+                            attempts=9)
+    out.total_ops[t] = result.total_ops
+    out.max_round[t] = result.max_round
+    out.preference_changes[t] = result.preference_changes
+    out.n_halted[t] = len(result.halted)
+    decisions[t] = tuple((pid, dec.value, dec.round, dec.ops)
+                         for pid, dec in result.decisions.items())
+    halted[t] = tuple(result.halted)
+    _derive_decision_columns(out, t, decisions[t])
+
+
+def _derive_decision_columns(out, t: int, dec) -> None:
+    """Write the shared derived decision fields into row ``t``."""
+    (out.n_decided[t], out.n_distinct[t], out.first_round[t],
+     out.first_ops[t], out.last_round[t],
+     out.decided_value[t]) = derive_decision_fields(dec)
 
 
 # ---------------------------------------------------------------------------

@@ -672,7 +672,7 @@ ModelSpec = Union[NoisyModelSpec, StepModelSpec, HybridModelSpec]
 _MODEL_CLASSES = {cls.model_kind: cls
                   for cls in (NoisyModelSpec, StepModelSpec, HybridModelSpec)}
 
-ENGINES = ("auto", "event", "fast")
+ENGINES = ("auto", "event", "fast", "kernel")
 
 
 # ---------------------------------------------------------------------------
@@ -689,7 +689,8 @@ class TrialSpec:
         model: the scheduling model (noisy / step / hybrid).
         protocol: which protocol the processes run.
         failures: failure injection configuration.
-        engine: ``"auto"``, ``"event"``, or ``"fast"`` (noisy model only).
+        engine: ``"auto"``, ``"event"``, ``"fast"``, or ``"kernel"``
+            (noisy model only).
         inputs: ``"half"`` for the paper's half-and-half split, or an
             explicit tuple of ``(pid, bit)`` pairs (sequences/dicts of bits
             are normalized at construction).

@@ -47,6 +47,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro._rng import SeedLike, make_rng
+from repro._seedhash import SeedBlock
 from repro.errors import ConfigurationError
 from repro.sim.frame import ResultFrame
 from repro.api.batch import BatchRunner, trial_seed_sequences
@@ -54,7 +55,7 @@ from repro.api.spec import SPEC_VERSION, TrialSpec, _freeze_params
 
 #: Bump when an engine/compiler change may alter trial results; stale
 #: cache entries then miss instead of resurrecting old numbers.
-CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-frame1"
+CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-kernel1"
 
 
 def _replace_field(obj, parts: Sequence[str], value):
@@ -297,26 +298,52 @@ def run_sweep(sweep: SweepSpec, seed: SeedLike = None,
     loads matching cells instead of recomputing them; cache hits still
     burn the cell's child-seed block so the remaining cells draw
     identical seeds.  Cells with non-serializable specs always compute.
+
+    Int (and fresh ``SeedSequence``) seeds take an *analytic* lane: each
+    cell's child-seed block is derived as a :class:`SeedBlock` instead
+    of spawning one ``SeedSequence`` object per trial — the same
+    ``(entropy, spawn_key)`` identities (bit-identical results, pinned
+    by the golden stdout tests), with per-trial object construction
+    gone.  Live ``Generator`` roots keep the mutating legacy spawn so
+    harnesses that thread one root through several calls still observe
+    its counter advance; fresh ``SeedSequence`` roots are treated as
+    pure values (their counter is *not* advanced — the same exception
+    :func:`~repro.api.compile.run_trials_frame` documents).
     """
     runner = runner if runner is not None else BatchRunner(workers=workers)
-    root = make_rng(seed)
-    entropy, spawn_key, spawned = _seed_fingerprint(root)
+    if isinstance(seed, np.random.Generator):
+        root = seed
+        root_seq = None
+        entropy, spawn_key, spawned = _seed_fingerprint(root)
+    else:
+        root = None
+        root_seq = (seed if isinstance(seed, np.random.SeedSequence)
+                    else np.random.SeedSequence(seed))
+        entropy = root_seq.entropy
+        spawn_key = tuple(root_seq.spawn_key)
+        spawned = int(root_seq.n_children_spawned)
     cells = sweep.cells()
     frames: List[ResultFrame] = []
     hits = 0
     expanded = cache_dir and os.path.expanduser(cache_dir)
     for cell in cells:
         key = None
+        offset = spawned + cell.index * sweep.trials
         if expanded and cell.spec.serializable:
             key = _cell_cache_key(cell, sweep.trials, entropy, spawn_key,
-                                  spawned + cell.index * sweep.trials)
+                                  offset)
             cached = _cache_load(expanded, key, cell.spec)
             if cached is not None and len(cached) == sweep.trials:
-                trial_seed_sequences(root, sweep.trials)  # burn the block
+                if root is not None:
+                    trial_seed_sequences(root, sweep.trials)  # burn
                 frames.append(cached)
                 hits += 1
                 continue
-        frame = runner.run_frame(cell.spec, sweep.trials, seed=root)
+        cell_seed = (root if root is not None
+                     else SeedBlock(entropy, spawn_key, offset,
+                                    sweep.trials,
+                                    pool_size=root_seq.pool_size))
+        frame = runner.run_frame(cell.spec, sweep.trials, seed=cell_seed)
         if key is not None:
             _cache_store(expanded, key, frame)
         frames.append(frame)

@@ -1,0 +1,221 @@
+"""Benchmark trajectory: engine-throughput workloads, table, and ledger.
+
+The repository tracks fast-path performance across PRs in a repo-root
+``BENCH_results.json`` ledger: one appended entry per benchmark run
+(labelled, typically per PR), each recording frame-path vs. lockstep-
+kernel trials/sec on two canonical workloads:
+
+* **figure1-shaped** — the left edge of the paper's Figure-1 grid
+  (exponential(1) interarrivals, dithered equal starts, half-and-half
+  inputs, stop at the first decision) at the paper's per-point trial
+  count;
+* **scaling-shaped** — one mid-scale n of the scaling sweep, same
+  protocol and stopping rule, inside the kernel's auto range.
+
+``python -m repro bench`` runs the suite, prints the table, and appends
+an entry; ``benchmarks/test_bench_kernel.py`` drives the same functions
+under pytest (with the wall-clock-gated speedup assertion) so CI and the
+CLI measure identical workloads.  Identity between the two engines is
+asserted unconditionally in both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+#: The repo-root ledger (the CLI resolves it relative to this package's
+#: checkout so it works from any working directory).
+LEDGER_NAME = "BENCH_results.json"
+
+
+def default_ledger_path() -> str:
+    """``<repo-root>/BENCH_results.json`` for an in-tree checkout."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(os.path.join(here, "..", "..", LEDGER_NAME))
+
+
+def _timed(fn, reps: int = 2):
+    """Best-of-``reps`` wall clock, GC parked (the standard timeit
+    discipline — a collection pause inside one run would otherwise put
+    noise straight into the speedup ratio)."""
+    import gc
+
+    result, best = None, float("inf")
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if enabled:
+            gc.enable()
+    return result, best
+
+
+def _engine_pair(n: int, trials: int, seed: int) -> Dict[str, object]:
+    """Frame path vs. kernel path on one Figure-1-style cell."""
+    from repro.api import BatchRunner, NoiseSpec, NoisyModelSpec, TrialSpec
+
+    runner = BatchRunner()
+    fast = TrialSpec(n=n, model=NoisyModelSpec(
+        noise=NoiseSpec.of("exponential", mean=1.0)),
+        engine="fast", stop_after_first_decision=True)
+    kernel = fast.replace(engine="kernel")
+    # Warm both paths (imports, allocator, numpy dispatch).
+    runner.run_frame(fast, min(200, trials), seed=1)
+    runner.run_frame(kernel, min(200, trials), seed=1)
+    frame, frame_s = _timed(lambda: runner.run_frame(fast, trials,
+                                                     seed=seed))
+    kern, kernel_s = _timed(lambda: runner.run_frame(kernel, trials,
+                                                     seed=seed))
+    identical = all(
+        frame.column(c).tolist() == kern.column(c).tolist()
+        for c in ("total_ops", "first_decision_round",
+                  "first_decision_ops", "max_round", "preference_changes",
+                  "decisions", "halted"))
+    return {"n": n, "trials": trials, "frame_seconds": frame_s,
+            "kernel_seconds": kernel_s, "identical": identical}
+
+
+def figure1_shaped(trials: int = 10_000, ns=(1, 10),
+                   seed: int = 2000) -> Dict[str, object]:
+    """The figure1-shaped engine comparison (frame vs. kernel)."""
+    cells = [_engine_pair(n, trials, seed) for n in ns]
+    frame_s = sum(c["frame_seconds"] for c in cells)
+    kernel_s = sum(c["kernel_seconds"] for c in cells)
+    total = trials * len(ns)
+    return {
+        "workload": ("figure1-shaped: exponential(1), dithered starts, "
+                     "stop at first decision"),
+        "ns": list(ns), "trials_per_point": trials,
+        "frame_seconds": round(frame_s, 3),
+        "kernel_seconds": round(kernel_s, 3),
+        "frame_trials_per_sec": round(total / max(frame_s, 1e-9), 1),
+        "kernel_trials_per_sec": round(total / max(kernel_s, 1e-9), 1),
+        "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
+        "identical": all(c["identical"] for c in cells),
+    }
+
+
+def scaling_shaped(trials: int = 4_000, n: int = 64,
+                   seed: int = 2000) -> Dict[str, object]:
+    """The scaling-shaped engine comparison (one mid-scale n)."""
+    cell = _engine_pair(n, trials, seed)
+    frame_s, kernel_s = cell["frame_seconds"], cell["kernel_seconds"]
+    return {
+        "workload": ("scaling-shaped: exponential(1), dithered starts, "
+                     "stop at first decision, mid-scale n"),
+        "n": n, "trials": trials,
+        "frame_seconds": round(frame_s, 3),
+        "kernel_seconds": round(kernel_s, 3),
+        "frame_trials_per_sec": round(trials / max(frame_s, 1e-9), 1),
+        "kernel_trials_per_sec": round(trials / max(kernel_s, 1e-9), 1),
+        "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
+        "identical": cell["identical"],
+    }
+
+
+def load_ledger(path: str) -> Dict[str, List[dict]]:
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        if isinstance(data, dict) and isinstance(data.get("entries"), list):
+            return data
+        # Pre-ledger format (a single PR-3 benchmark payload): keep it
+        # as the trajectory's first entry.
+        return {"entries": [{"label": "imported", "results": data}]}
+    return {"entries": []}
+
+
+def append_entry(path: str, label: str, results: Dict[str, dict]) -> dict:
+    """Append one labelled benchmark entry to the ledger (atomic-ish)."""
+    ledger = load_ledger(path)
+    entry = {"label": label,
+             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+             "results": results}
+    ledger["entries"].append(entry)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(ledger, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return entry
+
+
+def latest_result(path: str, workload: str) -> Optional[dict]:
+    """The most recent ledger entry carrying ``workload``, or ``None``."""
+    for entry in reversed(load_ledger(path)["entries"]):
+        result = entry.get("results", {}).get(workload)
+        if result is not None:
+            return result
+    return None
+
+
+def format_table(results: Dict[str, dict]) -> str:
+    """The ledger results as a fixed-width table."""
+    from repro.experiments._common import format_table as table
+
+    rows = []
+    for name, r in results.items():
+        rows.append([
+            name,
+            r.get("n", ",".join(str(v) for v in r.get("ns", []))),
+            r.get("trials", r.get("trials_per_point")),
+            f"{r['frame_trials_per_sec']:,.0f}",
+            f"{r['kernel_trials_per_sec']:,.0f}",
+            f"{r['kernel_speedup']:.2f}x",
+            "yes" if r["identical"] else "NO",
+        ])
+    return table(
+        ["workload", "n", "trials/pt", "frame/s", "kernel/s",
+         "speedup", "bit-identical"],
+        rows, title="Engine benchmark: frame path vs. lockstep kernel")
+
+
+def run_suite(trials: int = 10_000,
+              scaling_trials: int = 4_000) -> Dict[str, dict]:
+    return {
+        "figure1_shaped": figure1_shaped(trials=trials),
+        "scaling_shaped": scaling_shaped(trials=scaling_trials),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the engine benchmark suite and record the "
+                    "trajectory ledger.")
+    parser.add_argument("--trials", type=int, default=10_000,
+                        help="trials per figure1-shaped point "
+                             "(default: the paper's 10,000)")
+    parser.add_argument("--scaling-trials", type=int, default=4_000,
+                        help="trials for the scaling-shaped point")
+    parser.add_argument("--label", default="manual",
+                        help="ledger entry label (e.g. 'PR 4')")
+    parser.add_argument("--out", default=None,
+                        help=f"ledger path (default: repo-root "
+                             f"{LEDGER_NAME})")
+    parser.add_argument("--no-append", action="store_true",
+                        help="print the table without touching the ledger")
+    args = parser.parse_args(argv)
+    results = run_suite(trials=args.trials,
+                        scaling_trials=args.scaling_trials)
+    print(format_table(results))
+    if not args.no_append:
+        path = args.out or default_ledger_path()
+        append_entry(path, args.label, results)
+        print(f"\nrecorded entry {args.label!r} in {path}")
+    if not all(r["identical"] for r in results.values()):
+        print("ERROR: kernel results diverged from the frame path")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

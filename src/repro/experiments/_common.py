@@ -82,13 +82,17 @@ def scale_parser(description: str) -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for batched sweeps "
                              "(default: serial; results are identical)")
-    parser.add_argument("--engine", choices=("auto", "event", "fast"),
+    parser.add_argument("--engine",
+                        choices=("auto", "event", "fast", "kernel"),
                         default=None,
                         help="simulation engine for the sweeps "
                              "(default: the experiment's own choice; "
                              "'fast' forces the vectorized replay at any "
-                             "n, composes with --workers, and is what "
-                             "makes the --paper scale affordable)")
+                             "n, 'kernel' the trial-parallel lockstep "
+                             "replay — bit-identical to 'fast', fastest "
+                             "at high trial counts; both compose with "
+                             "--workers and make the --paper scale "
+                             "affordable)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="opt-in on-disk sweep cache: finished grid "
                              "cells are persisted (keyed by spec + seed + "

@@ -1,13 +1,14 @@
 """Cross-engine differential oracle.
 
-The vectorized replays of :mod:`repro.sim.fast` and the event-driven
+The vectorized replays of :mod:`repro.sim.fast`, the trial-parallel
+lockstep kernel of :mod:`repro.sim.kernel`, and the event-driven
 reference engine realize the *same* abstract execution whenever they
 consume the same schedule: the noisy model is oblivious, so a pre-sampled
 ``(n, max_ops)`` completion-time matrix (plus a per-process death
 schedule and, for coin protocols, per-process coin streams) pins the
 interleaving completely.  This module pre-samples exactly one such
-schedule per (spec, seed), feeds it to both engines, and compares every
-engine-independent observable:
+schedule per (spec, seed), feeds it to all three engines, and compares
+every engine-independent observable:
 
 * per-process decision values, rounds, and operation counts;
 * the halted-process set;
@@ -48,6 +49,7 @@ from repro.sched.noisy import NoisyScheduler, PresampledScheduler
 from repro.sim.build import check_result, make_machines, make_memory_for
 from repro.sim.engine import NoisyEngine
 from repro.sim.fast import FAST_VARIANTS, lean_horizon_ops, replay
+from repro.sim.kernel import lean_flip_bound, replay_chunk
 from repro.sim.results import TrialResult
 from repro.api.spec import NoisyModelSpec, TrialSpec
 
@@ -188,6 +190,12 @@ def run_differential(spec: TrialSpec, seed=None,
             "prefix " + m for m in compare_results(prefix_result,
                                                    fast_result))
 
+    # ... and the trial-parallel lockstep kernel, as a one-trial chunk
+    # over the identical tensor (whole-schedule semantics, matching the
+    # full scalar replay above), with twin pre-sampled coin flips.
+    mismatches.extend(_kernel_mismatches(spec, times, death_ops,
+                                         coin_seqs, inputs, fast_result))
+
     report = DifferentialReport(
         spec=spec, fast=fast_result, event=event_result, horizon=horizon,
         mismatches=mismatches)
@@ -205,6 +213,51 @@ def assert_equivalent(spec: TrialSpec, seed=None,
             f"(n={spec.n}, protocol={spec.protocol.name!r}, "
             f"h={spec.failures.h}):\n  {detail}")
     return report
+
+
+def _kernel_mismatches(spec: TrialSpec, times: np.ndarray, death_ops,
+                       coin_seqs, inputs, fast: TrialResult) -> List[str]:
+    """Replay the shared schedule through the lockstep kernel, described.
+
+    The kernel consumes the exact ``(n, max_ops)`` tensor as a one-trial
+    chunk; every observable it reports must equal the scalar replay's.
+    """
+    n, max_ops = times.shape
+    flips = None
+    if coin_seqs is not None:
+        flips = np.empty((n, 1, lean_flip_bound(max_ops)), np.int8)
+        for pid, seq in enumerate(coin_seqs):
+            flips[pid, 0] = _gen(seq).integers(0, 2,
+                                               size=flips.shape[2])
+    out = replay_chunk(times[:, None, :], inputs,
+                       variant=spec.protocol.name,
+                       death_ops=(death_ops[:, None]
+                                  if death_ops is not None else None),
+                       tie_flips=flips,
+                       stop_after_first_decision=
+                       spec.stop_after_first_decision,
+                       horizon_is_final=True)
+    if out.overflow[0]:
+        return ["kernel replay overflowed where the full replay "
+                "completed"]
+    mismatches = []
+    fast_dec = tuple((pid, d.value, d.round, d.ops)
+                     for pid, d in fast.decisions.items())
+    if out.decisions[0] != fast_dec:
+        mismatches.append(
+            f"kernel decisions differ: kernel={out.decisions[0]} "
+            f"fast={fast_dec}")
+    if set(out.halted[0]) != fast.halted:
+        mismatches.append(
+            f"kernel halted sets differ: kernel={sorted(out.halted[0])} "
+            f"fast={sorted(fast.halted)}")
+    for name, value in (("total_ops", out.total_ops[0]),
+                        ("max_round", out.max_round[0]),
+                        ("preference_changes", out.preference_changes[0])):
+        if int(value) != getattr(fast, name):
+            mismatches.append(f"kernel {name} differs: {int(value)} != "
+                              f"{getattr(fast, name)}")
+    return mismatches
 
 
 def _run_event(spec: TrialSpec, times: np.ndarray,

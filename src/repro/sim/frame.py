@@ -219,6 +219,29 @@ class ResultFrame:
 _NAN = float("nan")
 
 
+def derive_decision_fields(decisions):
+    """Derived per-trial decision columns from the chronological tuples.
+
+    The single source of the (n_decided, n_distinct, first/last rounds,
+    decided_value-NaN-on-disagreement) rule, shared by the fast sink and
+    the kernel's overflow-fallback row writer.
+    """
+    if not decisions:
+        return 0, 0, _NAN, _NAN, _NAN, _NAN
+    first = decisions[0]
+    value = first[1]
+    distinct = 1
+    for dec in decisions:
+        if dec[1] != value:
+            distinct = 2
+            break
+    # NaN on disagreement, mirroring append_result's semantics
+    # (reachable only on check=False runs of unsafe variants).
+    decided_value = value if distinct == 1 else _NAN
+    return (len(decisions), distinct, first[2], first[3],
+            decisions[-1][2], decided_value)
+
+
 class FrameBuilder:
     """Row-at-a-time accumulator producing a :class:`ResultFrame`.
 
@@ -238,12 +261,20 @@ class FrameBuilder:
         self._inputs = inputs
         self._engine = engine
         self._engine_reason = engine_reason
-        # One tuple per trial in ALL_COLUMNS order, transposed at build()
-        # — a single append per trial on the fast-engine hot path.
-        self._rows: List[tuple] = []
+        # Ordered segments: ("rows", [tuple, ...]) runs of per-trial
+        # appends (one tuple per trial in ALL_COLUMNS order, transposed
+        # at build()) interleaved with ("block", count, {column: array})
+        # whole-chunk appends from the lockstep kernel.
+        self._segments: List[tuple] = []
+        self._count = 0
+
+    def _rows(self) -> List[tuple]:
+        if not self._segments or self._segments[-1][0] != "rows":
+            self._segments.append(("rows", []))
+        return self._segments[-1][1]
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._count
 
     def append_fast(self, decisions: Tuple[Tuple[int, int, int, int], ...],
                     halted: Tuple[int, ...], total_ops: int, max_round: int,
@@ -251,28 +282,16 @@ class FrameBuilder:
         """Append one fast-engine trial from its raw replay outcome.
 
         ``decisions`` is the chronological (pid, value, round, ops) tuple;
-        the derived first/last/distinct columns are computed here, and no
-        ``TrialResult`` (or per-trial dict/set) ever exists.
+        the derived first/last/distinct columns are computed here
+        (:func:`derive_decision_fields`), and no ``TrialResult`` (or
+        per-trial dict/set) ever exists.
         """
-        if decisions:
-            first = decisions[0]
-            value = first[1]
-            distinct = 1
-            for dec in decisions:
-                if dec[1] != value:
-                    distinct = 2
-                    break
-            first_round, first_ops = first[2], first[3]
-            last_round = decisions[-1][2]
-            # NaN on disagreement, mirroring append_result's semantics
-            # (reachable only on check=False runs of unsafe variants).
-            decided_value = value if distinct == 1 else _NAN
-        else:
-            first_round = first_ops = last_round = decided_value = _NAN
-            distinct = 0
-        self._rows.append((
+        (n_decided, distinct, first_round, first_ops, last_round,
+         decided_value) = derive_decision_fields(decisions)
+        self._count += 1
+        self._rows().append((
             self._n, total_ops, 0, max_round, preference_changes,
-            len(decisions), distinct, len(halted),
+            n_decided, distinct, len(halted),
             first_round, first_ops, _NAN, last_round, _NAN, decided_value,
             False,
             self._inputs, decisions, halted, self._engine,
@@ -285,7 +304,8 @@ class FrameBuilder:
         def opt(value):
             return _NAN if value is None else value
 
-        self._rows.append((
+        self._count += 1
+        self._rows().append((
             result.n, result.total_ops, result.used_backup,
             result.max_round, result.preference_changes,
             len(result.decisions), len(values), len(result.halted),
@@ -299,22 +319,92 @@ class FrameBuilder:
                   for pid, dec in result.decisions.items()),
             tuple(result.halted), result.engine, result.engine_reason))
 
+    def append_block(self, count: int, total_ops, max_round,
+                     preference_changes, n_decided, n_distinct, n_halted,
+                     first_round, first_ops, last_round, decided_value,
+                     decisions, halted) -> None:
+        """Append a whole chunk of fast-engine trials as ready columns.
+
+        The lockstep kernel produces its outcomes as arrays over the
+        trial axis; this path adopts them without a per-trial append.
+        ``decisions``/``halted`` are lists of the per-trial payload
+        tuples ``append_fast`` takes; constant columns (``n``, inputs,
+        engine labels, the event-engine-only optionals) are filled from
+        the builder's per-batch fields.
+        """
+        self._count += count
+        self._segments.append(("block", count, {
+            "total_ops": total_ops, "max_round": max_round,
+            "preference_changes": preference_changes,
+            "n_decided": n_decided, "n_distinct_decisions": n_distinct,
+            "n_halted": n_halted, "first_decision_round": first_round,
+            "first_decision_ops": first_ops,
+            "last_decision_round": last_round,
+            "decided_value": decided_value,
+            "decisions": decisions, "halted": halted,
+        }))
+
+    #: Per-column constant fill for block segments (columns the fast
+    #: engines never populate per trial).
+    _BLOCK_DEFAULTS = {
+        "used_backup": 0, "first_decision_time": _NAN, "sim_time": _NAN,
+        "budget_exhausted": False,
+    }
+
+    def _block_column(self, name: str, count: int, data: Dict) -> "np.ndarray | list":
+        if name in data:
+            return data[name]
+        if name == "n":
+            return np.full(count, self._n, np.int64)
+        if name == "inputs":
+            return [self._inputs] * count
+        if name == "engine":
+            return [self._engine] * count
+        if name == "engine_reason":
+            return [self._engine_reason] * count
+        value = self._BLOCK_DEFAULTS[name]
+        if name in BOOL_COLUMNS:
+            return np.full(count, value, bool)
+        if name in FLOAT_COLUMNS:
+            return np.full(count, value, np.float64)
+        return np.full(count, value, np.int64)
+
     def build(self) -> ResultFrame:
-        if self._rows:
-            transposed = list(zip(*self._rows))
-        else:
-            transposed = [()] * len(ALL_COLUMNS)
-        columns: Dict[str, np.ndarray] = {}
-        for i, name in enumerate(ALL_COLUMNS):
-            values = transposed[i]
-            if name in INT_COLUMNS:
-                columns[name] = np.asarray(values, dtype=np.int64)
-            elif name in FLOAT_COLUMNS:
-                columns[name] = np.asarray(values, dtype=np.float64)
-            elif name in BOOL_COLUMNS:
-                columns[name] = np.asarray(values, dtype=bool)
+        parts: Dict[str, list] = {name: [] for name in ALL_COLUMNS}
+        for segment in self._segments:
+            if segment[0] == "rows":
+                rows = segment[1]
+                if not rows:
+                    continue
+                transposed = list(zip(*rows))
+                for i, name in enumerate(ALL_COLUMNS):
+                    parts[name].append(transposed[i])
             else:
-                arr = np.empty(len(values), dtype=object)
-                arr[:] = values
+                _, count, data = segment
+                for name in ALL_COLUMNS:
+                    parts[name].append(self._block_column(name, count,
+                                                          data))
+        columns: Dict[str, np.ndarray] = {}
+        for name in ALL_COLUMNS:
+            if name in INT_COLUMNS:
+                dtype = np.int64
+            elif name in FLOAT_COLUMNS:
+                dtype = np.float64
+            elif name in BOOL_COLUMNS:
+                dtype = bool
+            else:
+                arr = np.empty(self._count, dtype=object)
+                offset = 0
+                for part in parts[name]:
+                    arr[offset:offset + len(part)] = part
+                    offset += len(part)
                 columns[name] = arr
+                continue
+            if len(parts[name]) == 1:
+                columns[name] = np.asarray(parts[name][0], dtype=dtype)
+            elif parts[name]:
+                columns[name] = np.concatenate(
+                    [np.asarray(part, dtype=dtype) for part in parts[name]])
+            else:
+                columns[name] = np.asarray((), dtype=dtype)
         return ResultFrame(columns, spec=self.spec)

@@ -1,0 +1,749 @@
+"""Trial-parallel lockstep replay kernel.
+
+The fast engine of :mod:`repro.sim.fast` replays one pre-sampled schedule
+per call: a tight Python loop over that trial's events.  At sweep scale
+(Figure 1 is 10,000 trials per grid point) the interpreter executes
+``trials x events`` iterations — the dominant cost of the PR-3 frame
+pipeline.  This module replays **all trials of a chunk simultaneously**:
+one Python loop over the *global lockstep index*, where iteration ``j``
+executes the ``j``-th event of every still-running trial with numpy
+operations over the trials axis.
+
+Event order without an argsort
+------------------------------
+
+The scalar replay argsorts the flattened schedule to obtain the global
+interleaving (and needs a starvation guard when it argsorts only a
+column prefix).  The kernel instead maintains, per (process, trial), the
+*next* completion time ``NT`` and picks each trial's next event as
+``NT.argmin`` down the process axis — the exact k-way merge of the
+per-process (sorted) schedule rows.  This produces the true time order
+directly, so a trial that reaches its stopping condition strictly inside
+the sampled horizon provably matches the infinite-horizon replay: every
+unseen operation's completion time exceeds every executed one.
+
+Ragged horizons and the scalar fallback
+---------------------------------------
+
+Trials finish at different lockstep indices: finished trials park every
+``NT`` entry at ``+inf`` (and are periodically compacted away).  When a
+still-running trial's process consumes its whole sampled horizon the
+trial's remaining order is unknowable; it is marked ``overflow`` and the
+caller finishes it on the scalar replay with a grown horizon (the
+sampling lane of :mod:`repro.sim.sampler` makes the regrown schedule an
+exact extension, so the fallback stays bit-identical).
+
+The kernel covers the full :data:`repro.sim.fast.FAST_VARIANTS` family —
+the ``lag`` variants share one lockstep loop, the Section-4 elision
+variant has its own — plus per-process crash schedules (``death_ops``)
+and pre-sampled per-process coin flips for the random-tie rule.
+Bit-identity against the scalar replay on the same tensor is pinned by
+``tests/test_kernel.py`` and the extended differential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.fast import FAST_VARIANTS, replay
+
+_INF = np.inf
+
+#: Compact the trial axis when at least this fraction has finished.
+_COMPACT_FRACTION = 0.25
+#: ... but never below this many slots (compaction is then pure overhead).
+_COMPACT_MIN = 256
+
+
+@dataclass
+class KernelResult:
+    """One chunk's outcomes, columnar over the trial axis.
+
+    Trials flagged in :attr:`overflow` carry no outcome (the caller
+    replays them on the scalar path with a larger horizon); every other
+    field matches the scalar replay of the same schedule bit for bit.
+    ``decisions``/``halted`` hold one chronological tuple per trial —
+    the exact payloads :meth:`repro.sim.frame.FrameBuilder.append_fast`
+    takes.
+    """
+
+    overflow: np.ndarray
+    total_ops: np.ndarray
+    max_round: np.ndarray
+    preference_changes: np.ndarray
+    n_decided: np.ndarray
+    n_distinct: np.ndarray
+    n_halted: np.ndarray
+    first_round: np.ndarray
+    first_ops: np.ndarray
+    last_round: np.ndarray
+    decided_value: np.ndarray
+    decisions: List[tuple]
+    halted: List[tuple]
+
+
+def lean_flip_bound(k: int) -> int:
+    """Coin flips per process a ``k``-op replay can consume (ties <= rounds)."""
+    return k // 4 + 2
+
+
+def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
+                 death_ops: Optional[np.ndarray] = None,
+                 tie_flips: Optional[np.ndarray] = None,
+                 stop_after_first_decision: bool = True,
+                 horizon_is_final: bool = False,
+                 trials_major: bool = False) -> KernelResult:
+    """Replay every trial of a chunk in lockstep.
+
+    Args:
+        times: ``(n, trials, k)`` completion-time tensor, C-contiguous;
+            ``times[i, t, j]`` is trial ``t``'s completion time of
+            process ``i``'s (j+1)-th operation (rows increasing in j).
+        inputs: per-process input bits (shared by all trials).
+        variant: a :data:`~repro.sim.fast.FAST_VARIANTS` protocol name.
+        death_ops: optional ``(n, trials)`` 1-based op index before which
+            each process halts (huge sentinel for survivors).
+        tie_flips: pre-sampled ``(n, trials, flips)`` coin bits for the
+            random-tie rule (each process consumes its row in order, the
+            same sequence its ``tie_rngs`` generator would produce);
+            required for ``"random-tie"``, ignored otherwise.
+        stop_after_first_decision: stop each trial at its first decision.
+        trials_major: ``times`` is laid out ``(trials, k, n)`` instead —
+            the natural shape of the batched per-trial draws, accepted
+            directly so callers skip a 10-million-element transpose.
+        horizon_is_final: the tensor is the trial's *whole* schedule
+            (legacy-lane semantics): a process that consumes all ``k``
+            ops simply runs out of events and the trial continues —
+            overflow then means every process drained before the stop,
+            exactly when the scalar full-matrix replay returns ``None``.
+            With ``False`` (inverse-lane semantics) the tensor is a
+            prefix of an infinite schedule, so a drained live process
+            immediately overflows its trial (its unseen next event could
+            precede — and change — anything that follows).
+
+    Returns:
+        A :class:`KernelResult` over the chunk.
+    """
+    cfg = FAST_VARIANTS.get(variant)
+    if cfg is None:
+        raise ConfigurationError(
+            f"protocol {variant!r} has no vectorized replay; supported: "
+            f"{sorted(FAST_VARIANTS)}")
+    if times.ndim != 3:
+        raise SimulationError(
+            f"times must be a 3-D schedule tensor, got shape {times.shape}")
+    if trials_major:
+        trials, k, n = times.shape
+    else:
+        n, trials, k = times.shape
+    if len(inputs) != n:
+        raise SimulationError(f"{len(inputs)} inputs for {n} processes")
+    if cfg.random_tie and tie_flips is None and n > 1:
+        # (A solo process never reaches a contended tie, so the n == 1
+        # broadcast below needs no coin stream.)
+        raise ConfigurationError(
+            "random-tie lockstep replay requires pre-sampled tie_flips")
+    if trials == 0:
+        return _empty_result()
+    if n == 1 and death_ops is None:
+        # Before the tensor copy below: the broadcast never reads times.
+        return _broadcast_single_process(trials, k, inputs, variant,
+                                         stop_after_first_decision)
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    pack = not horizon_is_final and 1 < n <= 64
+    loop = _lockstep_optimized if cfg.optimized else _lockstep_lean
+    return loop(times, trials_major, inputs, cfg, death_ops,
+                tie_flips if cfg.random_tie else None,
+                stop_after_first_decision, horizon_is_final, pack)
+
+
+def _empty_result() -> KernelResult:
+    zi = np.zeros(0, np.int64)
+    zf = np.zeros(0, np.float64)
+    return KernelResult(np.zeros(0, bool), zi, zi.copy(), zi.copy(),
+                        zi.copy(), zi.copy(), zi.copy(), zf, zf.copy(),
+                        zf.copy(), zf.copy(), [], [])
+
+
+def _broadcast_single_process(trials, k, inputs, variant, stop_first):
+    """n == 1, no crashes: the outcome is schedule-independent.
+
+    A lone process's events happen in its own program order whatever the
+    completion times, so one scalar replay on a placeholder schedule
+    yields the chunk's shared outcome; broadcasting it is bit-identical
+    to replaying each trial (pinned by tests/test_kernel.py).  The
+    random-tie variant gets a placeholder coin too: a solo process never
+    reads a contended tie (the only writer of either bit is itself, and
+    it reads before it writes), so no flip is ever drawn.
+    """
+    probe = np.arange(1.0, k + 1.0)[None, :]
+    dummy_coins = ([np.random.Generator(np.random.PCG64(0))]
+                   if FAST_VARIANTS[variant].random_tie else None)
+    result = replay(probe, list(inputs), variant=variant,
+                    tie_rngs=dummy_coins,
+                    stop_after_first_decision=stop_first)
+    if result is None:  # horizon shorter than the fixed solo run
+        out = _empty_result()
+        return KernelResult(
+            np.ones(trials, bool),
+            *(np.zeros(trials, c.dtype) for c in
+              (out.total_ops, out.max_round, out.preference_changes,
+               out.n_decided, out.n_distinct, out.n_halted,
+               out.first_round, out.first_ops, out.last_round,
+               out.decided_value)),
+            decisions=[()] * trials, halted=[()] * trials)
+
+    def full(value, dtype):
+        return np.full(trials, value, dtype)
+
+    decisions = tuple((pid, dec.value, dec.round, dec.ops)
+                      for pid, dec in result.decisions.items())
+    first = decisions[0] if decisions else None
+    return KernelResult(
+        overflow=np.zeros(trials, bool),
+        total_ops=full(result.total_ops, np.int64),
+        max_round=full(result.max_round, np.int64),
+        preference_changes=full(result.preference_changes, np.int64),
+        n_decided=full(len(decisions), np.int64),
+        n_distinct=full(1 if decisions else 0, np.int64),
+        n_halted=full(0, np.int64),
+        first_round=full(first[2] if first else np.nan, np.float64),
+        first_ops=full(first[3] if first else np.nan, np.float64),
+        last_round=full(decisions[-1][2] if decisions else np.nan,
+                        np.float64),
+        decided_value=full(first[1] if first else np.nan, np.float64),
+        decisions=[decisions] * trials,
+        halted=[()] * trials)
+
+
+class _ChunkState:
+    """Mutable lockstep state shared by the two variant loops.
+
+    Trial-axis arrays are kept *compact*: ``orig`` maps compact slots to
+    original trial indices (``times``/``death_ops``/``tie_flips`` are
+    indexed through it, per-trial state through the slot).  Per-process
+    state lives in flat ``(n * m,)`` arrays indexed ``pid * m + slot``.
+    """
+
+    #: Retirement sentinel for packed mode — a huge finite float64 whose
+    #: low mantissa bits are zero, so a retired column's "pid" reads 0.
+    _DEAD_PACKED = np.frombuffer(
+        (np.uint64(0x7FE0000000000000)).tobytes(), np.float64)[0]
+
+    def __init__(self, times, trials_major, inputs, rounds_cap, death_ops,
+                 tie_flips, pack=False):
+        if trials_major:
+            trials, k, n = times.shape
+        else:
+            n, trials, k = times.shape
+        self.n, self.trials, self.k = n, trials, k
+        self.trials_major = trials_major
+        self.R = rounds_cap
+        self.m = trials
+        self.timesf = times.reshape(-1)
+        self.deathsf = (None if death_ops is None
+                        else np.ascontiguousarray(
+                            death_ops, dtype=np.int64).reshape(-1))
+        self.flipsf = (None if tie_flips is None
+                       else np.ascontiguousarray(
+                           tie_flips, dtype=np.int8).reshape(-1))
+        self.F = 0 if tie_flips is None else tie_flips.shape[2]
+        m = trials
+        self.cols = np.arange(m, dtype=np.int64)
+        self.orig = self.cols.copy()
+        if trials_major:
+            self.NT = np.ascontiguousarray(times[:, 0, :].T)
+        else:
+            self.NT = np.ascontiguousarray(times[:, :, 0])
+        # Smallest unsigned dtype for the multiply-sum pid extraction.
+        self.pid_col = np.arange(n, dtype=(np.uint8 if n <= 255
+                                           else np.int64))[:, None]
+        # Packed-pid mode: the owner pid rides in the low mantissa bits
+        # of every NT entry, so the column min *is* the event pick (see
+        # _pick_events).  All times are positive, so float order equals
+        # uint64 bit order and the perturbation (< 2**-46 relative for
+        # n <= 64) only reorders exact-collision events — which it then
+        # breaks by lowest pid, the scalar stable-argsort rule.
+        self.pack = pack
+        if pack:
+            self.pack_mask = np.uint64((1 << (n - 1).bit_length()) - 1)
+            self.dead = self._DEAD_PACKED
+            u = self.NT.view(np.uint64)
+            u &= ~self.pack_mask
+            u |= np.arange(n, dtype=np.uint64)[:, None]
+        else:
+            self.pack_mask = None
+            self.dead = _INF
+        # Packed per-process state; subclass loops define the layout.
+        self.opsf = np.zeros(n * m, np.int32)
+        self.codef = np.zeros(n * m, np.int32)   # round/step/flags pack
+        self.vpf = np.tile(np.asarray(inputs, np.int8), (m, 1)).T.reshape(-1).copy()
+        self.tiecntf = (np.zeros(n * m, np.int32)
+                        if tie_flips is not None else None)
+        # Shared a-bit planes: flat (2, R, m); a[x][0] starts set.
+        self.af = np.zeros(2 * self.R * m, np.uint8)
+        self.af[0:m] = 1
+        self.af[self.R * m:self.R * m + m] = 1
+        self.remaining = np.full(m, n, np.int32)
+        self.prefchg = np.zeros(m, np.int32)
+        # State-code unpacking, overridden by the variant loops.
+        self.round_shift = 2
+        self.round_mask = np.int32(0x3FF)
+        self.ops_shift = None
+        self.finished = np.zeros(m, bool)
+        self.alive = m
+        # Chunk outputs (original trial indexing).
+        self.overflow = np.zeros(trials, bool)
+        self.out_total = np.zeros(trials, np.int64)
+        self.out_maxr = np.zeros(trials, np.int64)
+        self.out_chg = np.zeros(trials, np.int64)
+        self.out_ndec = np.zeros(trials, np.int64)
+        self.out_nhalt = np.zeros(trials, np.int64)
+        self.out_firstr = np.full(trials, np.nan)
+        self.out_firsto = np.full(trials, np.nan)
+        self.out_lastr = np.full(trials, np.nan)
+        self._seen0 = np.zeros(trials, bool)
+        self._seen1 = np.zeros(trials, bool)
+        self.dec_records: list = []      # (trial, pid, value, round, ops)
+        self.halt_records: list = []     # (trial, pid)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def record_decisions(self, slots, pids, values, rounds, ops):
+        trials = self.orig[slots]
+        self.dec_records.extend(zip(
+            trials.tolist(), pids.tolist(), values.tolist(),
+            rounds.tolist(), ops.tolist()))
+        firsts = np.isnan(self.out_firstr[trials])
+        self.out_firstr[trials] = np.where(firsts, rounds,
+                                           self.out_firstr[trials])
+        self.out_firsto[trials] = np.where(firsts, ops,
+                                           self.out_firsto[trials])
+        self.out_lastr[trials] = rounds
+        self.out_ndec[trials] += 1
+        self._seen0[trials] |= values == 0
+        self._seen1[trials] |= values == 1
+
+    def record_halts(self, slots, pids):
+        trials = self.orig[slots]
+        self.halt_records.extend(zip(trials.tolist(), pids.tolist()))
+        self.out_nhalt[trials] += 1
+
+    def finish(self, slots):
+        """Emit outcomes for finishing slots and retire them.
+
+        The loops declare how to unpack their state codes via
+        ``round_shift``/``round_mask``/``ops_shift`` (the lean loop packs
+        the op counter into the code; the optimized loop keeps ``opsf``).
+        """
+        if not slots.size:
+            return
+        trials = self.orig[slots]
+        n, m = self.n, self.m
+        codes = self.codef.reshape(n, m)[:, slots]
+        if self.ops_shift is not None:
+            self.out_total[trials] = (codes >> self.ops_shift).sum(axis=0)
+        else:
+            self.out_total[trials] = \
+                self.opsf.reshape(n, m)[:, slots].sum(axis=0)
+        self.out_maxr[trials] = \
+            ((codes >> self.round_shift) & self.round_mask).max(axis=0)
+        self.out_chg[trials] = self.prefchg[slots]
+        self.finished[slots] = True
+        self.NT[:, slots] = self.dead
+        self.alive -= slots.size
+
+    def mark_overflow(self, slots):
+        if not slots.size:
+            return
+        self.overflow[self.orig[slots]] = True
+        self.finished[slots] = True
+        self.NT[:, slots] = self.dead
+        self.alive -= slots.size
+
+    def maybe_compact(self) -> None:
+        m = self.m
+        # After a compaction every kept slot is alive, so the finished
+        # count inside the current window is just m - alive: O(1).
+        done = m - self.alive
+        if m < _COMPACT_MIN or done < m * _COMPACT_FRACTION:
+            return
+        keep = ~self.finished
+        n, m2 = self.n, int(keep.sum())
+        self.NT = np.ascontiguousarray(self.NT[:, keep])
+        self.orig = self.orig[keep]
+        self.cols = np.arange(m2, dtype=np.int64)
+        for name in ("opsf", "codef", "vpf", "tiecntf"):
+            arr = getattr(self, name)
+            if arr is not None:
+                setattr(self, name,
+                        arr.reshape(n, m)[:, keep].copy().reshape(-1))
+        self.af = self.af.reshape(2 * self.R, m)[:, keep].copy().reshape(-1)
+        self.remaining = self.remaining[keep]
+        self.prefchg = self.prefchg[keep]
+        self.finished = np.zeros(m2, bool)
+        self.m = m2
+
+    def build(self, stop_first: bool) -> KernelResult:
+        if stop_first:
+            # At most one decision (and rarely any halt) per trial:
+            # assemble the per-trial tuples directly.
+            decisions: List[tuple] = [()] * self.trials
+            for rec in self.dec_records:
+                decisions[rec[0]] = (rec[1:],)
+            halted: List[tuple] = [()] * self.trials
+            for trial, pid in self.halt_records:
+                halted[trial] += (pid,)
+        else:
+            dec_lists: List[list] = [[] for _ in range(self.trials)]
+            for rec in self.dec_records:
+                dec_lists[rec[0]].append(rec[1:])
+            decisions = [tuple(d) for d in dec_lists]
+            halt_lists: List[list] = [[] for _ in range(self.trials)]
+            for trial, pid in self.halt_records:
+                halt_lists[trial].append(pid)
+            halted = [tuple(h) for h in halt_lists]
+        distinct = (self._seen0.astype(np.int64)
+                    + self._seen1.astype(np.int64))
+        value = np.where(self._seen0 & ~self._seen1, 0.0,
+                         np.where(self._seen1 & ~self._seen0, 1.0, np.nan))
+        return KernelResult(
+            overflow=self.overflow, total_ops=self.out_total,
+            max_round=self.out_maxr, preference_changes=self.out_chg,
+            n_decided=self.out_ndec, n_distinct=distinct,
+            n_halted=self.out_nhalt, first_round=self.out_firstr,
+            first_ops=self.out_firsto, last_round=self.out_lastr,
+            decided_value=value, decisions=decisions, halted=halted)
+
+
+def _pick_events(st: _ChunkState):
+    """Each active trial's next event: (pids, live mask) or None when done.
+
+    ``NT.min`` + an equality multiply-sum is an order of magnitude
+    faster than a direct ``argmin`` here (both reductions vectorize
+    across the trial axis, and bool argmax has no SIMD path at all).
+    Exact cross-process time ties — where the sum would blend two pids —
+    are measure-zero for the sampled schedules (the same assumption the
+    legacy dither already leans on).
+    """
+    tmin = st.NT.min(axis=0)
+    live = tmin != st.dead
+    if not live.any():
+        return None
+    if st.pack:
+        p = (tmin.view(np.uint64) & st.pack_mask).astype(np.int64)
+        return p, live
+    p = ((st.NT == tmin) * st.pid_col).sum(axis=0, dtype=np.int64)
+    # Finished slots match every +inf row at once, summing several pids;
+    # they are masked by ``live`` everywhere, but their state writes land
+    # on their own column, so the pid only needs to stay in range.
+    np.minimum(p, st.n - 1, out=p)
+    return p, live
+
+
+def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
+                   stop_first, final, pack=False):
+    """The four-step-round family (lean / conservative / eager / random-tie).
+
+    Per-process packed state mirrors :func:`repro.sim.fast.replay_lean`:
+    ``code = round * 4 + step`` and ``vp = v0 * 2 + pref``.
+    """
+    n, k = len(inputs), (times.shape[1] if trials_major
+                         else times.shape[2])
+    R = k // 4 + 2
+    if R > 0x3FF:
+        raise SimulationError(f"horizon {k} exceeds the packed-round range")
+    lag = np.int32(cfg.lag)
+    st = _ChunkState(times, trials_major, inputs, R, death_ops, tie_flips,
+                     pack=pack)
+    # code = ops << 12 | round << 2 | step: every transition the loop
+    # takes — step advance, round advance (4r+3+1 == 4(r+1)), decide
+    # (freeze round/step) — is code + 4097 - dec.
+    st.codef += np.int32(4)  # round 1, step 0, ops 0
+    st.ops_shift = 12
+    k_i32 = np.int32(k)
+
+    while st.alive:
+        picked = _pick_events(st)
+        if picked is None:
+            break
+        p, live = picked
+        m = st.m
+        flatS = p * m + st.cols
+        flatT = (p * st.trials + st.orig
+                 if (st.deathsf is not None or st.flipsf is not None
+                     or not st.trials_major) else None)
+        code = st.codef[flatS]
+        s = code & np.int32(3)
+        r = (code >> 2) & np.int32(0x3FF)
+        o = code >> 12
+        guarded = st.deathsf is not None
+        # Crash schedule: the event is consumed, the op is not executed.
+        if guarded:
+            dying = live & (o + 1 >= st.deathsf[flatT])
+            if dying.any():
+                dy = np.nonzero(dying)[0]
+                st.record_halts(dy, p[dy])
+                st.NT.reshape(-1)[flatS[dy]] = st.dead
+                st.remaining[dy] -= 1
+                st.finish(dy[st.remaining[dy] == 0])
+                live = live & ~dying
+                if not live.any():
+                    st.maybe_compact()
+                    continue
+        newo = o + 1
+        # Unguarded junk picks keep stepping a finished slot's own code,
+        # so the round used for *addressing* is clamped into the planes
+        # (live rounds provably stay below R).
+        rclip = np.minimum(r, np.int32(R - 1))
+        vp = st.vpf[flatS]
+        pref = vp & np.int8(1)
+        m64 = np.int64(m)
+        ar = rclip * m64 + st.cols
+        Rm = np.int64(R * m)
+
+        if guarded:
+            b0 = live & (s == 0)
+            b1 = live & (s == 1)
+            b2 = live & (s == 2)
+        else:
+            b0 = s == 0
+            b1 = s == 1
+            b2 = s == 2
+        b3 = live & (s == 3)
+
+        # Steps 0 and 1 read different planes at the same round index —
+        # one plane-selected gather serves both (av is a0[r] for step-0
+        # slots and a1[r] for step-1 slots; other slots read junk they
+        # never use).
+        av = st.af[b1 * Rm + ar]
+        # step 0: read a0[r] into v0.
+        new_vp = np.where(b0, (av << np.uint8(1)) | pref.view(np.uint8),
+                          vp.view(np.uint8)).astype(np.int8)
+        # step 1: read a1[r], adopt the leader (or flip on a contended
+        # tie).  With one-bit operands the three-way rule collapses: the
+        # reads disagree -> adopt a1's value (it equals the leader's
+        # bit), agree -> keep the current preference.
+        w0 = vp >> np.int8(1)
+        newp = np.where(w0 == av, pref, av.view(np.int8))
+        if st.flipsf is not None:
+            tie = b1 & (w0 == 1) & (av == 1)
+            if tie.any():
+                cnt = st.tiecntf[flatS]
+                fv = st.flipsf[flatT * st.F + np.minimum(cnt, st.F - 1)]
+                newp = np.where(tie, fv, newp)
+                st.tiecntf[flatS] = np.where(tie, cnt + 1, cnt)
+        changed = b1 & (newp != pref)
+        st.prefchg += changed
+        new_vp = np.where(b1, (w0 << np.int8(1)) | newp, new_vp)
+        st.vpf[flatS] = new_vp
+        # step 2: write a[pref][r].
+        wi = pref * Rm + ar
+        st.af[wi] = st.af[wi] | b2
+        # step 3: read the rival bit lag rounds behind; 0 decides.  For
+        # lag <= 1 the rival index is derivable from what's in hand:
+        # (1-pref)*Rm + (rclip-lag)*m + cols == 2*ar - wi + (Rm - lag*m).
+        if lag <= 1:
+            rival = st.af[ar + ar - wi + np.int64(R * m - lag * m)]
+        else:
+            behind = np.maximum(rclip - lag, 0)
+            rival = st.af[(1 - pref) * Rm + behind * m64 + st.cols]
+        dec = b3 & (rival == 0)
+        new_code = code + np.int32(4097) - dec
+        if guarded:
+            # Dying slots (and retired junk picks) must not see their
+            # per-process state move.
+            st.codef[flatS] = np.where(live, new_code, code)
+        else:
+            # Without crashes every non-live slot is a *finished* trial
+            # whose outputs are already emitted; garbage writes to its
+            # own state are free, so the guard can go.
+            st.codef[flatS] = new_code
+
+        cont = live
+        if dec.any():
+            d = np.nonzero(dec)[0]
+            st.NT.reshape(-1)[flatS[d]] = st.dead
+            st.record_decisions(d, p[d], pref[d], r[d], newo[d])
+            st.remaining[d] -= 1
+            fin = d if stop_first else d[st.remaining[d] == 0]
+            st.finish(fin)
+            cont = live & ~dec & ~st.finished
+        # Refill next completion times; a drained live process means the
+        # trial's order is unknowable from here: fall back.
+        drained = cont & (newo >= k_i32)
+        if drained.any():
+            dr = np.nonzero(drained)[0]
+            if final:
+                # Whole-schedule semantics: the process just runs out of
+                # events; the trial is unknowable only once *every*
+                # process has (the scalar replay's None condition).
+                st.NT.reshape(-1)[flatS[dr]] = st.dead
+                st.mark_overflow(dr[np.isinf(st.NT[:, dr]).all(axis=0)])
+            else:
+                st.mark_overflow(dr)
+            cont = cont & ~drained
+        # Clamp into [0, k): junk slots' wrapped counters must never
+        # reach the fancy-indexing bounds check.
+        clamped = np.minimum(newo, k_i32 - 1)
+        np.maximum(clamped, 0, out=clamped)
+        if st.trials_major:
+            nxt = st.timesf[st.orig * (k * n) + clamped * n + p]
+        else:
+            nxt = st.timesf[flatT * k + clamped]
+        if st.pack:
+            u = nxt.view(np.uint64)
+            u &= ~st.pack_mask
+            u |= p.astype(np.uint64)
+        ntf = st.NT.reshape(-1)
+        ntf[flatS] = np.where(cont, nxt, ntf[flatS])
+        st.maybe_compact()
+    if st.alive:
+        # No events left but trials unfinished (every remaining process
+        # decided or drained while others still ran): the scalar replay
+        # returns None here, so these fall back too.
+        st.mark_overflow(np.nonzero(~st.finished)[0])
+    return st.build(stop_first)
+
+
+def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
+                        tie_flips, stop_first, final, pack=False):
+    """The Section-4 elision variant (2-4 ops per round).
+
+    Packed state: ``code = round * 8 + step * 2 + skip_final`` (the
+    deterministic tie rule is kept, mirroring ``_replay_optimized``).
+    """
+    n, k = len(inputs), (times.shape[1] if trials_major
+                         else times.shape[2])
+    R = k // 2 + 2
+    st = _ChunkState(times, trials_major, inputs, R, death_ops, None,
+                     pack=pack)
+    st.codef += np.int32(8)  # round 1, step 0, skip_final unset
+    st.round_shift = 3
+    st.round_mask = np.int32(0x0FFFFFFF)
+    k_i32 = np.int32(k)
+
+    while st.alive:
+        picked = _pick_events(st)
+        if picked is None:
+            break
+        p, live = picked
+        m = st.m
+        flatS = p * m + st.cols
+        flatT = (p * st.trials + st.orig
+                 if (st.deathsf is not None or st.flipsf is not None
+                     or not st.trials_major) else None)
+        o = st.opsf[flatS]
+        if st.deathsf is not None:
+            dying = live & (o + 1 >= st.deathsf[flatT])
+            if dying.any():
+                dy = np.nonzero(dying)[0]
+                st.record_halts(dy, p[dy])
+                st.NT.reshape(-1)[flatS[dy]] = st.dead
+                st.remaining[dy] -= 1
+                st.finish(dy[st.remaining[dy] == 0])
+                live = live & ~dying
+                if not live.any():
+                    st.maybe_compact()
+                    continue
+        newo = o + 1
+        st.opsf[flatS] = np.where(live, newo, o)
+        code = st.codef[flatS]
+        skip = code & np.int32(1)
+        s = (code >> 1) & np.int32(3)
+        r = (code >> 3).astype(np.int64)
+        vp = st.vpf[flatS]
+        pref = vp & np.int8(1)
+        ar = r * m + st.cols
+        Rm = R * m
+        a0v = st.af[ar]
+        a1v = st.af[Rm + ar]
+
+        b0 = live & (s == 0)
+        b1 = live & (s == 1)
+        b2 = live & (s == 2)
+        b3 = live & (s == 3)
+
+        # step 0: read a0[r] into v0; -> step 1.
+        new_vp = np.where(b0, (a0v << np.uint8(1)) | pref.view(np.uint8),
+                          vp.view(np.uint8)).astype(np.int8)
+        # step 1: read a1[r]; adopt leader; elide per own/rival bits.
+        w0 = vp >> np.int8(1)
+        newp = np.where((w0 == 1) & (a1v == 0), np.int8(0),
+                        np.where((a1v == 1) & (w0 == 0), np.int8(1), pref))
+        changed = b1 & (newp != pref)
+        st.prefchg += changed
+        new_vp = np.where(b1, (w0 << np.int8(1)) | newp, new_vp)
+        st.vpf[flatS] = new_vp
+        own = np.where(newp == 0, w0, a1v)
+        rival1 = np.where(newp == 0, a1v, w0)
+        adv1 = b1 & (own == 1) & (rival1 == 1)
+        # step 2: write a[pref][r]; advance if the final read is elided.
+        wi = pref.astype(np.int64) * Rm + ar
+        st.af[wi] = st.af[wi] | b2
+        adv2 = b2 & (skip == 1)
+        # step 3: read a[1-pref][r-1]; 0 decides, 1 advances.
+        rival = st.af[(1 - pref).astype(np.int64) * Rm
+                      + (r - 1) * m + st.cols]
+        dec = b3 & (rival == 0)
+        adv3 = b3 & (rival != 0)
+
+        adv = adv1 | adv2 | adv3
+        # Non-advancing transitions: s0 -> s1; s1 -> s3 if own bit known
+        # set else s2; s2 -> s3; encode (step << 1) | skip with the new
+        # skip_final = rival-bit-known-set latched at step 1.
+        s1_next = np.where(own == 1, np.int32(3), np.int32(2))
+        stay_step = np.where(b0, np.int32(1),
+                             np.where(b1, s1_next, np.int32(3)))
+        stay_skip = np.where(b1, rival1.astype(np.int32), skip)
+        new_code = np.where(
+            adv, (r.astype(np.int32) + np.int32(1)) << 3,
+            (r.astype(np.int32) << 3) | (stay_step << 1) | stay_skip)
+        st.codef[flatS] = np.where(live, new_code, code)
+
+        cont = live
+        if dec.any():
+            d = np.nonzero(dec)[0]
+            st.NT.reshape(-1)[flatS[d]] = st.dead
+            st.record_decisions(d, p[d], pref[d], r[d], newo[d])
+            st.remaining[d] -= 1
+            fin = d if stop_first else d[st.remaining[d] == 0]
+            st.finish(fin)
+            cont = live & ~dec & ~st.finished
+        drained = cont & (newo >= k_i32)
+        if drained.any():
+            dr = np.nonzero(drained)[0]
+            if final:
+                # Whole-schedule semantics: the process just runs out of
+                # events; the trial is unknowable only once *every*
+                # process has (the scalar replay's None condition).
+                st.NT.reshape(-1)[flatS[dr]] = st.dead
+                st.mark_overflow(dr[np.isinf(st.NT[:, dr]).all(axis=0)])
+            else:
+                st.mark_overflow(dr)
+            cont = cont & ~drained
+        # Clamp into [0, k): junk slots' wrapped counters must never
+        # reach the fancy-indexing bounds check.
+        clamped = np.minimum(newo, k_i32 - 1)
+        np.maximum(clamped, 0, out=clamped)
+        if st.trials_major:
+            nxt = st.timesf[st.orig * (k * n) + clamped * n + p]
+        else:
+            nxt = st.timesf[flatT * k + clamped]
+        if st.pack:
+            u = nxt.view(np.uint64)
+            u &= ~st.pack_mask
+            u |= p.astype(np.uint64)
+        ntf = st.NT.reshape(-1)
+        ntf[flatS] = np.where(cont, nxt, ntf[flatS])
+        st.maybe_compact()
+    if st.alive:
+        # No events left but trials unfinished (every remaining process
+        # decided or drained while others still ran): the scalar replay
+        # returns None here, so these fall back too.
+        st.mark_overflow(np.nonzero(~st.finished)[0])
+    return st.build(stop_first)

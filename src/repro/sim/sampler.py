@@ -1,0 +1,174 @@
+"""The lockstep sampling lane: column-major inverse-CDF schedules.
+
+The fast-engine family (scalar replay, trial-batched frame path, and the
+trial-parallel lockstep kernel of :mod:`repro.sim.kernel`) shares one
+schedule-sampling discipline per spec, because the three paths must stay
+*bit-identical* to each other.  For the continuous distributions that
+admit a cheap exact inverse CDF this module defines that discipline:
+
+* one consumed stream per trial (the compiler's ``rng_noise`` child);
+* for a dithered start schedule, the first ``n`` doubles are the start
+  dithers (``start_i = base + epsilon * u_i``);
+* operation increments are drawn **column-major**: a ``(k, n)`` uniform
+  block assigns ``u[j, i]`` to operation ``j`` of process ``i``, and the
+  increment is the distribution's inverse CDF at ``u``.
+
+Column-major order is the load-bearing choice: a ``(k1, n)`` block is a
+*prefix* of the ``(k2 > k1, n)`` block drawn from the same stream, so a
+replay that runs out of schedule can grow its horizon — or a fallback can
+redraw the whole schedule from the stream's start at a larger horizon —
+without changing a single already-consumed completion time.  The paper's
+model is oblivious (Section 3.1), so when the stopping condition is met
+strictly inside the sampled horizon the result provably equals the
+infinite-horizon replay.
+
+Distributions without a closed-form inverse (geometric, two-point,
+truncated normal, ...) keep the legacy row-major
+:meth:`~repro.sched.noisy.NoisyScheduler.presample` lane, which remains
+bit-identical to the PR-3 fast engine; this lane exists because drawing
+one uniform block per trial (plus one vectorized transform per chunk) is
+what makes the kernel's trial-parallel throughput possible.
+
+The anti-simultaneity dither of the legacy lane is deliberately absent
+here: it exists to break the *common* exact ties of discrete
+distributions, while for continuous inverse transforms a cross-process
+tie requires two sums of distinct random doubles to collide exactly — the
+same measure-zero event the dither itself already relies on avoiding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.noise.distributions import (
+    Exponential,
+    NoiseDistribution,
+    ShiftedExponential,
+    Uniform,
+)
+
+#: Delta-schedule kinds the lane covers (starts drawn inline; no per-op
+#: adversary delays).
+_LANE_DELTA_KINDS = ("zero", "dithered")
+
+
+class InverseSampler:
+    """One distribution's inverse-CDF transform plus its lane metadata.
+
+    Attributes:
+        name: short label for diagnostics.
+    """
+
+    def __init__(self, name: str, shift: float, scale: float,
+                 log_form: bool) -> None:
+        self.name = name
+        self._shift = shift
+        self._scale = scale
+        self._log = log_form
+
+    def transform(self, u: np.ndarray) -> np.ndarray:
+        """Map uniforms in [0, 1) to increments (new array, same shape).
+
+        Exponential families use ``shift - scale * log1p(-u)`` (the exact
+        inverse CDF; ``log1p`` keeps u -> 1 finite and u = 0 mapping to
+        the support's infimum), uniforms ``shift + scale * u``.
+        """
+        if self._log:
+            out = np.log1p(-u)
+            out *= -self._scale
+        else:
+            out = u * self._scale
+        if self._shift:
+            out += self._shift
+        return out
+
+    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+        """:meth:`transform` overwriting ``u`` (the batched pipelines'
+        whole-chunk tensors are too large to duplicate).  Bit-identical
+        to :meth:`transform`: the same ufuncs in the same order.
+        """
+        if self._log:
+            np.negative(u, out=u)
+            np.log1p(u, out=u)
+            u *= -self._scale
+        else:
+            u *= self._scale
+        if self._shift:
+            u += self._shift
+        return u
+
+
+def inverse_sampler_for(noise: NoiseDistribution) -> Optional[InverseSampler]:
+    """The lane's sampler for ``noise``, or ``None`` (legacy lane).
+
+    Only *exact* types are recognized: a subclass may override
+    ``sample_array`` and must keep the legacy per-trial discipline.
+    """
+    kind = type(noise)
+    if kind is Exponential or kind is ShiftedExponential:
+        return InverseSampler(noise.name, shift=noise.shift,
+                              scale=noise.exp_mean, log_form=True)
+    if kind is Uniform:
+        return InverseSampler(noise.name, shift=noise.low,
+                              scale=noise.high - noise.low, log_form=False)
+    return None
+
+
+def lane_applies(model) -> bool:
+    """True when a noisy model spec takes the inverse lane.
+
+    ``model`` is a :class:`~repro.api.spec.NoisyModelSpec`; the lane
+    needs an invertible noise distribution and a zero/dithered start
+    schedule (anything else keeps the legacy presample lane).
+    """
+    if model.delta.kind not in _LANE_DELTA_KINDS:
+        return False
+    return inverse_sampler_for(model.noise.build()) is not None
+
+
+def draw_starts(rng: np.random.Generator, n: int, delta_kind: str,
+                base: float, epsilon: float) -> np.ndarray:
+    """The lane's start times: ``base + epsilon * u`` or all zeros.
+
+    Must be called *before* any increment block so every path consumes
+    the stream identically.
+    """
+    if delta_kind == "dithered":
+        return base + epsilon * rng.random(n)
+    return np.zeros(n)
+
+
+def draw_times(rng: np.random.Generator, sampler: InverseSampler,
+               starts: np.ndarray, k: int) -> np.ndarray:
+    """An ``(n, k)`` completion-time matrix from the stream's current point.
+
+    Drawing ``k2`` columns yields the ``k1 < k2`` matrix as its exact
+    column prefix (see the module docstring), which is what makes horizon
+    growth and scalar fallbacks bit-identical.
+    """
+    n = len(starts)
+    u = rng.random((k, n))
+    incs = sampler.transform(u)
+    # Seed the sequential cumulative chain with the start times (rather
+    # than adding them afterwards): extension then continues the exact
+    # float association — ``(((start + i0) + i1) + ...)`` — so a grown
+    # matrix is bit-equal to having drawn the larger one up front.
+    incs[0] += starts
+    return np.ascontiguousarray(incs.cumsum(axis=0).T)
+
+
+def extend_times(rng: np.random.Generator, sampler: InverseSampler,
+                 times: np.ndarray, extra: int) -> np.ndarray:
+    """Grow an ``(n, k)`` matrix by ``extra`` columns, continuing the stream.
+
+    Bit-equal to having drawn ``k + extra`` columns up front.
+    """
+    n, k = times.shape
+    u = rng.random((extra, n))
+    incs = sampler.transform(u)
+    if k:
+        incs[0] += times[:, -1]
+    tail = incs.cumsum(axis=0)
+    return np.concatenate([times, np.ascontiguousarray(tail.T)], axis=1)

@@ -148,3 +148,43 @@ class TestVariantSanity:
         spec = noisy_spec(n=32, engine="fast",
                           protocol=ProtocolSpec(name="random-tie"))
         assert run_trial(spec, seed=11) == run_trial(spec, seed=11)
+
+
+class TestIneligibilityReportsEveryBlocker:
+    """Regression: fast_ineligibility used to stop at the first blocking
+    reason; ``engine_reason`` now names *everything* the user must change
+    to unlock the vectorized path."""
+
+    def test_all_reasons_joined(self):
+        spec = noisy_spec(
+            record=True,
+            max_total_ops=10,
+            protocol=ProtocolSpec(name="lean", round_cap=5),
+            failures=FailureSpec(h=0.1, adversary=AdversarySpec(budget=1)),
+        )
+        why = fast_ineligibility(spec)
+        assert "record=True" in why
+        assert "max_total_ops" in why
+        assert "round_cap" in why
+        assert "adaptive crash adversaries" in why
+        assert why.count(";") == 3
+
+    def test_auto_reason_carries_the_full_list(self):
+        spec = noisy_spec(n=300, record=True, max_total_ops=10)
+        info = resolve_engine_info(spec)
+        assert info.engine == "event"
+        assert "record=True" in info.reason
+        assert "max_total_ops" in info.reason
+
+    def test_explicit_fast_error_names_everything(self):
+        spec = noisy_spec(n=300, engine="fast", record=True,
+                          max_total_ops=10)
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_engine_info(spec)
+        assert "record=True" in str(excinfo.value)
+        assert "max_total_ops" in str(excinfo.value)
+
+    def test_single_blocker_unchanged(self):
+        why = fast_ineligibility(noisy_spec(record=True))
+        assert why == ("record=True history capture requires the event "
+                       "engine")

@@ -82,6 +82,27 @@ def test_stdout_matches_pre_refactor_seed(name):
         f"(got sha256 {digest}); output was:\n{text}")
 
 
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_kernel_stdout_byte_identical_to_fast(name):
+    """--engine kernel must print exactly what --engine fast prints.
+
+    The lockstep kernel is required to be bit-identical to the scalar
+    fast replay, so forcing either engine onto a smoke-scale experiment
+    must yield byte-identical tables (experiments that pin their engine
+    internally are equally covered: both flags then print the pinned
+    engine's table).
+    """
+    module, argv, _ = GOLDEN[name]
+    outs = []
+    for engine in ("fast", "kernel"):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            module.main(argv + ["--engine", engine])
+        outs.append(buf.getvalue())
+    assert outs[0] == outs[1], (
+        f"{name}: --engine kernel stdout diverged from --engine fast")
+
+
 def test_golden_output_survives_worker_fanout():
     """--workers must not perturb a golden table (spot check)."""
     outs = []

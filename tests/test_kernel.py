@@ -1,0 +1,292 @@
+"""The trial-parallel lockstep kernel: bit-identity on every axis.
+
+The kernel's acceptance property is that it is *invisible*: for every
+``FAST_VARIANTS`` protocol, crash model, seed, stopping rule, tensor
+layout, and worker count, its results equal the scalar fast replay's —
+bit for bit, including the chronological decision payloads.  The tests
+here drive :func:`repro.sim.kernel.replay_chunk` against
+:func:`repro.sim.fast.replay` on shared schedule tensors, and the
+batch-level ``engine="kernel"`` pipelines against ``engine="fast"``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.api import (
+    BatchRunner,
+    FailureSpec,
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    TrialSpec,
+    run_batch,
+    run_trial,
+)
+from repro.api.compile import (
+    KERNEL_AUTO_MAX_N,
+    KERNEL_AUTO_MIN_TRIALS,
+    resolve_engine_info,
+)
+from repro.errors import ConfigurationError
+from repro.sim.fast import FAST_VARIANTS, replay
+from repro.sim.kernel import lean_flip_bound, replay_chunk
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+
+
+def noisy(n=12, **kwargs):
+    kwargs.setdefault("stop_after_first_decision", True)
+    kwargs.setdefault("model", NoisyModelSpec(noise=EXPO))
+    return TrialSpec(n=n, **kwargs)
+
+
+def scalar_reference(times, inputs, variant, stop, death_ops=None,
+                     tie_rngs=None):
+    result = replay(times, inputs, variant=variant, death_ops=death_ops,
+                    tie_rngs=tie_rngs, stop_after_first_decision=stop)
+    if result is None:
+        return None
+    return (
+        tuple((pid, d.value, d.round, d.ops)
+              for pid, d in result.decisions.items()),
+        result.total_ops, result.max_round, result.preference_changes,
+        sorted(result.halted),
+    )
+
+
+def kernel_fields(out, t):
+    return (out.decisions[t], int(out.total_ops[t]),
+            int(out.max_round[t]), int(out.preference_changes[t]),
+            sorted(out.halted[t]))
+
+
+class TestChunkVsScalarReplay:
+    """replay_chunk == per-trial replay on identical tensors."""
+
+    @pytest.mark.parametrize("variant", sorted(FAST_VARIANTS))
+    @pytest.mark.parametrize("stop", [True, False])
+    def test_variant_grid(self, variant, stop):
+        rng = make_rng(sum(map(ord, variant)) * 2 + int(stop))
+        checked = 0
+        for _ in range(6):
+            n = int(rng.integers(2, 11))
+            trials = int(rng.integers(2, 40))
+            k = 64
+            times = np.cumsum(rng.exponential(1.0, size=(trials, n, k)),
+                              axis=2)
+            inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+            flips = tie_seqs = None
+            if FAST_VARIANTS[variant].random_tie:
+                tie_seqs = [np.random.SeedSequence(7, spawn_key=(t, i))
+                            for t in range(trials) for i in range(n)]
+                flips = np.empty((n, trials, lean_flip_bound(k)), np.int8)
+                for t in range(trials):
+                    for i in range(n):
+                        flips[i, t] = make_rng(
+                            tie_seqs[t * n + i]).integers(
+                                0, 2, size=flips.shape[2])
+            out = replay_chunk(
+                np.ascontiguousarray(np.moveaxis(times, 0, 1)), inputs,
+                variant=variant, tie_flips=flips,
+                stop_after_first_decision=stop)
+            for t in range(trials):
+                if out.overflow[t]:
+                    continue
+                tie_rngs = ([make_rng(tie_seqs[t * n + i])
+                             for i in range(n)] if tie_seqs else None)
+                ref = scalar_reference(times[t], inputs, variant, stop,
+                                       tie_rngs=tie_rngs)
+                assert ref is not None
+                assert kernel_fields(out, t) == ref, (variant, stop, t)
+                checked += 1
+        assert checked > 50
+
+    @pytest.mark.parametrize("trials_major", [False, True])
+    def test_crash_schedules(self, trials_major):
+        rng = make_rng(77)
+        for variant in ("lean", "optimized"):
+            n, trials, k = 8, 30, 64
+            times = np.cumsum(rng.exponential(1.0, size=(trials, n, k)),
+                              axis=2)
+            inputs = [i % 2 for i in range(n)]
+            deaths = np.where(rng.random((trials, n)) < 0.3,
+                              rng.integers(1, 30, size=(trials, n)),
+                              np.int64(10 ** 9))
+            tensor = (np.ascontiguousarray(np.moveaxis(times, 1, 2))
+                      if trials_major
+                      else np.ascontiguousarray(np.moveaxis(times, 0, 1)))
+            out = replay_chunk(tensor, inputs, variant=variant,
+                               death_ops=np.ascontiguousarray(deaths.T),
+                               stop_after_first_decision=False,
+                               trials_major=trials_major)
+            for t in range(trials):
+                if out.overflow[t]:
+                    continue
+                ref = scalar_reference(times[t], inputs, variant, False,
+                                       death_ops=deaths[t])
+                assert kernel_fields(out, t) == ref
+
+    def test_single_process_broadcast_matches_scalar(self):
+        # n=1 outcomes are schedule-independent; the kernel broadcasts
+        # one scalar replay.  Pin that against per-trial replays of
+        # *different* schedules.
+        rng = make_rng(3)
+        for variant in sorted(FAST_VARIANTS):
+            times = np.cumsum(rng.exponential(1.0, size=(5, 1, 32)),
+                              axis=2)
+            out = replay_chunk(np.ascontiguousarray(
+                np.moveaxis(times, 0, 1)), [1], variant=variant)
+            assert not out.overflow.any()
+            for t in range(5):
+                tie_rngs = ([make_rng(0)]
+                            if FAST_VARIANTS[variant].random_tie else None)
+                ref = scalar_reference(times[t], [1], variant, True,
+                                       tie_rngs=tie_rngs)
+                assert kernel_fields(out, t) == ref
+
+    def test_overflow_flags_prefix_exhaustion(self):
+        # A two-process near-lockstep race with a tiny horizon cannot
+        # finish; the kernel must flag it rather than truncate.
+        times = np.cumsum(np.ones((1, 2, 8)), axis=2)
+        times[0, 1] += 0.5
+        out = replay_chunk(np.ascontiguousarray(np.moveaxis(times, 0, 1)),
+                           [0, 1], stop_after_first_decision=True)
+        assert out.overflow.all()
+
+    def test_final_horizon_matches_full_matrix_semantics(self):
+        # horizon_is_final: the kernel continues past a drained process
+        # exactly like the scalar replay of the full matrix.
+        rng = make_rng(11)
+        rates = np.array([[0.05], [2.0], [1.0]])
+        times = np.cumsum(rng.exponential(1.0, size=(20, 3, 40)) * rates,
+                          axis=2)
+        inputs = [0, 1, 1]
+        out = replay_chunk(np.ascontiguousarray(np.moveaxis(times, 0, 1)),
+                           inputs, stop_after_first_decision=True,
+                           horizon_is_final=True)
+        for t in range(20):
+            ref = scalar_reference(times[t], inputs, "lean", True)
+            if out.overflow[t]:
+                assert ref is None
+            else:
+                assert kernel_fields(out, t) == ref
+
+
+def strip_engine(results):
+    return [dataclasses.replace(r, engine="x") for r in results]
+
+
+KERNEL_SPECS = [
+    pytest.param(noisy(n=12, engine="kernel"), id="lean"),
+    pytest.param(noisy(n=12, engine="kernel",
+                       stop_after_first_decision=False), id="quiescence"),
+    pytest.param(noisy(n=24, engine="kernel",
+                       failures=FailureSpec(h=0.03)), id="halting"),
+    pytest.param(noisy(n=10, engine="kernel",
+                       protocol=ProtocolSpec(name="random-tie")),
+                 id="random-tie"),
+    pytest.param(noisy(n=10, engine="kernel",
+                       protocol=ProtocolSpec(name="optimized")),
+                 id="optimized"),
+    pytest.param(noisy(n=10, engine="kernel",
+                       protocol=ProtocolSpec(name="conservative")),
+                 id="conservative"),
+    pytest.param(noisy(n=1, engine="kernel"), id="solo"),
+    pytest.param(noisy(n=12, engine="kernel", model=NoisyModelSpec(
+        noise=NoiseSpec.of("geometric", p=0.5))), id="legacy-lane"),
+    pytest.param(noisy(n=12, engine="kernel", model=NoisyModelSpec(
+        noise=NoiseSpec.of("uniform", low=0.0, high=2.0))),
+        id="uniform-lane"),
+]
+
+
+class TestBatchPipelines:
+    """engine="kernel" batches equal engine="fast" batches everywhere."""
+
+    @pytest.mark.parametrize("spec", KERNEL_SPECS)
+    def test_kernel_equals_fast_modulo_label(self, spec):
+        kernel = run_batch(spec, 40, seed=2000)
+        fast = run_batch(spec.replace(engine="fast"), 40, seed=2000)
+        assert all(r.engine == "kernel" for r in kernel)
+        assert strip_engine(kernel) == strip_engine(fast)
+
+    @pytest.mark.parametrize("spec", KERNEL_SPECS)
+    def test_frame_equals_list(self, spec):
+        frame = run_batch(spec, 30, seed=7, as_frame=True)
+        assert frame.to_trial_results() == run_batch(spec, 30, seed=7)
+
+    def test_worker_invariance(self):
+        spec = noisy(n=16, engine="kernel", failures=FailureSpec(h=0.02))
+        serial = run_batch(spec, 20, seed=5, as_frame=True)
+        pooled = run_batch(spec, 20, seed=5, workers=2, as_frame=True)
+        chunky = BatchRunner(workers=3, chunk_size=1).run_frame(
+            spec, 20, seed=5)
+        assert serial == pooled == chunky
+
+    @pytest.mark.parametrize("protocol", ["lean", "random-tie",
+                                          "optimized"])
+    def test_ragged_fallback_is_invisible(self, monkeypatch, protocol):
+        # Force overflow fallbacks by shrinking the kernel's sampled
+        # horizon: per-trial scalar regrowth must keep the frame
+        # bit-identical to the fast path.  random-tie is the regression
+        # case: the fallback must reuse the *already-spawned* coin
+        # children (re-spawning would hand it the wrong streams).
+        import repro.api.compile as compile_mod
+        monkeypatch.setattr(compile_mod, "_kernel_horizon_ops",
+                            lambda n: 16)
+        spec = noisy(n=16, engine="kernel",
+                     protocol=ProtocolSpec(name=protocol))
+        frame = run_batch(spec, 50, seed=3, as_frame=True)
+        fast = run_batch(spec.replace(engine="fast"), 50, seed=3)
+        assert strip_engine(frame.to_trial_results()) == strip_engine(fast)
+
+    def test_single_trial_kernel_engine_runs_scalar(self):
+        result = run_trial(noisy(n=12, engine="kernel"), seed=4)
+        assert result.engine == "kernel"
+        fast = run_trial(noisy(n=12, engine="fast"), seed=4)
+        assert dataclasses.replace(result, engine="x") == \
+            dataclasses.replace(fast, engine="x")
+
+
+class TestKernelResolution:
+    def test_explicit_kernel_resolves(self):
+        assert resolve_engine_info(noisy(engine="kernel")).engine == \
+            "kernel"
+
+    def test_auto_promotes_large_batches(self):
+        spec = noisy(n=32)
+        assert resolve_engine_info(spec).engine == "event"
+        assert resolve_engine_info(
+            spec, trials=KERNEL_AUTO_MIN_TRIALS - 1).engine == "event"
+        assert resolve_engine_info(
+            spec, trials=KERNEL_AUTO_MIN_TRIALS).engine == "kernel"
+
+    def test_auto_keeps_wide_specs_off_the_kernel(self):
+        # Above the kernel's width cap (but fast-eligible by n) a big
+        # batch stays on the scalar fast replay.
+        assert KERNEL_AUTO_MAX_N < 300
+        wide = noisy(n=300)
+        assert resolve_engine_info(wide, trials=10_000).engine == "fast"
+
+    def test_explicit_fast_is_never_promoted(self):
+        spec = noisy(n=32, engine="fast")
+        assert resolve_engine_info(spec, trials=10_000).engine == "fast"
+
+    def test_auto_promotion_threads_through_run_batch(self):
+        spec = noisy(n=32)
+        results = run_batch(spec, KERNEL_AUTO_MIN_TRIALS, seed=1)
+        assert all(r.engine == "kernel" for r in results)
+        pooled = run_batch(spec, KERNEL_AUTO_MIN_TRIALS, seed=1,
+                           workers=2)
+        assert results == pooled  # labels worker-invariant
+
+    def test_ineligible_kernel_raises_naming_all_blockers(self):
+        spec = noisy(engine="kernel", record=True, max_total_ops=5)
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_engine_info(spec)
+        message = str(excinfo.value)
+        assert "record=True" in message
+        assert "max_total_ops" in message

@@ -1,0 +1,147 @@
+"""The inverse sampling lane: exactness, extension, and lane selection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro._seedhash import SeedBlock, block_spawn_keys
+from repro.noise.distributions import (
+    Exponential,
+    Geometric,
+    ShiftedExponential,
+    TruncatedNormal,
+    Uniform,
+)
+from repro.sim.sampler import (
+    draw_starts,
+    draw_times,
+    extend_times,
+    inverse_sampler_for,
+)
+
+
+class TestLaneSelection:
+    def test_invertible_types(self):
+        assert inverse_sampler_for(Exponential(1.0)) is not None
+        assert inverse_sampler_for(ShiftedExponential(0.5, 0.5)) is not None
+        assert inverse_sampler_for(Uniform(0.0, 2.0)) is not None
+
+    def test_non_invertible_types_stay_legacy(self):
+        assert inverse_sampler_for(Geometric(0.5)) is None
+        assert inverse_sampler_for(TruncatedNormal()) is None
+
+    def test_subclasses_stay_legacy(self):
+        class Custom(Uniform):
+            def sample_array(self, rng, size):  # pragma: no cover
+                return super().sample_array(rng, size) * 2
+
+        assert inverse_sampler_for(Custom(0.0, 1.0)) is None
+
+
+class TestTransforms:
+    def test_exponential_inverse_cdf(self):
+        sampler = inverse_sampler_for(Exponential(2.0))
+        u = np.array([0.0, 0.5, 1.0 - 2.0 ** -53])
+        out = sampler.transform(u)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(-2.0 * math.log(0.5))
+        assert np.isfinite(out[2])
+
+    def test_shift_and_uniform(self):
+        shifted = inverse_sampler_for(ShiftedExponential(0.5, 1.0))
+        assert shifted.transform(np.zeros(1))[0] == 0.5
+        uni = inverse_sampler_for(Uniform(1.0, 3.0))
+        assert np.allclose(uni.transform(np.array([0.0, 0.5])),
+                           [1.0, 2.0])
+
+    def test_inplace_matches_out_of_place(self):
+        rng = make_rng(1)
+        for dist in (Exponential(1.3), Uniform(0.2, 1.7)):
+            sampler = inverse_sampler_for(dist)
+            u = rng.random((5, 7))
+            expected = sampler.transform(u)
+            got = sampler.transform_inplace(u.copy())
+            assert np.array_equal(expected, got)
+
+    def test_statistical_sanity(self):
+        # The lane's draws must follow the declared distribution.
+        sampler = inverse_sampler_for(Exponential(1.0))
+        u = make_rng(3).random(200_000)
+        x = sampler.transform(u)
+        assert x.mean() == pytest.approx(1.0, rel=0.02)
+        assert np.var(x) == pytest.approx(1.0, rel=0.05)
+
+
+class TestColumnMajorExtension:
+    """The load-bearing property: growing the horizon (or redrawing the
+    whole matrix from the stream's start at a larger k) never changes an
+    already-drawn completion time."""
+
+    @pytest.mark.parametrize("delta_kind", ["zero", "dithered"])
+    def test_redraw_prefix_identity(self, delta_kind):
+        sampler = inverse_sampler_for(Exponential(1.0))
+        n, k1, k2 = 5, 12, 40
+
+        def build(k):
+            rng = make_rng(42)
+            starts = draw_starts(rng, n, delta_kind, 0.0, 1e-8)
+            return draw_times(rng, sampler, starts, k)
+
+        small, big = build(k1), build(k2)
+        assert np.array_equal(small, big[:, :k1])
+
+    def test_extend_equals_bigger_draw(self):
+        sampler = inverse_sampler_for(Uniform(0.0, 2.0))
+        n = 4
+        rng1, rng2 = make_rng(9), make_rng(9)
+        starts = draw_starts(rng1, n, "dithered", 0.0, 1e-8)
+        draw_starts(rng2, n, "dithered", 0.0, 1e-8)
+        t1 = draw_times(rng1, sampler, starts, 8)
+        t1 = extend_times(rng1, sampler, t1, 8)
+        t2 = draw_times(rng2, sampler, starts, 16)
+        assert np.array_equal(t1, t2)
+
+    def test_rows_strictly_increasing(self):
+        sampler = inverse_sampler_for(Exponential(1.0))
+        times = draw_times(make_rng(5), sampler, np.zeros(3), 50)
+        assert (np.diff(times, axis=1) >= 0).all()
+
+
+class TestSeedBlock:
+    def test_materialized_children_match_spawn(self):
+        parent = np.random.SeedSequence(2000)
+        spawned = parent.spawn(5)
+        block = SeedBlock(2000, (), 0, 5)
+        for seq, lazy in zip(spawned, block):
+            assert (seq.entropy, seq.spawn_key) == \
+                (lazy.entropy, lazy.spawn_key)
+            a = np.random.Generator(np.random.PCG64(seq)).random(4)
+            b = np.random.Generator(np.random.PCG64(lazy)).random(4)
+            assert np.array_equal(a, b)
+
+    def test_slicing_offsets(self):
+        block = SeedBlock(7, (3,), 10, 20)
+        tail = block[5:9]
+        assert isinstance(tail, SeedBlock)
+        assert len(tail) == 4
+        assert tail[0].spawn_key == (3, 15)
+        assert block[-1].spawn_key == (3, 29)
+        with pytest.raises(IndexError):
+            block[20]
+
+    def test_block_spawn_keys_matches_object_path(self):
+        block = SeedBlock(11, (), 3, 6)
+        recognized = block_spawn_keys(block)
+        assert recognized is not None
+        entropy, matrix = recognized
+        object_path = block_spawn_keys(list(block))
+        assert object_path is not None
+        assert entropy == object_path[0]
+        assert np.array_equal(matrix, object_path[1])
+
+    def test_unrecognizable_blocks_fall_back(self):
+        assert block_spawn_keys(SeedBlock(-1, (), 0, 3)) is None
+        assert block_spawn_keys(SeedBlock(5, (), 0, 0)) is None
+        assert block_spawn_keys(SeedBlock(5, (2 ** 40,), 0, 3)) is None

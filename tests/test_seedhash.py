@@ -62,13 +62,15 @@ class TestBlockRecognition:
         assert matrix.tolist() == [[0], [1], [2], [3], [4]]
 
     def test_rejects_non_sequences_and_mixed_blocks(self):
-        seqs = trial_seed_sequences(2000, 2)
+        # (int seeds now yield an analytic SeedBlock; materialize it to
+        # exercise the object-path recognition loop.)
+        seqs = list(trial_seed_sequences(2000, 2))
         assert block_spawn_keys([]) is None
         assert block_spawn_keys([1, 2]) is None
         assert block_spawn_keys(seqs + [np.random.SeedSequence(3)]) is None
 
     def test_rejects_already_spawned_sequences(self):
-        seqs = trial_seed_sequences(2000, 2)
+        seqs = list(trial_seed_sequences(2000, 2))
         seqs[0].spawn(1)  # a consumed child counter disables the fast lane
         assert block_spawn_keys(seqs) is None
 
