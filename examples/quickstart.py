@@ -55,6 +55,15 @@ as_frame=True)`` gives the same frame for a single cell, and
 ``cache_dir=`` (CLI: ``--cache-dir``) persists finished cells so
 ``--paper``-scale sweeps resume after an interruption.
 
+Sweeps as jobs: the same sweep submitted to :mod:`repro.serve` becomes
+a persisted, content-addressed job — chunked across workers, resumable
+after a SIGKILL (stored chunks are adopted, only missing ones
+recompute), deduplicated against other jobs sharing chunks, with
+streaming per-cell aggregates queryable mid-run — and its frames are
+bit-identical to the in-process ``run_sweep``.  ``python -m repro serve
+serve --store DIR`` serves the job API over HTTP; ``submit`` / ``status``
+/ ``watch`` / ``result`` drive it from the CLI.
+
 Run:  python examples/quickstart.py
 
 Migrating from the legacy kwarg API?  ``run_noisy_trial(n=100,
@@ -142,6 +151,27 @@ def main() -> None:
     for cell, cell_frame in run_sweep(sweep, seed=7):
         mean, half = mean_ci(cell_frame)
         print(f"  n={cell.coord('n'):4d}: {mean:.2f} +/- {half:.2f}")
+
+    # The same sweep as a *job*: persisted, chunked, content-addressed.
+    # Kill this process mid-run and rerun it — stored chunks are adopted
+    # and only the missing ones recompute; the frames stay bit-identical
+    # to run_sweep above.  (`python -m repro serve` serves the same
+    # lifecycle over HTTP.)
+    import tempfile
+
+    from repro.serve import JobRunner, ResultStore, SweepJob
+
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = ResultStore(store_dir)
+        job = SweepJob.from_sweep(sweep, seed=7, chunk_size=25)
+        result = JobRunner(store).run(job)
+        reference = dict(enumerate(run_sweep(sweep, seed=7).frames))
+        assert all(frame == reference[cell.index] for cell, frame in result)
+        rerun = JobRunner(store).run(job)  # everything adopted, 0 computed
+        assert rerun.state.chunks_done == len(job.chunks())
+        print(f"\njob {job.job_id[:12]}... done: "
+              f"{result.state.trials_done} trials in "
+              f"{len(job.chunks())} chunks, bit-identical to run_sweep")
 
 
 if __name__ == "__main__":

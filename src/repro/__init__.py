@@ -162,6 +162,41 @@ Migration note — legacy kwargs map onto spec fields as follows:
                                (``run_trial(spec, seed)``)
 =============================  =============================================
 
+Sweeps as jobs — :mod:`repro.serve` is the production lane over the
+same deterministic core: a sweep + seed compiles into a persisted,
+content-addressed :class:`~repro.serve.SweepJob` split into
+chunk-granular work units, executed by a :class:`~repro.serve.JobRunner`
+that survives worker death (requeue), survives coordinator death
+(resume from the store), streams per-cell aggregates while running
+(mean/CI queryable mid-run, O(chunk) memory), and deduplicates shared
+chunks across jobs.  ``python -m repro serve serve --store DIR`` exposes
+the same lifecycle over a localhost HTTP API.  The contract: job frames
+are **bit-identical** to ``run_sweep`` of the same sweep and seed, no
+matter how the work was chunked, pooled, killed, or resumed.
+
+===========================================  ================================================
+in-process ``run_sweep``                     job lane (``python -m repro serve ...``)
+===========================================  ================================================
+``run_sweep(sweep, seed=2000)``              ``submit --preset figure1 --seed 2000 --sync``
+                                             (or ``SweepJob.from_sweep(sweep, seed=2000)``
+                                             + ``JobRunner(store).run(job)``)
+``cache_dir=`` cell cache (whole cells,      content-addressed chunk store (chunk-granular,
+same-process reuse)                          cross-job dedup, claim files keep concurrent
+                                             coordinators from double-computing)
+interrupted run recomputes unfinished        killed run resumes: stored chunks are adopted,
+cells from scratch                           only missing chunks recompute
+aggregate after the sweep returns            ``status`` / ``aggregates`` mid-run
+                                             (trials/s, ETA, streaming mean/CI)
+``SweepResult.frame(...)``                   ``result`` (CLI), ``JobResult.frame(...)``,
+                                             or ``ServeClient.result_frames(job_id)``
+seed: int / SeedSequence / Generator         int / SeedSequence only — the legacy
+(Generator warns ``LegacySeedLaneWarning``)  spawn lane cannot be jobbed or resumed
+===========================================  ================================================
+
+Submitting the same sweep twice is a no-op (jobs are content-addressed
+by what they compute); submitting an *overlapping* sweep computes each
+shared chunk once and reuses it from the store.
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """

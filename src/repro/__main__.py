@@ -39,10 +39,15 @@ def _usage() -> str:
     return (f"usage: python -m repro <experiment> [options]\n"
             f"       python -m repro --list\n"
             f"       python -m repro bench [--label L] [--trials T]\n"
+            f"       python -m repro serve <serve|submit|status|watch|result>"
+            f" [options]\n"
             f"       python -m repro all [options] [<experiment>:<arg> ...]\n\n"
             f"experiments:\n  {names}\n  all\n\n"
             "common options: --ns N [N ...], --trials T, --seed S, "
-            "--workers W, --engine {auto,event,fast,kernel}, --paper")
+            "--workers W, --engine {auto,event,fast,kernel}, --paper\n"
+            "sweep service: `python -m repro serve serve --store DIR` runs "
+            "the job API;\n  submit/status/watch/result talk to it "
+            "(--url) or to a local store (--store)")
 
 
 def _split_all_args(rest: List[str]) -> Tuple[List[str], Dict[str, List[str]]]:
@@ -71,6 +76,9 @@ def main(argv=None) -> int:
     if name == "bench":
         from repro import benchtool
         return benchtool.main(rest)
+    if name == "serve":
+        from repro.serve import cli as serve_cli
+        return serve_cli.main(rest)
     if name == "all":
         shared, extras = _split_all_args(rest)
         for info in registry.infos():

@@ -1,0 +1,43 @@
+"""Crash-safe file writes shared by the sweep cache and the serve store.
+
+One discipline everywhere a result touches disk: write to a temp file in
+the destination directory, flush + fsync, then ``os.replace`` into
+place.  A writer killed at any instant — including between the write and
+the rename — leaves either the old file, no file, or a stray ``*.tmp``;
+never a torn file a concurrent reader could load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem atomic rename; the fsync before
+    the rename means a crash cannot surface a zero-length or truncated
+    file under the final name.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_write_json(path: str, payload) -> None:
+    """Atomically write ``payload`` as JSON (the job/state file writer)."""
+    blob = json.dumps(payload, sort_keys=True, indent=1).encode()
+    atomic_write_bytes(path, blob)

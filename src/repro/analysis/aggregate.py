@@ -144,6 +144,156 @@ def mean_halted(frame: ResultFrame) -> float:
     return float(frame.column("n_halted").mean())
 
 
+# -- streaming (running) aggregates ---------------------------------------
+
+#: Numeric columns folded into the streaming aggregates the serve
+#: executor maintains per cell (NaN rows are skipped, exactly like the
+#: ``where="finite"`` policy of the one-shot aggregators above).
+STREAM_COLUMNS = (
+    "first_decision_round",
+    "first_decision_ops",
+    "last_decision_round",
+    "total_ops",
+    "max_round",
+    "n_halted",
+)
+
+
+@dataclass
+class RunningColumnStat:
+    """Sufficient statistics for one column, foldable chunk by chunk.
+
+    Carries (count, sum, sum of squares, min, max) over the *finite*
+    values seen so far — enough to answer :class:`Mean` and
+    :class:`MeanCI` questions mid-run without retaining any chunk.  The
+    mean is exactly the full-column mean up to float summation order;
+    the CI half-width uses the same normal approximation as
+    :func:`repro.analysis.stats.mean_confidence_interval` (``inf`` for a
+    single sample), computed from the running moments.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def fold(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        kept = values[np.isfinite(values)]
+        if kept.size == 0:
+            return
+        self.count += int(kept.size)
+        self.total += float(kept.sum())
+        self.total_sq += float(np.square(kept).sum())
+        self.minimum = min(self.minimum, float(kept.min()))
+        self.maximum = max(self.maximum, float(kept.max()))
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise AggregationError(
+                "no finite values folded yet (all trials undecided so far)")
+        return self.total / self.count
+
+    def ci_half(self, z: float = 1.96) -> float:
+        mean = self.mean  # raises on empty
+        if self.count == 1:
+            return float("inf")
+        var = max(0.0, (self.total_sq - self.count * mean * mean)
+                  / (self.count - 1))
+        return z * (var ** 0.5) / (self.count ** 0.5)
+
+    def merge(self, other: "RunningColumnStat") -> None:
+        """Fold another stat in (sufficient statistics are additive)."""
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total": self.total,
+                "total_sq": self.total_sq, "min": self.minimum,
+                "max": self.maximum}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunningColumnStat":
+        return cls(count=int(data["count"]), total=float(data["total"]),
+                   total_sq=float(data["total_sq"]),
+                   minimum=float(data["min"]), maximum=float(data["max"]))
+
+
+class RunningCellAggregate:
+    """Streaming per-cell aggregates over an unbounded stream of chunks.
+
+    The serve executor folds each finished chunk's
+    :class:`~repro.sim.frame.ResultFrame` columns in
+    (:meth:`fold_frame`) and persists the result with the job state, so
+    a million-trial cell is queryable mid-run — mean/CI per stream
+    column, decide/agreement counts — while peak memory stays O(chunk).
+    JSON round-trips (:meth:`to_dict`/:meth:`from_dict`) keep resumes
+    exact: a resumed job folds only the chunks the crashed run had not
+    recorded.
+    """
+
+    def __init__(self) -> None:
+        self.trials = 0
+        self.decided = 0
+        self.agreed = 0
+        self.columns = {name: RunningColumnStat() for name in STREAM_COLUMNS}
+
+    def fold_frame(self, frame: ResultFrame) -> None:
+        self.trials += len(frame)
+        self.decided += int(frame.decided.sum())
+        self.agreed += int(frame.agreed.sum())
+        for name, stat in self.columns.items():
+            stat.fold(np.asarray(frame.column(name), dtype=float))
+
+    def merge(self, other: "RunningCellAggregate") -> None:
+        """Fold another aggregate in (e.g. a worker's chunk summary)."""
+        self.trials += other.trials
+        self.decided += other.decided
+        self.agreed += other.agreed
+        for name, stat in self.columns.items():
+            stat.merge(other.columns[name])
+
+    def table(self) -> dict:
+        """The queryable summary: counts plus per-column mean/CI."""
+        out = {
+            "trials": self.trials,
+            "decided": self.decided,
+            "agreement_rate": (self.agreed / self.trials
+                               if self.trials else None),
+        }
+        for name, stat in self.columns.items():
+            if stat.count:
+                out[name] = {"mean": stat.mean,
+                             "ci95_half": stat.ci_half(),
+                             "count": stat.count,
+                             "min": stat.minimum, "max": stat.maximum}
+            else:
+                out[name] = None
+        return out
+
+    def to_dict(self) -> dict:
+        return {"trials": self.trials, "decided": self.decided,
+                "agreed": self.agreed,
+                "columns": {name: stat.to_dict()
+                            for name, stat in self.columns.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunningCellAggregate":
+        agg = cls()
+        agg.trials = int(data["trials"])
+        agg.decided = int(data["decided"])
+        agg.agreed = int(data["agreed"])
+        for name, stat in data["columns"].items():
+            if name in agg.columns:
+                agg.columns[name] = RunningColumnStat.from_dict(stat)
+        return agg
+
+
 def fit_log_over_cells(xs: Sequence[float], means: Sequence[float],
                        min_x: float = 2) -> FitResult:
     """Fit ``mean = a*ln(x) + b`` across sweep cells, dropping ``x < min_x``.

@@ -45,6 +45,7 @@ from repro.api.compile import (
 from repro.api.batch import BatchRunner, run_batch, trial_seed_sequences
 from repro.api.compile import run_trials_frame
 from repro.api.sweep import (
+    LegacySeedLaneWarning,
     SweepAxis,
     SweepCell,
     SweepResult,
@@ -58,6 +59,7 @@ __all__ = [
     "AdversarySpec",
     "BatchRunner",
     "CompiledTrial",
+    "LegacySeedLaneWarning",
     "DeltaSpec",
     "EngineResolution",
     "FailureSpec",

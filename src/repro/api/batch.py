@@ -134,6 +134,18 @@ def _pool_context():
         "fork" if "fork" in methods else methods[0])
 
 
+def batch_engine(spec: TrialSpec, n_trials: int) -> Optional[str]:
+    """The engine a batch of ``n_trials`` trials of ``spec`` resolves to.
+
+    The single source of the batch-granular engine choice: the batch
+    runner resolves it once per batch, and the serve executor resolves
+    it once per *cell* (then threads it through every chunk of that
+    cell), so the recorded engine — and therefore the drawn streams —
+    never depend on worker or chunk boundaries.
+    """
+    return resolve_engine_info(spec, trials=n_trials).engine
+
+
 class BatchRunner:
     """Executes batches of trials, optionally across a process pool.
 
@@ -187,7 +199,7 @@ class BatchRunner:
         count, so serial runs, pools of any size, and any chunk_size
         record the same ``TrialResult.engine``.
         """
-        return resolve_engine_info(spec, trials=n_trials).engine
+        return batch_engine(spec, n_trials)
 
     def run(self, spec: TrialSpec, n_trials: int,
             seed: SeedLike = None) -> List[TrialResult]:

@@ -40,12 +40,13 @@ import hashlib
 import itertools
 import json
 import os
-import tempfile
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._atomicio import atomic_write_bytes
 from repro._rng import SeedLike, make_rng
 from repro._seedhash import SeedBlock
 from repro.errors import ConfigurationError
@@ -56,6 +57,30 @@ from repro.api.spec import SPEC_VERSION, TrialSpec, _freeze_params
 #: Bump when an engine/compiler change may alter trial results; stale
 #: cache entries then miss instead of resurrecting old numbers.
 CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-kernel1"
+
+
+class LegacySeedLaneWarning(UserWarning):
+    """A sweep ran on the mutating legacy spawn lane of a Generator root.
+
+    Passing a live ``numpy.random.Generator`` as the sweep seed keeps
+    the historical behavior — child seeds are *spawned* from the root,
+    advancing its spawn counter — which three capabilities of the
+    analytic value-seed lane cannot follow:
+
+    * the root's identity (entropy + spawn position) exists only in the
+      live object, so the sweep cannot be submitted as a
+      :class:`~repro.serve.job.SweepJob` or resumed after a crash;
+    * cache keys depend on the counter the caller happened to arrive
+      with, so cross-run cache hits are accidental rather than designed;
+    * the root mutates as a side effect, coupling the sweep to every
+      other consumer of the same generator.
+
+    Pass the seed *value* the generator was built from (an int, ``None``,
+    or a fresh ``SeedSequence``) for bit-identical results without the
+    side effect — or pass ``legacy_seed_ok=True`` to
+    :func:`run_sweep` when the mutation is the point (e.g. a harness
+    that deliberately threads one root through several draws).
+    """
 
 
 def _replace_field(obj, parts: Sequence[str], value):
@@ -200,10 +225,11 @@ class SweepSpec:
         return out
 
     def run(self, seed: SeedLike = None, workers: Optional[int] = None,
-            cache_dir: Optional[str] = None) -> "SweepResult":
+            cache_dir: Optional[str] = None,
+            legacy_seed_ok: bool = False) -> "SweepResult":
         """Execute the sweep (see :func:`run_sweep`)."""
         return run_sweep(self, seed=seed, workers=workers,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, legacy_seed_ok=legacy_seed_ok)
 
 
 @dataclass
@@ -215,6 +241,10 @@ class SweepResult:
     frames: List[ResultFrame]
     seed_entropy: Optional[int] = None
     cache_hits: int = 0
+    #: Which seed lane executed the sweep: ``"analytic"`` (value seeds —
+    #: cacheable, resumable, submittable as a job) or ``"legacy-spawn"``
+    #: (a live Generator root whose spawn counter was advanced).
+    seed_lane: str = "analytic"
 
     def __iter__(self) -> Iterator[Tuple[SweepCell, ResultFrame]]:
         return iter(zip(self.cells, self.frames))
@@ -271,22 +301,19 @@ def _cache_load(cache_dir: str, key: str,
 
 
 def _cache_store(cache_dir: str, key: str, frame: ResultFrame) -> None:
-    os.makedirs(cache_dir, exist_ok=True)
-    fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez(handle, **frame.to_payload())
-        os.replace(tmp_path, os.path.join(cache_dir, f"{key}.npz"))
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
+    # Crash-safe by the shared atomic-write discipline: a run killed at
+    # any instant (including between the payload write and the rename)
+    # never leaves a torn entry under the final name — the next run sees
+    # a clean miss and recomputes the cell.
+    atomic_write_bytes(os.path.join(cache_dir, f"{key}.npz"),
+                       frame.to_npz_bytes())
 
 
 def run_sweep(sweep: SweepSpec, seed: SeedLike = None,
               workers: Optional[int] = None,
               runner: Optional[BatchRunner] = None,
-              cache_dir: Optional[str] = None) -> SweepResult:
+              cache_dir: Optional[str] = None,
+              legacy_seed_ok: bool = False) -> SweepResult:
     """Execute a sweep through the batch runner, one frame per cell.
 
     Seed discipline: ``seed`` is normalized to a single root generator
@@ -309,9 +336,24 @@ def run_sweep(sweep: SweepSpec, seed: SeedLike = None,
     its counter advance; fresh ``SeedSequence`` roots are treated as
     pure values (their counter is *not* advanced — the same exception
     :func:`~repro.api.compile.run_trials_frame` documents).
+
+    A Generator root emits :class:`LegacySeedLaneWarning` unless
+    ``legacy_seed_ok=True``: the legacy lane cannot be cached
+    deterministically, resumed, or submitted as a serve job (see the
+    warning class for the full limitation), and the executed lane is
+    recorded on ``SweepResult.seed_lane`` either way.
     """
     runner = runner if runner is not None else BatchRunner(workers=workers)
     if isinstance(seed, np.random.Generator):
+        if not legacy_seed_ok:
+            warnings.warn(
+                "run_sweep received a live Generator root: taking the "
+                "mutating legacy spawn lane (advances the root's spawn "
+                "counter; not cacheable-by-value, not resumable, not "
+                "submittable as a serve job). Pass the seed value the "
+                "generator was built from for the analytic lane, or "
+                "legacy_seed_ok=True to silence this warning.",
+                LegacySeedLaneWarning, stacklevel=2)
         root = seed
         root_seq = None
         entropy, spawn_key, spawned = _seed_fingerprint(root)
@@ -350,4 +392,6 @@ def run_sweep(sweep: SweepSpec, seed: SeedLike = None,
     return SweepResult(sweep=sweep, cells=cells, frames=frames,
                        seed_entropy=entropy if isinstance(entropy, int)
                        else None,
-                       cache_hits=hits)
+                       cache_hits=hits,
+                       seed_lane=("legacy-spawn" if root is not None
+                                  else "analytic"))

@@ -121,6 +121,72 @@ def scaling_shaped(trials: int = 4_000, n: int = 64,
     }
 
 
+def serve_throughput(trials: int = 2_000, ns=(1, 10),
+                     seed: int = 2000) -> Dict[str, object]:
+    """The job lane vs. direct ``run_sweep`` on one figure1-shaped sweep.
+
+    Three numbers: the in-process sweep, the same sweep as a cold
+    :class:`~repro.serve.SweepJob` (chunked, content-addressed, state
+    persisted per chunk), and the rerun against the now-populated store
+    (every chunk adopted, nothing computed).  Identity between the job
+    frames and the sweep frames is asserted unconditionally.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api import (NoiseSpec, NoisyModelSpec, SweepAxis, SweepSpec,
+                           TrialSpec, run_sweep)
+    from repro.serve import JobRunner, ResultStore, SweepJob
+
+    def make_sweep(k: int) -> SweepSpec:
+        return SweepSpec(
+            base=TrialSpec(n=1, model=NoisyModelSpec(
+                noise=NoiseSpec.of("exponential", mean=1.0)),
+                engine="fast", stop_after_first_decision=True),
+            axes=(SweepAxis("n", tuple(ns)),),
+            trials=k)
+
+    sweep = make_sweep(trials)
+    # Warm the sweep/job machinery (imports, engine resolution).
+    run_sweep(make_sweep(min(200, trials)), seed=1)
+    ref, direct_s = _timed(lambda: run_sweep(sweep, seed=seed))
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        job = SweepJob.from_sweep(sweep, seed=seed)
+        # Cold: best-of-2, each against a fresh store (a populated store
+        # would turn rep 2 into the adopted path).
+        result, cold_s = None, float("inf")
+        for rep in range(2):
+            store = ResultStore(os.path.join(tmp, f"cold{rep}"))
+            start = time.perf_counter()
+            result = JobRunner(store, workers=1).run(job)
+            cold_s = min(cold_s, time.perf_counter() - start)
+        # Adopted: rerun against the last populated store.
+        _, warm_s = _timed(lambda: JobRunner(store, workers=1).run(job))
+        identical = all(frame == ref.frames[cell.index]
+                        for cell, frame in result)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    total = trials * len(ns)
+    return {
+        "workload": ("serve-throughput: figure1-shaped sweep through the "
+                     "job lane (chunked + content-addressed store) vs. "
+                     "direct run_sweep"),
+        "ns": list(ns), "trials_per_point": trials,
+        "chunks": len(job.chunks()),
+        "direct_seconds": round(direct_s, 3),
+        "job_seconds": round(cold_s, 3),
+        "adopted_seconds": round(warm_s, 3),
+        "direct_trials_per_sec": round(total / max(direct_s, 1e-9), 1),
+        "job_trials_per_sec": round(total / max(cold_s, 1e-9), 1),
+        "adopted_trials_per_sec": round(total / max(warm_s, 1e-9), 1),
+        "job_overhead": round(cold_s / max(direct_s, 1e-9), 2),
+        "identical": identical,
+    }
+
+
 def load_ledger(path: str) -> Dict[str, List[dict]]:
     if os.path.exists(path):
         with open(path) as fh:
@@ -158,11 +224,13 @@ def latest_result(path: str, workload: str) -> Optional[dict]:
 
 
 def format_table(results: Dict[str, dict]) -> str:
-    """The ledger results as a fixed-width table."""
+    """The ledger results as fixed-width tables."""
     from repro.experiments._common import format_table as table
 
     rows = []
     for name, r in results.items():
+        if "kernel_trials_per_sec" not in r:
+            continue
         rows.append([
             name,
             r.get("n", ",".join(str(v) for v in r.get("ns", []))),
@@ -172,17 +240,41 @@ def format_table(results: Dict[str, dict]) -> str:
             f"{r['kernel_speedup']:.2f}x",
             "yes" if r["identical"] else "NO",
         ])
-    return table(
+    out = [table(
         ["workload", "n", "trials/pt", "frame/s", "kernel/s",
          "speedup", "bit-identical"],
-        rows, title="Engine benchmark: frame path vs. lockstep kernel")
+        rows, title="Engine benchmark: frame path vs. lockstep kernel")]
+    serve_rows = []
+    for name, r in results.items():
+        if "job_trials_per_sec" not in r:
+            continue
+        serve_rows.append([
+            name,
+            ",".join(str(v) for v in r.get("ns", [])),
+            r.get("trials_per_point"),
+            r.get("chunks"),
+            f"{r['direct_trials_per_sec']:,.0f}",
+            f"{r['job_trials_per_sec']:,.0f}",
+            f"{r['adopted_trials_per_sec']:,.0f}",
+            f"{r['job_overhead']:.2f}x",
+            "yes" if r["identical"] else "NO",
+        ])
+    if serve_rows:
+        out.append(table(
+            ["workload", "n", "trials/pt", "chunks", "direct/s", "job/s",
+             "adopted/s", "overhead", "bit-identical"],
+            serve_rows,
+            title="Sweep service: job lane vs. direct run_sweep"))
+    return "\n\n".join(out)
 
 
 def run_suite(trials: int = 10_000,
-              scaling_trials: int = 4_000) -> Dict[str, dict]:
+              scaling_trials: int = 4_000,
+              serve_trials: int = 2_000) -> Dict[str, dict]:
     return {
         "figure1_shaped": figure1_shaped(trials=trials),
         "scaling_shaped": scaling_shaped(trials=scaling_trials),
+        "serve_throughput": serve_throughput(trials=serve_trials),
     }
 
 
@@ -196,6 +288,9 @@ def main(argv=None) -> int:
                              "(default: the paper's 10,000)")
     parser.add_argument("--scaling-trials", type=int, default=4_000,
                         help="trials for the scaling-shaped point")
+    parser.add_argument("--serve-trials", type=int, default=2_000,
+                        help="trials per point for the serve-throughput "
+                             "(job lane vs. direct run_sweep) workload")
     parser.add_argument("--label", default="manual",
                         help="ledger entry label (e.g. 'PR 4')")
     parser.add_argument("--out", default=None,
@@ -205,7 +300,8 @@ def main(argv=None) -> int:
                         help="print the table without touching the ledger")
     args = parser.parse_args(argv)
     results = run_suite(trials=args.trials,
-                        scaling_trials=args.scaling_trials)
+                        scaling_trials=args.scaling_trials,
+                        serve_trials=args.serve_trials)
     print(format_table(results))
     if not args.no_append:
         path = args.out or default_ledger_path()

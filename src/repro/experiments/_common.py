@@ -58,6 +58,25 @@ def seed_entropy(root: np.random.Generator):
     return getattr(seq, "entropy", None)
 
 
+def sweep_value_seed(seed):
+    """Normalize a seed-like value onto the analytic sweep-seed lane.
+
+    A live ``Generator`` is replaced by its ``SeedSequence``:
+    :func:`~repro.api.run_sweep` treats a ``SeedSequence`` as a pure
+    value (same child identities, counter not advanced), so harnesses
+    that only need the root for the sweep itself get bit-identical
+    results on the cacheable/resumable analytic lane instead of the
+    mutating legacy spawn lane — without
+    :class:`~repro.api.LegacySeedLaneWarning`, and without changing
+    what an int or ``None`` seed ultimately draws.  Only correct when
+    nothing else spawns from the generator afterwards (the harness
+    below each call site owns its root).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    return seed
+
+
 @dataclass
 class CliScale:
     """Parsed command-line scale options shared by experiment mains."""

@@ -44,6 +44,7 @@ from repro.experiments._common import (
     parse_scale,
     scale_parser,
     seed_entropy,
+    sweep_value_seed,
 )
 
 
@@ -135,7 +136,8 @@ def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
     mean_first = Mean("first_decision_round")
     return [SigmaRow(sigma=cell.coord("sigma"),
                      mean_first_round=mean_first(frame))
-            for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
+            for cell, frame in run_sweep(sweep, seed=sweep_value_seed(seed),
+                                         workers=workers,
                                          cache_dir=cache_dir)]
 
 

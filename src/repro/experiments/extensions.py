@@ -50,6 +50,7 @@ from repro.experiments._common import (
     parse_scale,
     scale_parser,
     seed_entropy,
+    sweep_value_seed,
 )
 
 
@@ -97,7 +98,8 @@ def run_statistical(n: int = 32, trials: int = 60, mean_bound: float = 0.5,
                     burst_every=cell.coord("burst_every"),
                     mean_last_round=mean_last(frame),
                     agreement_rate=agreement_rate(frame))
-            for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
+            for cell, frame in run_sweep(sweep, seed=sweep_value_seed(seed),
+                                         workers=workers,
                                          cache_dir=cache_dir)]
 
 

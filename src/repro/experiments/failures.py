@@ -38,6 +38,7 @@ from repro.experiments._common import (
     parse_scale,
     scale_parser,
     seed_entropy,
+    sweep_value_seed,
 )
 
 DEFAULT_HS = (0.0, 0.001, 0.005, 0.02)
@@ -92,8 +93,8 @@ def run_halting(n: int, hs: Sequence[float], trials: int,
         trials=trials)
     mean_last = Mean("last_decision_round")
     rows = []
-    for cell, frame in run_sweep(sweep, seed=seed, workers=workers,
-                                 cache_dir=cache_dir):
+    for cell, frame in run_sweep(sweep, seed=sweep_value_seed(seed),
+                                 workers=workers, cache_dir=cache_dir):
         decided = decided_count(frame)
         rows.append(HaltingRow(
             h=cell.coord("h"), trials=trials, decided_trials=decided,

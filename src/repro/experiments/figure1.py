@@ -38,6 +38,7 @@ from repro.experiments._common import (
     parse_scale,
     scale_parser,
     seed_entropy,
+    sweep_value_seed,
 )
 
 
@@ -129,8 +130,8 @@ def run(ns: Sequence[int] = DEFAULT_NS,
                        max_total_ops=max_total_ops)
     mean_ci = MeanCI("first_decision_round")
     mean_ops = Mean("first_decision_ops")
-    for cell, frame in run_sweep(sweep, seed=root, workers=workers,
-                                 cache_dir=cache_dir):
+    for cell, frame in run_sweep(sweep, seed=sweep_value_seed(root),
+                                 workers=workers, cache_dir=cache_dir):
         mean, half = mean_ci(frame)
         point = Figure1Point(n=cell.coord("n"), trials=trials,
                              mean_round=mean, ci95=half,

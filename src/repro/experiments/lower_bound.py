@@ -113,8 +113,11 @@ def run(ns: Sequence[int] = DEFAULT_LB_NS,
     pair_emp: Dict[int, float] = {}
     pair_ana: Dict[int, float] = {}
     first_of, last_of = Mean("first_decision_round"), Mean("last_decision_round")
+    # The root is deliberately threaded: event_rng was spawned from it
+    # above, so the sweep must keep consuming the same root's counter
+    # (the legacy lane) to reproduce the historical interleaving.
     for cell, frame in run_sweep(sweep, seed=root, workers=workers,
-                                 cache_dir=cache_dir):
+                                 cache_dir=cache_dir, legacy_seed_ok=True):
         n = cell.coord("n")
         mean_first[n] = first_of(frame)
         mean_last[n] = last_of(frame)

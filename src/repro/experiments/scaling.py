@@ -37,6 +37,7 @@ from repro.experiments._common import (
     parse_scale,
     scale_parser,
     seed_entropy,
+    sweep_value_seed,
 )
 
 
@@ -93,8 +94,8 @@ def run(ns: Sequence[int] = DEFAULT_NS,
     mean_first: Dict[int, float] = {}
     mean_last: Dict[int, float] = {}
     first_of, last_of = Mean("first_decision_round"), Mean("last_decision_round")
-    for cell, frame in run_sweep(sweep, seed=root, workers=workers,
-                                 cache_dir=cache_dir):
+    for cell, frame in run_sweep(sweep, seed=sweep_value_seed(root),
+                                 workers=workers, cache_dir=cache_dir):
         mean_first[cell.coord("n")] = first_of(frame)
         mean_last[cell.coord("n")] = last_of(frame)
     fit_first = fit_log_over_cells(ns, [mean_first[n] for n in ns])

@@ -1,0 +1,68 @@
+"""``repro.serve``: sweeps as jobs — sharded, streaming, resumable.
+
+The production lane over the same deterministic core as
+:func:`~repro.api.sweep.run_sweep`:
+
+* :mod:`repro.serve.job` — :class:`SweepJob` compiles a sweep + root
+  seed into a persisted, content-addressed job document split into
+  chunk-granular work units; :class:`JobState` tracks lifecycle
+  (``queued``/``running``/``partial``/``done``/``failed``) and progress.
+* :mod:`repro.serve.store` — the content-addressed
+  :class:`ResultStore`: chunk frames keyed by what they compute, atomic
+  writes, cross-job dedup, claim files for concurrent coordinators.
+* :mod:`repro.serve.executor` — :class:`JobRunner` fans chunks across a
+  process pool, survives worker death by requeuing, survives
+  coordinator death by resuming from the store, and folds each finished
+  chunk into streaming per-cell aggregates (mean/CI queryable mid-run,
+  O(chunk) memory).
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — a stdlib HTTP
+  job API (``python -m repro serve``) and its ``urllib`` client.
+* :mod:`repro.serve.cli` — ``submit`` / ``status`` / ``watch`` /
+  ``result`` subcommands.
+
+The contract throughout: a job's frames are **bit-identical** to the
+in-process ``run_sweep`` of the same sweep and seed — same SeedBlock
+child identities, same cell-level engine resolution — no matter how the
+work was chunked, pooled, killed, or resumed.
+"""
+
+from repro.serve.job import (  # noqa: F401
+    DEFAULT_CHUNK_SIZE,
+    ChunkTask,
+    JobCell,
+    JobState,
+    SweepJob,
+    effective_state,
+)
+from repro.serve.store import ResultStore, chunk_key  # noqa: F401
+from repro.serve.executor import (  # noqa: F401
+    Dispatcher,
+    InlineDispatcher,
+    JobFailedError,
+    JobResult,
+    JobRunner,
+    PoolDispatcher,
+    job_status,
+    load_result,
+    verify_result,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkTask",
+    "Dispatcher",
+    "InlineDispatcher",
+    "JobCell",
+    "JobFailedError",
+    "JobResult",
+    "JobRunner",
+    "JobState",
+    "PoolDispatcher",
+    "ResultStore",
+    "SweepJob",
+    "chunk_key",
+    "effective_state",
+    "job_status",
+    "load_result",
+    "verify_result",
+]

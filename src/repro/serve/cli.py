@@ -1,0 +1,274 @@
+"""CLI surface of the sweep service: ``python -m repro serve`` & friends.
+
+Subcommands (dispatched from :mod:`repro.__main__`):
+
+* ``serve``   — run the job API server over a result store.
+* ``submit``  — submit a sweep (currently the ``figure1`` preset grid)
+  either to a running server (``--url``) or straight into a local store
+  (``--store``), where the job runs in-process; ``--sync`` blocks until
+  done.  Submission is idempotent: the same sweep resolves to the same
+  job id, and chunks shared with earlier jobs are adopted from the
+  store instead of recomputed.
+* ``status``  — one status document (state, progress, trials/s, ETA).
+* ``watch``   — poll status until the job reaches a terminal state,
+  printing one progress line per change.
+* ``result``  — fetch the finished frames and print per-cell summary
+  rows; ``--check-local`` recomputes every cell in process and verifies
+  the stored frames are bit-identical.
+
+Every subcommand accepts ``--store DIR`` (local mode) or ``--url URL``
+(remote mode); output is line-oriented text by default, ``--json`` where
+a structured document exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--store", metavar="DIR",
+                        help="local result-store directory (in-process mode)")
+    target.add_argument("--url", metavar="URL",
+                        help="base URL of a running `repro serve` endpoint")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="sharded, streaming, resumable sweep service")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the job API server")
+    serve.add_argument("--store", required=True, metavar="DIR")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes per job (default: cpu count)")
+
+    submit = sub.add_parser("submit", help="submit a sweep as a job")
+    _add_endpoint_args(submit)
+    submit.add_argument("--preset", default="figure1", choices=["figure1"])
+    submit.add_argument("--ns", type=int, nargs="+", default=[1, 10])
+    submit.add_argument("--trials", type=int, default=100)
+    submit.add_argument("--distributions", nargs="+", default=None,
+                        metavar="NAME")
+    submit.add_argument("--engine", default="auto")
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--chunk-size", type=int, default=None)
+    submit.add_argument("--workers", type=int, default=None,
+                        help="worker processes (local mode only)")
+    submit.add_argument("--sync", action="store_true",
+                        help="block until the job is terminal")
+    submit.add_argument("--json", action="store_true")
+
+    for name, help_text in (("status", "one status document"),
+                            ("watch", "poll status until terminal")):
+        cmd = sub.add_parser(name, help=help_text)
+        _add_endpoint_args(cmd)
+        cmd.add_argument("job_id")
+        cmd.add_argument("--json", action="store_true")
+        if name == "watch":
+            cmd.add_argument("--interval", type=float, default=0.5)
+            cmd.add_argument("--timeout", type=float, default=None)
+
+    result = sub.add_parser("result", help="fetch finished frames")
+    _add_endpoint_args(result)
+    result.add_argument("job_id")
+    result.add_argument("--json", action="store_true")
+    result.add_argument("--check-local", action="store_true",
+                        help="recompute every cell in process and verify "
+                             "the stored frames are bit-identical")
+    return parser
+
+
+# -- local (in-process) endpoint -------------------------------------------
+
+
+class _LocalEndpoint:
+    """The ``--store DIR`` lane: same verbs as ServeClient, no HTTP."""
+
+    def __init__(self, store_dir: str, workers: Optional[int] = None) -> None:
+        from repro.serve.store import ResultStore
+        self.store = ResultStore(store_dir)
+        self.workers = workers
+
+    def submit(self, body: dict) -> dict:
+        from repro.serve.executor import JobRunner
+        from repro.serve.job import JobState, effective_state
+        from repro.serve.server import job_from_submission
+        job = job_from_submission(body)
+        job.save(self.store)
+        state = effective_state(JobState.load(self.store, job.job_id))
+        if state != "done":
+            JobRunner(self.store, workers=self.workers).run(job)
+        return {"job_id": job.job_id, "accepted": state != "done",
+                "state": effective_state(
+                    JobState.load(self.store, job.job_id))}
+
+    def status(self, job_id: str) -> dict:
+        from repro.serve.executor import job_status
+        return job_status(self.store, job_id)
+
+    def wait(self, job_id: str, interval: float = 0.5,
+             timeout: Optional[float] = None) -> dict:
+        # Local submission is synchronous, so the job is already terminal.
+        return self.status(job_id)
+
+    def watch(self, job_id: str, interval: float = 0.5,
+              timeout: Optional[float] = None):
+        yield self.status(job_id)
+
+    def result_frames(self, job_id: str):
+        from repro.serve.executor import load_result
+        from repro.serve.job import SweepJob
+        result = load_result(self.store, job_id)
+        job = SweepJob.load(self.store, job_id)
+        return [(cell.labels, result.frames[cell.index])
+                for cell in job.cells]
+
+    def verify(self, job_id: str) -> bool:
+        from repro.serve.executor import load_result, verify_result
+        return verify_result(load_result(self.store, job_id))
+
+
+def _endpoint(args):
+    if args.store:
+        return _LocalEndpoint(args.store, workers=getattr(args, "workers",
+                                                          None))
+    from repro.serve.client import ServeClient
+    return ServeClient(args.url)
+
+
+# -- subcommand bodies -----------------------------------------------------
+
+
+def _submission_body(args) -> dict:
+    preset = {"name": args.preset, "ns": args.ns, "trials": args.trials,
+              "engine": args.engine}
+    if args.distributions:
+        preset["distributions"] = args.distributions
+    body = {"preset": preset}
+    if args.seed is not None:
+        body["seed"] = args.seed
+    if args.chunk_size is not None:
+        body["chunk_size"] = args.chunk_size
+    return body
+
+
+def _progress_line(status: dict) -> str:
+    parts = [f"[{status.get('state', '?')}]",
+             f"chunks {status.get('chunks_done', 0)}"
+             f"/{status.get('chunks_total', '?')}",
+             f"trials {status.get('trials_done', 0)}"
+             f"/{status.get('trials_total', '?')}",
+             f"cells {status.get('cells_done', 0)}"
+             f"/{status.get('cells_total', '?')}"]
+    rate = status.get("trials_per_sec")
+    if rate:
+        parts.append(f"{rate:,.0f} trials/s")
+    eta = status.get("eta_s")
+    if eta is not None:
+        parts.append(f"eta {eta:.1f}s")
+    if status.get("error"):
+        parts.append(f"error: {status['error']}")
+    return "  ".join(parts)
+
+
+def _cmd_submit(args) -> int:
+    endpoint = _endpoint(args)
+    receipt = endpoint.submit(_submission_body(args))
+    if args.json:
+        print(json.dumps(receipt))
+    else:
+        print(f"job {receipt['job_id']} "
+              f"({'accepted' if receipt['accepted'] else 'already known'}, "
+              f"state: {receipt['state']})")
+    if args.sync and receipt["state"] not in ("done", "failed"):
+        status = endpoint.wait(receipt["job_id"])
+        if not args.json:
+            print(_progress_line(status))
+        return 0 if status.get("state") == "done" else 1
+    return 0 if receipt["state"] != "failed" else 1
+
+
+def _cmd_status(args) -> int:
+    status = _endpoint(args).status(args.job_id)
+    print(json.dumps(status, indent=2) if args.json
+          else _progress_line(status))
+    return 0 if status.get("state") != "failed" else 1
+
+
+def _cmd_watch(args) -> int:
+    endpoint = _endpoint(args)
+    last = None
+    status: dict = {}
+    for status in endpoint.watch(args.job_id, interval=args.interval,
+                                 timeout=args.timeout):
+        line = _progress_line(status)
+        if line != last:
+            print(line, flush=True)
+            last = line
+    if args.json:
+        print(json.dumps(status, indent=2))
+    return 0 if status.get("state") == "done" else 1
+
+
+def _cmd_result(args) -> int:
+    endpoint = _endpoint(args)
+    cells = endpoint.result_frames(args.job_id)
+    if args.json:
+        doc = []
+        for labels, frame in cells:
+            doc.append({"labels": [list(pair) for pair in labels],
+                        "trials": len(frame),
+                        "decided": int(frame.decided.sum()),
+                        "mean_total_ops": float(frame.column(
+                            "total_ops").mean())})
+        print(json.dumps(doc, indent=2))
+    else:
+        for labels, frame in cells:
+            tag = " ".join(f"{k}={v}" for k, v in labels)
+            print(f"{tag}: trials={len(frame)} "
+                  f"decided={int(frame.decided.sum())} "
+                  f"mean_total_ops={float(frame.column('total_ops').mean()):.2f}")
+    if args.check_local:
+        if args.url:
+            print("--check-local needs --store (direct store access)",
+                  file=sys.stderr)
+            return 2
+        ok = endpoint.verify(args.job_id)
+        print("verify: stored frames are bit-identical to a fresh "
+              "in-process run" if ok else
+              "verify: MISMATCH between stored frames and in-process run")
+        return 0 if ok else 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            from repro.serve.server import serve_forever
+            return serve_forever(args.store, host=args.host, port=args.port,
+                                 workers=args.workers)
+        handler = {"submit": _cmd_submit, "status": _cmd_status,
+                   "watch": _cmd_watch, "result": _cmd_result}[args.command]
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""A stdlib HTTP client for the sweep service.
+
+:class:`ServeClient` wraps the job API with the same vocabulary as the
+CLI (``submit`` / ``status`` / ``watch`` / ``result``), using only
+``urllib`` — no client-side dependencies.  ``result`` reassembles
+per-cell :class:`~repro.sim.frame.ResultFrame` objects by fetching each
+chunk from the object endpoint and concatenating in grid order, so the
+frames a remote client receives are byte-identical to what
+:func:`~repro.api.sweep.run_sweep` computes in process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.sim.frame import ResultFrame
+
+
+class ServeError(ReproError):
+    """The service answered with an error (or could not be reached)."""
+
+
+class ServeClient:
+    """Talks to a ``python -m repro serve`` endpoint."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str, body: Optional[Dict] = None) -> bytes:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=data,
+            headers={"Content-Type": "application/json"} if body is not None
+            else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServeError(
+                f"{request.get_method()} {path} -> {exc.code}: {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach sweep service at {self.url}: "
+                f"{exc.reason}") from exc
+
+    def _json(self, path: str, body: Optional[Dict] = None) -> Dict:
+        return json.loads(self._request(path, body))
+
+    # -- job API -----------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._json("/healthz")
+
+    def submit(self, body: Dict) -> Dict:
+        """Submit a job (``{"job": ...}`` or ``{"preset": ...}``) body."""
+        return self._json("/jobs", body=body)
+
+    def submit_job(self, job) -> Dict:
+        """Submit a compiled :class:`~repro.serve.job.SweepJob`."""
+        return self.submit({"job": job.to_dict()})
+
+    def jobs(self) -> List[Dict]:
+        return self._json("/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._json(f"/jobs/{job_id}")
+
+    def aggregates(self, job_id: str) -> Dict:
+        return self._json(f"/jobs/{job_id}/aggregates")
+
+    def manifest(self, job_id: str) -> Dict:
+        return self._json(f"/jobs/{job_id}/result")
+
+    def object_bytes(self, key: str) -> bytes:
+        return self._request(f"/objects/{key}")
+
+    # -- conveniences ------------------------------------------------------
+
+    def watch(self, job_id: str, interval: float = 0.5,
+              timeout: Optional[float] = None) -> Iterator[Dict]:
+        """Yield status documents until the job reaches a terminal state.
+
+        Terminal means ``done``/``failed``/``partial`` (a ``partial``
+        job will not progress until someone resubmits it).  Raises
+        :class:`ServeError` on ``timeout`` (seconds, ``None`` = wait
+        forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            yield status
+            if status.get("state") in ("done", "failed", "partial"):
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout:.0f}s")
+            time.sleep(interval)
+
+    def wait(self, job_id: str, interval: float = 0.5,
+             timeout: Optional[float] = None) -> Dict:
+        """Block until terminal; returns the final status document."""
+        status: Dict = {}
+        for status in self.watch(job_id, interval=interval, timeout=timeout):
+            pass
+        return status
+
+    def result_frames(self, job_id: str
+                      ) -> List[Tuple[Tuple[Tuple[str, str], ...],
+                                      ResultFrame]]:
+        """Fetch and reassemble every cell's frame, in grid order.
+
+        Returns ``[(labels, frame), ...]``.  Raises if any chunk is
+        still missing (check ``manifest()['complete']`` or ``wait()``
+        first for a friendlier flow).
+        """
+        manifest = self.manifest(job_id)
+        if not manifest["complete"]:
+            missing = sum(1 for cell in manifest["cells"]
+                          for chunk in cell["chunks"] if not chunk["stored"])
+            raise ServeError(
+                f"job {job_id} is {manifest['state']!r}: {missing} chunks "
+                "not yet stored; wait for completion (or resubmit a "
+                "partial job) before fetching the result")
+        out = []
+        for cell in manifest["cells"]:
+            frames = [ResultFrame.from_npz_bytes(
+                          self.object_bytes(chunk["key"]))
+                      for chunk in cell["chunks"]]
+            frame = (frames[0] if len(frames) == 1
+                     else ResultFrame.concat(frames))
+            labels = tuple((str(k), str(v)) for k, v in cell["labels"])
+            out.append((labels, frame))
+        return out

@@ -1,0 +1,561 @@
+"""Sharded, resumable execution of sweep jobs over the result store.
+
+The executor turns a :class:`~repro.serve.job.SweepJob` into chunk-
+granular work units and drives them to completion with three
+properties the in-process :func:`~repro.api.sweep.run_sweep` loop does
+not have:
+
+* **Sharding with a pluggable dispatch seam.**  Chunks fan out across a
+  :class:`PoolDispatcher` (a ``concurrent.futures`` process pool) by
+  default; anything implementing the two-method :class:`Dispatcher`
+  surface (``submit``/``restart``) can stand in — the seam a future
+  multi-node dispatcher plugs into, and the one the tests use to
+  count/instrument chunk execution.
+* **Crash survival at every level.**  A finished chunk is atomically in
+  the content-addressed store before it is acknowledged, so a SIGKILLed
+  *worker* costs one in-flight chunk (detected as a broken pool,
+  requeued, pool restarted), and a SIGKILLed *coordinator* costs only
+  the chunks in flight at death — a resume replans, sees the stored
+  chunks, and computes the remainder.  Results are bit-identical either
+  way, because chunk identity (spec, engine, absolute seed offset) is
+  position-independent.
+* **Streaming aggregation.**  Workers return each chunk's columnar
+  summary (:class:`~repro.analysis.aggregate.RunningCellAggregate`
+  sufficient statistics), the coordinator merges them per cell and
+  persists the running tables with the job state — so a million-trial
+  cell is queryable mid-run while the coordinator holds O(chunk) rows.
+
+Cross-job dedup: before computing a chunk the coordinator checks the
+store (another job may have produced it) and takes a *claim* on it;
+chunks claimed by a live foreign process are deferred and re-checked, so
+two concurrent jobs with overlapping grids compute each shared chunk
+exactly once.
+
+Chaos-test seams (used by the kill/resume tests, inert when unset):
+``REPRO_SERVE_TEST_KILL_ONCE=<marker>`` makes a worker SIGKILL itself
+before its first chunk (creating ``<marker>`` so it only dies once);
+``REPRO_SERVE_TEST_CHUNK_DELAY=<seconds>`` sleeps before each chunk.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro._seedhash import SeedBlock
+from repro.analysis.aggregate import RunningCellAggregate
+from repro.api.compile import run_trials_frame
+from repro.api.spec import TrialSpec
+from repro.errors import ReproError
+from repro.sim.frame import ResultFrame
+from repro.serve.job import (
+    ChunkTask,
+    JobState,
+    SweepJob,
+    effective_state,
+)
+from repro.serve.store import ResultStore
+
+
+class JobFailedError(ReproError):
+    """A job ended in the ``failed`` state (error recorded on the state)."""
+
+
+def _test_seams() -> None:
+    """Honour the chaos-test environment seams (no-ops when unset)."""
+    marker = os.environ.get("REPRO_SERVE_TEST_KILL_ONCE")
+    if marker and not os.path.exists(marker):
+        try:
+            with open(marker, "x"):
+                pass
+        except OSError:
+            pass  # uncreatable marker: the worker dies on every attempt
+        os.kill(os.getpid(), signal.SIGKILL)
+    delay = os.environ.get("REPRO_SERVE_TEST_CHUNK_DELAY")
+    if delay:
+        time.sleep(float(delay))
+
+
+def run_chunk_task(payload: Dict) -> Dict:
+    """Compute one chunk and store it (the worker entry point).
+
+    Rebuilds the cell spec, derives the chunk's per-trial seeds as a
+    :class:`~repro._seedhash.SeedBlock` at the task's *absolute* child
+    offset (the identical identities ``run_sweep`` would hand the batch
+    runner), replays them through
+    :func:`~repro.api.compile.run_trials_frame` on the cell-resolved
+    engine, writes the frame atomically into the store, and returns the
+    chunk's streaming-aggregate summary — the frame itself never crosses
+    the pipe.
+    """
+    _test_seams()
+    started = time.perf_counter()
+    store = ResultStore(payload["store_root"])
+    key = payload["key"]
+    stored = store.get(key)
+    if stored is not None and len(stored) == payload["count"]:
+        frame = stored  # another job raced us to it: adopt, don't recompute
+        computed = False
+    else:
+        spec = TrialSpec.from_dict(payload["spec"])
+        block = SeedBlock(payload["entropy"], tuple(payload["spawn_key"]),
+                          payload["offset"], payload["count"])
+        frame = run_trials_frame(spec, block, engine=payload["engine"])
+        store.put(key, frame)
+        computed = True
+    summary = RunningCellAggregate()
+    summary.fold_frame(frame)
+    return {"key": key, "cell_index": payload["cell_index"],
+            "count": payload["count"], "computed": computed,
+            "seconds": time.perf_counter() - started,
+            "summary": summary.to_dict()}
+
+
+def _task_payload(job: SweepJob, task: ChunkTask, store: ResultStore) -> Dict:
+    return {
+        "store_root": store.root,
+        "key": task.key,
+        "cell_index": task.cell_index,
+        "spec": job.cells[task.cell_index].spec.to_dict(),
+        "entropy": job.entropy,
+        "spawn_key": list(job.spawn_key),
+        "offset": task.offset,
+        "count": task.count,
+        "engine": task.engine,
+    }
+
+
+class Dispatcher:
+    """The dispatch seam: something that runs chunk payloads.
+
+    ``submit`` returns a ``concurrent.futures.Future``; ``restart`` is
+    called after a broken-pool event and must leave the dispatcher
+    usable again.  A multi-node dispatcher (or an instrumented test
+    double) implements these two methods.
+    """
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        raise NotImplementedError
+
+    def restart(self) -> None:  # pragma: no cover - interface default
+        pass
+
+    def shutdown(self) -> None:  # pragma: no cover - interface default
+        pass
+
+
+class InlineDispatcher(Dispatcher):
+    """Runs chunks synchronously in the coordinator process.
+
+    The ``workers<=1`` path: no pool, no pickling, and the chunk
+    function is swappable (the dedup/concurrency tests count executions
+    through it).
+    """
+
+    def __init__(self, chunk_fn: Callable[[Dict], Dict] = run_chunk_task
+                 ) -> None:
+        self.chunk_fn = chunk_fn
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(self.chunk_fn(payload))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            future.set_exception(exc)
+        return future
+
+
+class PoolDispatcher(Dispatcher):
+    """Fans chunks across a ``ProcessPoolExecutor``.
+
+    A worker SIGKILL breaks the whole pool (every pending future raises
+    ``BrokenProcessPool``); the job runner catches that, calls
+    :meth:`restart`, and requeues the unfinished chunks — the pool is
+    rebuilt from scratch, so one bad worker never wedges the job.
+    """
+
+    def __init__(self, workers: int,
+                 chunk_fn: Callable[[Dict], Dict] = run_chunk_task) -> None:
+        self.workers = max(1, int(workers))
+        self.chunk_fn = chunk_fn
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = \
+            None
+
+    def _pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing
+
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0])
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx)
+        return self._executor
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        return self._pool().submit(self.chunk_fn, payload)
+
+    def restart(self) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+
+@dataclass
+class JobResult:
+    """An assembled job: one frame per cell, in grid order."""
+
+    job: SweepJob
+    frames: List[ResultFrame]
+    state: JobState
+
+    def __iter__(self):
+        return iter(zip(self.job.cells, self.frames))
+
+    def frame(self, **labels) -> ResultFrame:
+        """The unique cell frame whose labels match (string-valued)."""
+        matches = [frame for cell, frame in self
+                   if all(cell.label(name) == str(value)
+                          for name, value in labels.items())]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{labels} matches {len(matches)} cells (need exactly 1)")
+        return matches[0]
+
+
+class JobRunner:
+    """Drives one job from its current store state to ``done``.
+
+    Safe to call on a fresh job, a ``partial`` job after any crash, or
+    an already-``done`` job (instant no-op replan).  ``workers`` picks
+    the dispatcher: ``<= 1`` runs chunks inline, ``>= 2`` fans out over
+    a process pool; pass ``dispatcher`` to override entirely.
+    """
+
+    #: Times a chunk is requeued after broken-pool events before the
+    #: job is declared failed.
+    MAX_CHUNK_RETRIES = 3
+
+    #: Seconds between re-checks of chunks claimed by a foreign job.
+    CLAIM_POLL_SECONDS = 0.05
+
+    def __init__(self, store: ResultStore, workers: Optional[int] = None,
+                 dispatcher: Optional[Dispatcher] = None,
+                 on_event: Optional[Callable[[Dict], None]] = None) -> None:
+        self.store = store
+        if dispatcher is None:
+            dispatcher = (PoolDispatcher(workers) if workers and workers > 1
+                          else InlineDispatcher())
+        self.dispatcher = dispatcher
+        self.on_event = on_event
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, job: SweepJob) -> JobResult:
+        job.save(self.store)
+        state = JobState.load(self.store, job.job_id)
+        try:
+            self._execute(job, state)
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupted, not failed: leave the recorded state
+            # resumable (a dead runner pid reads as ``partial``).
+            state.runner_pid = None
+            state.save(self.store, job.job_id)
+            raise
+        except Exception as exc:
+            if state.state != "failed":
+                state.state = "failed"
+                state.error = f"{type(exc).__name__}: {exc}"
+                state.runner_pid = None
+                state.save(self.store, job.job_id)
+            raise
+        finally:
+            self.dispatcher.shutdown()
+        return JobResult(job=job, frames=assemble_frames(self.store, job),
+                         state=state)
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit(self, state: JobState, kind: str, **fields) -> None:
+        event = state.record_event(kind, **fields)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _execute(self, job: SweepJob, state: JobState) -> None:
+        plan = job.chunks()
+        cell_chunk_totals: Dict[int, int] = {}
+        for task in plan:
+            cell_chunk_totals[task.cell_index] = \
+                cell_chunk_totals.get(task.cell_index, 0) + 1
+        # Aggregates always rebuild from the store at run start (the
+        # persisted copy in state.json exists for mid-run status queries
+        # only): a crashed run may have stored chunks it never recorded,
+        # and a foreign job may have stored chunks this job never saw —
+        # refolding every stored chunk once is the only bookkeeping that
+        # stays exact across both.
+        aggregates = {index: RunningCellAggregate()
+                      for index in range(len(job.cells))}
+        run_started = time.monotonic()
+        progress = {
+            "chunks_done": 0, "trials_done": 0, "run_trials": 0,
+            "cell_chunks_done": {index: 0 for index in cell_chunk_totals},
+        }
+
+        def note_done(task: ChunkTask, summary: Optional[Dict],
+                      computed: bool, seconds: float) -> None:
+            progress["chunks_done"] += 1
+            progress["trials_done"] += task.count
+            progress["cell_chunks_done"][task.cell_index] += 1
+            agg = aggregates[task.cell_index]
+            # note_done runs exactly once per chunk per run, so each
+            # trial folds exactly once: from the worker's summary when
+            # the chunk was just computed, from the stored frame when it
+            # was adopted (prior run or foreign job).
+            if summary is not None:
+                agg.merge(RunningCellAggregate.from_dict(summary))
+            else:
+                frame = self.store.get(
+                    task.key, spec=job.cells[task.cell_index].spec)
+                if frame is not None:
+                    agg.fold_frame(frame)
+            state.aggregates[str(task.cell_index)] = agg.to_dict()
+            state.chunks_done = progress["chunks_done"]
+            state.trials_done = progress["trials_done"]
+            state.cells_done = sum(
+                1 for index, total in cell_chunk_totals.items()
+                if progress["cell_chunks_done"][index] == total)
+            if computed:
+                progress["run_trials"] += task.count
+            elapsed = max(time.monotonic() - run_started, 1e-9)
+            rate = progress["run_trials"] / elapsed
+            remaining = state.trials_total - progress["trials_done"]
+            self._emit(state, "chunk",
+                       cell=task.cell_index, start=task.start,
+                       count=task.count, computed=computed,
+                       seconds=round(seconds, 4),
+                       trials_done=progress["trials_done"],
+                       trials_total=state.trials_total,
+                       cells_done=state.cells_done,
+                       trials_per_sec=round(rate, 1),
+                       eta_s=(round(remaining / rate, 1) if rate > 0
+                              else None))
+            state.save(self.store, job.job_id)
+
+        resumed = state.chunks_done or state.state in ("running", "failed")
+        state.state = "running"
+        state.runner_pid = os.getpid()
+        state.started_at = state.started_at or time.time()
+        state.chunks_total = len(plan)
+        state.trials_total = job.total_trials
+        state.cells_total = len(job.cells)
+        state.chunks_done = state.trials_done = state.cells_done = 0
+        state.error = None
+        state.aggregates = {}
+        already_stored = [t for t in plan if self.store.has(t.key)]
+        if resumed and already_stored:
+            self._emit(state, "resume", chunks_stored=len(already_stored),
+                       chunks_total=len(plan))
+        state.save(self.store, job.job_id)
+
+        pending: List[Tuple[ChunkTask, int]] = []  # (task, retries)
+        waiting: List[ChunkTask] = []  # claimed by a live foreign runner
+        for task in plan:
+            if self.store.has(task.key):
+                note_done(task, summary=None, computed=False, seconds=0.0)
+            else:
+                pending.append((task, 0))
+
+        futures: Dict[concurrent.futures.Future, Tuple[ChunkTask, int]] = {}
+        claimed: List[str] = []
+        try:
+            while pending or waiting or futures:
+                # 1. dispatch everything dispatchable
+                still_pending: List[Tuple[ChunkTask, int]] = []
+                for index, (task, retries) in enumerate(pending):
+                    if self.store.has(task.key):
+                        note_done(task, None, computed=False, seconds=0.0)
+                    elif self.store.claim(task.key):
+                        claimed.append(task.key)
+                        try:
+                            future = self.dispatcher.submit(
+                                _task_payload(job, task, self.store))
+                        except BrokenProcessPool:
+                            # Pool already broken from an earlier death:
+                            # rebuild it and retry this chunk next pass.
+                            self.store.release(task.key)
+                            self.dispatcher.restart()
+                            still_pending.append((task, retries + 1))
+                            continue
+                        futures[future] = (task, retries)
+                        if future.done():
+                            # Synchronous dispatch (InlineDispatcher):
+                            # harvest now so progress and streaming
+                            # aggregates land chunk by chunk instead of
+                            # all at once after the last chunk.
+                            still_pending.extend(pending[index + 1:])
+                            break
+                    elif self.store.claim_holder_alive(task.key):
+                        waiting.append(task)
+                    else:
+                        still_pending.append((task, retries))
+                pending = still_pending
+                # 2. harvest completions
+                if futures:
+                    done, _ = concurrent.futures.wait(
+                        futures, timeout=self.CLAIM_POLL_SECONDS,
+                        return_when=concurrent.futures.FIRST_COMPLETED)
+                    for future in done:
+                        task, retries = futures.pop(future)
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            self._requeue_broken(
+                                job, state, futures, pending, task, retries)
+                            break
+                        except Exception as exc:
+                            state.state = "failed"
+                            state.error = (f"chunk (cell={task.cell_index}, "
+                                           f"start={task.start}): "
+                                           f"{type(exc).__name__}: {exc}")
+                            state.runner_pid = None
+                            state.save(self.store, job.job_id)
+                            raise JobFailedError(state.error) from exc
+                        self.store.release(task.key)
+                        if task.key in claimed:
+                            claimed.remove(task.key)
+                        note_done(task, outcome["summary"],
+                                  computed=outcome["computed"],
+                                  seconds=outcome["seconds"])
+                # 3. re-check chunks a foreign job is computing
+                if waiting:
+                    still_waiting: List[ChunkTask] = []
+                    for task in waiting:
+                        if self.store.has(task.key):
+                            note_done(task, None, computed=False,
+                                      seconds=0.0)
+                        elif self.store.claim_holder_alive(task.key):
+                            still_waiting.append(task)
+                        else:  # holder died: take it over
+                            pending.append((task, 0))
+                    waiting = still_waiting
+                    if still_waiting and not futures and not pending:
+                        time.sleep(self.CLAIM_POLL_SECONDS)
+        finally:
+            for key in claimed:
+                self.store.release(key)
+
+        state.state = "done"
+        state.runner_pid = None
+        self._emit(state, "done", trials_total=state.trials_total,
+                   chunks_total=state.chunks_total,
+                   seconds=round(time.monotonic() - run_started, 3))
+        state.save(self.store, job.job_id)
+
+    def _requeue_broken(self, job: SweepJob, state: JobState, futures,
+                        pending, task: ChunkTask, retries: int) -> None:
+        """A worker died: requeue every unfinished chunk, rebuild the pool."""
+        unfinished = [(task, retries + 1)]
+        for future, (other, other_retries) in list(futures.items()):
+            future.cancel()
+            unfinished.append((other, other_retries + 1))
+        futures.clear()
+        for key in {t.key for t, _ in unfinished}:
+            self.store.release(key)
+        over = [t for t, r in unfinished if r > self.MAX_CHUNK_RETRIES]
+        if over:
+            state.state = "failed"
+            state.error = (f"chunk (cell={over[0].cell_index}, "
+                           f"start={over[0].start}) lost its worker "
+                           f"{self.MAX_CHUNK_RETRIES + 1} times; giving up")
+            state.runner_pid = None
+            state.save(self.store, job.job_id)
+            raise JobFailedError(state.error)
+        pending.extend(unfinished)
+        self._emit(state, "worker_died", requeued=len(unfinished))
+        state.save(self.store, job.job_id)
+        self.dispatcher.restart()
+
+
+def assemble_frames(store: ResultStore, job: SweepJob) -> List[ResultFrame]:
+    """One frame per cell, concatenated from the cell's stored chunks.
+
+    Chunk concatenation in grid order reproduces
+    ``BatchRunner.run_frame`` output exactly (the pool path is the same
+    concatenation, pinned bit-identical to serial execution), so the
+    assembled frames match :func:`~repro.api.sweep.run_sweep`'s.
+    """
+    frames = []
+    for cell in job.cells:
+        parts = []
+        for task in job.cell_chunks(cell):
+            frame = store.get(task.key, spec=cell.spec)
+            if frame is None or len(frame) != task.count:
+                raise KeyError(
+                    f"job {job.job_id} is incomplete: missing chunk "
+                    f"(cell={task.cell_index}, start={task.start}); "
+                    "resume it before fetching the result")
+            parts.append(frame)
+        frames.append(ResultFrame.concat(parts, spec=cell.spec))
+    return frames
+
+
+def load_result(store: ResultStore, job_id: str) -> JobResult:
+    """Assemble a stored job's result (raises if chunks are missing)."""
+    job = SweepJob.load(store, job_id)
+    state = JobState.load(store, job_id)
+    return JobResult(job=job, frames=assemble_frames(store, job),
+                     state=state)
+
+
+def job_status(store: ResultStore, job_id: str) -> Dict:
+    """The queryable status document for one job."""
+    job = SweepJob.load(store, job_id)
+    state = JobState.load(store, job_id)
+    stored = sum(1 for task in job.chunks() if store.has(task.key))
+    last_chunk = next((e for e in reversed(state.events)
+                       if e.get("type") == "chunk"), None)
+    return {
+        "job_id": job_id,
+        "state": effective_state(state),
+        "chunks_done": state.chunks_done,
+        "chunks_stored": stored,
+        "chunks_total": state.chunks_total or len(job.chunks()),
+        "trials_done": state.trials_done,
+        "trials_total": job.total_trials,
+        "cells_done": state.cells_done,
+        "cells_total": len(job.cells),
+        "trials_per_sec": (last_chunk or {}).get("trials_per_sec"),
+        "eta_s": (last_chunk or {}).get("eta_s"),
+        "error": state.error,
+        "updated_at": state.updated_at,
+        "events": state.events[-10:],
+    }
+
+
+def verify_result(result: JobResult) -> bool:
+    """Recompute every cell in-process and compare frames exactly.
+
+    The acceptance gate behind ``repro result --check-local``: each
+    cell is re-run through ``BatchRunner.run_frame`` with the job's
+    :class:`SeedBlock` offsets — i.e. exactly what ``run_sweep`` would
+    execute — and compared column-for-column against the assembled
+    store frames.
+    """
+    from repro.api.batch import BatchRunner
+
+    runner = BatchRunner()
+    job = result.job
+    for cell, frame in zip(job.cells, result.frames):
+        block = SeedBlock(job.entropy, job.spawn_key,
+                          job.cell_offset(cell.index), job.trials)
+        if runner.run_frame(cell.spec, job.trials, seed=block) != frame:
+            return False
+    return True

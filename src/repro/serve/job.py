@@ -1,0 +1,372 @@
+"""The sweep-job model: persisted, content-addressed, chunk-granular.
+
+A :class:`SweepJob` is a :class:`~repro.api.sweep.SweepSpec` promoted to
+a *submitted* unit of work:
+
+* the grid is compiled to concrete cells at submission time (each cell's
+  :class:`~repro.api.spec.TrialSpec` dict plus its axis labels), so the
+  job document is self-contained JSON — no live objects, no axis
+  machinery — and the job id is a content hash of exactly what will run:
+  ``(code version, cell specs, trials, root seed identity, chunk size)``.
+  Submitting the same sweep twice yields the same job id, which is how
+  the server deduplicates whole jobs;
+* the root seed is restricted to the *analytic* lane (ints and fresh
+  ``SeedSequence`` roots): every chunk's per-trial seeds derive from a
+  :class:`~repro._seedhash.SeedBlock` at an absolute child offset, the
+  exact identities :func:`~repro.api.sweep.run_sweep` uses — which is
+  what makes job results bit-identical to the in-process sweep (live
+  ``Generator`` roots are refused; their spawn counter cannot survive a
+  coordinator restart);
+* execution granularity is the :class:`ChunkTask`: a contiguous block of
+  at most ``chunk_size`` trials of one cell, each content-addressed in
+  the shared :class:`~repro.serve.store.ResultStore`.  The engine is
+  resolved once per cell from the *cell's* trial count
+  (:func:`~repro.api.batch.batch_engine`) and recorded on every task, so
+  chunking never changes the drawn streams.
+
+Job lifecycle state lives in a small ``state.json`` next to the job
+document (states: ``queued``/``running``/``partial``/``done``/
+``failed``), updated atomically after every chunk; ``partial`` is never
+stored — it is the *effective* state reported for a job whose recorded
+runner died (SIGKILL, OOM, reboot) and is exactly the state a resume
+picks up from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._rng import SeedLike
+from repro.errors import ConfigurationError
+from repro.api.batch import batch_engine
+from repro.api.spec import TrialSpec
+from repro.api.sweep import CACHE_CODE_VERSION, SweepSpec
+from repro.serve.store import ResultStore, atomic_write_json, chunk_key
+
+#: Trials per chunk when the submitter does not choose: small enough
+#: that a million-trial cell streams in O(chunk) memory and a killed
+#: run loses at most one chunk per worker, large enough to amortize
+#: per-chunk seeding/dispatch overhead (and to keep the lockstep
+#: kernel's trial axis wide).
+DEFAULT_CHUNK_SIZE = 4096
+
+JOB_STATES = ("queued", "running", "partial", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobCell:
+    """One compiled grid cell of a job: its spec and display labels."""
+
+    index: int
+    spec: TrialSpec
+    labels: Tuple[Tuple[str, str], ...]
+
+    def label(self, name: str) -> str:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict:
+        return {"index": self.index, "spec": self.spec.to_dict(),
+                "labels": [list(pair) for pair in self.labels]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobCell":
+        return cls(index=int(data["index"]),
+                   spec=TrialSpec.from_dict(data["spec"]),
+                   labels=tuple((str(k), str(v))
+                                for k, v in data["labels"]))
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One dispatchable work unit: ``count`` trials of one cell.
+
+    ``offset`` is the absolute child-seed index of the chunk's first
+    trial (cell offset + chunk start), ``key`` its content address in
+    the result store, ``engine`` the cell-level resolved engine.
+    """
+
+    cell_index: int
+    start: int
+    count: int
+    offset: int
+    engine: Optional[str]
+    key: str
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """A persisted, content-addressed sweep job."""
+
+    job_id: str
+    cells: Tuple[JobCell, ...]
+    trials: int
+    entropy: int
+    spawn_key: Tuple[int, ...]
+    chunk_size: int
+    code_version: str = CACHE_CODE_VERSION
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_sweep(cls, sweep: SweepSpec, seed: SeedLike = None,
+                   chunk_size: Optional[int] = None) -> "SweepJob":
+        """Compile a sweep + root seed into a submittable job.
+
+        ``seed`` takes the analytic lane only: an int, ``None`` (fresh OS
+        entropy, recorded so the job stays reproducible), or a *fresh*
+        ``SeedSequence``.  Live ``Generator`` roots and roots with spawn
+        history are refused — a job must be recomputable from its
+        document alone, on any host, after any number of crashes.
+        """
+        if isinstance(seed, np.random.Generator):
+            raise ConfigurationError(
+                "sweep jobs need a value seed (int, None, or a fresh "
+                "SeedSequence); a live Generator root's spawn counter "
+                "cannot be persisted or resumed — pass the seed it was "
+                "built from instead")
+        if isinstance(seed, np.random.SeedSequence):
+            seq = seed
+            if seq.n_children_spawned:
+                raise ConfigurationError(
+                    "sweep jobs need a fresh SeedSequence root (this one "
+                    "has already spawned children)")
+        else:
+            seq = np.random.SeedSequence(seed)
+        entropy = seq.entropy
+        if not isinstance(entropy, int):
+            raise ConfigurationError(
+                f"root entropy must be an int, got {type(entropy).__name__}")
+        chunk = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
+        if chunk <= 0:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk}")
+        cells = []
+        for cell in sweep.cells():
+            if not cell.spec.serializable:
+                raise ConfigurationError(
+                    f"cell {cell.labels} wraps opaque live components and "
+                    "cannot be submitted as a job; make the spec "
+                    "declarative or run it with run_sweep(workers=1)")
+            if cell.spec.record:
+                raise ConfigurationError(
+                    "record=True specs cannot be submitted as jobs (chunk "
+                    "frames cannot carry history recorders)")
+            cells.append(JobCell(index=cell.index, spec=cell.spec,
+                                 labels=cell.labels))
+        job = cls(job_id="", cells=tuple(cells), trials=sweep.trials,
+                  entropy=entropy, spawn_key=tuple(seq.spawn_key),
+                  chunk_size=chunk)
+        object.__setattr__(job, "job_id", job.content_id())
+        return job
+
+    def content_id(self) -> str:
+        record = {
+            "code": self.code_version,
+            "trials": self.trials,
+            "entropy": str(self.entropy),
+            "spawn_key": list(self.spawn_key),
+            "chunk_size": self.chunk_size,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+        blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    # -- chunk plan --------------------------------------------------------
+
+    def cell_offset(self, cell_index: int) -> int:
+        """The absolute child-seed offset of a cell's first trial.
+
+        Identical to :func:`~repro.api.sweep.run_sweep`'s per-cell
+        offsets for a fresh root (``spawned == 0``): grid order, one
+        block of ``trials`` children per cell.
+        """
+        return cell_index * self.trials
+
+    def cell_chunks(self, cell: JobCell) -> List[ChunkTask]:
+        engine = batch_engine(cell.spec, self.trials)
+        base = self.cell_offset(cell.index)
+        spec_dict = cell.spec.to_dict()
+        tasks = []
+        for start in range(0, self.trials, self.chunk_size):
+            count = min(self.chunk_size, self.trials - start)
+            tasks.append(ChunkTask(
+                cell_index=cell.index, start=start, count=count,
+                offset=base + start, engine=engine,
+                key=chunk_key(spec_dict, engine, self.entropy,
+                              self.spawn_key, base + start, count)))
+        return tasks
+
+    def chunks(self) -> List[ChunkTask]:
+        """Every chunk of every cell, in (cell, chunk) grid order."""
+        out: List[ChunkTask] = []
+        for cell in self.cells:
+            out.extend(self.cell_chunks(cell))
+        return out
+
+    @property
+    def total_trials(self) -> int:
+        return self.trials * len(self.cells)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "code": self.code_version,
+            "trials": self.trials,
+            "entropy": str(self.entropy),
+            "spawn_key": list(self.spawn_key),
+            "chunk_size": self.chunk_size,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepJob":
+        job = cls(job_id=str(data["job_id"]),
+                  cells=tuple(JobCell.from_dict(c) for c in data["cells"]),
+                  trials=int(data["trials"]),
+                  entropy=int(data["entropy"]),
+                  spawn_key=tuple(int(v) for v in data["spawn_key"]),
+                  chunk_size=int(data["chunk_size"]),
+                  code_version=str(data["code"]))
+        expected = job.content_id()
+        if job.job_id != expected:
+            raise ConfigurationError(
+                f"job document id {job.job_id!r} does not match its "
+                f"content (expected {expected!r}); refusing to run a "
+                "tampered or hand-edited job")
+        return job
+
+    def save(self, store: ResultStore) -> str:
+        job_dir = store.job_dir(self.job_id)
+        path = os.path.join(job_dir, "job.json")
+        if not os.path.exists(path):
+            atomic_write_json(path, self.to_dict())
+        return job_dir
+
+    @classmethod
+    def load(cls, store: ResultStore, job_id: str) -> "SweepJob":
+        path = os.path.join(store.job_dir(job_id), "job.json")
+        if not os.path.exists(path):
+            raise KeyError(f"no job {job_id!r} in {store.root}")
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @staticmethod
+    def list_ids(store: ResultStore) -> List[str]:
+        if not os.path.isdir(store.jobs_dir):
+            return []
+        return sorted(
+            name for name in os.listdir(store.jobs_dir)
+            if os.path.exists(os.path.join(store.jobs_dir, name, "job.json")))
+
+
+@dataclass
+class JobState:
+    """The mutable lifecycle document of one job (``state.json``).
+
+    ``state`` only ever stores ``queued``/``running``/``done``/
+    ``failed``; the *effective* state adds ``partial`` for a recorded
+    runner that is no longer alive (:func:`effective_state`).  Updated
+    atomically, so a status reader never sees a torn document.
+    """
+
+    state: str = "queued"
+    chunks_done: int = 0
+    chunks_total: int = 0
+    trials_done: int = 0
+    trials_total: int = 0
+    cells_done: int = 0
+    cells_total: int = 0
+    error: Optional[str] = None
+    runner_pid: Optional[int] = None
+    started_at: Optional[float] = None
+    updated_at: Optional[float] = None
+    events: List[Dict] = field(default_factory=list)
+    aggregates: Dict[str, Dict] = field(default_factory=dict)
+
+    #: Events kept in the ring (chunk completions, resumes, requeues).
+    MAX_EVENTS = 50
+
+    def record_event(self, kind: str, **fields) -> Dict:
+        event = {"type": kind, "t": round(time.time(), 3), **fields}
+        self.events.append(event)
+        del self.events[:-self.MAX_EVENTS]
+        return event
+
+    def to_dict(self) -> Dict:
+        return {
+            "state": self.state, "chunks_done": self.chunks_done,
+            "chunks_total": self.chunks_total,
+            "trials_done": self.trials_done,
+            "trials_total": self.trials_total,
+            "cells_done": self.cells_done, "cells_total": self.cells_total,
+            "error": self.error, "runner_pid": self.runner_pid,
+            "started_at": self.started_at, "updated_at": self.updated_at,
+            "events": self.events, "aggregates": self.aggregates,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobState":
+        state = cls()
+        for name in ("state", "chunks_done", "chunks_total", "trials_done",
+                     "trials_total", "cells_done", "cells_total", "error",
+                     "runner_pid", "started_at", "updated_at", "events",
+                     "aggregates"):
+            if name in data:
+                setattr(state, name, data[name])
+        return state
+
+    def save(self, store: ResultStore, job_id: str) -> None:
+        self.updated_at = round(time.time(), 3)
+        atomic_write_json(os.path.join(store.job_dir(job_id), "state.json"),
+                          self.to_dict())
+
+    @classmethod
+    def load(cls, store: ResultStore, job_id: str) -> "JobState":
+        path = os.path.join(store.job_dir(job_id), "state.json")
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path) as handle:
+                return cls.from_dict(json.load(handle))
+        except (OSError, ValueError):
+            # A torn state file cannot happen (atomic writes) but a
+            # foreign/corrupt one should not brick the job: progress is
+            # recoverable from the store itself.
+            return cls()
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    if not pid or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def effective_state(state: JobState) -> str:
+    """The state a reader should report, crash-awareness included.
+
+    A stored ``running`` whose recorded runner pid is dead is reported
+    as ``partial``: the job was interrupted (worker or coordinator
+    SIGKILL, OOM, reboot) and every finished chunk is safely in the
+    store waiting for a resume.
+    """
+    if state.state == "running" and not _pid_alive(state.runner_pid):
+        return "partial"
+    return state.state

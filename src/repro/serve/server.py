@@ -1,0 +1,282 @@
+"""The sweep service: a local HTTP job API over the result store.
+
+``python -m repro serve`` binds a :class:`ThreadingHTTPServer` (stdlib
+only — the container has no web framework, and none is needed for a
+localhost job API) whose endpoints mirror the job lifecycle:
+
+========================  ==================================================
+``POST /jobs``            submit a job document (or a named preset);
+                          deduplicated by content id — resubmitting the
+                          same sweep returns the existing job
+``GET  /jobs``            list known job ids and their effective states
+``GET  /jobs/<id>``       the status document (state, progress, trials/s,
+                          ETA, recent events)
+``GET  /jobs/<id>/aggregates``  per-cell streaming aggregates, queryable
+                          mid-run (partial results)
+``GET  /jobs/<id>/result``      the result manifest: per-cell chunk keys
+                          + labels (the client assembles frames from the
+                          object endpoint)
+``GET  /objects/<key>``   one stored chunk as ``.npz`` bytes
+``GET  /healthz``         liveness + store path
+========================  ==================================================
+
+Each submitted job runs on its own daemon coordinator thread (chunks fan
+out across that job's process pool); the store's claim protocol keeps
+concurrent jobs from duplicating shared chunks.  Submissions are
+accepted while a job for the same content id is queued/running/done —
+the server simply reports the existing one — and a ``partial`` job (a
+previous coordinator died) is restarted by resubmitting it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.executor import JobRunner, job_status
+from repro.serve.job import JobState, SweepJob, effective_state
+from repro.serve.store import ResultStore
+
+
+def build_preset_sweep(preset: Dict):
+    """A named sweep preset -> SweepSpec (the CLI/CI submission path).
+
+    ``figure1`` is the canonical smoke preset: the paper's Figure-1 grid
+    (optionally restricted to a subset of its six distributions) at the
+    requested ns/trials.
+    """
+    name = preset.get("name")
+    if name != "figure1":
+        raise ReproError(f"unknown sweep preset {name!r} (have: figure1)")
+    from repro.noise.distributions import figure1_distributions
+    from repro.experiments.figure1 import sweep_spec
+
+    distributions = figure1_distributions()
+    wanted = preset.get("distributions")
+    if wanted:
+        missing = [d for d in wanted if d not in distributions]
+        if missing:
+            raise ReproError(
+                f"unknown figure1 distributions {missing}; "
+                f"have {sorted(distributions)}")
+        distributions = {name: distributions[name] for name in wanted}
+    return sweep_spec(ns=[int(n) for n in preset.get("ns", (1, 10))],
+                      trials=int(preset.get("trials", 100)),
+                      distributions=distributions,
+                      engine=str(preset.get("engine", "auto")))
+
+
+def job_from_submission(body: Dict) -> SweepJob:
+    """Build the job a ``POST /jobs`` body describes.
+
+    Accepts either a complete job document (``{"job": {...}}``, the
+    client-compiled form that works for any serializable sweep) or a
+    preset (``{"preset": {"name": "figure1", ...}, "seed": 2000}``).
+    """
+    if "job" in body:
+        return SweepJob.from_dict(body["job"])
+    if "preset" in body:
+        sweep = build_preset_sweep(body["preset"])
+        return SweepJob.from_sweep(sweep, seed=body.get("seed"),
+                                   chunk_size=body.get("chunk_size"))
+    raise ReproError("submission needs a 'job' document or a 'preset'")
+
+
+class SweepService:
+    """Store + per-job coordinator threads behind the HTTP surface."""
+
+    def __init__(self, store: ResultStore,
+                 workers: Optional[int] = None) -> None:
+        self.store = store
+        self.workers = workers
+        self._runners: Dict[str, threading.Thread] = {}
+        self._lock = threading.Lock()
+
+    def submit(self, body: Dict) -> Dict:
+        job = job_from_submission(body)
+        job.save(self.store)
+        with self._lock:
+            runner = self._runners.get(job.job_id)
+            running_here = runner is not None and runner.is_alive()
+            state = effective_state(JobState.load(self.store, job.job_id))
+            if not running_here and state != "done":
+                thread = threading.Thread(
+                    target=self._run_job, args=(job,),
+                    name=f"job-{job.job_id[:8]}", daemon=True)
+                self._runners[job.job_id] = thread
+                thread.start()
+                accepted = True
+            else:
+                accepted = False  # already running here, or already done
+        return {"job_id": job.job_id, "accepted": accepted,
+                "state": effective_state(
+                    JobState.load(self.store, job.job_id))}
+
+    def _run_job(self, job: SweepJob) -> None:
+        try:
+            JobRunner(self.store, workers=self.workers).run(job)
+        except Exception:
+            # The runner already recorded the failure on the job state;
+            # a serving thread must not take the process down with it.
+            pass
+
+    def status(self, job_id: str) -> Dict:
+        return job_status(self.store, job_id)
+
+    def list_jobs(self) -> Dict:
+        jobs = []
+        for job_id in SweepJob.list_ids(self.store):
+            state = JobState.load(self.store, job_id)
+            jobs.append({"job_id": job_id,
+                         "state": effective_state(state),
+                         "trials_done": state.trials_done,
+                         "trials_total": state.trials_total})
+        return {"jobs": jobs}
+
+    def aggregates(self, job_id: str) -> Dict:
+        job = SweepJob.load(self.store, job_id)
+        state = JobState.load(self.store, job_id)
+        from repro.analysis.aggregate import RunningCellAggregate
+
+        cells = []
+        for cell in job.cells:
+            data = state.aggregates.get(str(cell.index))
+            cells.append({
+                "index": cell.index,
+                "labels": [list(pair) for pair in cell.labels],
+                "aggregate": (RunningCellAggregate.from_dict(data).table()
+                              if data else None),
+            })
+        return {"job_id": job_id,
+                "state": effective_state(state),
+                "cells": cells}
+
+    def result_manifest(self, job_id: str) -> Dict:
+        job = SweepJob.load(self.store, job_id)
+        state = JobState.load(self.store, job_id)
+        cells = []
+        complete = True
+        for cell in job.cells:
+            chunks = []
+            for task in job.cell_chunks(cell):
+                stored = self.store.has(task.key)
+                complete = complete and stored
+                chunks.append({"key": task.key, "count": task.count,
+                               "stored": stored})
+            cells.append({"index": cell.index,
+                          "labels": [list(pair) for pair in cell.labels],
+                          "trials": job.trials, "chunks": chunks})
+        return {"job_id": job_id,
+                "state": effective_state(state),
+                "complete": complete,
+                "cells": cells}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: SweepService  # injected by make_server
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are not worth a stderr line each
+
+    def _send_json(self, payload: Dict, code: int = 200) -> None:
+        blob = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json({"error": message}, code=code)
+
+    def _route(self) -> Tuple[str, ...]:
+        return tuple(part for part in self.path.split("?", 1)[0].split("/")
+                     if part)
+
+    # -- methods -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        route = self._route()
+        try:
+            if route == ("healthz",):
+                self._send_json({"ok": True,
+                                 "store": self.service.store.root})
+            elif route == ("jobs",):
+                self._send_json(self.service.list_jobs())
+            elif len(route) == 2 and route[0] == "jobs":
+                self._send_json(self.service.status(route[1]))
+            elif len(route) == 3 and route[0] == "jobs" and \
+                    route[2] == "aggregates":
+                self._send_json(self.service.aggregates(route[1]))
+            elif len(route) == 3 and route[0] == "jobs" and \
+                    route[2] == "result":
+                self._send_json(self.service.result_manifest(route[1]))
+            elif len(route) == 2 and route[0] == "objects":
+                blob = self.service.store.get_bytes(route[1])
+                if blob is None:
+                    self._send_error_json(404, f"no object {route[1]}")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", "application/octet-stream")
+                self.send_header("Content-Length", str(len(blob)))
+                self.end_headers()
+                self.wfile.write(blob)
+            else:
+                self._send_error_json(404, f"no route {self.path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        route = self._route()
+        if route != ("jobs",):
+            self._send_error_json(404, f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            self._send_json(self.service.submit(body), code=201)
+        except (ReproError, ValueError, KeyError) as exc:
+            self._send_error_json(400, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+
+def make_server(store_dir: str, host: str = "127.0.0.1", port: int = 0,
+                workers: Optional[int] = None
+                ) -> Tuple[ThreadingHTTPServer, SweepService]:
+    """Bind the service (``port=0`` picks an ephemeral port).
+
+    Returns the (unstarted) HTTP server and its service; call
+    ``serve_forever()`` (or run it on a thread, as the tests do) to
+    accept requests.
+    """
+    service = SweepService(ResultStore(store_dir), workers=workers)
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server, service
+
+
+def serve_forever(store_dir: str, host: str = "127.0.0.1", port: int = 8642,
+                  workers: Optional[int] = None) -> int:
+    """The blocking ``python -m repro serve`` entry point."""
+    server, service = make_server(store_dir, host=host, port=port,
+                                  workers=workers)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port} "
+          f"(store: {service.store.root})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0

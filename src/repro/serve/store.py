@@ -1,0 +1,194 @@
+"""Content-addressed, chunk-granular result store for sweep jobs.
+
+The store generalizes the PR-3 per-cell sweep cache down to *chunk*
+granularity: the unit of storage is one contiguous block of trials of
+one cell, addressed purely by content —
+
+    sha256 of (CACHE_CODE_VERSION, cell spec dict, resolved engine,
+               root entropy, root spawn key, absolute child-seed offset,
+               trial count)
+
+— so any two jobs (or a job and a later resume of itself) that would
+compute bit-identical trials share one object on disk.  Nothing in the
+key names the job that produced the chunk: cross-job dedup is the
+default, not a feature flag.
+
+Durability discipline:
+
+* **Atomic writes.**  Every object is written to a temp file in the same
+  directory, flushed + fsynced, then ``os.replace``-d into place
+  (:func:`atomic_write_bytes`).  A writer killed at any instant leaves
+  either the old object, no object, or a stray ``*.tmp`` — never a torn
+  object a concurrent reader could load.
+* **Corruption = miss.**  :meth:`ResultStore.get` treats an unreadable
+  object as absent; the chunk recomputes and the object is rewritten.
+* **Claims.**  :meth:`ResultStore.claim` is an ``O_CREAT | O_EXCL`` lock
+  file carrying the claimant pid, so two *concurrent* jobs wanting the
+  same chunk elect exactly one computer; the loser waits for the object
+  to appear (see the executor).  Claims held by dead processes are
+  stale and can be broken.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from repro._atomicio import atomic_write_bytes, atomic_write_json  # noqa: F401
+from repro.sim.frame import ResultFrame
+
+
+def chunk_key(spec_dict: Dict, engine: Optional[str], entropy,
+              spawn_key: Iterable[int], offset: int, count: int) -> str:
+    """The content address of one chunk of trials.
+
+    ``offset`` is the *absolute* child-seed index of the chunk's first
+    trial under the root ``(entropy, spawn_key)`` — the same identity
+    :class:`~repro._seedhash.SeedBlock` derives — and ``engine`` is the
+    engine resolved for the whole cell (engine choice depends on the
+    cell's trial count, and different engines draw different streams, so
+    it is part of the content identity).
+    """
+    from repro.api.sweep import CACHE_CODE_VERSION
+
+    record = {
+        "code": CACHE_CODE_VERSION,
+        "spec": spec_dict,
+        "engine": engine,
+        "entropy": str(entropy),
+        "spawn_key": list(spawn_key),
+        "offset": int(offset),
+        "count": int(count),
+    }
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultStore:
+    """A directory of content-addressed result chunks plus claim locks.
+
+    Layout::
+
+        <root>/objects/<key[:2]>/<key>.npz   one ResultFrame payload each
+        <root>/locks/<key>.lock              in-flight computation claims
+        <root>/jobs/<job_id>/                job + state documents
+
+    All writes are atomic; concurrent ``put`` calls for the same key are
+    harmless (last rename wins, and every writer produced identical
+    bytes by construction).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(os.path.expanduser(root))
+
+    # -- paths -------------------------------------------------------------
+
+    def object_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.npz")
+
+    def lock_path(self, key: str) -> str:
+        return os.path.join(self.root, "locks", f"{key}.lock")
+
+    @property
+    def jobs_dir(self) -> str:
+        return os.path.join(self.root, "jobs")
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    # -- objects -----------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        return os.path.exists(self.object_path(key))
+
+    def put(self, key: str, frame: ResultFrame) -> bool:
+        """Store a chunk frame; returns False when already present (dedup)."""
+        path = self.object_path(key)
+        if os.path.exists(path):
+            return False
+        atomic_write_bytes(path, frame.to_npz_bytes())
+        return True
+
+    def get(self, key: str, spec=None) -> Optional[ResultFrame]:
+        """Load a chunk frame, or ``None`` (missing/torn objects miss)."""
+        blob = self.get_bytes(key)
+        if blob is None:
+            return None
+        try:
+            return ResultFrame.from_npz_bytes(blob, spec=spec)
+        except Exception:
+            return None
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The raw object bytes (the HTTP object endpoint's read path)."""
+        path = self.object_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def object_count(self) -> int:
+        objects = os.path.join(self.root, "objects")
+        total = 0
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            total += sum(1 for name in filenames if name.endswith(".npz"))
+        return total
+
+    # -- claims ------------------------------------------------------------
+
+    def claim(self, key: str) -> bool:
+        """Try to claim ``key`` for computation (O_EXCL lock file).
+
+        Returns True when this process now holds the claim.  A claim
+        whose recorded pid is no longer alive is stale: it is broken and
+        re-taken.  (Claims are an *optimization* — losing one only means
+        waiting for the winner's object; correctness never depends on
+        the lock because object writes are atomic and idempotent.)
+        """
+        path = self.lock_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps({"pid": os.getpid()}).encode()
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._claim_is_stale(path):
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                return False
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            return True
+        return False
+
+    def _claim_is_stale(self, path: str) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                pid = int(json.loads(handle.read() or b"{}").get("pid", -1))
+        except (OSError, ValueError):
+            return True  # unreadable/torn claim: break it
+        if pid <= 0:
+            return True
+        try:
+            os.kill(pid, 0)
+        except OSError as exc:
+            return exc.errno != errno.EPERM
+        return False
+
+    def claim_holder_alive(self, key: str) -> bool:
+        """Whether ``key`` is claimed by a live process (besides us)."""
+        path = self.lock_path(key)
+        return os.path.exists(path) and not self._claim_is_stale(path)
+
+    def release(self, key: str) -> None:
+        try:
+            os.unlink(self.lock_path(key))
+        except FileNotFoundError:
+            pass

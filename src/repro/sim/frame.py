@@ -201,6 +201,28 @@ class ResultFrame:
         return cls({name: np.asarray(payload[name]) for name in ALL_COLUMNS},
                    spec=spec)
 
+    def to_npz_bytes(self) -> bytes:
+        """The payload serialized as ``.npz`` bytes.
+
+        The wire/storage form of a frame outside the process pool: the
+        sweep cache, the content-addressed serve store, and the serve
+        HTTP object endpoint all ship exactly these bytes.
+        """
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(buffer, **self.to_payload())
+        return buffer.getvalue()
+
+    @classmethod
+    def from_npz_bytes(cls, blob: bytes, spec=None) -> "ResultFrame":
+        """Inverse of :meth:`to_npz_bytes` (raises on torn/foreign bytes)."""
+        import io
+
+        with np.load(io.BytesIO(blob), allow_pickle=True) as data:
+            payload = {name: data[name] for name in data.files}
+        return cls.from_payload(payload, spec=spec)
+
     @classmethod
     def concat(cls, frames: Sequence["ResultFrame"],
                spec=None) -> "ResultFrame":

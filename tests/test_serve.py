@@ -1,0 +1,461 @@
+"""repro.serve: store durability, job model, executor, streaming aggregates."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro._atomicio import atomic_write_bytes
+from repro.analysis.aggregate import (
+    STREAM_COLUMNS,
+    Mean,
+    MeanCI,
+    RunningCellAggregate,
+    RunningColumnStat,
+    agreement_rate,
+    decided_count,
+)
+from repro.api import (
+    BatchRunner,
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.sim.frame import ResultFrame
+from repro.serve import (
+    InlineDispatcher,
+    JobRunner,
+    JobState,
+    ResultStore,
+    SweepJob,
+    effective_state,
+    job_status,
+    load_result,
+    verify_result,
+)
+from repro.serve.executor import run_chunk_task
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def small_sweep(trials=40, budget=None):
+    return SweepSpec(
+        base=TrialSpec(n=4, model=NoisyModelSpec(noise=EXPO),
+                       max_total_ops=budget),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),
+              SweepAxis("n", (2, 8))),
+        trials=trials)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = str(tmp_path / "a" / "b.bin")
+        atomic_write_bytes(path, b"payload")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_kill_between_write_and_rename_leaves_no_file(self, tmp_path,
+                                                          monkeypatch):
+        """A crash after the payload write but before the rename must not
+        surface a torn (or any) file under the final name."""
+        path = str(tmp_path / "entry.npz")
+
+        def die(src, dst):
+            raise KeyboardInterrupt("SIGKILL stand-in")
+
+        monkeypatch.setattr(os, "replace", die)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_bytes(path, b"half-written")
+        assert not os.path.exists(path)
+        monkeypatch.undo()
+        # the interrupted attempt leaves the directory clean for a retry
+        assert [f for f in os.listdir(tmp_path) if not f.endswith(".tmp")] == []
+        atomic_write_bytes(path, b"second-try")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"second-try"
+
+
+class TestResultStore:
+    def _frame(self, trials=8):
+        spec = TrialSpec(n=2, model=NoisyModelSpec(noise=EXPO))
+        return BatchRunner().run_frame(spec, trials, seed=5)
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        frame = self._frame()
+        assert store.put("ab" * 32, frame) is True
+        assert store.get("ab" * 32) == frame
+        assert store.has("ab" * 32)
+        assert store.object_count() == 1
+
+    def test_put_is_dedup(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        frame = self._frame()
+        assert store.put("cd" * 32, frame) is True
+        assert store.put("cd" * 32, frame) is False  # already stored
+
+    def test_torn_object_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        path = store.object_path("ef" * 32)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "wb") as handle:
+            handle.write(b"\x00not-an-npz")
+        assert store.get("ef" * 32) is None
+
+    def test_claims_elect_one_winner(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.claim("11" * 32) is True
+        assert store.claim("11" * 32) is False  # we already hold it
+        assert store.claim_holder_alive("11" * 32)
+        store.release("11" * 32)
+        assert store.claim("11" * 32) is True
+
+    def test_stale_claim_is_broken(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        path = store.lock_path("22" * 32)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            json.dump({"pid": 2 ** 22 + 12345}, handle)  # surely dead
+        assert not store.claim_holder_alive("22" * 32)
+        assert store.claim("22" * 32) is True  # broken and re-taken
+
+
+class TestSweepJob:
+    def test_roundtrip_and_content_id(self, tmp_path):
+        job = SweepJob.from_sweep(small_sweep(), seed=7, chunk_size=16)
+        clone = SweepJob.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.job_id == job.content_id()
+        # same sweep, same seed -> same id; different seed -> different id
+        assert SweepJob.from_sweep(small_sweep(), seed=7,
+                                   chunk_size=16).job_id == job.job_id
+        assert SweepJob.from_sweep(small_sweep(), seed=8,
+                                   chunk_size=16).job_id != job.job_id
+
+    def test_tampered_document_refused(self):
+        doc = SweepJob.from_sweep(small_sweep(), seed=7).to_dict()
+        doc["trials"] = 999
+        with pytest.raises(ConfigurationError, match="tampered"):
+            SweepJob.from_dict(doc)
+
+    def test_generator_root_refused(self):
+        with pytest.raises(ConfigurationError, match="Generator"):
+            SweepJob.from_sweep(small_sweep(),
+                                seed=np.random.default_rng(3))
+
+    def test_spawned_seedsequence_refused(self):
+        seq = np.random.SeedSequence(9)
+        seq.spawn(1)
+        with pytest.raises(ConfigurationError, match="fresh"):
+            SweepJob.from_sweep(small_sweep(), seed=seq)
+
+    def test_record_spec_refused(self):
+        sweep = SweepSpec(
+            base=TrialSpec(n=2, model=NoisyModelSpec(noise=EXPO),
+                           record=True),
+            axes=(SweepAxis("n", (2,)),), trials=4)
+        with pytest.raises(ConfigurationError, match="record"):
+            SweepJob.from_sweep(sweep, seed=1)
+
+    def test_chunk_plan_offsets_match_run_sweep(self):
+        job = SweepJob.from_sweep(small_sweep(trials=40), seed=7,
+                                  chunk_size=16)
+        plan = job.chunks()
+        # 4 cells x ceil(40/16)=3 chunks
+        assert len(plan) == 12
+        for task in plan:
+            assert task.offset == task.cell_index * 40 + task.start
+        # chunk sizes cover the cell exactly
+        per_cell = {}
+        for task in plan:
+            per_cell[task.cell_index] = per_cell.get(task.cell_index, 0) \
+                + task.count
+        assert set(per_cell.values()) == {40}
+        # engine is resolved from the CELL trial count, identically for
+        # every chunk of a cell
+        engines = {t.engine for t in plan if t.cell_index == 0}
+        assert len(engines) == 1
+
+    def test_save_load(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(), seed=7)
+        job.save(store)
+        assert SweepJob.load(store, job.job_id) == job
+        assert SweepJob.list_ids(store) == [job.job_id]
+
+
+class TestExecutor:
+    def test_inline_bit_identical_to_run_sweep(self, tmp_path):
+        sweep = small_sweep(trials=40)
+        ref = run_sweep(sweep, seed=1234)
+        job = SweepJob.from_sweep(sweep, seed=1234, chunk_size=16)
+        result = JobRunner(ResultStore(str(tmp_path)), workers=1).run(job)
+        assert result.state.state == "done"
+        for cell, frame in result:
+            assert frame == ref.frames[cell.index]
+        assert verify_result(result)
+
+    def test_pool_bit_identical_to_inline(self, tmp_path):
+        sweep = small_sweep(trials=40)
+        job = SweepJob.from_sweep(sweep, seed=1234, chunk_size=16)
+        inline = JobRunner(ResultStore(str(tmp_path / "a")),
+                           workers=1).run(job)
+        pooled = JobRunner(ResultStore(str(tmp_path / "b")),
+                           workers=2).run(job)
+        for (_, a), (_, b) in zip(inline, pooled):
+            assert a == b
+
+    def test_rerun_is_noop_and_load_result(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(), seed=3, chunk_size=16)
+        first = JobRunner(store, workers=1).run(job)
+        counted = []
+        runner = JobRunner(store, dispatcher=InlineDispatcher(
+            chunk_fn=lambda payload: counted.append(payload)
+            or run_chunk_task(payload)))
+        second = runner.run(job)
+        assert counted == []  # every chunk adopted from the store
+        for (_, a), (_, b) in zip(first, second):
+            assert a == b
+        loaded = load_result(store, job.job_id)
+        for (_, a), (_, b) in zip(first, loaded):
+            assert a == b
+
+    def test_cross_job_dedup_shares_chunks(self, tmp_path):
+        """Two jobs with overlapping grids compute each shared chunk once."""
+        store = ResultStore(str(tmp_path))
+        base = TrialSpec(n=4, model=NoisyModelSpec(noise=EXPO))
+        small = SweepSpec(base=base, axes=(SweepAxis("n", (2, 8)),),
+                          trials=32)
+        # second job: a superset grid, same base/trials/seed -> the
+        # (n=2, n=8) cells' chunks are content-identical... only if the
+        # cell OFFSETS agree, which they do for the shared prefix of the
+        # grid (cells are offset by grid index).
+        big = SweepSpec(base=base, axes=(SweepAxis("n", (2, 8, 16)),),
+                        trials=32)
+        job_a = SweepJob.from_sweep(small, seed=11, chunk_size=16)
+        job_b = SweepJob.from_sweep(big, seed=11, chunk_size=16)
+        shared = set(t.key for t in job_a.chunks()) \
+            & set(t.key for t in job_b.chunks())
+        assert len(shared) == len(job_a.chunks())  # full prefix overlap
+
+        computed = []
+        lock = threading.Lock()
+
+        def counting(payload):
+            with lock:
+                computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        JobRunner(store,
+                  dispatcher=InlineDispatcher(chunk_fn=counting)).run(job_a)
+        JobRunner(store,
+                  dispatcher=InlineDispatcher(chunk_fn=counting)).run(job_b)
+        assert len(computed) == len(set(computed))  # nothing computed twice
+        assert len(computed) == len(job_b.chunks())  # union of both plans
+
+    def test_concurrent_jobs_compute_shared_chunks_once(self, tmp_path):
+        """The acceptance scenario: two jobs running at the same time."""
+        store = ResultStore(str(tmp_path))
+        base = TrialSpec(n=4, model=NoisyModelSpec(noise=EXPO))
+        sweep_a = SweepSpec(base=base, axes=(SweepAxis("n", (2, 8)),),
+                            trials=48)
+        sweep_b = SweepSpec(base=base, axes=(SweepAxis("n", (2, 8, 16)),),
+                            trials=48)
+        job_a = SweepJob.from_sweep(sweep_a, seed=21, chunk_size=12)
+        job_b = SweepJob.from_sweep(sweep_b, seed=21, chunk_size=12)
+
+        computed = []
+        lock = threading.Lock()
+
+        def counting(payload):
+            with lock:
+                computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        results = {}
+
+        def drive(tag, job):
+            runner = JobRunner(store,
+                               dispatcher=InlineDispatcher(
+                                   chunk_fn=counting))
+            results[tag] = runner.run(job)
+
+        threads = [threading.Thread(target=drive, args=("a", job_a)),
+                   threading.Thread(target=drive, args=("b", job_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(computed) == len(set(computed))  # each chunk exactly once
+        assert results["a"].state.state == "done"
+        assert results["b"].state.state == "done"
+        # and both jobs' frames are still bit-identical to run_sweep
+        ref_b = run_sweep(sweep_b, seed=21)
+        for cell, frame in results["b"]:
+            assert frame == ref_b.frames[cell.index]
+        ref_a = run_sweep(sweep_a, seed=21)
+        for cell, frame in results["a"]:
+            assert frame == ref_a.frames[cell.index]
+
+    def test_failed_chunk_marks_job_failed(self, tmp_path):
+        from repro.serve import JobFailedError
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(trials=8), seed=2,
+                                  chunk_size=8)
+
+        def boom(payload):
+            raise RuntimeError("chunk exploded")
+
+        runner = JobRunner(store, dispatcher=InlineDispatcher(chunk_fn=boom))
+        with pytest.raises(JobFailedError, match="chunk exploded"):
+            runner.run(job)
+        state = JobState.load(store, job.job_id)
+        assert state.state == "failed"
+        assert "chunk exploded" in state.error
+
+    def test_job_status_document(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(trials=20), seed=4,
+                                  chunk_size=8)
+        JobRunner(store, workers=1).run(job)
+        status = job_status(store, job.job_id)
+        assert status["state"] == "done"
+        assert status["chunks_done"] == status["chunks_total"] == \
+            len(job.chunks())
+        assert status["chunks_stored"] == status["chunks_total"]
+        assert status["trials_done"] == job.total_trials
+        assert status["cells_done"] == len(job.cells)
+        assert status["trials_per_sec"] is not None
+        assert any(e["type"] == "done" for e in status["events"])
+
+    def test_effective_state_reports_partial_for_dead_runner(self):
+        state = JobState(state="running", runner_pid=2 ** 22 + 54321)
+        assert effective_state(state) == "partial"
+        state.runner_pid = os.getpid()
+        assert effective_state(state) == "running"
+        state.state = "done"
+        assert effective_state(state) == "done"
+
+    def test_jobresult_frame_lookup(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(trials=16), seed=6,
+                                  chunk_size=8)
+        result = JobRunner(store, workers=1).run(job)
+        frame = result.frame(distribution="unif", n=8)
+        assert frame == result.frames[3]
+        with pytest.raises(KeyError):
+            result.frame(distribution="nope")
+
+
+class TestStreamingAggregates:
+    def test_running_stat_matches_one_shot_aggregators(self):
+        spec = TrialSpec(n=8, model=NoisyModelSpec(noise=EXPO))
+        frame = BatchRunner().run_frame(spec, 60, seed=9)
+        payload = frame.to_payload()
+        chunks = [ResultFrame.from_payload(
+                      {k: v[i:i + 17] for k, v in payload.items()})
+                  for i in range(0, 60, 17)]
+        agg = RunningCellAggregate()
+        for chunk in chunks:
+            agg.fold_frame(chunk)
+        assert agg.trials == 60
+        assert agg.decided == decided_count(frame)
+        assert agg.agreed / agg.trials == pytest.approx(
+            agreement_rate(frame))
+        for name in STREAM_COLUMNS:
+            mean = Mean(name)(frame)
+            ref_mean, ref_half = MeanCI(name)(frame)
+            stat = agg.columns[name]
+            assert stat.mean == pytest.approx(mean, rel=1e-12)
+            assert stat.ci_half() == pytest.approx(ref_half, rel=1e-9)
+
+    def test_running_stat_single_sample_ci_is_inf(self):
+        stat = RunningColumnStat()
+        stat.fold(np.array([3.5]))
+        assert stat.mean == 3.5
+        assert stat.ci_half() == float("inf")
+
+    def test_running_stat_skips_nan(self):
+        stat = RunningColumnStat()
+        stat.fold(np.array([1.0, np.nan, 3.0]))
+        assert stat.count == 2
+        assert stat.mean == 2.0
+
+    def test_merge_equals_sequential_fold(self):
+        values = np.linspace(0.5, 9.5, 37)
+        folded = RunningColumnStat()
+        folded.fold(values)
+        left, right = RunningColumnStat(), RunningColumnStat()
+        left.fold(values[:20])
+        right.fold(values[20:])
+        left.merge(right)
+        assert left.count == folded.count
+        assert left.mean == pytest.approx(folded.mean, rel=1e-12)
+        assert left.ci_half() == pytest.approx(folded.ci_half(), rel=1e-12)
+
+    def test_roundtrip_dict(self):
+        agg = RunningCellAggregate()
+        spec = TrialSpec(n=2, model=NoisyModelSpec(noise=EXPO))
+        agg.fold_frame(BatchRunner().run_frame(spec, 10, seed=1))
+        clone = RunningCellAggregate.from_dict(
+            json.loads(json.dumps(agg.to_dict())))
+        assert clone.to_dict() == agg.to_dict()
+        assert clone.table() == agg.table()
+
+    def test_executor_persists_streaming_aggregates(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        sweep = small_sweep(trials=30)
+        job = SweepJob.from_sweep(sweep, seed=13, chunk_size=8)
+        result = JobRunner(store, workers=1).run(job)
+        state = JobState.load(store, job.job_id)
+        for cell, frame in result:
+            table = RunningCellAggregate.from_dict(
+                state.aggregates[str(cell.index)]).table()
+            assert table["trials"] == 30
+            assert table["decided"] == decided_count(frame)
+            mean, half = MeanCI("first_decision_round")(frame)
+            assert table["first_decision_round"]["mean"] == pytest.approx(
+                mean, rel=1e-12)
+            assert table["first_decision_round"]["ci95_half"] == \
+                pytest.approx(half, rel=1e-9)
+
+
+class TestSweepCacheCrashSafety:
+    """Satellite: the sweep cell cache survives a kill mid-store."""
+
+    def test_kill_between_write_and_rename_is_clean_miss(self, tmp_path,
+                                                         monkeypatch):
+        sweep = small_sweep(trials=10)
+        cache = str(tmp_path / "cache")
+        killed = {"done": False}
+        real_replace = os.replace
+
+        def kill_once(src, dst):
+            if not killed["done"] and dst.endswith(".npz"):
+                killed["done"] = True
+                raise KeyboardInterrupt("killed between write and rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", kill_once)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(sweep, seed=42, cache_dir=cache)
+        # no torn entry under any final name
+        assert [f for f in os.listdir(cache) if f.endswith(".npz")] == []
+        monkeypatch.undo()
+        # the interrupted run is a clean miss: recompute, then hit
+        first = run_sweep(sweep, seed=42, cache_dir=cache)
+        assert first.cache_hits == 0
+        second = run_sweep(sweep, seed=42, cache_dir=cache)
+        assert second.cache_hits == len(first.cells)
+        for a, b in zip(first.frames, second.frames):
+            assert a == b

@@ -1,0 +1,159 @@
+"""The HTTP job API: an in-thread server exercised end to end.
+
+Spins up ``repro.serve.server`` on an ephemeral port and drives it with
+:class:`repro.serve.client.ServeClient` — submit, watch, aggregates,
+manifest, frame reassembly (bit-identical to in-process ``run_sweep``),
+dedup on resubmission, and the error surface.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+from repro.serve import SweepJob
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import make_server
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def small_sweep(trials=40):
+    return SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(noise=EXPO),
+                       stop_after_first_decision=True),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),
+              SweepAxis("n", (2, 8))),
+        trials=trials)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server, svc = make_server(str(tmp_path / "store"), workers=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}")
+    try:
+        yield client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestJobLifecycle:
+    def test_submit_wait_fetch_is_bit_identical(self, service):
+        sweep = small_sweep()
+        ref = run_sweep(sweep, seed=4242)
+        job = SweepJob.from_sweep(sweep, seed=4242, chunk_size=16)
+
+        reply = service.submit_job(job)
+        assert reply["accepted"] is True
+        assert reply["job_id"] == job.job_id
+
+        final = service.wait(job.job_id, interval=0.05, timeout=60)
+        assert final["state"] == "done"
+        assert final["trials_done"] == final["trials_total"]
+
+        manifest = service.manifest(job.job_id)
+        assert manifest["complete"] is True
+
+        frames = service.result_frames(job.job_id)
+        assert len(frames) == len(ref.cells)
+        for (labels, frame), cell in zip(frames, ref.cells):
+            assert frame == ref.frames[cell.index], \
+                f"HTTP frame diverged from run_sweep in cell {labels}"
+
+    def test_resubmit_is_deduplicated(self, service):
+        job = SweepJob.from_sweep(small_sweep(trials=16), seed=7,
+                                  chunk_size=8)
+        first = service.submit_job(job)
+        assert first["accepted"] is True
+        service.wait(job.job_id, interval=0.05, timeout=60)
+
+        again = service.submit_job(job)
+        assert again["accepted"] is False
+        assert again["state"] == "done"
+
+    def test_jobs_listing_and_healthz(self, service):
+        assert service.healthz()["ok"] is True
+        job = SweepJob.from_sweep(small_sweep(trials=16), seed=3,
+                                  chunk_size=8)
+        service.submit_job(job)
+        service.wait(job.job_id, interval=0.05, timeout=60)
+        listing = service.jobs()
+        assert [j["job_id"] for j in listing] == [job.job_id]
+        assert listing[0]["state"] == "done"
+
+    def test_aggregates_match_frames(self, service):
+        from repro.analysis.aggregate import MeanCI
+
+        sweep = small_sweep()
+        ref = run_sweep(sweep, seed=11)
+        job = SweepJob.from_sweep(sweep, seed=11, chunk_size=16)
+        service.submit_job(job)
+        service.wait(job.job_id, interval=0.05, timeout=60)
+
+        stat = MeanCI("first_decision_round")
+        doc = service.aggregates(job.job_id)
+        assert doc["state"] == "done"
+        for cell_doc, cell in zip(doc["cells"], ref.cells):
+            table = cell_doc["aggregate"]
+            assert table is not None
+            mean, _ = stat(ref.frames[cell.index])
+            got = table["first_decision_round"]["mean"]
+            assert got == pytest.approx(mean, rel=1e-12)
+
+
+class TestPresetSubmission:
+    def test_figure1_preset_runs(self, service):
+        reply = service.submit({
+            "preset": {"name": "figure1", "ns": [2],
+                       "trials": 8,
+                       "distributions": ["exponential(1)"]},
+            "seed": 99, "chunk_size": 8})
+        final = service.wait(reply["job_id"], interval=0.05, timeout=60)
+        assert final["state"] == "done"
+
+    def test_unknown_distribution_is_400(self, service):
+        with pytest.raises(ServeError, match="unknown figure1"):
+            service.submit({"preset": {"name": "figure1",
+                                       "distributions": ["exponential"]},
+                            "seed": 1})
+
+    def test_unknown_preset_is_400(self, service):
+        with pytest.raises(ServeError, match="unknown sweep preset"):
+            service.submit({"preset": {"name": "nope"}})
+
+    def test_empty_submission_is_400(self, service):
+        with pytest.raises(ServeError, match="needs a 'job'"):
+            service.submit({})
+
+
+class TestErrorSurface:
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServeError, match="404"):
+            service.status("deadbeef" * 3)
+
+    def test_unknown_object_is_404(self, service):
+        with pytest.raises(ServeError, match="404"):
+            service.object_bytes("0" * 64)
+
+    def test_unknown_route_is_404(self, service):
+        with pytest.raises(ServeError, match="404"):
+            service._json("/nope")
+
+    def test_unreachable_server_raises(self, tmp_path):
+        client = ServeClient("http://127.0.0.1:1", timeout=2)
+        with pytest.raises(ServeError, match="cannot reach"):
+            client.healthz()

@@ -1,0 +1,194 @@
+"""Crash/resume correctness: SIGKILLed workers and coordinators.
+
+The satellite acceptance tests: a figure1-shaped sweep submitted as a
+job must survive (a) a worker SIGKILL and (b) a coordinator SIGKILL,
+resume from the content-addressed store, and produce frames
+*bit-identical* to an uninterrupted in-process ``run_sweep``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+from repro.serve import (
+    InlineDispatcher,
+    JobRunner,
+    JobState,
+    ResultStore,
+    SweepJob,
+    effective_state,
+)
+from repro.serve.executor import run_chunk_task
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def figure1_shaped_sweep(trials=60):
+    """Two distributions x two ns — the figure1 grid shape, test scale."""
+    return SweepSpec(
+        base=TrialSpec(n=1, model=NoisyModelSpec(noise=EXPO),
+                       stop_after_first_decision=True),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),
+              SweepAxis("n", (2, 8))),
+        trials=trials)
+
+
+def assert_bit_identical(result, ref):
+    for cell, frame in result:
+        assert frame == ref.frames[cell.index], \
+            f"frames diverged in cell {cell.labels}"
+
+
+class TestWorkerSigkill:
+    def test_worker_death_requeues_and_result_is_identical(self, tmp_path,
+                                                           monkeypatch):
+        sweep = figure1_shaped_sweep(trials=60)
+        ref = run_sweep(sweep, seed=777)
+        job = SweepJob.from_sweep(sweep, seed=777, chunk_size=16)
+
+        marker = str(tmp_path / "killed-once")
+        monkeypatch.setenv("REPRO_SERVE_TEST_KILL_ONCE", marker)
+        store = ResultStore(str(tmp_path / "store"))
+        result = JobRunner(store, workers=2).run(job)
+
+        assert os.path.exists(marker), "the chaos seam never fired"
+        assert result.state.state == "done"
+        assert any(e["type"] == "worker_died"
+                   for e in result.state.events), \
+            "worker death was not detected/requeued"
+        assert_bit_identical(result, ref)
+
+    def test_pool_gives_up_after_retry_cap(self, tmp_path, monkeypatch):
+        """A chunk that kills its worker every time fails the job."""
+        from repro.serve import JobFailedError
+
+        sweep = figure1_shaped_sweep(trials=8)
+        job = SweepJob.from_sweep(sweep, seed=5, chunk_size=8)
+        # point the marker at a path that can never be created, so the
+        # seam fires on every attempt
+        monkeypatch.setenv("REPRO_SERVE_TEST_KILL_ONCE",
+                           str(tmp_path / "no" / "such" / "dir" / "marker"))
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(JobFailedError, match="lost its worker"):
+            JobRunner(store, workers=2).run(job)
+        assert JobState.load(store, job.job_id).state == "failed"
+
+
+COORDINATOR_SCRIPT = textwrap.dedent("""
+    import json, sys
+    from repro.api import (NoiseSpec, NoisyModelSpec, SweepAxis, SweepSpec,
+                           TrialSpec)
+    from repro.serve import JobRunner, ResultStore, SweepJob
+
+    store_dir, job_path = sys.argv[1], sys.argv[2]
+    job = SweepJob.from_dict(json.load(open(job_path)))
+    print("ready", flush=True)
+    JobRunner(ResultStore(store_dir), workers=1).run(job)
+    print("done", flush=True)
+""")
+
+
+class TestCoordinatorSigkill:
+    def test_sigkill_coordinator_then_resume_is_identical(self, tmp_path):
+        sweep = figure1_shaped_sweep(trials=60)
+        ref = run_sweep(sweep, seed=888)
+        job = SweepJob.from_sweep(sweep, seed=888, chunk_size=10)
+        store = ResultStore(str(tmp_path / "store"))
+
+        script = tmp_path / "coordinator.py"
+        script.write_text(COORDINATOR_SCRIPT)
+        job_path = tmp_path / "job.json"
+        job_path.write_text(json.dumps(job.to_dict()))
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in (env.get("PYTHONPATH"),) if p]
+            + [os.path.join(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))), "src")])
+        env["REPRO_SERVE_TEST_CHUNK_DELAY"] = "0.15"  # ~24 chunks -> ~3.6s
+        proc = subprocess.Popen(
+            [sys.executable, str(script), store.root, str(job_path)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            # wait until the coordinator has real progress, then SIGKILL
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                state = JobState.load(store, job.job_id)
+                if state.chunks_done >= 2:
+                    break
+                if proc.poll() is not None:
+                    out, err = proc.communicate()
+                    pytest.fail(f"coordinator exited early: {err.decode()}")
+                time.sleep(0.05)
+            else:
+                pytest.fail("coordinator made no progress before deadline")
+            proc.kill()
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+        # the job reads as interrupted, with partial progress in the store
+        state = JobState.load(store, job.job_id)
+        assert state.state == "running"  # it never got to write "done"
+        assert effective_state(state) == "partial"
+        stored = sum(1 for t in job.chunks() if store.has(t.key))
+        assert 0 < stored < len(job.chunks()), \
+            f"want a genuine partial, got {stored}/{len(job.chunks())}"
+
+        # resume in-process: adopted chunks are NOT recomputed
+        computed = []
+
+        def counting(payload):
+            computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        runner = JobRunner(store,
+                           dispatcher=InlineDispatcher(chunk_fn=counting))
+        result = runner.run(job)
+        assert result.state.state == "done"
+        assert len(computed) == len(job.chunks()) - stored
+        assert any(e["type"] == "resume" for e in result.state.events)
+        assert_bit_identical(result, ref)
+
+    def test_resume_after_inline_interrupt(self, tmp_path):
+        """KeyboardInterrupt mid-run leaves a resumable partial job."""
+        sweep = figure1_shaped_sweep(trials=40)
+        ref = run_sweep(sweep, seed=999)
+        job = SweepJob.from_sweep(sweep, seed=999, chunk_size=10)
+        store = ResultStore(str(tmp_path))
+
+        count = {"n": 0}
+
+        def interrupt_after_three(payload):
+            if count["n"] == 3:
+                raise KeyboardInterrupt
+            count["n"] += 1
+            return run_chunk_task(payload)
+
+        runner = JobRunner(store, dispatcher=InlineDispatcher(
+            chunk_fn=interrupt_after_three))
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(job)
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "partial"
+
+        result = JobRunner(store, workers=1).run(job)
+        assert result.state.state == "done"
+        assert_bit_identical(result, ref)

@@ -134,6 +134,47 @@ class TestSweepExecution:
             two_axis_sweep(), seed=4).frames
 
 
+class TestSeedLane:
+    """The legacy Generator-root spawn lane is supported but flagged."""
+
+    def test_value_seeds_take_the_analytic_lane_silently(self):
+        import warnings
+
+        import numpy as np
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for seed in (7, np.random.SeedSequence(7)):
+                assert run_sweep(two_axis_sweep(), seed=seed).seed_lane == \
+                    "analytic"
+
+    def test_generator_root_warns_and_is_recorded(self):
+        from repro.api import LegacySeedLaneWarning
+
+        with pytest.warns(LegacySeedLaneWarning, match="legacy spawn lane"):
+            result = run_sweep(two_axis_sweep(), seed=make_rng(7))
+        assert result.seed_lane == "legacy-spawn"
+
+    def test_legacy_seed_ok_suppresses_the_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_sweep(two_axis_sweep(), seed=make_rng(7),
+                               legacy_seed_ok=True)
+        assert result.seed_lane == "legacy-spawn"
+
+    def test_sweep_value_seed_conversion_is_bit_identical(self):
+        from repro.experiments._common import sweep_value_seed
+
+        legacy = run_sweep(two_axis_sweep(), seed=make_rng(42),
+                           legacy_seed_ok=True)
+        analytic = run_sweep(two_axis_sweep(),
+                             seed=sweep_value_seed(make_rng(42)))
+        assert analytic.seed_lane == "analytic"
+        assert analytic.frames == legacy.frames
+
+
 class TestSweepCache:
     def test_cache_round_trip_and_seed_block_burning(self, tmp_path):
         sweep = two_axis_sweep()
