@@ -16,12 +16,14 @@ Engine selection matrix (``spec.engine``, resolved engine on
     spec                            auto          "kernel"  "fast"  "event"
     ------------------------------  ------------  --------  ------  -------
     lean / optimized / eager /
-      conservative / random-tie,    trials>=512
-      any noise, random halting h     & n<=128    kernel    kernel  fast   event
+      conservative / random-tie,    trials>=512 &
+      any noise, random halting h,    n<=128 (or
+      round_cap, max_total_ops        n<=1024,
+      budget                          inverse-CDF
+                                      noise)      kernel    kernel  fast   event
                                     n>=256 else   fast      kernel  fast   event
                                     n<256  else   event+why kernel  fast   event
     adaptive adversary, record=True,
-      round_cap, max_total_ops budget,
       per-kind write noise,
       shared-coin / bounded / factory   event+why error     error   event
     step or hybrid model                step/hybrid (engine must be auto)
@@ -30,13 +32,22 @@ The ``"kernel"`` row is the trial-parallel lockstep replay: the whole
 batch advances one event per trial per numpy step, bit-identical to
 ``"fast"`` for every variant, crash model, and worker count (a
 10,000-trial Figure-1 cell runs 5x+ the frame path; n=1 cells collapse
-to a broadcast).  ``auto`` only picks it when the batch is deep enough
-(>= 512 trials) and narrow enough (n <= 128) to pay off — the per-event
-pick scans all n processes, so wide specs stay on the scalar fast
-replay.  What it refuses, it refuses exactly where ``"fast"`` does (the
-two share eligibility, and a refusal message now lists *every*
-blocker); distributions without a closed-form inverse CDF keep their
-legacy per-trial sampling and only the replay runs lockstep.
+to a broadcast).  ``auto`` picks it when the batch is deep enough
+(>= 512 trials) and the spec fits a lockstep lane: any noise at
+n <= 128, or n <= 1024 when the distribution has a closed-form inverse
+CDF (exponential, uniform, ...) — there the per-event pick is a
+segmented 16-ary tournament min, O(log n) per transition instead of a
+flat scan over all processes, and the measured n=1024 workload clears
+the frame path ~1.5x (``python -m repro bench``).  Round caps and
+``max_total_ops`` budgets, formerly event-only, replay exactly on both
+vectorized engines: the budget stops at the precise executed event and
+the frame records ``budget_exhausted`` per trial.  What the kernel
+refuses, it refuses exactly where ``"fast"`` does (the two share
+eligibility, and a refusal message lists *every* remaining blocker:
+adaptive adversaries, ``record=True``, per-op-kind write noise, and
+protocols outside the fast family); distributions without a
+closed-form inverse CDF keep their legacy per-trial sampling — and the
+legacy n <= 128 auto cap — and only the replay runs lockstep.
 
 ``engine="fast"``/``"kernel"`` compose with ``workers``: the engine is
 resolved once per batch (never per worker chunk) and results stay

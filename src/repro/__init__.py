@@ -43,29 +43,39 @@ family (lean, optimized,     replay at any n.  ``engine="kernel"``: the
 eager, conservative,         trial-parallel lockstep replay — the whole
 random-tie), any noise       batch steps simultaneously, bit-identical
 distribution, random         to ``"fast"`` and fastest at high trial
-halting (``h``)              counts with narrow n (a 10,000-trial
-                             Figure-1 cell runs 5x+ the frame path).
-                             ``engine="auto"``: kernel when the batch
-                             carries >= 512 trials at n <= 128; else
+halting (``h``), round       counts (a 10,000-trial Figure-1 cell runs
+caps, ``max_total_ops``      5x+ the frame path; at n=1024 the lockstep
+budgets                      replay clears it ~1.5x).  ``engine="auto"``:
+                             kernel when the batch carries >= 512 trials
+                             and n <= 128 — or n <= 1024 when the noise
+                             distribution has a closed-form inverse CDF
+                             (exponential, uniform, ...), where the
+                             per-event pick is a segmented O(log n)
+                             tournament min instead of a flat scan; else
                              fast when n >= 256, else event —
                              ``result.engine_reason`` explains fallbacks
                              (e.g. a narrow n miss).  Random halting
-                             compiles to per-process death schedules.
+                             compiles to per-process death schedules;
+                             round caps and op budgets replay exactly
+                             (the budget stops at the precise executed
+                             event, recorded in the frame's
+                             ``budget_exhausted`` column).
 noisy + adaptive adversary,  event engine only.  ``engine="auto"`` falls
-recorder, round cap,         back silently-but-explained
-max_total_ops budget,        (``engine_reason``, now listing *every*
-per-op-kind write noise,     applicable blocker); ``engine="fast"`` /
-shared-coin / bounded /      ``engine="kernel"`` raise
-factory protocols            :class:`ConfigurationError` naming them.
+recorder (``record=True``),  back silently-but-explained
+per-op-kind write noise,     (``engine_reason``, listing *every*
+shared-coin / bounded /      applicable blocker); ``engine="fast"`` /
+factory protocols            ``engine="kernel"`` raise
+                             :class:`ConfigurationError` naming them.
 ===========================  ===========================================
 
 What the kernel refuses, it refuses exactly where the fast engine does
 (the two share eligibility); what it cannot *accelerate* it still runs:
 distributions without a closed-form inverse CDF (geometric, two-point,
-truncated normal, ...) keep the legacy per-trial sampling lane and only
-the replay itself is lockstep.  Trials whose sampled horizon overflows
-fall back one-by-one to the scalar replay on an exactly-extended
-schedule, so ragged horizons never cost bit-identity.
+truncated normal, ...) keep the legacy per-trial sampling lane — and the
+legacy n cap of 128 — and only the replay itself is lockstep.  Trials
+whose sampled horizon overflows fall back one-by-one to the scalar
+replay on an exactly-extended schedule, so ragged horizons never cost
+bit-identity — even at n=1024 under a round cap or an op budget.
 
 ``engine="fast"``/``"kernel"`` compose with the batch runner's
 ``workers``: the engine choice is resolved once per batch (never per

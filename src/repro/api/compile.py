@@ -11,8 +11,8 @@ pin down.
 
 Engine selection lives in :func:`resolve_engine_info`: the vectorized
 replay family of :data:`repro.sim.fast.FAST_VARIANTS` serves every noisy
-spec without an adaptive adversary, recorder, round cap, or per-kind
-noise; ``engine="auto"`` additionally keeps small n on the event engine,
+spec without an adaptive adversary, recorder, or per-kind write
+noise (round caps and operation budgets replay exactly since PR 7); ``engine="auto"`` additionally keeps small n on the event engine,
 promotes large trial batches to the trial-parallel lockstep kernel
 (:mod:`repro.sim.kernel`), and records *why* it fell back in
 ``TrialResult.engine_reason``.
@@ -102,18 +102,39 @@ FAST_AUTO_MIN_N = 256
 #: per-step vector dispatch costs more than the scalar replay saves).
 KERNEL_AUTO_MIN_TRIALS = 512
 
-#: ... and only while the process axis stays narrow: the kernel's
-#: per-event pick scans all n processes (O(n) per event against the
-#: scalar replay's O(1)), and measured cross-over on the Figure-1
+#: ... and only while the process axis stays narrow on the *legacy*
+#: sampling lane, whose full-horizon presample cost scales with n
+#: regardless of engine and whose measured cross-over on the Figure-1
 #: workload sits between n=128 (kernel 1.9x ahead) and n=300 (behind).
 KERNEL_AUTO_MAX_N = 128
+
+#: Inverse-lane specs promote much wider: the PR-7 tournament min makes
+#: the per-event pick O(log n) (a 16-ary static tree over the process
+#: axis, refreshed along one root path per transition), and the
+#: mantissa-packed pid plane now covers n up to 2048.  The measured
+#: n=1024 scaling workload (``python -m repro bench``) has the kernel
+#: ahead of the trial-batched frame path, so auto promotes inverse-lane
+#: batches through n=1024.
+KERNEL_AUTO_MAX_N_INVERSE = 1024
 
 #: Cap on schedule-tensor elements materialized per fast batch sub-chunk
 #: (~128 MB of float64), bounding the batched argsort's working set.
 _FAST_CHUNK_ELEMENTS = 16_000_000
 
-#: Cap on the kernel's (processes x trials) lockstep state width.
-_KERNEL_LANE_ELEMENTS = 1 << 19
+#: Cap on schedule-tensor elements materialized per *kernel* sub-chunk
+#: (~640 MB of float64).  The kernel never argsorts the tensor — it
+#: gathers one column per lockstep transition — so it tolerates a far
+#: larger working set than the fast path, and its per-iteration cost is
+#: interpreter-dispatch dominated: block width divides straight into
+#: per-trial cost.  Wide-n blocks (n=1024, k=68) need ~72M elements to
+#: reach the lane cap below; do not re-tie this to _FAST_CHUNK_ELEMENTS.
+_KERNEL_CHUNK_ELEMENTS = 80_000_000
+
+#: Cap on the kernel's (processes x trials) lockstep state width.  At
+#: n=1024 this admits 1024-trial blocks, where the measured lockstep
+#: throughput (~105 trials/s) clears the frame path (~66 trials/s); at
+#: 1 << 19 the 512-trial blocks lose to it (~59 trials/s).
+_KERNEL_LANE_ELEMENTS = 1 << 20
 
 #: Inverse-lane horizon growth: doublings of the initial horizon before
 #: the schedule is declared degenerate (matches the legacy retry reach).
@@ -185,12 +206,6 @@ def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
         reasons.append(
             f"protocol {spec.protocol.name!r} has no vectorized replay "
             f"(supported: {sorted(FAST_VARIANTS)})")
-    if spec.protocol.round_cap is not None:
-        reasons.append("round_cap bookkeeping requires the event engine")
-    if spec.max_total_ops is not None:
-        reasons.append(
-            "max_total_ops budgets are enforced by the event engine "
-            "(the vectorized replay has no operation-budget stop)")
     if spec.failures.adversary is not None:
         reasons.append(
             "adaptive crash adversaries observe the execution and "
@@ -217,8 +232,9 @@ def resolve_engine_info(spec: TrialSpec,
 
     ``trials`` is the batch context: with ``engine="auto"``, a
     fast-eligible chunk of at least :data:`KERNEL_AUTO_MIN_TRIALS`
-    trials (at n up to :data:`KERNEL_AUTO_MAX_N`) resolves to the
-    trial-parallel lockstep kernel.  The batch runner resolves once per
+    trials resolves to the trial-parallel lockstep kernel — at n up to
+    :data:`KERNEL_AUTO_MAX_N` on the legacy sampling lane, and up to
+    :data:`KERNEL_AUTO_MAX_N_INVERSE` on the inverse lane.  The batch runner resolves once per
     batch and threads the outcome through its serial and pool paths, so
     the recorded engine never depends on worker chunking.
     """
@@ -237,12 +253,19 @@ def resolve_engine_info(spec: TrialSpec,
     # engine == "auto"
     if why_not is not None:
         return EngineResolution("event", reason=why_not)
-    if (trials is not None and trials >= KERNEL_AUTO_MIN_TRIALS
-            and spec.n <= KERNEL_AUTO_MAX_N):
-        # Large trial batches at narrow n: the lockstep kernel beats
-        # both the event engine (whose per-op heap traffic the small-n
-        # rule below is protecting against) and the scalar fast replay.
-        return EngineResolution("kernel")
+    if trials is not None and trials >= KERNEL_AUTO_MIN_TRIALS:
+        # Large trial batches: the lockstep kernel beats both the event
+        # engine (whose per-op heap traffic the small-n rule below is
+        # protecting against) and the scalar fast replay.  Inverse-lane
+        # specs stay ahead through n=1024 (tournament min + O(k) horizon
+        # extension); legacy-lane specs pay an O(n·horizon) presample
+        # either way and cross over much earlier.
+        cap = KERNEL_AUTO_MAX_N
+        if (KERNEL_AUTO_MAX_N < spec.n <= KERNEL_AUTO_MAX_N_INVERSE
+                and _inverse_lane(spec) is not None):
+            cap = KERNEL_AUTO_MAX_N_INVERSE
+        if spec.n <= cap:
+            return EngineResolution("kernel")
     if spec.n < FAST_AUTO_MIN_N:
         return EngineResolution(
             "event",
@@ -530,6 +553,8 @@ def replay_schedule(spec: TrialSpec, times, inputs, death_ops, tie_seqs,
                         stop_after_first_decision=
                         spec.stop_after_first_decision,
                         tie_rngs=_tie_rngs(tie_seqs),
+                        round_cap=spec.protocol.round_cap,
+                        max_total_ops=spec.max_total_ops,
                         truncated=k < max_ops, sink=sink)
         if result is not None or k >= max_ops:
             return result
@@ -557,6 +582,8 @@ def replay_schedule_open(spec: TrialSpec, times, inputs, death_ops,
                         stop_after_first_decision=
                         spec.stop_after_first_decision,
                         tie_rngs=_tie_rngs(tie_seqs),
+                        round_cap=spec.protocol.round_cap,
+                        max_total_ops=spec.max_total_ops,
                         truncated=True, sink=sink)
         if result is not None or k >= max_ops:
             return result
@@ -767,6 +794,10 @@ def _run_fast_chunk_frame(spec: TrialSpec,
         replay_fn = _replay_optimized
     else:
         replay_fn = functools.partial(replay_lean, lag=cfg.lag)
+    if spec.protocol.round_cap is not None or spec.max_total_ops is not None:
+        replay_fn = functools.partial(replay_fn,
+                                      round_cap=spec.protocol.round_cap,
+                                      max_total_ops=spec.max_total_ops)
     reusable = ReusablePCG64()
     for start in range(0, len(seeds), sub):
         block = seeds[start:start + sub]
@@ -943,9 +974,9 @@ class _RowSink:
         self.row = None
 
     def append_fast(self, decisions, halted, total_ops, max_round,
-                    preference_changes) -> None:
+                    preference_changes, budget_exhausted=False) -> None:
         self.row = (decisions, halted, total_ops, max_round,
-                    preference_changes)
+                    preference_changes, budget_exhausted)
 
 
 def _kernel_tie_flips(tie_seqs_list, n: int, trials: int,
@@ -992,7 +1023,7 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
     horizon = lean_horizon_ops(n)
     k = min(_kernel_horizon_ops(n), horizon) if lane is not None else horizon
     solo = n == 1 and h <= 0.0
-    sub = max(1, min(_FAST_CHUNK_ELEMENTS // max(n * k, 1),
+    sub = max(1, min(_KERNEL_CHUNK_ELEMENTS // max(n * k, 1),
                      _KERNEL_LANE_ELEMENTS // max(n, 1)))
     builder = FrameBuilder(spec=spec, n=n, inputs=input_pairs,
                            engine="kernel", engine_reason=None)
@@ -1120,7 +1151,9 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
                            death_ops=death_t, tie_flips=flips,
                            stop_after_first_decision=stop_first,
                            horizon_is_final=lane is None,
-                           trials_major=trials_major)
+                           trials_major=trials_major,
+                           round_cap=spec.protocol.round_cap,
+                           max_total_ops=spec.max_total_ops)
         decisions, halted = out.decisions, out.halted
         if out.overflow.any():
             for t in np.nonzero(out.overflow)[0].tolist():
@@ -1135,7 +1168,7 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
             n_halted=out.n_halted, first_round=out.first_round,
             first_ops=out.first_ops, last_round=out.last_round,
             decided_value=out.decided_value, decisions=decisions,
-            halted=halted)
+            halted=halted, budget_exhausted=out.budget_exhausted)
     frame = builder.build()
     _check_frame(frame, spec)
     return frame
@@ -1166,11 +1199,12 @@ def _kernel_overflow_fallback(spec, lane, noise, context, tie_seqs, inputs,
         rng_fail = make_rng(fail_src) if fail_src is not None else None
         _run_fast_inverse(spec, lane, rng_noise, rng_fail, tie_seqs,
                           inputs, horizon=horizon, sink=sink)
-        dec, hlt, total, maxr, chg = sink.row
+        dec, hlt, total, maxr, chg, budget = sink.row
         out.total_ops[t] = total
         out.max_round[t] = maxr
         out.preference_changes[t] = chg
         out.n_halted[t] = len(hlt)
+        out.budget_exhausted[t] = budget
         decisions[t] = dec
         halted[t] = hlt
         _derive_decision_columns(out, t, dec)
@@ -1184,6 +1218,7 @@ def _kernel_overflow_fallback(spec, lane, noise, context, tie_seqs, inputs,
     out.max_round[t] = result.max_round
     out.preference_changes[t] = result.preference_changes
     out.n_halted[t] = len(result.halted)
+    out.budget_exhausted[t] = result.budget_exhausted
     decisions[t] = tuple((pid, dec.value, dec.round, dec.ops)
                          for pid, dec in result.decisions.items())
     halted[t] = tuple(result.halted)

@@ -10,7 +10,9 @@ kernel trials/sec on two canonical workloads:
   inputs, stop at the first decision) at the paper's per-point trial
   count;
 * **scaling-shaped** — one mid-scale n of the scaling sweep, same
-  protocol and stopping rule, inside the kernel's auto range.
+  protocol and stopping rule, inside the kernel's auto range;
+* **scaling-wide** — the n=1024 point (PR 7), exercising the kernel's
+  tournament min and packed pid plane at the paper's O(n log n) scale.
 
 ``python -m repro bench`` runs the suite, prints the table, and appends
 an entry; ``benchmarks/test_bench_kernel.py`` drives the same functions
@@ -111,6 +113,29 @@ def scaling_shaped(trials: int = 4_000, n: int = 64,
     return {
         "workload": ("scaling-shaped: exponential(1), dithered starts, "
                      "stop at first decision, mid-scale n"),
+        "n": n, "trials": trials,
+        "frame_seconds": round(frame_s, 3),
+        "kernel_seconds": round(kernel_s, 3),
+        "frame_trials_per_sec": round(trials / max(frame_s, 1e-9), 1),
+        "kernel_trials_per_sec": round(trials / max(kernel_s, 1e-9), 1),
+        "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
+        "identical": cell["identical"],
+    }
+
+
+def scaling_wide(trials: int = 1_000, n: int = 1024,
+                 seed: int = 2000) -> Dict[str, object]:
+    """The wide-n scaling comparison (PR 7's tournament-min kernel).
+
+    One n=1024 cell — the scale the paper's O(n log n) total-work claim
+    targets — pitting the per-trial scalar frame path against the
+    lockstep kernel with the segmented min and packed pid plane engaged.
+    """
+    cell = _engine_pair(n, trials, seed)
+    frame_s, kernel_s = cell["frame_seconds"], cell["kernel_seconds"]
+    return {
+        "workload": ("scaling-wide: exponential(1), dithered starts, "
+                     "stop at first decision, n=1024"),
         "n": n, "trials": trials,
         "frame_seconds": round(frame_s, 3),
         "kernel_seconds": round(kernel_s, 3),
@@ -270,10 +295,12 @@ def format_table(results: Dict[str, dict]) -> str:
 
 def run_suite(trials: int = 10_000,
               scaling_trials: int = 4_000,
+              wide_trials: int = 1_000,
               serve_trials: int = 2_000) -> Dict[str, dict]:
     return {
         "figure1_shaped": figure1_shaped(trials=trials),
         "scaling_shaped": scaling_shaped(trials=scaling_trials),
+        "scaling_wide": scaling_wide(trials=wide_trials),
         "serve_throughput": serve_throughput(trials=serve_trials),
     }
 
@@ -288,6 +315,8 @@ def main(argv=None) -> int:
                              "(default: the paper's 10,000)")
     parser.add_argument("--scaling-trials", type=int, default=4_000,
                         help="trials for the scaling-shaped point")
+    parser.add_argument("--wide-trials", type=int, default=1_000,
+                        help="trials for the scaling-wide n=1024 point")
     parser.add_argument("--serve-trials", type=int, default=2_000,
                         help="trials per point for the serve-throughput "
                              "(job lane vs. direct run_sweep) workload")
@@ -301,6 +330,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     results = run_suite(trials=args.trials,
                         scaling_trials=args.scaling_trials,
+                        wide_trials=args.wide_trials,
                         serve_trials=args.serve_trials)
     print(format_table(results))
     if not args.no_append:

@@ -240,8 +240,9 @@ class JobRunner:
     a process pool; pass ``dispatcher`` to override entirely.
     """
 
-    #: Times a chunk is requeued after broken-pool events before the
-    #: job is declared failed.
+    #: Broken-pool events one chunk may survive: a chunk that has lost
+    #: its worker this many times fails the job instead of requeueing
+    #: (the boundary is pinned by the injected-kill regression test).
     MAX_CHUNK_RETRIES = 3
 
     #: Seconds between re-checks of chunks claimed by a foreign job.
@@ -469,12 +470,12 @@ class JobRunner:
         futures.clear()
         for key in {t.key for t, _ in unfinished}:
             self.store.release(key)
-        over = [t for t, r in unfinished if r > self.MAX_CHUNK_RETRIES]
+        over = [t for t, r in unfinished if r >= self.MAX_CHUNK_RETRIES]
         if over:
             state.state = "failed"
             state.error = (f"chunk (cell={over[0].cell_index}, "
                            f"start={over[0].start}) lost its worker "
-                           f"{self.MAX_CHUNK_RETRIES + 1} times; giving up")
+                           f"{self.MAX_CHUNK_RETRIES} times; giving up")
             state.runner_pid = None
             state.save(self.store, job.job_id)
             raise JobFailedError(state.error)

@@ -163,7 +163,8 @@ def run_differential(spec: TrialSpec, seed=None,
         fast_result = replay(
             times, inputs, variant=spec.protocol.name, death_ops=death_ops,
             stop_after_first_decision=spec.stop_after_first_decision,
-            tie_rngs=tie_rngs)
+            tie_rngs=tie_rngs, round_cap=spec.protocol.round_cap,
+            max_total_ops=spec.max_total_ops)
         if fast_result is not None:
             break
         horizon *= 2
@@ -236,11 +237,17 @@ def _kernel_mismatches(spec: TrialSpec, times: np.ndarray, death_ops,
                        tie_flips=flips,
                        stop_after_first_decision=
                        spec.stop_after_first_decision,
-                       horizon_is_final=True)
+                       horizon_is_final=True,
+                       round_cap=spec.protocol.round_cap,
+                       max_total_ops=spec.max_total_ops)
     if out.overflow[0]:
         return ["kernel replay overflowed where the full replay "
                 "completed"]
     mismatches = []
+    if bool(out.budget_exhausted[0]) != fast.budget_exhausted:
+        mismatches.append(
+            f"kernel budget_exhausted differs: "
+            f"{bool(out.budget_exhausted[0])} != {fast.budget_exhausted}")
     fast_dec = tuple((pid, d.value, d.round, d.ops)
                      for pid, d in fast.decisions.items())
     if out.decisions[0] != fast_dec:
@@ -267,16 +274,22 @@ def _run_event(spec: TrialSpec, times: np.ndarray,
     if coin_seqs is not None:
         coins = [RandomCoin(_gen(s)) for s in coin_seqs]
         machines = [LeanConsensus(pid, bit,
-                                  tie_rule=RandomTie(coins[pid]))
+                                  tie_rule=RandomTie(coins[pid]),
+                                  round_cap=spec.protocol.round_cap)
                     for pid, bit in enumerate(inputs)]
     else:
-        machines = make_machines(spec.protocol.name, dict(enumerate(inputs)))
+        machines = make_machines(spec.protocol.name, dict(enumerate(inputs)),
+                                 round_cap=spec.protocol.round_cap)
     memory = make_memory_for(machines)
     failures = (PresampledDeaths(death_ops) if death_ops is not None
                 else NoFailures())
+    # A spec-level op budget is the semantics under test; otherwise the
+    # budget is just the overrun guard past the padded horizon.
+    budget = (spec.max_total_ops if spec.max_total_ops is not None
+              else times.size + 1)
     engine = NoisyEngine(
         machines, memory, _PaddedSchedule(times), failures=failures,
-        max_total_ops=times.size + 1,
+        max_total_ops=budget,
         stop_after_first_decision=spec.stop_after_first_decision)
     result = engine.run()
     result = check_result(result, spec.check)
@@ -287,7 +300,7 @@ def _run_event(spec: TrialSpec, times: np.ndarray,
 #: Observables compared by the oracle (engine clocks excluded).
 _COMPARED_FIELDS = ("total_ops", "max_round", "preference_changes",
                     "first_decision_round", "first_decision_ops",
-                    "last_decision_round")
+                    "last_decision_round", "budget_exhausted")
 
 
 def compare_results(fast: TrialResult, event: TrialResult) -> List[str]:

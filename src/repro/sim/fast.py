@@ -97,6 +97,8 @@ def replay(times: np.ndarray, inputs: Sequence[int],
            tie_rngs: Optional[Sequence[np.random.Generator]] = None,
            order: Optional[np.ndarray] = None,
            truncated: bool = False,
+           round_cap: Optional[int] = None,
+           max_total_ops: Optional[int] = None,
            sink=None):
     """Replay a protocol variant over a pre-sampled schedule.
 
@@ -120,12 +122,14 @@ def replay(times: np.ndarray, inputs: Sequence[int],
         return _replay_optimized(times, inputs, death_ops=death_ops,
                                  stop_after_first_decision=
                                  stop_after_first_decision, order=order,
-                                 truncated=truncated, sink=sink)
+                                 truncated=truncated, round_cap=round_cap,
+                                 max_total_ops=max_total_ops, sink=sink)
     return replay_lean(times, inputs, death_ops=death_ops,
                        stop_after_first_decision=stop_after_first_decision,
                        lag=cfg.lag,
                        tie_rngs=tie_rngs if cfg.random_tie else None,
-                       order=order, truncated=truncated, sink=sink)
+                       order=order, truncated=truncated, round_cap=round_cap,
+                       max_total_ops=max_total_ops, sink=sink)
 
 
 def _global_order(times: np.ndarray, order) -> list:
@@ -150,7 +154,7 @@ def _global_order(times: np.ndarray, order) -> list:
 
 def _finish(sink, n: int, inputs: Sequence[int], decisions: list,
             halted: list, total_ops: int, max_round: int,
-            preference_changes: int):
+            preference_changes: int, budget_exhausted: bool = False):
     """Emit a completed replay: columnar row (sink) or ``TrialResult``.
 
     ``decisions`` is the chronological (pid, value, round, ops) list the
@@ -162,7 +166,8 @@ def _finish(sink, n: int, inputs: Sequence[int], decisions: list,
     if sink is not None:
         sink.append_fast(decisions=tuple(decisions), halted=tuple(halted),
                          total_ops=total_ops, max_round=max_round,
-                         preference_changes=preference_changes)
+                         preference_changes=preference_changes,
+                         budget_exhausted=budget_exhausted)
         return True
     result = TrialResult(n=n, inputs={i: int(b) for i, b in enumerate(inputs)})
     for pid in halted:
@@ -172,6 +177,7 @@ def _finish(sink, n: int, inputs: Sequence[int], decisions: list,
     result.preference_changes = preference_changes
     result.total_ops = total_ops
     result.max_round = max_round
+    result.budget_exhausted = budget_exhausted
     return result
 
 
@@ -182,6 +188,8 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
                 tie_rngs: Optional[Sequence[np.random.Generator]] = None,
                 order: Optional[np.ndarray] = None,
                 truncated: bool = False,
+                round_cap: Optional[int] = None,
+                max_total_ops: Optional[int] = None,
                 sink=None):
     """Replay the four-step-round family over a pre-sampled schedule.
 
@@ -209,6 +217,18 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
             starved process's dropped events could precede the stop and
             change it); such completions return ``None`` so the caller
             grows the prefix.
+        round_cap: optional maximum round (the Section 8 bounded
+            construction).  A process that would advance past the cap
+            freezes instead — round stays at the cap, no decision and no
+            halt is recorded — exactly like the event machine's
+            ``overflowed`` flag.
+        max_total_ops: optional global operation budget.  After each
+            *executed* operation (halting events consume a schedule slot
+            but execute nothing, matching the event engine) the replay
+            stops once the budget is reached; ``budget_exhausted`` is set
+            iff some process was still undecided, mirroring
+            ``engine._should_stop``'s decision -> budget -> quiescence
+            check order.
         sink: optional :class:`repro.sim.frame.FrameBuilder`; when given,
             the outcome is appended as one columnar row (no per-trial
             ``TrialResult``) and ``True`` is returned on success.
@@ -246,6 +266,10 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
     halted: list = []
     preference_changes = 0
     remaining = n
+    cap = round_cap
+    budget = max_total_ops
+    executed = 0
+    budget_exhausted = False
 
     for pid in event_pids:
         if done[pid]:
@@ -292,9 +316,21 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
                 decisions.append((int(pid), pref[pid], r, ops[pid]))
                 if stop_after_first_decision or remaining == 0:
                     break
+            elif cap is not None and r >= cap:
+                # Round cap exhausted without a decision: the machine's
+                # overflowed flag — frozen at the cap, done, unrecorded.
+                done[pid] = True
+                remaining -= 1
+                if remaining == 0:
+                    break
             else:
                 rounds[pid] = r + 1
                 step[pid] = 0
+        if budget is not None:
+            executed += 1
+            if executed >= budget:
+                budget_exhausted = remaining > 0
+                break
     else:
         # Events exhausted without reaching the stop condition.
         if remaining > 0:
@@ -306,7 +342,8 @@ def replay_lean(times: np.ndarray, inputs: Sequence[int],
 
     return _finish(sink, n, inputs, decisions, halted,
                    total_ops=sum(ops), max_round=max(rounds),
-                   preference_changes=preference_changes)
+                   preference_changes=preference_changes,
+                   budget_exhausted=budget_exhausted)
 
 
 def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
@@ -315,6 +352,8 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
                       tie_rngs: Optional[Sequence] = None,
                       order: Optional[np.ndarray] = None,
                       truncated: bool = False,
+                      round_cap: Optional[int] = None,
+                      max_total_ops: Optional[int] = None,
                       sink=None):
     """Replay :class:`~repro.core.variants.OptimizedLean` (Section 4).
 
@@ -350,6 +389,10 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
     halted: list = []
     preference_changes = 0
     remaining = n
+    cap = round_cap
+    budget = max_total_ops
+    executed = 0
+    budget_exhausted = False
 
     for pid in event_pids:
         if done[pid]:
@@ -402,12 +445,25 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
                 decisions.append((int(pid), pref[pid], r, ops[pid]))
                 if stop_after_first_decision or remaining == 0:
                     break
-                continue
-            advance = True
+            else:
+                advance = True
         if advance:
-            skip_final[pid] = False
-            rounds[pid] = r + 1
-            step[pid] = 0
+            if cap is not None and r >= cap:
+                # Every advance point routes through _advance_round in the
+                # event machine: cap reached -> overflowed, frozen at r.
+                done[pid] = True
+                remaining -= 1
+                if remaining == 0:
+                    break
+            else:
+                skip_final[pid] = False
+                rounds[pid] = r + 1
+                step[pid] = 0
+        if budget is not None:
+            executed += 1
+            if executed >= budget:
+                budget_exhausted = remaining > 0
+                break
     else:
         if remaining > 0:
             return None
@@ -418,7 +474,8 @@ def _replay_optimized(times: np.ndarray, inputs: Sequence[int],
 
     return _finish(sink, n, inputs, decisions, halted,
                    total_ops=sum(ops), max_round=max(rounds),
-                   preference_changes=preference_changes)
+                   preference_changes=preference_changes,
+                   budget_exhausted=budget_exhausted)
 
 
 def lean_horizon_ops(n: int, slack_rounds: int = 16) -> int:

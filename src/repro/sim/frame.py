@@ -300,7 +300,8 @@ class FrameBuilder:
 
     def append_fast(self, decisions: Tuple[Tuple[int, int, int, int], ...],
                     halted: Tuple[int, ...], total_ops: int, max_round: int,
-                    preference_changes: int) -> None:
+                    preference_changes: int,
+                    budget_exhausted: bool = False) -> None:
         """Append one fast-engine trial from its raw replay outcome.
 
         ``decisions`` is the chronological (pid, value, round, ops) tuple;
@@ -315,7 +316,7 @@ class FrameBuilder:
             self._n, total_ops, 0, max_round, preference_changes,
             n_decided, distinct, len(halted),
             first_round, first_ops, _NAN, last_round, _NAN, decided_value,
-            False,
+            budget_exhausted,
             self._inputs, decisions, halted, self._engine,
             self._engine_reason))
 
@@ -344,7 +345,7 @@ class FrameBuilder:
     def append_block(self, count: int, total_ops, max_round,
                      preference_changes, n_decided, n_distinct, n_halted,
                      first_round, first_ops, last_round, decided_value,
-                     decisions, halted) -> None:
+                     decisions, halted, budget_exhausted=None) -> None:
         """Append a whole chunk of fast-engine trials as ready columns.
 
         The lockstep kernel produces its outcomes as arrays over the
@@ -352,10 +353,12 @@ class FrameBuilder:
         ``decisions``/``halted`` are lists of the per-trial payload
         tuples ``append_fast`` takes; constant columns (``n``, inputs,
         engine labels, the event-engine-only optionals) are filled from
-        the builder's per-batch fields.
+        the builder's per-batch fields.  ``budget_exhausted`` (a bool
+        array from budgeted kernel runs) is optional; omitted, the
+        column fills with ``False`` like the other block defaults.
         """
         self._count += count
-        self._segments.append(("block", count, {
+        data = {
             "total_ops": total_ops, "max_round": max_round,
             "preference_changes": preference_changes,
             "n_decided": n_decided, "n_distinct_decisions": n_distinct,
@@ -364,7 +367,10 @@ class FrameBuilder:
             "last_decision_round": last_round,
             "decided_value": decided_value,
             "decisions": decisions, "halted": halted,
-        }))
+        }
+        if budget_exhausted is not None:
+            data["budget_exhausted"] = budget_exhausted
+        self._segments.append(("block", count, data))
 
     #: Per-column constant fill for block segments (columns the fast
     #: engines never populate per trial).

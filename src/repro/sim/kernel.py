@@ -22,6 +22,21 @@ directly, so a trial that reaches its stopping condition strictly inside
 the sampled horizon provably matches the infinite-horizon replay: every
 unseen operation's completion time exceeds every executed one.
 
+Segmented min for wide process axes
+-----------------------------------
+
+A flat column min is O(n) per event, which is what historically capped
+auto-promotion at n <= 128.  For wide chunks the kernel keeps a static
+tournament tree above ``NT`` (branching :data:`_TREE_BRANCH`): each
+level holds the B-way group mins of the level below, the pick reads the
+<= B rows of the top level, and — because every per-event state write
+lands on the one (process, trial) cell the trial just executed — each
+iteration refreshes only the O(log_B n) ancestor segments of that row
+per column.  The packed-pid trick (the owner pid in the low mantissa
+bits, so the min *is* the argmin, ties breaking toward the lowest pid)
+now covers n <= 2048 in both sampling lanes; retired columns park at a
+huge finite sentinel rather than +inf so the pid bits stay clean.
+
 Ragged horizons and the scalar fallback
 ---------------------------------------
 
@@ -58,6 +73,17 @@ _COMPACT_FRACTION = 0.25
 #: ... but never below this many slots (compaction is then pure overhead).
 _COMPACT_MIN = 256
 
+#: Widest process axis the packed-pid trick covers: 11 mantissa bits keep
+#: the relative perturbation under 2**-41, still far below any sampled
+#: time's spacing (see _ChunkState).
+_PACK_MAX_N = 2048
+#: Branching factor of the tournament tree over the process axis.
+_TREE_BRANCH = 16
+#: Build the tree only when the process axis is wide enough for the
+#: O(B log_B n) per-event refresh to beat the flat O(n) column min.
+_TREE_MIN_N = 128
+_TREE_STEPS = np.arange(_TREE_BRANCH, dtype=np.int64)[:, None]
+
 
 @dataclass
 class KernelResult:
@@ -82,6 +108,7 @@ class KernelResult:
     first_ops: np.ndarray
     last_round: np.ndarray
     decided_value: np.ndarray
+    budget_exhausted: np.ndarray
     decisions: List[tuple]
     halted: List[tuple]
 
@@ -96,7 +123,9 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
                  tie_flips: Optional[np.ndarray] = None,
                  stop_after_first_decision: bool = True,
                  horizon_is_final: bool = False,
-                 trials_major: bool = False) -> KernelResult:
+                 trials_major: bool = False,
+                 round_cap: Optional[int] = None,
+                 max_total_ops: Optional[int] = None) -> KernelResult:
     """Replay every trial of a chunk in lockstep.
 
     Args:
@@ -124,6 +153,18 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
             prefix of an infinite schedule, so a drained live process
             immediately overflows its trial (its unseen next event could
             precede — and change — anything that follows).
+        round_cap: optional maximum round, matching
+            :func:`repro.sim.fast.replay_lean`'s contract — a process
+            that would advance past the cap freezes there (the event
+            machine's ``overflowed`` flag), unrecorded.
+        max_total_ops: optional global per-trial operation budget with
+            the event engine's exact stop semantics — executed
+            operations only (halting events consume a schedule slot
+            without executing), decision-stop checked before the budget,
+            ``budget_exhausted`` set iff the budget stop left some
+            process undecided.  The budget stop is *at* an executed
+            event, so it is exact even mid-horizon: unseen later events
+            cannot precede it.
 
     Returns:
         A :class:`KernelResult` over the chunk.
@@ -152,13 +193,15 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
     if n == 1 and death_ops is None:
         # Before the tensor copy below: the broadcast never reads times.
         return _broadcast_single_process(trials, k, inputs, variant,
-                                         stop_after_first_decision)
+                                         stop_after_first_decision,
+                                         round_cap, max_total_ops)
     times = np.ascontiguousarray(times, dtype=np.float64)
-    pack = not horizon_is_final and 1 < n <= 64
+    pack = 1 < n <= _PACK_MAX_N
     loop = _lockstep_optimized if cfg.optimized else _lockstep_lean
     return loop(times, trials_major, inputs, cfg, death_ops,
                 tie_flips if cfg.random_tie else None,
-                stop_after_first_decision, horizon_is_final, pack)
+                stop_after_first_decision, horizon_is_final, pack,
+                round_cap, max_total_ops)
 
 
 def _empty_result() -> KernelResult:
@@ -166,10 +209,11 @@ def _empty_result() -> KernelResult:
     zf = np.zeros(0, np.float64)
     return KernelResult(np.zeros(0, bool), zi, zi.copy(), zi.copy(),
                         zi.copy(), zi.copy(), zi.copy(), zf, zf.copy(),
-                        zf.copy(), zf.copy(), [], [])
+                        zf.copy(), zf.copy(), np.zeros(0, bool), [], [])
 
 
-def _broadcast_single_process(trials, k, inputs, variant, stop_first):
+def _broadcast_single_process(trials, k, inputs, variant, stop_first,
+                              round_cap=None, max_total_ops=None):
     """n == 1, no crashes: the outcome is schedule-independent.
 
     A lone process's events happen in its own program order whatever the
@@ -178,14 +222,17 @@ def _broadcast_single_process(trials, k, inputs, variant, stop_first):
     to replaying each trial (pinned by tests/test_kernel.py).  The
     random-tie variant gets a placeholder coin too: a solo process never
     reads a contended tie (the only writer of either bit is itself, and
-    it reads before it writes), so no flip is ever drawn.
+    it reads before it writes), so no flip is ever drawn.  Round caps
+    and op budgets are schedule-independent too (both count the solo
+    process's own rounds/ops), so they forward to the scalar replay.
     """
     probe = np.arange(1.0, k + 1.0)[None, :]
     dummy_coins = ([np.random.Generator(np.random.PCG64(0))]
                    if FAST_VARIANTS[variant].random_tie else None)
     result = replay(probe, list(inputs), variant=variant,
                     tie_rngs=dummy_coins,
-                    stop_after_first_decision=stop_first)
+                    stop_after_first_decision=stop_first,
+                    round_cap=round_cap, max_total_ops=max_total_ops)
     if result is None:  # horizon shorter than the fixed solo run
         out = _empty_result()
         return KernelResult(
@@ -194,7 +241,7 @@ def _broadcast_single_process(trials, k, inputs, variant, stop_first):
               (out.total_ops, out.max_round, out.preference_changes,
                out.n_decided, out.n_distinct, out.n_halted,
                out.first_round, out.first_ops, out.last_round,
-               out.decided_value)),
+               out.decided_value, out.budget_exhausted)),
             decisions=[()] * trials, halted=[()] * trials)
 
     def full(value, dtype):
@@ -216,6 +263,7 @@ def _broadcast_single_process(trials, k, inputs, variant, stop_first):
         last_round=full(decisions[-1][2] if decisions else np.nan,
                         np.float64),
         decided_value=full(first[1] if first else np.nan, np.float64),
+        budget_exhausted=full(result.budget_exhausted, bool),
         decisions=[decisions] * trials,
         halted=[()] * trials)
 
@@ -235,7 +283,7 @@ class _ChunkState:
         (np.uint64(0x7FE0000000000000)).tobytes(), np.float64)[0]
 
     def __init__(self, times, trials_major, inputs, rounds_cap, death_ops,
-                 tie_flips, pack=False):
+                 tie_flips, pack=False, track_ops=False):
         if trials_major:
             trials, k, n = times.shape
         else:
@@ -259,15 +307,18 @@ class _ChunkState:
             self.NT = np.ascontiguousarray(times[:, 0, :].T)
         else:
             self.NT = np.ascontiguousarray(times[:, :, 0])
-        # Smallest unsigned dtype for the multiply-sum pid extraction.
+        # Smallest unsigned dtype for the multiply-sum pid extraction:
+        # pids reach n - 1, so uint8 is safe only while n <= 255 (the
+        # accumulate stays int64 either way); the 255/256/257 boundary
+        # is pinned by tests/test_kernel.py against silent truncation.
         self.pid_col = np.arange(n, dtype=(np.uint8 if n <= 255
                                            else np.int64))[:, None]
         # Packed-pid mode: the owner pid rides in the low mantissa bits
         # of every NT entry, so the column min *is* the event pick (see
         # _pick_events).  All times are positive, so float order equals
-        # uint64 bit order and the perturbation (< 2**-46 relative for
-        # n <= 64) only reorders exact-collision events — which it then
-        # breaks by lowest pid, the scalar stable-argsort rule.
+        # uint64 bit order and the perturbation (< 2**-41 relative for
+        # n <= _PACK_MAX_N) only reorders exact-collision events — which
+        # it then breaks by lowest pid, the scalar stable-argsort rule.
         self.pack = pack
         if pack:
             self.pack_mask = np.uint64((1 << (n - 1).bit_length()) - 1)
@@ -278,6 +329,17 @@ class _ChunkState:
         else:
             self.pack_mask = None
             self.dead = _INF
+        # Tournament tree over the process axis: level l+1 holds the
+        # B-way group mins of level l (level 0 is NT itself), so the
+        # per-event pick reads the top level (<= B rows) and each
+        # iteration refreshes only the O(log_B n) ancestor segments of
+        # the one row every column wrote (see refresh_tree).  Packed
+        # mode only: the min *carries* the owning pid.
+        self.tree: Optional[List[np.ndarray]] = None
+        if pack and n >= _TREE_MIN_N:
+            self._build_tree()
+        # Per-slot executed-op counter for max_total_ops budgets.
+        self.exec_ops = np.zeros(m, np.int64) if track_ops else None
         # Packed per-process state; subclass loops define the layout.
         self.opsf = np.zeros(n * m, np.int32)
         self.codef = np.zeros(n * m, np.int32)   # round/step/flags pack
@@ -306,10 +368,50 @@ class _ChunkState:
         self.out_firstr = np.full(trials, np.nan)
         self.out_firsto = np.full(trials, np.nan)
         self.out_lastr = np.full(trials, np.nan)
+        self.out_budget = np.zeros(trials, bool)
         self._seen0 = np.zeros(trials, bool)
         self._seen1 = np.zeros(trials, bool)
         self.dec_records: list = []      # (trial, pid, value, round, ops)
         self.halt_records: list = []     # (trial, pid)
+
+    # -- tournament tree ---------------------------------------------------
+
+    def _build_tree(self) -> None:
+        """(Re)build every reduction level from the current NT."""
+        B = _TREE_BRANCH
+        levels: List[np.ndarray] = []
+        arr = self.NT
+        while arr.shape[0] > B:
+            nb = -(-arr.shape[0] // B)
+            out = np.empty((nb, self.m))
+            for g in range(nb):
+                out[g] = arr[g * B:(g + 1) * B].min(axis=0)
+            levels.append(out)
+            arr = out
+        self.tree = levels
+
+    def refresh_tree(self, p) -> None:
+        """Recompute the ancestor segments of row ``p[col]`` per column.
+
+        Every NT write an iteration makes — the crash/decide/drain
+        retirements and the next-time refill — lands at ``(p[col],
+        col)`` (whole-column retirements update the tree in
+        finish/mark_overflow directly), so one upward pass over the
+        touched groups restores every level: B clamped gathers per
+        level, O(B log_B n) per column instead of the flat O(n) min.
+        """
+        child = self.NT
+        cols = self.cols
+        g = p
+        for level in self.tree:
+            g = g // _TREE_BRANCH
+            base = g * _TREE_BRANCH
+            # The last group may be partial: clamping duplicates the
+            # child's final row, which lies in that same group, so the
+            # group min is unchanged.
+            idx = np.minimum(base + _TREE_STEPS, child.shape[0] - 1)
+            level[g, cols] = child[idx, cols].min(axis=0)
+            child = level
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -355,6 +457,9 @@ class _ChunkState:
         self.out_chg[trials] = self.prefchg[slots]
         self.finished[slots] = True
         self.NT[:, slots] = self.dead
+        if self.tree is not None:
+            for level in self.tree:
+                level[:, slots] = self.dead
         self.alive -= slots.size
 
     def mark_overflow(self, slots):
@@ -363,6 +468,9 @@ class _ChunkState:
         self.overflow[self.orig[slots]] = True
         self.finished[slots] = True
         self.NT[:, slots] = self.dead
+        if self.tree is not None:
+            for level in self.tree:
+                level[:, slots] = self.dead
         self.alive -= slots.size
 
     def maybe_compact(self) -> None:
@@ -385,8 +493,12 @@ class _ChunkState:
         self.af = self.af.reshape(2 * self.R, m)[:, keep].copy().reshape(-1)
         self.remaining = self.remaining[keep]
         self.prefchg = self.prefchg[keep]
+        if self.exec_ops is not None:
+            self.exec_ops = self.exec_ops[keep]
         self.finished = np.zeros(m2, bool)
         self.m = m2
+        if self.tree is not None:
+            self._build_tree()
 
     def build(self, stop_first: bool) -> KernelResult:
         if stop_first:
@@ -417,7 +529,8 @@ class _ChunkState:
             n_decided=self.out_ndec, n_distinct=distinct,
             n_halted=self.out_nhalt, first_round=self.out_firstr,
             first_ops=self.out_firsto, last_round=self.out_lastr,
-            decided_value=value, decisions=decisions, halted=halted)
+            decided_value=value, budget_exhausted=self.out_budget,
+            decisions=decisions, halted=halted)
 
 
 def _pick_events(st: _ChunkState):
@@ -428,9 +541,12 @@ def _pick_events(st: _ChunkState):
     across the trial axis, and bool argmax has no SIMD path at all).
     Exact cross-process time ties — where the sum would blend two pids —
     are measure-zero for the sampled schedules (the same assumption the
-    legacy dither already leans on).
+    legacy dither already leans on).  With a tournament tree the min
+    reads the top level's <= B rows instead of all n (the packed entry
+    carries the owning pid through every reduction level, ties breaking
+    toward the lowest pid exactly as the flat min does).
     """
-    tmin = st.NT.min(axis=0)
+    tmin = (st.tree[-1] if st.tree is not None else st.NT).min(axis=0)
     live = tmin != st.dead
     if not live.any():
         return None
@@ -446,7 +562,8 @@ def _pick_events(st: _ChunkState):
 
 
 def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
-                   stop_first, final, pack=False):
+                   stop_first, final, pack=False, round_cap=None,
+                   max_total_ops=None):
     """The four-step-round family (lean / conservative / eager / random-tie).
 
     Per-process packed state mirrors :func:`repro.sim.fast.replay_lean`:
@@ -458,8 +575,10 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
     if R > 0x3FF:
         raise SimulationError(f"horizon {k} exceeds the packed-round range")
     lag = np.int32(cfg.lag)
+    cap = None if round_cap is None else np.int32(round_cap)
+    budget = None if max_total_ops is None else np.int64(max_total_ops)
     st = _ChunkState(times, trials_major, inputs, R, death_ops, tie_flips,
-                     pack=pack)
+                     pack=pack, track_ops=budget is not None)
     # code = ops << 12 | round << 2 | step: every transition the loop
     # takes — step advance, round advance (4r+3+1 == 4(r+1)), decide
     # (freeze round/step) — is code + 4097 - dec.
@@ -493,8 +612,15 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
                 st.finish(dy[st.remaining[dy] == 0])
                 live = live & ~dying
                 if not live.any():
+                    if st.tree is not None:
+                        st.refresh_tree(p)
                     st.maybe_compact()
                     continue
+        if budget is not None:
+            # Exactly one op executes per live slot this iteration
+            # (halting events were just excluded — they consume a
+            # schedule slot without executing, as in the event engine).
+            st.exec_ops += live
         newo = o + 1
         # Unguarded junk picks keep stepping a finished slot's own code,
         # so the round used for *addressing* is clamped into the planes
@@ -553,7 +679,16 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
             behind = np.maximum(rclip - lag, 0)
             rival = st.af[(1 - pref) * Rm + behind * m64 + st.cols]
         dec = b3 & (rival == 0)
-        new_code = code + np.int32(4097) - dec
+        if cap is not None:
+            # Round cap: a step-3 read that would advance past the cap
+            # freezes instead (the event machine's overflowed flag) —
+            # same code freeze as a decision, nothing recorded.
+            capped = b3 & ~dec & (r >= cap)
+            ended = dec | capped
+            new_code = code + np.int32(4097) - dec - capped
+        else:
+            ended = dec
+            new_code = code + np.int32(4097) - dec
         if guarded:
             # Dying slots (and retired junk picks) must not see their
             # per-process state move.
@@ -565,14 +700,31 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
             st.codef[flatS] = new_code
 
         cont = live
-        if dec.any():
-            d = np.nonzero(dec)[0]
-            st.NT.reshape(-1)[flatS[d]] = st.dead
-            st.record_decisions(d, p[d], pref[d], r[d], newo[d])
-            st.remaining[d] -= 1
-            fin = d if stop_first else d[st.remaining[d] == 0]
+        if ended.any():
+            e = np.nonzero(ended)[0]
+            st.NT.reshape(-1)[flatS[e]] = st.dead
+            d = e if cap is None else np.nonzero(dec)[0]
+            if d.size:
+                st.record_decisions(d, p[d], pref[d], r[d], newo[d])
+            st.remaining[e] -= 1
+            if stop_first:
+                fin = e[dec[e] | (st.remaining[e] == 0)]
+            else:
+                fin = e[st.remaining[e] == 0]
             st.finish(fin)
-            cont = live & ~dec & ~st.finished
+            cont = live & ~ended & ~st.finished
+        if budget is not None:
+            # Event-engine stop order: decision stop first (handled
+            # above), then the budget — checked after every executed op,
+            # flagged iff the trial still had undecided processes (an
+            # unfinished slot always does).  The stop is *at* this
+            # event, so later (even unseen) events cannot affect it.
+            hit = live & ~st.finished & (st.exec_ops >= budget)
+            if hit.any():
+                h = np.nonzero(hit)[0]
+                st.out_budget[st.orig[h]] = True
+                st.finish(h)
+                cont = cont & ~hit
         # Refill next completion times; a drained live process means the
         # trial's order is unknowable from here: fall back.
         drained = cont & (newo >= k_i32)
@@ -583,7 +735,7 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
                 # events; the trial is unknowable only once *every*
                 # process has (the scalar replay's None condition).
                 st.NT.reshape(-1)[flatS[dr]] = st.dead
-                st.mark_overflow(dr[np.isinf(st.NT[:, dr]).all(axis=0)])
+                st.mark_overflow(dr[(st.NT[:, dr] >= st.dead).all(axis=0)])
             else:
                 st.mark_overflow(dr)
             cont = cont & ~drained
@@ -601,6 +753,8 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
             u |= p.astype(np.uint64)
         ntf = st.NT.reshape(-1)
         ntf[flatS] = np.where(cont, nxt, ntf[flatS])
+        if st.tree is not None:
+            st.refresh_tree(p)
         st.maybe_compact()
     if st.alive:
         # No events left but trials unfinished (every remaining process
@@ -611,7 +765,8 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
 
 
 def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
-                        tie_flips, stop_first, final, pack=False):
+                        tie_flips, stop_first, final, pack=False,
+                        round_cap=None, max_total_ops=None):
     """The Section-4 elision variant (2-4 ops per round).
 
     Packed state: ``code = round * 8 + step * 2 + skip_final`` (the
@@ -620,8 +775,10 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
     n, k = len(inputs), (times.shape[1] if trials_major
                          else times.shape[2])
     R = k // 2 + 2
+    cap = None if round_cap is None else np.int64(round_cap)
+    budget = None if max_total_ops is None else np.int64(max_total_ops)
     st = _ChunkState(times, trials_major, inputs, R, death_ops, None,
-                     pack=pack)
+                     pack=pack, track_ops=budget is not None)
     st.codef += np.int32(8)  # round 1, step 0, skip_final unset
     st.round_shift = 3
     st.round_mask = np.int32(0x0FFFFFFF)
@@ -648,8 +805,14 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
                 st.finish(dy[st.remaining[dy] == 0])
                 live = live & ~dying
                 if not live.any():
+                    if st.tree is not None:
+                        st.refresh_tree(p)
                     st.maybe_compact()
                     continue
+        if budget is not None:
+            # One executed op per live slot (halting events were just
+            # excluded — consumed without executing, as in the engine).
+            st.exec_ops += live
         newo = o + 1
         st.opsf[flatS] = np.where(live, newo, o)
         code = st.codef[flatS]
@@ -693,6 +856,16 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
         adv3 = b3 & (rival != 0)
 
         adv = adv1 | adv2 | adv3
+        if cap is not None:
+            # Every advance point routes through _advance_round in the
+            # event machine: cap reached -> overflowed, frozen at round
+            # r (the "stay" code branch keeps the round bits; step bits
+            # are junk on a done process).
+            capped = adv & (r >= cap)
+            adv = adv & ~capped
+            ended = dec | capped
+        else:
+            ended = dec
         # Non-advancing transitions: s0 -> s1; s1 -> s3 if own bit known
         # set else s2; s2 -> s3; encode (step << 1) | skip with the new
         # skip_final = rival-bit-known-set latched at step 1.
@@ -706,14 +879,29 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
         st.codef[flatS] = np.where(live, new_code, code)
 
         cont = live
-        if dec.any():
-            d = np.nonzero(dec)[0]
-            st.NT.reshape(-1)[flatS[d]] = st.dead
-            st.record_decisions(d, p[d], pref[d], r[d], newo[d])
-            st.remaining[d] -= 1
-            fin = d if stop_first else d[st.remaining[d] == 0]
+        if ended.any():
+            e = np.nonzero(ended)[0]
+            st.NT.reshape(-1)[flatS[e]] = st.dead
+            d = e if cap is None else np.nonzero(dec)[0]
+            if d.size:
+                st.record_decisions(d, p[d], pref[d], r[d], newo[d])
+            st.remaining[e] -= 1
+            if stop_first:
+                fin = e[dec[e] | (st.remaining[e] == 0)]
+            else:
+                fin = e[st.remaining[e] == 0]
             st.finish(fin)
-            cont = live & ~dec & ~st.finished
+            cont = live & ~ended & ~st.finished
+        if budget is not None:
+            # Decision stop first, then the budget, checked after every
+            # executed op (engine order); flagged iff the slot still had
+            # undecided processes — an unfinished slot always does.
+            hit = live & ~st.finished & (st.exec_ops >= budget)
+            if hit.any():
+                h = np.nonzero(hit)[0]
+                st.out_budget[st.orig[h]] = True
+                st.finish(h)
+                cont = cont & ~hit
         drained = cont & (newo >= k_i32)
         if drained.any():
             dr = np.nonzero(drained)[0]
@@ -722,7 +910,7 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
                 # events; the trial is unknowable only once *every*
                 # process has (the scalar replay's None condition).
                 st.NT.reshape(-1)[flatS[dr]] = st.dead
-                st.mark_overflow(dr[np.isinf(st.NT[:, dr]).all(axis=0)])
+                st.mark_overflow(dr[(st.NT[:, dr] >= st.dead).all(axis=0)])
             else:
                 st.mark_overflow(dr)
             cont = cont & ~drained
@@ -740,6 +928,8 @@ def _lockstep_optimized(times, trials_major, inputs, cfg, death_ops,
             u |= p.astype(np.uint64)
         ntf = st.NT.reshape(-1)
         ntf[flatS] = np.where(cont, nxt, ntf[flatS])
+        if st.tree is not None:
+            st.refresh_tree(p)
         st.maybe_compact()
     if st.alive:
         # No events left but trials unfinished (every remaining process

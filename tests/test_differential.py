@@ -88,6 +88,55 @@ class TestPropertyGrid:
         assert report.fast.halted == report.event.halted
 
 
+class TestWideNAndRetiredBlockers:
+    """PR 7: the oracle pins kernel == fast == event on the widened
+    process axis (n in {256, 1024}) and on the retired round_cap /
+    max_total_ops refusals — the two features the vectorized engines
+    used to refuse outright."""
+
+    @pytest.mark.parametrize("n", [256, 1024])
+    def test_wide_n_bit_identical(self, n):
+        spec = grid_spec(n, "exponential", "lean", 0.0,
+                         stop_after_first_decision=True)
+        report = assert_equivalent(spec, seed=n)
+        assert report.ok
+
+    @pytest.mark.parametrize("n", [33, 256, 1024])
+    def test_round_cap_bit_identical(self, n):
+        spec = grid_spec(n, "exponential", "lean", 0.0,
+                         protocol=ProtocolSpec(name="lean", round_cap=3),
+                         stop_after_first_decision=True)
+        report = assert_equivalent(spec, seed=5 + n)
+        assert report.ok
+        assert report.event.max_round <= 3
+
+    @pytest.mark.parametrize("n", [33, 256, 1024])
+    def test_max_total_ops_bit_identical(self, n):
+        spec = grid_spec(n, "exponential", "lean", 0.0, max_total_ops=64,
+                         stop_after_first_decision=True)
+        report = assert_equivalent(spec, seed=7 + n)
+        assert report.ok
+
+    def test_budget_exhausted_flag_matches(self):
+        spec = grid_spec(64, "uniform", "optimized", 0.0,
+                         max_total_ops=32,
+                         stop_after_first_decision=False)
+        report = run_differential(spec, seed=11)
+        assert report.ok
+        assert report.fast.budget_exhausted
+        assert report.event.budget_exhausted
+        assert report.fast.total_ops == 32
+
+    @pytest.mark.parametrize("variant", ["optimized", "conservative",
+                                         "random-tie"])
+    def test_capped_variants_at_wide_n(self, variant):
+        spec = grid_spec(256, "exponential", variant, 0.0,
+                         protocol=ProtocolSpec(name=variant, round_cap=2),
+                         stop_after_first_decision=False)
+        report = assert_equivalent(spec, seed=29)
+        assert report.ok
+
+
 class TestOracleContract:
     def test_rejects_non_noisy_models(self):
         spec = TrialSpec(n=4, model=StepModelSpec())

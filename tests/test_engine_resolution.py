@@ -97,8 +97,6 @@ class TestFastFamily:
         cases = {
             "shared-coin": noisy_spec(
                 n=400, protocol=ProtocolSpec(name="shared-coin")),
-            "round_cap": noisy_spec(
-                n=400, protocol=ProtocolSpec(name="lean", round_cap=64)),
             "adversary": noisy_spec(
                 n=400, failures=FailureSpec(
                     adversary=AdversarySpec(budget=1))),
@@ -156,35 +154,80 @@ class TestIneligibilityReportsEveryBlocker:
     to unlock the vectorized path."""
 
     def test_all_reasons_joined(self):
-        spec = noisy_spec(
-            record=True,
+        # Every remaining blocker at once, with the exact strings pinned:
+        # round caps and op budgets replay vectorized since PR 7, so a
+        # spec carrying both alongside real blockers must not mention
+        # them.
+        spec = TrialSpec(
+            n=8,
+            model=NoisyModelSpec(
+                noise=EXPO,
+                write_noise=NoiseSpec.of("uniform", low=0.0, high=1.0)),
+            protocol=ProtocolSpec(name="shared-coin", round_cap=5),
             max_total_ops=10,
-            protocol=ProtocolSpec(name="lean", round_cap=5),
+            record=True,
             failures=FailureSpec(h=0.1, adversary=AdversarySpec(budget=1)),
         )
         why = fast_ineligibility(spec)
-        assert "record=True" in why
-        assert "max_total_ops" in why
-        assert "round_cap" in why
-        assert "adaptive crash adversaries" in why
-        assert why.count(";") == 3
+        assert why == "; ".join([
+            "protocol 'shared-coin' has no vectorized replay "
+            f"(supported: {sorted(FAST_VARIANTS)})",
+            "adaptive crash adversaries observe the execution and "
+            "cannot be presampled obliviously",
+            "record=True history capture requires the event engine",
+            "per-op-kind write noise requires the event engine",
+        ])
+        assert "round_cap" not in why
+        assert "max_total_ops" not in why
 
     def test_auto_reason_carries_the_full_list(self):
-        spec = noisy_spec(n=300, record=True, max_total_ops=10)
+        spec = noisy_spec(
+            n=300, record=True,
+            failures=FailureSpec(adversary=AdversarySpec(budget=1)))
         info = resolve_engine_info(spec)
         assert info.engine == "event"
         assert "record=True" in info.reason
-        assert "max_total_ops" in info.reason
+        assert "adaptive crash adversaries" in info.reason
 
     def test_explicit_fast_error_names_everything(self):
-        spec = noisy_spec(n=300, engine="fast", record=True,
-                          max_total_ops=10)
+        spec = noisy_spec(
+            n=300, engine="fast", record=True,
+            failures=FailureSpec(adversary=AdversarySpec(budget=1)))
         with pytest.raises(ConfigurationError) as excinfo:
             resolve_engine_info(spec)
         assert "record=True" in str(excinfo.value)
-        assert "max_total_ops" in str(excinfo.value)
+        assert "adaptive crash adversaries" in str(excinfo.value)
 
     def test_single_blocker_unchanged(self):
         why = fast_ineligibility(noisy_spec(record=True))
         assert why == ("record=True history capture requires the event "
                        "engine")
+
+
+class TestRetiredBlockers:
+    """PR 7: round caps and operation budgets replay exactly on the
+    vectorized engines, so neither blocks the fast family any more."""
+
+    def test_round_cap_is_fast_eligible(self):
+        spec = noisy_spec(n=400,
+                          protocol=ProtocolSpec(name="lean", round_cap=64))
+        assert fast_ineligibility(spec) is None
+        assert resolve_engine_info(spec).engine == "fast"
+
+    def test_max_total_ops_is_fast_eligible(self):
+        spec = noisy_spec(n=400, max_total_ops=50)
+        assert fast_ineligibility(spec) is None
+        assert resolve_engine_info(spec).engine == "fast"
+
+    def test_budget_stop_is_exact_on_fast(self):
+        result = run_trial(noisy_spec(n=400, max_total_ops=50), seed=3)
+        assert result.engine == "fast"
+        assert result.total_ops == 50
+        assert result.budget_exhausted
+
+    def test_round_cap_bounds_rounds_on_fast(self):
+        spec = noisy_spec(n=12, engine="fast",
+                          protocol=ProtocolSpec(name="lean", round_cap=3))
+        result = run_trial(spec, seed=4)
+        assert result.engine == "fast"
+        assert result.max_round <= 3

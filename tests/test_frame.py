@@ -184,26 +184,31 @@ class TestFrameRoundTrips:
         assert builder.build().to_trial_results() == [result]
 
 
-class TestBudgetedSpecsStayOnEventEngine:
-    """Regression (review finding): the vectorized replay has no
-    operation-budget stop, so ``max_total_ops`` specs must resolve to the
-    event engine instead of silently running unbounded."""
+class TestBudgetedSpecsRunVectorized:
+    """PR 7 (supersedes the old stay-on-event regression): the fast
+    replay now enforces ``max_total_ops`` with the event engine's exact
+    stop semantics, so budgeted specs resolve vectorized and the
+    ``budget_exhausted`` flag rides the frame's bool column."""
 
-    def test_auto_resolves_to_event_with_reason(self):
+    def test_auto_resolves_to_fast(self):
         from repro.api import resolve_engine_info
-        spec = noisy(n=300, max_total_ops=50)
-        info = resolve_engine_info(spec)
-        assert info.engine == "event"
-        assert "max_total_ops" in info.reason
-
-    def test_explicit_fast_is_refused(self):
-        with pytest.raises(ConfigurationError, match="max_total_ops"):
-            run_trial(noisy(n=300, engine="fast", max_total_ops=50), seed=1)
+        info = resolve_engine_info(noisy(n=300, max_total_ops=50))
+        assert info.engine == "fast" and info.reason is None
 
     def test_budget_is_honoured_at_large_n(self):
         result = run_trial(noisy(n=300, max_total_ops=50), seed=1)
-        assert result.engine == "event"
+        assert result.engine == "fast"
         assert result.budget_exhausted and result.total_ops == 50
+
+    def test_budget_column_round_trips(self):
+        spec = noisy(n=300, max_total_ops=50)
+        frame = run_batch(spec, 8, seed=1, as_frame=True)
+        assert frame.column("budget_exhausted").all()
+        assert (frame.column("total_ops") == 50).all()
+        listed = run_batch(spec, 8, seed=1)
+        assert ResultFrame.from_results(listed).column(
+            "budget_exhausted").all()
+        assert frame.to_trial_results() == listed
 
 
 class TestDisagreementColumns:

@@ -27,6 +27,7 @@ from repro.api import (
 )
 from repro.api.compile import (
     KERNEL_AUTO_MAX_N,
+    KERNEL_AUTO_MAX_N_INVERSE,
     KERNEL_AUTO_MIN_TRIALS,
     resolve_engine_info,
 )
@@ -44,9 +45,10 @@ def noisy(n=12, **kwargs):
 
 
 def scalar_reference(times, inputs, variant, stop, death_ops=None,
-                     tie_rngs=None):
+                     tie_rngs=None, round_cap=None, max_total_ops=None):
     result = replay(times, inputs, variant=variant, death_ops=death_ops,
-                    tie_rngs=tie_rngs, stop_after_first_decision=stop)
+                    tie_rngs=tie_rngs, stop_after_first_decision=stop,
+                    round_cap=round_cap, max_total_ops=max_total_ops)
     if result is None:
         return None
     return (
@@ -156,6 +158,72 @@ class TestChunkVsScalarReplay:
                            [0, 1], stop_after_first_decision=True)
         assert out.overflow.all()
 
+    @pytest.mark.parametrize("variant", ["lean", "optimized",
+                                         "conservative"])
+    @pytest.mark.parametrize("stop", [True, False])
+    def test_round_cap_grid(self, variant, stop):
+        # PR 7: round_cap on the kernel freezes a capped process at the
+        # cap exactly like the event engine's overflowed flag — no
+        # decision, round clamped, trial still runs to its stop rule.
+        rng = make_rng(410 + int(stop))
+        checked = 0
+        for cap in (1, 2, 5):
+            n, trials, k = 6, 25, 96
+            times = np.cumsum(rng.exponential(1.0, size=(trials, n, k)),
+                              axis=2)
+            inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+            out = replay_chunk(
+                np.ascontiguousarray(np.moveaxis(times, 0, 1)), inputs,
+                variant=variant, stop_after_first_decision=stop,
+                round_cap=cap)
+            for t in range(trials):
+                if out.overflow[t]:
+                    continue
+                ref = scalar_reference(times[t], inputs, variant, stop,
+                                       round_cap=cap)
+                assert ref is not None
+                assert kernel_fields(out, t) == ref, (variant, cap, t)
+                assert out.max_round[t] <= cap
+                checked += 1
+        assert checked > 30
+
+    @pytest.mark.parametrize("variant", ["lean", "optimized"])
+    def test_op_budget_grid(self, variant):
+        # max_total_ops: the kernel stops at exactly the budgeted event
+        # count and raises budget_exhausted iff some process was still
+        # running — the event engine's _should_stop order.
+        rng = make_rng(420)
+        checked = 0
+        for budget in (1, 7, 40, 100_000):
+            n, trials, k = 6, 20, 96
+            times = np.cumsum(rng.exponential(1.0, size=(trials, n, k)),
+                              axis=2)
+            inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+            out = replay_chunk(
+                np.ascontiguousarray(np.moveaxis(times, 0, 1)), inputs,
+                variant=variant, stop_after_first_decision=False,
+                max_total_ops=budget)
+            for t in range(trials):
+                if out.overflow[t]:
+                    continue
+                result = replay(times[t], inputs, variant=variant,
+                                stop_after_first_decision=False,
+                                max_total_ops=budget)
+                assert result is not None
+                ref = (
+                    tuple((pid, d.value, d.round, d.ops)
+                          for pid, d in result.decisions.items()),
+                    result.total_ops, result.max_round,
+                    result.preference_changes, sorted(result.halted),
+                )
+                assert kernel_fields(out, t) == ref, (variant, budget, t)
+                assert bool(out.budget_exhausted[t]) == \
+                    result.budget_exhausted
+                if result.budget_exhausted:
+                    assert out.total_ops[t] == budget
+                checked += 1
+        assert checked > 30
+
     def test_final_horizon_matches_full_matrix_semantics(self):
         # horizon_is_final: the kernel continues past a drained process
         # exactly like the scalar replay of the full matrix.
@@ -200,6 +268,16 @@ KERNEL_SPECS = [
     pytest.param(noisy(n=12, engine="kernel", model=NoisyModelSpec(
         noise=NoiseSpec.of("uniform", low=0.0, high=2.0))),
         id="uniform-lane"),
+    pytest.param(noisy(n=12, engine="kernel",
+                       protocol=ProtocolSpec(name="lean", round_cap=3),
+                       stop_after_first_decision=False), id="round-cap"),
+    pytest.param(noisy(n=12, engine="kernel",
+                       protocol=ProtocolSpec(name="optimized",
+                                             round_cap=2)),
+                 id="round-cap-optimized"),
+    pytest.param(noisy(n=12, engine="kernel", max_total_ops=150,
+                       stop_after_first_decision=False), id="op-budget"),
+    pytest.param(noisy(n=400, engine="kernel"), id="wide-inverse"),
 ]
 
 
@@ -243,6 +321,30 @@ class TestBatchPipelines:
         fast = run_batch(spec.replace(engine="fast"), 50, seed=3)
         assert strip_engine(frame.to_trial_results()) == strip_engine(fast)
 
+    def test_wide_n_ragged_fallback_is_invisible(self, monkeypatch):
+        # Satellite: force horizon overflow on n=1024 trials; the
+        # per-trial scalar regrowth must stay bit-identical to the fast
+        # path even with the tournament tree and packed pids engaged.
+        import repro.api.compile as compile_mod
+        monkeypatch.setattr(compile_mod, "_kernel_horizon_ops",
+                            lambda n: 20)
+        spec = noisy(n=1024, engine="kernel")
+        frame = run_batch(spec, 6, seed=3, as_frame=True)
+        fast = run_batch(spec.replace(engine="fast"), 6, seed=3)
+        assert strip_engine(frame.to_trial_results()) == strip_engine(fast)
+
+    def test_wide_n_capped_and_budgeted_batches_equal_fast(self):
+        for spec in (
+            noisy(n=512, engine="kernel",
+                  protocol=ProtocolSpec(name="lean", round_cap=4)),
+            noisy(n=512, engine="kernel", max_total_ops=3000,
+                  stop_after_first_decision=False),
+        ):
+            kernel = run_batch(spec, 8, seed=21)
+            fast = run_batch(spec.replace(engine="fast"), 8, seed=21)
+            assert all(r.engine == "kernel" for r in kernel)
+            assert strip_engine(kernel) == strip_engine(fast)
+
     def test_single_trial_kernel_engine_runs_scalar(self):
         result = run_trial(noisy(n=12, engine="kernel"), seed=4)
         assert result.engine == "kernel"
@@ -264,12 +366,27 @@ class TestKernelResolution:
         assert resolve_engine_info(
             spec, trials=KERNEL_AUTO_MIN_TRIALS).engine == "kernel"
 
-    def test_auto_keeps_wide_specs_off_the_kernel(self):
-        # Above the kernel's width cap (but fast-eligible by n) a big
-        # batch stays on the scalar fast replay.
-        assert KERNEL_AUTO_MAX_N < 300
+    def test_auto_promotes_wide_inverse_lane_specs(self):
+        # PR 7: the tournament min makes wide inverse-lane batches
+        # kernel-profitable through n=1024; past that the scalar fast
+        # replay takes over.
+        assert KERNEL_AUTO_MAX_N < 300 <= KERNEL_AUTO_MAX_N_INVERSE
         wide = noisy(n=300)
-        assert resolve_engine_info(wide, trials=10_000).engine == "fast"
+        assert resolve_engine_info(wide, trials=10_000).engine == "kernel"
+        past = noisy(n=KERNEL_AUTO_MAX_N_INVERSE + 1)
+        assert resolve_engine_info(past, trials=10_000).engine == "fast"
+
+    def test_auto_keeps_wide_legacy_lane_specs_off_the_kernel(self):
+        # The legacy sampling lane pays an O(n*horizon) presample per
+        # trial either way, so its width cap stays at n=128.
+        from repro.api import DeltaSpec
+        from repro.sched.delta import ZeroDelta
+        legacy = TrialSpec(
+            n=300, stop_after_first_decision=True,
+            model=NoisyModelSpec(
+                noise=EXPO,
+                delta=DeltaSpec(kind="opaque", instance=ZeroDelta())))
+        assert resolve_engine_info(legacy, trials=10_000).engine == "fast"
 
     def test_explicit_fast_is_never_promoted(self):
         spec = noisy(n=32, engine="fast")
@@ -284,9 +401,51 @@ class TestKernelResolution:
         assert results == pooled  # labels worker-invariant
 
     def test_ineligible_kernel_raises_naming_all_blockers(self):
-        spec = noisy(engine="kernel", record=True, max_total_ops=5)
+        from repro.api import AdversarySpec
+        spec = noisy(engine="kernel", record=True,
+                     failures=FailureSpec(
+                         adversary=AdversarySpec(budget=1)))
         with pytest.raises(ConfigurationError) as excinfo:
             resolve_engine_info(spec)
         message = str(excinfo.value)
         assert "record=True" in message
-        assert "max_total_ops" in message
+        assert "adaptive crash adversaries" in message
+
+    def test_capped_and_budgeted_specs_are_kernel_eligible(self):
+        capped = noisy(protocol=ProtocolSpec(name="lean", round_cap=8))
+        budgeted = noisy(max_total_ops=64)
+        for spec in (capped, budgeted):
+            assert resolve_engine_info(
+                dataclasses.replace(spec, engine="kernel")).engine == \
+                "kernel"
+
+
+class TestPidColumnBoundary:
+    """Satellite: the unpacked event pick extracts the winning pid with
+    a multiply-sum over ``pid_col``, whose dtype may be uint8 only while
+    n <= 255 (pids reach n - 1).  Pin the 255/256/257 boundary with
+    schedules where the *highest* pids win events, so a silently
+    truncated pid plane (256 -> 0) would route their state writes to row
+    0 and diverge from the scalar replay."""
+
+    @pytest.mark.parametrize("n", [255, 256, 257])
+    def test_unpacked_pick_at_the_uint8_boundary(self, n):
+        from repro.sim.kernel import _lockstep_lean
+        rng = make_rng(900 + n)
+        trials, k = 3, 48
+        scale = np.linspace(3.0, 0.05, n)[:, None]
+        times = np.cumsum(
+            rng.exponential(1.0, size=(trials, n, k)) * scale, axis=2)
+        inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+        out = _lockstep_lean(
+            np.ascontiguousarray(np.moveaxis(times, 0, 1)), False,
+            inputs, FAST_VARIANTS["lean"], None, None, True, False, False)
+        finished = 0
+        for t in range(trials):
+            if out.overflow[t]:
+                continue
+            ref = scalar_reference(times[t], inputs, "lean", True)
+            assert ref is not None
+            assert kernel_fields(out, t) == ref
+            finished += 1
+        assert finished > 0

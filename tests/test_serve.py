@@ -323,6 +323,34 @@ class TestExecutor:
         assert state.state == "failed"
         assert "chunk exploded" in state.error
 
+    def test_chunk_killed_retry_cap_times_fails_the_job(self, tmp_path):
+        # Regression (PR 7): the requeue guard compared with `>`, so a
+        # chunk survived MAX_CHUNK_RETRIES kills and died on kill 4 —
+        # one more worker loss than the cap promises.  A chunk killed
+        # exactly MAX_CHUNK_RETRIES times must fail the job.
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.serve import JobFailedError
+        store = ResultStore(str(tmp_path))
+        job = SweepJob.from_sweep(small_sweep(trials=8), seed=5,
+                                  chunk_size=8)
+        kills = []
+
+        def killed(payload):
+            kills.append(payload["key"])
+            raise BrokenProcessPool("injected worker SIGKILL")
+
+        runner = JobRunner(store,
+                           dispatcher=InlineDispatcher(chunk_fn=killed))
+        with pytest.raises(JobFailedError, match="3 times"):
+            runner.run(job)
+        fatal = kills[-1]
+        assert kills.count(fatal) == JobRunner.MAX_CHUNK_RETRIES
+        state = JobState.load(store, job.job_id)
+        assert state.state == "failed"
+        assert f"{JobRunner.MAX_CHUNK_RETRIES} times; giving up" in \
+            state.error
+
     def test_job_status_document(self, tmp_path):
         store = ResultStore(str(tmp_path))
         job = SweepJob.from_sweep(small_sweep(trials=20), seed=4,
