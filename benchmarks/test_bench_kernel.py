@@ -43,11 +43,14 @@ def test_kernel_throughput_vs_frame_path(save_report):
     results = benchtool.run_suite()
     fig = results["figure1_shaped"]
     scal = results["scaling_shaped"]
+    dists = results["figure1_distributions"]
 
     # Identity: the kernel frames equal the frame path's, column for
     # column (total_ops, decision fields, decisions/halted payloads).
     assert fig["identical"], "kernel diverged from the frame path"
     assert scal["identical"], "kernel diverged at the scaling point"
+    assert dists["identical"], (
+        "kernel diverged on a non-exponential Figure-1 lane")
 
     benchtool.append_entry(benchtool.default_ledger_path(), "bench-ci",
                            results)
@@ -66,6 +69,9 @@ def test_kernel_throughput_vs_frame_path(save_report):
         f"speedup: {fig['kernel_speedup']:.2f}x ({verdict})",
         f"scaling-shaped n={scal['n']}: {scal['kernel_speedup']:.2f}x "
         "(recorded, not asserted)",
+        f"figure1-distributions n={dists['n']}: "
+        f"{dists['kernel_speedup']:.2f}x over "
+        f"{'/'.join(dists['distributions'])} (recorded, not asserted)",
     ]))
 
     if not sane:

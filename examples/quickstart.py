@@ -35,19 +35,26 @@ batch advances one event per trial per numpy step, bit-identical to
 to a broadcast).  ``auto`` picks it when the batch is deep enough
 (>= 512 trials) and the spec fits a lockstep lane: any noise at
 n <= 128, or n <= 1024 when the distribution has a closed-form inverse
-CDF (exponential, uniform, ...) — there the per-event pick is a
-segmented 16-ary tournament min, O(log n) per transition instead of a
-flat scan over all processes, and the measured n=1024 workload clears
-the frame path ~1.5x (``python -m repro bench``).  Round caps and
-``max_total_ops`` budgets, formerly event-only, replay exactly on both
-vectorized engines: the budget stops at the precise executed event and
-the frame records ``budget_exhausted`` per trial.  What the kernel
-refuses, it refuses exactly where ``"fast"`` does (the two share
-eligibility, and a refusal message lists *every* remaining blocker:
-adaptive adversaries, ``record=True``, per-op-kind write noise, and
-protocols outside the fast family); distributions without a
-closed-form inverse CDF keep their legacy per-trial sampling — and the
-legacy n <= 128 auto cap — and only the replay runs lockstep.
+CDF — every Figure-1 distribution qualifies (exponential,
+shifted-exponential, uniform, geometric, two-point, and truncated
+normals with finite bounds) — there the per-event pick is a segmented
+16-ary tournament min, O(log n) per transition instead of a flat scan
+over all processes, and the measured n=1024 workload clears the frame
+path ~2x (``python -m repro bench``; ``--profile`` writes the cProfile
+shape).  Round caps and ``max_total_ops`` budgets, formerly
+event-only, replay exactly on both vectorized engines: the budget
+stops at the precise executed event and the frame records
+``budget_exhausted`` per trial.  What the kernel refuses, it refuses
+exactly where ``"fast"`` does (the two share eligibility, and a
+refusal message lists *every* remaining blocker: adaptive adversaries,
+``record=True``, per-op-kind write noise, and protocols outside the
+fast family), plus one lane-specific guard: the discrete geometric and
+two-point lanes break exact cross-process time ties through the
+packed-pid trick, so explicit ``engine="kernel"`` refuses them past
+n = 2048.  Distributions without a closed-form inverse CDF (unbounded
+truncated normals, opaque instances, subclasses) keep their legacy
+per-trial sampling — and the legacy n <= 128 auto cap — and only the
+replay runs lockstep.
 
 ``engine="fast"``/``"kernel"`` compose with ``workers``: the engine is
 resolved once per batch (never per worker chunk) and results stay

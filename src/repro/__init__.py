@@ -49,8 +49,10 @@ budgets                      replay clears it ~1.5x).  ``engine="auto"``:
                              kernel when the batch carries >= 512 trials
                              and n <= 128 — or n <= 1024 when the noise
                              distribution has a closed-form inverse CDF
-                             (exponential, uniform, ...), where the
-                             per-event pick is a segmented O(log n)
+                             (every Figure-1 distribution: exponential,
+                             shifted-exponential, uniform, geometric,
+                             two-point, bounded truncated-normal), where
+                             the per-event pick is a segmented O(log n)
                              tournament min instead of a flat scan; else
                              fast when n >= 256, else event —
                              ``result.engine_reason`` explains fallbacks
@@ -70,12 +72,17 @@ factory protocols            ``engine="kernel"`` raise
 
 What the kernel refuses, it refuses exactly where the fast engine does
 (the two share eligibility); what it cannot *accelerate* it still runs:
-distributions without a closed-form inverse CDF (geometric, two-point,
-truncated normal, ...) keep the legacy per-trial sampling lane — and the
-legacy n cap of 128 — and only the replay itself is lockstep.  Trials
-whose sampled horizon overflows fall back one-by-one to the scalar
-replay on an exactly-extended schedule, so ragged horizons never cost
-bit-identity — even at n=1024 under a round cap or an op budget.
+distributions without a closed-form inverse CDF (unbounded truncated
+normals, opaque instances, subclasses, ...) keep the legacy per-trial
+sampling lane — and the legacy n cap of 128 — and only the replay
+itself is lockstep.  The discrete lanes (geometric, two-point) quantize
+their cumulative time chains so exact cross-process ties break
+identically on every engine; that discipline rides the packed-pid tie
+break, so explicit ``engine="kernel"`` refuses those distributions past
+n = 2048.  Trials whose sampled horizon overflows fall back one-by-one
+to the scalar replay on an exactly-extended schedule, so ragged
+horizons never cost bit-identity — even at n=1024 under a round cap or
+an op budget.
 
 ``engine="fast"``/``"kernel"`` compose with the batch runner's
 ``workers``: the engine choice is resolved once per batch (never per

@@ -20,7 +20,9 @@ promotes large trial batches to the trial-parallel lockstep kernel
 Fast-family sampling runs in one of two lanes:
 
 * the **inverse lane** (:mod:`repro.sim.sampler`) for zero/dithered start
-  schedules over distributions with a closed-form inverse CDF — one
+  schedules over distributions with a closed-form quantile function —
+  every Figure-1 distribution: exponential, shifted exponential, uniform,
+  geometric, two-point, and (finite-bound) truncated normal — one
   uniform stream per trial, column-major draws, exact horizon extension;
 * the **legacy lane** — the PR-3 row-major
   :meth:`~repro.sched.noisy.NoisyScheduler.presample` discipline — for
@@ -75,13 +77,14 @@ from repro.sim.frame import (
     ResultFrame,
     derive_decision_fields,
 )
-from repro.sim.kernel import lean_flip_bound, replay_chunk
+from repro.sim.kernel import _PACK_MAX_N, lean_flip_bound, replay_chunk
 from repro.sim.results import TrialResult
 from repro.sim.sampler import (
     draw_starts,
     draw_times,
     extend_times,
     inverse_sampler_for,
+    quantize_times,
 )
 from repro.types import Decision
 from repro.api.spec import (
@@ -114,7 +117,9 @@ KERNEL_AUTO_MAX_N = 128
 #: mantissa-packed pid plane now covers n up to 2048.  The measured
 #: n=1024 scaling workload (``python -m repro bench``) has the kernel
 #: ahead of the trial-batched frame path, so auto promotes inverse-lane
-#: batches through n=1024.
+#: batches through n=1024.  Since every Figure-1 distribution now has an
+#: inverse-lane sampler (geometric, two-point, and truncated normal
+#: included), this is the operative cap for the whole paper grid.
 KERNEL_AUTO_MAX_N_INVERSE = 1024
 
 #: Cap on schedule-tensor elements materialized per fast batch sub-chunk
@@ -249,6 +254,18 @@ def resolve_engine_info(spec: TrialSpec,
         if why_not is not None:
             raise ConfigurationError(
                 f'engine="{spec.engine}" was requested but {why_not}')
+        if spec.engine == "kernel" and spec.n > _PACK_MAX_N:
+            lane = _inverse_lane(spec)
+            if lane is not None and lane.sampler.tie_exact:
+                # Past the packed-pid range the kernel's multiply-sum pid
+                # extraction blends exactly-tied columns, and tie-exact
+                # lanes tie *by construction* — refuse rather than
+                # silently diverge from the scalar replay.
+                raise ConfigurationError(
+                    f'engine="kernel" was requested but n={spec.n} '
+                    f"exceeds the packed-pid range (n <= {_PACK_MAX_N}) "
+                    f"required for the exact-tie "
+                    f"{lane.sampler.name!r} schedule lane")
         return EngineResolution(spec.engine)
     # engine == "auto"
     if why_not is not None:
@@ -998,6 +1015,29 @@ def _kernel_tie_flips(tie_seqs_list, n: int, trials: int,
     return out
 
 
+def _accumulate_rows(incs: np.ndarray, tie_exact: bool = False) -> np.ndarray:
+    """In-place ``cumsum(incs, axis=1)`` over an ``(m, k, n)`` tensor.
+
+    Bit-identical to ``np.cumsum`` (the same left-to-right binary-add
+    chain; IEEE-754 addition is commutative bitwise), but accumulating
+    slab-by-slab into the existing buffer instead of materializing a
+    second chunk-sized tensor — measured ~30x faster at the wide-n
+    chunk shape, where ``np.cumsum``'s fresh half-GB output (page
+    faults) and strided middle-axis reduce dominate the draw phase.
+
+    ``tie_exact`` quantizes every partial sum (including the seeded
+    first slab), matching the scalar chain of
+    :func:`repro.sim.sampler.draw_times` bit for bit.
+    """
+    if tie_exact:
+        quantize_times(incs[:, 0, :])
+    for j in range(1, incs.shape[1]):
+        np.add(incs[:, j - 1, :], incs[:, j, :], out=incs[:, j, :])
+        if tie_exact:
+            quantize_times(incs[:, j, :])
+    return incs
+
+
 def _run_kernel_chunk_frame(spec: TrialSpec,
                             seeds: Sequence[SeedLike]) -> ResultFrame:
     """Trial-parallel lockstep execution writing columns in blocks.
@@ -1063,25 +1103,34 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
             # exactly like draw_starts followed by draw_times.
             contexts = block
             dithered = lane.delta_kind == "dithered"
-            rows = k + 1 if dithered else k
-            buf = np.empty((m, rows, n))
+            buf = np.empty((m, k, n))
             state0 = states[0]
             reset = reusable.reset
-            for t in range(m):
-                reset(state0[t]).random((rows, n), out=buf[t])
             if dithered:
-                starts_all = lane.base + lane.epsilon * buf[:, 0, :]
-                incs = buf[:, 1:, :]
+                # Two draws per trial — the start dithers, then the
+                # increment block — consuming the stream exactly like
+                # draw_starts followed by draw_times (Generator.random
+                # consumes one uint64 per double with no cross-call
+                # buffering, so the split equals one (k+1, n) draw).
+                # Keeping the starts out of ``buf`` keeps the increment
+                # tensor contiguous for the in-place accumulation below.
+                starts_all = np.empty((m, n))
+                for t in range(m):
+                    rng = reset(state0[t])
+                    rng.random(out=starts_all[t])
+                    rng.random(out=buf[t])
+                starts_all *= lane.epsilon
+                if lane.base:
+                    starts_all += lane.base
             else:
                 starts_all = None
-                incs = buf
-            lane.sampler.transform_inplace(incs)
+                for t in range(m):
+                    reset(state0[t]).random(out=buf[t])
+            lane.sampler.transform_inplace(buf)
             if starts_all is not None:
                 # Seed the sequential chain exactly like draw_times.
-                incs[:, 0, :] += starts_all
-            # Out-of-place cumsum doubles as the copy into the kernel's
-            # contiguous trials-major tensor — no transpose pass.
-            times = np.cumsum(incs, axis=1)
+                buf[:, 0, :] += starts_all
+            times = _accumulate_rows(buf, lane.sampler.tie_exact)
             trials_major = True
         else:
             if lane is not None:
@@ -1135,7 +1184,7 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
                 lane.sampler.transform_inplace(buf)
                 if starts_all is not None:
                     buf[:, 0, :] += starts_all
-                times = np.cumsum(buf, axis=1)
+                times = _accumulate_rows(buf, lane.sampler.tie_exact)
                 trials_major = True
             else:
                 times = np.ascontiguousarray(np.moveaxis(buf, 1, 0))

@@ -56,7 +56,7 @@ from repro.api.spec import SPEC_VERSION, TrialSpec, _freeze_params
 
 #: Bump when an engine/compiler change may alter trial results; stale
 #: cache entries then miss instead of resurrecting old numbers.
-CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-kernel1"
+CACHE_CODE_VERSION = f"spec{SPEC_VERSION}-kernel2"
 
 
 class LegacySeedLaneWarning(UserWarning):

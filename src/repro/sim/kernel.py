@@ -26,16 +26,44 @@ Segmented min for wide process axes
 -----------------------------------
 
 A flat column min is O(n) per event, which is what historically capped
-auto-promotion at n <= 128.  For wide chunks the kernel keeps a static
-tournament tree above ``NT`` (branching :data:`_TREE_BRANCH`): each
-level holds the B-way group mins of the level below, the pick reads the
-<= B rows of the top level, and — because every per-event state write
-lands on the one (process, trial) cell the trial just executed — each
-iteration refreshes only the O(log_B n) ancestor segments of that row
-per column.  The packed-pid trick (the owner pid in the low mantissa
-bits, so the min *is* the argmin, ties breaking toward the lowest pid)
-now covers n <= 2048 in both sampling lanes; retired columns park at a
-huge finite sentinel rather than +inf so the pid bits stay clean.
+auto-promotion at n <= 128.  For wide chunks the kernel keeps a single
+reduction tier above ``NT`` (branching :data:`_TREE_BRANCH`): one
+``(n / B, trials)`` plane of B-way group mins, so the pick is a
+contiguous min over at most ``_PACK_MAX_N / B`` rows.  Because every
+per-event state write lands on the one (process, trial) cell the trial
+just executed, each iteration refreshes exactly one group segment per
+column — a single flat ``take`` of the B member rows against a
+precomputed index plane (``NT`` is padded to a multiple of B with the
+retirement sentinel so the gather never branches on a partial tail
+group).  One tier measured ~5x faster per refresh than the former
+multi-level ancestor walk at n = 1024: the advanced-indexing gathers
+per level, not the Python dispatch, were the dominant per-event cost.
+The packed-pid trick (the owner pid in the low mantissa bits, so the
+min *is* the argmin, ties breaking toward the lowest pid) covers
+n <= 2048 in both sampling lanes; retired columns park at a huge finite
+sentinel rather than +inf so the pid bits stay clean.
+
+The unguarded lockstep loop (no crash schedule, no op budget, no round
+cap, no coin stream — the shape every figure-1/scaling sweep cell
+actually runs) additionally takes a *batched hot path* that executes the
+TWO earliest events of every live trial per Python iteration.  The tier
+min yields event A; the strict runner-up B is the min of A's group with
+A's slot masked against the min of the remaining groups with A's group
+masked.  Both lanes run stacked ``[B-half; A-half]`` through single
+take/ufunc dispatches — numpy scalars and flat views hoisted out of the
+loop, every gather a bounds-checked ``take`` on precomputed int64
+indices — nearly halving the per-event interpreter dispatch count.
+Serial order is A then B, and the only cross-process state is the shared
+a-bit plane, so executing B from the pre-state is exact except in four
+masked cases (A's step-2 write sets a bit B reads; B's step-2 write
+would be clobbered by A's stacked-last no-op; A decides or drains; A's
+refill undercuts B), where B simply runs next iteration.  Every executed
+lane is op-for-op the general body — same ufuncs, same dtypes, same
+order — so bit-identity with the scalar replay is preserved (and pinned
+by the differential oracle).  Decision/drain bookkeeping stays deferred
+behind one ``any()`` flag test; when it fires, retirement masks apply at
+*column* granularity so the sibling lane of a deciding or draining pick
+never refills a retired trial.
 
 Ragged horizons and the scalar fallback
 ---------------------------------------
@@ -71,16 +99,21 @@ _INF = np.inf
 #: Compact the trial axis when at least this fraction has finished.
 _COMPACT_FRACTION = 0.25
 #: ... but never below this many slots (compaction is then pure overhead).
-_COMPACT_MIN = 256
+#: Kept small: the straggler tail of a wide chunk spends most of its
+#: iterations at a tiny live count, and every dead window slot still
+#: pays full freight in the batched hot path's 2m-lane arrays.
+_COMPACT_MIN = 32
 
 #: Widest process axis the packed-pid trick covers: 11 mantissa bits keep
 #: the relative perturbation under 2**-41, still far below any sampled
 #: time's spacing (see _ChunkState).
 _PACK_MAX_N = 2048
-#: Branching factor of the tournament tree over the process axis.
+#: Branching factor of the reduction tier over the process axis.
 _TREE_BRANCH = 16
-#: Build the tree only when the process axis is wide enough for the
-#: O(B log_B n) per-event refresh to beat the flat O(n) column min.
+_TREE_SHIFT = 4
+assert _TREE_BRANCH == 1 << _TREE_SHIFT
+#: Build the tier only when the process axis is wide enough for the
+#: O(B + n/B) per-event pick+refresh to beat the flat O(n) column min.
 _TREE_MIN_N = 128
 _TREE_STEPS = np.arange(_TREE_BRANCH, dtype=np.int64)[:, None]
 
@@ -329,14 +362,20 @@ class _ChunkState:
         else:
             self.pack_mask = None
             self.dead = _INF
-        # Tournament tree over the process axis: level l+1 holds the
-        # B-way group mins of level l (level 0 is NT itself), so the
-        # per-event pick reads the top level (<= B rows) and each
-        # iteration refreshes only the O(log_B n) ancestor segments of
-        # the one row every column wrote (see refresh_tree).  Packed
-        # mode only: the min *carries* the owning pid.
-        self.tree: Optional[List[np.ndarray]] = None
+        # Single reduction tier over the process axis: a (n/B, m) plane
+        # of B-way group mins of NT, so the per-event pick is one
+        # contiguous min over <= _PACK_MAX_N/B rows and each iteration
+        # refreshes only the one group segment every column wrote (see
+        # refresh_tree).  NT is padded to a multiple of B with the dead
+        # sentinel so the refresh gather needs no tail-group clamp.
+        # Packed mode only: the min *carries* the owning pid.
+        self.tree: Optional[np.ndarray] = None
+        self.NTf = self.NT.reshape(-1)
         if pack and n >= _TREE_MIN_N:
+            pad = -n % _TREE_BRANCH
+            if pad:
+                self.NT = np.concatenate(
+                    [self.NT, np.full((pad, m), self.dead)])
             self._build_tree()
         # Per-slot executed-op counter for max_total_ops budgets.
         self.exec_ops = np.zeros(m, np.int64) if track_ops else None
@@ -377,41 +416,33 @@ class _ChunkState:
     # -- tournament tree ---------------------------------------------------
 
     def _build_tree(self) -> None:
-        """(Re)build every reduction level from the current NT."""
+        """(Re)build the group-min tier (and its flat views) from NT."""
         B = _TREE_BRANCH
-        levels: List[np.ndarray] = []
-        arr = self.NT
-        while arr.shape[0] > B:
-            nb = -(-arr.shape[0] // B)
-            out = np.empty((nb, self.m))
-            for g in range(nb):
-                out[g] = arr[g * B:(g + 1) * B].min(axis=0)
-            levels.append(out)
-            arr = out
-        self.tree = levels
+        m = self.m
+        rows = self.NT.shape[0]  # already padded to a multiple of B
+        self.tree = np.ascontiguousarray(
+            self.NT.reshape(rows // B, B, m).min(axis=1))
+        self.treef = self.tree.reshape(-1)
+        self.NTf = self.NT.reshape(-1)
+        self._m64 = np.int64(m)
+        self._Bm = np.int64(B * m)
+        # Flat row-step offsets of one group's B members: group g's
+        # member (b, col) lives at NTf[g*B*m + b*m + col].
+        self._stepm = _TREE_STEPS * m + self.cols
 
     def refresh_tree(self, p) -> None:
-        """Recompute the ancestor segments of row ``p[col]`` per column.
+        """Recompute the group segment of row ``p[col]`` per column.
 
         Every NT write an iteration makes — the crash/decide/drain
         retirements and the next-time refill — lands at ``(p[col],
-        col)`` (whole-column retirements update the tree in
-        finish/mark_overflow directly), so one upward pass over the
-        touched groups restores every level: B clamped gathers per
-        level, O(B log_B n) per column instead of the flat O(n) min.
+        col)`` (whole-column retirements update the tier in
+        finish/mark_overflow directly), so restoring the tier is one
+        flat gather of the touched group's B member rows followed by a
+        row min: O(B) per column instead of the flat O(n).
         """
-        child = self.NT
-        cols = self.cols
-        g = p
-        for level in self.tree:
-            g = g // _TREE_BRANCH
-            base = g * _TREE_BRANCH
-            # The last group may be partial: clamping duplicates the
-            # child's final row, which lies in that same group, so the
-            # group min is unchanged.
-            idx = np.minimum(base + _TREE_STEPS, child.shape[0] - 1)
-            level[g, cols] = child[idx, cols].min(axis=0)
-            child = level
+        g = p >> _TREE_SHIFT
+        self.treef[g * self._m64 + self.cols] = \
+            self.NTf.take(g * self._Bm + self._stepm).min(axis=0)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -458,8 +489,7 @@ class _ChunkState:
         self.finished[slots] = True
         self.NT[:, slots] = self.dead
         if self.tree is not None:
-            for level in self.tree:
-                level[:, slots] = self.dead
+            self.tree[:, slots] = self.dead
         self.alive -= slots.size
 
     def mark_overflow(self, slots):
@@ -469,17 +499,16 @@ class _ChunkState:
         self.finished[slots] = True
         self.NT[:, slots] = self.dead
         if self.tree is not None:
-            for level in self.tree:
-                level[:, slots] = self.dead
+            self.tree[:, slots] = self.dead
         self.alive -= slots.size
 
-    def maybe_compact(self) -> None:
+    def maybe_compact(self) -> bool:
         m = self.m
         # After a compaction every kept slot is alive, so the finished
         # count inside the current window is just m - alive: O(1).
         done = m - self.alive
         if m < _COMPACT_MIN or done < m * _COMPACT_FRACTION:
-            return
+            return False
         keep = ~self.finished
         n, m2 = self.n, int(keep.sum())
         self.NT = np.ascontiguousarray(self.NT[:, keep])
@@ -497,8 +526,10 @@ class _ChunkState:
             self.exec_ops = self.exec_ops[keep]
         self.finished = np.zeros(m2, bool)
         self.m = m2
+        self.NTf = self.NT.reshape(-1)
         if self.tree is not None:
             self._build_tree()
+        return True
 
     def build(self, stop_first: bool) -> KernelResult:
         if stop_first:
@@ -541,12 +572,14 @@ def _pick_events(st: _ChunkState):
     across the trial axis, and bool argmax has no SIMD path at all).
     Exact cross-process time ties — where the sum would blend two pids —
     are measure-zero for the sampled schedules (the same assumption the
-    legacy dither already leans on).  With a tournament tree the min
-    reads the top level's <= B rows instead of all n (the packed entry
-    carries the owning pid through every reduction level, ties breaking
-    toward the lowest pid exactly as the flat min does).
+    legacy dither already leans on); the tie-exact discrete lanes of
+    :mod:`repro.sim.sampler` therefore require packed mode, where ties
+    are broken exactly.  With the group-min tier the min reads its
+    <= _PACK_MAX_N/B rows instead of all n (the packed entry carries the
+    owning pid through the reduction, ties breaking toward the lowest
+    pid exactly as the flat min does).
     """
-    tmin = (st.tree[-1] if st.tree is not None else st.NT).min(axis=0)
+    tmin = (st.tree if st.tree is not None else st.NT).min(axis=0)
     live = tmin != st.dead
     if not live.any():
         return None
@@ -586,7 +619,200 @@ def _lockstep_lean(times, trials_major, inputs, cfg, death_ops, tie_flips,
     st.ops_shift = 12
     k_i32 = np.int32(k)
 
+    # Hot path: the unguarded shape (no crash schedule, no budget, no
+    # round cap, no coin stream) in packed+tier mode — the shape every
+    # figure-1/scaling sweep cell runs.  Each iteration batches the TWO
+    # earliest events of every live trial: pick A (the tier min), pick B
+    # (the runner-up: the min of A's group with A's slot masked, vs the
+    # min of the other groups with A's group masked), then run both
+    # lanes stacked ``[B-half; A-half]`` through single take/ufunc
+    # dispatches, which nearly halves the per-event Python dispatch
+    # count.  Serial order is A then B, and the only cross-process state
+    # is the shared a-bit plane, so executing B from the pre-state is
+    # exact unless (a) A's step-2 write sets a bit B reads, (b) B's
+    # step-2 write would be clobbered by A's lane landing last in the
+    # scatter, (c) A decides or drains (trial-level bookkeeping), or
+    # (d) A's *new* time undercuts B (A is next again).  Those lanes are
+    # masked — B simply runs next iteration — so every executed lane is
+    # op-for-op the general body below (same ufuncs, same dtypes, same
+    # order), keeping bit-identity with the scalar replay.  Scatter
+    # collisions between the halves only happen at the masked junk pick
+    # of a retired column (p_B reads 0 off the dead sentinel); the A
+    # half is stacked last so its write wins.
+    hot = (st.deathsf is None and budget is None and cap is None
+           and st.flipsf is None and st.tree is not None)
+    i32_0, i32_1, i32_2, i32_3 = (np.int32(v) for v in range(4))
+    i32_4097 = np.int32(4097)
+    mask3ff = np.int32(0x3FF)
+    i8_1 = np.int8(1)
+    u8_0 = np.uint8(0)
+    u8_1 = np.uint8(1)
+    i64_15 = np.int64(_TREE_BRANCH - 1)
+    fresh = True
+
     while st.alive:
+        if hot:
+            if fresh:
+                m, m64, cols = st.m, st._m64, st.cols
+                codef, vpf, af = st.codef, st.vpf, st.af
+                NTf, treef, tree = st.NTf, st.treef, st.tree
+                timesf = st.timesf
+                Rm = np.int64(R * st.m)
+                R_1 = np.int32(R - 1)
+                k_m1 = k_i32 - i32_1
+                lag_off = np.int64((R - cfg.lag) * st.m)
+                stepm, Bm = st._stepm, st._Bm
+                n64 = np.int64(n)
+                tmaj = st.trials_major
+                if tmaj:
+                    nxt_base = st.orig * np.int64(k * n)
+                else:
+                    nxt_base = st.orig * np.int64(k)
+                    tk64 = np.int64(st.trials * k)
+                cols2 = np.concatenate((cols, cols))
+                stepm2 = _TREE_STEPS * m + cols2
+                nxt_base2 = np.concatenate((nxt_base, nxt_base))
+                pack_mask = st.pack_mask
+                keep_mask = ~pack_mask
+                dead = st.dead
+                fresh = False
+            # -- pick A (the min) and B (the strict runner-up) ---------
+            tmin = tree.min(axis=0)
+            # Finished slots pick junk (the dead sentinel's pid bits read
+            # 0); like the general body, their garbage self-writes are
+            # free — only decisions, drains and the NT refill mask them.
+            live = tmin != dead
+            # Pids fit far below 2**63, so the masked uint64 reinterprets
+            # as int64 for free (no astype copy).
+            pA = (tmin.view(np.uint64) & pack_mask).view(np.int64)
+            gA = pA >> _TREE_SHIFT
+            gAm = gA * m64 + cols
+            grp = NTf.take(gA * Bm + stepm)
+            grp.reshape(-1)[(pA & i64_15) * m64 + cols] = dead
+            runner = grp.min(axis=0)
+            treef[gAm] = dead
+            omin = tree.min(axis=0)
+            treef[gAm] = tmin
+            tB = np.minimum(runner, omin)
+            # -- stacked field extraction (B lanes first, A lanes last) -
+            t2 = np.concatenate((tB, tmin))
+            pu2 = t2.view(np.uint64) & pack_mask
+            p2 = pu2.view(np.int64)
+            flatS2 = p2 * m64 + cols2
+            code2 = codef.take(flatS2)
+            s2 = code2 & i32_3
+            r2 = (code2 >> 2) & mask3ff
+            newo2 = (code2 >> 12) + i32_1
+            rclip2 = np.minimum(r2, R_1)
+            vp2 = vpf.take(flatS2)
+            pref2 = vp2 & i8_1
+            ar2 = rclip2 * m64 + cols2
+            b0r = s2 == i32_0
+            b1r = s2 == i32_1
+            b2r = s2 == i32_2
+            b3r = s2 == i32_3
+            idx_av = b1r * Rm + ar2
+            av2 = af.take(idx_av)
+            wi2 = pref2 * Rm + ar2
+            av_wi = af.take(wi2)
+            if lag <= 1:
+                riv_idx = ar2 + ar2 - wi2 + lag_off
+            else:
+                riv_idx = ((i8_1 - pref2) * Rm
+                           + np.maximum(rclip2 - lag, i32_0) * m64 + cols2)
+            rival2 = af.take(riv_idx)
+            # -- next completion times (needed for the B legality test) -
+            clamped2 = np.minimum(newo2, k_m1)
+            nxt2 = timesf.take(nxt_base2 + clamped2 * n64 + p2 if tmaj
+                               else p2 * tk64 + nxt_base2 + clamped2)
+            u2 = nxt2.view(np.uint64)
+            u2 &= keep_mask
+            u2 |= pu2
+            # -- B-lane legality: does executing B pre-refresh commute? -
+            wiA = wi2[m:]
+            # A's a-bit write observably changes state only when it sets
+            # a cleared bit; B reads the a-plane at its step-0/1 gather
+            # cell and (step 3 only) its rival cell.
+            changedA = b2r[m:] & (av_wi[m:] == u8_0)
+            readhit = (((b0r[:m] | b1r[:m]) & (idx_av[:m] == wiA))
+                       | (b3r[:m] & (riv_idx[:m] == wiA)))
+            # B setting a bit that A's (stacked-last, stale) no-op write
+            # would erase.
+            wwhit = (b2r[:m] & ~b2r[m:] & (wi2[:m] == wiA)
+                     & (av_wi[:m] == u8_0))
+            decA = live & b3r[m:] & (rival2[m:] == 0)
+            drainedA = live & (newo2[m:] >= k_i32)
+            execB = (live & ~(decA | drainedA)
+                     & ~((changedA & readhit) | wwhit)
+                     & (tB < nxt2[m:]))
+            exec2 = np.concatenate((execB, live))
+            dec2 = exec2 & b3r & (rival2 == 0)
+            drained2 = exec2 & (newo2 >= k_i32)
+            # -- state updates, masked per lane -------------------------
+            new_vp = np.where(b0r, (av2 << u8_1) | pref2.view(np.uint8),
+                              vp2.view(np.uint8)).astype(np.int8)
+            w0 = vp2 >> i8_1
+            newp = np.where(w0 == av2, pref2, av2.view(np.int8))
+            changed = b1r & (newp != pref2) & exec2
+            st.prefchg += changed[:m]
+            st.prefchg += changed[m:]
+            new_vp = np.where(b1r, (w0 << i8_1) | newp, new_vp)
+            vpf[flatS2] = np.where(exec2, new_vp, vp2)
+            af[wi2] = av_wi | (b2r & exec2)
+            codef[flatS2] = code2 + exec2 * i32_4097 - dec2
+            if not (dec2.any() or drained2.any()):
+                final2 = np.where(exec2, nxt2, t2)
+                NTf[flatS2] = final2
+                # A's group needs no gather: only A's slot changed in it
+                # (B lives at p_B; when that lands in the same group the
+                # B-half scatter below overwrites with the true min), so
+                # the refreshed group min is min(runner-up, A's refill).
+                treef[gAm] = np.minimum(runner, final2[m:])
+                gB = p2[:m] >> _TREE_SHIFT
+                treef[gB * m64 + cols] = \
+                    NTf.take(gB * Bm + stepm).min(axis=0)
+                continue
+            # Rare: a decision and/or a drained horizon this iteration —
+            # the general tail below, specialized to no-cap/no-budget.
+            # Trial-level bookkeeping is per *column*; at most one lane
+            # per column can land here (a deciding/draining A masks B).
+            cont2 = exec2
+            if dec2.any():
+                e = np.nonzero(dec2)[0]
+                ecols = cols2[e]
+                NTf[flatS2[e]] = dead
+                st.record_decisions(ecols, p2[e], pref2[e], r2[e],
+                                    newo2[e])
+                st.remaining[ecols] -= 1
+                if stop_first:
+                    fin = ecols[dec2[e] | (st.remaining[ecols] == 0)]
+                else:
+                    fin = ecols[st.remaining[ecols] == 0]
+                st.finish(fin)
+                cont2 = exec2 & ~dec2 & ~st.finished[cols2]
+                drained2 &= cont2
+            if drained2.any():
+                dr = np.nonzero(drained2)[0]
+                drcols = cols2[dr]
+                if final:
+                    NTf[flatS2[dr]] = dead
+                    st.mark_overflow(
+                        drcols[(st.NT[:, drcols] >= dead).all(axis=0)])
+                else:
+                    st.mark_overflow(drcols)
+                # Column-level mask, like the decision branch above: when
+                # the *B* lane drains (final=False), mark_overflow retires
+                # the whole column, and A's still-cont2 lane must not
+                # refill a live time into it — that resurrected column
+                # would drain again later and double-retire the slot.
+                cont2 = cont2 & ~drained2 & ~st.finished[cols2]
+            NTf[flatS2] = np.where(cont2, nxt2, NTf.take(flatS2))
+            g2 = p2 >> _TREE_SHIFT
+            treef[g2 * m64 + cols2] = \
+                NTf.take(g2 * Bm + stepm2).min(axis=0)
+            if st.maybe_compact():
+                fresh = True
+            continue
         picked = _pick_events(st)
         if picked is None:
             break

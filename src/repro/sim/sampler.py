@@ -22,30 +22,50 @@ model is oblivious (Section 3.1), so when the stopping condition is met
 strictly inside the sampled horizon the result provably equals the
 infinite-horizon replay.
 
-Distributions without a closed-form inverse (geometric, two-point,
-truncated normal, ...) keep the legacy row-major
+Every Figure-1 distribution now has a lane: the affine/log family
+(exponential, shifted exponential, uniform), the quantile-function
+discrete pair (geometric, two-point), and the truncated normal via a
+pure-numpy normal quantile (AS241) — scipy is deliberately not a
+dependency.  Remaining exotics (lognormal, the ``2^(k^2)`` family, any
+``sample_array`` override) keep the legacy row-major
 :meth:`~repro.sched.noisy.NoisyScheduler.presample` lane, which remains
-bit-identical to the PR-3 fast engine; this lane exists because drawing
-one uniform block per trial (plus one vectorized transform per chunk) is
-what makes the kernel's trial-parallel throughput possible.
+bit-identical to the PR-3 fast engine.
 
 The anti-simultaneity dither of the legacy lane is deliberately absent
 here: it exists to break the *common* exact ties of discrete
 distributions, while for continuous inverse transforms a cross-process
 tie requires two sums of distinct random doubles to collide exactly — the
 same measure-zero event the dither itself already relies on avoiding.
+Discrete lanes instead embrace exact ties and make every engine break
+them identically — by lowest pid.  The scalar replay already does (its
+flat stable argsort visits the lower pid first on equal times), and the
+lockstep kernel's packed-pid column min does too, *provided* packing is
+lossless: the kernel stores the owner pid in the low 11 mantissa bits of
+each completion time, so two times that differ only below that
+granularity would compare as a tie in the kernel but as strictly ordered
+in the scalar replay.  ``tie_exact`` samplers therefore run the cumsum
+chain *quantized*: ``t_j = Q(t_{j-1} + inc_j)`` with ``Q`` clearing the
+low 11 mantissa bits (:func:`quantize_times`), making "differ only in
+the packed bits" impossible by construction.  The quantization error is
+below ``2**-41`` relative — far inside the schedule-model noise — and
+identical across the scalar, frame, and kernel paths, which is all that
+bit-identity needs.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
 
 from repro.noise.distributions import (
     Exponential,
+    Geometric,
     NoiseDistribution,
     ShiftedExponential,
+    TruncatedNormal,
+    TwoPoint,
     Uniform,
 )
 
@@ -54,12 +74,40 @@ from repro.noise.distributions import (
 _LANE_DELTA_KINDS = ("zero", "dithered")
 
 
+#: Low-mantissa bits cleared by :func:`quantize_times` — must stay >= the
+#: kernel's widest packed-pid payload (``_PACK_MAX_N = 2048`` -> 11 bits),
+#: so a quantized schedule survives pid packing without reordering.
+_TIE_QUANT_BITS = 11
+
+_TIE_QUANT_MASK = np.uint64(~np.uint64((1 << _TIE_QUANT_BITS) - 1))
+
+
+def quantize_times(block: np.ndarray) -> np.ndarray:
+    """Clear the low ``_TIE_QUANT_BITS`` mantissa bits of ``block`` in place.
+
+    The tie-exact chain quantizer (see the module docstring): applied to
+    every partial sum of a ``tie_exact`` sampler's completion-time chain,
+    it guarantees two distinct times differ *above* the granularity the
+    lockstep kernel's packed-pid embedding consumes, so the packed column
+    min realizes exactly the scalar replay's order-then-lowest-pid rule.
+    """
+    v = block.view(np.uint64)
+    v &= _TIE_QUANT_MASK
+    return block
+
+
 class InverseSampler:
     """One distribution's inverse-CDF transform plus its lane metadata.
 
     Attributes:
         name: short label for diagnostics.
+        tie_exact: True for samplers whose schedules carry *exact*
+            cross-process time ties (discrete increments); their cumsum
+            chains run quantized (:func:`quantize_times`) so every engine
+            resolves those ties identically.
     """
+
+    tie_exact = False
 
     def __init__(self, name: str, shift: float, scale: float,
                  log_form: bool) -> None:
@@ -100,6 +148,179 @@ class InverseSampler:
         return u
 
 
+class GeometricSampler(InverseSampler):
+    """Geometric(p) on {1, 2, ...} via its exact quantile function.
+
+    ``F(j) = 1 - (1-p)^j`` inverts to ``floor(log(1-u)/log(1-p)) + 1``;
+    ``log1p`` keeps both logs exact near their small arguments.  The
+    edge cases fall out of IEEE arithmetic: ``u = 0`` gives ``0/log1p(-p)
+    = -0.0 -> 1`` and ``p = 1`` gives ``finite/-inf = -0.0 -> 1``.
+    Integer increments mean exact ties, hence ``tie_exact``.
+    """
+
+    tie_exact = True
+
+    def __init__(self, name: str, p: float) -> None:
+        self.name = name
+        self._denom = math.log1p(-p) if p < 1.0 else -math.inf
+
+    def transform(self, u: np.ndarray) -> np.ndarray:
+        out = np.log1p(-u)
+        out /= self._denom
+        np.floor(out, out=out)
+        out += 1.0
+        return out
+
+    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+        np.negative(u, out=u)
+        np.log1p(u, out=u)
+        u /= self._denom
+        np.floor(u, out=u)
+        u += 1.0
+        return u
+
+
+class TwoPointSampler(InverseSampler):
+    """TwoPoint(a, b, p) via its (sorted-support) quantile function.
+
+    The quantile map must be monotone in ``u``, so the support is sorted
+    first: the smaller value owns the leading probability mass whichever
+    of ``a``/``b`` it is.  Same *distribution* as the legacy
+    ``rng.random() < p`` draw, not the same sample path — the lane owns
+    its stream discipline (see the module docstring).
+    """
+
+    tie_exact = True
+
+    def __init__(self, name: str, a: float, b: float, p: float) -> None:
+        self.name = name
+        self._lo, self._hi = min(a, b), max(a, b)
+        self._p_lo = p if a <= b else 1.0 - p
+
+    def transform(self, u: np.ndarray) -> np.ndarray:
+        return np.where(u < self._p_lo, self._lo, self._hi)
+
+    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+        lo = u < self._p_lo
+        u[...] = self._hi
+        u[lo] = self._lo
+        return u
+
+
+#: AS241 (Wichura's PPND16) rational approximations of the standard
+#: normal quantile, |relative error| < 1e-15 over (0, 1) in doubles.
+#: Central region |p - 0.5| <= 0.425:
+_NDTRI_A = (2.5090809287301226727e3, 3.3430575583588128105e4,
+            6.7265770927008700853e4, 4.5921953931549871457e4,
+            1.3731693765509461125e4, 1.9715909503065514427e3,
+            1.3314166789178437745e2, 3.3871328727963666080e0)
+_NDTRI_B = (5.2264952788528545610e3, 2.8729085735721942674e4,
+            3.9307895800092710610e4, 2.1213794301586595867e4,
+            5.3941960214247511077e3, 6.8718700749205790830e2,
+            4.2313330701600911252e1, 1.0)
+#: Intermediate tail  sqrt(-log(min(p, 1-p))) in (1.6..., 5]:
+_NDTRI_C = (7.74545014278341407640e-4, 2.27238449892691845833e-2,
+            2.41780725177450611770e-1, 1.27045825245236838258e0,
+            3.64784832476320460504e0, 5.76949722146069140550e0,
+            4.63033784615654529590e0, 1.42343711074968357734e0)
+_NDTRI_D = (1.05075007164441684324e-9, 5.47593808499534494600e-4,
+            1.51986665636164571966e-2, 1.48103976427480074590e-1,
+            6.89767334985100004550e-1, 1.67638483018380384940e0,
+            2.05319162663775882187e0, 1.0)
+#: Far tail (> 5):
+_NDTRI_E = (2.01033439929228813265e-7, 2.71155556874348757815e-5,
+            1.24266094738807843860e-3, 2.65321895265761230930e-2,
+            2.96560571828504891230e-1, 1.78482653991729133580e0,
+            5.46378491116411436990e0, 6.65790464350110377720e0)
+_NDTRI_F = (2.04426310338993978564e-15, 1.42151175831644588870e-7,
+            1.84631831751005468180e-5, 7.86869131145613259100e-4,
+            1.48753612908506148525e-2, 1.36929880922735805310e-1,
+            5.99832206555887937690e-1, 1.0)
+
+#: Clamp for the quantile's argument: half-open draws keep ``u < 1`` but
+#: extreme bound CDFs can round the affine map onto {0.0, 1.0}, where the
+#: tail expansion is singular; the clamp maps those measure-``2**-53``
+#: events to the support's edges (which the transform clips to anyway).
+_NDTRI_P_MIN = 5e-324
+_NDTRI_P_MAX = math.nextafter(1.0, 0.0)
+
+
+def _horner(r: np.ndarray, coeffs) -> np.ndarray:
+    out = np.full_like(r, coeffs[0])
+    for c in coeffs[1:]:
+        out *= r
+        out += c
+    return out
+
+
+def _ndtri(p: np.ndarray) -> np.ndarray:
+    """Vectorized standard normal quantile (pure numpy, AS241)."""
+    q = p - 0.5
+    out = np.empty_like(p)
+    central = np.abs(q) <= 0.425
+    if central.any():
+        qc = q[central]
+        r = 0.180625 - qc * qc
+        out[central] = qc * _horner(r, _NDTRI_A) / _horner(r, _NDTRI_B)
+    tails = ~central
+    if tails.any():
+        qt = q[tails]
+        r = np.sqrt(-np.log(np.where(qt < 0.0, p[tails], 1.0 - p[tails])))
+        near = r <= 5.0
+        r1 = r - 1.6
+        r2 = r - 5.0
+        val = np.where(near,
+                       _horner(r1, _NDTRI_C) / _horner(r1, _NDTRI_D),
+                       _horner(r2, _NDTRI_E) / _horner(r2, _NDTRI_F))
+        out[tails] = np.where(qt < 0.0, -val, val)
+    return out
+
+
+class TruncatedNormalSampler(InverseSampler):
+    """TruncatedNormal(mu, sigma, [low, high]) by CDF inversion.
+
+    ``F^-1(u) = mu + sigma * ndtri(Phi_a + u * (Phi_b - Phi_a))`` with
+    ``Phi`` at the standardized bounds precomputed once (``erfc`` keeps
+    the deep lower tail accurate).  The final clip only guards the
+    quantile's last-ulp wobble at the clamped edges; continuous support
+    keeps ties measure-zero, so no ``tie_exact``.  Same *distribution*
+    as the legacy rejection sampler, not the same sample path.
+    """
+
+    def __init__(self, name: str, mu: float, sigma: float,
+                 low: float, high: float) -> None:
+        self.name = name
+        self._mu, self._sigma = mu, sigma
+        self._low, self._high = low, high
+        root2 = math.sqrt(2.0)
+        self._cdf_lo = 0.5 * math.erfc(-(low - mu) / (sigma * root2))
+        self._width = (0.5 * math.erfc(-(high - mu) / (sigma * root2))
+                       - self._cdf_lo)
+
+    def transform(self, u: np.ndarray) -> np.ndarray:
+        x = u * self._width
+        x += self._cdf_lo
+        np.clip(x, _NDTRI_P_MIN, _NDTRI_P_MAX, out=x)
+        out = _ndtri(x)
+        out *= self._sigma
+        out += self._mu
+        np.clip(out, self._low, self._high, out=out)
+        return out
+
+    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+        u *= self._width
+        u += self._cdf_lo
+        np.clip(u, _NDTRI_P_MIN, _NDTRI_P_MAX, out=u)
+        # _ndtri writes through boolean masks; routing the result back
+        # into ``u`` keeps the chunk tensor as the only horizon-sized
+        # live buffer (the quantile's temporaries are transient).
+        u[...] = _ndtri(u)
+        u *= self._sigma
+        u += self._mu
+        np.clip(u, self._low, self._high, out=u)
+        return u
+
+
 def inverse_sampler_for(noise: NoiseDistribution) -> Optional[InverseSampler]:
     """The lane's sampler for ``noise``, or ``None`` (legacy lane).
 
@@ -113,6 +334,14 @@ def inverse_sampler_for(noise: NoiseDistribution) -> Optional[InverseSampler]:
     if kind is Uniform:
         return InverseSampler(noise.name, shift=noise.low,
                               scale=noise.high - noise.low, log_form=False)
+    if kind is Geometric:
+        return GeometricSampler(noise.name, noise.p)
+    if kind is TwoPoint:
+        return TwoPointSampler(noise.name, noise.a, noise.b, noise.p)
+    if kind is TruncatedNormal:
+        if math.isfinite(noise.low) and math.isfinite(noise.high):
+            return TruncatedNormalSampler(noise.name, noise.mu, noise.sigma,
+                                          noise.low, noise.high)
     return None
 
 
@@ -156,7 +385,23 @@ def draw_times(rng: np.random.Generator, sampler: InverseSampler,
     # float association — ``(((start + i0) + i1) + ...)`` — so a grown
     # matrix is bit-equal to having drawn the larger one up front.
     incs[0] += starts
+    if sampler.tie_exact:
+        return np.ascontiguousarray(_quantized_chain(incs).T)
     return np.ascontiguousarray(incs.cumsum(axis=0).T)
+
+
+def _quantized_chain(incs: np.ndarray) -> np.ndarray:
+    """In-place row chain ``t_j = Q(t_{j-1} + inc_j)`` (tie-exact lanes).
+
+    Every partial sum is quantized — including the seeded first row — so
+    an extension continuing from a stored (quantized) last column is
+    bit-equal to the longer up-front chain.
+    """
+    quantize_times(incs[0])
+    for j in range(1, incs.shape[0]):
+        np.add(incs[j - 1], incs[j], out=incs[j])
+        quantize_times(incs[j])
+    return incs
 
 
 def extend_times(rng: np.random.Generator, sampler: InverseSampler,
@@ -170,5 +415,6 @@ def extend_times(rng: np.random.Generator, sampler: InverseSampler,
     incs = sampler.transform(u)
     if k:
         incs[0] += times[:, -1]
-    tail = incs.cumsum(axis=0)
+    tail = (_quantized_chain(incs) if sampler.tie_exact
+            else incs.cumsum(axis=0))
     return np.concatenate([times, np.ascontiguousarray(tail.T)], axis=1)

@@ -35,6 +35,9 @@ DISTS = {
     "exponential": NoiseSpec.of("exponential", mean=1.0),
     "uniform": NoiseSpec.of("uniform", low=0.0, high=2.0),
     "geometric": NoiseSpec.of("geometric", p=0.5),
+    "two-point": NoiseSpec.of("two-point", a=0.5, b=2.0, p=0.5),
+    "truncated-normal": NoiseSpec.of("truncated-normal", mu=1.0,
+                                     sigma=0.2, low=0.0, high=2.0),
 }
 
 VARIANTS = sorted(FAST_VARIANTS)
@@ -99,6 +102,17 @@ class TestWideNAndRetiredBlockers:
         spec = grid_spec(n, "exponential", "lean", 0.0,
                          stop_after_first_decision=True)
         report = assert_equivalent(spec, seed=n)
+        assert report.ok
+
+    @pytest.mark.parametrize("dist_name", ["geometric", "two-point",
+                                           "truncated-normal"])
+    def test_wide_n_figure1_lanes_bit_identical(self, dist_name):
+        # PR 8: the remaining Figure-1 distributions gained inverse-CDF
+        # lanes; the oracle pins kernel == fast == event inside the
+        # widened auto-promotion window for each of them.
+        spec = grid_spec(256, dist_name, "lean", 0.0,
+                         stop_after_first_decision=True)
+        report = assert_equivalent(spec, seed=256 + len(dist_name))
         assert report.ok
 
     @pytest.mark.parametrize("n", [33, 256, 1024])

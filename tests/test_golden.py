@@ -61,7 +61,11 @@ GOLDEN = {
     "lower_bound": (
         lower_bound,
         ["--trials", "6", "--seed", "1"],
-        "357265547a8bf1dad867b2524f5fdc46c9808c85f7ef47178072148da6bd374d"),
+        # Re-pinned when two-point noise gained its inverse-CDF lane: the
+        # n >= 256 rows run on the fast engine, whose sample path moved
+        # from the legacy row-major presample to the lane's column-major
+        # quantile draws (same distribution, different stream use).
+        "89e0c25ad4aaec0487539481b00dab379680a5e63002369d2eb089203ac270e9"),
     "extensions": (
         extensions,
         ["--trials", "6", "--seed", "1"],

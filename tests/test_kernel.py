@@ -376,6 +376,45 @@ class TestKernelResolution:
         past = noisy(n=KERNEL_AUTO_MAX_N_INVERSE + 1)
         assert resolve_engine_info(past, trials=10_000).engine == "fast"
 
+    @pytest.mark.parametrize("params", [
+        pytest.param({"name": "geometric", "p": 0.5}, id="geometric"),
+        pytest.param({"name": "two-point", "a": 0.5, "b": 2.0, "p": 0.5},
+                     id="two-point"),
+        pytest.param({"name": "truncated-normal", "mu": 1.0, "sigma": 0.2,
+                      "low": 0.0, "high": 2.0}, id="truncated-normal"),
+    ])
+    def test_auto_promotes_every_figure1_distribution(self, params):
+        # PR 8: the non-exponential Figure-1 distributions gained
+        # inverse-CDF lanes, so they auto-promote over the same widened
+        # n <= 1024 window as the exponential lane.
+        params = dict(params)
+        spec = noisy(
+            n=KERNEL_AUTO_MAX_N_INVERSE,
+            model=NoisyModelSpec(noise=NoiseSpec.of(params.pop("name"),
+                                                    **params)))
+        info = resolve_engine_info(spec, trials=KERNEL_AUTO_MIN_TRIALS)
+        assert info.engine == "kernel" and info.reason is None
+        past = dataclasses.replace(spec, n=KERNEL_AUTO_MAX_N_INVERSE + 1)
+        assert resolve_engine_info(
+            past, trials=KERNEL_AUTO_MIN_TRIALS).engine == "fast"
+
+    def test_tie_exact_lanes_refuse_kernel_past_packed_range(self):
+        # The discrete lanes' exact-tie discipline needs the packed-pid
+        # tie break, which tops out at n = 2048; explicit kernel past
+        # that must refuse loudly instead of silently mis-tying.
+        from repro.sim.kernel import _PACK_MAX_N
+        two_point = NoiseSpec.of("two-point", a=0.5, b=2.0, p=0.5)
+        spec = noisy(n=_PACK_MAX_N + 1, engine="kernel",
+                     model=NoisyModelSpec(noise=two_point))
+        with pytest.raises(ConfigurationError, match="packed-pid"):
+            resolve_engine_info(spec)
+        # At the boundary itself the packed tie break still holds.
+        at = dataclasses.replace(spec, n=_PACK_MAX_N)
+        assert resolve_engine_info(at).engine == "kernel"
+        # Continuous lanes (measure-zero ties) stay eligible past it.
+        cont = noisy(n=_PACK_MAX_N + 1, engine="kernel")
+        assert resolve_engine_info(cont).engine == "kernel"
+
     def test_auto_keeps_wide_legacy_lane_specs_off_the_kernel(self):
         # The legacy sampling lane pays an O(n*horizon) presample per
         # trial either way, so its width cap stays at n=128.

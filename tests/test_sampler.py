@@ -12,13 +12,16 @@ from repro.noise.distributions import (
     Geometric,
     ShiftedExponential,
     TruncatedNormal,
+    TwoPoint,
     Uniform,
 )
 from repro.sim.sampler import (
+    _TIE_QUANT_BITS,
     draw_starts,
     draw_times,
     extend_times,
     inverse_sampler_for,
+    quantize_times,
 )
 
 
@@ -28,16 +31,38 @@ class TestLaneSelection:
         assert inverse_sampler_for(ShiftedExponential(0.5, 0.5)) is not None
         assert inverse_sampler_for(Uniform(0.0, 2.0)) is not None
 
-    def test_non_invertible_types_stay_legacy(self):
-        assert inverse_sampler_for(Geometric(0.5)) is None
-        assert inverse_sampler_for(TruncatedNormal()) is None
+    def test_figure1_distribution_lanes(self):
+        # The PR-8 lanes: every Figure-1 distribution inverts.
+        assert inverse_sampler_for(Geometric(0.5)) is not None
+        assert inverse_sampler_for(TwoPoint(0.5, 2.0, 0.5)) is not None
+        assert inverse_sampler_for(TruncatedNormal()) is not None
+
+    def test_tie_exact_flags(self):
+        # Discrete lanes quantize their cumulative chains (exact cross-
+        # process ties are common); the continuous ones must not.
+        assert inverse_sampler_for(Geometric(0.5)).tie_exact
+        assert inverse_sampler_for(TwoPoint(0.5, 2.0, 0.5)).tie_exact
+        assert not inverse_sampler_for(TruncatedNormal()).tie_exact
+        assert not inverse_sampler_for(Exponential(1.0)).tie_exact
+
+    def test_infinite_truncation_stays_legacy(self):
+        # The quantile transform needs both truncation CDFs finite.
+        assert inverse_sampler_for(
+            TruncatedNormal(low=-math.inf)) is None
+        assert inverse_sampler_for(
+            TruncatedNormal(high=math.inf)) is None
 
     def test_subclasses_stay_legacy(self):
         class Custom(Uniform):
             def sample_array(self, rng, size):  # pragma: no cover
                 return super().sample_array(rng, size) * 2
 
+        class CustomGeo(Geometric):
+            def sample_array(self, rng, size):  # pragma: no cover
+                return super().sample_array(rng, size) + 1
+
         assert inverse_sampler_for(Custom(0.0, 1.0)) is None
+        assert inverse_sampler_for(CustomGeo(0.5)) is None
 
 
 class TestTransforms:
@@ -107,6 +132,146 @@ class TestColumnMajorExtension:
         sampler = inverse_sampler_for(Exponential(1.0))
         times = draw_times(make_rng(5), sampler, np.zeros(3), 50)
         assert (np.diff(times, axis=1) >= 0).all()
+
+
+class TestFigure1LaneTransforms:
+    """Inverse-CDF correctness of the PR-8 lanes, against closed forms."""
+
+    def test_geometric_quantile_bins(self):
+        sampler = inverse_sampler_for(Geometric(0.5))
+        u = np.array([0.0, 0.49, 0.51, 0.74, 0.76])
+        assert np.array_equal(sampler.transform(u), [1, 1, 2, 2, 3])
+
+    def test_geometric_pmf(self):
+        sampler = inverse_sampler_for(Geometric(0.3))
+        x = sampler.transform(make_rng(11).random(200_000))
+        assert x.min() == 1.0
+        for j in (1, 2, 3):
+            pmf = 0.3 * 0.7 ** (j - 1)
+            assert (x == j).mean() == pytest.approx(pmf, rel=0.05)
+
+    def test_two_point_split(self):
+        sampler = inverse_sampler_for(TwoPoint(0.5, 2.0, 0.25))
+        u = np.array([0.0, 0.24, 0.26, 0.99])
+        assert np.array_equal(sampler.transform(u), [0.5, 0.5, 2.0, 2.0])
+
+    def test_two_point_reversed_support(self):
+        # a > b: the lane reorders, so P(a) rides the upper quantiles.
+        sampler = inverse_sampler_for(TwoPoint(2.0, 0.5, 0.25))
+        x = sampler.transform(make_rng(12).random(100_000))
+        assert set(np.unique(x)) == {0.5, 2.0}
+        assert (x == 2.0).mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_truncated_normal_support_and_cdf(self):
+        dist = TruncatedNormal(mu=1.0, sigma=0.2, low=0.5, high=1.5)
+        sampler = inverse_sampler_for(dist)
+        x = sampler.transform(make_rng(13).random(200_000))
+        assert x.min() >= 0.5 and x.max() <= 1.5
+
+        def phi(v):
+            return 0.5 * math.erfc(-(v - 1.0) / (0.2 * math.sqrt(2.0)))
+
+        lo, hi = phi(0.5), phi(1.5)
+        for q in (0.7, 1.0, 1.3):
+            closed = (phi(q) - lo) / (hi - lo)
+            assert (x <= q).mean() == pytest.approx(closed, abs=0.005)
+
+    def test_truncated_normal_extreme_quantiles_stay_finite(self):
+        sampler = inverse_sampler_for(TruncatedNormal())
+        x = sampler.transform(np.array([0.0, 1.0 - 2.0 ** -53]))
+        assert np.isfinite(x).all()
+        assert x[0] >= 0.0 and x[1] <= 2.0
+
+    @pytest.mark.parametrize("dist", [
+        Geometric(0.4),
+        TwoPoint(0.5, 2.0, 0.5),
+        TruncatedNormal(),
+    ], ids=["geometric", "two-point", "truncated-normal"])
+    def test_inplace_matches_out_of_place(self, dist):
+        sampler = inverse_sampler_for(dist)
+        u = make_rng(14).random((5, 7))
+        assert np.array_equal(sampler.transform(u),
+                              sampler.transform_inplace(u.copy()))
+
+
+class TestTieExactChain:
+    """The quantized cumulative chain behind the discrete lanes."""
+
+    DISTS = [Geometric(0.5), TwoPoint(0.5, 2.0, 0.5)]
+
+    def test_quantize_idempotent_on_drawn_times(self):
+        # Every emitted completion time already has its low mantissa
+        # bits cleared — re-quantizing is a no-op.
+        for dist in self.DISTS:
+            sampler = inverse_sampler_for(dist)
+            rng = make_rng(21)
+            starts = draw_starts(rng, 6, "dithered", 0.0, 1e-8)
+            times = draw_times(rng, sampler, starts, 30)
+            low = times.copy().view(np.uint64) & np.uint64(
+                (1 << _TIE_QUANT_BITS) - 1)
+            assert (low == 0).all()
+            assert np.array_equal(quantize_times(times.copy()), times)
+
+    def test_redraw_prefix_identity(self):
+        for dist in self.DISTS:
+            sampler = inverse_sampler_for(dist)
+
+            def build(k):
+                rng = make_rng(22)
+                starts = draw_starts(rng, 5, "dithered", 0.0, 1e-8)
+                return draw_times(rng, sampler, starts, k)
+
+            small, big = build(10), build(32)
+            assert np.array_equal(small, big[:, :10])
+
+    def test_extend_equals_bigger_draw(self):
+        for dist in self.DISTS:
+            sampler = inverse_sampler_for(dist)
+            rng1, rng2 = make_rng(23), make_rng(23)
+            starts = draw_starts(rng1, 4, "dithered", 0.0, 1e-8)
+            draw_starts(rng2, 4, "dithered", 0.0, 1e-8)
+            t1 = draw_times(rng1, sampler, starts, 8)
+            t1 = extend_times(rng1, sampler, t1, 8)
+            t2 = draw_times(rng2, sampler, starts, 16)
+            assert np.array_equal(t1, t2)
+
+    def test_rows_nondecreasing(self):
+        for dist in self.DISTS:
+            sampler = inverse_sampler_for(dist)
+            times = draw_times(make_rng(24), sampler, np.zeros(3), 50)
+            assert (np.diff(times, axis=1) >= 0).all()
+
+
+class TestFigure1LaneEngineIdentity:
+    """Each new lane is bit-identical across scalar, frame, and kernel."""
+
+    NOISES = [
+        pytest.param({"name": "geometric", "p": 0.5}, id="geometric"),
+        pytest.param({"name": "two-point", "a": 0.5, "b": 2.0, "p": 0.5},
+                     id="two-point"),
+        pytest.param({"name": "truncated-normal", "mu": 1.0, "sigma": 0.2,
+                      "low": 0.0, "high": 2.0}, id="truncated-normal"),
+    ]
+
+    @pytest.mark.parametrize("noise", NOISES)
+    def test_scalar_frame_kernel_identity(self, noise):
+        from repro.api import NoiseSpec, NoisyModelSpec, TrialSpec, run_batch
+
+        params = dict(noise)
+        spec = TrialSpec(
+            n=300,
+            model=NoisyModelSpec(
+                noise=NoiseSpec.of(params.pop("name"), **params)),
+            engine="fast", stop_after_first_decision=True)
+        scalar = run_batch(spec, 10, seed=2000)
+        frame = run_batch(spec, 10, seed=2000, as_frame=True)
+        kernel = run_batch(spec.replace(engine="kernel"), 10, seed=2000,
+                           as_frame=True)
+        assert frame.to_trial_results() == scalar
+        for col in ("total_ops", "max_round", "preference_changes",
+                    "n_decided", "first_decision_round",
+                    "first_decision_ops"):
+            assert np.array_equal(frame.column(col), kernel.column(col)), col
 
 
 class TestSeedBlock:
