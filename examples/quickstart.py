@@ -80,7 +80,26 @@ recompute), deduplicated against other jobs sharing chunks, with
 streaming per-cell aggregates queryable mid-run — and its frames are
 bit-identical to the in-process ``run_sweep``.  ``python -m repro serve
 serve --store DIR`` serves the job API over HTTP; ``submit`` / ``status``
-/ ``watch`` / ``result`` drive it from the CLI.
+/ ``watch`` / ``result`` / ``cancel`` / ``gc`` drive it from the CLI.
+
+Failure semantics (the short version — the full table is in
+``help(repro)``): a killed worker requeues its chunk with persisted
+backoff and fails typed after 3 losses; a wedged worker is cancelled at
+``chunk_timeout`` and its late result, if any, is adopted idempotently;
+a killed coordinator resumes from the store, and its time-bounded
+chunk leases expire so a second coordinator can take over (stale claims
+— dead pid, reused pid, expired deadline — never block progress); a
+torn object on disk reads as a miss on every path and is recomputed;
+``cancel`` drains cooperatively keeping stored chunks; the HTTP client
+bounds every call with timeouts + retries and raises typed errors.
+All of it is exercised by the seeded, deterministic chaos harness in
+:mod:`repro.serve.chaos` — under any fault plan the frames must stay
+bit-identical to ``run_sweep``.
+
+Migrating ``run_sweep`` to multi-node: keep the sweep declaration,
+point every coordinator at the same store, and run the same job from
+each (``JobRunner(store, backend="worker-pool").run(job)``); leases
+partition chunks between coordinators and the store dedups the rest.
 
 Run:  python examples/quickstart.py
 

@@ -191,6 +191,48 @@ the same lifecycle over a localhost HTTP API.  The contract: job frames
 are **bit-identical** to ``run_sweep`` of the same sweep and seed, no
 matter how the work was chunked, pooled, killed, or resumed.
 
+Failure semantics — every failure mode has a defined recovery, and none
+of them can change the bytes of the result:
+
+=================================  =====================================
+failure                            recovery
+=================================  =====================================
+worker killed mid-chunk            chunk requeued with persisted
+                                   exponential backoff; after 3 losses
+                                   the job fails typed
+                                   (:class:`~repro.serve.JobFailedError`)
+                                   with the chunk named
+worker wedged past a deadline      ``chunk_timeout=`` cancels and
+                                   requeues; a straggler that finishes
+                                   late stores idempotently and the
+                                   retry adopts its chunk
+coordinator killed (any point)     rerun adopts every stored chunk;
+                                   time-bounded leases expire so another
+                                   coordinator can take over — a stale
+                                   claim (dead pid, reused pid, expired
+                                   deadline) never blocks progress
+torn/truncated object on disk      reads as a miss on every path (store
+                                   hit, dedup adoption, HTTP
+                                   ``/objects/<key>``, ``--check-local``)
+                                   and is recomputed, then repaired
+operator cancel                    ``cancel`` (CLI/HTTP) drains
+                                   cooperatively: stored chunks are
+                                   kept, leases released, state
+                                   ``cancelled``; resubmission resumes
+hung/unreachable service           :class:`~repro.serve.client.ServeClient`
+                                   bounds every call with timeouts and
+                                   retries, then raises a typed
+                                   :class:`~repro.errors.ServeTimeoutError`
+=================================  =====================================
+
+The whole table is exercised, deterministically, by the seeded chaos
+harness (:mod:`repro.serve.chaos`): a :class:`~repro.serve.chaos.FaultPlan`
+compiled from a seed injects worker kills, torn writes, stale-claim
+squats, frozen heartbeats, slow workers, and coordinator crashes — and
+the surviving job's frames must still be bit-identical to ``run_sweep``.
+``python -m repro serve gc --store DIR`` reclaims unreferenced or aged
+objects (never under a live lease).
+
 ===========================================  ================================================
 in-process ``run_sweep``                     job lane (``python -m repro serve ...``)
 ===========================================  ================================================
@@ -213,6 +255,18 @@ seed: int / SeedSequence / Generator         int / SeedSequence only — the leg
 Submitting the same sweep twice is a no-op (jobs are content-addressed
 by what they compute); submitting an *overlapping* sweep computes each
 shared chunk once and reuses it from the store.
+
+Migration note — from ``run_sweep`` to multi-node: nothing in the sweep
+declaration changes.  Point every coordinator at the same store
+directory and run the same job from each —
+``JobRunner(store, workers=W, backend="worker-pool").run(job)`` — and
+the lease protocol partitions the chunks between them (each chunk is
+computed once, stragglers are adopted from the store).  Leases are an
+optimization, not a correctness requirement: object writes are atomic
+and idempotent, so the worst a lost lease costs is a duplicated chunk
+computation, never a wrong byte.  The default in-process pool
+(``backend="pool"``) remains for single-node runs; both backends sit
+behind the same :class:`~repro.serve.executor.Dispatcher` seam.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.

@@ -39,8 +39,8 @@ def _usage() -> str:
     return (f"usage: python -m repro <experiment> [options]\n"
             f"       python -m repro --list\n"
             f"       python -m repro bench [--label L] [--trials T]\n"
-            f"       python -m repro serve <serve|submit|status|watch|result>"
-            f" [options]\n"
+            f"       python -m repro serve "
+            f"<serve|submit|status|watch|result|cancel|gc> [options]\n"
             f"       python -m repro all [options] [<experiment>:<arg> ...]\n\n"
             f"experiments:\n  {names}\n  all\n\n"
             "common options: --ns N [N ...], --trials T, --seed S, "

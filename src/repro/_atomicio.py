@@ -12,6 +12,28 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from typing import Callable, Optional
+
+#: Fault-injection seam for the chaos harness (inert in production).
+#: When set, every :func:`atomic_write_bytes` consults the hook *before*
+#: writing; the hook may raise (simulating a writer killed mid-write —
+#: possibly after scribbling a torn file onto the final path itself, the
+#: way a non-atomic filesystem would) or return ``None`` to let the
+#: write proceed normally.
+_write_fault_hook: Optional[Callable[[str, bytes], None]] = None
+
+
+def set_write_fault_hook(hook: Optional[Callable[[str, bytes], None]]
+                         ) -> Optional[Callable[[str, bytes], None]]:
+    """Install (or clear, with ``None``) the write-fault hook.
+
+    Returns the previously installed hook so callers can restore it.
+    Test/chaos seam only — see :mod:`repro.serve.chaos`.
+    """
+    global _write_fault_hook
+    previous = _write_fault_hook
+    _write_fault_hook = hook
+    return previous
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:
@@ -22,6 +44,8 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     the rename means a crash cannot surface a zero-length or truncated
     file under the final name.
     """
+    if _write_fault_hook is not None:
+        _write_fault_hook(path, data)
     directory = os.path.dirname(path) or "."
     os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")

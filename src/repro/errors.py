@@ -71,3 +71,22 @@ class AggregationError(ReproError):
     configuration); the message names the offending trial spec so sweep
     users can locate the bad grid cell.
     """
+
+
+class ServeTimeoutError(ReproError):
+    """The sweep service did not answer within the client's deadline.
+
+    Raised by :class:`~repro.serve.client.ServeClient` after its bounded
+    retry schedule is exhausted on a connect or read timeout — a hung
+    server can no longer block ``watch``/``result`` forever.
+    """
+
+
+class JobCancelledError(ReproError):
+    """A job was cancelled and drained cooperatively.
+
+    The terminal ``cancelled`` state: the coordinator stopped
+    dispatching, harvested what was in flight, and kept every stored
+    chunk for dedup.  Resubmitting the job clears the cancellation and
+    resumes from the stored chunks.
+    """

@@ -6,24 +6,35 @@ The production lane over the same deterministic core as
 * :mod:`repro.serve.job` — :class:`SweepJob` compiles a sweep + root
   seed into a persisted, content-addressed job document split into
   chunk-granular work units; :class:`JobState` tracks lifecycle
-  (``queued``/``running``/``partial``/``done``/``failed``) and progress.
+  (``queued``/``running``/``partial``/``done``/``failed``/
+  ``cancelled``), progress, a bounded event ring, and per-chunk
+  :class:`RetryState` ledgers.
 * :mod:`repro.serve.store` — the content-addressed
   :class:`ResultStore`: chunk frames keyed by what they compute, atomic
-  writes, cross-job dedup, claim files for concurrent coordinators.
+  writes, cross-job dedup, time-bounded **leases** for concurrent
+  coordinators, and mark-and-sweep retention (:meth:`ResultStore.gc`).
 * :mod:`repro.serve.executor` — :class:`JobRunner` fans chunks across a
-  process pool, survives worker death by requeuing, survives
-  coordinator death by resuming from the store, and folds each finished
-  chunk into streaming per-cell aggregates (mean/CI queryable mid-run,
-  O(chunk) memory).
+  process pool (or the self-managed :class:`WorkerPoolDispatcher`),
+  renews chunk leases at half-life, requeues lost/timed-out chunks
+  under persisted retry budgets with seeded-jitter backoff, survives
+  coordinator death by resuming from the store, drains cooperatively on
+  :func:`request_cancel`, and folds each finished chunk into streaming
+  per-cell aggregates (mean/CI queryable mid-run, O(chunk) memory).
+* :mod:`repro.serve.chaos` — the seeded fault-injection harness:
+  :class:`~repro.serve.chaos.FaultPlan` /
+  :func:`~repro.serve.chaos.run_with_chaos` drive every failure seam
+  (worker kill, torn write, stale claim, frozen heartbeat, slow worker,
+  coordinator crash) deterministically.
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — a stdlib HTTP
-  job API (``python -m repro serve``) and its ``urllib`` client.
+  job API (``python -m repro serve``) and its ``urllib`` client with
+  bounded timeouts and retries.
 * :mod:`repro.serve.cli` — ``submit`` / ``status`` / ``watch`` /
-  ``result`` subcommands.
+  ``result`` / ``cancel`` / ``gc`` subcommands.
 
 The contract throughout: a job's frames are **bit-identical** to the
 in-process ``run_sweep`` of the same sweep and seed — same SeedBlock
 child identities, same cell-level engine resolution — no matter how the
-work was chunked, pooled, killed, or resumed.
+work was chunked, pooled, killed, timed out, cancelled, or resumed.
 """
 
 from repro.serve.job import (  # noqa: F401
@@ -31,10 +42,17 @@ from repro.serve.job import (  # noqa: F401
     ChunkTask,
     JobCell,
     JobState,
+    RetryState,
     SweepJob,
     effective_state,
 )
-from repro.serve.store import ResultStore, chunk_key  # noqa: F401
+from repro.serve.store import (  # noqa: F401
+    DEFAULT_LEASE_SECONDS,
+    GCReport,
+    ResultStore,
+    chunk_key,
+    process_start_marker,
+)
 from repro.serve.executor import (  # noqa: F401
     Dispatcher,
     InlineDispatcher,
@@ -42,15 +60,19 @@ from repro.serve.executor import (  # noqa: F401
     JobResult,
     JobRunner,
     PoolDispatcher,
+    WorkerPoolDispatcher,
     job_status,
     load_result,
+    request_cancel,
     verify_result,
 )
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_LEASE_SECONDS",
     "ChunkTask",
     "Dispatcher",
+    "GCReport",
     "InlineDispatcher",
     "JobCell",
     "JobFailedError",
@@ -59,10 +81,14 @@ __all__ = [
     "JobState",
     "PoolDispatcher",
     "ResultStore",
+    "RetryState",
     "SweepJob",
+    "WorkerPoolDispatcher",
     "chunk_key",
     "effective_state",
     "job_status",
     "load_result",
+    "process_start_marker",
+    "request_cancel",
     "verify_result",
 ]

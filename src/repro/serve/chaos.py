@@ -1,0 +1,463 @@
+"""Deterministic fault injection for the sweep service.
+
+The failure semantics of :mod:`repro.serve` — lease election, retry
+budgets, backoff, torn-write repair, cancellation, coordinator resume —
+are claims about *adversarial schedules*, and adversarial schedules are
+exactly what ad-hoc tests never reach.  This module makes the adversary
+a first-class, **seeded** object:
+
+* a :class:`FaultPlan` is a serializable list of
+  :class:`FaultInjection` records generated deterministically from a
+  seed (same seed, same plan, forever — the chaos suite is a property
+  grid, not a flake generator);
+* :func:`run_with_chaos` executes a job under the plan, injecting each
+  fault at its precise seam, resuming through coordinator deaths, and
+  returning the assembled result plus a ledger of what actually fired.
+
+The contract the chaos suite enforces (ISSUE 9's acceptance bar): for
+**any** plan, the job either completes with frames **bit-identical** to
+:func:`~repro.api.sweep.run_sweep` — torn bytes can never leak into a
+result because every read path validates — or surfaces a *typed*
+terminal state (:class:`~repro.serve.executor.JobFailedError` with the
+retry budget exhausted, :class:`~repro.errors.JobCancelledError` after a
+cancel).  No hangs, no silent data loss, no third outcome.
+
+Fault kinds and the seam each one drives:
+
+``kill_worker``
+    The dispatched future fails with ``BrokenProcessPool`` before the
+    chunk computes — a worker SIGKILLed mid-chunk.  Exercises requeue,
+    the persisted :class:`~repro.serve.job.RetryState` budget, and the
+    seeded-jitter backoff schedule.
+``torn_write``
+    The chunk's object write dies mid-rename, leaving truncated or
+    bit-flipped bytes *under the final name* (the way a non-atomic
+    foreign writer or bit rot would; injected through
+    :func:`repro._atomicio.set_write_fault_hook`).  Exercises
+    corruption-is-a-miss on every read path and
+    :meth:`~repro.serve.store.ResultStore.put`'s repair-by-overwrite.
+``stale_claim``
+    A forged lease squats the chunk *before* the run: a dead pid with a
+    future deadline, a live pid with an expired deadline, or a live pid
+    with a wrong process-start marker (the pid-reuse hazard).  The
+    coordinator must break all three and elect itself.
+``frozen_heartbeat``
+    The coordinator's lease renewals for the chunk are suppressed (the
+    ``renew_filter`` seam) while the chunk runs past its lease
+    half-life.  Exercises lease loss detection (``lease_lost`` event)
+    and the idempotent-write guarantee that makes losing a lease
+    harmless.
+``slow_worker``
+    The chunk stalls past the lease deadline (and past ``chunk_timeout``
+    when one is set).  Exercises timeout → requeue, and the stale-lease
+    re-election a second coordinator would perform.
+``coordinator_crash``
+    The coordinator dies *between* the chunk's store write and the
+    acknowledging state save (raised out of the ``on_event`` hook as
+    :class:`CoordinatorCrash`).  Exercises the resume path: the next
+    run must adopt the stored-but-unacknowledged chunk and fold it
+    exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import concurrent.futures
+
+from repro._atomicio import set_write_fault_hook
+from repro.errors import ConfigurationError
+from repro.serve.executor import (
+    Dispatcher,
+    JobResult,
+    JobRunner,
+    run_chunk_task,
+)
+from repro.serve.job import SweepJob
+from repro.serve.store import ResultStore
+
+#: Every injectable fault kind, in the canonical order.
+FAULT_KINDS = (
+    "kill_worker",
+    "torn_write",
+    "stale_claim",
+    "frozen_heartbeat",
+    "slow_worker",
+    "coordinator_crash",
+)
+
+#: Kinds that charge the target chunk's persisted retry budget.  A
+#: generated plan keeps the per-chunk total strictly below
+#: ``JobRunner.MAX_CHUNK_RETRIES`` so that *generated* plans are always
+#: recoverable; hand-built plans may exceed it to drive the typed
+#: ``failed`` terminal state.
+_CHARGING_KINDS = ("kill_worker", "torn_write", "slow_worker")
+
+_STALE_VARIANTS = ("dead_pid", "expired", "pid_reuse")
+_TORN_VARIANTS = ("truncated", "bit_flipped")
+
+
+class CoordinatorCrash(KeyboardInterrupt):
+    """An injected coordinator death (between chunk store and ack).
+
+    Subclasses ``KeyboardInterrupt`` deliberately: it must take the
+    same escape path through :meth:`JobRunner.run` that a real SIGINT/
+    SIGKILL takes — the resumable one, never the ``failed`` one.
+    """
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One fault: a kind, the chunk ordinal it targets, and a variant."""
+
+    kind: str
+    chunk: int
+    variant: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "chunk": self.chunk,
+                "variant": self.variant}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultInjection":
+        return cls(kind=str(data["kind"]), chunk=int(data["chunk"]),
+                   variant=data.get("variant"))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of faults for one job run.
+
+    ``generate`` is a pure function of ``(seed, chunk_count, kinds)``:
+    the chaos suite's property grid iterates seeds, and any failure
+    reproduces from its seed alone.  Round-trips through JSON so a CI
+    failure artifact can carry the exact plan that broke.
+    """
+
+    seed: int
+    faults: Tuple[FaultInjection, ...] = ()
+
+    @classmethod
+    def generate(cls, seed: int, chunk_count: int,
+                 kinds: Tuple[str, ...] = FAULT_KINDS,
+                 max_faults: int = 4) -> "FaultPlan":
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(f"unknown fault kind {kind!r}")
+        if chunk_count <= 0:
+            raise ConfigurationError("chunk_count must be >= 1")
+        rng = random.Random(f"repro-chaos:{seed}")
+        count = rng.randint(1, max(1, max_faults))
+        charged: Dict[int, int] = {}
+        faults: List[FaultInjection] = []
+        for _ in range(count):
+            kind = kinds[rng.randrange(len(kinds))]
+            chunk = rng.randrange(chunk_count)
+            if kind in _CHARGING_KINDS:
+                budget = charged.get(chunk, 0)
+                if budget >= JobRunner.MAX_CHUNK_RETRIES - 1:
+                    continue  # keep generated plans recoverable
+                charged[chunk] = budget + 1
+            variant = None
+            if kind == "stale_claim":
+                variant = _STALE_VARIANTS[rng.randrange(
+                    len(_STALE_VARIANTS))]
+            elif kind == "torn_write":
+                variant = _TORN_VARIANTS[rng.randrange(len(_TORN_VARIANTS))]
+            faults.append(FaultInjection(kind=kind, chunk=chunk,
+                                         variant=variant))
+        return cls(seed=seed, faults=tuple(faults))
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed,
+                "faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(seed=int(data["seed"]),
+                   faults=tuple(FaultInjection.from_dict(f)
+                                for f in data["faults"]))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(blob))
+
+
+class ThreadDispatcher(Dispatcher):
+    """Runs chunks in coordinator-process threads.
+
+    The chaos harness's backend of choice: faults are injected as
+    exceptions and hooks (no real SIGKILL needed), the
+    ``_atomicio`` write-fault hook is visible to the "workers" (same
+    process), and slow/frozen chunks genuinely overlap the
+    coordinator's renew/timeout passes — while results stay exact,
+    because chunk computation is pure and chunk storage idempotent.
+    """
+
+    def __init__(self, workers: int = 2,
+                 chunk_fn: Callable[[Dict], Dict] = run_chunk_task) -> None:
+        self.workers = max(1, int(workers))
+        self.chunk_fn = chunk_fn
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = \
+            None
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        if self._executor is None:
+            self._executor = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers)
+        return self._executor.submit(self.chunk_fn, payload)
+
+    def restart(self) -> None:
+        # Threads cannot be terminated; stragglers run to completion and
+        # their (idempotent) store writes land harmlessly.  Dropping the
+        # executor reference is enough to stop waiting on them.
+        self._executor = None
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ChaosDispatcher(Dispatcher):
+    """Wraps a dispatcher, injecting the plan's submit-time faults.
+
+    ``kill_worker`` targets fail (once each) with ``BrokenProcessPool``
+    before the chunk runs; ``slow_worker`` and ``frozen_heartbeat``
+    targets are delayed past the lease deadline / half-life before
+    computing (once each: a *requeued* chunk runs at normal speed, so a
+    timeout-requeue never cascades into budget exhaustion).  Everything
+    else passes straight through.
+    """
+
+    def __init__(self, inner: Dispatcher, kills: Dict[str, int],
+                 delays: Dict[str, float],
+                 fired: Optional[List[Dict]] = None) -> None:
+        self.inner = inner
+        # shared by reference: un-fired kills survive coordinator resumes
+        self._kills = kills              # key -> remaining injected deaths
+        self._delays = dict(delays)      # key -> seconds of stall
+        self._lock = threading.Lock()
+        self.fired = fired if fired is not None else []
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        key = payload["key"]
+        with self._lock:
+            remaining = self._kills.get(key, 0)
+            if remaining > 0:
+                self._kills[key] = remaining - 1
+                self.fired.append({"kind": "kill_worker", "key": key})
+                future: concurrent.futures.Future = \
+                    concurrent.futures.Future()
+                future.set_exception(BrokenProcessPool(
+                    "chaos: worker killed mid-chunk"))
+                return future
+            delay = self._delays.pop(key, 0.0)
+        if delay > 0.0:
+            original = payload
+            inner_fn = getattr(self.inner, "chunk_fn", run_chunk_task)
+
+            def stalled(_payload=original, _delay=delay,
+                        _fn=inner_fn) -> Dict:
+                time.sleep(_delay)
+                return _fn(_payload)
+
+            return self._submit_fn(stalled)
+        return self.inner.submit(payload)
+
+    def _submit_fn(self, fn: Callable[[], Dict]
+                   ) -> "concurrent.futures.Future":
+        if isinstance(self.inner, ThreadDispatcher):
+            if self.inner._executor is None:
+                self.inner._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.inner.workers)
+            return self.inner._executor.submit(fn)
+        # non-thread inner: run the stall inline (still correct, just
+        # serial)
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(fn())
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            future.set_exception(exc)
+        return future
+
+    def restart(self) -> None:
+        self.inner.restart()
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+
+class _TornWriteHook:
+    """One-shot torn-write injector for targeted object paths.
+
+    Installed through :func:`repro._atomicio.set_write_fault_hook`.
+    When an armed chunk's object write comes through, it scribbles
+    corrupted bytes **onto the final path** (truncated or bit-flipped —
+    what a non-atomic writer killed mid-write leaves behind) and raises
+    ``BrokenProcessPool`` so the chunk reads as a lost worker.  The
+    retry must then treat the corrupt object as a miss, recompute, and
+    repair it by overwrite.
+    """
+
+    def __init__(self, targets: Dict[str, str],
+                 fired: Optional[List[Dict]] = None) -> None:
+        self._targets = dict(targets)   # final object path -> variant
+        self._lock = threading.Lock()
+        self.fired = fired if fired is not None else []
+
+    def __call__(self, path: str, data: bytes) -> None:
+        with self._lock:
+            variant = self._targets.pop(path, None)
+        if variant is None:
+            return
+        if variant == "bit_flipped" and len(data) > 8:
+            torn = bytearray(data)
+            torn[len(torn) // 2] ^= 0xFF
+            blob = bytes(torn)
+        else:
+            blob = data[:max(1, len(data) // 3)]
+        import os
+
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        self.fired.append({"kind": "torn_write", "path": path,
+                           "variant": variant})
+        raise BrokenProcessPool("chaos: writer killed mid-write")
+
+
+def _forge_stale_claim(store: ResultStore, key: str, variant: str) -> None:
+    """Plant a lease file that must read as stale and be broken."""
+    import os
+
+    path = store.lock_path(key)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    now = time.time()
+    if variant == "dead_pid":
+        lease = {"owner": "chaos-ghost", "token": "0" * 32,
+                 "deadline": now + 3600, "pid": 2 ** 22 + 54321,
+                 "start": "1"}
+    elif variant == "expired":
+        lease = {"owner": "chaos-expired", "token": "0" * 32,
+                 "deadline": now - 1.0, "pid": os.getpid(),
+                 "start": None}
+    else:  # pid_reuse: live pid, wrong incarnation marker
+        lease = {"owner": "chaos-recycled", "token": "0" * 32,
+                 "deadline": now + 3600, "pid": os.getpid(),
+                 "start": "chaos-not-this-incarnation"}
+    with open(path, "w") as handle:
+        json.dump(lease, handle)
+
+
+@dataclass
+class ChaosOutcome:
+    """What a chaos run did: the result plus the fault ledger."""
+
+    result: JobResult
+    fired: List[Dict] = field(default_factory=list)
+    resumes: int = 0
+    plan: Optional[FaultPlan] = None
+
+
+def run_with_chaos(store: ResultStore, job: SweepJob, plan: FaultPlan,
+                   workers: int = 2, lease_seconds: float = 0.4,
+                   chunk_timeout: Optional[float] = None,
+                   chunk_fn: Callable[[Dict], Dict] = run_chunk_task,
+                   max_resumes: Optional[int] = None) -> ChaosOutcome:
+    """Run ``job`` under ``plan``, resuming through coordinator deaths.
+
+    Returns a :class:`ChaosOutcome` whose ``result`` frames are — by
+    the store's construction — bit-identical to what ``run_sweep``
+    computes for the same sweep and seed, whatever the plan did.  A
+    plan that legitimately exhausts a chunk's retry budget raises
+    :class:`~repro.serve.executor.JobFailedError`; a plan is never
+    allowed to hang (coordinator resumes are bounded by
+    ``max_resumes``, default ``#crash faults + 2``).
+    """
+    chunks = job.chunks()
+    fired: List[Dict] = []
+    kills: Dict[str, int] = {}
+    delays: Dict[str, float] = {}
+    torn_paths: Dict[str, str] = {}
+    frozen_keys = set()
+    crash_targets = set()   # (cell_index, start) pairs, one-shot
+    stall = max(lease_seconds * 1.5, 0.05)
+    half_life_stall = max(lease_seconds * 0.75, 0.05)
+    for fault in plan.faults:
+        task = chunks[fault.chunk % len(chunks)]
+        if fault.kind == "kill_worker":
+            kills[task.key] = kills.get(task.key, 0) + 1
+        elif fault.kind == "torn_write":
+            torn_paths[store.object_path(task.key)] = \
+                fault.variant or "truncated"
+        elif fault.kind == "stale_claim":
+            variant = fault.variant or "dead_pid"
+            _forge_stale_claim(store, task.key, variant)
+            fired.append({"kind": "stale_claim", "key": task.key,
+                          "variant": variant})
+        elif fault.kind == "frozen_heartbeat":
+            frozen_keys.add(task.key)
+            delays[task.key] = max(delays.get(task.key, 0.0),
+                                   half_life_stall)
+            fired.append({"kind": "frozen_heartbeat", "key": task.key})
+        elif fault.kind == "slow_worker":
+            delays[task.key] = max(delays.get(task.key, 0.0), stall)
+            fired.append({"kind": "slow_worker", "key": task.key})
+        elif fault.kind == "coordinator_crash":
+            crash_targets.add((task.cell_index, task.start))
+        else:
+            raise ConfigurationError(f"unknown fault kind {fault.kind!r}")
+
+    crash_budget = sum(1 for f in plan.faults
+                       if f.kind == "coordinator_crash")
+    if max_resumes is None:
+        max_resumes = crash_budget + 2
+
+    def on_event(event: Dict) -> None:
+        if event.get("type") != "chunk":
+            return
+        target = (event.get("cell"), event.get("start"))
+        if target in crash_targets:
+            crash_targets.discard(target)
+            fired.append({"kind": "coordinator_crash", "cell": target[0],
+                          "start": target[1]})
+            raise CoordinatorCrash(
+                "chaos: coordinator died between store and ack")
+
+    def renew_filter(key: str) -> bool:
+        return key not in frozen_keys
+
+    hook = _TornWriteHook(torn_paths, fired=fired)
+    previous_hook = set_write_fault_hook(hook)
+    resumes = 0
+    try:
+        while True:
+            dispatcher = ChaosDispatcher(
+                ThreadDispatcher(workers=workers, chunk_fn=chunk_fn),
+                kills=kills, delays=delays, fired=fired)
+            runner = JobRunner(store, dispatcher=dispatcher,
+                               on_event=on_event,
+                               lease_seconds=lease_seconds,
+                               chunk_timeout=chunk_timeout,
+                               renew_filter=renew_filter)
+            try:
+                result = runner.run(job)
+            except CoordinatorCrash:
+                resumes += 1
+                if resumes > max_resumes:
+                    raise
+                continue
+            return ChaosOutcome(result=result, fired=fired,
+                                resumes=resumes, plan=plan)
+    finally:
+        set_write_fault_hook(previous_hook)

@@ -15,6 +15,15 @@ Subcommands (dispatched from :mod:`repro.__main__`):
 * ``result``  — fetch the finished frames and print per-cell summary
   rows; ``--check-local`` recomputes every cell in process and verifies
   the stored frames are bit-identical.
+* ``cancel``  — request a cooperative cancel: the coordinator stops
+  dispatching, drains in-flight chunks, and parks the job in the
+  terminal ``cancelled`` state (stored chunks are kept for dedup;
+  resubmitting the job resumes it).
+* ``gc``      — mark-and-sweep retention over the store: deletes
+  unreferenced (and optionally old / size-pressure) chunk objects,
+  stale lease files, and orphaned temp files; ``--dry-run`` reports
+  without deleting.  Local mode only (retention is an operator action
+  on the store, not a job-API verb).
 
 Every subcommand accepts ``--store DIR`` (local mode) or ``--url URL``
 (remote mode); output is line-oriented text by default, ``--json`` where
@@ -86,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("--check-local", action="store_true",
                         help="recompute every cell in process and verify "
                              "the stored frames are bit-identical")
+
+    cancel = sub.add_parser("cancel", help="cooperatively cancel a job")
+    _add_endpoint_args(cancel)
+    cancel.add_argument("job_id")
+    cancel.add_argument("--reason", default=None)
+    cancel.add_argument("--json", action="store_true")
+
+    gc = sub.add_parser("gc", help="mark-and-sweep store retention")
+    gc.add_argument("--store", required=True, metavar="DIR")
+    gc.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                    help="only delete unreferenced objects older than this")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="evict oldest objects until the store fits")
+    gc.add_argument("--dry-run", action="store_true")
+    gc.add_argument("--json", action="store_true")
     return parser
 
 
@@ -101,6 +125,7 @@ class _LocalEndpoint:
         self.workers = workers
 
     def submit(self, body: dict) -> dict:
+        from repro.errors import JobCancelledError
         from repro.serve.executor import JobRunner
         from repro.serve.job import JobState, effective_state
         from repro.serve.server import job_from_submission
@@ -108,7 +133,10 @@ class _LocalEndpoint:
         job.save(self.store)
         state = effective_state(JobState.load(self.store, job.job_id))
         if state != "done":
-            JobRunner(self.store, workers=self.workers).run(job)
+            try:
+                JobRunner(self.store, workers=self.workers).run(job)
+            except JobCancelledError:
+                pass  # a terminal-but-deliberate outcome, not an error
         return {"job_id": job.job_id, "accepted": state != "done",
                 "state": effective_state(
                     JobState.load(self.store, job.job_id))}
@@ -137,6 +165,12 @@ class _LocalEndpoint:
     def verify(self, job_id: str) -> bool:
         from repro.serve.executor import load_result, verify_result
         return verify_result(load_result(self.store, job_id))
+
+    def cancel(self, job_id: str, reason: Optional[str] = None) -> dict:
+        from repro.serve.executor import request_cancel
+        from repro.serve.job import SweepJob
+        SweepJob.load(self.store, job_id)  # KeyError for unknown jobs
+        return request_cancel(self.store, job_id, reason=reason)
 
 
 def _endpoint(args):
@@ -221,6 +255,34 @@ def _cmd_watch(args) -> int:
     return 0 if status.get("state") == "done" else 1
 
 
+def _cmd_cancel(args) -> int:
+    status = _endpoint(args).cancel(args.job_id, reason=args.reason)
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        print(f"job {args.job_id}: state {status.get('state')}")
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    from repro.serve.store import ResultStore
+    report = ResultStore(args.store).gc(max_age_seconds=args.max_age,
+                                        max_bytes=args.max_bytes,
+                                        dry_run=args.dry_run)
+    doc = report.to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"gc: examined {doc['examined']} objects "
+              f"({doc['referenced']} referenced), {verb} {doc['deleted']} "
+              f"({doc['bytes_freed']:,} bytes), kept {doc['kept_young']} "
+              f"young + {doc['kept_leased']} leased, swept "
+              f"{doc['locks_removed']} stale locks and "
+              f"{doc['tmp_removed']} temp files")
+    return 0
+
+
 def _cmd_result(args) -> int:
     endpoint = _endpoint(args)
     cells = endpoint.result_frames(args.job_id)
@@ -260,7 +322,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return serve_forever(args.store, host=args.host, port=args.port,
                                  workers=args.workers)
         handler = {"submit": _cmd_submit, "status": _cmd_status,
-                   "watch": _cmd_watch, "result": _cmd_result}[args.command]
+                   "watch": _cmd_watch, "result": _cmd_result,
+                   "cancel": _cmd_cancel, "gc": _cmd_gc}[args.command]
         return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

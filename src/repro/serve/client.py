@@ -1,23 +1,33 @@
 """A stdlib HTTP client for the sweep service.
 
 :class:`ServeClient` wraps the job API with the same vocabulary as the
-CLI (``submit`` / ``status`` / ``watch`` / ``result``), using only
-``urllib`` — no client-side dependencies.  ``result`` reassembles
-per-cell :class:`~repro.sim.frame.ResultFrame` objects by fetching each
-chunk from the object endpoint and concatenating in grid order, so the
-frames a remote client receives are byte-identical to what
-:func:`~repro.api.sweep.run_sweep` computes in process.
+CLI (``submit`` / ``status`` / ``watch`` / ``result`` / ``cancel``),
+using only ``urllib`` — no client-side dependencies.  ``result``
+reassembles per-cell :class:`~repro.sim.frame.ResultFrame` objects by
+fetching each chunk from the object endpoint and concatenating in grid
+order, so the frames a remote client receives are byte-identical to
+what :func:`~repro.api.sweep.run_sweep` computes in process.
+
+Every call carries a connect/read deadline and a bounded
+exponential-backoff retry schedule: a hung or briefly unreachable
+server costs ``timeout * (retries + 1)`` plus backoff at most, then
+surfaces as a typed :class:`~repro.errors.ServeTimeoutError` (timeouts)
+or :class:`ServeError` (refusals) — never an indefinite block.
+Retrying is safe across the whole API because the service is
+idempotent by construction: submissions dedup on content id, cancels
+of a terminal job no-op, and reads are reads.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ServeTimeoutError
 from repro.sim.frame import ResultFrame
 
 
@@ -26,37 +36,67 @@ class ServeError(ReproError):
 
 
 class ServeClient:
-    """Talks to a ``python -m repro serve`` endpoint."""
+    """Talks to a ``python -m repro serve`` endpoint.
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    ``timeout`` bounds each attempt's connect+read; ``retries`` extra
+    attempts are made on timeouts and connection failures (never on an
+    HTTP error response — the server answered), with exponential
+    backoff ``backoff * 2**attempt`` between attempts.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 retries: int = 2, backoff: float = 0.25) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
 
     # -- transport ---------------------------------------------------------
 
     def _request(self, path: str, body: Optional[Dict] = None) -> bytes:
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            self.url + path, data=data,
-            headers={"Content-Type": "application/json"} if body is not None
-            else {})
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            detail = exc.read().decode(errors="replace")
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2.0 ** (attempt - 1)))
+            request = urllib.request.Request(
+                self.url + path, data=data,
+                headers={"Content-Type": "application/json"}
+                if body is not None else {})
             try:
-                detail = json.loads(detail).get("error", detail)
-            except ValueError:
-                pass
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                # the server answered: a definitive outcome, no retry
+                detail = exc.read().decode(errors="replace")
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                raise ServeError(
+                    f"{request.get_method()} {path} -> {exc.code}: {detail}"
+                ) from exc
+            except urllib.error.URLError as exc:
+                last = exc
+                if isinstance(exc.reason, (socket.timeout, TimeoutError,
+                                           OSError)):
+                    continue  # deadline/refused/reset: retry with backoff
+                raise ServeError(
+                    f"cannot reach sweep service at {self.url}: "
+                    f"{exc.reason}") from exc
+            except (socket.timeout, TimeoutError) as exc:
+                last = exc  # a read() that timed out mid-body
+                continue
+        if isinstance(last, urllib.error.URLError) and not isinstance(
+                getattr(last, "reason", None), (socket.timeout,
+                                                TimeoutError)):
             raise ServeError(
-                f"{request.get_method()} {path} -> {exc.code}: {detail}"
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServeError(
-                f"cannot reach sweep service at {self.url}: "
-                f"{exc.reason}") from exc
+                f"cannot reach sweep service at {self.url} after "
+                f"{self.retries + 1} attempts: {last.reason}") from last
+        raise ServeTimeoutError(
+            f"sweep service at {self.url} did not answer {path} within "
+            f"{self.timeout:.0f}s x {self.retries + 1} attempts") from last
 
     def _json(self, path: str, body: Optional[Dict] = None) -> Dict:
         return json.loads(self._request(path, body))
@@ -89,22 +129,28 @@ class ServeClient:
     def object_bytes(self, key: str) -> bytes:
         return self._request(f"/objects/{key}")
 
+    def cancel(self, job_id: str, reason: Optional[str] = None) -> Dict:
+        """Request a cooperative cancel; returns the status document."""
+        return self._json(f"/jobs/{job_id}/cancel",
+                          body={"reason": reason})
+
     # -- conveniences ------------------------------------------------------
 
     def watch(self, job_id: str, interval: float = 0.5,
               timeout: Optional[float] = None) -> Iterator[Dict]:
         """Yield status documents until the job reaches a terminal state.
 
-        Terminal means ``done``/``failed``/``partial`` (a ``partial``
-        job will not progress until someone resubmits it).  Raises
-        :class:`ServeError` on ``timeout`` (seconds, ``None`` = wait
-        forever).
+        Terminal means ``done``/``failed``/``cancelled``/``partial``
+        (neither a ``partial`` nor a ``cancelled`` job progresses until
+        someone resubmits it).  Raises :class:`ServeError` on
+        ``timeout`` (seconds, ``None`` = wait forever).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             status = self.status(job_id)
             yield status
-            if status.get("state") in ("done", "failed", "partial"):
+            if status.get("state") in ("done", "failed", "partial",
+                                       "cancelled"):
                 return
             if deadline is not None and time.monotonic() > deadline:
                 raise ServeError(

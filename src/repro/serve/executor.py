@@ -1,57 +1,76 @@
-"""Sharded, resumable execution of sweep jobs over the result store.
+"""Sharded, resumable, lease-coordinated execution of sweep jobs.
 
 The executor turns a :class:`~repro.serve.job.SweepJob` into chunk-
-granular work units and drives them to completion with three
-properties the in-process :func:`~repro.api.sweep.run_sweep` loop does
-not have:
+granular work units and drives them to completion with properties the
+in-process :func:`~repro.api.sweep.run_sweep` loop does not have:
 
 * **Sharding with a pluggable dispatch seam.**  Chunks fan out across a
   :class:`PoolDispatcher` (a ``concurrent.futures`` process pool) by
-  default; anything implementing the two-method :class:`Dispatcher`
-  surface (``submit``/``restart``) can stand in — the seam a future
-  multi-node dispatcher plugs into, and the one the tests use to
-  count/instrument chunk execution.
+  default, or a :class:`WorkerPoolDispatcher` (its own worker
+  processes, with explicit liveness monitoring and a restart that
+  *terminates* stragglers — the backend that makes per-chunk timeouts
+  enforceable); anything implementing the two-method
+  :class:`Dispatcher` surface (``submit``/``restart``) can stand in.
+* **Lease-based multi-coordinator coordination.**  Every in-flight
+  chunk is covered by a time-bounded lease in the store
+  (:meth:`~repro.serve.store.ResultStore.claim`), renewed by the
+  coordinator at half-life (heartbeat).  Any number of coordinators —
+  threads, processes, hosts sharing the store — may run the same or
+  overlapping jobs: live leases arbitrate who computes each chunk,
+  expired leases (frozen coordinator, SIGKILL, pid reuse) are
+  re-elected by whoever notices first, and the content-addressed,
+  idempotent object writes make even a double-compute harmless.
 * **Crash survival at every level.**  A finished chunk is atomically in
-  the content-addressed store before it is acknowledged, so a SIGKILLed
-  *worker* costs one in-flight chunk (detected as a broken pool,
-  requeued, pool restarted), and a SIGKILLed *coordinator* costs only
-  the chunks in flight at death — a resume replans, sees the stored
-  chunks, and computes the remainder.  Results are bit-identical either
-  way, because chunk identity (spec, engine, absolute seed offset) is
-  position-independent.
+  the store before it is acknowledged, so a SIGKILLed *worker* costs
+  one in-flight chunk (detected, requeued under a persisted
+  :class:`~repro.serve.job.RetryState` with seeded-jitter exponential
+  backoff), a *stuck* worker is bounded by ``chunk_timeout``, and a
+  SIGKILLed *coordinator* costs only the chunks in flight at death — a
+  resume replans, sees the stored chunks, and computes the remainder.
+  Results are bit-identical either way, because chunk identity (spec,
+  engine, absolute seed offset) is position-independent.
+* **Cooperative cancellation.**  ``request_cancel`` drops a marker in
+  the job directory; the live coordinator notices between chunks,
+  stops dispatching, harvests what is in flight (stored chunks are
+  *kept* — they dedup into any future job), and parks the job in the
+  terminal ``cancelled`` state.  Resubmitting clears the cancellation
+  and resumes from the stored chunks.
 * **Streaming aggregation.**  Workers return each chunk's columnar
   summary (:class:`~repro.analysis.aggregate.RunningCellAggregate`
   sufficient statistics), the coordinator merges them per cell and
   persists the running tables with the job state — so a million-trial
   cell is queryable mid-run while the coordinator holds O(chunk) rows.
 
-Cross-job dedup: before computing a chunk the coordinator checks the
-store (another job may have produced it) and takes a *claim* on it;
-chunks claimed by a live foreign process are deferred and re-checked, so
-two concurrent jobs with overlapping grids compute each shared chunk
-exactly once.
-
-Chaos-test seams (used by the kill/resume tests, inert when unset):
+Chaos-test seams (used by the kill/resume tests and by
+:mod:`repro.serve.chaos`, inert when unset):
 ``REPRO_SERVE_TEST_KILL_ONCE=<marker>`` makes a worker SIGKILL itself
 before its first chunk (creating ``<marker>`` so it only dies once);
-``REPRO_SERVE_TEST_CHUNK_DELAY=<seconds>`` sleeps before each chunk.
+``REPRO_SERVE_TEST_CHUNK_DELAY=<seconds>`` sleeps before each chunk;
+``JobRunner(renew_filter=...)`` lets the chaos harness freeze
+heartbeats for selected chunks.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
+import queue as queue_module
+import secrets
 import signal
+import socket
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
+from repro._atomicio import atomic_write_json
 from repro._seedhash import SeedBlock
 from repro.analysis.aggregate import RunningCellAggregate
 from repro.api.compile import run_trials_frame
 from repro.api.spec import TrialSpec
-from repro.errors import ReproError
+from repro.errors import JobCancelledError, ReproError
 from repro.sim.frame import ResultFrame
 from repro.serve.job import (
     ChunkTask,
@@ -59,11 +78,19 @@ from repro.serve.job import (
     SweepJob,
     effective_state,
 )
-from repro.serve.store import ResultStore
+from repro.serve.store import (
+    DEFAULT_LEASE_SECONDS,
+    ResultStore,
+    process_start_marker,
+)
 
 
 class JobFailedError(ReproError):
     """A job ended in the ``failed`` state (error recorded on the state)."""
+
+
+class RemoteChunkError(ReproError):
+    """A worker-side chunk exception, reconstructed on the coordinator."""
 
 
 def _test_seams() -> None:
@@ -91,7 +118,9 @@ def run_chunk_task(payload: Dict) -> Dict:
     :func:`~repro.api.compile.run_trials_frame` on the cell-resolved
     engine, writes the frame atomically into the store, and returns the
     chunk's streaming-aggregate summary — the frame itself never crosses
-    the pipe.
+    the pipe.  A stored-but-*torn* object reads as a miss here
+    (``store.get`` validates), so a truncated or bit-flipped file is
+    recomputed and repaired, never adopted.
     """
     _test_seams()
     started = time.perf_counter()
@@ -134,9 +163,10 @@ class Dispatcher:
     """The dispatch seam: something that runs chunk payloads.
 
     ``submit`` returns a ``concurrent.futures.Future``; ``restart`` is
-    called after a broken-pool event and must leave the dispatcher
-    usable again.  A multi-node dispatcher (or an instrumented test
-    double) implements these two methods.
+    called after a broken-pool event or a chunk timeout and must leave
+    the dispatcher usable again.  A multi-node dispatcher (or an
+    instrumented test double, or the chaos harness's fault injector)
+    implements these methods.
     """
 
     def submit(self, payload: Dict) -> "concurrent.futures.Future":
@@ -209,6 +239,159 @@ class PoolDispatcher(Dispatcher):
             self._executor = None
 
 
+def _worker_pool_main(task_queue, result_queue, chunk_fn) -> None:
+    """Worker-process loop of :class:`WorkerPoolDispatcher`."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        task_id, payload = item
+        try:
+            result_queue.put((task_id, True, chunk_fn(payload)))
+        except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+            result_queue.put(
+                (task_id, False, f"{type(exc).__name__}: {exc}"))
+
+
+class WorkerPoolDispatcher(Dispatcher):
+    """A self-managed multiprocessing worker pool with kill-aware restart.
+
+    The multi-node-shaped backend behind the :class:`Dispatcher` seam:
+    its own worker processes fed from a task queue, completions drained
+    by a daemon thread, and *explicit* liveness monitoring — a
+    SIGKILLed worker fails every outstanding future with
+    ``BrokenProcessPool`` (the job runner's requeue signal) instead of
+    hanging, and :meth:`restart` **terminates** straggler processes,
+    which is what lets the runner actually enforce a per-chunk timeout
+    on a wedged worker (a ``ProcessPoolExecutor`` can only abandon
+    them).  One such dispatcher per coordinator; any number of
+    coordinators cooperate through the store's chunk leases.
+    """
+
+    #: Seconds between liveness sweeps of the worker processes.
+    MONITOR_INTERVAL = 0.1
+
+    def __init__(self, workers: int,
+                 chunk_fn: Callable[[Dict], Dict] = run_chunk_task) -> None:
+        self.workers = max(1, int(workers))
+        self.chunk_fn = chunk_fn
+        self._lock = threading.Lock()
+        self._procs: List = []
+        self._task_queue = None
+        self._result_queue = None
+        self._drainer: Optional[threading.Thread] = None
+        self._futures: Dict[int, concurrent.futures.Future] = {}
+        self._counter = 0
+        self._generation = 0
+        self._broken = False
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _context(self):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0])
+
+    def _ensure(self) -> None:
+        if self._procs:
+            return
+        ctx = self._context()
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        self._broken = False
+        self._procs = []
+        for _ in range(self.workers):
+            proc = ctx.Process(
+                target=_worker_pool_main,
+                args=(self._task_queue, self._result_queue, self.chunk_fn),
+                daemon=True)
+            proc.start()
+            self._procs.append(proc)
+        generation = self._generation
+        self._drainer = threading.Thread(
+            target=self._drain_loop,
+            args=(generation, self._result_queue), daemon=True)
+        self._drainer.start()
+
+    def _drain_loop(self, generation: int, result_queue) -> None:
+        while True:
+            with self._lock:
+                if generation != self._generation:
+                    return
+            try:
+                item = result_queue.get(timeout=self.MONITOR_INTERVAL)
+            except queue_module.Empty:
+                self._monitor(generation)
+                continue
+            task_id, ok, payload = item
+            with self._lock:
+                if generation != self._generation:
+                    return
+                future = self._futures.pop(task_id, None)
+            if future is None or future.cancelled():
+                continue
+            if ok:
+                future.set_result(payload)
+            else:
+                future.set_exception(RemoteChunkError(payload))
+
+    def _monitor(self, generation: int) -> None:
+        """Fail outstanding futures when a worker has died (SIGKILL/OOM)."""
+        with self._lock:
+            if generation != self._generation or self._broken:
+                return
+            if all(proc.is_alive() for proc in self._procs):
+                return
+            self._broken = True
+            outstanding = list(self._futures.values())
+            self._futures.clear()
+        for future in outstanding:
+            if not future.done():
+                future.set_exception(
+                    BrokenProcessPool("a worker process died unexpectedly"))
+
+    # -- Dispatcher surface ------------------------------------------------
+
+    def submit(self, payload: Dict) -> "concurrent.futures.Future":
+        with self._lock:
+            if self._broken:
+                raise BrokenProcessPool(
+                    "worker pool is broken; restart() it first")
+        self._ensure()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            task_id = self._counter
+            self._counter += 1
+            self._futures[task_id] = future
+        self._task_queue.put((task_id, payload))
+        return future
+
+    def restart(self) -> None:
+        self._teardown()
+
+    def shutdown(self) -> None:
+        self._teardown()
+
+    def _teardown(self) -> None:
+        with self._lock:
+            self._generation += 1
+            procs, self._procs = self._procs, []
+            outstanding = list(self._futures.values())
+            self._futures.clear()
+            self._broken = False
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=2.0)
+        for future in outstanding:
+            if not future.done():
+                future.set_exception(
+                    BrokenProcessPool("worker pool torn down"))
+
+
 @dataclass
 class JobResult:
     """An assembled job: one frame per cell, in grid order."""
@@ -231,32 +414,137 @@ class JobResult:
         return matches[0]
 
 
+def cancel_marker_path(store: ResultStore, job_id: str) -> str:
+    return os.path.join(store.job_dir(job_id), "cancel.json")
+
+
+def request_cancel(store: ResultStore, job_id: str,
+                   reason: Optional[str] = None) -> Dict:
+    """Ask a job to cancel (cooperative drain; stored chunks are kept).
+
+    Drops an atomic marker in the job directory.  A *live* coordinator
+    notices it between chunks, drains, and parks the job in the
+    terminal ``cancelled`` state; when no coordinator is alive (queued
+    or partial job) the state is finalized immediately.  Terminal jobs
+    (``done``/``failed``/``cancelled``) are left untouched.  Returns
+    the post-request status document.
+    """
+    state = JobState.load(store, job_id)
+    current = effective_state(state)
+    if current in ("done", "failed", "cancelled"):
+        return job_status(store, job_id)
+    atomic_write_json(cancel_marker_path(store, job_id), {
+        "requested_at": round(time.time(), 3),
+        "reason": reason,
+    })
+    if current != "running":
+        # no live coordinator will ever see the marker: finalize here
+        state.state = "cancelled"
+        state.runner_pid = None
+        state.runner_start = None
+        state.record_event("cancelled", reason=reason, drained=0)
+        state.save(store, job_id)
+        try:
+            os.unlink(cancel_marker_path(store, job_id))
+        except FileNotFoundError:
+            pass
+    return job_status(store, job_id)
+
+
+def withdraw_cancel(store: ResultStore, job_id: str) -> None:
+    """Un-cancel a parked job *synchronously* (resubmission accepted).
+
+    Removes the marker and re-queues the persisted state so a status
+    poll racing the restarted coordinator never reads the stale
+    terminal ``cancelled`` (which would end a ``watch`` early).  The
+    runner clears the marker again on entry; doing it here as well is
+    idempotent.
+    """
+    try:
+        os.unlink(cancel_marker_path(store, job_id))
+    except FileNotFoundError:
+        pass
+    state = JobState.load(store, job_id)
+    if state.state == "cancelled":
+        state.state = "queued"
+        state.save(store, job_id)
+
+
+@dataclass
+class _InFlight:
+    """Coordinator-side bookkeeping for one dispatched chunk."""
+
+    task: ChunkTask
+    token: Optional[str]
+    submitted_at: float
+    timeout_at: Optional[float]
+    renew_at: float
+    lease_lost: bool = field(default=False)
+
+
 class JobRunner:
     """Drives one job from its current store state to ``done``.
 
-    Safe to call on a fresh job, a ``partial`` job after any crash, or
-    an already-``done`` job (instant no-op replan).  ``workers`` picks
-    the dispatcher: ``<= 1`` runs chunks inline, ``>= 2`` fans out over
-    a process pool; pass ``dispatcher`` to override entirely.
+    Safe to call on a fresh job, a ``partial`` job after any crash, a
+    ``cancelled`` job (the cancellation is cleared and the run resumes
+    from the stored chunks), or an already-``done`` job (instant no-op
+    replan).  ``workers`` picks the dispatcher: ``<= 1`` runs chunks
+    inline, ``>= 2`` fans out over a process pool (``backend="worker-
+    pool"`` selects the self-managed :class:`WorkerPoolDispatcher`
+    instead); pass ``dispatcher`` to override entirely.
+
+    Multiple runners — across threads, processes, or hosts sharing the
+    store — may drive the same or overlapping jobs concurrently: the
+    store's chunk leases elect one computer per chunk, everyone else
+    waits and adopts the stored object.
     """
 
-    #: Broken-pool events one chunk may survive: a chunk that has lost
-    #: its worker this many times fails the job instead of requeueing
-    #: (the boundary is pinned by the injected-kill regression test).
+    #: Worker losses (SIGKILL, timeout) one chunk may survive: a chunk
+    #: that has lost its worker this many times fails the job instead
+    #: of requeueing (the boundary is pinned by the injected-kill
+    #: regression test).  Attempts persist in ``JobState.retries``, so
+    #: the budget also survives coordinator restarts.
     MAX_CHUNK_RETRIES = 3
 
     #: Seconds between re-checks of chunks claimed by a foreign job.
     CLAIM_POLL_SECONDS = 0.05
 
+    #: Exponential-backoff schedule for requeued chunks:
+    #: ``base * 2**(attempts-1)`` capped at ``cap``, plus a
+    #: deterministic jitter in ``[0, base)`` seeded by the chunk key
+    #: and attempt number — coordinators never stampede the same chunk
+    #: in sync, yet the schedule is reproducible for the chaos harness.
+    RETRY_BACKOFF_BASE = 0.1
+    RETRY_BACKOFF_CAP = 5.0
+
+    #: Seconds a cooperative cancel waits for in-flight chunks before
+    #: abandoning them (their claims are released; any late store
+    #: writes remain harmless).
+    CANCEL_GRACE_SECONDS = 5.0
+
     def __init__(self, store: ResultStore, workers: Optional[int] = None,
                  dispatcher: Optional[Dispatcher] = None,
-                 on_event: Optional[Callable[[Dict], None]] = None) -> None:
+                 on_event: Optional[Callable[[Dict], None]] = None,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 chunk_timeout: Optional[float] = None,
+                 backend: str = "pool",
+                 renew_filter: Optional[Callable[[str], bool]] = None
+                 ) -> None:
         self.store = store
         if dispatcher is None:
-            dispatcher = (PoolDispatcher(workers) if workers and workers > 1
-                          else InlineDispatcher())
+            if workers and workers > 1:
+                dispatcher = (WorkerPoolDispatcher(workers)
+                              if backend == "worker-pool"
+                              else PoolDispatcher(workers))
+            else:
+                dispatcher = InlineDispatcher()
         self.dispatcher = dispatcher
         self.on_event = on_event
+        self.lease_seconds = float(lease_seconds)
+        self.chunk_timeout = chunk_timeout
+        self.renew_filter = renew_filter
+        self.owner = (f"{socket.gethostname()}:{os.getpid()}:"
+                      f"{secrets.token_hex(4)}")
 
     # -- public ------------------------------------------------------------
 
@@ -265,10 +553,14 @@ class JobRunner:
         state = JobState.load(self.store, job.job_id)
         try:
             self._execute(job, state)
+        except JobCancelledError:
+            # Terminal but deliberate: state already saved as cancelled.
+            raise
         except (KeyboardInterrupt, SystemExit):
             # Interrupted, not failed: leave the recorded state
             # resumable (a dead runner pid reads as ``partial``).
             state.runner_pid = None
+            state.runner_start = None
             state.save(self.store, job.job_id)
             raise
         except Exception as exc:
@@ -276,6 +568,7 @@ class JobRunner:
                 state.state = "failed"
                 state.error = f"{type(exc).__name__}: {exc}"
                 state.runner_pid = None
+                state.runner_start = None
                 state.save(self.store, job.job_id)
             raise
         finally:
@@ -290,7 +583,107 @@ class JobRunner:
         if self.on_event is not None:
             self.on_event(event)
 
+    def _backoff_seconds(self, key: str, attempts: int) -> float:
+        base = self.RETRY_BACKOFF_BASE
+        delay = min(base * (2.0 ** max(attempts - 1, 0)),
+                    self.RETRY_BACKOFF_CAP)
+        digest = hashlib.sha256(f"{key}:{attempts}".encode()).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2.0 ** 64 * base
+        return delay + jitter
+
+    def _cancel_reason(self, job: SweepJob) -> Optional[Dict]:
+        path = cancel_marker_path(self.store, job.job_id)
+        try:
+            with open(path) as handle:
+                import json
+
+                marker = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return marker if isinstance(marker, dict) else {}
+
+    def _clear_cancel_marker(self, job: SweepJob) -> None:
+        try:
+            os.unlink(cancel_marker_path(self.store, job.job_id))
+        except FileNotFoundError:
+            pass
+
+    def _stored_frame(self, job: SweepJob,
+                      task: ChunkTask) -> Optional[ResultFrame]:
+        """The task's stored chunk, validated — torn objects are a miss."""
+        frame = self.store.get(task.key,
+                               spec=job.cells[task.cell_index].spec)
+        if frame is None or len(frame) != task.count:
+            return None
+        return frame
+
+    def _note_lost(self, state: JobState, job: SweepJob, task: ChunkTask,
+                   verb: str, detail: str,
+                   pending: List[ChunkTask]) -> None:
+        """A dispatched chunk lost its worker: requeue under the budget."""
+        retry = state.retry_state(task.key)
+        retry.attempts += 1
+        retry.last_error = detail
+        if retry.attempts >= self.MAX_CHUNK_RETRIES:
+            state.set_retry_state(task.key, retry)
+            state.state = "failed"
+            state.error = (f"chunk (cell={task.cell_index}, "
+                           f"start={task.start}) {verb} "
+                           f"{self.MAX_CHUNK_RETRIES} times; giving up")
+            state.runner_pid = None
+            state.runner_start = None
+            state.save(self.store, job.job_id)
+            raise JobFailedError(state.error)
+        backoff = self._backoff_seconds(task.key, retry.attempts)
+        retry.next_eligible_at = time.time() + backoff
+        state.set_retry_state(task.key, retry)
+        self._emit(state, "worker_died", cell=task.cell_index,
+                   start=task.start, attempts=retry.attempts,
+                   backoff_s=round(backoff, 3), error=detail)
+        state.save(self.store, job.job_id)
+        pending.append(task)
+
+    def _drain_cancelled(self, job: SweepJob, state: JobState,
+                         futures: Dict, note_done, reason: Optional[str]
+                         ) -> None:
+        """Cooperative cancel: harvest what finishes, keep stored chunks."""
+        drained = 0
+        deadline = time.monotonic() + self.CANCEL_GRACE_SECONDS
+        while futures and time.monotonic() < deadline:
+            done, _ = concurrent.futures.wait(
+                futures, timeout=self.CLAIM_POLL_SECONDS,
+                return_when=concurrent.futures.FIRST_COMPLETED)
+            if not done:
+                continue
+            for future in done:
+                flight = futures.pop(future)
+                try:
+                    outcome = future.result()
+                except BaseException:  # noqa: BLE001 - draining anyway
+                    continue
+                self.store.release(flight.task.key, flight.token)
+                note_done(flight.task, outcome["summary"],
+                          computed=outcome["computed"],
+                          seconds=outcome["seconds"])
+                drained += 1
+        for future, flight in futures.items():
+            future.cancel()
+            self.store.release(flight.task.key, flight.token)
+        futures.clear()
+        state.state = "cancelled"
+        state.runner_pid = None
+        state.runner_start = None
+        self._emit(state, "cancelled", reason=reason, drained=drained)
+        state.save(self.store, job.job_id)
+        self._clear_cancel_marker(job)
+        raise JobCancelledError(
+            f"job {job.job_id} cancelled"
+            + (f": {reason}" if reason else ""))
+
     def _execute(self, job: SweepJob, state: JobState) -> None:
+        # A fresh run supersedes any stale cancellation (resubmitting a
+        # cancelled job is how you un-cancel it).
+        self._clear_cancel_marker(job)
         plan = job.chunks()
         cell_chunk_totals: Dict[int, int] = {}
         for task in plan:
@@ -311,7 +704,8 @@ class JobRunner:
         }
 
         def note_done(task: ChunkTask, summary: Optional[Dict],
-                      computed: bool, seconds: float) -> None:
+                      computed: bool, seconds: float,
+                      frame: Optional[ResultFrame] = None) -> None:
             progress["chunks_done"] += 1
             progress["trials_done"] += task.count
             progress["cell_chunks_done"][task.cell_index] += 1
@@ -323,11 +717,12 @@ class JobRunner:
             if summary is not None:
                 agg.merge(RunningCellAggregate.from_dict(summary))
             else:
-                frame = self.store.get(
-                    task.key, spec=job.cells[task.cell_index].spec)
+                if frame is None:
+                    frame = self._stored_frame(job, task)
                 if frame is not None:
                     agg.fold_frame(frame)
             state.aggregates[str(task.cell_index)] = agg.to_dict()
+            state.clear_retry_state(task.key)
             state.chunks_done = progress["chunks_done"]
             state.trials_done = progress["trials_done"]
             state.cells_done = sum(
@@ -350,9 +745,12 @@ class JobRunner:
                               else None))
             state.save(self.store, job.job_id)
 
-        resumed = state.chunks_done or state.state in ("running", "failed")
+        resumed = state.chunks_done or state.state in ("running", "failed",
+                                                       "cancelled")
         state.state = "running"
         state.runner_pid = os.getpid()
+        state.runner_start = process_start_marker(os.getpid())
+        state.runner_owner = self.owner
         state.started_at = state.started_at or time.time()
         state.chunks_total = len(plan)
         state.trials_total = job.total_trials
@@ -366,36 +764,62 @@ class JobRunner:
                        chunks_total=len(plan))
         state.save(self.store, job.job_id)
 
-        pending: List[Tuple[ChunkTask, int]] = []  # (task, retries)
-        waiting: List[ChunkTask] = []  # claimed by a live foreign runner
+        pending: List[ChunkTask] = []
+        waiting: List[ChunkTask] = []  # leased by a live foreign runner
         for task in plan:
-            if self.store.has(task.key):
-                note_done(task, summary=None, computed=False, seconds=0.0)
+            frame = self._stored_frame(job, task)
+            if frame is not None:
+                note_done(task, summary=None, computed=False, seconds=0.0,
+                          frame=frame)
             else:
-                pending.append((task, 0))
+                pending.append(task)
 
-        futures: Dict[concurrent.futures.Future, Tuple[ChunkTask, int]] = {}
-        claimed: List[str] = []
+        futures: Dict[concurrent.futures.Future, _InFlight] = {}
         try:
             while pending or waiting or futures:
+                now_mono = time.monotonic()
+                now_wall = time.time()
+                # 0. cooperative cancellation
+                marker = self._cancel_reason(job)
+                if marker is not None:
+                    self._drain_cancelled(job, state, futures, note_done,
+                                          marker.get("reason"))
                 # 1. dispatch everything dispatchable
-                still_pending: List[Tuple[ChunkTask, int]] = []
-                for index, (task, retries) in enumerate(pending):
-                    if self.store.has(task.key):
-                        note_done(task, None, computed=False, seconds=0.0)
-                    elif self.store.claim(task.key):
-                        claimed.append(task.key)
+                still_pending: List[ChunkTask] = []
+                backoff_until: Optional[float] = None
+                for index, task in enumerate(pending):
+                    frame = self._stored_frame(job, task)
+                    if frame is not None:
+                        note_done(task, None, computed=False, seconds=0.0,
+                                  frame=frame)
+                        continue
+                    eligible_at = state.retry_state(task.key).next_eligible_at
+                    if eligible_at > now_wall:
+                        still_pending.append(task)
+                        if backoff_until is None or eligible_at < \
+                                backoff_until:
+                            backoff_until = eligible_at
+                        continue
+                    token = self.store.claim(task.key, owner=self.owner,
+                                             lease_seconds=self.lease_seconds)
+                    if token is not None:
                         try:
                             future = self.dispatcher.submit(
                                 _task_payload(job, task, self.store))
-                        except BrokenProcessPool:
+                        except BrokenProcessPool as exc:
                             # Pool already broken from an earlier death:
-                            # rebuild it and retry this chunk next pass.
-                            self.store.release(task.key)
+                            # rebuild it, charge the loss, retry later.
+                            self.store.release(task.key, token)
                             self.dispatcher.restart()
-                            still_pending.append((task, retries + 1))
+                            self._note_lost(state, job, task,
+                                            "lost its worker",
+                                            f"submit: {exc}", still_pending)
                             continue
-                        futures[future] = (task, retries)
+                        futures[future] = _InFlight(
+                            task=task, token=token, submitted_at=now_mono,
+                            timeout_at=(now_mono + self.chunk_timeout
+                                        if self.chunk_timeout else None),
+                            renew_at=now_mono + self.lease_seconds / 2.0)
                         if future.done():
                             # Synchronous dispatch (InlineDispatcher):
                             # harvest now so progress and streaming
@@ -403,86 +827,122 @@ class JobRunner:
                             # all at once after the last chunk.
                             still_pending.extend(pending[index + 1:])
                             break
-                    elif self.store.claim_holder_alive(task.key):
-                        waiting.append(task)
                     else:
-                        still_pending.append((task, retries))
+                        waiting.append(task)
                 pending = still_pending
-                # 2. harvest completions
+                # 2. renew heartbeats on in-flight leases
+                now_mono = time.monotonic()
+                for flight in futures.values():
+                    if flight.lease_lost or flight.token is None or \
+                            now_mono < flight.renew_at:
+                        continue
+                    frozen = (self.renew_filter is not None
+                              and not self.renew_filter(flight.task.key))
+                    renewed = (not frozen) and self.store.renew(
+                        flight.task.key, flight.token, self.lease_seconds)
+                    if renewed:
+                        flight.renew_at = now_mono + self.lease_seconds / 2.0
+                    else:
+                        # Expired-and-stolen, squatted, or frozen: we no
+                        # longer hold the chunk.  The in-flight compute
+                        # stays (its store write is idempotent) but we
+                        # must not release someone else's lease later.
+                        flight.lease_lost = True
+                        flight.renew_at = now_mono + self.lease_seconds / 2.0
+                        self._emit(state, "lease_lost",
+                                   cell=flight.task.cell_index,
+                                   start=flight.task.start,
+                                   frozen=bool(frozen))
+                        state.save(self.store, job.job_id)
+                # 3. harvest completions
                 if futures:
                     done, _ = concurrent.futures.wait(
                         futures, timeout=self.CLAIM_POLL_SECONDS,
                         return_when=concurrent.futures.FIRST_COMPLETED)
+                    restart_needed = False
                     for future in done:
-                        task, retries = futures.pop(future)
+                        flight = futures.pop(future)
+                        task = flight.task
                         try:
                             outcome = future.result()
-                        except BrokenProcessPool:
-                            self._requeue_broken(
-                                job, state, futures, pending, task, retries)
-                            break
+                        except BrokenProcessPool as exc:
+                            restart_needed = True
+                            self._note_lost(state, job, task,
+                                            "lost its worker", str(exc),
+                                            pending)
+                            continue
+                        except concurrent.futures.CancelledError:
+                            continue  # timed out earlier; already requeued
                         except Exception as exc:
                             state.state = "failed"
                             state.error = (f"chunk (cell={task.cell_index}, "
                                            f"start={task.start}): "
                                            f"{type(exc).__name__}: {exc}")
                             state.runner_pid = None
+                            state.runner_start = None
                             state.save(self.store, job.job_id)
                             raise JobFailedError(state.error) from exc
-                        self.store.release(task.key)
-                        if task.key in claimed:
-                            claimed.remove(task.key)
+                        if not flight.lease_lost:
+                            self.store.release(task.key, flight.token)
                         note_done(task, outcome["summary"],
                                   computed=outcome["computed"],
                                   seconds=outcome["seconds"])
-                # 3. re-check chunks a foreign job is computing
+                    if restart_needed:
+                        self.dispatcher.restart()
+                    # 3b. bound stuck workers with the chunk timeout
+                    now_mono = time.monotonic()
+                    stuck = [
+                        (future, flight) for future, flight in futures.items()
+                        if flight.timeout_at is not None
+                        and now_mono > flight.timeout_at]
+                    for future, flight in stuck:
+                        futures.pop(future)
+                        could_cancel = future.cancel()
+                        if not flight.lease_lost:
+                            self.store.release(flight.task.key, flight.token)
+                        self._note_lost(
+                            state, job, flight.task, "timed out",
+                            f"exceeded chunk_timeout="
+                            f"{self.chunk_timeout}s", pending)
+                        if not could_cancel:
+                            # The worker is still grinding: tear the pool
+                            # down so the straggler cannot wedge a slot
+                            # forever.  Other in-flight chunks fail with
+                            # BrokenProcessPool and requeue next harvest.
+                            self.dispatcher.restart()
+                # 4. re-check chunks a foreign coordinator is computing
                 if waiting:
                     still_waiting: List[ChunkTask] = []
                     for task in waiting:
-                        if self.store.has(task.key):
+                        frame = self._stored_frame(job, task)
+                        if frame is not None:
                             note_done(task, None, computed=False,
-                                      seconds=0.0)
-                        elif self.store.claim_holder_alive(task.key):
+                                      seconds=0.0, frame=frame)
+                        elif self.store.lease_live(task.key):
                             still_waiting.append(task)
-                        else:  # holder died: take it over
-                            pending.append((task, 0))
+                        else:  # lease expired or holder died: take over
+                            pending.append(task)
                     waiting = still_waiting
                     if still_waiting and not futures and not pending:
                         time.sleep(self.CLAIM_POLL_SECONDS)
+                # 5. when everything is backoff-parked, sleep the gap out
+                if not futures and not waiting and pending and \
+                        backoff_until is not None:
+                    gap = backoff_until - time.time()
+                    if gap > 0:
+                        time.sleep(min(gap, 0.25))
         finally:
-            for key in claimed:
-                self.store.release(key)
+            for flight in futures.values():
+                if not flight.lease_lost:
+                    self.store.release(flight.task.key, flight.token)
 
         state.state = "done"
         state.runner_pid = None
+        state.runner_start = None
         self._emit(state, "done", trials_total=state.trials_total,
                    chunks_total=state.chunks_total,
                    seconds=round(time.monotonic() - run_started, 3))
         state.save(self.store, job.job_id)
-
-    def _requeue_broken(self, job: SweepJob, state: JobState, futures,
-                        pending, task: ChunkTask, retries: int) -> None:
-        """A worker died: requeue every unfinished chunk, rebuild the pool."""
-        unfinished = [(task, retries + 1)]
-        for future, (other, other_retries) in list(futures.items()):
-            future.cancel()
-            unfinished.append((other, other_retries + 1))
-        futures.clear()
-        for key in {t.key for t, _ in unfinished}:
-            self.store.release(key)
-        over = [t for t, r in unfinished if r >= self.MAX_CHUNK_RETRIES]
-        if over:
-            state.state = "failed"
-            state.error = (f"chunk (cell={over[0].cell_index}, "
-                           f"start={over[0].start}) lost its worker "
-                           f"{self.MAX_CHUNK_RETRIES} times; giving up")
-            state.runner_pid = None
-            state.save(self.store, job.job_id)
-            raise JobFailedError(state.error)
-        pending.extend(unfinished)
-        self._emit(state, "worker_died", requeued=len(unfinished))
-        state.save(self.store, job.job_id)
-        self.dispatcher.restart()
 
 
 def assemble_frames(store: ResultStore, job: SweepJob) -> List[ResultFrame]:
@@ -491,7 +951,9 @@ def assemble_frames(store: ResultStore, job: SweepJob) -> List[ResultFrame]:
     Chunk concatenation in grid order reproduces
     ``BatchRunner.run_frame`` output exactly (the pool path is the same
     concatenation, pinned bit-identical to serial execution), so the
-    assembled frames match :func:`~repro.api.sweep.run_sweep`'s.
+    assembled frames match :func:`~repro.api.sweep.run_sweep`'s.  A
+    missing **or torn** chunk object raises — incomplete data is an
+    error here, never a silently shorter frame.
     """
     frames = []
     for cell in job.cells:
@@ -533,6 +995,7 @@ def job_status(store: ResultStore, job_id: str) -> Dict:
         "trials_total": job.total_trials,
         "cells_done": state.cells_done,
         "cells_total": len(job.cells),
+        "chunks_retrying": len(state.retries),
         "trials_per_sec": (last_chunk or {}).get("trials_per_sec"),
         "eta_s": (last_chunk or {}).get("eta_s"),
         "error": state.error,

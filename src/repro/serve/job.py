@@ -26,10 +26,15 @@ a *submitted* unit of work:
 
 Job lifecycle state lives in a small ``state.json`` next to the job
 document (states: ``queued``/``running``/``partial``/``done``/
-``failed``), updated atomically after every chunk; ``partial`` is never
-stored — it is the *effective* state reported for a job whose recorded
-runner died (SIGKILL, OOM, reboot) and is exactly the state a resume
-picks up from.
+``failed``/``cancelled``), updated atomically after every chunk;
+``partial`` is never stored — it is the *effective* state reported for
+a job whose recorded runner died (SIGKILL, OOM, reboot) and is exactly
+the state a resume picks up from.  Runner liveness compares the
+recorded ``(pid, start marker)`` pair, never the bare pid, so a
+recycled pid cannot masquerade as a live coordinator.  Per-chunk
+:class:`RetryState` (attempts, last error, next-eligible time) is
+persisted alongside, so a resume keeps honouring retry budgets and
+backoff schedules across coordinator restarts.
 """
 
 from __future__ import annotations
@@ -48,7 +53,12 @@ from repro.errors import ConfigurationError
 from repro.api.batch import batch_engine
 from repro.api.spec import TrialSpec
 from repro.api.sweep import CACHE_CODE_VERSION, SweepSpec
-from repro.serve.store import ResultStore, atomic_write_json, chunk_key
+from repro.serve.store import (
+    ResultStore,
+    atomic_write_json,
+    chunk_key,
+    process_start_marker,
+)
 
 #: Trials per chunk when the submitter does not choose: small enough
 #: that a million-trial cell streams in O(chunk) memory and a killed
@@ -57,7 +67,7 @@ from repro.serve.store import ResultStore, atomic_write_json, chunk_key
 #: kernel's trial axis wide).
 DEFAULT_CHUNK_SIZE = 4096
 
-JOB_STATES = ("queued", "running", "partial", "done", "failed")
+JOB_STATES = ("queued", "running", "partial", "done", "failed", "cancelled")
 
 
 @dataclass(frozen=True)
@@ -272,13 +282,46 @@ class SweepJob:
 
 
 @dataclass
+class RetryState:
+    """The persisted retry ledger of one chunk.
+
+    Promoted from a bare in-memory counter: ``attempts`` counts lost
+    workers/timeouts so far, ``last_error`` names the most recent loss,
+    and ``next_eligible_at`` (wall clock) is when the chunk's
+    exponential-backoff window reopens.  Lives in
+    ``JobState.retries[chunk_key]`` so the budget survives coordinator
+    restarts — a chunk cannot reset its own count by crashing the
+    coordinator.
+    """
+
+    attempts: int = 0
+    last_error: Optional[str] = None
+    next_eligible_at: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {"attempts": self.attempts, "last_error": self.last_error,
+                "next_eligible_at": self.next_eligible_at}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RetryState":
+        return cls(attempts=int(data.get("attempts", 0)),
+                   last_error=data.get("last_error"),
+                   next_eligible_at=float(data.get("next_eligible_at", 0.0)))
+
+
+@dataclass
 class JobState:
     """The mutable lifecycle document of one job (``state.json``).
 
     ``state`` only ever stores ``queued``/``running``/``done``/
-    ``failed``; the *effective* state adds ``partial`` for a recorded
-    runner that is no longer alive (:func:`effective_state`).  Updated
-    atomically, so a status reader never sees a torn document.
+    ``failed``/``cancelled``; the *effective* state adds ``partial``
+    for a recorded runner that is no longer alive
+    (:func:`effective_state`).  The whole document — including the
+    bounded event ring — is written through
+    :func:`~repro._atomicio.atomic_write_json` on every save, so a
+    coordinator killed mid-append can never tear the event section (a
+    reader sees the previous complete document or the new one, nothing
+    in between).
     """
 
     state: str = "queued"
@@ -290,12 +333,24 @@ class JobState:
     cells_total: int = 0
     error: Optional[str] = None
     runner_pid: Optional[int] = None
+    #: Start marker of the runner's pid incarnation (see
+    #: :func:`~repro.serve.store.process_start_marker`): liveness checks
+    #: compare (pid, start), so a recycled pid reads as dead.
+    runner_start: Optional[str] = None
+    #: Lease-owner id of the recorded runner (diagnostics).
+    runner_owner: Optional[str] = None
     started_at: Optional[float] = None
     updated_at: Optional[float] = None
     events: List[Dict] = field(default_factory=list)
     aggregates: Dict[str, Dict] = field(default_factory=dict)
+    #: chunk key -> persisted RetryState dict (only chunks that have
+    #: lost at least one worker; cleared when the chunk completes).
+    retries: Dict[str, Dict] = field(default_factory=dict)
 
     #: Events kept in the ring (chunk completions, resumes, requeues).
+    #: The bound is enforced on every append, so the state file — and
+    #: every status response embedding it — stays O(1) regardless of
+    #: how long or how turbulent the job's life has been.
     MAX_EVENTS = 50
 
     def record_event(self, kind: str, **fields) -> Dict:
@@ -303,6 +358,16 @@ class JobState:
         self.events.append(event)
         del self.events[:-self.MAX_EVENTS]
         return event
+
+    def retry_state(self, key: str) -> RetryState:
+        data = self.retries.get(key)
+        return RetryState.from_dict(data) if data else RetryState()
+
+    def set_retry_state(self, key: str, retry: RetryState) -> None:
+        self.retries[key] = retry.to_dict()
+
+    def clear_retry_state(self, key: str) -> None:
+        self.retries.pop(key, None)
 
     def to_dict(self) -> Dict:
         return {
@@ -312,8 +377,11 @@ class JobState:
             "trials_total": self.trials_total,
             "cells_done": self.cells_done, "cells_total": self.cells_total,
             "error": self.error, "runner_pid": self.runner_pid,
+            "runner_start": self.runner_start,
+            "runner_owner": self.runner_owner,
             "started_at": self.started_at, "updated_at": self.updated_at,
             "events": self.events, "aggregates": self.aggregates,
+            "retries": self.retries,
         }
 
     @classmethod
@@ -321,10 +389,14 @@ class JobState:
         state = cls()
         for name in ("state", "chunks_done", "chunks_total", "trials_done",
                      "trials_total", "cells_done", "cells_total", "error",
-                     "runner_pid", "started_at", "updated_at", "events",
-                     "aggregates"):
+                     "runner_pid", "runner_start", "runner_owner",
+                     "started_at", "updated_at", "events", "aggregates",
+                     "retries"):
             if name in data:
                 setattr(state, name, data[name])
+        # enforce the ring bound on load too: a foreign writer may have
+        # appended without trimming
+        del state.events[:-cls.MAX_EVENTS]
         return state
 
     def save(self, store: ResultStore, job_id: str) -> None:
@@ -359,14 +431,31 @@ def _pid_alive(pid: Optional[int]) -> bool:
     return True
 
 
+def _runner_alive(state: JobState) -> bool:
+    """Is the recorded runner *incarnation* still alive?
+
+    Compares the recorded process start marker, not just the pid: a
+    pid recycled onto an unrelated process (the classic pid-reuse
+    hazard) has a different marker and reads as dead.
+    """
+    if not _pid_alive(state.runner_pid):
+        return False
+    if state.runner_start is not None:
+        current = process_start_marker(state.runner_pid)
+        if current is not None and current != state.runner_start:
+            return False
+    return True
+
+
 def effective_state(state: JobState) -> str:
     """The state a reader should report, crash-awareness included.
 
-    A stored ``running`` whose recorded runner pid is dead is reported
-    as ``partial``: the job was interrupted (worker or coordinator
-    SIGKILL, OOM, reboot) and every finished chunk is safely in the
-    store waiting for a resume.
+    A stored ``running`` whose recorded runner is dead — pid gone, or
+    pid recycled onto a different process (start marker mismatch) — is
+    reported as ``partial``: the job was interrupted (worker or
+    coordinator SIGKILL, OOM, reboot) and every finished chunk is
+    safely in the store waiting for a resume.
     """
-    if state.state == "running" and not _pid_alive(state.runner_pid):
+    if state.state == "running" and not _runner_alive(state):
         return "partial"
     return state.state

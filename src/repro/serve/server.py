@@ -16,7 +16,13 @@ localhost job API) whose endpoints mirror the job lifecycle:
 ``GET  /jobs/<id>/result``      the result manifest: per-cell chunk keys
                           + labels (the client assembles frames from the
                           object endpoint)
-``GET  /objects/<key>``   one stored chunk as ``.npz`` bytes
+``POST /jobs/<id>/cancel``      request a cooperative cancel: the live
+                          coordinator drains in-flight chunks and parks
+                          the job ``cancelled`` (stored chunks are kept
+                          for dedup; resubmitting resumes)
+``GET  /objects/<key>``   one stored chunk as ``.npz`` bytes (*validated*:
+                          a torn object on disk answers 404, never
+                          corrupt bytes)
 ``GET  /healthz``         liveness + store path
 ========================  ==================================================
 
@@ -36,7 +42,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.serve.executor import JobRunner, job_status
+from repro.serve.executor import (
+    JobRunner,
+    job_status,
+    request_cancel,
+    withdraw_cancel,
+)
 from repro.serve.job import JobState, SweepJob, effective_state
 from repro.serve.store import ResultStore
 
@@ -103,6 +114,10 @@ class SweepService:
             running_here = runner is not None and runner.is_alive()
             state = effective_state(JobState.load(self.store, job.job_id))
             if not running_here and state != "done":
+                if state == "cancelled":
+                    # un-cancel before the thread starts, so no status
+                    # poll can race the restart into a stale terminal
+                    withdraw_cancel(self.store, job.job_id)
                 thread = threading.Thread(
                     target=self._run_job, args=(job,),
                     name=f"job-{job.job_id[:8]}", daemon=True)
@@ -125,6 +140,11 @@ class SweepService:
 
     def status(self, job_id: str) -> Dict:
         return job_status(self.store, job_id)
+
+    def cancel(self, job_id: str, reason: Optional[str] = None) -> Dict:
+        # raises KeyError (-> 404) for unknown jobs before touching state
+        SweepJob.load(self.store, job_id)
+        return request_cancel(self.store, job_id, reason=reason)
 
     def list_jobs(self) -> Dict:
         jobs = []
@@ -217,7 +237,10 @@ class _Handler(BaseHTTPRequestHandler):
                     route[2] == "result":
                 self._send_json(self.service.result_manifest(route[1]))
             elif len(route) == 2 and route[0] == "objects":
-                blob = self.service.store.get_bytes(route[1])
+                # validated read: a torn object on disk is a 404 miss,
+                # never corrupt bytes a client would decode (or worse,
+                # silently mis-decode)
+                blob = self.service.store.get_valid_bytes(route[1])
                 if blob is None:
                     self._send_error_json(404, f"no object {route[1]}")
                     return
@@ -235,14 +258,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         route = self._route()
-        if route != ("jobs",):
-            self._send_error_json(404, f"no route {self.path!r}")
-            return
         try:
             length = int(self.headers.get("Content-Length", 0))
             body = json.loads(self.rfile.read(length) or b"{}")
-            self._send_json(self.service.submit(body), code=201)
-        except (ReproError, ValueError, KeyError) as exc:
+            if route == ("jobs",):
+                self._send_json(self.service.submit(body), code=201)
+            elif len(route) == 3 and route[0] == "jobs" and \
+                    route[2] == "cancel":
+                self._send_json(self.service.cancel(
+                    route[1], reason=body.get("reason")))
+            else:
+                self._send_error_json(404, f"no route {self.path!r}")
+        except KeyError as exc:
+            self._send_error_json(404, str(exc))
+        except (ReproError, ValueError) as exc:
             self._send_error_json(400, f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # noqa: BLE001 - boundary
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")

@@ -21,12 +21,22 @@ Durability discipline:
   either the old object, no object, or a stray ``*.tmp`` — never a torn
   object a concurrent reader could load.
 * **Corruption = miss.**  :meth:`ResultStore.get` treats an unreadable
-  object as absent; the chunk recomputes and the object is rewritten.
-* **Claims.**  :meth:`ResultStore.claim` is an ``O_CREAT | O_EXCL`` lock
-  file carrying the claimant pid, so two *concurrent* jobs wanting the
-  same chunk elect exactly one computer; the loser waits for the object
-  to appear (see the executor).  Claims held by dead processes are
-  stale and can be broken.
+  object as absent; the chunk recomputes and :meth:`ResultStore.put`
+  *overwrites* an unreadable object under its final name (a torn file —
+  from a non-atomic foreign writer, bit rot, or an injected chaos fault
+  — must be repairable, never load, and never block the rewrite).
+* **Leases.**  :meth:`ResultStore.claim` elects one computer per chunk
+  via an ``O_CREAT | O_EXCL`` lock file carrying a *time-bounded lease*:
+  ``{owner, token, deadline, pid, start}``.  A lease is breakable the
+  moment it expires or its holder process is provably gone — where
+  "gone" compares the recorded process *start marker*, not the bare
+  pid, so a recycled pid can never squat a dead coordinator's claim.
+  Holders renew their leases (heartbeat) with :meth:`ResultStore.renew`
+  and release them by token, so a claim stolen after expiry cannot be
+  un-done by its previous owner.  (Claims are an *optimization* —
+  losing one only means waiting for the winner's object; correctness
+  never depends on the lock because object writes are atomic and
+  idempotent.)
 """
 
 from __future__ import annotations
@@ -35,10 +45,51 @@ import errno
 import hashlib
 import json
 import os
-from typing import Dict, Iterable, Optional
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
 
 from repro._atomicio import atomic_write_bytes, atomic_write_json  # noqa: F401
 from repro.sim.frame import ResultFrame
+
+#: Default lease duration on chunk claims.  Long enough that a healthy
+#: coordinator renewing at half-life never loses a lease to scheduling
+#: jitter; short enough that a frozen or SIGKILLed coordinator's chunks
+#: are re-electable within one human attention span.
+DEFAULT_LEASE_SECONDS = 30.0
+
+
+def process_start_marker(pid: int) -> Optional[str]:
+    """A marker distinguishing this *incarnation* of ``pid``.
+
+    On Linux this is the ``starttime`` field of ``/proc/<pid>/stat``
+    (clock ticks since boot at process start): a recycled pid gets a new
+    marker, so ``(pid, marker)`` identifies a process where a bare pid
+    does not.  Returns ``None`` where unavailable (non-Linux, or the
+    process is already gone) — callers must then fall back to the
+    weaker pid-aliveness check.
+    """
+    try:
+        with open(f"/proc/{int(pid)}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+        # comm (field 2) may contain spaces/parens; fields resume after
+        # the *last* ')'.  starttime is overall field 22 -> index 19 of
+        # the remainder.
+        rest = stat[stat.rindex(")") + 2:].split()
+        return rest[19]
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    if not pid or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as exc:
+        return exc.errno == errno.EPERM
+    return True
 
 
 def chunk_key(spec_dict: Dict, engine: Optional[str], entropy,
@@ -67,13 +118,40 @@ def chunk_key(spec_dict: Dict, engine: Optional[str], entropy,
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+@dataclass
+class GCReport:
+    """What one mark-and-sweep pass examined and removed."""
+
+    examined: int = 0
+    referenced: int = 0
+    deleted: int = 0
+    bytes_freed: int = 0
+    bytes_kept: int = 0
+    kept_young: int = 0
+    kept_leased: int = 0
+    locks_removed: int = 0
+    tmp_removed: int = 0
+    dry_run: bool = False
+    deleted_keys: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "examined": self.examined, "referenced": self.referenced,
+            "deleted": self.deleted, "bytes_freed": self.bytes_freed,
+            "bytes_kept": self.bytes_kept, "kept_young": self.kept_young,
+            "kept_leased": self.kept_leased,
+            "locks_removed": self.locks_removed,
+            "tmp_removed": self.tmp_removed, "dry_run": self.dry_run,
+        }
+
+
 class ResultStore:
-    """A directory of content-addressed result chunks plus claim locks.
+    """A directory of content-addressed result chunks plus lease locks.
 
     Layout::
 
         <root>/objects/<key[:2]>/<key>.npz   one ResultFrame payload each
-        <root>/locks/<key>.lock              in-flight computation claims
+        <root>/locks/<key>.lock              time-bounded chunk leases
         <root>/jobs/<job_id>/                job + state documents
 
     All writes are atomic; concurrent ``put`` calls for the same key are
@@ -105,9 +183,16 @@ class ResultStore:
         return os.path.exists(self.object_path(key))
 
     def put(self, key: str, frame: ResultFrame) -> bool:
-        """Store a chunk frame; returns False when already present (dedup)."""
+        """Store a chunk frame; returns False when already present (dedup).
+
+        "Present" means *readable*: an existing-but-torn object under
+        the final name (non-atomic foreign writer, bit rot, injected
+        chaos fault) does not count and is overwritten — otherwise a
+        single corrupt file would wedge its chunk forever, since every
+        reader treats it as a miss but no writer could repair it.
+        """
         path = self.object_path(key)
-        if os.path.exists(path):
+        if os.path.exists(path) and self.get(key) is not None:
             return False
         atomic_write_bytes(path, frame.to_npz_bytes())
         return True
@@ -123,13 +208,29 @@ class ResultStore:
             return None
 
     def get_bytes(self, key: str) -> Optional[bytes]:
-        """The raw object bytes (the HTTP object endpoint's read path)."""
+        """The raw object bytes (unvalidated; see :meth:`get_valid_bytes`)."""
         path = self.object_path(key)
         try:
             with open(path, "rb") as handle:
                 return handle.read()
         except OSError:
             return None
+
+    def get_valid_bytes(self, key: str) -> Optional[bytes]:
+        """Object bytes only if they parse as a frame (the HTTP read path).
+
+        A torn object must surface as a *miss* to remote clients — never
+        as bytes they would fail (or worse, silently mis-succeed) to
+        decode.
+        """
+        blob = self.get_bytes(key)
+        if blob is None:
+            return None
+        try:
+            ResultFrame.from_npz_bytes(blob)
+        except Exception:
+            return None
+        return blob
 
     def object_count(self) -> int:
         objects = os.path.join(self.root, "objects")
@@ -138,57 +239,233 @@ class ResultStore:
             total += sum(1 for name in filenames if name.endswith(".npz"))
         return total
 
-    # -- claims ------------------------------------------------------------
+    def object_keys(self) -> List[str]:
+        objects = os.path.join(self.root, "objects")
+        keys = []
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            keys.extend(name[:-4] for name in filenames
+                        if name.endswith(".npz"))
+        return sorted(keys)
 
-    def claim(self, key: str) -> bool:
-        """Try to claim ``key`` for computation (O_EXCL lock file).
+    # -- leases ------------------------------------------------------------
 
-        Returns True when this process now holds the claim.  A claim
-        whose recorded pid is no longer alive is stale: it is broken and
-        re-taken.  (Claims are an *optimization* — losing one only means
-        waiting for the winner's object; correctness never depends on
-        the lock because object writes are atomic and idempotent.)
+    def claim(self, key: str, owner: Optional[str] = None,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS
+              ) -> Optional[str]:
+        """Try to take a time-bounded lease on ``key``.
+
+        Returns the lease *token* (renew/release with it) when this
+        caller now holds the claim, ``None`` when a live lease belongs
+        to someone else.  An existing lease is broken and re-taken when
+        it has expired (``deadline`` passed) **or** its holder process
+        is provably gone — the recorded ``(pid, start)`` pair no longer
+        names a live process, so a recycled pid cannot keep a dead
+        holder's claim alive.
         """
         path = self.lock_path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = json.dumps({"pid": os.getpid()}).encode()
+        pid = os.getpid()
+        token = secrets.token_hex(16)
+        payload = json.dumps({
+            "owner": owner or f"pid-{pid}",
+            "token": token,
+            "deadline": time.time() + float(lease_seconds),
+            "pid": pid,
+            "start": process_start_marker(pid),
+        }).encode()
         for _ in range(2):
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
-                if self._claim_is_stale(path):
+                if self._lease_is_stale(path):
                     try:
                         os.unlink(path)
                     except FileNotFoundError:
                         pass
                     continue
-                return False
+                return None
             with os.fdopen(fd, "wb") as handle:
                 handle.write(payload)
-            return True
-        return False
+            return token
+        return None
 
-    def _claim_is_stale(self, path: str) -> bool:
-        try:
-            with open(path, "rb") as handle:
-                pid = int(json.loads(handle.read() or b"{}").get("pid", -1))
-        except (OSError, ValueError):
-            return True  # unreadable/torn claim: break it
-        if pid <= 0:
-            return True
-        try:
-            os.kill(pid, 0)
-        except OSError as exc:
-            return exc.errno != errno.EPERM
-        return False
+    def renew(self, key: str,  token: str,
+              lease_seconds: float = DEFAULT_LEASE_SECONDS) -> bool:
+        """Extend our lease's deadline (heartbeat).
 
-    def claim_holder_alive(self, key: str) -> bool:
-        """Whether ``key`` is claimed by a live process (besides us)."""
-        path = self.lock_path(key)
-        return os.path.exists(path) and not self._claim_is_stale(path)
+        Returns False — without touching the file — when the lease is no
+        longer ours (expired and re-elected, broken by a chaos fault, or
+        simply gone): the caller has *lost* the chunk and must not
+        assume exclusivity, though its eventual object write remains
+        harmless (atomic, idempotent).
+        """
+        lease = self.lease_info(key)
+        if lease is None or lease.get("token") != token:
+            return False
+        lease["deadline"] = time.time() + float(lease_seconds)
+        atomic_write_json(self.lock_path(key), lease)
+        return True
 
-    def release(self, key: str) -> None:
+    def release(self, key: str, token: Optional[str] = None) -> None:
+        """Drop a lease.  With ``token``, only if it is still ours."""
+        if token is not None:
+            lease = self.lease_info(key)
+            if lease is not None and lease.get("token") != token:
+                return
         try:
             os.unlink(self.lock_path(key))
         except FileNotFoundError:
             pass
+
+    def lease_info(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self.lock_path(key), "rb") as handle:
+                lease = json.loads(handle.read() or b"{}")
+        except (OSError, ValueError):
+            return None
+        return lease if isinstance(lease, dict) else None
+
+    def _lease_is_stale(self, path: str) -> bool:
+        try:
+            with open(path, "rb") as handle:
+                lease = json.loads(handle.read() or b"{}")
+        except (OSError, ValueError):
+            return True  # unreadable/torn lease: break it
+        if not isinstance(lease, dict):
+            return True
+        deadline = lease.get("deadline")
+        if not isinstance(deadline, (int, float)):
+            return True  # legacy/foreign claim without a lease: break it
+        if time.time() > deadline:
+            return True
+        pid = lease.get("pid")
+        if not isinstance(pid, int) or pid <= 0:
+            return True
+        if not _pid_alive(pid):
+            return True
+        recorded = lease.get("start")
+        if recorded is not None:
+            current = process_start_marker(pid)
+            if current is not None and current != recorded:
+                return True  # the pid was recycled: the holder is dead
+        return False
+
+    def lease_live(self, key: str) -> bool:
+        """Whether ``key`` is held by a live, unexpired lease."""
+        path = self.lock_path(key)
+        return os.path.exists(path) and not self._lease_is_stale(path)
+
+    # kept as an alias: "is somebody (else) computing this chunk?"
+    claim_holder_alive = lease_live
+
+    # -- retention / GC ----------------------------------------------------
+
+    def referenced_keys(self) -> set:
+        """Every chunk key any stored job manifest references (the mark)."""
+        from repro.serve.job import SweepJob
+
+        marked: set = set()
+        for job_id in SweepJob.list_ids(self):
+            try:
+                job = SweepJob.load(self, job_id)
+            except Exception:
+                continue  # unreadable manifest: keep its objects unmarked
+            marked.update(task.key for task in job.chunks())
+        return marked
+
+    def gc(self, max_age_seconds: Optional[float] = None,
+           max_bytes: Optional[int] = None,
+           dry_run: bool = False) -> GCReport:
+        """Mark-and-sweep retention over the object store.
+
+        *Mark* walks every stored job manifest and collects the chunk
+        keys it references; *sweep* deletes unreferenced objects that
+        are older than ``max_age_seconds`` (``None`` = any age).  When
+        ``max_bytes`` is set and the referenced objects still exceed
+        it, the oldest referenced objects are evicted too (they are
+        content-addressed: a future run recomputes them) — but an
+        object under a **live lease** is never touched, whatever the
+        policy says: somebody is computing against it right now.
+
+        Also sweeps expired/stale lease files and orphaned ``*.tmp``
+        droppings from killed writers.  ``dry_run`` reports without
+        deleting.
+        """
+        now = time.time()
+        report = GCReport(dry_run=dry_run)
+        marked = self.referenced_keys()
+        entries = []  # (mtime, size, key, path)
+        for key in self.object_keys():
+            path = self.object_path(key)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, key, path))
+        report.examined = len(entries)
+        report.referenced = sum(1 for _, _, key, _ in entries
+                                if key in marked)
+
+        def removable(key: str) -> bool:
+            if self.lease_live(key):
+                report.kept_leased += 1
+                return False
+            return True
+
+        def remove(size: int, key: str, path: str) -> None:
+            report.deleted += 1
+            report.bytes_freed += size
+            report.deleted_keys.append(key)
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+
+        survivors = []
+        for mtime, size, key, path in sorted(entries):
+            if key in marked:
+                survivors.append((mtime, size, key, path))
+                continue
+            age = now - mtime
+            if max_age_seconds is not None and age < max_age_seconds:
+                report.kept_young += 1
+                survivors.append((mtime, size, key, path))
+                continue
+            if not removable(key):
+                survivors.append((mtime, size, key, path))
+                continue
+            remove(size, key, path)
+        if max_bytes is not None:
+            total = sum(size for _, size, _, _ in survivors)
+            for mtime, size, key, path in list(survivors):
+                if total <= max_bytes:
+                    break
+                if not removable(key):
+                    continue
+                remove(size, key, path)
+                survivors.remove((mtime, size, key, path))
+                total -= size
+        report.bytes_kept = sum(size for _, size, _, _ in survivors)
+
+        locks_dir = os.path.join(self.root, "locks")
+        if os.path.isdir(locks_dir):
+            for name in os.listdir(locks_dir):
+                path = os.path.join(locks_dir, name)
+                if name.endswith(".lock") and self._lease_is_stale(path):
+                    report.locks_removed += 1
+                    if not dry_run:
+                        try:
+                            os.unlink(path)
+                        except FileNotFoundError:
+                            pass
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    report.tmp_removed += 1
+                    if not dry_run:
+                        try:
+                            os.unlink(os.path.join(dirpath, name))
+                        except FileNotFoundError:
+                            pass
+        return report

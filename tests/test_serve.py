@@ -3,6 +3,7 @@
 import json
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -112,11 +113,12 @@ class TestResultStore:
 
     def test_claims_elect_one_winner(self, tmp_path):
         store = ResultStore(str(tmp_path))
-        assert store.claim("11" * 32) is True
-        assert store.claim("11" * 32) is False  # we already hold it
+        token = store.claim("11" * 32)
+        assert token is not None
+        assert store.claim("11" * 32) is None  # we already hold it
         assert store.claim_holder_alive("11" * 32)
-        store.release("11" * 32)
-        assert store.claim("11" * 32) is True
+        store.release("11" * 32, token)
+        assert store.claim("11" * 32) is not None
 
     def test_stale_claim_is_broken(self, tmp_path):
         store = ResultStore(str(tmp_path))
@@ -125,7 +127,53 @@ class TestResultStore:
         with open(path, "w") as handle:
             json.dump({"pid": 2 ** 22 + 12345}, handle)  # surely dead
         assert not store.claim_holder_alive("22" * 32)
-        assert store.claim("22" * 32) is True  # broken and re-taken
+        assert store.claim("22" * 32) is not None  # broken and re-taken
+
+    def test_lease_renew_and_expiry(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "33" * 32
+        token = store.claim(key, owner="a", lease_seconds=0.05)
+        assert token is not None
+        # a live lease blocks other claimants...
+        assert store.claim(key, owner="b") is None
+        # ...renewal by token extends it...
+        assert store.renew(key, token, lease_seconds=30.0)
+        assert store.claim(key, owner="b") is None
+        # ...but a wrong token cannot renew or release
+        assert not store.renew(key, "f" * 32)
+        store.release(key, "f" * 32)
+        assert store.lease_live(key)
+
+    def test_expired_lease_is_re_elected(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        key = "44" * 32
+        stale = store.claim(key, owner="a", lease_seconds=0.01)
+        assert stale is not None
+        time.sleep(0.05)
+        assert not store.lease_live(key)  # expired, holder alive or not
+        fresh = store.claim(key, owner="b", lease_seconds=30.0)
+        assert fresh is not None and fresh != stale
+        # the previous holder lost the chunk: renewal and token-release
+        # must both refuse
+        assert not store.renew(key, stale)
+        store.release(key, stale)
+        assert store.lease_live(key)
+
+    def test_pid_reuse_cannot_squat_a_claim(self, tmp_path):
+        # A forged claim recording *our own live pid* but a wrong start
+        # marker must read as stale: the pid was "recycled" onto an
+        # unrelated process, so the recorded holder is dead.
+        store = ResultStore(str(tmp_path))
+        key = "55" * 32
+        path = store.lock_path(key)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            json.dump({"owner": "ghost", "token": "t" * 32,
+                       "deadline": time.time() + 3600,
+                       "pid": os.getpid(),
+                       "start": "not-our-start-marker"}, handle)
+        assert not store.lease_live(key)
+        assert store.claim(key, owner="b") is not None
 
 
 class TestSweepJob:

@@ -1,0 +1,253 @@
+"""Deterministic chaos: seeded fault plans against the sweep service.
+
+The property this suite enforces (the PR's acceptance bar): under ANY
+seeded :class:`~repro.serve.chaos.FaultPlan`, a job either completes
+with frames **bit-identical** to ``run_sweep`` — corruption can never
+leak into a result — or surfaces a *typed* terminal state
+(``JobFailedError`` on an exhausted retry budget, ``JobCancelledError``
+after a cancel).  No hangs, no silent data loss, no third outcome.
+
+Every test here is seeded and deterministic: a failure reproduces from
+its printed plan alone.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+from repro.serve import (
+    JobRunner,
+    JobState,
+    ResultStore,
+    SweepJob,
+    effective_state,
+)
+from repro.serve.chaos import (
+    FAULT_KINDS,
+    ChaosOutcome,
+    FaultInjection,
+    FaultPlan,
+    ThreadDispatcher,
+    run_with_chaos,
+)
+from repro.serve.executor import JobFailedError, run_chunk_task
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def chaos_sweep(trials=24):
+    return SweepSpec(
+        base=TrialSpec(n=4, model=NoisyModelSpec(noise=EXPO)),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),),
+        trials=trials)
+
+
+def make_job(store, trials=24, seed=99, chunk_size=8):
+    sweep = chaos_sweep(trials)
+    job = SweepJob.from_sweep(sweep, seed=seed, chunk_size=chunk_size)
+    job.save(store)
+    return sweep, job
+
+
+def assert_bit_identical(sweep, seed, result):
+    ref = run_sweep(sweep, seed=seed)
+    for cell, frame in result:
+        assert frame == ref.frames[cell.index]
+
+
+class TestFaultPlan:
+    def test_generation_is_deterministic(self):
+        a = FaultPlan.generate(7, chunk_count=6)
+        b = FaultPlan.generate(7, chunk_count=6)
+        assert a == b
+        assert FaultPlan.generate(8, chunk_count=6) != a
+
+    def test_json_roundtrip(self):
+        plan = FaultPlan.generate(3, chunk_count=6)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        # and the wire form is plain JSON (CI artifacts carry it)
+        json.loads(plan.to_json())
+
+    def test_generated_plans_respect_retry_budget(self):
+        # charging faults per chunk stay strictly under the budget, so
+        # every *generated* plan is recoverable by construction
+        for seed in range(50):
+            plan = FaultPlan.generate(seed, chunk_count=4, max_faults=8)
+            charged = {}
+            for fault in plan.faults:
+                if fault.kind in ("kill_worker", "torn_write",
+                                  "slow_worker"):
+                    charged[fault.chunk] = charged.get(fault.chunk, 0) + 1
+            assert all(count < JobRunner.MAX_CHUNK_RETRIES
+                       for count in charged.values())
+
+
+class TestSingleFaultKinds:
+    """One test per fault kind: recovery + bit-identity, every seam."""
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_recovers_bit_identical(self, tmp_path, kind):
+        store = ResultStore(str(tmp_path))
+        sweep, job = make_job(store, seed=31 + hash(kind) % 100)
+        plan = FaultPlan(seed=0, faults=(
+            FaultInjection(kind=kind, chunk=1),))
+        outcome = run_with_chaos(store, job, plan,
+                                 lease_seconds=0.3,
+                                 chunk_timeout=(1.0 if kind == "slow_worker"
+                                                else None))
+        assert isinstance(outcome, ChaosOutcome)
+        assert any(f["kind"] == kind for f in outcome.fired), outcome.fired
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "done"
+        assert state.trials_done == job.total_trials
+        assert_bit_identical(sweep, job.entropy, outcome.result)
+
+    def test_stale_claim_all_variants(self, tmp_path):
+        for variant in ("dead_pid", "expired", "pid_reuse"):
+            store = ResultStore(str(tmp_path / variant))
+            sweep, job = make_job(store, seed=7)
+            plan = FaultPlan(seed=0, faults=(
+                FaultInjection("stale_claim", 0, variant),
+                FaultInjection("stale_claim", 2, variant)))
+            outcome = run_with_chaos(store, job, plan, lease_seconds=0.3)
+            assert_bit_identical(sweep, job.entropy, outcome.result)
+
+    def test_torn_write_both_variants_repair(self, tmp_path):
+        for variant in ("truncated", "bit_flipped"):
+            store = ResultStore(str(tmp_path / variant))
+            sweep, job = make_job(store, seed=13)
+            plan = FaultPlan(seed=0, faults=(
+                FaultInjection("torn_write", 0, variant),))
+            outcome = run_with_chaos(store, job, plan, lease_seconds=0.3)
+            assert any(f["kind"] == "torn_write" for f in outcome.fired)
+            # the torn object was repaired: every chunk now validates
+            for task in job.chunks():
+                frame = store.get(task.key)
+                assert frame is not None and len(frame) == task.count
+            assert_bit_identical(sweep, job.entropy, outcome.result)
+
+    def test_coordinator_crash_resumes_and_folds_once(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        sweep, job = make_job(store, seed=17)
+        plan = FaultPlan(seed=0, faults=(
+            FaultInjection("coordinator_crash", 0),
+            FaultInjection("coordinator_crash", 3)))
+        outcome = run_with_chaos(store, job, plan, lease_seconds=0.3)
+        assert outcome.resumes >= 1
+        state = JobState.load(store, job.job_id)
+        # exactly-once folding: the resumed run counts every trial once
+        assert state.trials_done == job.total_trials
+        assert state.chunks_done == len(job.chunks())
+        assert_bit_identical(sweep, job.entropy, outcome.result)
+
+
+class TestSeededPropertyGrid:
+    """Generated plans across seeds: the actual property sweep."""
+
+    @pytest.mark.parametrize("seed", list(range(8)))
+    def test_any_generated_plan_recovers_bit_identical(self, tmp_path,
+                                                       seed):
+        store = ResultStore(str(tmp_path))
+        sweep, job = make_job(store, seed=1000 + seed)
+        plan = FaultPlan.generate(seed, chunk_count=len(job.chunks()))
+        outcome = run_with_chaos(store, job, plan, lease_seconds=0.3,
+                                 chunk_timeout=2.0)
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "done", plan.to_json()
+        assert state.trials_done == job.total_trials, plan.to_json()
+        assert_bit_identical(sweep, job.entropy, outcome.result)
+
+
+class TestTypedTerminalStates:
+    def test_retry_budget_exhaustion_is_typed_failure(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        _sweep, job = make_job(store, seed=23)
+        # hand-built (not generatable) plan: kill one chunk's worker
+        # MAX_CHUNK_RETRIES times — must fail typed, not hang
+        plan = FaultPlan(seed=0, faults=tuple(
+            FaultInjection("kill_worker", 1)
+            for _ in range(JobRunner.MAX_CHUNK_RETRIES)))
+        with pytest.raises(JobFailedError, match="3 times; giving up"):
+            run_with_chaos(store, job, plan, lease_seconds=0.3)
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "failed"
+        assert "giving up" in state.error
+        # the budget is persisted: the doomed chunk's ledger survives
+        doomed = job.chunks()[1].key
+        assert state.retry_state(doomed).attempts == \
+            JobRunner.MAX_CHUNK_RETRIES
+
+    def test_failed_job_resubmission_recovers(self, tmp_path):
+        # after a typed failure, a clean resubmission (no chaos) adopts
+        # the stored chunks and completes — failure is never a dead end
+        store = ResultStore(str(tmp_path))
+        sweep, job = make_job(store, seed=23)
+        plan = FaultPlan(seed=0, faults=tuple(
+            FaultInjection("kill_worker", 1)
+            for _ in range(JobRunner.MAX_CHUNK_RETRIES)))
+        with pytest.raises(JobFailedError):
+            run_with_chaos(store, job, plan, lease_seconds=0.3)
+        result = JobRunner(store).run(job)
+        assert_bit_identical(sweep, job.entropy, result)
+
+
+class TestTwoCoordinators:
+    def test_adopted_resume_across_coordinators(self, tmp_path):
+        """Two coordinators drive one job concurrently: leases elect one
+        computer per chunk, the other adopts, both finish bit-identical,
+        and no chunk is computed by both."""
+        store = ResultStore(str(tmp_path))
+        sweep, job = make_job(store, trials=32, seed=41, chunk_size=8)
+        computed_by = []
+        lock = threading.Lock()
+
+        def counting_chunk_fn(payload):
+            time.sleep(0.03)  # widen the overlap window
+            out = run_chunk_task(payload)
+            if out["computed"]:
+                with lock:
+                    computed_by.append((threading.get_ident(),
+                                        payload["key"]))
+            return out
+
+        results = {}
+        errors = []
+
+        def drive(name):
+            try:
+                runner = JobRunner(
+                    store,
+                    dispatcher=ThreadDispatcher(
+                        workers=2, chunk_fn=counting_chunk_fn),
+                    lease_seconds=5.0)
+                results[name] = runner.run(job)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((name, exc))
+
+        a = threading.Thread(target=drive, args=("a",))
+        b = threading.Thread(target=drive, args=("b",))
+        a.start()
+        b.start()
+        a.join(timeout=120)
+        b.join(timeout=120)
+        assert not a.is_alive() and not b.is_alive()
+        assert not errors, errors
+        # every chunk computed exactly once across BOTH coordinators
+        keys = [key for _, key in computed_by]
+        assert sorted(keys) == sorted(t.key for t in job.chunks())
+        for name in ("a", "b"):
+            assert_bit_identical(sweep, job.entropy, results[name])
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "done"

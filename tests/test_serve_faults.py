@@ -1,0 +1,482 @@
+"""Failure-semantics satellites: leases, retries, cancel, GC, torn reads.
+
+Everything around the chaos property grid (``test_serve_chaos.py``)
+that deserves a direct, single-seam test: pid-reuse liveness at the job
+level, the bounded event ring, persisted retry ledgers with seeded
+backoff, torn objects on every local read path, cooperative
+cancellation, store garbage collection, and the self-managed
+``WorkerPoolDispatcher`` backend.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    SweepAxis,
+    SweepSpec,
+    TrialSpec,
+    run_sweep,
+)
+from repro.errors import JobCancelledError
+from repro.serve import (
+    InlineDispatcher,
+    JobRunner,
+    JobState,
+    ResultStore,
+    RetryState,
+    SweepJob,
+    WorkerPoolDispatcher,
+    effective_state,
+    job_status,
+    load_result,
+    process_start_marker,
+    request_cancel,
+)
+from repro.serve.executor import run_chunk_task
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+UNIF = NoiseSpec.of("uniform", low=0.0, high=2.0)
+
+
+def small_sweep(trials=32):
+    return SweepSpec(
+        base=TrialSpec(n=2, model=NoisyModelSpec(noise=EXPO),
+                       stop_after_first_decision=True),
+        axes=(SweepAxis("model.noise", (EXPO, UNIF), name="distribution",
+                        labels=("expo", "unif")),),
+        trials=trials)
+
+
+def make_job(store, trials=32, seed=3, chunk_size=8):
+    job = SweepJob.from_sweep(small_sweep(trials), seed=seed,
+                              chunk_size=chunk_size)
+    job.save(store)
+    return job
+
+
+def assert_bit_identical(result, sweep, seed):
+    ref = run_sweep(sweep, seed=seed)
+    for cell, frame in result:
+        assert frame == ref.frames[cell.index]
+
+
+class TestPidReuseLiveness:
+    def test_forged_runner_with_wrong_start_marker_reads_partial(self):
+        # a recorded "running" coordinator whose pid is alive (ours!)
+        # but whose start marker belongs to another incarnation is DEAD:
+        # the classic pid-reuse hazard must read as partial, not running
+        state = JobState(state="running", runner_pid=os.getpid(),
+                         runner_start="some-other-incarnation")
+        assert effective_state(state) == "partial"
+
+    def test_live_runner_with_matching_marker_reads_running(self):
+        state = JobState(state="running", runner_pid=os.getpid(),
+                         runner_start=process_start_marker(os.getpid()))
+        assert effective_state(state) == "running"
+
+    def test_runner_records_its_start_marker(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store)
+        result = JobRunner(store).run(job)
+        # done states clear the runner identity...
+        assert result.state.runner_pid is None
+        assert result.state.runner_start is None
+        # ...but the owner id remains for diagnostics
+        assert result.state.runner_owner is not None
+
+
+class TestEventRing:
+    def test_ring_is_bounded_on_append(self):
+        state = JobState()
+        for index in range(JobState.MAX_EVENTS * 3):
+            state.record_event("chunk", index=index)
+        assert len(state.events) == JobState.MAX_EVENTS
+        # the *newest* events survive
+        assert state.events[-1]["index"] == JobState.MAX_EVENTS * 3 - 1
+
+    def test_ring_is_bounded_on_load(self, tmp_path):
+        # a foreign writer that appended without trimming is re-bounded
+        store = ResultStore(str(tmp_path))
+        state = JobState()
+        state.events = [{"type": "chunk", "i": i} for i in range(500)]
+        state.save(store, "someid")
+        loaded = JobState.load(store, "someid")
+        assert len(loaded.events) == JobState.MAX_EVENTS
+        assert loaded.events[-1]["i"] == 499
+
+    def test_long_job_state_file_stays_small(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, trials=64, chunk_size=4)  # 32 chunks
+        JobRunner(store).run(job)
+        state_path = os.path.join(store.job_dir(job.job_id), "state.json")
+        assert len(JobState.load(store, job.job_id).events) <= \
+            JobState.MAX_EVENTS
+        assert os.path.getsize(state_path) < 64 * 1024
+
+
+class TestRetryLedger:
+    def test_retry_state_roundtrip(self):
+        retry = RetryState(attempts=2, last_error="boom",
+                           next_eligible_at=123.5)
+        assert RetryState.from_dict(retry.to_dict()) == retry
+
+    def test_backoff_is_deterministic_and_exponential(self, tmp_path):
+        runner = JobRunner(ResultStore(str(tmp_path)))
+        key = "ab" * 32
+        first = runner._backoff_seconds(key, 1)
+        assert first == runner._backoff_seconds(key, 1)  # seeded jitter
+        assert runner._backoff_seconds(key, 2) > first
+        base = JobRunner.RETRY_BACKOFF_BASE
+        assert base <= first < 2 * base
+        # the cap bounds the schedule
+        assert runner._backoff_seconds(key, 30) <= \
+            JobRunner.RETRY_BACKOFF_CAP + base
+        # different chunks get different jitter (no stampede)
+        assert runner._backoff_seconds("cd" * 32, 1) != first
+
+    def test_worker_loss_persists_attempts_and_backoff(self, tmp_path):
+        from concurrent.futures.process import BrokenProcessPool
+
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, trials=16, chunk_size=8)
+        doomed = job.chunks()[0].key
+        fired = {"n": 0}
+
+        def die_once(payload):
+            if payload["key"] == doomed and not fired["n"]:
+                fired["n"] += 1
+                raise BrokenProcessPool("injected")
+            return run_chunk_task(payload)
+
+        result = JobRunner(
+            store, dispatcher=InlineDispatcher(chunk_fn=die_once)).run(job)
+        assert result.state.state == "done"
+        # the ledger was cleared on success...
+        assert result.state.retries == {}
+        # ...but the loss left its event, with the backoff recorded
+        died = [e for e in result.state.events if e["type"] == "worker_died"]
+        assert len(died) == 1
+        assert died[0]["attempts"] == 1
+        assert died[0]["backoff_s"] > 0
+
+
+class TestTornObjectReadPaths:
+    """A torn object must read as a miss on EVERY path, never bad data."""
+
+    def _tear(self, store, key, mode="truncate"):
+        path = store.object_path(key)
+        if mode == "truncate":
+            with open(path, "r+b") as handle:
+                handle.truncate(16)
+        else:  # bit flip
+            with open(path, "r+b") as handle:
+                blob = bytearray(handle.read())
+                blob[len(blob) // 2] ^= 0xFF
+                handle.seek(0)
+                handle.write(blob)
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_runner_adoption_recomputes_torn_chunk(self, tmp_path, mode):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, seed=11)
+        JobRunner(store).run(job)
+        key = job.chunks()[1].key
+        self._tear(store, key, mode)
+        assert store.get(key) is None  # reads as a miss
+        # a resume must recompute (not adopt) the torn chunk and repair it
+        computed = []
+
+        def counting(payload):
+            computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        result = JobRunner(
+            store, dispatcher=InlineDispatcher(chunk_fn=counting)).run(job)
+        assert computed == [key]
+        frame = store.get(key)
+        assert frame is not None and len(frame) == job.chunks()[1].count
+        assert_bit_identical(result, small_sweep(), 11)
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_worker_dedup_path_rejects_torn_object(self, tmp_path, mode):
+        # the worker-side adoption check (run_chunk_task's store hit)
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, seed=13)
+        JobRunner(store).run(job)
+        task = job.chunks()[0].key
+        self._tear(store, task, mode)
+        from repro.serve.executor import _task_payload
+        payload = _task_payload(job, job.chunks()[0], store)
+        outcome = run_chunk_task(payload)
+        assert outcome["computed"] is True  # recomputed, not adopted
+        assert store.get(task) is not None  # and repaired in place
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_check_local_path_refuses_torn_chunk(self, tmp_path, mode):
+        # `repro result --check-local` assembles through load_result:
+        # a torn chunk must raise, never verify against bad data
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, seed=17)
+        JobRunner(store).run(job)
+        self._tear(store, job.chunks()[2].key, mode)
+        with pytest.raises(KeyError, match="incomplete"):
+            load_result(store, job.job_id)
+
+    def test_put_repairs_torn_object(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, seed=19)
+        JobRunner(store).run(job)
+        task = job.chunks()[0]
+        good = store.get(task.key)
+        self._tear(store, task.key)
+        # put() on a torn object overwrites instead of deferring to it
+        assert store.put(task.key, good) is True
+        assert store.get(task.key) == good
+
+
+class TestCancellation:
+    def test_cancel_queued_job_finalizes_immediately(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store)
+        doc = request_cancel(store, job.job_id, reason="nvm")
+        assert doc["state"] == "cancelled"
+        events = JobState.load(store, job.job_id).events
+        assert any(e["type"] == "cancelled" for e in events)
+        # terminal no-op on repeat
+        assert request_cancel(store, job.job_id)["state"] == "cancelled"
+
+    def test_cancel_mid_run_drains_and_keeps_chunks(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, trials=64, chunk_size=8)  # 16 chunks
+        seen = []
+
+        def slow_chunk(payload):
+            seen.append(payload["key"])
+            if len(seen) == 3:
+                # cancel arrives while the runner is mid-job
+                request_cancel(store, job.job_id, reason="operator")
+            time.sleep(0.01)
+            return run_chunk_task(payload)
+
+        runner = JobRunner(store,
+                           dispatcher=InlineDispatcher(chunk_fn=slow_chunk))
+        with pytest.raises(JobCancelledError, match="operator"):
+            runner.run(job)
+        state = JobState.load(store, job.job_id)
+        assert effective_state(state) == "cancelled"
+        # stored chunks were kept (>= the 3 computed before the cancel)
+        stored = sum(1 for t in job.chunks() if store.has(t.key))
+        assert 3 <= stored < len(job.chunks())
+        # all leases were released on the way out
+        assert not any(store.lease_live(t.key) for t in job.chunks())
+        assert job_status(store, job.job_id)["state"] == "cancelled"
+        # resubmission clears the cancel and adopts the stored chunks
+        computed = []
+
+        def counting(payload):
+            computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        result = JobRunner(
+            store, dispatcher=InlineDispatcher(chunk_fn=counting)).run(job)
+        assert result.state.state == "done"
+        assert len(computed) == len(job.chunks()) - stored
+        assert_bit_identical(result, small_sweep(64), 3)
+
+
+class TestStoreGC:
+    def _run_job(self, store, seed):
+        job = make_job(store, seed=seed)
+        JobRunner(store).run(job)
+        return job
+
+    def test_gc_keeps_referenced_sweeps_unreferenced(self, tmp_path):
+        import shutil
+
+        store = ResultStore(str(tmp_path))
+        keep = self._run_job(store, seed=101)
+        drop = self._run_job(store, seed=202)
+        # retire the second job: its manifest disappears, its objects
+        # become unreferenced garbage
+        shutil.rmtree(store.job_dir(drop.job_id))
+        report = store.gc()
+        assert report.deleted == len(drop.chunks())
+        assert report.bytes_freed > 0
+        assert all(store.has(t.key) for t in keep.chunks())
+        assert not any(store.has(t.key) for t in drop.chunks())
+        # the kept job still assembles + verifies
+        assert load_result(store, keep.job_id)
+
+    def test_gc_age_policy_protects_young_objects(self, tmp_path):
+        import shutil
+
+        store = ResultStore(str(tmp_path))
+        drop = self._run_job(store, seed=303)
+        shutil.rmtree(store.job_dir(drop.job_id))
+        report = store.gc(max_age_seconds=3600)
+        assert report.deleted == 0
+        assert report.kept_young == len(drop.chunks())
+
+    def test_gc_never_deletes_under_live_lease(self, tmp_path):
+        import shutil
+
+        store = ResultStore(str(tmp_path))
+        drop = self._run_job(store, seed=404)
+        shutil.rmtree(store.job_dir(drop.job_id))
+        leased = drop.chunks()[0].key
+        token = store.claim(leased, owner="live", lease_seconds=60.0)
+        assert token is not None
+        report = store.gc()
+        assert report.kept_leased >= 1
+        assert store.has(leased)
+        assert report.deleted == len(drop.chunks()) - 1
+
+    def test_gc_size_pressure_evicts_oldest_referenced(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = self._run_job(store, seed=505)
+        report = store.gc(max_bytes=1)  # force eviction of everything
+        assert report.deleted == len(job.chunks())
+        # content-addressed: a resubmission simply recomputes
+        result = JobRunner(store).run(job)
+        assert result.state.state == "done"
+
+    def test_gc_sweeps_stale_locks_and_tmp(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        lock = store.lock_path("aa" * 32)
+        os.makedirs(os.path.dirname(lock))
+        with open(lock, "w") as handle:
+            json.dump({"pid": 2 ** 22 + 999, "deadline": 0}, handle)
+        stray = os.path.join(store.root, "objects", "zz.tmp")
+        os.makedirs(os.path.dirname(stray), exist_ok=True)
+        with open(stray, "w") as handle:
+            handle.write("half-written")
+        report = store.gc()
+        assert report.locks_removed == 1
+        assert report.tmp_removed == 1
+        assert not os.path.exists(lock)
+        assert not os.path.exists(stray)
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        import shutil
+
+        store = ResultStore(str(tmp_path))
+        drop = self._run_job(store, seed=606)
+        shutil.rmtree(store.job_dir(drop.job_id))
+        report = store.gc(dry_run=True)
+        assert report.dry_run and report.deleted == len(drop.chunks())
+        assert all(store.has(t.key) for t in drop.chunks())
+
+
+class TestWorkerPoolDispatcher:
+    def test_basic_run_is_bit_identical(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        job = make_job(store, seed=21)
+        result = JobRunner(store, workers=2,
+                           backend="worker-pool").run(job)
+        assert result.state.state == "done"
+        assert_bit_identical(result, small_sweep(), 21)
+
+    def test_worker_sigkill_is_detected_and_requeued(self, tmp_path,
+                                                     monkeypatch):
+        sweep = small_sweep(trials=48)
+        job = SweepJob.from_sweep(sweep, seed=22, chunk_size=8)
+        marker = str(tmp_path / "killed-once")
+        monkeypatch.setenv("REPRO_SERVE_TEST_KILL_ONCE", marker)
+        store = ResultStore(str(tmp_path / "store"))
+        result = JobRunner(store, workers=2,
+                           backend="worker-pool").run(job)
+        assert os.path.exists(marker), "the kill seam never fired"
+        assert result.state.state == "done"
+        assert any(e["type"] == "worker_died" for e in result.state.events)
+        assert_bit_identical(result, sweep, 22)
+
+    def test_slow_worker_times_out_but_late_store_is_adopted(
+            self, tmp_path, monkeypatch):
+        # a worker that stalls past chunk_timeout is requeued — but when
+        # the straggler *eventually* stores its chunk, the retry adopts
+        # it (idempotent writes) and the job completes, never fails
+        sweep = small_sweep(trials=8)
+        job = SweepJob.from_sweep(sweep, seed=23, chunk_size=8)
+        monkeypatch.setenv("REPRO_SERVE_TEST_CHUNK_DELAY", "0.6")
+        store = ResultStore(str(tmp_path / "store"))
+        result = JobRunner(store, workers=2, backend="worker-pool",
+                           chunk_timeout=0.2).run(job)
+        assert result.state.state == "done"
+        timed_out = [e for e in result.state.events
+                     if e["type"] == "worker_died"
+                     and "chunk_timeout" in e.get("error", "")]
+        assert timed_out, "the chunk timeout never fired"
+        assert_bit_identical(result, sweep, 23)
+
+    def test_forever_stuck_worker_fails_typed_after_retry_cap(
+            self, tmp_path):
+        # a chunk whose worker NEVER delivers (not even late) exhausts
+        # its persisted retry budget and fails typed — no hang
+        from repro.serve import JobFailedError
+
+        def never_finishes(payload):
+            time.sleep(60)
+            raise RuntimeError("unreachable")
+
+        sweep = small_sweep(trials=8)
+        job = SweepJob.from_sweep(sweep, seed=24, chunk_size=8)
+        store = ResultStore(str(tmp_path / "store"))
+        runner = JobRunner(
+            store, dispatcher=WorkerPoolDispatcher(
+                2, chunk_fn=never_finishes),
+            chunk_timeout=0.2)
+        started = time.monotonic()
+        with pytest.raises(JobFailedError, match="timed out"):
+            runner.run(job)
+        assert time.monotonic() - started < 30  # bounded, not hung
+        state = JobState.load(store, job.job_id)
+        assert state.state == "failed"
+        assert "3 times; giving up" in state.error
+
+
+class TestMultiCoordinatorThreads:
+    def test_second_coordinator_waits_and_adopts(self, tmp_path):
+        # coordinator B starts while A holds live leases: B waits on
+        # A's chunks, adopts the stored objects, and never recomputes
+        store = ResultStore(str(tmp_path))
+        job = make_job(store, trials=48, seed=31, chunk_size=8)
+        a_computed, b_computed = [], []
+        barrier = threading.Barrier(2, timeout=30)
+
+        def a_fn(payload):
+            a_computed.append(payload["key"])
+            if len(a_computed) == 1:
+                barrier.wait()  # let B start mid-run
+                time.sleep(0.05)
+            out = run_chunk_task(payload)
+            return out
+
+        def run_a():
+            JobRunner(store, dispatcher=InlineDispatcher(chunk_fn=a_fn),
+                      lease_seconds=30.0).run(job)
+
+        thread = threading.Thread(target=run_a)
+        thread.start()
+        barrier.wait()
+
+        def b_fn(payload):
+            b_computed.append(payload["key"])
+            return run_chunk_task(payload)
+
+        result_b = JobRunner(store,
+                             dispatcher=InlineDispatcher(chunk_fn=b_fn),
+                             lease_seconds=30.0).run(job)
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        # no chunk ran twice across the two coordinators
+        all_computed = a_computed + b_computed
+        assert len(all_computed) == len(set(all_computed)) == \
+            len(job.chunks())
+        assert result_b.state.state == "done"
+        assert_bit_identical(result_b, small_sweep(48), 31)

@@ -3,9 +3,12 @@
 Spins up ``repro.serve.server`` on an ephemeral port and drives it with
 :class:`repro.serve.client.ServeClient` — submit, watch, aggregates,
 manifest, frame reassembly (bit-identical to in-process ``run_sweep``),
-dedup on resubmission, and the error surface.
+dedup on resubmission, cancellation, torn-object 404s, client timeout
+typing, and the error surface.
 """
 
+import os
+import socket
 import threading
 
 import pytest
@@ -154,6 +157,89 @@ class TestErrorSurface:
             service._json("/nope")
 
     def test_unreachable_server_raises(self, tmp_path):
-        client = ServeClient("http://127.0.0.1:1", timeout=2)
+        client = ServeClient("http://127.0.0.1:1", timeout=2,
+                             retries=1, backoff=0.01)
         with pytest.raises(ServeError, match="cannot reach"):
             client.healthz()
+
+    def test_hung_server_raises_typed_timeout(self):
+        # a socket that accepts connections but never answers: the
+        # client's read deadline + bounded retries must surface a typed
+        # ServeTimeoutError, never block forever
+        from repro.errors import ServeTimeoutError
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            client = ServeClient(f"http://{host}:{port}", timeout=0.2,
+                                 retries=1, backoff=0.01)
+            with pytest.raises(ServeTimeoutError, match="did not answer"):
+                client.healthz()
+        finally:
+            listener.close()
+
+
+@pytest.fixture()
+def bound_service(tmp_path):
+    """Like ``service`` but also exposes the server-side store."""
+    from repro.serve import ResultStore
+    from repro.serve.server import make_server as _make
+
+    store_dir = str(tmp_path / "store")
+    server, svc = _make(store_dir, workers=1)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}")
+    try:
+        yield client, ResultStore(store_dir)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestFailureSemanticsOverHTTP:
+    def test_torn_object_is_404_not_corrupt_bytes(self, bound_service):
+        client, store = bound_service
+        job = SweepJob.from_sweep(small_sweep(trials=16), seed=5,
+                                  chunk_size=8)
+        client.submit_job(job)
+        client.wait(job.job_id, interval=0.05, timeout=60)
+        key = job.chunks()[0].key
+        assert client.object_bytes(key)  # healthy object serves fine
+        with open(store.object_path(key), "r+b") as handle:
+            handle.truncate(16)  # tear it
+        with pytest.raises(ServeError, match="404"):
+            client.object_bytes(key)
+        # and the manifest-driven result fetch refuses rather than
+        # silently assembling from a torn chunk
+        with pytest.raises(ServeError):
+            client.result_frames(job.job_id)
+
+    def test_cancel_route(self, bound_service):
+        client, store = bound_service
+        # a job that exists but is not running (document only, queued)
+        job = SweepJob.from_sweep(small_sweep(trials=16), seed=77,
+                                  chunk_size=8)
+        job.save(store)
+        doc = client.cancel(job.job_id, reason="operator says stop")
+        assert doc["state"] == "cancelled"
+        # cancel is idempotent on terminal jobs
+        assert client.cancel(job.job_id)["state"] == "cancelled"
+        # watch() treats cancelled as terminal
+        assert client.wait(job.job_id, interval=0.05,
+                           timeout=10)["state"] == "cancelled"
+        # resubmission un-cancels: the job resumes and completes
+        client.submit_job(job)
+        final = client.wait(job.job_id, interval=0.05, timeout=60)
+        assert final["state"] == "done"
+        assert not os.path.exists(
+            os.path.join(store.job_dir(job.job_id), "cancel.json"))
+
+    def test_cancel_unknown_job_is_404(self, bound_service):
+        client, _store = bound_service
+        with pytest.raises(ServeError, match="404"):
+            client.cancel("deadbeef" * 3)
