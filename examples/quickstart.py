@@ -63,6 +63,23 @@ expose the same choice as ``--engine fast`` / ``--engine kernel`` next
 to ``--workers`` (e.g. ``python -m repro figure1 --paper --engine
 kernel``).
 
+The kernel's array math is itself pluggable — ``spec.backend`` / CLI
+``--backend``, resolved backend on ``result.backend``:
+
+    backend   oracle tier  needs        covers
+    --------  -----------  -----------  ------------------------------
+    numpy     bitwise      (built in)   everything (the default)
+    numba     bitwise      numba wheel  every kernel lane (JIT loops)
+    cupy      float-tol    cupy + GPU   lean variant, no crashes/caps/
+                                        budgets, n <= 2048
+
+An unavailable or non-covering backend degrades to numpy with the
+reason appended to ``result.engine_reason``; pinning ``engine="kernel"``
+alongside it raises :class:`repro.ConfigurationError` naming the
+blocker instead.  The differential oracle accepts ``backend=`` and
+gates each lane against the scalar reference (bitwise for numpy/numba;
+documented 1e-12 tolerance tier for cupy's device libm).
+
 Sweeps and frames: grids of trials are declared as a
 :class:`repro.SweepSpec` (base spec + named axes) and executed through
 :func:`repro.run_sweep`, which returns one columnar

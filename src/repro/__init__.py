@@ -91,6 +91,32 @@ for every ``workers`` value.  The differential oracle
 (:mod:`repro.sim.differential`) cross-validates all three engines on
 shared schedules.
 
+The lockstep kernel's array math is pluggable
+(``TrialSpec(backend=...)``, CLI ``--backend``; registry in
+:mod:`repro.sim.backend`):
+
+===========  ============  =============================================
+backend      oracle tier   what runs there
+===========  ============  =============================================
+``numpy``    bitwise       the default — every engine, every lane.
+``numba``    bitwise       JIT-compiled lockstep inner loops (same
+                           float64 ops in the same order); requires the
+                           ``numba`` wheel.
+``cupy``     float-tol     device-resident schedule tensors with a
+                           host-side event pick; plain lean variant,
+                           no crash schedules / round caps / op
+                           budgets, n <= 2048; requires ``cupy`` + a
+                           CUDA device.
+===========  ============  =============================================
+
+Backend resolution mirrors engine resolution: a backend that cannot run
+(missing import, no device, or an unsupported feature) degrades to
+numpy with the reason appended to ``result.engine_reason`` — unless
+``engine="kernel"`` was explicitly pinned, in which case the spec
+raises :class:`ConfigurationError` naming the blocker.  ``result.backend``
+records what actually ran.  The differential oracle gates every backend
+(``assert_equivalent(spec, backend=...)``) and never degrades.
+
 Sweeps — declare a grid instead of writing a loop.  A
 :class:`SweepSpec` is a base :class:`TrialSpec` plus named axes that
 mutate spec fields by dotted path (including component-spec parameters

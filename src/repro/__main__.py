@@ -44,7 +44,8 @@ def _usage() -> str:
             f"       python -m repro all [options] [<experiment>:<arg> ...]\n\n"
             f"experiments:\n  {names}\n  all\n\n"
             "common options: --ns N [N ...], --trials T, --seed S, "
-            "--workers W, --engine {auto,event,fast,kernel}, --paper\n"
+            "--workers W, --engine {auto,event,fast,kernel}, "
+            "--backend {numpy,numba,cupy}, --paper\n"
             "sweep service: `python -m repro serve serve --store DIR` runs "
             "the job API;\n  submit/status/watch/result talk to it "
             "(--url) or to a local store (--store)")

@@ -64,6 +64,7 @@ from repro.sim.build import (
     make_machines,
     make_memory_for,
 )
+from repro.sim.backend import backend_spec_gap, backend_unavailability
 from repro.sim.engine import HybridEngine, NoisyEngine, StepEngine
 from repro.sim.fast import (
     FAST_VARIANTS,
@@ -161,7 +162,14 @@ class CompiledTrial:
             engine, which replays a closed-form schedule instead).
         memory: the assembled shared memory (``None`` for the fast engine).
         engine_reason: why ``"auto"`` fell back to the event engine, when
-            it did (mirrored onto ``TrialResult.engine_reason``).
+            it did (mirrored onto ``TrialResult.engine_reason``), and/or
+            why a requested array backend degraded to numpy.
+        backend: the resolved array backend (``None`` for the step and
+            hybrid models, where the field does not apply).  Like the
+            ``"kernel"`` engine label on a single compiled trial, this
+            records the *resolution*: the scalar replay a single kernel
+            trial executes is bit-identical to every bitwise backend
+            lane by construction.
     """
 
     spec: TrialSpec
@@ -169,6 +177,7 @@ class CompiledTrial:
     machines: Optional[list] = None
     memory: Optional[object] = None
     engine_reason: Optional[str] = None
+    backend: Optional[str] = None
     _execute: Callable[[], TrialResult] = field(default=None, repr=False)
 
     def run(self) -> TrialResult:
@@ -176,6 +185,7 @@ class CompiledTrial:
         result = self._execute()
         result.engine = self.engine
         result.engine_reason = self.engine_reason
+        result.backend = self.backend
         return result
 
 
@@ -187,10 +197,26 @@ class EngineResolution:
         engine: the engine that will run.
         reason: for ``"auto"`` resolutions that fell back to the event
             engine, the structured explanation (``None`` otherwise).
+        backend: the array backend the kernel engine will replay on
+            (``"numpy"`` whenever the requested backend degraded or a
+            non-kernel engine runs).
+        backend_reason: why a non-numpy backend request degraded to
+            numpy (``None`` when the request was honored or absent).
     """
 
     engine: str
     reason: Optional[str] = None
+    backend: str = "numpy"
+    backend_reason: Optional[str] = None
+
+    @property
+    def combined_reason(self) -> Optional[str]:
+        """``reason`` and ``backend_reason`` merged for ``engine_reason``."""
+        if self.reason is None:
+            return self.backend_reason
+        if self.backend_reason is None:
+            return self.reason
+        return f"{self.reason}; {self.backend_reason}"
 
 
 def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
@@ -225,6 +251,45 @@ def fast_ineligibility(spec: TrialSpec) -> Optional[str]:
     return "; ".join(reasons)
 
 
+def _resolve_backend(spec: TrialSpec, engine: str):
+    """Resolve the array backend for a spec, given the resolved engine.
+
+    Returns ``(backend, reason)``.  The contract mirrors engine
+    resolution: a non-numpy request that cannot be honored — the engine
+    is not the kernel, the backend's import is unavailable on this
+    host, or the spec uses a feature the backend does not cover —
+    *degrades* to numpy with the reason recorded (surfaced on
+    ``engine_reason``), unless the caller pinned ``engine="kernel"``
+    explicitly, in which case the request was a hard requirement and a
+    :class:`~repro.errors.ConfigurationError` names the blocker.
+    """
+    requested = spec.backend
+    if requested == "numpy":
+        return "numpy", None
+    explicit = spec.engine == "kernel"
+    if engine != "kernel":
+        return "numpy", (
+            f'backend="{requested}" applies to the lockstep kernel; '
+            f"the {engine!r} engine runs on numpy")
+    unavail = backend_unavailability(requested)
+    if unavail is not None:
+        if explicit:
+            raise ConfigurationError(
+                f'backend="{requested}" was requested with '
+                f'engine="kernel" but {unavail}')
+        return "numpy", (
+            f'backend="{requested}" degraded to numpy: {unavail}')
+    gap = backend_spec_gap(requested, spec)
+    if gap is not None:
+        if explicit:
+            raise ConfigurationError(
+                f'backend="{requested}" was requested with '
+                f'engine="kernel" but {gap}')
+        return "numpy", (
+            f'backend="{requested}" degraded to numpy: {gap}')
+    return requested, None
+
+
 def resolve_engine_info(spec: TrialSpec,
                         trials: Optional[int] = None) -> EngineResolution:
     """Resolve the engine a spec will run on, with the fallback reason.
@@ -233,7 +298,9 @@ def resolve_engine_info(spec: TrialSpec,
     :class:`~repro.errors.ConfigurationError` naming *every* blocker;
     ``engine="auto"`` falls back to the event engine instead and reports
     why in :attr:`EngineResolution.reason` (surfaced as
-    ``TrialResult.engine_reason``).
+    ``TrialResult.engine_reason``).  The spec's array backend resolves
+    the same way against the resolved engine (see :func:`_resolve_backend`)
+    into :attr:`EngineResolution.backend` / ``backend_reason``.
 
     ``trials`` is the batch context: with ``engine="auto"``, a
     fast-eligible chunk of at least :data:`KERNEL_AUTO_MIN_TRIALS`
@@ -243,6 +310,17 @@ def resolve_engine_info(spec: TrialSpec,
     batch and threads the outcome through its serial and pool paths, so
     the recorded engine never depends on worker chunking.
     """
+    base = _resolve_engine_base(spec, trials)
+    backend, backend_reason = _resolve_backend(spec, base.engine)
+    if backend == "numpy" and backend_reason is None:
+        return base
+    return EngineResolution(base.engine, base.reason,
+                            backend, backend_reason)
+
+
+def _resolve_engine_base(spec: TrialSpec,
+                         trials: Optional[int]) -> EngineResolution:
+    """Engine selection alone (:func:`resolve_engine_info` sans backend)."""
     if isinstance(spec.model, StepModelSpec):
         return EngineResolution("step")
     if isinstance(spec.model, HybridModelSpec):
@@ -464,6 +542,8 @@ def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
                                       horizon=lean_horizon_ops(spec.n))
 
         return CompiledTrial(spec=spec, engine=resolution.engine,
+                             engine_reason=resolution.combined_reason,
+                             backend=resolution.backend,
                              _execute=execute)
 
     delta = model.delta.build(spec.n, rng_dither)
@@ -490,7 +570,9 @@ def _compile_noisy(spec: TrialSpec, seed: SeedLike) -> CompiledTrial:
         return check_result(result, spec.check)
 
     return CompiledTrial(spec=spec, engine="event", machines=machines,
-                         memory=memory, engine_reason=resolution.reason,
+                         memory=memory,
+                         engine_reason=resolution.combined_reason,
+                         backend=resolution.backend,
                          _execute=execute)
 
 
@@ -795,8 +877,10 @@ def _run_fast_chunk_frame(spec: TrialSpec,
     horizon = lean_horizon_ops(n)
     prefix = min(_fast_prefix_ops(n), horizon)
     sub = max(1, _FAST_CHUNK_ELEMENTS // max(n * horizon, 1))
+    backend, backend_reason = _resolve_backend(spec, "fast")
     builder = FrameBuilder(spec=spec, n=n, inputs=input_pairs,
-                           engine="fast", engine_reason=None)
+                           engine="fast", engine_reason=backend_reason,
+                           backend=backend)
     # Local bindings for the per-trial loop (it runs 10,000+ times per
     # Figure-1 grid cell; attribute lookups are measurable there).
     generator, pcg64 = np.random.Generator, np.random.PCG64
@@ -1065,8 +1149,10 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
     solo = n == 1 and h <= 0.0
     sub = max(1, min(_KERNEL_CHUNK_ELEMENTS // max(n * k, 1),
                      _KERNEL_LANE_ELEMENTS // max(n, 1)))
+    backend, backend_reason = _resolve_backend(spec, "kernel")
     builder = FrameBuilder(spec=spec, n=n, inputs=input_pairs,
-                           engine="kernel", engine_reason=None)
+                           engine="kernel", engine_reason=backend_reason,
+                           backend=backend)
     generator, pcg64 = np.random.Generator, np.random.PCG64
     need = (4 if cfg.random_tie
             else (3 if h > 0.0 else (1 if lane is not None else 2)))
@@ -1202,7 +1288,8 @@ def _run_kernel_chunk_frame(spec: TrialSpec,
                            horizon_is_final=lane is None,
                            trials_major=trials_major,
                            round_cap=spec.protocol.round_cap,
-                           max_total_ops=spec.max_total_ops)
+                           max_total_ops=spec.max_total_ops,
+                           backend=backend)
         decisions, halted = out.decisions, out.halted
         if out.overflow.any():
             for t in np.nonzero(out.overflow)[0].tolist():

@@ -691,6 +691,13 @@ class TrialSpec:
         failures: failure injection configuration.
         engine: ``"auto"``, ``"event"``, ``"fast"``, or ``"kernel"``
             (noisy model only).
+        backend: array backend for the lockstep kernel — ``"numpy"``
+            (default), ``"numba"``, or ``"cupy"`` (noisy model only).
+            Non-numpy backends only apply when the kernel engine runs;
+            an unavailable or uncovered backend degrades to numpy with
+            the reason recorded on the result's ``engine_reason``,
+            unless ``engine="kernel"`` was pinned explicitly (which
+            raises instead).
         inputs: ``"half"`` for the paper's half-and-half split, or an
             explicit tuple of ``(pid, bit)`` pairs (sequences/dicts of bits
             are normalized at construction).
@@ -705,6 +712,7 @@ class TrialSpec:
     protocol: ProtocolSpec = ProtocolSpec()
     failures: FailureSpec = FailureSpec()
     engine: str = "auto"
+    backend: str = "numpy"
     inputs: Union[str, Tuple[Tuple[int, int], ...]] = "half"
     stop_after_first_decision: bool = False
     record: bool = False
@@ -727,6 +735,19 @@ class TrialSpec:
                 f"engine={self.engine!r} only applies to the noisy "
                 "scheduling model (step/hybrid models pick their own "
                 "engine); leave engine=\"auto\"")
+        # Late import: repro.sim's package __init__ imports this module,
+        # so the backend registry cannot be imported at spec-module load.
+        from repro.sim.backend import BACKEND_NAMES
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKEND_NAMES}")
+        if (self.backend != "numpy"
+                and not isinstance(self.model, NoisyModelSpec)):
+            raise ConfigurationError(
+                f"backend={self.backend!r} only applies to the noisy "
+                "scheduling model (the lockstep kernel); leave "
+                "backend=\"numpy\"")
         object.__setattr__(self, "inputs", _normalize_inputs(self.inputs))
         if self.inputs != "half":
             pids = [p for p, _ in self.inputs]
@@ -761,7 +782,7 @@ class TrialSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-compatible dict; ``from_dict`` round-trips it exactly."""
-        return {
+        data = {
             "version": SPEC_VERSION,
             "n": self.n,
             "model": self.model.to_dict(),
@@ -775,6 +796,12 @@ class TrialSpec:
             "max_total_ops": self.max_total_ops,
             "check": self.check,
         }
+        # The default backend is omitted so serialized specs (and hence
+        # job ids / cache keys derived from them) are unchanged from
+        # before the field existed.
+        if self.backend != "numpy":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrialSpec":
@@ -795,6 +822,7 @@ class TrialSpec:
             protocol=ProtocolSpec.from_dict(data.get("protocol", {})),
             failures=FailureSpec.from_dict(data.get("failures", {})),
             engine=data.get("engine", "auto"),
+            backend=data.get("backend", "numpy"),
             inputs=(inputs if inputs == "half"
                     else tuple((int(p), int(b)) for p, b in inputs)),
             stop_after_first_decision=bool(

@@ -35,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 from typing import Dict, List, Optional
 
@@ -72,11 +73,17 @@ def _timed(fn, reps: int = 3):
 
 
 def _engine_pair(n: int, trials: int, seed: int,
-                 noise: Optional[dict] = None) -> Dict[str, object]:
+                 noise: Optional[dict] = None,
+                 backend: str = "numpy") -> Dict[str, object]:
     """Frame path vs. kernel path on one Figure-1-style cell.
 
     ``noise`` is an optional ``{"name": ..., **params}`` override of the
-    default exponential(1) interarrivals.
+    default exponential(1) interarrivals; ``backend`` is the kernel's
+    array backend (the frame reference always runs the scalar numpy
+    path, so the identity column doubles as a backend-equivalence
+    check).  Pinning ``engine="kernel"`` + an unavailable backend
+    raises rather than degrading — a benchmark that silently re-times
+    numpy under another label would poison the ledger.
     """
     from repro.api import BatchRunner, NoiseSpec, NoisyModelSpec, TrialSpec
 
@@ -85,7 +92,7 @@ def _engine_pair(n: int, trials: int, seed: int,
     fast = TrialSpec(n=n, model=NoisyModelSpec(
         noise=NoiseSpec.of(noise.pop("name"), **noise)),
         engine="fast", stop_after_first_decision=True)
-    kernel = fast.replace(engine="kernel")
+    kernel = fast.replace(engine="kernel", backend=backend)
     # Warm both paths (imports, allocator, numpy dispatch).
     runner.run_frame(fast, min(200, trials), seed=1)
     runner.run_frame(kernel, min(200, trials), seed=1)
@@ -103,9 +110,10 @@ def _engine_pair(n: int, trials: int, seed: int,
 
 
 def figure1_shaped(trials: int = 10_000, ns=(1, 10),
-                   seed: int = 2000) -> Dict[str, object]:
+                   seed: int = 2000,
+                   backend: str = "numpy") -> Dict[str, object]:
     """The figure1-shaped engine comparison (frame vs. kernel)."""
-    cells = [_engine_pair(n, trials, seed) for n in ns]
+    cells = [_engine_pair(n, trials, seed, backend=backend) for n in ns]
     frame_s = sum(c["frame_seconds"] for c in cells)
     kernel_s = sum(c["kernel_seconds"] for c in cells)
     total = trials * len(ns)
@@ -119,13 +127,15 @@ def figure1_shaped(trials: int = 10_000, ns=(1, 10),
         "kernel_trials_per_sec": round(total / max(kernel_s, 1e-9), 1),
         "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
         "identical": all(c["identical"] for c in cells),
+        "backend": backend,
     }
 
 
 def scaling_shaped(trials: int = 4_000, n: int = 64,
-                   seed: int = 2000) -> Dict[str, object]:
+                   seed: int = 2000,
+                   backend: str = "numpy") -> Dict[str, object]:
     """The scaling-shaped engine comparison (one mid-scale n)."""
-    cell = _engine_pair(n, trials, seed)
+    cell = _engine_pair(n, trials, seed, backend=backend)
     frame_s, kernel_s = cell["frame_seconds"], cell["kernel_seconds"]
     return {
         "workload": ("scaling-shaped: exponential(1), dithered starts, "
@@ -137,18 +147,20 @@ def scaling_shaped(trials: int = 4_000, n: int = 64,
         "kernel_trials_per_sec": round(trials / max(kernel_s, 1e-9), 1),
         "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
         "identical": cell["identical"],
+        "backend": backend,
     }
 
 
 def scaling_wide(trials: int = 1_000, n: int = 1024,
-                 seed: int = 2000) -> Dict[str, object]:
+                 seed: int = 2000,
+                 backend: str = "numpy") -> Dict[str, object]:
     """The wide-n scaling comparison (PR 7's tournament-min kernel).
 
     One n=1024 cell — the scale the paper's O(n log n) total-work claim
     targets — pitting the per-trial scalar frame path against the
     lockstep kernel with the segmented min and packed pid plane engaged.
     """
-    cell = _engine_pair(n, trials, seed)
+    cell = _engine_pair(n, trials, seed, backend=backend)
     frame_s, kernel_s = cell["frame_seconds"], cell["kernel_seconds"]
     return {
         "workload": ("scaling-wide: exponential(1), dithered starts, "
@@ -160,6 +172,7 @@ def scaling_wide(trials: int = 1_000, n: int = 1024,
         "kernel_trials_per_sec": round(trials / max(kernel_s, 1e-9), 1),
         "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
         "identical": cell["identical"],
+        "backend": backend,
     }
 
 
@@ -173,7 +186,8 @@ _F1_DISTRIBUTIONS = (
 
 
 def figure1_distributions(trials: int = 400, n: int = 1024,
-                          seed: int = 2000) -> Dict[str, object]:
+                          seed: int = 2000,
+                          backend: str = "numpy") -> Dict[str, object]:
     """The new inverse-lane distributions at the wide-n kernel scale.
 
     One n=1024 cell per non-exponential Figure-1 distribution
@@ -181,7 +195,7 @@ def figure1_distributions(trials: int = 400, n: int = 1024,
     and frame paths bit-identical — the PR-8 lanes' standing regression
     guard at exactly the shape their auto-promotion covers.
     """
-    cells = [_engine_pair(n, trials, seed, noise=dist)
+    cells = [_engine_pair(n, trials, seed, noise=dist, backend=backend)
              for dist in _F1_DISTRIBUTIONS]
     frame_s = sum(c["frame_seconds"] for c in cells)
     kernel_s = sum(c["kernel_seconds"] for c in cells)
@@ -198,6 +212,7 @@ def figure1_distributions(trials: int = 400, n: int = 1024,
         "kernel_trials_per_sec": round(total / max(kernel_s, 1e-9), 1),
         "kernel_speedup": round(frame_s / max(kernel_s, 1e-9), 2),
         "identical": all(c["identical"] for c in cells),
+        "backend": backend,
     }
 
 
@@ -268,9 +283,26 @@ def serve_throughput(trials: int = 2_000, ns=(1, 10),
 
 
 def load_ledger(path: str) -> Dict[str, List[dict]]:
+    """The ledger at ``path``, or a fresh empty one.
+
+    Missing, empty, and torn/corrupt files all load as an empty ledger
+    (with a stderr warning for the corrupt case) instead of raising:
+    the ledger is advisory trajectory data, and a truncated file left
+    by a killed run must not be able to wedge every later benchmark.
+    The corrupt file is left in place — :func:`append_entry` writes
+    through a rename, so recording over it never tears it further.
+    """
     if os.path.exists(path):
-        with open(path) as fh:
-            data = json.load(fh)
+        try:
+            with open(path) as fh:
+                text = fh.read()
+            if not text.strip():
+                return {"entries": []}
+            data = json.loads(text)
+        except (OSError, ValueError) as exc:
+            print(f"warning: ignoring unreadable benchmark ledger "
+                  f"{path}: {exc}", file=sys.stderr)
+            return {"entries": []}
         if isinstance(data, dict) and isinstance(data.get("entries"), list):
             return data
         # Pre-ledger format (a single PR-3 benchmark payload): keep it
@@ -284,12 +316,14 @@ ROLLING_LABEL_PREFIX = "bench-"
 
 
 def append_entry(path: str, label: str, results: Dict[str, dict]) -> dict:
-    """Record one labelled benchmark entry in the ledger (atomic-ish).
+    """Record one labelled benchmark entry in the ledger (atomically).
 
     ``bench-*`` labels (the CI jobs') overwrite their previous entry in
     place — one rolling entry per label — so repeated CI runs can't
     accrete duplicates; every other label appends (the committed PR
-    trajectory stays append-only).
+    trajectory stays append-only).  The write goes through
+    :func:`repro._atomicio.atomic_write_bytes` (temp file + fsync +
+    rename), so a crash mid-record can never leave a truncated ledger.
     """
     ledger = load_ledger(path)
     entry = {"label": label,
@@ -311,11 +345,13 @@ def append_entry(path: str, label: str, results: Dict[str, dict]) -> dict:
         ledger["entries"] = kept
     else:
         entries.append(entry)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        json.dump(ledger, fh, indent=2)
-        fh.write("\n")
-    os.replace(tmp, path)
+    from repro._atomicio import atomic_write_bytes
+
+    # Same on-disk format as the historical plain write (indent=2,
+    # insertion order, trailing newline) — the committed ledger must not
+    # reflow — but staged through fsync + rename.
+    atomic_write_bytes(path,
+                       (json.dumps(ledger, indent=2) + "\n").encode())
     return entry
 
 
@@ -338,6 +374,7 @@ def format_table(results: Dict[str, dict]) -> str:
             continue
         rows.append([
             name,
+            r.get("backend", "numpy"),
             r.get("n", ",".join(str(v) for v in r.get("ns", []))),
             r.get("trials", r.get("trials_per_point")),
             f"{r['frame_trials_per_sec']:,.0f}",
@@ -346,7 +383,7 @@ def format_table(results: Dict[str, dict]) -> str:
             "yes" if r["identical"] else "NO",
         ])
     out = [table(
-        ["workload", "n", "trials/pt", "frame/s", "kernel/s",
+        ["workload", "backend", "n", "trials/pt", "frame/s", "kernel/s",
          "speedup", "bit-identical"],
         rows, title="Engine benchmark: frame path vs. lockstep kernel")]
     serve_rows = []
@@ -377,15 +414,31 @@ def run_suite(trials: int = 10_000,
               scaling_trials: int = 4_000,
               wide_trials: int = 1_000,
               distribution_trials: int = 400,
-              serve_trials: int = 2_000) -> Dict[str, dict]:
-    return {
-        "figure1_shaped": figure1_shaped(trials=trials),
-        "scaling_shaped": scaling_shaped(trials=scaling_trials),
-        "scaling_wide": scaling_wide(trials=wide_trials),
-        "figure1_distributions": figure1_distributions(
-            trials=distribution_trials),
-        "serve_throughput": serve_throughput(trials=serve_trials),
+              serve_trials: int = 2_000,
+              backend: str = "numpy") -> Dict[str, dict]:
+    """The full suite on one kernel backend.
+
+    Non-numpy backends record under suffixed workload keys
+    (``figure1_shaped[numba]``), so every backend's trials/s trajectory
+    lives side by side in one ledger and the numpy keys stay exactly
+    what the committed history and CI regression check expect.  The
+    serve workload only runs on numpy — the job lane's overhead is
+    backend-independent.
+    """
+    suffix = "" if backend == "numpy" else f"[{backend}]"
+    results = {
+        "figure1_shaped" + suffix: figure1_shaped(
+            trials=trials, backend=backend),
+        "scaling_shaped" + suffix: scaling_shaped(
+            trials=scaling_trials, backend=backend),
+        "scaling_wide" + suffix: scaling_wide(
+            trials=wide_trials, backend=backend),
+        "figure1_distributions" + suffix: figure1_distributions(
+            trials=distribution_trials, backend=backend),
     }
+    if backend == "numpy":
+        results["serve_throughput"] = serve_throughput(trials=serve_trials)
+    return results
 
 
 #: Default output path of ``python -m repro bench --profile``.
@@ -442,6 +495,11 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-trials", type=int, default=2_000,
                         help="trials per point for the serve-throughput "
                              "(job lane vs. direct run_sweep) workload")
+    parser.add_argument("--backend", default="numpy",
+                        choices=("numpy", "numba", "cupy"),
+                        help="kernel array backend to benchmark; "
+                             "non-numpy runs record under suffixed "
+                             "workload keys (e.g. figure1_shaped[numba])")
     parser.add_argument("--label", default="manual",
                         help="ledger entry label (e.g. 'PR 4'); "
                              f"'{ROLLING_LABEL_PREFIX}*' labels keep one "
@@ -457,6 +515,16 @@ def main(argv=None) -> int:
                              "workloads and write the top-20 cumulative "
                              f"report (default path: {PROFILE_NAME})")
     args = parser.parse_args(argv)
+    if args.backend != "numpy":
+        from repro.sim.backend import backend_unavailability
+
+        blocker = backend_unavailability(args.backend)
+        if blocker is not None:
+            # A benchmark must never silently degrade: timing numpy
+            # under another backend's label would poison the ledger.
+            print(f"ERROR: cannot benchmark backend "
+                  f"{args.backend!r}: {blocker}", file=sys.stderr)
+            return 2
     if args.profile is not None:
         report = profile_kernel()
         with open(args.profile, "w") as fh:
@@ -468,7 +536,8 @@ def main(argv=None) -> int:
                         scaling_trials=args.scaling_trials,
                         wide_trials=args.wide_trials,
                         distribution_trials=args.distribution_trials,
-                        serve_trials=args.serve_trials)
+                        serve_trials=args.serve_trials,
+                        backend=args.backend)
     print(format_table(results))
     if not args.no_append:
         path = args.out or default_ledger_path()

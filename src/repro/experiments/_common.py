@@ -86,6 +86,7 @@ class CliScale:
     seed: int
     workers: Optional[int] = None
     engine: Optional[str] = None
+    backend: Optional[str] = None
     cache_dir: Optional[str] = None
 
 
@@ -112,6 +113,16 @@ def scale_parser(description: str) -> argparse.ArgumentParser:
                              "at high trial counts; both compose with "
                              "--workers and make the --paper scale "
                              "affordable)")
+    parser.add_argument("--backend",
+                        choices=("numpy", "numba", "cupy"),
+                        default=None,
+                        help="array backend for the lockstep kernel "
+                             "(default: numpy; numba/cupy apply when the "
+                             "kernel engine runs and degrade to numpy "
+                             "with the reason on engine_reason if the "
+                             "import or device is unavailable — unless "
+                             "--engine kernel pins them, which errors "
+                             "instead)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="opt-in on-disk sweep cache: finished grid "
                              "cells are persisted (keyed by spec + seed + "
@@ -135,4 +146,5 @@ def parse_scale(parser: argparse.ArgumentParser, argv=None):
     return CliScale(ns=tuple(ns), trials=trials, seed=args.seed,
                     workers=getattr(args, "workers", None),
                     engine=getattr(args, "engine", None),
+                    backend=getattr(args, "backend", None),
                     cache_dir=getattr(args, "cache_dir", None)), args

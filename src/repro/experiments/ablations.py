@@ -81,7 +81,8 @@ class AblationResult:
 def compare_protocols(protocols: Sequence[str], n: int, trials: int,
                       noise: NoiseDistribution,
                       seed: SeedLike,
-                      engine: str = "event") -> List[ProtocolRow]:
+                      engine: str = "event",
+                      backend: str = "numpy") -> List[ProtocolRow]:
     """ABL1/ABL3: identical workloads, different protocol variants.
 
     ``engine="fast"`` replays the variants that have a vectorized replay
@@ -101,7 +102,7 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
             sub = np.random.Generator(np.random.PCG64(
                 trial_rng.bit_generator.seed_seq))  # type: ignore[attr-defined]
             trial = run_noisy_trial(n, noise, seed=sub, protocol=name,
-                                    engine=proto_engine)
+                                    engine=proto_engine, backend=backend)
             firsts.append(trial.first_decision_round)
             lasts.append(trial.last_decision_round)
             ops.append(trial.total_ops)
@@ -116,6 +117,7 @@ def compare_protocols(protocols: Sequence[str], n: int, trials: int,
 def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
                 seed: SeedLike,
                 engine: str = "auto",
+                backend: str = "numpy",
                 workers: Optional[int] = None,
                 cache_dir: Optional[str] = None) -> List[SigmaRow]:
     """ABL2a: termination vs noise spread (truncated normal, mean 1).
@@ -130,6 +132,7 @@ def sweep_sigma(sigmas: Sequence[float], n: int, trials: int,
                 "truncated-normal", mu=1.0, sigma=sigmas[0], low=0.0,
                 high=2.0)),
             engine=engine,
+            backend=backend,
             stop_after_first_decision=True),
         axes=(SweepAxis("model.noise.params.sigma", tuple(sigmas)),),
         trials=trials)
@@ -177,13 +180,15 @@ def run(n: int = 64, trials: int = 100,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "event",
+        backend: str = "numpy",
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None) -> AblationResult:
     """Run all three ablations.
 
     ``engine`` selects the engine for the protocol comparison and the
     sigma sweep; the delay-bound sweep is event-engine-only (see
-    :func:`sweep_delay_bound`).  The protocol comparison keeps its
+    :func:`sweep_delay_bound`).  ``backend`` rides along the same two
+    lanes and only takes effect where the lockstep kernel runs.  The protocol comparison keeps its
     bespoke loop on purpose: its trials are *paired* (every protocol
     re-consumes the same per-trial seed streams), which a sweep's
     independent per-cell seed blocks deliberately do not express.
@@ -194,9 +199,10 @@ def run(n: int = 64, trials: int = 100,
     seeds = spawn(root, 3)
     return AblationResult(
         protocols=compare_protocols(protocols, n, trials, noise, seeds[0],
-                                    engine=engine),
+                                    engine=engine, backend=backend),
         sigmas=sweep_sigma(sigmas, n, trials, seeds[1],
                            engine=engine if engine != "event" else "auto",
+                           backend=backend,
                            workers=workers, cache_dir=cache_dir),
         delays=sweep_delay_bound(delay_bounds, n, max(trials // 2, 20),
                                  seeds[2]),
@@ -228,6 +234,7 @@ def main(argv=None) -> None:
     scale, _ = parse_scale(parser, argv)
     print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
                             engine=scale.engine or "event",
+                            backend=scale.backend or "numpy",
                             workers=scale.workers,
                             cache_dir=scale.cache_dir)))
 

@@ -76,6 +76,7 @@ class FailureResult:
 def run_halting(n: int, hs: Sequence[float], trials: int,
                 noise: NoiseDistribution, seed: SeedLike,
                 engine: str = "event",
+                backend: str = "numpy",
                 workers: Optional[int] = None,
                 cache_dir: Optional[str] = None) -> List[HaltingRow]:
     """The halting sweep, declared as a :class:`~repro.api.SweepSpec`
@@ -88,7 +89,7 @@ def run_halting(n: int, hs: Sequence[float], trials: int,
     """
     sweep = SweepSpec(
         base=TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)),
-                       engine=engine),
+                       engine=engine, backend=backend),
         axes=(SweepAxis("failures.h", tuple(hs)),),
         trials=trials)
     mean_last = Mean("last_decision_round")
@@ -135,6 +136,7 @@ def run(n: int = 64,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "event",
+        backend: str = "numpy",
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None) -> FailureResult:
     noise = noise if noise is not None else Exponential(1.0)
@@ -142,6 +144,7 @@ def run(n: int = 64,
     entropy = seed_entropy(root)
     seeds = spawn(root, 2)
     halting = run_halting(n, hs, trials, noise, seeds[0], engine=engine,
+                          backend=backend,
                           workers=workers, cache_dir=cache_dir)
     crashes = run_crashes(n, budgets, trials, noise, seeds[1])
     xs = np.array([row.budget for row in crashes], dtype=float)
@@ -175,6 +178,7 @@ def main(argv=None) -> None:
     scale, _ = parse_scale(parser, argv)
     print(format_result(run(trials=min(scale.trials, 200), seed=scale.seed,
                             engine=scale.engine or "event",
+                            backend=scale.backend or "numpy",
                             workers=scale.workers,
                             cache_dir=scale.cache_dir)))
 

@@ -78,11 +78,13 @@ def sweep_spec(ns: Sequence[int],
                trials: int,
                distributions: Dict[str, NoiseDistribution],
                engine: str = "auto",
+               backend: str = "numpy",
                max_total_ops: Optional[int] = None) -> SweepSpec:
     """The Figure-1 grid as a declarative sweep: distribution x n."""
     specs = tuple(noise_to_spec(dist) for dist in distributions.values())
     base = TrialSpec(n=1, model=NoisyModelSpec(noise=specs[0]),
-                     engine=engine, stop_after_first_decision=True,
+                     engine=engine, backend=backend,
+                     stop_after_first_decision=True,
                      max_total_ops=max_total_ops)
     return SweepSpec(base=base, trials=trials, axes=(
         SweepAxis("model.noise", specs, name="distribution",
@@ -96,6 +98,7 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         distributions: Optional[Dict[str, NoiseDistribution]] = None,
         seed: SeedLike = 2000,
         engine: str = "auto",
+        backend: str = "numpy",
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
         max_total_ops: Optional[int] = None) -> Figure1Result:
@@ -117,6 +120,8 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         seed: root seed.
         engine: simulation engine selector (see
             :func:`repro.api.resolve_engine`).
+        backend: array backend for the lockstep kernel (numpy / numba /
+            cupy; see :mod:`repro.sim.backend`).
         workers: worker processes for the batch runner (None = serial).
         cache_dir: opt-in on-disk sweep cache (resume ``--paper`` runs).
         max_total_ops: optional per-trial operation budget.
@@ -127,7 +132,7 @@ def run(ns: Sequence[int] = DEFAULT_NS,
     result = Figure1Result(ns=tuple(ns), trials=trials,
                            seed=seed_entropy(root))
     sweep = sweep_spec(ns, trials, distributions, engine=engine,
-                       max_total_ops=max_total_ops)
+                       backend=backend, max_total_ops=max_total_ops)
     mean_ci = MeanCI("first_decision_round")
     mean_ops = Mean("first_decision_ops")
     for cell, frame in run_sweep(sweep, seed=sweep_value_seed(root),
@@ -193,7 +198,8 @@ def main(argv=None) -> None:
                         help="also render an ASCII plot")
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 engine=scale.engine or "auto", workers=scale.workers,
+                 engine=scale.engine or "auto",
+                 backend=scale.backend or "numpy", workers=scale.workers,
                  cache_dir=scale.cache_dir)
     print(format_result(result))
     if args.plot:

@@ -73,6 +73,7 @@ def run(ns: Sequence[int] = DEFAULT_NS,
         noise: Optional[NoiseDistribution] = None,
         seed: SeedLike = 2000,
         engine: str = "auto",
+        backend: str = "numpy",
         workers: Optional[int] = None,
         cache_dir: Optional[str] = None) -> ScalingResult:
     """Measure termination-round growth and fit the Θ(log n) model.
@@ -88,7 +89,7 @@ def run(ns: Sequence[int] = DEFAULT_NS,
     root = make_rng(seed)
     sweep = SweepSpec(
         base=TrialSpec(n=1, model=NoisyModelSpec(noise=noise_to_spec(noise)),
-                       engine=engine),
+                       engine=engine, backend=backend),
         axes=(SweepAxis("n", tuple(ns)),),
         trials=trials)
     mean_first: Dict[int, float] = {}
@@ -111,12 +112,13 @@ def run_tail(n: int = 256, trials: int = 2000,
              ks: Optional[Sequence[int]] = None,
              seed: SeedLike = 2000,
              engine: str = "auto",
+             backend: str = "numpy",
              workers: Optional[int] = None) -> TailResult:
     """Measure P[termination round > k] and fit the exponential tail."""
     noise = noise if noise is not None else Exponential(1.0)
     root = make_rng(seed)
     spec = TrialSpec(n=n, model=NoisyModelSpec(noise=noise_to_spec(noise)),
-                     engine=engine)
+                     engine=engine, backend=backend)
     frame = BatchRunner(workers=workers).run_frame(spec, trials, seed=root)
     if ks is None:
         hi = int(np.nanmax(frame.column("last_decision_round")))
@@ -150,10 +152,12 @@ def main(argv=None) -> None:
     parser.add_argument("--tail-n", type=int, default=256)
     scale, args = parse_scale(parser, argv)
     result = run(ns=scale.ns, trials=scale.trials, seed=scale.seed,
-                 engine=scale.engine or "auto", workers=scale.workers,
+                 engine=scale.engine or "auto",
+                 backend=scale.backend or "numpy", workers=scale.workers,
                  cache_dir=scale.cache_dir)
     tail = run_tail(n=args.tail_n, trials=max(scale.trials, 500),
                     seed=scale.seed, engine=scale.engine or "auto",
+                    backend=scale.backend or "numpy",
                     workers=scale.workers)
     print(format_result(result, tail))
 

@@ -1,0 +1,433 @@
+"""The numba backend lane: JIT-compiled per-trial merge replay.
+
+The numpy lockstep of :mod:`repro.sim.kernel` amortizes the interpreter
+over the trials axis; a JIT needs no amortization, so this lane takes
+the opposite layout — one compiled scalar loop per trial — and recovers
+the global event order with the same k-way merge the lockstep uses:
+each step picks the process whose next completion time is smallest,
+ties breaking toward the lowest pid (``np.argmin``'s first-occurrence
+rule), which is exactly the stable flat argsort order the scalar replay
+of :mod:`repro.sim.fast` walks.  The state machines below are verbatim
+ports of :func:`~repro.sim.fast.replay_lean` and
+``fast._replay_optimized`` — same branch structure, same stop order
+(decision, then round cap, then budget), same halting rule — so the
+outcomes are **bitwise** identical to both the scalar replay and the
+numpy lockstep: the only floating-point operations are comparisons of
+the pre-sampled completion times.
+
+Feature coverage is total: every :data:`~repro.sim.fast.FAST_VARIANTS`
+protocol, crash schedules (``death_ops``), pre-sampled tie flips, round
+caps, op budgets, and both horizon semantics.
+
+When the numba wheel is absent the ``@njit`` decorator degrades to a
+no-op and the lane runs as pure Python — identical results, no speedup
+— which keeps it importable and testable everywhere; engine resolution
+(:func:`repro.sim.backend.backend_unavailability`) is what keeps specs
+off this lane when the JIT is missing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.fast import FAST_VARIANTS
+
+try:  # pragma: no cover - exercised only where the wheel is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pure-Python fallback: the decorator is identity
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: D103 - mirror numba's signature
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+_INF = np.inf
+
+
+@njit(cache=True)
+def _trial_lean(times, inputs, deaths, use_deaths, flips, nflips,
+                use_flips, lag, stop_first, final, cap, use_cap, budget,
+                use_budget, dec_pid, dec_val, dec_rnd, dec_ops, halt_pid):
+    """One trial of the four-step-round family, merge-ordered.
+
+    Ports ``fast.replay_lean`` branch for branch; the schedule walk is
+    the min-time merge instead of a precomputed argsort (done processes
+    park at ``+inf`` and are never picked, matching the scalar loop's
+    ``continue`` skip).  Returns ``(overflow, n_dec, n_halt, total_ops,
+    max_round, preference_changes, budget_exhausted)``; decision/halt
+    payloads land in the preallocated ``dec_*``/``halt_pid`` rows.
+    """
+    n, k = times.shape
+    pref = inputs.copy()
+    rounds = np.ones(n, np.int64)
+    step = np.zeros(n, np.int64)
+    v0 = np.zeros(n, np.int64)
+    ops = np.zeros(n, np.int64)
+    fcnt = np.zeros(n, np.int64)
+    a = np.zeros((2, k // 4 + 4), np.uint8)
+    a[0, 0] = 1
+    a[1, 0] = 1
+    nt = np.empty(n, np.float64)
+    for i in range(n):
+        nt[i] = times[i, 0] if k > 0 else _INF
+    ndec = 0
+    nhalt = 0
+    preference_changes = 0
+    remaining = n
+    executed = 0
+    budget_exhausted = False
+    overflow = False
+    while True:
+        pid = int(np.argmin(nt))
+        if nt[pid] == _INF:
+            # Events exhausted without reaching the stop condition: the
+            # scalar replay returns None here (the caller falls back).
+            if remaining > 0:
+                overflow = True
+            break
+        if use_deaths and ops[pid] + 1 >= deaths[pid]:
+            # Crash schedule: the event consumes its slot, executes
+            # nothing, and halts the process.
+            nt[pid] = _INF
+            halt_pid[nhalt] = pid
+            nhalt += 1
+            remaining -= 1
+            if remaining == 0:
+                break
+            continue
+        ops[pid] += 1
+        s = step[pid]
+        r = rounds[pid]
+        done = False
+        if s == 0:
+            v0[pid] = a[0, r]
+            step[pid] = 1
+        elif s == 1:
+            v1 = a[1, r]
+            w0 = v0[pid]
+            if w0 == 1 and v1 == 0:
+                if pref[pid] != 0:
+                    preference_changes += 1
+                    pref[pid] = 0
+            elif v1 == 1 and w0 == 0:
+                if pref[pid] != 1:
+                    preference_changes += 1
+                    pref[pid] = 1
+            elif use_flips and w0 == 1 and v1 == 1:
+                fi = fcnt[pid]
+                if fi >= nflips:
+                    fi = nflips - 1
+                flip = flips[pid, fi]
+                fcnt[pid] += 1
+                if flip != pref[pid]:
+                    preference_changes += 1
+                    pref[pid] = flip
+            step[pid] = 2
+        elif s == 2:
+            a[pref[pid], r] = 1
+            step[pid] = 3
+        else:
+            behind = r - lag if r > lag else 0
+            if a[1 - pref[pid], behind] == 0:
+                done = True
+                nt[pid] = _INF
+                remaining -= 1
+                dec_pid[ndec] = pid
+                dec_val[ndec] = pref[pid]
+                dec_rnd[ndec] = r
+                dec_ops[ndec] = ops[pid]
+                ndec += 1
+                if stop_first or remaining == 0:
+                    break
+            elif use_cap and r >= cap:
+                # Round cap exhausted without a decision: frozen at the
+                # cap, done, unrecorded (the machine's overflowed flag).
+                done = True
+                nt[pid] = _INF
+                remaining -= 1
+                if remaining == 0:
+                    break
+            else:
+                rounds[pid] = r + 1
+                step[pid] = 0
+        if use_budget:
+            executed += 1
+            if executed >= budget:
+                budget_exhausted = remaining > 0
+                break
+        if not done:
+            o = ops[pid]
+            if o < k:
+                nt[pid] = times[pid, o]
+            else:
+                nt[pid] = _INF
+                if not final:
+                    # Prefix-of-infinite-schedule semantics: a drained
+                    # live process overflows the trial immediately.
+                    overflow = True
+                    break
+    total_ops = 0
+    max_round = np.int64(0)
+    for i in range(n):
+        total_ops += ops[i]
+        if rounds[i] > max_round:
+            max_round = rounds[i]
+    return (overflow, ndec, nhalt, total_ops, max_round,
+            preference_changes, budget_exhausted)
+
+
+@njit(cache=True)
+def _trial_optimized(times, inputs, deaths, use_deaths, stop_first, final,
+                     cap, use_cap, budget, use_budget, dec_pid, dec_val,
+                     dec_rnd, dec_ops, halt_pid):
+    """One trial of the Section-4 elision variant, merge-ordered.
+
+    Verbatim port of ``fast._replay_optimized`` (the deterministic tie
+    rule; rounds take 2-4 ops via write/final-read elision).
+    """
+    n, k = times.shape
+    pref = inputs.copy()
+    rounds = np.ones(n, np.int64)
+    step = np.zeros(n, np.int64)
+    v0 = np.zeros(n, np.int64)
+    ops = np.zeros(n, np.int64)
+    skip_final = np.zeros(n, np.uint8)
+    a = np.zeros((2, k // 2 + 4), np.uint8)
+    a[0, 0] = 1
+    a[1, 0] = 1
+    nt = np.empty(n, np.float64)
+    for i in range(n):
+        nt[i] = times[i, 0] if k > 0 else _INF
+    ndec = 0
+    nhalt = 0
+    preference_changes = 0
+    remaining = n
+    executed = 0
+    budget_exhausted = False
+    overflow = False
+    while True:
+        pid = int(np.argmin(nt))
+        if nt[pid] == _INF:
+            if remaining > 0:
+                overflow = True
+            break
+        if use_deaths and ops[pid] + 1 >= deaths[pid]:
+            nt[pid] = _INF
+            halt_pid[nhalt] = pid
+            nhalt += 1
+            remaining -= 1
+            if remaining == 0:
+                break
+            continue
+        ops[pid] += 1
+        s = step[pid]
+        r = rounds[pid]
+        done = False
+        advance = False
+        if s == 0:
+            v0[pid] = a[0, r]
+            step[pid] = 1
+        elif s == 1:
+            v1 = a[1, r]
+            w0 = v0[pid]
+            if w0 == 1 and v1 == 0:
+                if pref[pid] != 0:
+                    preference_changes += 1
+                    pref[pid] = 0
+            elif v1 == 1 and w0 == 0:
+                if pref[pid] != 1:
+                    preference_changes += 1
+                    pref[pid] = 1
+            p = pref[pid]
+            own_set = (w0 if p == 0 else v1) == 1
+            rival_set = (v1 if p == 0 else w0) == 1
+            skip_final[pid] = 1 if rival_set else 0
+            if own_set and rival_set:
+                advance = True
+            elif own_set:
+                step[pid] = 3
+            else:
+                step[pid] = 2
+        elif s == 2:
+            a[pref[pid], r] = 1
+            if skip_final[pid] == 1:
+                advance = True
+            else:
+                step[pid] = 3
+        else:
+            if a[1 - pref[pid], r - 1] == 0:
+                done = True
+                nt[pid] = _INF
+                remaining -= 1
+                dec_pid[ndec] = pid
+                dec_val[ndec] = pref[pid]
+                dec_rnd[ndec] = r
+                dec_ops[ndec] = ops[pid]
+                ndec += 1
+                if stop_first or remaining == 0:
+                    break
+            else:
+                advance = True
+        if advance:
+            if use_cap and r >= cap:
+                done = True
+                nt[pid] = _INF
+                remaining -= 1
+                if remaining == 0:
+                    break
+            else:
+                skip_final[pid] = 0
+                rounds[pid] = r + 1
+                step[pid] = 0
+        if use_budget:
+            executed += 1
+            if executed >= budget:
+                budget_exhausted = remaining > 0
+                break
+        if not done:
+            o = ops[pid]
+            if o < k:
+                nt[pid] = times[pid, o]
+            else:
+                nt[pid] = _INF
+                if not final:
+                    overflow = True
+                    break
+    total_ops = 0
+    max_round = np.int64(0)
+    for i in range(n):
+        total_ops += ops[i]
+        if rounds[i] > max_round:
+            max_round = rounds[i]
+    return (overflow, ndec, nhalt, total_ops, max_round,
+            preference_changes, budget_exhausted)
+
+
+def replay_chunk_numba(times: np.ndarray, inputs, variant: str = "lean",
+                       death_ops: Optional[np.ndarray] = None,
+                       tie_flips: Optional[np.ndarray] = None,
+                       stop_after_first_decision: bool = True,
+                       horizon_is_final: bool = False,
+                       trials_major: bool = False,
+                       round_cap: Optional[int] = None,
+                       max_total_ops: Optional[int] = None):
+    """Replay a validated chunk trial by trial on the JIT lane.
+
+    Argument contract and result layout match
+    :func:`repro.sim.kernel.replay_chunk` exactly (which is the only
+    caller and performs all validation); the output is bitwise identical
+    to the numpy lockstep, including the bookkeeping split on overflow
+    trials (record-based columns reflect pre-overflow progress, the
+    finish-based ``total_ops``/``max_round``/``preference_changes`` stay
+    zero — the caller's scalar fallback overwrites both kinds).
+    """
+    from repro.sim.kernel import KernelResult  # late: kernel imports us
+
+    cfg = FAST_VARIANTS[variant]
+    if trials_major:
+        trials, k, n = times.shape
+    else:
+        n, trials, k = times.shape
+    inputs_arr = np.asarray(inputs, np.int64)
+    use_deaths = death_ops is not None
+    deaths_dummy = np.zeros(1, np.int64)
+    use_flips = cfg.random_tie and tie_flips is not None
+    flips_dummy = np.zeros((1, 1), np.int8)
+    nflips = tie_flips.shape[2] if use_flips else 1
+    use_cap = round_cap is not None
+    use_budget = max_total_ops is not None
+
+    overflow = np.zeros(trials, bool)
+    total_ops = np.zeros(trials, np.int64)
+    max_round = np.zeros(trials, np.int64)
+    prefchg = np.zeros(trials, np.int64)
+    n_decided = np.zeros(trials, np.int64)
+    n_distinct = np.zeros(trials, np.int64)
+    n_halted = np.zeros(trials, np.int64)
+    first_round = np.full(trials, np.nan)
+    first_ops = np.full(trials, np.nan)
+    last_round = np.full(trials, np.nan)
+    decided_value = np.full(trials, np.nan)
+    budget_exhausted = np.zeros(trials, bool)
+    decisions: List[tuple] = [()] * trials
+    halted: List[tuple] = [()] * trials
+
+    dec_pid = np.empty(n, np.int64)
+    dec_val = np.empty(n, np.int64)
+    dec_rnd = np.empty(n, np.int64)
+    dec_ops = np.empty(n, np.int64)
+    halt_pid = np.empty(n, np.int64)
+
+    for t in range(trials):
+        if trials_major:
+            tr = np.ascontiguousarray(times[t].T)
+        else:
+            tr = np.ascontiguousarray(times[:, t, :])
+        deaths = (np.ascontiguousarray(death_ops[:, t])
+                  if use_deaths else deaths_dummy)
+        if cfg.optimized:
+            (ov, ndec, nhalt, total, maxr, chg, budget_x) = \
+                _trial_optimized(
+                    tr, inputs_arr, deaths, use_deaths,
+                    stop_after_first_decision, horizon_is_final,
+                    round_cap if use_cap else 0, use_cap,
+                    max_total_ops if use_budget else 0, use_budget,
+                    dec_pid, dec_val, dec_rnd, dec_ops, halt_pid)
+        else:
+            flips = (np.ascontiguousarray(tie_flips[:, t, :])
+                     if use_flips else flips_dummy)
+            (ov, ndec, nhalt, total, maxr, chg, budget_x) = \
+                _trial_lean(
+                    tr, inputs_arr, deaths, use_deaths, flips, nflips,
+                    use_flips, cfg.lag, stop_after_first_decision,
+                    horizon_is_final,
+                    round_cap if use_cap else 0, use_cap,
+                    max_total_ops if use_budget else 0, use_budget,
+                    dec_pid, dec_val, dec_rnd, dec_ops, halt_pid)
+        if ndec:
+            decisions[t] = tuple(
+                (int(dec_pid[j]), int(dec_val[j]), int(dec_rnd[j]),
+                 int(dec_ops[j])) for j in range(ndec))
+            n_decided[t] = ndec
+            first_round[t] = dec_rnd[0]
+            first_ops[t] = dec_ops[0]
+            last_round[t] = dec_rnd[ndec - 1]
+            seen0 = False
+            seen1 = False
+            for j in range(ndec):
+                if dec_val[j] == 0:
+                    seen0 = True
+                else:
+                    seen1 = True
+            n_distinct[t] = int(seen0) + int(seen1)
+            if seen0 != seen1:
+                decided_value[t] = 0.0 if seen0 else 1.0
+        if nhalt:
+            halted[t] = tuple(int(halt_pid[j]) for j in range(nhalt))
+            n_halted[t] = nhalt
+        if ov:
+            # Overflow: no finish-based outcome (the caller's scalar
+            # fallback rewrites this row), record-based columns above
+            # keep the pre-overflow progress, as in the numpy lockstep.
+            overflow[t] = True
+            continue
+        total_ops[t] = total
+        max_round[t] = maxr
+        prefchg[t] = chg
+        budget_exhausted[t] = bool(budget_x)
+    return KernelResult(
+        overflow=overflow, total_ops=total_ops, max_round=max_round,
+        preference_changes=prefchg, n_decided=n_decided,
+        n_distinct=n_distinct, n_halted=n_halted, first_round=first_round,
+        first_ops=first_ops, last_round=last_round,
+        decided_value=decided_value, budget_exhausted=budget_exhausted,
+        decisions=decisions, halted=halted)

@@ -1,0 +1,286 @@
+"""The cupy backend lane: device-array lockstep, host-side event pick.
+
+The lockstep kernel's per-event cost has two parts: the O(n) event pick
+down the process axis and the O(1)-per-trial state machine.  This lane
+splits them across the PCIe boundary: the schedule tensor and the
+packed next-completion-time plane live on the device (``xp`` — cupy in
+production, numpy under test), where each iteration runs the
+``min``-reduction pick and the gather/scatter refill; the per-trial
+protocol state (a few small integer arrays) stays host-side, where the
+(m,)-wide vectorized transition runs on numpy.  Per iteration the
+transfer is one ``(m,)`` download of the packed column minima and two
+``(m,)`` index uploads — independent of ``n``, which is where the
+device pays off.
+
+The packed-pid trick is the same as the numpy lockstep's (owner pid in
+the low mantissa bits, so the column min *is* the event pick, exact
+ties breaking toward the lowest pid); every device operation on the
+times is a comparison, gather, or bit mask — no float arithmetic — so
+on a given schedule tensor the replay outcomes are **bitwise**
+identical to the numpy kernel.  The backend's documented
+``float-tolerance`` oracle tier exists because *sampling* on device
+libm may differ from the host in final ULPs; the pipeline currently
+samples host-side and transfers, which stays exact.
+
+Coverage (enforced by :func:`repro.sim.backend.kernel_backend_gap`):
+the lag-variant family (lean / conservative / eager / random-tie)
+without crash schedules, round caps, or op budgets, at ``n`` within the
+packed-pid range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.fast import FAST_VARIANTS
+
+#: Retirement sentinel: a huge finite float64 whose low mantissa bits
+#: are zero (the numpy lockstep's ``_DEAD_PACKED``).
+_DEAD = np.frombuffer(
+    (np.uint64(0x7FE0000000000000)).tobytes(), np.float64)[0]
+
+
+def get_xp():
+    """The array module this lane runs on (monkeypatchable in tests)."""
+    import cupy
+
+    return cupy
+
+
+def _to_host(arr) -> np.ndarray:
+    """Download a device array (no-op for numpy)."""
+    if hasattr(arr, "get"):
+        return arr.get()
+    return np.asarray(arr)
+
+
+def replay_chunk_xp(times: np.ndarray, inputs, variant: str = "lean",
+                    tie_flips: Optional[np.ndarray] = None,
+                    stop_after_first_decision: bool = True,
+                    horizon_is_final: bool = False,
+                    trials_major: bool = False, xp=None):
+    """Replay a validated chunk on the device-array lane.
+
+    Argument contract and result layout match
+    :func:`repro.sim.kernel.replay_chunk`, which validates and
+    dispatches here (the coverage gaps — crash schedules, round caps,
+    op budgets, the elision variant, n past the packed range — were
+    refused there).
+    """
+    from repro.sim.kernel import KernelResult  # late: kernel imports us
+
+    if xp is None:
+        xp = get_xp()
+    cfg = FAST_VARIANTS[variant]
+    if trials_major:
+        trials, k, n = times.shape
+    else:
+        n, trials, k = times.shape
+    m = trials
+    lag = int(cfg.lag)
+    stop_first = stop_after_first_decision
+    final = horizon_is_final
+    R = k // 4 + 2
+    pack_mask = np.uint64((1 << max((n - 1).bit_length(), 1)) - 1)
+    keep_mask = ~pack_mask
+
+    # Device state: the full schedule tensor (flat) and the packed NT
+    # plane.  The NT seed is built host-side (one small (n, m) slice),
+    # packed, then uploaded.
+    timesf_d = xp.asarray(times).reshape(-1)
+    if trials_major:
+        nt0 = np.ascontiguousarray(times[:, 0, :].T)
+    else:
+        nt0 = np.ascontiguousarray(times[:, :, 0])
+    u = nt0.view(np.uint64)
+    u &= keep_mask
+    u |= np.arange(n, dtype=np.uint64)[:, None]
+    NT_d = xp.asarray(nt0)
+    NTf_d = NT_d.reshape(-1)
+
+    # Host state, flat (n * m,) per-process and (m,) per-trial.
+    cols = np.arange(m, dtype=np.int64)
+    inputs_arr = np.asarray(inputs, np.int8)
+    preff = np.tile(inputs_arr, (m, 1)).T.reshape(-1).copy()
+    v0f = np.zeros(n * m, np.int8)
+    stepf = np.zeros(n * m, np.int32)
+    roundf = np.ones(n * m, np.int32)
+    opsf = np.zeros(n * m, np.int32)
+    af = np.zeros(2 * R * m, np.uint8)
+    af[0:m] = 1
+    af[R * m:R * m + m] = 1
+    use_flips = cfg.random_tie and tie_flips is not None
+    if use_flips:
+        flipsf = np.ascontiguousarray(tie_flips, np.int8).reshape(-1)
+        F = tie_flips.shape[2]
+        tiecntf = np.zeros(n * m, np.int32)
+    remaining = np.full(m, n, np.int32)
+    prefchg = np.zeros(m, np.int64)
+    finished = np.zeros(m, bool)
+    alive = m
+
+    overflow = np.zeros(m, bool)
+    out_total = np.zeros(m, np.int64)
+    out_maxr = np.zeros(m, np.int64)
+    out_chg = np.zeros(m, np.int64)
+    out_ndec = np.zeros(m, np.int64)
+    out_firstr = np.full(m, np.nan)
+    out_firsto = np.full(m, np.nan)
+    out_lastr = np.full(m, np.nan)
+    seen0 = np.zeros(m, bool)
+    seen1 = np.zeros(m, bool)
+    dec_records: list = []  # (trial, pid, value, round, ops)
+
+    m64 = np.int64(m)
+    Rm = np.int64(R * m)
+    R_1 = np.int32(R - 1)
+    k_i32 = np.int32(k)
+    opsa = opsf.reshape(n, m)
+    rounda = roundf.reshape(n, m)
+
+    def finish(fin_cols: np.ndarray) -> None:
+        nonlocal alive
+        if not fin_cols.size:
+            return
+        out_total[fin_cols] = opsa[:, fin_cols].sum(axis=0)
+        out_maxr[fin_cols] = rounda[:, fin_cols].max(axis=0)
+        out_chg[fin_cols] = prefchg[fin_cols]
+        finished[fin_cols] = True
+        NT_d[:, xp.asarray(fin_cols)] = _DEAD
+        alive -= fin_cols.size
+
+    def mark_overflow(ov_cols: np.ndarray) -> None:
+        nonlocal alive
+        if not ov_cols.size:
+            return
+        overflow[ov_cols] = True
+        finished[ov_cols] = True
+        NT_d[:, xp.asarray(ov_cols)] = _DEAD
+        alive -= ov_cols.size
+
+    while alive:
+        # -- device pick: packed column minima, one (m,) download ------
+        tmin = _to_host(NT_d.min(axis=0))
+        live = tmin != _DEAD
+        if not live.any():
+            break
+        p = (tmin.view(np.uint64) & pack_mask).astype(np.int64)
+        flat = p * m64 + cols
+
+        # -- host state machine, vectorized over the trial axis --------
+        # Junk picks on finished columns step their own (already
+        # emitted) state — free, exactly as in the unguarded numpy loop.
+        s = stepf[flat]
+        r = roundf[flat]
+        o = opsf[flat]
+        newo = o + np.int32(1)
+        opsf[flat] = newo
+        rclip = np.minimum(r, R_1)
+        pref = preff[flat]
+        ar = rclip.astype(np.int64) * m64 + cols
+        b0 = s == 0
+        b1 = s == 1
+        b2 = s == 2
+        b3 = live & (s == 3)
+        # Steps 0 and 1 read different planes at the same round index —
+        # one plane-selected gather serves both.
+        av = af[b1 * Rm + ar]
+        w0 = v0f[flat]
+        v0f[flat] = np.where(b0, av.view(np.int8), w0)
+        newp = np.where(w0 == av, pref, av.view(np.int8))
+        if use_flips:
+            tie = b1 & (w0 == 1) & (av == 1)
+            if tie.any():
+                cnt = tiecntf[flat]
+                fv = flipsf[flat * F + np.minimum(cnt, F - 1)]
+                newp = np.where(tie, fv, newp)
+                tiecntf[flat] = np.where(tie, cnt + 1, cnt)
+        changed = b1 & (newp != pref)
+        prefchg += changed
+        preff[flat] = np.where(b1, newp, pref)
+        wi = pref.astype(np.int64) * Rm + ar
+        af[wi] = af[wi] | b2
+        behind = np.maximum(rclip - np.int32(lag), np.int32(0))
+        rival = af[(1 - pref).astype(np.int64) * Rm
+                   + behind.astype(np.int64) * m64 + cols]
+        dec = b3 & (rival == 0)
+        stepf[flat] = np.where(dec, s, np.where(s < 3, s + 1, 0))
+        roundf[flat] = np.where(b3 & ~dec, r + np.int32(1), r)
+
+        # -- trial bookkeeping (host) ----------------------------------
+        cont = live
+        if dec.any():
+            e = np.nonzero(dec)[0]
+            NTf_d[xp.asarray(flat[e])] = _DEAD
+            dec_records.extend(zip(e.tolist(), p[e].tolist(),
+                                   pref[e].tolist(), r[e].tolist(),
+                                   newo[e].tolist()))
+            firsts = np.isnan(out_firstr[e])
+            out_firstr[e] = np.where(firsts, r[e], out_firstr[e])
+            out_firsto[e] = np.where(firsts, newo[e], out_firsto[e])
+            out_lastr[e] = r[e]
+            out_ndec[e] += 1
+            seen0[e] |= pref[e] == 0
+            seen1[e] |= pref[e] == 1
+            remaining[e] -= 1
+            if stop_first:
+                fin = e
+            else:
+                fin = e[remaining[e] == 0]
+            finish(fin)
+            cont = live & ~dec & ~finished
+        drained = cont & (newo >= k_i32)
+        if drained.any():
+            dr = np.nonzero(drained)[0]
+            if final:
+                # Whole-schedule semantics: the process just runs out of
+                # events; the trial is unknowable only once every
+                # process has.
+                NTf_d[xp.asarray(flat[dr])] = _DEAD
+                all_dead = _to_host(
+                    (NT_d[:, xp.asarray(dr)] >= _DEAD).all(axis=0))
+                mark_overflow(dr[all_dead])
+            else:
+                mark_overflow(dr)
+            cont = cont & ~drained
+
+        # -- device refill: gather next packed times, masked scatter ---
+        clamped = np.minimum(newo, k_i32 - np.int32(1)).astype(np.int64)
+        np.maximum(clamped, 0, out=clamped)
+        if trials_major:
+            src = cols * np.int64(k * n) + clamped * np.int64(n) + p
+        else:
+            src = (p * m64 + cols) * np.int64(k) + clamped
+        nxt = timesf_d.take(xp.asarray(src))
+        un = nxt.view(xp.uint64)
+        un &= xp.uint64(keep_mask)
+        un |= xp.asarray(p.astype(np.uint64))
+        flat_d = xp.asarray(flat)
+        NTf_d[flat_d] = xp.where(xp.asarray(cont), nxt, NTf_d.take(flat_d))
+    if alive:
+        # No events left but trials unfinished: scalar-replay None.
+        mark_overflow(np.nonzero(~finished)[0])
+
+    # -- assemble the KernelResult (mirrors _ChunkState.build) ---------
+    if stop_first:
+        decisions: List[tuple] = [()] * m
+        for rec in dec_records:
+            decisions[rec[0]] = (rec[1:],)
+    else:
+        dec_lists: List[list] = [[] for _ in range(m)]
+        for rec in dec_records:
+            dec_lists[rec[0]].append(rec[1:])
+        decisions = [tuple(d) for d in dec_lists]
+    distinct = seen0.astype(np.int64) + seen1.astype(np.int64)
+    value = np.where(seen0 & ~seen1, 0.0,
+                     np.where(seen1 & ~seen0, 1.0, np.nan))
+    return KernelResult(
+        overflow=overflow, total_ops=out_total, max_round=out_maxr,
+        preference_changes=out_chg, n_decided=out_ndec,
+        n_distinct=distinct, n_halted=np.zeros(m, np.int64),
+        first_round=out_firstr, first_ops=out_firsto,
+        last_round=out_lastr, decided_value=value,
+        budget_exhausted=np.zeros(m, bool),
+        decisions=decisions, halted=[()] * m)

@@ -1,0 +1,180 @@
+"""Array-backend registry for the trial-parallel lockstep kernel.
+
+The kernel of :mod:`repro.sim.kernel` is one Python loop over the global
+event index with array operations over the trials axis — a shape that
+maps directly onto JIT compilers and device-array libraries.  This
+module is the single place that knows which array backends exist, which
+of them is importable on this host, what equivalence tier each one
+guarantees against the scalar replay, and which spec features each one
+covers:
+
+``numpy`` (default)
+    The reference lockstep implementation.  Always available, covers
+    every kernel feature, and is **bitwise** identical to the scalar
+    replay (pinned by the differential oracle and ``tests/test_kernel``).
+
+``numba``
+    JIT-compiles a per-trial scalar merge of the per-process schedule
+    rows (:mod:`repro.sim._kernel_numba`) — the exact event order the
+    numpy lockstep produces, executed by the scalar state machine of
+    :mod:`repro.sim.fast`.  The inner loop only *compares* completion
+    times (no float arithmetic), so outcomes are **bitwise** identical
+    to the numpy lane.  Covers the full kernel feature set: every
+    :data:`~repro.sim.fast.FAST_VARIANTS` protocol, crash schedules,
+    tie flips, round caps, op budgets, and both horizon semantics.
+
+``cupy``
+    Keeps the schedule tensor and the next-completion-time plane on the
+    device; each lockstep iteration reduces the event pick on the
+    device and runs the (small) per-trial state machine host-side
+    (:mod:`repro.sim._kernel_xp`).  The lockstep itself is bitwise on
+    the schedules it is handed, but device-side sampling transforms are
+    only guaranteed to a documented **float tolerance** (libm on the
+    device may differ in final ULPs), so the backend's oracle tier is
+    ``"float-tolerance"``.  Covers the lag-variant family (lean /
+    conservative / eager / random-tie) without crash schedules, round
+    caps, or op budgets, at ``n`` within the packed-pid range.
+
+Availability is probed lazily and cached (:func:`backend_unavailability`
+returns ``None`` or a reason naming the missing import); spec-level
+feature coverage is answered by :func:`backend_spec_gap`.  Engine
+resolution (:func:`repro.api.compile.resolve_engine_info`) combines the
+two: an unavailable or uncovered backend degrades to numpy with the
+reason recorded on ``engine_reason`` — unless the caller pinned
+``engine="kernel"`` explicitly, which raises instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Every selectable array backend, numpy first (the default).
+BACKEND_NAMES = ("numpy", "numba", "cupy")
+
+#: Relative float tolerance the non-bitwise tier allows on *sampled
+#: schedule values* (device libm transforms); discrete replay outcomes
+#: are always compared exactly.
+FLOAT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Registry entry for one array backend.
+
+    Attributes:
+        name: the backend's :data:`BACKEND_NAMES` entry.
+        tier: the differential-oracle equivalence tier — ``"bitwise"``
+            when the backend guarantees IEEE-754 semantics for every
+            operation the lockstep performs, ``"float-tolerance"`` when
+            sampling transforms may run on device libm.
+        summary: one-line description for tables and ``--help``.
+    """
+
+    name: str
+    tier: str
+    summary: str
+
+
+BACKENDS: Dict[str, BackendInfo] = {
+    "numpy": BackendInfo(
+        "numpy", "bitwise",
+        "reference lockstep; full feature coverage"),
+    "numba": BackendInfo(
+        "numba", "bitwise",
+        "JIT per-trial merge replay; full feature coverage"),
+    "cupy": BackendInfo(
+        "cupy", "float-tolerance",
+        "device-array lockstep, host-side event pick; lag-variant "
+        "family only"),
+}
+
+#: Probe results, keyed by backend name (``None`` = available).  Module
+#: state rather than a functools cache so tests can force a backend
+#: available/unavailable by writing the cache directly.
+_probe_cache: Dict[str, Optional[str]] = {}
+
+
+def _probe(name: str) -> Optional[str]:
+    """Import-probe one backend; returns ``None`` or the blocker."""
+    if name == "numpy":
+        return None
+    if name == "numba":
+        try:
+            import numba  # noqa: F401
+        except ImportError as exc:
+            return f"the numba import failed ({exc})"
+        return None
+    if name == "cupy":
+        try:
+            import cupy
+        except ImportError as exc:
+            return f"the cupy import failed ({exc})"
+        try:
+            count = cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # no driver / no device
+            return f"cupy imported but no CUDA device is usable ({exc})"
+        if count < 1:
+            return "cupy imported but no CUDA device is present"
+        return None
+    return f"unknown backend {name!r} (choose from {list(BACKEND_NAMES)})"
+
+
+def backend_unavailability(name: str) -> Optional[str]:
+    """Why a backend cannot run on this host, or ``None`` if it can.
+
+    The reason names the missing import (or device), mirroring the
+    fast-ineligibility contract: it is what lands on ``engine_reason``
+    when an ``engine="auto"`` spec degrades to numpy, and inside the
+    :class:`~repro.errors.ConfigurationError` when ``engine="kernel"``
+    was pinned explicitly.  Probes once per process (cached).
+    """
+    if name not in _probe_cache:
+        _probe_cache[name] = _probe(name)
+    return _probe_cache[name]
+
+
+def kernel_backend_gap(name: str, *, variant: str, n: int,
+                       has_death_ops: bool, has_tie_flips: bool,
+                       round_cap: Optional[int],
+                       max_total_ops: Optional[int]) -> Optional[str]:
+    """Why a backend cannot replay this exact chunk shape, or ``None``.
+
+    This is the *feature-coverage* check, orthogonal to availability;
+    :func:`repro.sim.kernel.replay_chunk` applies it to its literal
+    arguments, :func:`backend_spec_gap` derives the same answer from a
+    :class:`~repro.api.spec.TrialSpec`.
+    """
+    if name in ("numpy", "numba"):
+        # Full feature coverage on both bitwise lanes.
+        return None
+    if name == "cupy":
+        del has_tie_flips  # the xp lane consumes presampled flips
+        from repro.sim.fast import FAST_VARIANTS
+        from repro.sim.kernel import _PACK_MAX_N
+        reasons = []
+        cfg = FAST_VARIANTS.get(variant)
+        if cfg is not None and cfg.optimized:
+            reasons.append("the cupy lane does not cover the Section-4 "
+                           "elision variant")
+        if has_death_ops:
+            reasons.append("the cupy lane does not cover crash schedules")
+        if round_cap is not None:
+            reasons.append("the cupy lane does not cover round caps")
+        if max_total_ops is not None:
+            reasons.append("the cupy lane does not cover op budgets")
+        if n > _PACK_MAX_N:
+            reasons.append(f"n={n} exceeds the packed-pid range "
+                           f"(n <= {_PACK_MAX_N}) the cupy lane requires")
+        return "; ".join(reasons) or None
+    return f"unknown backend {name!r} (choose from {list(BACKEND_NAMES)})"
+
+
+def backend_spec_gap(name: str, spec) -> Optional[str]:
+    """The :func:`kernel_backend_gap` answer for a whole trial spec."""
+    variant = spec.protocol.name
+    return kernel_backend_gap(
+        name, variant=variant if isinstance(variant, str) else "",
+        n=spec.n, has_death_ops=spec.failures.h > 0.0,
+        has_tie_flips=False, round_cap=spec.protocol.round_cap,
+        max_total_ops=spec.max_total_ops)

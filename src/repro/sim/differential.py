@@ -46,6 +46,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.failures.injection import NoFailures, PresampledDeaths
 from repro.core.machine import LeanConsensus, RandomCoin, RandomTie
 from repro.sched.noisy import NoisyScheduler, PresampledScheduler
+from repro.sim.backend import BACKENDS, backend_spec_gap
 from repro.sim.build import check_result, make_machines, make_memory_for
 from repro.sim.engine import NoisyEngine
 from repro.sim.fast import FAST_VARIANTS, lean_horizon_ops, replay
@@ -69,6 +70,15 @@ class DifferentialReport:
         horizon: the schedule horizon (in ops) that finally sufficed.
         mismatches: human-readable descriptions of every disagreement
             (empty when the engines agree).
+        backend: the array backend the kernel leg replayed on.
+        backend_tier: that backend's equivalence tier (``"bitwise"`` or
+            ``"float-tolerance"``).  The oracle pre-samples every
+            schedule host-side, and the lockstep itself performs no
+            float arithmetic on any backend, so replay *outcomes* are
+            compared exactly on both tiers; the float-tolerance tier
+            documents the slack reserved for device-side sampling
+            transforms (:data:`repro.sim.backend.FLOAT_TOLERANCE`),
+            which this oracle's schedules do not exercise.
     """
 
     spec: TrialSpec
@@ -76,6 +86,8 @@ class DifferentialReport:
     event: TrialResult
     horizon: int
     mismatches: List[str] = field(default_factory=list)
+    backend: str = "numpy"
+    backend_tier: str = "bitwise"
 
     @property
     def ok(self) -> bool:
@@ -109,7 +121,8 @@ class _PaddedSchedule(PresampledScheduler):
 
 def run_differential(spec: TrialSpec, seed=None,
                      horizon: Optional[int] = None,
-                     max_attempts: int = 10) -> DifferentialReport:
+                     max_attempts: int = 10,
+                     backend: str = "numpy") -> DifferentialReport:
     """Replay one shared pre-sampled schedule through both engines.
 
     The spec must use the noisy model and a protocol with a vectorized
@@ -117,6 +130,12 @@ def run_differential(spec: TrialSpec, seed=None,
     the spec's ``engine`` field is ignored — this function *always* runs
     both engines.  All randomness (noise, dither, deaths, coins) derives
     from ``seed`` with the compiler's stream-spawn discipline.
+
+    ``backend`` selects the array backend the kernel leg replays on (the
+    oracle's backend axis); a backend that does not cover the spec's
+    features raises :class:`~repro.errors.ConfigurationError` naming the
+    gap — the oracle never silently degrades, since a degraded run would
+    vacuously re-test numpy.
     """
     # Lazy import: repro.api.compile imports repro.sim.build, which would
     # cycle with the repro.sim package initialization importing this module.
@@ -133,6 +152,15 @@ def run_differential(spec: TrialSpec, seed=None,
     if why_not is not None:
         raise ConfigurationError(
             f"spec has no fast-engine replay to differentiate: {why_not}")
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{list(BACKENDS)}")
+    gap = backend_spec_gap(backend, spec)
+    if gap is not None:
+        raise ConfigurationError(
+            f'the oracle cannot drive backend="{backend}" over this '
+            f"spec: {gap}")
 
     model = spec.model
     n = spec.n
@@ -195,33 +223,41 @@ def run_differential(spec: TrialSpec, seed=None,
     # over the identical tensor (whole-schedule semantics, matching the
     # full scalar replay above), with twin pre-sampled coin flips.
     mismatches.extend(_kernel_mismatches(spec, times, death_ops,
-                                         coin_seqs, inputs, fast_result))
+                                         coin_seqs, inputs, fast_result,
+                                         backend=backend))
 
     report = DifferentialReport(
         spec=spec, fast=fast_result, event=event_result, horizon=horizon,
-        mismatches=mismatches)
+        mismatches=mismatches, backend=backend,
+        backend_tier=BACKENDS[backend].tier)
     return report
 
 
 def assert_equivalent(spec: TrialSpec, seed=None,
-                      horizon: Optional[int] = None) -> DifferentialReport:
+                      horizon: Optional[int] = None,
+                      backend: str = "numpy") -> DifferentialReport:
     """Run the oracle and raise :class:`DifferentialMismatch` on any diff."""
-    report = run_differential(spec, seed, horizon=horizon)
+    report = run_differential(spec, seed, horizon=horizon, backend=backend)
     if not report.ok:
         detail = "\n  ".join(report.mismatches)
         raise DifferentialMismatch(
             f"fast and event engines diverged on a shared schedule "
             f"(n={spec.n}, protocol={spec.protocol.name!r}, "
-            f"h={spec.failures.h}):\n  {detail}")
+            f"h={spec.failures.h}, backend={report.backend!r}):\n  {detail}")
     return report
 
 
 def _kernel_mismatches(spec: TrialSpec, times: np.ndarray, death_ops,
-                       coin_seqs, inputs, fast: TrialResult) -> List[str]:
+                       coin_seqs, inputs, fast: TrialResult,
+                       backend: str = "numpy") -> List[str]:
     """Replay the shared schedule through the lockstep kernel, described.
 
     The kernel consumes the exact ``(n, max_ops)`` tensor as a one-trial
-    chunk; every observable it reports must equal the scalar replay's.
+    chunk (on the requested array backend); every observable it reports
+    must equal the scalar replay's — exactly, on every backend: the
+    schedule is already sampled, and no backend lane performs float
+    arithmetic on it (the float-tolerance tier budgets device-side
+    *sampling*, which never happens here).
     """
     n, max_ops = times.shape
     flips = None
@@ -239,10 +275,11 @@ def _kernel_mismatches(spec: TrialSpec, times: np.ndarray, death_ops,
                        spec.stop_after_first_decision,
                        horizon_is_final=True,
                        round_cap=spec.protocol.round_cap,
-                       max_total_ops=spec.max_total_ops)
+                       max_total_ops=spec.max_total_ops,
+                       backend=backend)
     if out.overflow[0]:
-        return ["kernel replay overflowed where the full replay "
-                "completed"]
+        return [f"kernel[{backend}] replay overflowed where the full "
+                "replay completed"]
     mismatches = []
     if bool(out.budget_exhausted[0]) != fast.budget_exhausted:
         mismatches.append(

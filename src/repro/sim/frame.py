@@ -66,8 +66,9 @@ BOOL_COLUMNS = ("budget_exhausted",)
 
 #: Object columns: compact tuples (``inputs`` as (pid, bit) pairs,
 #: ``decisions`` as chronological (pid, value, round, ops) tuples,
-#: ``halted`` as a pid tuple) plus the engine labels.
-OBJECT_COLUMNS = ("inputs", "decisions", "halted", "engine", "engine_reason")
+#: ``halted`` as a pid tuple) plus the engine and backend labels.
+OBJECT_COLUMNS = ("inputs", "decisions", "halted", "engine",
+                  "engine_reason", "backend")
 
 ALL_COLUMNS = INT_COLUMNS + FLOAT_COLUMNS + BOOL_COLUMNS + OBJECT_COLUMNS
 
@@ -186,6 +187,7 @@ class ResultFrame:
             result.preference_changes = int(cols["preference_changes"][i])
             result.engine = cols["engine"][i]
             result.engine_reason = cols["engine_reason"][i]
+            result.backend = cols["backend"][i]
             out.append(result)
         return out
 
@@ -198,8 +200,18 @@ class ResultFrame:
     @classmethod
     def from_payload(cls, payload: Dict[str, np.ndarray],
                      spec=None) -> "ResultFrame":
-        return cls({name: np.asarray(payload[name]) for name in ALL_COLUMNS},
-                   spec=spec)
+        columns = {}
+        for name in ALL_COLUMNS:
+            if name == "backend" and name not in payload:
+                # Payloads written before the backend column existed
+                # (cached .npz blobs, older serve peers) load as
+                # backend-unknown rather than failing.
+                filler = np.empty(len(np.asarray(payload["n"])), object)
+                filler[:] = None
+                columns[name] = filler
+                continue
+            columns[name] = np.asarray(payload[name])
+        return cls(columns, spec=spec)
 
     def to_npz_bytes(self) -> bytes:
         """The payload serialized as ``.npz`` bytes.
@@ -277,12 +289,14 @@ class FrameBuilder:
     def __init__(self, spec=None, n: Optional[int] = None,
                  inputs: Optional[Tuple[Tuple[int, int], ...]] = None,
                  engine: Optional[str] = None,
-                 engine_reason: Optional[str] = None) -> None:
+                 engine_reason: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
         self.spec = spec
         self._n = n
         self._inputs = inputs
         self._engine = engine
         self._engine_reason = engine_reason
+        self._backend = backend
         # Ordered segments: ("rows", [tuple, ...]) runs of per-trial
         # appends (one tuple per trial in ALL_COLUMNS order, transposed
         # at build()) interleaved with ("block", count, {column: array})
@@ -318,7 +332,7 @@ class FrameBuilder:
             first_round, first_ops, _NAN, last_round, _NAN, decided_value,
             budget_exhausted,
             self._inputs, decisions, halted, self._engine,
-            self._engine_reason))
+            self._engine_reason, self._backend))
 
     def append_result(self, result: TrialResult) -> None:
         """Append one trial from a materialized ``TrialResult``."""
@@ -340,7 +354,8 @@ class FrameBuilder:
             tuple(result.inputs.items()),
             tuple((pid, dec.value, dec.round, dec.ops)
                   for pid, dec in result.decisions.items()),
-            tuple(result.halted), result.engine, result.engine_reason))
+            tuple(result.halted), result.engine, result.engine_reason,
+            getattr(result, "backend", None)))
 
     def append_block(self, count: int, total_ops, max_round,
                      preference_changes, n_decided, n_distinct, n_halted,
@@ -390,6 +405,8 @@ class FrameBuilder:
             return [self._engine] * count
         if name == "engine_reason":
             return [self._engine_reason] * count
+        if name == "backend":
+            return [self._backend] * count
         value = self._BLOCK_DEFAULTS[name]
         if name in BOOL_COLUMNS:
             return np.full(count, value, bool)

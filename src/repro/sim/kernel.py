@@ -92,6 +92,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.backend import BACKEND_NAMES, kernel_backend_gap
 from repro.sim.fast import FAST_VARIANTS, replay
 
 _INF = np.inf
@@ -158,7 +159,8 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
                  horizon_is_final: bool = False,
                  trials_major: bool = False,
                  round_cap: Optional[int] = None,
-                 max_total_ops: Optional[int] = None) -> KernelResult:
+                 max_total_ops: Optional[int] = None,
+                 backend: str = "numpy") -> KernelResult:
     """Replay every trial of a chunk in lockstep.
 
     Args:
@@ -198,6 +200,18 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
             process undecided.  The budget stop is *at* an executed
             event, so it is exact even mid-horizon: unseen later events
             cannot precede it.
+        backend: the array backend (:data:`repro.sim.backend
+            .BACKEND_NAMES`) the lockstep runs on.  ``"numpy"`` is the
+            reference; ``"numba"`` dispatches to the JIT per-trial merge
+            lane (bitwise-identical; runs un-jitted pure Python when the
+            wheel is absent — availability gating is engine
+            resolution's job, not this function's); ``"cupy"`` to the
+            device-array lane.  A backend that does not cover this
+            chunk's feature shape raises
+            :class:`~repro.errors.ConfigurationError` naming the gap
+            (:func:`repro.sim.backend.kernel_backend_gap`); empty and
+            single-process chunks short-circuit identically on every
+            backend before dispatch.
 
     Returns:
         A :class:`KernelResult` over the chunk.
@@ -221,14 +235,43 @@ def replay_chunk(times: np.ndarray, inputs, variant: str = "lean",
         # broadcast below needs no coin stream.)
         raise ConfigurationError(
             "random-tie lockstep replay requires pre-sampled tie_flips")
+    if backend not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel backend {backend!r} "
+            f"(choose from {list(BACKEND_NAMES)})")
     if trials == 0:
         return _empty_result()
     if n == 1 and death_ops is None:
-        # Before the tensor copy below: the broadcast never reads times.
+        # Before the tensor copy below: the broadcast never reads times
+        # (and is backend-independent — no array work to offload).
         return _broadcast_single_process(trials, k, inputs, variant,
                                          stop_after_first_decision,
                                          round_cap, max_total_ops)
+    if backend != "numpy":
+        gap = kernel_backend_gap(
+            backend, variant=variant, n=n,
+            has_death_ops=death_ops is not None,
+            has_tie_flips=tie_flips is not None,
+            round_cap=round_cap, max_total_ops=max_total_ops)
+        if gap is not None:
+            raise ConfigurationError(
+                f'backend="{backend}" cannot replay this chunk: {gap}')
     times = np.ascontiguousarray(times, dtype=np.float64)
+    if backend == "numba":
+        from repro.sim import _kernel_numba
+        return _kernel_numba.replay_chunk_numba(
+            times, inputs, variant=variant, death_ops=death_ops,
+            tie_flips=tie_flips if cfg.random_tie else None,
+            stop_after_first_decision=stop_after_first_decision,
+            horizon_is_final=horizon_is_final, trials_major=trials_major,
+            round_cap=round_cap, max_total_ops=max_total_ops)
+    if backend == "cupy":
+        from repro.sim import _kernel_xp
+        return _kernel_xp.replay_chunk_xp(
+            times, inputs, variant=variant,
+            tie_flips=tie_flips if cfg.random_tie else None,
+            stop_after_first_decision=stop_after_first_decision,
+            horizon_is_final=horizon_is_final, trials_major=trials_major)
     pack = 1 < n <= _PACK_MAX_N
     loop = _lockstep_optimized if cfg.optimized else _lockstep_lean
     return loop(times, trials_major, inputs, cfg, death_ops,

@@ -38,8 +38,12 @@ class TrialResult:
             assert on it.  ``None`` for results built outside the runners.
         engine_reason: why ``engine="auto"`` resolved to the event engine
             (e.g. a protocol without a vectorized replay, an adaptive
-            adversary, or n below the fast threshold); ``None`` when the
+            adversary, or n below the fast threshold), and/or why a
+            requested array backend degraded to numpy; ``None`` when the
             engine was requested explicitly or the fast engine ran.
+        backend: the array backend the resolution picked (``"numpy"``,
+            ``"numba"``, or ``"cupy"``; noisy-model runs only).  ``None``
+            for step/hybrid runs and results built outside the runners.
     """
 
     n: int
@@ -58,6 +62,7 @@ class TrialResult:
     preference_changes: int = 0
     engine: Optional[str] = None
     engine_reason: Optional[str] = None
+    backend: Optional[str] = None
 
     @property
     def all_decided(self) -> bool:

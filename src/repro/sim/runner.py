@@ -73,6 +73,7 @@ def _noisy_spec(n: int,
                 h: float = 0.0,
                 crash_adversary: Optional[AdaptiveCrashAdversary] = None,
                 engine: str = "auto",
+                backend: str = "numpy",
                 stop_after_first_decision: bool = False,
                 record: bool = False,
                 max_total_ops: Optional[int] = None,
@@ -100,6 +101,7 @@ def _noisy_spec(n: int,
         protocol=_protocol_spec(protocol, round_cap),
         failures=FailureSpec(h=h, adversary=adversary),
         engine=engine,
+        backend=backend,
         inputs=inputs,
         stop_after_first_decision=stop_after_first_decision,
         record=record,
@@ -117,6 +119,7 @@ def run_noisy_trial(n: int,
                     h: float = 0.0,
                     crash_adversary: Optional[AdaptiveCrashAdversary] = None,
                     engine: str = "auto",
+                    backend: str = "numpy",
                     stop_after_first_decision: bool = False,
                     record: bool = False,
                     max_total_ops: Optional[int] = None,
@@ -142,6 +145,8 @@ def run_noisy_trial(n: int,
             only).
         engine: ``"event"``, ``"fast"``, or ``"auto"`` (fast when the
             protocol is plain lean and no feature forces the event engine).
+        backend: array backend for the lockstep kernel (``"numpy"``,
+            ``"numba"``, or ``"cupy"``; see :mod:`repro.sim.backend`).
         stop_after_first_decision: measure the Figure-1 quantity and stop.
         record: attach a :class:`HistoryRecorder` (event engine only).
         max_total_ops: operation budget (guards non-terminating schedules).
@@ -155,7 +160,7 @@ def run_noisy_trial(n: int,
     """
     spec = _noisy_spec(
         n, noise, inputs=inputs, protocol=protocol, delta=delta, h=h,
-        crash_adversary=crash_adversary, engine=engine,
+        crash_adversary=crash_adversary, engine=engine, backend=backend,
         stop_after_first_decision=stop_after_first_decision, record=record,
         max_total_ops=max_total_ops, allow_degenerate=allow_degenerate,
         dither_epsilon=dither_epsilon, round_cap=round_cap, check=check)

@@ -116,15 +116,22 @@ class InverseSampler:
         self._scale = scale
         self._log = log_form
 
-    def transform(self, u: np.ndarray) -> np.ndarray:
+    def transform(self, u: np.ndarray, xp=np) -> np.ndarray:
         """Map uniforms in [0, 1) to increments (new array, same shape).
 
         Exponential families use ``shift - scale * log1p(-u)`` (the exact
         inverse CDF; ``log1p`` keeps u -> 1 finite and u = 0 mapping to
         the support's infimum), uniforms ``shift + scale * u``.
+
+        ``xp`` is the array module the transform runs on (the backend
+        shim of :mod:`repro.sim.backend` passes cupy to keep device
+        tensors resident); the default is numpy and every ``xp``
+        dispatch below is the identical ufunc sequence there.  Device
+        libm may differ from the host in final ULPs — the documented
+        ``float-tolerance`` oracle tier of non-host sampling.
         """
         if self._log:
-            out = np.log1p(-u)
+            out = xp.log1p(-u)
             out *= -self._scale
         else:
             out = u * self._scale
@@ -132,14 +139,14 @@ class InverseSampler:
             out += self._shift
         return out
 
-    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+    def transform_inplace(self, u: np.ndarray, xp=np) -> np.ndarray:
         """:meth:`transform` overwriting ``u`` (the batched pipelines'
         whole-chunk tensors are too large to duplicate).  Bit-identical
         to :meth:`transform`: the same ufuncs in the same order.
         """
         if self._log:
-            np.negative(u, out=u)
-            np.log1p(u, out=u)
+            xp.negative(u, out=u)
+            xp.log1p(u, out=u)
             u *= -self._scale
         else:
             u *= self._scale
@@ -164,18 +171,18 @@ class GeometricSampler(InverseSampler):
         self.name = name
         self._denom = math.log1p(-p) if p < 1.0 else -math.inf
 
-    def transform(self, u: np.ndarray) -> np.ndarray:
-        out = np.log1p(-u)
+    def transform(self, u: np.ndarray, xp=np) -> np.ndarray:
+        out = xp.log1p(-u)
         out /= self._denom
-        np.floor(out, out=out)
+        xp.floor(out, out=out)
         out += 1.0
         return out
 
-    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
-        np.negative(u, out=u)
-        np.log1p(u, out=u)
+    def transform_inplace(self, u: np.ndarray, xp=np) -> np.ndarray:
+        xp.negative(u, out=u)
+        xp.log1p(u, out=u)
         u /= self._denom
-        np.floor(u, out=u)
+        xp.floor(u, out=u)
         u += 1.0
         return u
 
@@ -197,10 +204,10 @@ class TwoPointSampler(InverseSampler):
         self._lo, self._hi = min(a, b), max(a, b)
         self._p_lo = p if a <= b else 1.0 - p
 
-    def transform(self, u: np.ndarray) -> np.ndarray:
-        return np.where(u < self._p_lo, self._lo, self._hi)
+    def transform(self, u: np.ndarray, xp=np) -> np.ndarray:
+        return xp.where(u < self._p_lo, self._lo, self._hi)
 
-    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+    def transform_inplace(self, u: np.ndarray, xp=np) -> np.ndarray:
         lo = u < self._p_lo
         u[...] = self._hi
         u[lo] = self._lo
@@ -245,34 +252,35 @@ _NDTRI_P_MIN = 5e-324
 _NDTRI_P_MAX = math.nextafter(1.0, 0.0)
 
 
-def _horner(r: np.ndarray, coeffs) -> np.ndarray:
-    out = np.full_like(r, coeffs[0])
+def _horner(r: np.ndarray, coeffs, xp=np) -> np.ndarray:
+    out = xp.full_like(r, coeffs[0])
     for c in coeffs[1:]:
         out *= r
         out += c
     return out
 
 
-def _ndtri(p: np.ndarray) -> np.ndarray:
-    """Vectorized standard normal quantile (pure numpy, AS241)."""
+def _ndtri(p: np.ndarray, xp=np) -> np.ndarray:
+    """Vectorized standard normal quantile (AS241; array-module generic)."""
     q = p - 0.5
-    out = np.empty_like(p)
-    central = np.abs(q) <= 0.425
+    out = xp.empty_like(p)
+    central = xp.abs(q) <= 0.425
     if central.any():
         qc = q[central]
         r = 0.180625 - qc * qc
-        out[central] = qc * _horner(r, _NDTRI_A) / _horner(r, _NDTRI_B)
+        out[central] = (qc * _horner(r, _NDTRI_A, xp)
+                        / _horner(r, _NDTRI_B, xp))
     tails = ~central
     if tails.any():
         qt = q[tails]
-        r = np.sqrt(-np.log(np.where(qt < 0.0, p[tails], 1.0 - p[tails])))
+        r = xp.sqrt(-xp.log(xp.where(qt < 0.0, p[tails], 1.0 - p[tails])))
         near = r <= 5.0
         r1 = r - 1.6
         r2 = r - 5.0
-        val = np.where(near,
-                       _horner(r1, _NDTRI_C) / _horner(r1, _NDTRI_D),
-                       _horner(r2, _NDTRI_E) / _horner(r2, _NDTRI_F))
-        out[tails] = np.where(qt < 0.0, -val, val)
+        val = xp.where(near,
+                       _horner(r1, _NDTRI_C, xp) / _horner(r1, _NDTRI_D, xp),
+                       _horner(r2, _NDTRI_E, xp) / _horner(r2, _NDTRI_F, xp))
+        out[tails] = xp.where(qt < 0.0, -val, val)
     return out
 
 
@@ -297,27 +305,27 @@ class TruncatedNormalSampler(InverseSampler):
         self._width = (0.5 * math.erfc(-(high - mu) / (sigma * root2))
                        - self._cdf_lo)
 
-    def transform(self, u: np.ndarray) -> np.ndarray:
+    def transform(self, u: np.ndarray, xp=np) -> np.ndarray:
         x = u * self._width
         x += self._cdf_lo
-        np.clip(x, _NDTRI_P_MIN, _NDTRI_P_MAX, out=x)
-        out = _ndtri(x)
+        xp.clip(x, _NDTRI_P_MIN, _NDTRI_P_MAX, out=x)
+        out = _ndtri(x, xp)
         out *= self._sigma
         out += self._mu
-        np.clip(out, self._low, self._high, out=out)
+        xp.clip(out, self._low, self._high, out=out)
         return out
 
-    def transform_inplace(self, u: np.ndarray) -> np.ndarray:
+    def transform_inplace(self, u: np.ndarray, xp=np) -> np.ndarray:
         u *= self._width
         u += self._cdf_lo
-        np.clip(u, _NDTRI_P_MIN, _NDTRI_P_MAX, out=u)
+        xp.clip(u, _NDTRI_P_MIN, _NDTRI_P_MAX, out=u)
         # _ndtri writes through boolean masks; routing the result back
         # into ``u`` keeps the chunk tensor as the only horizon-sized
         # live buffer (the quantile's temporaries are transient).
-        u[...] = _ndtri(u)
+        u[...] = _ndtri(u, xp)
         u *= self._sigma
         u += self._mu
-        np.clip(u, self._low, self._high, out=u)
+        xp.clip(u, self._low, self._high, out=u)
         return u
 
 

@@ -1,0 +1,392 @@
+"""The pluggable kernel array backends: registry, resolution, identity.
+
+The backend shim (:mod:`repro.sim.backend`) must be *safe by default*:
+an unavailable or non-covering backend degrades to numpy with the
+reason on ``engine_reason`` — never silently, never by crashing —
+unless ``engine="kernel"`` was pinned explicitly, which raises a
+:class:`ConfigurationError` naming the blocker.  The lanes themselves
+must be invisible: the numba merge lane is bitwise-identical to the
+numpy lockstep (it runs un-jitted pure Python when the wheel is
+absent, so the identity is testable everywhere), and the cupy lane is
+exercised against ``xp=numpy`` (same code path, host arrays).
+
+Availability is forced through ``repro.sim.backend._probe_cache`` —
+the documented test seam — so these tests are deterministic on hosts
+with or without the optional wheels.
+"""
+
+import dataclasses
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro._rng import make_rng
+from repro.api import (
+    NoiseSpec,
+    NoisyModelSpec,
+    ProtocolSpec,
+    StepModelSpec,
+    TrialSpec,
+    run_batch,
+    run_trial,
+)
+from repro.api.compile import KERNEL_AUTO_MIN_TRIALS, resolve_engine_info
+from repro.errors import ConfigurationError
+from repro.sim import _kernel_xp, backend as backend_mod
+from repro.sim.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    backend_spec_gap,
+    backend_unavailability,
+    kernel_backend_gap,
+)
+from repro.sim.differential import assert_equivalent, run_differential
+from repro.sim.frame import ResultFrame
+from repro.sim.kernel import _PACK_MAX_N, replay_chunk
+
+EXPO = NoiseSpec.of("exponential", mean=1.0)
+
+
+def noisy(n=12, **kwargs):
+    kwargs.setdefault("stop_after_first_decision", True)
+    kwargs.setdefault("model", NoisyModelSpec(noise=EXPO))
+    return TrialSpec(n=n, **kwargs)
+
+
+def strip(results):
+    """Normalize the labelling fields for cross-backend comparison."""
+    return [dataclasses.replace(r, engine="x", engine_reason=None,
+                                backend=None)
+            for r in results]
+
+
+@pytest.fixture
+def available(monkeypatch):
+    """Force a backend's availability probe (None = available)."""
+
+    def _force(name, blocker=None):
+        monkeypatch.setitem(backend_mod._probe_cache, name, blocker)
+
+    return _force
+
+
+@pytest.fixture
+def numpy_xp(monkeypatch):
+    """Run the cupy lane's code path on host numpy arrays."""
+    monkeypatch.setattr(_kernel_xp, "get_xp", lambda: np)
+
+
+CUPY_BLOCKER = "the cupy import failed (No module named 'cupy')"
+NUMBA_BLOCKER = "the numba import failed (No module named 'numba')"
+
+
+class TestRegistry:
+    def test_numpy_is_always_available(self):
+        assert backend_unavailability("numpy") is None
+
+    def test_tiers(self):
+        assert tuple(BACKENDS) == BACKEND_NAMES
+        assert BACKENDS["numpy"].tier == "bitwise"
+        assert BACKENDS["numba"].tier == "bitwise"
+        assert BACKENDS["cupy"].tier == "float-tolerance"
+
+    def test_real_probe_names_the_missing_import(self):
+        # Only meaningful on a host without the wheel (the CI baseline);
+        # the deterministic degrade tests below force the cache instead.
+        for name in ("numba", "cupy"):
+            if importlib.util.find_spec(name) is not None:
+                continue
+            backend_mod._probe_cache.pop(name, None)
+            blocker = backend_unavailability(name)
+            assert blocker is not None and f"{name} import failed" in blocker
+
+    def test_unknown_backend_probe(self):
+        assert "unknown backend" in backend_mod._probe("jax")
+
+    def test_bitwise_lanes_have_no_coverage_gap(self):
+        for name in ("numpy", "numba"):
+            assert kernel_backend_gap(
+                name, variant="optimized", n=100_000, has_death_ops=True,
+                has_tie_flips=True, round_cap=3, max_total_ops=9) is None
+
+    def test_cupy_gap_names_every_blocker(self):
+        gap = kernel_backend_gap(
+            "cupy", variant="optimized", n=_PACK_MAX_N + 1,
+            has_death_ops=True, has_tie_flips=False, round_cap=3,
+            max_total_ops=9)
+        for needle in ("elision variant", "crash schedules", "round caps",
+                       "op budgets", "packed-pid"):
+            assert needle in gap
+        assert kernel_backend_gap(
+            "cupy", variant="lean", n=_PACK_MAX_N, has_death_ops=False,
+            has_tie_flips=False, round_cap=None, max_total_ops=None) is None
+
+    def test_spec_gap_derives_from_the_spec(self):
+        capped = noisy(protocol=ProtocolSpec(name="lean", round_cap=4))
+        assert "round caps" in backend_spec_gap("cupy", capped)
+        assert backend_spec_gap("cupy", noisy()) is None
+        assert backend_spec_gap("numba", capped) is None
+
+
+class TestSpecField:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            noisy(backend="jax")
+
+    def test_backend_is_noisy_model_only(self):
+        with pytest.raises(ConfigurationError, match="noisy"):
+            TrialSpec(n=4, model=StepModelSpec(), backend="numba")
+
+    def test_to_dict_omits_the_default(self):
+        # Serialized specs — and the job ids / cache keys hashed from
+        # them — must be byte-stable across the field's introduction.
+        assert "backend" not in noisy().to_dict()
+        data = noisy(backend="numba").to_dict()
+        assert data["backend"] == "numba"
+        assert TrialSpec.from_dict(data) == noisy(backend="numba")
+        assert TrialSpec.from_dict(noisy().to_dict()).backend == "numpy"
+
+
+class TestResolutionDegrades:
+    """Satellite: unavailable backends degrade, explicit pins raise."""
+
+    def test_unavailable_backend_degrades_on_auto(self, available):
+        available("cupy", CUPY_BLOCKER)
+        spec = noisy(backend="cupy")
+        info = resolve_engine_info(spec, trials=KERNEL_AUTO_MIN_TRIALS)
+        assert info.engine == "kernel"
+        assert info.backend == "numpy"
+        assert 'backend="cupy" degraded to numpy' in info.backend_reason
+        assert CUPY_BLOCKER in info.backend_reason
+
+    def test_degrade_reason_lands_on_results(self, available):
+        available("cupy", CUPY_BLOCKER)
+        spec = noisy(n=8, backend="cupy")
+        results = run_batch(spec, KERNEL_AUTO_MIN_TRIALS, seed=3)
+        baseline = run_batch(noisy(n=8), KERNEL_AUTO_MIN_TRIALS, seed=3)
+        assert strip(results) == strip(baseline)
+        for r in results:
+            assert r.backend == "numpy"
+            assert CUPY_BLOCKER in r.engine_reason
+
+    def test_explicit_kernel_pin_raises_naming_the_import(self, available):
+        available("cupy", CUPY_BLOCKER)
+        available("numba", NUMBA_BLOCKER)
+        for name, blocker in (("cupy", CUPY_BLOCKER),
+                              ("numba", NUMBA_BLOCKER)):
+            spec = noisy(engine="kernel", backend=name)
+            with pytest.raises(ConfigurationError) as excinfo:
+                resolve_engine_info(spec)
+            assert blocker in str(excinfo.value)
+            with pytest.raises(ConfigurationError):
+                run_trial(spec, seed=1)
+
+    def test_non_kernel_engine_degrades_with_reason(self, available):
+        available("numba")
+        info = resolve_engine_info(noisy(engine="fast", backend="numba"))
+        assert (info.engine, info.backend) == ("fast", "numpy")
+        assert "applies to the lockstep kernel" in info.backend_reason
+
+    def test_coverage_gap_degrades_or_raises(self, available):
+        available("cupy")
+        capped = noisy(protocol=ProtocolSpec(name="lean", round_cap=4),
+                       backend="cupy")
+        info = resolve_engine_info(capped, trials=KERNEL_AUTO_MIN_TRIALS)
+        assert info.backend == "numpy"
+        assert "round caps" in info.backend_reason
+        with pytest.raises(ConfigurationError, match="round caps"):
+            resolve_engine_info(capped.replace(engine="kernel"))
+
+    def test_numpy_requests_resolve_reasonlessly(self):
+        info = resolve_engine_info(noisy(engine="kernel"))
+        assert (info.backend, info.backend_reason) == ("numpy", None)
+
+
+class TestNumbaLane:
+    """The JIT merge lane, run un-jitted (the wheel is optional)."""
+
+    def test_batch_bit_identical_and_labelled(self, available):
+        available("numba")
+        spec = noisy(n=24, engine="kernel", backend="numba")
+        frame = run_batch(spec, 40, seed=7, as_frame=True)
+        results = frame.to_trial_results()
+        assert all(r.backend == "numba" for r in results)
+        assert all(r.engine == "kernel" for r in results)
+        assert all(r.engine_reason is None for r in results)
+        baseline = run_batch(spec.replace(backend="numpy"), 40, seed=7)
+        assert strip(results) == strip(baseline)
+
+    def test_crashes_caps_and_budgets_covered(self, available):
+        from repro.api import FailureSpec
+        available("numba")
+        for spec in (
+            noisy(n=16, engine="kernel", backend="numba",
+                  failures=FailureSpec(h=0.05),
+                  stop_after_first_decision=False),
+            noisy(n=16, engine="kernel", backend="numba",
+                  protocol=ProtocolSpec(name="lean", round_cap=4)),
+            noisy(n=16, engine="kernel", backend="numba",
+                  max_total_ops=200, stop_after_first_decision=False),
+        ):
+            got = run_batch(spec, 30, seed=11)
+            ref = run_batch(spec.replace(backend="numpy"), 30, seed=11)
+            assert strip(got) == strip(ref)
+
+    def test_overflow_fallback_bit_identity(self, available, monkeypatch):
+        # Force horizon overflow: the per-trial scalar regrowth must be
+        # as invisible under the numba lane as under numpy.
+        import repro.api.compile as compile_mod
+        available("numba")
+        monkeypatch.setattr(compile_mod, "_kernel_horizon_ops",
+                            lambda n: 16)
+        spec = noisy(n=16, engine="kernel", backend="numba")
+        got = run_batch(spec, 50, seed=3, as_frame=True)
+        ref = run_batch(spec.replace(engine="fast", backend="numpy"),
+                        50, seed=3)
+        assert strip(got.to_trial_results()) == strip(ref)
+
+
+class TestCupyLaneOnHostArrays:
+    """The device-array lane's code path, with ``xp`` = numpy."""
+
+    def test_batch_bit_identical_and_labelled(self, available, numpy_xp):
+        available("cupy")
+        spec = noisy(n=24, engine="kernel", backend="cupy")
+        frame = run_batch(spec, 40, seed=7, as_frame=True)
+        results = frame.to_trial_results()
+        assert all(r.backend == "cupy" for r in results)
+        baseline = run_batch(spec.replace(backend="numpy"), 40, seed=7)
+        assert strip(results) == strip(baseline)
+
+    def test_overflow_fallback_bit_identity(self, available, numpy_xp,
+                                            monkeypatch):
+        import repro.api.compile as compile_mod
+        available("cupy")
+        monkeypatch.setattr(compile_mod, "_kernel_horizon_ops",
+                            lambda n: 16)
+        spec = noisy(n=16, engine="kernel", backend="cupy")
+        got = run_batch(spec, 50, seed=3, as_frame=True)
+        ref = run_batch(spec.replace(engine="fast", backend="numpy"),
+                        50, seed=3)
+        assert strip(got.to_trial_results()) == strip(ref)
+
+
+def boundary_chunk(n, trials=2, k=48, seed=0):
+    """A chunk whose *highest* pids win events (pid-plane stress)."""
+    rng = make_rng(7000 + n + seed)
+    scale = np.linspace(3.0, 0.05, n)[:, None]
+    times = np.cumsum(rng.exponential(1.0, size=(trials, n, k)) * scale,
+                      axis=2)
+    inputs = [int(b) for b in rng.integers(0, 2, size=n)]
+    tensor = np.ascontiguousarray(np.moveaxis(times, 0, 1))
+    return tensor, inputs
+
+
+def chunk_fields(out, t):
+    return (out.decisions[t], int(out.total_ops[t]),
+            int(out.max_round[t]), int(out.preference_changes[t]),
+            sorted(out.halted[t]))
+
+
+class TestPackedBoundaryGrid:
+    """Satellite: the packed-pid boundary (n = 2047/2048/2049) on every
+    backend.  The numpy lane is the reference; the numba lane must match
+    it bit for bit across the boundary; the cupy lane must match inside
+    the packed range and *refuse* past it (its tie discipline requires
+    the packed plane)."""
+
+    @pytest.mark.parametrize("n", [_PACK_MAX_N - 1, _PACK_MAX_N,
+                                   _PACK_MAX_N + 1])
+    def test_numba_matches_numpy(self, n):
+        tensor, inputs = boundary_chunk(n)
+        ref = replay_chunk(tensor, inputs, variant="lean")
+        out = replay_chunk(tensor, inputs, variant="lean",
+                           backend="numba")
+        assert out.overflow.tolist() == ref.overflow.tolist()
+        finished = 0
+        for t in range(len(ref.overflow)):
+            if ref.overflow[t]:
+                continue
+            assert chunk_fields(out, t) == chunk_fields(ref, t), (n, t)
+            finished += 1
+        assert finished > 0
+
+    @pytest.mark.parametrize("n", [_PACK_MAX_N - 1, _PACK_MAX_N])
+    def test_cupy_matches_numpy_in_packed_range(self, n, numpy_xp):
+        tensor, inputs = boundary_chunk(n)
+        ref = replay_chunk(tensor, inputs, variant="lean")
+        out = replay_chunk(tensor, inputs, variant="lean", backend="cupy")
+        assert out.overflow.tolist() == ref.overflow.tolist()
+        for t in range(len(ref.overflow)):
+            if not ref.overflow[t]:
+                assert chunk_fields(out, t) == chunk_fields(ref, t)
+
+    def test_cupy_refuses_past_packed_range(self, numpy_xp):
+        tensor, inputs = boundary_chunk(_PACK_MAX_N + 1, trials=1, k=4)
+        with pytest.raises(ConfigurationError, match="packed-pid"):
+            replay_chunk(tensor, inputs, variant="lean", backend="cupy")
+
+    @pytest.mark.parametrize("backend", ["numba", "cupy"])
+    def test_overflow_prefix_matches_numpy(self, backend, numpy_xp):
+        # A horizon too short to finish: the overflow markers (which
+        # drive the batch-level scalar fallback) must agree per trial.
+        tensor, inputs = boundary_chunk(64, trials=6, k=4)
+        ref = replay_chunk(tensor, inputs, variant="lean")
+        out = replay_chunk(tensor, inputs, variant="lean", backend=backend)
+        assert ref.overflow.any()
+        assert out.overflow.tolist() == ref.overflow.tolist()
+
+
+class TestDifferentialBackendAxis:
+    """The oracle gates every backend — and never degrades."""
+
+    def test_numpy_report_records_the_axis(self):
+        spec = noisy(n=7, engine="fast")
+        report = assert_equivalent(spec, seed=3)
+        assert report.ok
+        assert (report.backend, report.backend_tier) == ("numpy", "bitwise")
+
+    def test_numba_axis_bitwise(self):
+        spec = noisy(n=9, engine="fast")
+        report = run_differential(spec, seed=5, backend="numba")
+        assert report.ok
+        assert (report.backend, report.backend_tier) == ("numba", "bitwise")
+
+    def test_cupy_axis_on_host_arrays(self, numpy_xp):
+        spec = noisy(n=9, engine="fast")
+        report = run_differential(spec, seed=5, backend="cupy")
+        assert report.ok
+        assert (report.backend, report.backend_tier) == \
+            ("cupy", "float-tolerance")
+
+    def test_oracle_refuses_uncovered_backends(self):
+        capped = noisy(n=7, engine="fast",
+                       protocol=ProtocolSpec(name="lean", round_cap=4))
+        with pytest.raises(ConfigurationError, match="cannot drive"):
+            run_differential(capped, seed=1, backend="cupy")
+
+    def test_oracle_rejects_unknown_backends(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            run_differential(noisy(n=7, engine="fast"), seed=1,
+                             backend="jax")
+
+
+class TestFrameCompat:
+    def test_payload_without_backend_column_loads(self):
+        frame = run_batch(noisy(n=6, engine="fast"), 4, seed=2,
+                          as_frame=True)
+        payload = frame.to_payload()
+        del payload["backend"]
+        loaded = ResultFrame.from_payload(payload)
+        assert loaded.column("backend").tolist() == [None] * 4
+        results = loaded.to_trial_results()
+        assert all(r.backend is None for r in results)
+
+    def test_backend_column_round_trips(self, available):
+        available("numba")
+        spec = noisy(n=8, engine="kernel", backend="numba")
+        frame = run_batch(spec, 5, seed=2, as_frame=True)
+        loaded = ResultFrame.from_payload(frame.to_payload())
+        assert loaded == frame
+        assert loaded.column("backend").tolist() == ["numba"] * 5

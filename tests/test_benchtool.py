@@ -1,0 +1,164 @@
+"""Benchtool hardening: ledger robustness, GC discipline, backend keys.
+
+The ledger is advisory trajectory data — a missing, empty, or torn
+``BENCH_results.json`` must load as an empty ledger (with a warning for
+the corrupt case) instead of wedging every later benchmark, and
+recording over it must go through an atomic rename so a killed run can
+never tear it further.  ``_timed`` must restore the garbage collector
+even when the workload raises, and ``run_suite`` must keep the numpy
+workload keys byte-stable while suffixing other backends.
+"""
+
+import gc
+import json
+import os
+
+import pytest
+
+from repro import benchtool
+from repro.sim import backend as backend_mod
+
+
+class TestLoadLedger:
+    def test_missing_file_is_an_empty_ledger(self, tmp_path):
+        path = str(tmp_path / "BENCH_results.json")
+        assert benchtool.load_ledger(path) == {"entries": []}
+        assert benchtool.latest_result(path, "figure1_shaped") is None
+
+    def test_empty_file_is_an_empty_ledger(self, tmp_path):
+        path = tmp_path / "BENCH_results.json"
+        path.write_text("")
+        assert benchtool.load_ledger(str(path)) == {"entries": []}
+        path.write_text("   \n")
+        assert benchtool.load_ledger(str(path)) == {"entries": []}
+
+    def test_truncated_file_warns_and_loads_empty(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_results.json"
+        # A torn write: valid prefix, cut mid-token.
+        path.write_text('{"entries": [{"label": "bench-ci", "resu')
+        assert benchtool.load_ledger(str(path)) == {"entries": []}
+        err = capsys.readouterr().err
+        assert "warning" in err and str(path) in err
+        # The corrupt file is left in place for forensics.
+        assert path.read_text().startswith('{"entries"')
+        assert benchtool.latest_result(str(path), "anything") is None
+
+    def test_pre_ledger_payload_imports_as_first_entry(self, tmp_path):
+        path = tmp_path / "BENCH_results.json"
+        path.write_text(json.dumps({"figure1_shaped": {"n": 1}}))
+        ledger = benchtool.load_ledger(str(path))
+        assert ledger["entries"][0]["label"] == "imported"
+        assert ledger["entries"][0]["results"]["figure1_shaped"] == {"n": 1}
+
+
+class TestAppendEntry:
+    def test_append_over_corrupt_file_recovers(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_results.json"
+        path.write_text('{"entries": [{"lab')
+        entry = benchtool.append_entry(str(path), "PR 10",
+                                       {"w": {"x": 1}})
+        assert entry["label"] == "PR 10"
+        ledger = benchtool.load_ledger(str(path))
+        assert [e["label"] for e in ledger["entries"]] == ["PR 10"]
+
+    def test_write_format_is_stable(self, tmp_path):
+        # indent=2, insertion order, trailing newline: the committed
+        # ledger must not reflow when appended to.
+        path = str(tmp_path / "BENCH_results.json")
+        benchtool.append_entry(path, "a", {"w": {"x": 1}})
+        with open(path) as fh:
+            text = fh.read()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert text == json.dumps(json.loads(text), indent=2) + "\n"
+
+    def test_rolling_labels_replace_in_place(self, tmp_path):
+        path = str(tmp_path / "BENCH_results.json")
+        benchtool.append_entry(path, "bench-ci", {"w": {"x": 1}})
+        benchtool.append_entry(path, "PR 10", {"w": {"x": 2}})
+        benchtool.append_entry(path, "bench-ci", {"w": {"x": 3}})
+        entries = benchtool.load_ledger(path)["entries"]
+        assert [e["label"] for e in entries] == ["bench-ci", "PR 10"]
+        assert entries[0]["results"]["w"]["x"] == 3
+        assert benchtool.latest_result(path, "w")["x"] == 2
+
+
+class TestTimedGC:
+    def test_gc_restored_when_the_workload_raises(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        assert gc.isenabled()
+        with pytest.raises(RuntimeError, match="boom"):
+            benchtool._timed(boom)
+        assert gc.isenabled()
+
+    def test_gc_left_disabled_if_it_started_disabled(self):
+        gc.disable()
+        try:
+            with pytest.raises(ValueError):
+                benchtool._timed(lambda: int("x"))
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+
+class TestRunSuiteBackendKeys:
+    @pytest.fixture
+    def stubbed(self, monkeypatch):
+        def stub(name):
+            def _run(*args, backend="numpy", **kwargs):
+                return {"workload": name, "backend": backend,
+                        "identical": True}
+            return _run
+
+        for name in ("figure1_shaped", "scaling_shaped", "scaling_wide",
+                     "figure1_distributions"):
+            monkeypatch.setattr(benchtool, name, stub(name))
+        monkeypatch.setattr(benchtool, "serve_throughput",
+                            lambda **kw: {"workload": "serve",
+                                          "identical": True})
+
+    def test_numpy_keys_are_unsuffixed(self, stubbed):
+        results = benchtool.run_suite()
+        assert set(results) == {"figure1_shaped", "scaling_shaped",
+                                "scaling_wide", "figure1_distributions",
+                                "serve_throughput"}
+
+    def test_other_backends_suffix_and_skip_serve(self, stubbed):
+        results = benchtool.run_suite(backend="numba")
+        assert set(results) == {"figure1_shaped[numba]",
+                                "scaling_shaped[numba]",
+                                "scaling_wide[numba]",
+                                "figure1_distributions[numba]"}
+        assert all(r["backend"] == "numba" for r in results.values())
+
+
+class TestFormatTable:
+    def test_backend_column(self):
+        results = {"scaling_wide[numba]": {
+            "backend": "numba", "n": 1024, "trials": 100,
+            "frame_trials_per_sec": 1000.0,
+            "kernel_trials_per_sec": 2000.0, "kernel_speedup": 2.0,
+            "identical": True}}
+        table = benchtool.format_table(results)
+        assert "backend" in table and "numba" in table
+        # Entries recorded before the backend key default to numpy.
+        legacy = {"scaling_wide": {
+            "n": 1024, "trials": 100, "frame_trials_per_sec": 1000.0,
+            "kernel_trials_per_sec": 2000.0, "kernel_speedup": 2.0,
+            "identical": True}}
+        assert "numpy" in benchtool.format_table(legacy)
+
+
+class TestCliBackendGuard:
+    def test_unavailable_backend_exits_2(self, monkeypatch, tmp_path,
+                                         capsys):
+        monkeypatch.setitem(backend_mod._probe_cache, "cupy",
+                            "the cupy import failed (No module named "
+                            "'cupy')")
+        out = str(tmp_path / "ledger.json")
+        code = benchtool.main(["--backend", "cupy", "--out", out,
+                               "--no-append"])
+        assert code == 2
+        assert "cannot benchmark" in capsys.readouterr().err
+        assert not os.path.exists(out)
